@@ -1,0 +1,37 @@
+// Experiment E6 — Section 4.2 acceleration tiers, plus the DESIGN.md
+// ablation: how the crypto-accelerator-vs-protocol-engine gap grows with
+// the protocol-processing share of the workload (the Section 4.2.3
+// "holistic view" argument).
+#include <cstdio>
+
+#include "mapsec/analysis/report.hpp"
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/platform/accelerator.hpp"
+
+int main() {
+  using namespace mapsec;
+  using platform::AccelProfile;
+  using platform::Primitive;
+
+  std::fputs(analysis::accel_tier_report().c_str(), stdout);
+
+  std::puts("\nAblation: protocol-engine advantage vs per-byte protocol "
+            "overhead (RC4+MD5, accelerated ciphers)");
+  analysis::Table t({"protocol instr/B", "accelerator Mbps", "engine Mbps",
+                     "engine/accelerator"});
+  const auto host = platform::Processor::strongarm_sa1100();
+  for (const double overhead : {0.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    auto model = platform::WorkloadModel::paper_calibrated();
+    model.set_protocol_instr_per_byte(overhead);
+    const platform::SecurityPlatform accel(
+        host, AccelProfile::crypto_accelerator(), model);
+    const platform::SecurityPlatform engine(
+        host, AccelProfile::protocol_engine(), model);
+    const double ra = accel.achievable_mbps(Primitive::kRc4, Primitive::kMd5);
+    const double re = engine.achievable_mbps(Primitive::kRc4, Primitive::kMd5);
+    t.add_row({analysis::fmt(overhead, 0), analysis::fmt(ra, 1),
+               analysis::fmt(re, 1), analysis::fmt(re / ra, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment E15 — Bleichenbacher padding-oracle attack: oracle queries
+// needed to recover a premaster secret, by oracle strictness. The
+// protocol-level implementation attack of Section 3.4's software-attack
+// class, mounted against this library's own PKCS#1 decryption.
+#include <cstdio>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/attack/bleichenbacher.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+int main() {
+  using namespace mapsec;
+  using namespace mapsec::attack;
+
+  std::puts("Bleichenbacher attack on RSA PKCS#1 v1.5 key transport\n"
+            "(256-bit modulus for harness speed; query counts scale "
+            "roughly linearly\nwith modulus bits)\n");
+
+  analysis::Table t({"oracle", "trial", "oracle queries", "recovered"});
+  crypto::HmacDrbg key_rng(0xB1EE);
+  const crypto::RsaKeyPair key = crypto::rsa_generate(key_rng, 256);
+
+  const auto run = [&](const char* name, PaddingOracle::Strictness s,
+                       int trial) {
+    crypto::HmacDrbg rng(static_cast<std::uint64_t>(trial) * 31 + 7);
+    const crypto::Bytes secret = crypto::to_bytes("sess-key");
+    const crypto::Bytes ct =
+        crypto::rsa_encrypt_pkcs1(key.pub, secret, rng);
+    PaddingOracle oracle(key.priv, s);
+    const auto result = bleichenbacher_attack(key.pub, ct, oracle, 30'000'000);
+    t.add_row({name, std::to_string(trial),
+               std::to_string(result.oracle_queries),
+               result.success && result.recovered_message == secret
+                   ? "yes"
+                   : "NO"});
+  };
+
+  for (int trial = 0; trial < 3; ++trial)
+    run("prefix-only (00 02)", PaddingOracle::Strictness::kPrefixOnly, trial);
+  run("full PKCS#1 check", PaddingOracle::Strictness::kFull, 0);
+
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nExpected shape: thousands to tens of thousands of queries "
+            "against a\nlenient oracle, substantially more against a "
+            "strict one — either way,\none recorded handshake falls to a "
+            "server that leaks a single padding\nbit. The countermeasure "
+            "is rsa_decrypt_pkcs1's contract: indistinguishable\nfailures "
+            "(and premaster-substitution at the protocol layer).");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Experiment E10 — DPA key recovery versus trace count and noise, and the
+// masking countermeasure ablation.
+#include <cstdio>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/attack/dpa.hpp"
+
+int main() {
+  using namespace mapsec;
+  using namespace mapsec::attack;
+
+  crypto::HmacDrbg key_rng(0xD0A);
+  const crypto::Bytes key = key_rng.bytes(8);
+
+  std::puts("Differential power analysis of DES round 1 "
+            "(Hamming-weight leakage model)\n");
+
+  analysis::Table t({"implementation", "noise stddev", "traces",
+                     "S-boxes correct", "full 56-bit key"});
+  const auto run = [&](const char* name, bool masked, double noise,
+                       std::size_t traces, std::uint64_t seed) {
+    PowerModel model;
+    model.noise_stddev = noise;
+    DesPowerOracle oracle(key, model, masked, seed);
+    crypto::HmacDrbg rng(seed + 1);
+    const auto result = dpa_attack(oracle, rng, traces);
+    t.add_row({name, analysis::fmt(noise, 1), std::to_string(traces),
+               std::to_string(result.correct_chunks) + "/8",
+               result.full_key_recovered ? "RECOVERED" : "no"});
+  };
+
+  for (const std::size_t traces : {50u, 150u, 500u, 2000u})
+    run("unmasked", false, 0.5, traces, traces);
+  for (const std::size_t traces : {2000u, 8000u})
+    run("unmasked", false, 2.0, traces, traces + 1);
+  run("masked", true, 0.5, 2000, 31337);
+  run("masked", true, 0.5, 8000, 31338);
+
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nExpected shape: recovery succeeds from a few hundred traces "
+            "at SNR ~2 and from a few thousand at SNR ~0.5; first-order "
+            "masking holds every S-box at chance level.");
+  return 0;
+}

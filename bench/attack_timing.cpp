@@ -1,0 +1,72 @@
+// Experiment E9 — timing-attack success versus sample count, and the
+// countermeasure ablation (Montgomery ladder, blinding). Reproduces the
+// Section 3.4 claim that implementations leak through timing and that
+// constant-sequence / blinded implementations do not.
+#include <cstdio>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/attack/spa.hpp"
+#include "mapsec/attack/timing.hpp"
+
+int main() {
+  using namespace mapsec;
+  using namespace mapsec::attack;
+
+  crypto::HmacDrbg key_rng(0x7171);
+  const crypto::RsaKeyPair key = crypto::rsa_generate(key_rng, 96);
+  const std::size_t bits = key.priv.d.bit_length();
+
+  std::puts("Timing attack on RSA private exponentiation (96-bit modulus "
+            "for tractability; the attack is per-bit, so scaling is "
+            "linear in key size)\n");
+
+  analysis::Table t({"implementation", "samples", "correct bits",
+                     "key recovered"});
+  const auto run = [&](const char* name, ExpStrategy strategy,
+                       std::size_t samples, std::uint64_t seed) {
+    TimingModel model;
+    model.noise_stddev = 30.0;
+    TimingOracle oracle(key.priv, model, strategy, seed);
+    crypto::HmacDrbg rng(seed + 1);
+    const auto result = timing_attack(oracle, rng, samples, bits);
+    t.add_row({name, std::to_string(samples),
+               analysis::fmt(result.correct_bit_fraction * 100, 1) + "%",
+               result.verified ? "YES" : "no"});
+  };
+
+  for (const std::size_t samples : {250u, 1000u, 4000u, 8000u})
+    run("square-and-multiply", ExpStrategy::kSquareAndMultiply, samples,
+        samples);
+  run("montgomery-ladder", ExpStrategy::kMontgomeryLadder, 8000, 77);
+  run("blinded", ExpStrategy::kBlinded, 8000, 99);
+
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nExpected shape: success probability grows with samples for "
+            "the leaky implementation; the ladder and blinding hold the "
+            "attacker at chance level.");
+
+  // SPA: the single-trace variant.
+  std::puts("\nSimple power analysis (operation-sequence trace, ONE "
+            "execution observed):");
+  analysis::Table spa_table({"implementation", "traces", "key recovered"});
+  crypto::HmacDrbg mrng(5);
+  const crypto::BigInt m =
+      crypto::BigInt::random_below(mrng, key.pub.n);
+  {
+    SpaOracle oracle(key.priv, SpaOracle::Strategy::kSquareAndMultiply);
+    const auto r = spa_attack(key.pub, m, oracle.sign(m));
+    spa_table.add_row({"square-and-multiply", "1",
+                       r.verified ? "YES" : "no"});
+  }
+  {
+    SpaOracle oracle(key.priv, SpaOracle::Strategy::kMontgomeryLadder);
+    const auto r = spa_attack(key.pub, m, oracle.sign(m));
+    spa_table.add_row({"montgomery-ladder", "1", r.verified ? "YES" : "no"});
+  }
+  std::fputs(spa_table.render().c_str(), stdout);
+  std::puts("\nSPA reads the key off a single unprotected trace; the "
+            "ladder's constant\noperation sequence leaves nothing to "
+            "read — the reason constrained\ndevices pay its ~25% "
+            "performance cost.");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment E12 — WEP insecurity: keystream-reuse decryption and FMS
+// weak-IV key recovery versus captured traffic volume. Reproduces the
+// basis of the paper's Section 2 statement that deployed wireless link
+// security "can be easily broken or compromised".
+#include <cstdio>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/attack/wep_attack.hpp"
+
+int main() {
+  using namespace mapsec;
+  using namespace mapsec::attack;
+  using protocol::WepFrame;
+
+  crypto::HmacDrbg key_rng(0xE1);
+  std::puts("WEP attacks\n");
+
+  // --- keystream reuse -------------------------------------------------
+  {
+    const crypto::Bytes key = key_rng.bytes(13);
+    const std::array<std::uint8_t, 3> iv{1, 2, 3};
+    const crypto::Bytes known = crypto::to_bytes(
+        "BEACON broadcast frame with entirely predictable contents");
+    const crypto::Bytes secret =
+        crypto::to_bytes("username=alice&password=hunter2&account=42");
+    const WepFrame f1 = protocol::wep_encapsulate(key, iv, known);
+    const WepFrame f2 = protocol::wep_encapsulate(key, iv, secret);
+    const crypto::Bytes rec = keystream_reuse_decrypt(f1, known, f2);
+    const std::size_t match =
+        static_cast<std::size_t>(std::distance(
+            secret.begin(),
+            std::mismatch(secret.begin(), secret.end(), rec.begin()).first));
+    std::printf("Keystream reuse (one IV collision): recovered %zu/%zu "
+                "bytes of the secret frame\n\n",
+                match, secret.size());
+  }
+
+  // --- FMS key recovery -------------------------------------------------
+  std::puts("FMS weak-IV key recovery (first plaintext byte = SNAP 0xAA):");
+  analysis::Table t(
+      {"key size", "weak IVs per key byte", "frames observed", "recovered"});
+  for (const std::size_t key_len : {5u, 13u}) {
+    const crypto::Bytes key = key_rng.bytes(key_len);
+    for (const int ivs_per_byte : {32, 96, 256}) {
+      FmsAttack attack(key_len);
+      WepFrame check;
+      crypto::Bytes payload = crypto::to_bytes("Xpayload-data-here");
+      payload[0] = kSnapHeaderByte;
+      bool first = true;
+      for (std::size_t b = 0; b < key_len; ++b) {
+        for (int x = 0; x < ivs_per_byte; ++x) {
+          const WepFrame frame = protocol::wep_encapsulate(
+              key,
+              {static_cast<std::uint8_t>(b + 3), 255,
+               static_cast<std::uint8_t>(x)},
+              payload);
+          if (first) {
+            check = frame;
+            first = false;
+          }
+          attack.observe(frame);
+        }
+      }
+      const auto recovered = attack.try_recover(check);
+      t.add_row({std::to_string(key_len * 8 + 24) + "-bit",
+                 std::to_string(ivs_per_byte),
+                 std::to_string(attack.frames_observed()),
+                 recovered && *recovered == key ? "KEY RECOVERED" : "no"});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nExpected shape: recovery succeeds once enough weak IVs per "
+            "key byte\nare seen (each resolved weak IV votes for the right "
+            "byte with ~5%\nprobability; a couple hundred per byte makes "
+            "the vote decisive),\nindependent of key length — the FMS "
+            "result that made 104-bit WEP no\nsafer than 40-bit.");
+  return 0;
+}

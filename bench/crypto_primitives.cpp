@@ -1,0 +1,187 @@
+// Experiment E7 — host-measured throughput of every crypto primitive the
+// Section 3.2 workload model prices, plus the RSA private-op strategy
+// ablation (plain vs CRT vs blinded — the CRT speedup is also the fault-
+// attack surface of E11).
+#include <benchmark/benchmark.h>
+
+#include "mapsec/crypto/crypto.hpp"
+
+namespace {
+
+using namespace mapsec::crypto;
+
+Bytes test_data(std::size_t n) {
+  HmacDrbg rng(42);
+  return rng.bytes(n);
+}
+
+template <typename C>
+void bulk_cipher_bench(benchmark::State& state, std::size_t key_len) {
+  HmacDrbg rng(1);
+  const C cipher(rng.bytes(key_len));
+  Bytes buf = test_data(4096);
+  Bytes out(buf.size());
+  for (auto _ : state) {
+    for (std::size_t off = 0; off < buf.size(); off += C::kBlockSize)
+      cipher.encrypt_block(buf.data() + off, out.data() + off);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void BM_Des(benchmark::State& state) { bulk_cipher_bench<Des>(state, 8); }
+void BM_Des3(benchmark::State& state) { bulk_cipher_bench<Des3>(state, 24); }
+void BM_Aes128(benchmark::State& state) { bulk_cipher_bench<Aes>(state, 16); }
+void BM_Rc2(benchmark::State& state) { bulk_cipher_bench<Rc2>(state, 16); }
+
+void BM_Rc4(benchmark::State& state) {
+  HmacDrbg rng(2);
+  Rc4 rc4(rng.bytes(16));
+  Bytes buf = test_data(4096);
+  for (auto _ : state) {
+    Bytes out = rc4.process(buf);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+template <typename H>
+void hash_bench(benchmark::State& state) {
+  Bytes buf = test_data(4096);
+  for (auto _ : state) {
+    Bytes digest = H::hash(buf);
+    benchmark::DoNotOptimize(digest.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void BM_Sha1(benchmark::State& state) { hash_bench<Sha1>(state); }
+void BM_Md5(benchmark::State& state) { hash_bench<Md5>(state); }
+void BM_Sha256(benchmark::State& state) { hash_bench<Sha256>(state); }
+
+void BM_HmacSha1(benchmark::State& state) {
+  HmacDrbg rng(3);
+  const Bytes key = rng.bytes(20);
+  Bytes buf = test_data(4096);
+  for (auto _ : state) {
+    Bytes tag = HmacSha1::mac(key, buf);
+    benchmark::DoNotOptimize(tag.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+const RsaKeyPair& key512() {
+  static const RsaKeyPair kp = [] {
+    HmacDrbg rng(0xBE5C);
+    return rsa_generate(rng, 512);
+  }();
+  return kp;
+}
+
+const RsaKeyPair& key1024() {
+  static const RsaKeyPair kp = [] {
+    HmacDrbg rng(0xBE5D);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+void BM_Rsa1024PrivatePlain(benchmark::State& state) {
+  HmacDrbg rng(4);
+  const BigInt c = BigInt::random_below(rng, key1024().pub.n);
+  for (auto _ : state) {
+    BigInt m = rsa_private_op(key1024().priv, c);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
+void BM_Rsa1024PrivateCrt(benchmark::State& state) {
+  HmacDrbg rng(5);
+  const BigInt c = BigInt::random_below(rng, key1024().pub.n);
+  for (auto _ : state) {
+    BigInt m = rsa_private_op_crt(key1024().priv, c);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
+void BM_Rsa1024PrivateBlinded(benchmark::State& state) {
+  HmacDrbg rng(6);
+  const BigInt c = BigInt::random_below(rng, key1024().pub.n);
+  for (auto _ : state) {
+    BigInt m = rsa_private_op_blinded(key1024().priv, c, rng);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
+void BM_Rsa1024PrivateLadder(benchmark::State& state) {
+  HmacDrbg rng(7);
+  const BigInt c = BigInt::random_below(rng, key1024().pub.n);
+  const Montgomery mont(key1024().priv.n);
+  for (auto _ : state) {
+    BigInt m = mont.exp_ladder(c, key1024().priv.d);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
+void BM_Rsa1024Public(benchmark::State& state) {
+  HmacDrbg rng(8);
+  const BigInt m = BigInt::random_below(rng, key1024().pub.n);
+  for (auto _ : state) {
+    BigInt c = rsa_public_op(key1024().pub, m);
+    benchmark::DoNotOptimize(&c);
+  }
+}
+
+void BM_Rsa512PrivateCrt(benchmark::State& state) {
+  HmacDrbg rng(9);
+  const BigInt c = BigInt::random_below(rng, key512().pub.n);
+  for (auto _ : state) {
+    BigInt m = rsa_private_op_crt(key512().priv, c);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
+void BM_Dh1024SharedSecret(benchmark::State& state) {
+  HmacDrbg rng(10);
+  const DhGroup group = DhGroup::oakley_group2();
+  const DhKeyPair alice = dh_generate(group, rng);
+  const DhKeyPair bob = dh_generate(group, rng);
+  for (auto _ : state) {
+    BigInt s = dh_shared_secret(group, alice.private_key, bob.public_key);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+
+void BM_Rsa512KeyGen(benchmark::State& state) {
+  HmacDrbg rng(11);
+  for (auto _ : state) {
+    RsaKeyPair kp = rsa_generate(rng, 512);
+    benchmark::DoNotOptimize(&kp);
+  }
+}
+
+BENCHMARK(BM_Des);
+BENCHMARK(BM_Des3);
+BENCHMARK(BM_Aes128);
+BENCHMARK(BM_Rc2);
+BENCHMARK(BM_Rc4);
+BENCHMARK(BM_Sha1);
+BENCHMARK(BM_Md5);
+BENCHMARK(BM_Sha256);
+BENCHMARK(BM_HmacSha1);
+BENCHMARK(BM_Rsa1024PrivatePlain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa1024PrivateCrt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa1024PrivateBlinded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa1024PrivateLadder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa1024Public)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa512PrivateCrt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dh1024SharedSecret)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa512KeyGen)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+// Experiment E1 — Figure 2: evolution of security protocols.
+#include <cstdio>
+
+#include "mapsec/analysis/report.hpp"
+
+int main() {
+  std::fputs(mapsec::analysis::figure2_report().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Experiments E2-E4 — Figure 3 and the Section 3.2 in-text anchors: the
+// wireless security processing gap — plus the gap-trend projection
+// (Section 3.2's "threaten to further widen" argument).
+#include <cstdio>
+#include <cstring>
+
+#include "mapsec/analysis/csv.hpp"
+#include "mapsec/analysis/report.hpp"
+#include "mapsec/analysis/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mapsec;
+  // --csv: emit the raw series for external plotting instead of tables.
+  if (argc > 1 && std::strcmp(argv[1], "--csv") == 0) {
+    const platform::GapAnalysis gap(
+        platform::WorkloadModel::paper_calibrated());
+    std::fputs(analysis::gap_surface_csv(
+                   gap.surface(platform::GapAnalysis::default_latencies(),
+                               platform::GapAnalysis::default_rates()))
+                   .c_str(),
+               stdout);
+    std::puts("");
+    std::fputs(analysis::gap_trend_csv(platform::project_gap_trend(
+                   gap, platform::Processor::strongarm_sa1100(), 2.0, 2003,
+                   7))
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  std::fputs(analysis::figure3_report().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(analysis::section32_anchor_report().c_str(), stdout);
+
+  std::puts("\nGap trend projection (1 s latency, 2 Mbps base, StrongARM "
+            "base;\nprocessor +35%/yr vs data rate +60%/yr and crypto "
+            "strength +10%/yr):");
+  const platform::GapAnalysis gap(
+      platform::WorkloadModel::paper_calibrated());
+  analysis::Table t({"year", "available MIPS", "required MIPS",
+                     "gap ratio"});
+  for (const auto& p : platform::project_gap_trend(
+           gap, platform::Processor::strongarm_sa1100(), 2.0, 2003, 7)) {
+    t.add_row({std::to_string(p.year), analysis::fmt(p.available_mips, 0),
+               analysis::fmt(p.required_mips, 0),
+               analysis::fmt(p.gap_ratio, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\n(gap ratio > 1: the operating point is infeasible; the "
+            "ratio growing\nyear over year is the paper's widening-gap "
+            "claim.)");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Experiment E5 — Figure 4: battery-life impact of security processing,
+// plus an ablation over the crypto energy overhead (what cheaper crypto —
+// e.g. offload to an accelerator, Section 4.2 — buys back).
+#include <cstdio>
+
+#include "mapsec/analysis/report.hpp"
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/platform/energy.hpp"
+
+int main() {
+  using namespace mapsec;
+  std::fputs(analysis::figure4_report().c_str(), stdout);
+
+  std::puts("\nAblation: transactions/charge vs crypto energy overhead");
+  analysis::Table t({"crypto overhead (mJ/KB)", "txns/charge",
+                     "fraction of unencrypted"});
+  auto energy = platform::EnergyModel::paper_sensor_node();
+  const double plain =
+      platform::transactions_per_charge(energy, 26.0, 1.0, false);
+  for (const double overhead : {0.0, 4.2, 10.0, 21.0, 42.0, 84.0}) {
+    energy.crypto_mj_per_kb = overhead;
+    const double secure =
+        platform::transactions_per_charge(energy, 26.0, 1.0, true);
+    t.add_row({analysis::fmt(overhead, 1), analysis::fmt_eng(secure, 1),
+               analysis::fmt(secure / plain, 3)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\n(42 mJ/KB is the paper's software RSA; ~4.2 mJ/KB models a "
+            "10x-efficient crypto accelerator, Section 4.2.2)");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Experiment E8 — handshake latency / cost sweep across cipher suites and
+// RSA key sizes, full vs resumed. The per-handshake RSA op counts and
+// wire-byte totals are the inputs the Figure 3 latency axis prices.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/protocol/handshake.hpp"
+
+namespace {
+
+using namespace mapsec;
+using namespace mapsec::protocol;
+
+constexpr std::uint64_t kNow = 1'050'000'000;
+
+struct Pki {
+  crypto::RsaKeyPair ca_key;
+  crypto::RsaKeyPair server_key;
+  std::unique_ptr<CertificateAuthority> ca;
+  Certificate server_cert;
+};
+
+const Pki& pki(std::size_t bits) {
+  static std::map<std::size_t, Pki> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    crypto::HmacDrbg rng(0xBEEF + bits);
+    Pki p{crypto::rsa_generate(rng, bits), crypto::rsa_generate(rng, bits),
+          nullptr, {}};
+    p.ca = std::make_unique<CertificateAuthority>("BenchRoot", p.ca_key, 0,
+                                                  kNow * 2);
+    p.server_cert =
+        p.ca->issue("server.bench", p.server_key.pub, 0, kNow * 2);
+    it = cache.emplace(bits, std::move(p)).first;
+  }
+  return it->second;
+}
+
+HandshakeConfig client_cfg(const Pki& p, crypto::Rng& rng) {
+  HandshakeConfig cfg;
+  cfg.rng = &rng;
+  cfg.now = kNow;
+  cfg.trusted_roots = {p.ca->root()};
+  return cfg;
+}
+
+HandshakeConfig server_cfg(const Pki& p, crypto::Rng& rng) {
+  HandshakeConfig cfg;
+  cfg.rng = &rng;
+  cfg.now = kNow;
+  cfg.cert_chain = {p.server_cert};
+  cfg.private_key = &p.server_key.priv;
+  return cfg;
+}
+
+void BM_FullHandshake(benchmark::State& state, CipherSuite suite,
+                      std::size_t rsa_bits) {
+  const Pki& p = pki(rsa_bits);
+  crypto::HmacDrbg crng(1), srng(2);
+  for (auto _ : state) {
+    HandshakeConfig cc = client_cfg(p, crng);
+    cc.offered_suites = {suite};
+    TlsClient client(cc);
+    TlsServer server(server_cfg(p, srng));
+    run_handshake(client, server);
+    benchmark::DoNotOptimize(client.established());
+  }
+}
+
+void BM_ResumedHandshake(benchmark::State& state) {
+  const Pki& p = pki(1024);
+  crypto::HmacDrbg crng(3), srng(4);
+  SessionCache cache;
+  TlsClient first(client_cfg(p, crng));
+  TlsServer first_server(server_cfg(p, srng), &cache);
+  run_handshake(first, first_server);
+  const crypto::Bytes sid = first.summary().session_id;
+  const crypto::Bytes master = first.master_secret();
+  const CipherSuite suite = first.summary().suite;
+  for (auto _ : state) {
+    TlsClient client(client_cfg(p, crng));
+    client.set_resume_session(sid, master, suite);
+    TlsServer server(server_cfg(p, srng), &cache);
+    run_handshake(client, server);
+    benchmark::DoNotOptimize(client.established());
+  }
+}
+
+void BM_ApplicationData(benchmark::State& state, CipherSuite suite) {
+  const Pki& p = pki(512);
+  crypto::HmacDrbg crng(5), srng(6), drng(7);
+  HandshakeConfig cc = client_cfg(p, crng);
+  cc.offered_suites = {suite};
+  TlsClient client(cc);
+  TlsServer server(server_cfg(p, srng));
+  run_handshake(client, server);
+  const crypto::Bytes payload = drng.bytes(4096);
+  for (auto _ : state) {
+    const auto got = server.recv_data(client.send_data(payload));
+    benchmark::DoNotOptimize(got.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+
+void register_benchmarks() {
+  for (const CipherSuite suite : all_suites()) {
+    benchmark::RegisterBenchmark(
+        ("BM_FullHandshake/" + suite_info(suite).name).c_str(),
+        [suite](benchmark::State& s) { BM_FullHandshake(s, suite, 1024); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const std::size_t bits : {512u, 1024u, 2048u}) {
+    benchmark::RegisterBenchmark(
+        ("BM_FullHandshake/RSA-" + std::to_string(bits)).c_str(),
+        [bits](benchmark::State& s) {
+          BM_FullHandshake(s, CipherSuite::kRsa3DesEdeCbcSha, bits);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("BM_ResumedHandshake", BM_ResumedHandshake)
+      ->Unit(benchmark::kMillisecond);
+  for (const CipherSuite suite :
+       {CipherSuite::kRsa3DesEdeCbcSha, CipherSuite::kRsaAes128CbcSha,
+        CipherSuite::kRsaRc4128Md5}) {
+    benchmark::RegisterBenchmark(
+        ("BM_ApplicationData/" + suite_info(suite).name).c_str(),
+        [suite](benchmark::State& s) { BM_ApplicationData(s, suite); });
+  }
+}
+
+// Structural summary table (wire bytes + RSA op counts) printed before the
+// throughput numbers.
+void print_summary() {
+  std::puts("Handshake cost structure (full vs resumed, RSA-1024):\n");
+  const Pki& p = pki(1024);
+  crypto::HmacDrbg crng(8), srng(9);
+  SessionCache cache;
+
+  TlsClient full(client_cfg(p, crng));
+  TlsServer full_server(server_cfg(p, srng), &cache);
+  run_handshake(full, full_server);
+
+  TlsClient resumed(client_cfg(p, crng));
+  resumed.set_resume_session(full.summary().session_id,
+                             full.master_secret(), full.summary().suite);
+  TlsServer resumed_server(server_cfg(p, srng), &cache);
+  run_handshake(resumed, resumed_server);
+
+  analysis::Table t({"handshake", "client wire bytes", "server wire bytes",
+                     "client RSA pub ops", "server RSA priv ops"});
+  const auto row = [&](const char* name, const TlsClient& c,
+                       const TlsServer& s) {
+    t.add_row({name, std::to_string(c.summary().bytes_sent),
+               std::to_string(s.summary().bytes_sent),
+               std::to_string(c.summary().rsa_public_ops),
+               std::to_string(s.summary().rsa_private_ops)});
+  };
+  row("full", full, full_server);
+  row("resumed", resumed, resumed_server);
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Battery planner: the Section 3.2/3.3 models applied to a product
+// question — "this handset must sustain N secure transactions per day and
+// a given secure data rate; which processor + acceleration tier survives
+// on this battery, and for how long?"
+//
+// Build & run:  ./examples/battery_planner
+#include <cstdio>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/platform/accelerator.hpp"
+#include "mapsec/platform/energy.hpp"
+#include "mapsec/platform/gap.hpp"
+
+using namespace mapsec;
+using namespace mapsec::platform;
+
+int main() {
+  // Product requirements of a hypothetical 2003 m-commerce handset.
+  constexpr double kSecureMbps = 2.0;        // WLAN browsing, protected
+  constexpr double kHandshakesPerDay = 200;  // connections
+  constexpr double kSecureMbPerDay = 50.0;   // bulk data
+  constexpr double kBatteryKj = 10.0;        // handset battery (~2.8 Wh)
+
+  auto model = WorkloadModel::paper_calibrated();
+  model.set_protocol_instr_per_byte(25.0);
+
+  std::puts("Battery & capability planning for a secure handset");
+  std::printf("  requirement: %.1f Mbps secure data, %.0f handshakes/day, "
+              "%.0f MB/day, %.0f KJ battery\n\n",
+              kSecureMbps, kHandshakesPerDay, kSecureMbPerDay, kBatteryKj);
+
+  analysis::Table t({"processor", "tier", "3DES+SHA1 Mbps", "meets rate",
+                     "security mJ/day", "days of security budget"});
+  for (const Processor& proc :
+       {Processor::arm7(), Processor::strongarm_sa1100()}) {
+    for (const AccelProfile& tier : AccelProfile::all_tiers()) {
+      const SecurityPlatform plat(proc, tier, model);
+      const double rate =
+          plat.achievable_mbps(Primitive::kDes3, Primitive::kSha1);
+      const double mj_per_day =
+          kHandshakesPerDay * plat.pk_energy_mj(Primitive::kRsa1024Private) +
+          plat.bulk_energy_mj(Primitive::kDes3, Primitive::kSha1,
+                              kSecureMbPerDay * 1e6);
+      const double days = kBatteryKj * 1e6 / mj_per_day;
+      t.add_row({proc.name, accel_tier_name(tier.tier),
+                 analysis::fmt(rate, 2), rate >= kSecureMbps ? "yes" : "no",
+                 analysis::fmt(mj_per_day, 0), analysis::fmt(days, 1)});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::puts("\n(\"days of security budget\" = how long the battery lasts if "
+            "spent only on security processing; the real budget is what is "
+            "left after radio + application load — the paper's battery "
+            "gap.)");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// CSV export of the experiment data series, so the figures can be
+// re-plotted outside the ASCII harness (gnuplot/matplotlib).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapsec/platform/gap.hpp"
+
+namespace mapsec::analysis {
+
+/// Generic CSV assembly with correct quoting of commas/quotes.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+/// Figure 3 surface: latency_s,mbps,handshake_mips,bulk_mips,required_mips.
+std::string gap_surface_csv(const std::vector<platform::GapPoint>& points);
+
+/// Gap trend: year,available_mips,required_mips,gap_ratio.
+std::string gap_trend_csv(const std::vector<platform::GapTrendPoint>& trend);
+
+}  // namespace mapsec::analysis

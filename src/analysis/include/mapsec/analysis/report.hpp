@@ -1,0 +1,33 @@
+// Experiment report generators: one function per paper figure / in-text
+// claim, each returning the printable reproduction. Bench binaries print
+// these; tests assert on their structure.
+#pragma once
+
+#include <string>
+
+#include "mapsec/platform/gap.hpp"
+
+namespace mapsec::analysis {
+
+/// Figure 2: evolution of security protocols (wired and wireless).
+std::string figure2_report();
+
+/// Figure 3: the wireless security processing gap. Required MIPS over
+/// (connection latency x data rate), with per-processor feasibility
+/// against the paper's catalogue.
+std::string figure3_report(const platform::GapAnalysis& gap);
+std::string figure3_report();  // with the paper-calibrated model
+
+/// Section 3.2 in-text anchors: the 651.3 MIPS claim and the 235-MIPS
+/// handshake feasibility claim.
+std::string section32_anchor_report();
+
+/// Figure 4: battery-life impact of security processing on the sensor
+/// node (transactions per charge, plain vs secure).
+std::string figure4_report();
+
+/// Section 4.2: acceleration-tier comparison (achievable rate, handshake
+/// latency, energy per MB) on the StrongARM host.
+std::string accel_tier_report();
+
+}  // namespace mapsec::analysis

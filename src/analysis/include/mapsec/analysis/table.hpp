@@ -1,0 +1,33 @@
+// ASCII table/series rendering shared by the experiment harnesses, so
+// every bench prints its figure/table in a uniform, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mapsec::analysis {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision number formatting for table cells.
+std::string fmt(double value, int precision = 2);
+
+/// Format with engineering suffix (k/M/G) for large magnitudes.
+std::string fmt_eng(double value, int precision = 1);
+
+}  // namespace mapsec::analysis

@@ -1,0 +1,65 @@
+#include "mapsec/analysis/csv.hpp"
+
+#include <sstream>
+
+#include "mapsec/analysis/table.hpp"
+
+namespace mapsec::analysis {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void emit_row(std::ostringstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out << ',';
+    out << escape(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  emit_row(out, header);
+  for (const auto& row : rows) emit_row(out, row);
+  return out.str();
+}
+
+std::string gap_surface_csv(const std::vector<platform::GapPoint>& points) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const auto& p : points) {
+    rows.push_back({fmt(p.latency_s, 3), fmt(p.mbps, 3),
+                    fmt(p.handshake_mips, 3), fmt(p.bulk_mips, 3),
+                    fmt(p.required_mips, 3)});
+  }
+  return to_csv(
+      {"latency_s", "mbps", "handshake_mips", "bulk_mips", "required_mips"},
+      rows);
+}
+
+std::string gap_trend_csv(
+    const std::vector<platform::GapTrendPoint>& trend) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(trend.size());
+  for (const auto& p : trend) {
+    rows.push_back({std::to_string(p.year), fmt(p.available_mips, 2),
+                    fmt(p.required_mips, 2), fmt(p.gap_ratio, 4)});
+  }
+  return to_csv({"year", "available_mips", "required_mips", "gap_ratio"},
+                rows);
+}
+
+}  // namespace mapsec::analysis

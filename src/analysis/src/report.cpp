@@ -1,0 +1,140 @@
+#include "mapsec/analysis/report.hpp"
+
+#include <sstream>
+
+#include "mapsec/analysis/table.hpp"
+#include "mapsec/platform/accelerator.hpp"
+#include "mapsec/platform/energy.hpp"
+#include "mapsec/protocol/evolution.hpp"
+
+namespace mapsec::analysis {
+
+using platform::GapAnalysis;
+using platform::Primitive;
+using platform::Processor;
+using platform::WorkloadModel;
+
+std::string figure2_report() {
+  std::ostringstream out;
+  out << "Figure 2: Evolution of security protocols\n\n";
+  Table t({"family", "domain", "date", "version", "change"});
+  for (const auto& m : protocol::protocol_evolution()) {
+    t.add_row({m.family,
+               m.domain == protocol::ProtocolDomain::kWired ? "wired"
+                                                            : "wireless",
+               std::to_string(m.year) + "-" +
+                   (m.month < 10 ? "0" : "") + std::to_string(m.month),
+               m.version, m.change});
+  }
+  out << t.render() << '\n';
+
+  Table rate({"family", "revisions/year"});
+  for (const auto& fam : protocol::protocol_families())
+    rate.add_row({fam, fmt(protocol::revisions_per_year(fam), 2)});
+  out << "Revision rate (the Section 3.1 evolution pressure):\n"
+      << rate.render();
+  return out.str();
+}
+
+std::string figure3_report(const GapAnalysis& gap) {
+  std::ostringstream out;
+  out << "Figure 3: The wireless security processing gap\n"
+      << "Protocol: RSA-1024 connection set-up + 3DES encryption + SHA-1 "
+         "integrity\n\n";
+
+  const auto latencies = GapAnalysis::default_latencies();
+  const auto rates = GapAnalysis::default_rates();
+  const auto points = gap.surface(latencies, rates);
+
+  Table t({"latency(s)", "rate(Mbps)", "handshake(MIPS)", "bulk(MIPS)",
+           "required(MIPS)"});
+  for (const auto& p : points)
+    t.add_row({fmt(p.latency_s, 2), fmt(p.mbps, 2), fmt(p.handshake_mips, 1),
+               fmt(p.bulk_mips, 1), fmt(p.required_mips, 1)});
+  out << t.render() << '\n';
+
+  out << "Processor planes (feasible operating points / total, and max "
+         "secure rate at 1 s latency):\n";
+  Table planes({"processor", "MIPS", "feasible", "max Mbps @1s"});
+  for (const auto& proc : Processor::catalogue()) {
+    const auto summary = gap.summarise(proc, points);
+    planes.add_row({proc.name, fmt(proc.mips, 1),
+                    std::to_string(summary.feasible_points) + "/" +
+                        std::to_string(summary.total_points),
+                    fmt(summary.max_mbps_at_1s, 2)});
+  }
+  out << planes.render();
+  return out.str();
+}
+
+std::string figure3_report() {
+  return figure3_report(GapAnalysis(WorkloadModel::paper_calibrated()));
+}
+
+std::string section32_anchor_report() {
+  const auto model = WorkloadModel::paper_calibrated();
+  std::ostringstream out;
+  out << "Section 3.2 in-text anchors\n\n";
+
+  const double mips_10mbps =
+      model.bulk_mips(Primitive::kDes3, Primitive::kSha1, 10.0);
+  out << "  3DES + SHA-1 at 10 Mbps requires " << fmt(mips_10mbps, 1)
+      << " MIPS  (paper: 651.3 MIPS)\n\n";
+
+  out << "  RSA-1024 connection set-up on the 235-MIPS StrongARM "
+         "SA-1100:\n";
+  Table t({"target latency (s)", "required MIPS", "feasible on 235 MIPS"});
+  for (const double latency : {0.1, 0.5, 1.0}) {
+    const double req =
+        model.handshake_mips(Primitive::kRsa1024Private, latency);
+    t.add_row({fmt(latency, 1), fmt(req, 1), req <= 235.0 ? "yes" : "no"});
+  }
+  std::ostringstream all;
+  all << out.str() << t.render()
+      << "  (paper: feasible at 0.5 s and 1 s, not at 0.1 s)\n";
+  return all.str();
+}
+
+std::string figure4_report() {
+  const auto energy = platform::EnergyModel::paper_sensor_node();
+  constexpr double kBatteryKj = 26.0;
+  std::ostringstream out;
+  out << "Figure 4: Impact of security processing on battery life\n"
+      << "Sensor node (DragonBall MC68328, 10 Kbps, 26 KJ battery), "
+         "1 KB transactions\n\n";
+  Table t({"mode", "energy/txn (mJ)", "transactions/charge"});
+  const double plain = platform::transactions_per_charge(
+      energy, kBatteryKj, 1.0, /*secure=*/false);
+  const double secure = platform::transactions_per_charge(
+      energy, kBatteryKj, 1.0, /*secure=*/true);
+  t.add_row({"unencrypted", fmt(energy.transaction_mj(1.0, false), 1),
+             fmt_eng(plain, 1)});
+  t.add_row({"secure (RSA, +42 mJ/KB)", fmt(energy.transaction_mj(1.0, true), 1),
+             fmt_eng(secure, 1)});
+  out << t.render() << "\n  secure/unencrypted ratio: "
+      << fmt(secure / plain, 3)
+      << "  (paper: \"less than half\")\n";
+  return out.str();
+}
+
+std::string accel_tier_report() {
+  auto model = WorkloadModel::paper_calibrated();
+  model.set_protocol_instr_per_byte(25.0);
+  const Processor host = Processor::strongarm_sa1100();
+  std::ostringstream out;
+  out << "Section 4.2: acceleration tiers on " << host.name << "\n\n";
+  Table t({"tier", "3DES+SHA1 Mbps", "RSA-1024 latency (ms)",
+           "energy/MB (mJ)"});
+  for (const auto& profile : platform::AccelProfile::all_tiers()) {
+    const platform::SecurityPlatform plat(host, profile, model);
+    t.add_row({platform::accel_tier_name(profile.tier),
+               fmt(plat.achievable_mbps(Primitive::kDes3, Primitive::kSha1), 2),
+               fmt(plat.handshake_latency_s(Primitive::kRsa1024Private) * 1e3, 1),
+               fmt(plat.bulk_energy_mj(Primitive::kDes3, Primitive::kSha1,
+                                       1e6), 1)});
+  }
+  out << t.render();
+  return out.str();
+}
+
+}  // namespace mapsec::analysis

@@ -1,0 +1,63 @@
+// Bleichenbacher's PKCS#1 v1.5 padding-oracle attack ("million message
+// attack", CRYPTO '98).
+//
+// The paper's Section 3.4 software-attack taxonomy: privacy attacks that
+// exploit "weaknesses in security schemes and the system implementation".
+// This is the canonical instance against the very handshake Section 3.2
+// prices: if a server's ClientKeyExchange processing reveals — through an
+// error code, an alert, or a timing difference — whether the decrypted
+// premaster was PKCS#1-conforming, an attacker holding one recorded
+// ciphertext can recover the premaster secret (and thus the whole
+// session) using only that one bit per query, no key compromise needed.
+//
+// The oracle here is configurable from "prefix only" (the sloppiest real
+// implementations: checks just 00 02) to "full" (all of PKCS#1 v1.5);
+// the attack works against both, the query count differing — which is
+// itself the classic measurement. The countermeasure (what
+// rsa_decrypt_pkcs1's callers must do, and TLS later mandated) is to
+// never surface the distinction.
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::attack {
+
+/// The vulnerable server: answers "was the decryption PKCS#1-conforming?"
+class PaddingOracle {
+ public:
+  enum class Strictness {
+    kPrefixOnly,  // checks 00 02 only (weakest, fastest to attack)
+    kFull,        // checks padding length and zero separator too
+  };
+
+  PaddingOracle(crypto::RsaPrivateKey key, Strictness strictness);
+
+  /// One decryption query. Counts against `queries()`.
+  bool conforming(const crypto::BigInt& ciphertext);
+
+  std::uint64_t queries() const { return queries_; }
+  crypto::RsaPublicKey public_key() const { return key_.public_key(); }
+
+ private:
+  crypto::RsaPrivateKey key_;
+  Strictness strictness_;
+  std::uint64_t queries_ = 0;
+};
+
+struct BleichenbacherResult {
+  bool success = false;
+  crypto::Bytes recovered_message;  // the unpadded plaintext
+  std::uint64_t oracle_queries = 0;
+};
+
+/// Recover the plaintext of `ciphertext` (a valid PKCS#1 v1.5 encryption
+/// under the oracle's key) using at most `max_queries` oracle calls.
+BleichenbacherResult bleichenbacher_attack(const crypto::RsaPublicKey& pub,
+                                           crypto::ConstBytes ciphertext,
+                                           PaddingOracle& oracle,
+                                           std::uint64_t max_queries =
+                                               5'000'000);
+
+}  // namespace mapsec::attack

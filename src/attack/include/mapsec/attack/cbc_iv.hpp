@@ -1,0 +1,90 @@
+// Predictable-IV CBC attack (the SSL 3.0 / TLS 1.0 chained-IV weakness,
+// later weaponised as BEAST; fixed by TLS 1.1's explicit IVs).
+//
+// SSL 3.0 reused the last ciphertext block of record N as the CBC IV of
+// record N+1 — public information, known to the attacker *before* the
+// next record is formed. An attacker who can inject chosen plaintext into
+// the channel (a script in the browser, a malicious app on the handset —
+// Section 3.4's software-attack setting) can confirm guesses of a
+// previously transmitted secret block:
+//
+//   observed once:  C_s = E(IV_s ^ P_secret)        (IV_s public)
+//   inject:         P_a = Guess ^ IV_s ^ IV_now     (IV_now = last block)
+//   device sends:   E(IV_now ^ P_a) = E(IV_s ^ Guess)
+//   equal to C_s  <=>  Guess == P_secret.
+//
+// Against a low-entropy secret (a PIN, a short password) this is a
+// practical dictionary attack. mapsec's own record layer derives each IV
+// from the sequence number precisely to close this channel; the
+// `IvMode::kUnpredictable` oracle shows the same attack failing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/cipher.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::attack {
+
+/// A CBC record channel the adversary can inject plaintext into.
+class CbcChannelOracle {
+ public:
+  enum class IvMode {
+    kChained,        // SSL 3.0 behaviour: IV = last ciphertext block
+    kUnpredictable,  // per-record random IV (the TLS 1.1 fix)
+  };
+
+  CbcChannelOracle(crypto::Bytes key16, IvMode mode, crypto::Rng* rng);
+
+  /// Encrypt one attacker-supplied 16-byte block on the channel.
+  crypto::Bytes send_block(crypto::ConstBytes block16);
+
+  /// The device transmits its secret 16-byte block (e.g. the PIN record).
+  /// Returns the ciphertext the eavesdropper captures.
+  crypto::Bytes transmit_secret(crypto::ConstBytes secret16);
+
+  /// The IV that will protect the *next* record. Under kChained this is
+  /// real knowledge (it is the last ciphertext block, public); under
+  /// kUnpredictable the oracle refuses (nullopt) — the attacker cannot
+  /// know a random future IV.
+  std::optional<crypto::Bytes> predict_next_iv() const;
+
+  /// IV that protected the most recent record (public either way —
+  /// chained IVs are prior ciphertext; explicit IVs travel in clear).
+  const crypto::Bytes& last_record_iv() const { return last_iv_used_; }
+
+ private:
+  crypto::Bytes encrypt_block_with_iv(crypto::ConstBytes iv,
+                                      crypto::ConstBytes block);
+
+  crypto::Aes aes_;
+  IvMode mode_;
+  crypto::Rng* rng_;
+  crypto::Bytes chain_;         // last ciphertext block
+  crypto::Bytes last_iv_used_;  // IV of the most recent record
+};
+
+struct CbcIvAttackResult {
+  bool recovered = false;
+  crypto::Bytes secret;        // the confirmed guess
+  std::size_t guesses_tried = 0;
+};
+
+/// Dictionary attack: confirm which of `candidates` the device sent as
+/// its secret block. `secret_iv` is the (public) IV that protected the
+/// secret record and `secret_ct` its ciphertext.
+CbcIvAttackResult cbc_iv_dictionary_attack(
+    CbcChannelOracle& oracle, crypto::ConstBytes secret_iv,
+    crypto::ConstBytes secret_ct,
+    const std::vector<crypto::Bytes>& candidates);
+
+/// Convenience: candidate blocks for all 4-digit PINs in the fixed
+/// "PIN=dddd" record format the demo uses.
+std::vector<crypto::Bytes> pin_candidate_blocks();
+
+/// The block encoding of one PIN in that format.
+crypto::Bytes pin_block(int pin);
+
+}  // namespace mapsec::attack

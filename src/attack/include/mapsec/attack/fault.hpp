@@ -1,0 +1,72 @@
+// Fault attack on RSA-CRT signatures (Boneh, DeMillo, Lipton [42]).
+//
+// Section 3.4's fault-induction class: "manipulate the environmental
+// conditions of the system (voltage, clock, temperature, radiation ...) to
+// generate faults and observe the related behavior." For RSA with CRT —
+// the private-operation strategy every constrained device uses for its
+// ~4x speedup — a single fault in one of the two half-exponentiations
+// yields a signature s' that is correct mod one prime and wrong mod the
+// other, so gcd(s'^e - m, n) reveals a prime factor of n. One faulty
+// signature ends the key's life.
+//
+// The `sign_protected` path applies the verify-before-release
+// countermeasure (recompute m = s^e and compare), which reduces the
+// attack to a denial of service.
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::attack {
+
+/// Where to inject the fault.
+enum class FaultTarget { kExpModP, kExpModQ };
+
+/// The victim: a CRT signer whose half-exponentiation results can be
+/// corrupted by a (simulated) glitch.
+class FaultySigner {
+ public:
+  explicit FaultySigner(crypto::RsaPrivateKey key);
+
+  /// Fault-free CRT signature m^d mod n.
+  crypto::BigInt sign(const crypto::BigInt& m) const;
+
+  /// Signature computed with a single-bit fault flipped into the chosen
+  /// half-exponentiation result before recombination.
+  crypto::BigInt sign_faulty(const crypto::BigInt& m, FaultTarget target,
+                             std::size_t bit_to_flip) const;
+
+  /// Countermeasure path: same fault injected, but the device verifies
+  /// s^e == m before releasing; on mismatch it recomputes without CRT.
+  /// Returns the (always correct) signature.
+  crypto::BigInt sign_protected(const crypto::BigInt& m, FaultTarget target,
+                                std::size_t bit_to_flip) const;
+
+  crypto::RsaPublicKey public_key() const { return key_.public_key(); }
+
+  /// Ground truth for harness metrics.
+  const crypto::BigInt& true_p() const { return key_.p; }
+  const crypto::BigInt& true_q() const { return key_.q; }
+
+ private:
+  crypto::BigInt crt_combine(const crypto::BigInt& mp,
+                             const crypto::BigInt& mq) const;
+
+  crypto::RsaPrivateKey key_;
+};
+
+struct FaultAttackResult {
+  bool success = false;
+  crypto::BigInt factor;       // recovered prime factor of n
+  crypto::BigInt cofactor;     // n / factor
+};
+
+/// The Boneh-DeMillo-Lipton computation: given the message and a faulty
+/// signature, gcd(s'^e - m mod n, n) is a prime factor of n whenever the
+/// fault hit exactly one CRT half.
+FaultAttackResult bdl_factor(const crypto::RsaPublicKey& pub,
+                             const crypto::BigInt& message,
+                             const crypto::BigInt& faulty_signature);
+
+}  // namespace mapsec::attack

@@ -1,0 +1,23 @@
+// Measurement-noise utilities shared by the side-channel simulations.
+#pragma once
+
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::attack {
+
+/// Gaussian sampler (Box-Muller over a crypto::Rng). Deterministic given
+/// the Rng state, so attack experiments are reproducible.
+class GaussianNoise {
+ public:
+  explicit GaussianNoise(crypto::Rng* rng) : rng_(rng) {}
+
+  /// One sample from N(0, stddev^2).
+  double sample(double stddev);
+
+ private:
+  crypto::Rng* rng_;
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace mapsec::attack

@@ -1,0 +1,54 @@
+// Simple power analysis of RSA exponentiation.
+//
+// Section 3.4 counts power analysis among the cheapest non-invasive
+// attacks. SPA is its single-trace form: on real hardware a Montgomery
+// square and a Montgomery multiply have visibly different current
+// profiles, so ONE oscilloscope trace of an unprotected square-and-
+// multiply exponentiation spells out the private exponent directly —
+// "S S M S M S S S M ..." reads as the key's bits. No statistics needed,
+// unlike the DPA/timing attacks.
+//
+// Against the Montgomery ladder the trace is a featureless "M S M S ..."
+// regardless of the key: the attack returns nothing.
+#pragma once
+
+#include "mapsec/crypto/modexp.hpp"
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::attack {
+
+/// The victim: a signer whose per-operation power profile is observable.
+class SpaOracle {
+ public:
+  enum class Strategy { kSquareAndMultiply, kMontgomeryLadder };
+
+  SpaOracle(crypto::RsaPrivateKey key, Strategy strategy);
+
+  struct Trace {
+    crypto::BigInt signature;
+    crypto::MontOpSequence ops;  // the power trace, already classified
+  };
+
+  Trace sign(const crypto::BigInt& m) const;
+
+  crypto::RsaPublicKey public_key() const { return key_.public_key(); }
+  const crypto::BigInt& true_d() const { return key_.d; }
+
+ private:
+  crypto::RsaPrivateKey key_;
+  Strategy strategy_;
+};
+
+struct SpaResult {
+  bool parsed = false;    // trace matched the square-and-multiply grammar
+  bool verified = false;  // recovered exponent reproduces the signature
+  crypto::BigInt recovered_d;
+};
+
+/// Read the private exponent off a single trace. `message` must be the
+/// message whose trace is supplied (used only to verify the recovery).
+SpaResult spa_attack(const crypto::RsaPublicKey& pub,
+                     const crypto::BigInt& message,
+                     const SpaOracle::Trace& trace);
+
+}  // namespace mapsec::attack

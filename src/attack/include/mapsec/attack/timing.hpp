@@ -1,0 +1,87 @@
+// Timing attack on RSA modular exponentiation (Kocher [47], refined by
+// Dhem et al. against Montgomery implementations).
+//
+// Section 3.4: "the timing attack ... exploits the observation that the
+// computations performed in some of the cryptographic algorithms often
+// take different amounts of time on different inputs." Our victim is the
+// library's own left-to-right square-and-multiply over Montgomery
+// arithmetic: the conditional multiply and the data-dependent extra
+// reduction of each Montgomery product make total signing time key- and
+// message-dependent. The attacker recovers the private exponent bit by
+// bit, MSB first, by simulating both hypotheses for each bit over a batch
+// of observed (message, time) pairs and testing which hypothesis's
+// predicted extra-reduction indicator actually correlates with time.
+//
+// The Montgomery-ladder and blinding countermeasures (available on the
+// same oracle) defeat the attack, reproducing the paper's point that
+// tamper resistance is an implementation property.
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/attack/noise.hpp"
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::attack {
+
+/// Simulated cycle cost of one private-key operation, built from the
+/// Montgomery operation counts the crypto library reports. A real
+/// attacker gets these constants by profiling an identical device.
+struct TimingModel {
+  double base_cycles = 200.0;
+  double cycles_per_op = 120.0;              // per Montgomery square/multiply
+  double cycles_per_extra_reduction = 40.0;  // the leak
+  double noise_stddev = 60.0;                // measurement noise
+};
+
+/// Implementation strategy of the victim device.
+enum class ExpStrategy {
+  kSquareAndMultiply,  // leaky
+  kMontgomeryLadder,   // constant operation sequence
+  kBlinded,            // square-and-multiply + message blinding
+};
+
+/// The victim: an RSA signer whose response time the adversary measures.
+class TimingOracle {
+ public:
+  TimingOracle(crypto::RsaPrivateKey key, TimingModel model,
+               ExpStrategy strategy, std::uint64_t noise_seed);
+
+  struct Observation {
+    crypto::BigInt signature;
+    double time_cycles;
+  };
+
+  /// Raw private operation m^d mod n with simulated timing.
+  Observation sign(const crypto::BigInt& m);
+
+  crypto::RsaPublicKey public_key() const { return key_.public_key(); }
+  const TimingModel& model() const { return model_; }
+
+  /// Ground truth for experiment harnesses (a real attacker lacks this).
+  const crypto::BigInt& true_d() const { return key_.d; }
+
+ private:
+  crypto::RsaPrivateKey key_;
+  TimingModel model_;
+  ExpStrategy strategy_;
+  crypto::HmacDrbg noise_rng_;
+  GaussianNoise noise_;
+};
+
+struct TimingAttackResult {
+  crypto::BigInt recovered_d;
+  bool verified = false;          // recovered_d reproduces a signature
+  std::size_t samples_used = 0;
+  std::size_t bits_attacked = 0;
+  double correct_bit_fraction = 0;  // vs. ground truth (harness metric)
+};
+
+/// Mount the attack with `num_samples` chosen messages. `exponent_bits`
+/// is the attacker's estimate of the private exponent's bit length
+/// (obtainable in practice from the gross operation count in the timing).
+TimingAttackResult timing_attack(TimingOracle& oracle, crypto::Rng& rng,
+                                 std::size_t num_samples,
+                                 std::size_t exponent_bits);
+
+}  // namespace mapsec::attack

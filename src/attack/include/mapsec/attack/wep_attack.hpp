@@ -1,0 +1,76 @@
+// Attacks on the WEP encapsulation (the published breaks the paper cites:
+// Walker [21], Borisov-Goldberg-Wagner [22], and the Fluhrer-Mantin-Shamir
+// weak-IV key recovery that made WEP cracking practical).
+//
+// Two attacks against protocol::wep:
+//
+//   * Keystream reuse: two frames under the same IV share an RC4
+//     keystream; known plaintext of one frame decrypts the other
+//     (c1 ^ c2 = p1 ^ p2). This is why a 24-bit IV space is fatal.
+//
+//   * FMS weak-IV attack: IVs of the form (B+3, 255, x) put the RC4 key
+//     schedule into a "resolved" state from which the first keystream
+//     byte leaks key byte B with probability ~5%. Voting over enough weak
+//     IVs recovers the entire secret key, given only the (known) first
+//     plaintext byte of each frame — 0xAA, the 802.2 SNAP header.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mapsec/protocol/wep.hpp"
+
+namespace mapsec::attack {
+
+/// 802.2 SNAP DSAP: the first plaintext byte of essentially every 802.11
+/// data frame, giving the attacker one known keystream byte per frame.
+constexpr std::uint8_t kSnapHeaderByte = 0xAA;
+
+/// Keystream-reuse decryption: given a frame with fully known plaintext
+/// and a target frame with the same IV, recover the target's plaintext
+/// prefix (up to the known frame's length).
+crypto::Bytes keystream_reuse_decrypt(const protocol::WepFrame& known_frame,
+                                      crypto::ConstBytes known_plaintext,
+                                      const protocol::WepFrame& target_frame);
+
+/// Find the first IV collision in a frame sequence (indices into `frames`),
+/// or nullopt.
+std::optional<std::pair<std::size_t, std::size_t>> find_iv_collision(
+    const std::vector<protocol::WepFrame>& frames);
+
+/// Fluhrer-Mantin-Shamir key recovery.
+class FmsAttack {
+ public:
+  /// `key_len` = 5 (WEP-40) or 13 (WEP-104).
+  explicit FmsAttack(std::size_t key_len);
+
+  /// Observe one frame; `first_plaintext_byte` is the attacker's known
+  /// plaintext (SNAP header by default).
+  void observe(const protocol::WepFrame& frame,
+               std::uint8_t first_plaintext_byte = kSnapHeaderByte);
+
+  /// Attempt key recovery from the votes accumulated so far. Verifies the
+  /// candidate by decapsulating `check_frame` (any observed frame).
+  std::optional<crypto::Bytes> try_recover(
+      const protocol::WepFrame& check_frame,
+      std::uint8_t first_plaintext_byte = kSnapHeaderByte) const;
+
+  /// Number of usable (resolved) weak IVs seen for key byte `index`.
+  std::size_t resolved_count(std::size_t index) const;
+
+  std::size_t frames_observed() const { return frames_observed_; }
+
+ private:
+  struct Observation {
+    std::array<std::uint8_t, 3> iv;
+    std::uint8_t first_keystream_byte;
+  };
+
+  std::size_t key_len_;
+  std::vector<Observation> observations_;
+  std::size_t frames_observed_ = 0;
+};
+
+}  // namespace mapsec::attack

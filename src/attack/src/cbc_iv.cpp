@@ -1,0 +1,91 @@
+#include "mapsec/attack/cbc_iv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mapsec::attack {
+
+CbcChannelOracle::CbcChannelOracle(crypto::Bytes key16, IvMode mode,
+                                   crypto::Rng* rng)
+    : aes_(key16), mode_(mode), rng_(rng) {
+  if (key16.size() != 16)
+    throw std::invalid_argument("CbcChannelOracle: AES-128 key expected");
+  if (rng_ == nullptr)
+    throw std::invalid_argument("CbcChannelOracle: rng required");
+  chain_ = rng_->bytes(16);  // session-initial IV
+}
+
+crypto::Bytes CbcChannelOracle::encrypt_block_with_iv(
+    crypto::ConstBytes iv, crypto::ConstBytes block) {
+  crypto::Bytes x(16);
+  for (int i = 0; i < 16; ++i) x[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(iv[static_cast<std::size_t>(i)] ^
+                                block[static_cast<std::size_t>(i)]);
+  crypto::Bytes out(16);
+  aes_.encrypt_block(x.data(), out.data());
+  last_iv_used_.assign(iv.begin(), iv.end());
+  chain_ = out;  // last ciphertext block, either mode
+  return out;
+}
+
+crypto::Bytes CbcChannelOracle::send_block(crypto::ConstBytes block16) {
+  if (block16.size() != 16)
+    throw std::invalid_argument("send_block: 16-byte blocks only");
+  const crypto::Bytes iv =
+      mode_ == IvMode::kChained ? chain_ : rng_->bytes(16);
+  return encrypt_block_with_iv(iv, block16);
+}
+
+crypto::Bytes CbcChannelOracle::transmit_secret(crypto::ConstBytes secret16) {
+  if (secret16.size() != 16)
+    throw std::invalid_argument("transmit_secret: 16-byte blocks only");
+  const crypto::Bytes iv =
+      mode_ == IvMode::kChained ? chain_ : rng_->bytes(16);
+  return encrypt_block_with_iv(iv, secret16);
+}
+
+std::optional<crypto::Bytes> CbcChannelOracle::predict_next_iv() const {
+  if (mode_ == IvMode::kChained) return chain_;
+  return std::nullopt;  // random per record: unknowable in advance
+}
+
+CbcIvAttackResult cbc_iv_dictionary_attack(
+    CbcChannelOracle& oracle, crypto::ConstBytes secret_iv,
+    crypto::ConstBytes secret_ct,
+    const std::vector<crypto::Bytes>& candidates) {
+  CbcIvAttackResult result;
+  for (const crypto::Bytes& guess : candidates) {
+    ++result.guesses_tried;
+    const auto iv_now = oracle.predict_next_iv();
+    if (!iv_now) return result;  // unpredictable IVs: attack impossible
+    // P_a = Guess ^ IV_s ^ IV_now
+    crypto::Bytes injected(16);
+    for (int i = 0; i < 16; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      injected[idx] = static_cast<std::uint8_t>(
+          guess[idx] ^ secret_iv[idx] ^ (*iv_now)[idx]);
+    }
+    const crypto::Bytes ct = oracle.send_block(injected);
+    if (crypto::ct_equal(ct, secret_ct)) {
+      result.recovered = true;
+      result.secret = guess;
+      return result;
+    }
+  }
+  return result;
+}
+
+crypto::Bytes pin_block(int pin) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "PIN=%04d;pad=xxx", pin);
+  return crypto::to_bytes(std::string_view(buf, 16));
+}
+
+std::vector<crypto::Bytes> pin_candidate_blocks() {
+  std::vector<crypto::Bytes> out;
+  out.reserve(10000);
+  for (int pin = 0; pin < 10000; ++pin) out.push_back(pin_block(pin));
+  return out;
+}
+
+}  // namespace mapsec::attack

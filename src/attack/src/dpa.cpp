@@ -1,0 +1,149 @@
+#include "mapsec/attack/dpa.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace mapsec::attack {
+
+namespace des = crypto::des_detail;
+
+DesPowerOracle::DesPowerOracle(crypto::Bytes key8, PowerModel model,
+                               bool masked, std::uint64_t seed)
+    : key_(std::move(key8)),
+      des_(key_),
+      round1_subkey_(des::key_schedule(key_)[0]),
+      model_(model),
+      masked_(masked),
+      rng_(seed),
+      noise_(&rng_) {}
+
+DesPowerOracle::Trace DesPowerOracle::encrypt(crypto::ConstBytes plaintext) {
+  Trace trace;
+  trace.plaintext.assign(plaintext.begin(), plaintext.end());
+  trace.ciphertext.resize(8);
+  des_.encrypt_block(plaintext.data(), trace.ciphertext.data());
+
+  // Recompute the round-1 intermediates the hardware would expose.
+  const std::uint64_t block = crypto::load_be64(plaintext.data());
+  const std::uint64_t ip = des::initial_permutation(block);
+  const std::uint32_t r0 = static_cast<std::uint32_t>(ip);
+  const std::uint64_t x = des::expand(r0) ^ round1_subkey_;
+  const auto sbox_out = des::sbox_outputs(x);
+
+  for (int s = 0; s < 8; ++s) {
+    std::uint8_t leaked = sbox_out[static_cast<std::size_t>(s)];
+    if (masked_) {
+      // First-order Boolean masking: the register holds value ^ mask with
+      // a fresh uniform mask, so its Hamming weight is key-independent.
+      std::uint8_t mask;
+      rng_.fill({&mask, 1});
+      leaked = static_cast<std::uint8_t>(leaked ^ (mask & 0xF));
+    }
+    trace.samples[static_cast<std::size_t>(s)] =
+        model_.scale * static_cast<double>(std::popcount(leaked)) +
+        noise_.sample(model_.noise_stddev);
+  }
+  return trace;
+}
+
+std::array<std::uint8_t, 8> DesPowerOracle::true_round1_chunks() const {
+  return des::subkey_chunks(round1_subkey_);
+}
+
+DpaResult dpa_attack(DesPowerOracle& oracle, crypto::Rng& rng,
+                     std::size_t num_traces) {
+  // Collect traces for random plaintexts, precomputing each trace's
+  // expanded round-1 input chunks (E(R0) per S-box).
+  struct Sample {
+    std::array<std::uint8_t, 8> er0_chunks;  // 6-bit E(R0) slice per S-box
+    std::array<double, 8> power;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(num_traces);
+  DesPowerOracle::Trace first_trace;
+
+  for (std::size_t t = 0; t < num_traces; ++t) {
+    const crypto::Bytes pt = rng.bytes(8);
+    const auto trace = oracle.encrypt(pt);
+    if (t == 0) first_trace = trace;
+    const std::uint64_t ip =
+        des::initial_permutation(crypto::load_be64(pt.data()));
+    const std::uint64_t er0 =
+        des::expand(static_cast<std::uint32_t>(ip));
+    Sample s;
+    for (int box = 0; box < 8; ++box)
+      s.er0_chunks[static_cast<std::size_t>(box)] =
+          static_cast<std::uint8_t>((er0 >> (42 - 6 * box)) & 0x3F);
+    s.power = trace.samples;
+    samples.push_back(s);
+  }
+
+  DpaResult result;
+  result.traces_used = num_traces;
+
+  // Per S-box: difference-of-means over each predicted output bit,
+  // averaged across the four bits; the key guess with the largest mean
+  // absolute separation wins.
+  for (int box = 0; box < 8; ++box) {
+    double best_score = -1;
+    std::uint8_t best_guess = 0;
+    for (int guess = 0; guess < 64; ++guess) {
+      double score = 0;
+      for (int bit = 0; bit < 4; ++bit) {
+        double sum1 = 0, sum0 = 0;
+        std::size_t n1 = 0, n0 = 0;
+        for (const auto& s : samples) {
+          const std::uint8_t out = des::sbox(
+              box, static_cast<std::uint8_t>(
+                       s.er0_chunks[static_cast<std::size_t>(box)] ^ guess));
+          const double p = s.power[static_cast<std::size_t>(box)];
+          if ((out >> bit) & 1) {
+            sum1 += p;
+            ++n1;
+          } else {
+            sum0 += p;
+            ++n0;
+          }
+        }
+        if (n1 > 0 && n0 > 0)
+          score += std::abs(sum1 / static_cast<double>(n1) -
+                            sum0 / static_cast<double>(n0));
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_guess = static_cast<std::uint8_t>(guess);
+      }
+    }
+    result.recovered_chunks[static_cast<std::size_t>(box)] = best_guess;
+  }
+
+  const auto truth = oracle.true_round1_chunks();
+  for (int box = 0; box < 8; ++box)
+    if (result.recovered_chunks[static_cast<std::size_t>(box)] ==
+        truth[static_cast<std::size_t>(box)])
+      ++result.correct_chunks;
+
+  // Rebuild the 48-bit round-1 subkey and brute-force the 8 dropped bits
+  // against the first known plaintext/ciphertext pair.
+  std::uint64_t subkey = 0;
+  for (int box = 0; box < 8; ++box)
+    subkey |= std::uint64_t{
+                  result.recovered_chunks[static_cast<std::size_t>(box)]}
+              << (42 - 6 * box);
+  for (int missing = 0; missing < 256; ++missing) {
+    const crypto::Bytes candidate = des::key_from_round1_subkey(
+        subkey, static_cast<std::uint8_t>(missing));
+    crypto::Bytes ct(8);
+    crypto::Des(candidate).encrypt_block(first_trace.plaintext.data(),
+                                         ct.data());
+    if (ct == first_trace.ciphertext) {
+      result.full_key_recovered = true;
+      result.recovered_key = candidate;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mapsec::attack

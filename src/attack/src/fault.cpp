@@ -1,0 +1,66 @@
+#include "mapsec/attack/fault.hpp"
+
+#include "mapsec/crypto/modexp.hpp"
+
+namespace mapsec::attack {
+
+using crypto::BigInt;
+using crypto::Montgomery;
+
+FaultySigner::FaultySigner(crypto::RsaPrivateKey key) : key_(std::move(key)) {}
+
+BigInt FaultySigner::crt_combine(const BigInt& mp, const BigInt& mq) const {
+  // Garner: m = mq + q * (qinv * (mp - mq) mod p)
+  const BigInt diff =
+      mp >= mq ? (mp - mq) % key_.p : key_.p - ((mq - mp) % key_.p);
+  const BigInt h = (key_.qinv * diff) % key_.p;
+  return mq + key_.q * h;
+}
+
+BigInt FaultySigner::sign(const BigInt& m) const {
+  const BigInt mp = Montgomery(key_.p).exp(m % key_.p, key_.dp);
+  const BigInt mq = Montgomery(key_.q).exp(m % key_.q, key_.dq);
+  return crt_combine(mp, mq);
+}
+
+BigInt FaultySigner::sign_faulty(const BigInt& m, FaultTarget target,
+                                 std::size_t bit_to_flip) const {
+  BigInt mp = Montgomery(key_.p).exp(m % key_.p, key_.dp);
+  BigInt mq = Montgomery(key_.q).exp(m % key_.q, key_.dq);
+  // The glitch: one bit of one half-result flips in the output register.
+  const BigInt flip = BigInt(1) << bit_to_flip;
+  if (target == FaultTarget::kExpModP) {
+    mp = mp.bit(bit_to_flip) ? mp - flip : (mp + flip) % key_.p;
+  } else {
+    mq = mq.bit(bit_to_flip) ? mq - flip : (mq + flip) % key_.q;
+  }
+  return crt_combine(mp, mq);
+}
+
+BigInt FaultySigner::sign_protected(const BigInt& m, FaultTarget target,
+                                    std::size_t bit_to_flip) const {
+  const BigInt s = sign_faulty(m, target, bit_to_flip);
+  if (crypto::mod_exp(s, key_.e, key_.n) == m % key_.n) return s;
+  // Fault detected: recompute without CRT (slow but fault-free here).
+  return Montgomery(key_.n).exp(m % key_.n, key_.d);
+}
+
+FaultAttackResult bdl_factor(const crypto::RsaPublicKey& pub,
+                             const BigInt& message,
+                             const BigInt& faulty_signature) {
+  FaultAttackResult result;
+  // s'^e - m mod n is divisible by exactly the unfaulted prime.
+  const BigInt se = crypto::mod_exp(faulty_signature, pub.e, pub.n);
+  const BigInt m = message % pub.n;
+  const BigInt diff = se >= m ? se - m : pub.n - (m - se);
+  if (diff.is_zero()) return result;  // signature wasn't faulty after all
+  const BigInt g = BigInt::gcd(diff, pub.n);
+  if (g > BigInt(1) && g < pub.n) {
+    result.success = true;
+    result.factor = g;
+    result.cofactor = pub.n / g;
+  }
+  return result;
+}
+
+}  // namespace mapsec::attack

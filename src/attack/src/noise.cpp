@@ -1,0 +1,25 @@
+#include "mapsec/attack/noise.hpp"
+
+#include <cmath>
+
+namespace mapsec::attack {
+
+double GaussianNoise::sample(double stddev) {
+  if (stddev <= 0) return 0;
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_ * stddev;
+  }
+  // Box-Muller on uniforms in (0, 1].
+  const double u1 =
+      (static_cast<double>(rng_->next_u64() >> 11) + 1.0) / 9007199254740993.0;
+  const double u2 =
+      static_cast<double>(rng_->next_u64() >> 11) / 9007199254740992.0;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return r * std::cos(theta) * stddev;
+}
+
+}  // namespace mapsec::attack

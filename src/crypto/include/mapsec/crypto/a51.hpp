@@ -1,0 +1,54 @@
+// A5/1 — the GSM air-interface stream cipher.
+//
+// The paper's Section 2 surveys bearer-technology security (GSM among
+// them) and cites the published analyses [16, 24, 25] showing it "can be
+// easily broken or compromised by serious hackers". A5/1 is the concrete
+// object: three short LFSRs with majority clocking, a 64-bit key and a
+// 22-bit frame number, generating 228 keystream bits per GSM frame (114
+// downlink + 114 uplink). Implemented faithfully — including the
+// weaknesses (key size, no integrity, frame-keyed keystream) that the
+// paper's argument for higher-layer security rests on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// A5/1 keystream generator for one GSM frame.
+class A51 {
+ public:
+  /// `key` is the 64-bit session key (Kc), `frame` the 22-bit frame
+  /// number. Keying performs the standard 64+22+100 clocking warm-up.
+  A51(ConstBytes key8, std::uint32_t frame);
+
+  /// Next keystream bit.
+  int next_bit();
+
+  /// `n` keystream bytes (MSB-first bit packing, the GSM convention).
+  Bytes keystream(std::size_t n);
+
+  /// The two 114-bit bursts of one frame: downlink then uplink, each
+  /// packed MSB-first into 15 bytes (last 6 bits zero).
+  struct FrameKeystream {
+    Bytes downlink;  // 15 bytes, 114 bits used
+    Bytes uplink;
+  };
+  static FrameKeystream frame_keystream(ConstBytes key8, std::uint32_t frame);
+
+ private:
+  void clock_all();       // warm-up clocking (no majority rule)
+  void clock_majority();  // normal majority-rule clocking
+  int output_bit() const;
+
+  std::uint32_t r1_ = 0;  // 19 bits
+  std::uint32_t r2_ = 0;  // 22 bits
+  std::uint32_t r3_ = 0;  // 23 bits
+};
+
+/// XOR a payload with the frame keystream (encrypt == decrypt).
+Bytes a51_crypt(ConstBytes key8, std::uint32_t frame, ConstBytes data);
+
+}  // namespace mapsec::crypto

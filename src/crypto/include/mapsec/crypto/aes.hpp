@@ -1,0 +1,53 @@
+// AES-128/192/256 (FIPS 197). The paper's Figure 2 highlights the June 2002
+// TLS revision that added AES as the DES replacement; Section 4.1 lists AES
+// among the algorithms a mobile crypto foundation must accelerate.
+//
+// `aes_detail` exposes the S-box so the DPA attack module can build
+// hypothesis tables against the real implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+namespace aes_detail {
+
+/// Forward S-box lookup (SubBytes).
+std::uint8_t sbox(std::uint8_t x);
+
+/// Inverse S-box lookup.
+std::uint8_t inv_sbox(std::uint8_t x);
+
+/// GF(2^8) multiply by x (the `xtime` primitive).
+std::uint8_t xtime(std::uint8_t x);
+
+/// General GF(2^8) multiplication (AES polynomial x^8+x^4+x^3+x+1).
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b);
+
+}  // namespace aes_detail
+
+/// AES block cipher over 16-byte blocks; key may be 16, 24 or 32 bytes.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  explicit Aes(ConstBytes key);
+
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+  /// Number of rounds (10/12/14 for 128/192/256-bit keys).
+  int rounds() const { return rounds_; }
+
+  /// Round keys as 4-byte words (4*(rounds+1) words).
+  const std::vector<std::uint32_t>& round_keys() const { return rk_; }
+
+ private:
+  int rounds_;
+  std::vector<std::uint32_t> rk_;
+};
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,90 @@
+// Arbitrary-precision unsigned integers for the public-key algorithms the
+// paper's workload analysis is built on (RSA connection set-up, RSA/DH key
+// operations — Sections 3.2 and 4.1).
+//
+// Unsigned-only by design: every quantity in RSA/DH is a residue mod n.
+// Subtraction of a larger value throws. Limbs are 32-bit, little-endian,
+// normalized (no high zero limbs; zero is the empty limb vector).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Big-endian byte-string conversions (the wire format of PKCS#1 and of
+  /// every protocol message carrying a number).
+  static BigInt from_bytes_be(ConstBytes bytes);
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+
+  static BigInt from_hex(std::string_view hex);
+  std::string to_hex() const;
+  std::string to_dec() const;
+
+  bool is_zero() const { return w_.empty(); }
+  bool is_odd() const { return !w_.empty() && (w_[0] & 1u); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Bit i (0 = least significant).
+  bool bit(std::size_t i) const;
+
+  /// Low 64 bits (for small results).
+  std::uint64_t to_u64() const;
+
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+  friend bool operator==(const BigInt& a, const BigInt& b) = default;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  /// Throws std::underflow_error if b > a.
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  friend BigInt operator<<(const BigInt& a, std::size_t bits);
+  friend BigInt operator>>(const BigInt& a, std::size_t bits);
+
+  BigInt& operator+=(const BigInt& b) { return *this = *this + b; }
+  BigInt& operator-=(const BigInt& b) { return *this = *this - b; }
+  BigInt& operator*=(const BigInt& b) { return *this = *this * b; }
+  BigInt& operator%=(const BigInt& b) { return *this = *this % b; }
+
+  /// Quotient and remainder in one division. b must be nonzero.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Modular inverse of a mod m (m > 1). Throws std::domain_error when
+  /// gcd(a, m) != 1.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+  /// Uniform value with exactly `bits` bits (MSB set). bits >= 1.
+  static BigInt random_bits(Rng& rng, std::size_t bits);
+
+  /// Uniform value in [0, bound). bound > 0.
+  static BigInt random_below(Rng& rng, const BigInt& bound);
+
+  /// Raw limb access (little-endian), for the Montgomery engine.
+  const std::vector<std::uint32_t>& limbs() const { return w_; }
+  static BigInt from_limbs(std::vector<std::uint32_t> limbs);
+
+ private:
+  void trim();
+
+  std::vector<std::uint32_t> w_;
+};
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,63 @@
+// Type-erased block-cipher interface plus CBC mode with PKCS#7 padding.
+//
+// The protocol layer negotiates its bulk cipher at run time (Section 3.1's
+// flexibility requirement: an SSL peer must be ready to run 3DES, RC4, RC2,
+// DES or AES depending on the agreed suite), so it works against this
+// interface rather than the concrete cipher classes.
+#pragma once
+
+#include <memory>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/des.hpp"
+#include "mapsec/crypto/rc2.hpp"
+
+namespace mapsec::crypto {
+
+/// Abstract block cipher over fixed-size blocks.
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+  virtual std::size_t block_size() const = 0;
+  virtual void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const = 0;
+  virtual void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const = 0;
+};
+
+/// Wrap any concrete cipher (Des, Des3, Aes, Rc2) in the interface.
+template <typename C>
+class BlockCipherAdapter final : public BlockCipher {
+ public:
+  explicit BlockCipherAdapter(C cipher) : cipher_(std::move(cipher)) {}
+
+  std::size_t block_size() const override { return C::kBlockSize; }
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const override {
+    cipher_.encrypt_block(in, out);
+  }
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const override {
+    cipher_.decrypt_block(in, out);
+  }
+
+ private:
+  C cipher_;
+};
+
+/// Convenience factory: wrap a concrete cipher into a unique_ptr interface.
+template <typename C>
+std::unique_ptr<BlockCipher> make_block_cipher(C cipher) {
+  return std::make_unique<BlockCipherAdapter<C>>(std::move(cipher));
+}
+
+/// CBC-encrypt `plaintext` with PKCS#7 padding. `iv` must equal the block
+/// size. Output length is a whole number of blocks (always >= one block).
+Bytes cbc_encrypt(const BlockCipher& cipher, ConstBytes iv, ConstBytes plaintext);
+
+/// CBC-decrypt and strip PKCS#7 padding. Throws std::runtime_error on a
+/// malformed length or bad padding.
+Bytes cbc_decrypt(const BlockCipher& cipher, ConstBytes iv, ConstBytes ciphertext);
+
+/// Raw ECB helpers (whole blocks only); used by tests and key wrapping.
+Bytes ecb_encrypt(const BlockCipher& cipher, ConstBytes plaintext);
+Bytes ecb_decrypt(const BlockCipher& cipher, ConstBytes ciphertext);
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used by the WEP encapsulation
+// as its "integrity check value" — deliberately so: the paper's Section 2
+// cites the WEP analyses [21-23] whose break exploits exactly the linearity
+// of this checksum, and our attack::wep module demonstrates it.
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final XOR 0xFFFFFFFF — the
+/// IEEE/zlib convention used by 802.11 WEP).
+std::uint32_t crc32(ConstBytes data);
+
+/// Continue a running CRC: pass the previous return value as `crc`.
+std::uint32_t crc32_update(std::uint32_t crc, ConstBytes data);
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,40 @@
+// Finite-field Diffie-Hellman key agreement. Listed alongside RSA in the
+// paper's Section 4.1 crypto foundation ("public key operations (RSA/DH)").
+#pragma once
+
+#include "mapsec/crypto/bignum.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::crypto {
+
+/// A DH group (prime modulus p, generator g).
+struct DhGroup {
+  BigInt p;
+  BigInt g;
+
+  /// RFC 2409 Oakley Group 2 (1024-bit MODP), the group 2003-era IPsec/IKE
+  /// stacks actually deployed.
+  static DhGroup oakley_group2();
+
+  /// RFC 3526 group 14 (2048-bit MODP).
+  static DhGroup modp2048();
+
+  /// Small randomly generated safe-prime group for fast tests.
+  static DhGroup generate(Rng& rng, std::size_t bits);
+};
+
+struct DhKeyPair {
+  BigInt private_key;  // x
+  BigInt public_key;   // g^x mod p
+};
+
+/// Generate an ephemeral key pair in `group`.
+DhKeyPair dh_generate(const DhGroup& group, Rng& rng);
+
+/// Compute the shared secret g^{xy} from our private key and the peer's
+/// public value. Throws std::invalid_argument for degenerate peer values
+/// (0, 1, p-1) — the classic small-subgroup hygiene check.
+BigInt dh_shared_secret(const DhGroup& group, const BigInt& private_key,
+                        const BigInt& peer_public);
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,66 @@
+// HMAC (RFC 2104), templated over any mapsec hash with the
+// update()/finish() streaming interface (Sha1, Md5, Sha256).
+#pragma once
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/md5.hpp"
+#include "mapsec/crypto/sha1.hpp"
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::crypto {
+
+/// Incremental HMAC over hash `H`. Construct with the key, update() with
+/// message bytes, finish() for the tag.
+template <typename H>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = H::kDigestSize;
+  static constexpr std::size_t kBlockSize = H::kBlockSize;
+
+  explicit Hmac(ConstBytes key) {
+    Bytes k(key.begin(), key.end());
+    if (k.size() > kBlockSize) k = H::hash(k);
+    k.resize(kBlockSize, 0);
+    Bytes ipad(kBlockSize), opad(kBlockSize);
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+      opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+    opad_ = std::move(opad);
+    inner_.update(ipad);
+    secure_wipe(k);
+    secure_wipe(ipad);
+  }
+
+  void update(ConstBytes data) { inner_.update(data); }
+
+  Bytes finish() {
+    const Bytes inner_digest = inner_.finish();
+    H outer;
+    outer.update(opad_);
+    outer.update(inner_digest);
+    return outer.finish();
+  }
+
+  /// One-shot tag.
+  static Bytes mac(ConstBytes key, ConstBytes data) {
+    Hmac<H> h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+  /// Constant-time verification of `tag` against HMAC(key, data).
+  static bool verify(ConstBytes key, ConstBytes data, ConstBytes tag) {
+    return ct_equal(mac(key, data), tag);
+  }
+
+ private:
+  H inner_;
+  Bytes opad_;
+};
+
+using HmacSha1 = Hmac<Sha1>;
+using HmacMd5 = Hmac<Md5>;
+using HmacSha256 = Hmac<Sha256>;
+
+}  // namespace mapsec::crypto

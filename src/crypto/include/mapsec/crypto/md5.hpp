@@ -1,0 +1,37 @@
+// MD5 (RFC 1321). Retained because SSL 3.0 / TLS cipher suites and the
+// paper's flexibility analysis (Section 3.1) require MD5-based MACs for
+// interoperability with the widest range of peers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// Incremental MD5 with the same streaming interface as Sha1.
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Md5() { reset(); }
+
+  void reset();
+  void update(ConstBytes data);
+  Bytes finish();
+
+  /// One-shot digest of `data`.
+  static Bytes hash(ConstBytes data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> h_{};
+  std::array<std::uint8_t, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace mapsec::crypto

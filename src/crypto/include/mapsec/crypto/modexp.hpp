@@ -1,0 +1,90 @@
+// Modular exponentiation engines.
+//
+// Two faces of the same primitive, as Section 3.4 frames it: the "abstract
+// mathematical object" and the implementation with "very specific
+// characteristics". The Montgomery engine here exposes those
+// characteristics deliberately:
+//
+//  * `exp()` is the classic left-to-right square-and-multiply whose
+//    multiply is skipped for zero exponent bits, and whose Montgomery
+//    reduction performs a data-dependent final subtraction ("extra
+//    reduction"). `MontStats` counts both — this is the side channel the
+//    attack::timing module exploits (Kocher [47]).
+//  * `exp_ladder()` is the Montgomery-ladder countermeasure: one square and
+//    one multiply per bit regardless of the key.
+//  * RSA blinding (the other standard countermeasure) lives in rsa.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/crypto/bignum.hpp"
+
+namespace mapsec::crypto {
+
+/// Operation counts for one exponentiation; with a per-operation cycle
+/// model these become the simulated execution time of the primitive.
+struct MontStats {
+  std::uint64_t squares = 0;
+  std::uint64_t mults = 0;
+  std::uint64_t extra_reductions = 0;
+
+  MontStats& operator+=(const MontStats& o) {
+    squares += o.squares;
+    mults += o.mults;
+    extra_reductions += o.extra_reductions;
+    return *this;
+  }
+};
+
+/// One step of an exponentiation's operation sequence. Squares and
+/// multiplies have visibly different power profiles on real hardware, so
+/// this sequence is what a single SPA trace shows the adversary.
+enum class MontOp : std::uint8_t { kSquare, kMultiply };
+
+/// Optional per-operation log of an exponentiation (SPA leakage model).
+using MontOpSequence = std::vector<MontOp>;
+
+/// Montgomery multiplication context for a fixed odd modulus.
+class Montgomery {
+ public:
+  /// Modulus must be odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  const BigInt& modulus() const { return n_; }
+
+  BigInt to_mont(const BigInt& x) const;
+  BigInt from_mont(const BigInt& x) const;
+
+  /// Montgomery product of two values already in Montgomery form.
+  /// If `stats` is provided, `mults` and (when the final conditional
+  /// subtraction fires) `extra_reductions` are incremented.
+  BigInt mul(const BigInt& a, const BigInt& b, MontStats* stats = nullptr) const;
+
+  /// base^e mod n, left-to-right square-and-multiply. Key-dependent
+  /// operation sequence — fast but leaky. `seq`, when provided, records
+  /// the executed operation sequence (the SPA observable).
+  BigInt exp(const BigInt& base, const BigInt& e, MontStats* stats = nullptr,
+             MontOpSequence* seq = nullptr) const;
+
+  /// base^e mod n via the Montgomery ladder: fixed operation sequence per
+  /// bit (square+multiply always), the timing/SPA countermeasure.
+  BigInt exp_ladder(const BigInt& base, const BigInt& e,
+                    MontStats* stats = nullptr,
+                    MontOpSequence* seq = nullptr) const;
+
+ private:
+  BigInt n_;
+  std::size_t k_;        // limb count of n
+  std::uint32_t n0inv_;  // -n^{-1} mod 2^32
+  BigInt rr_;            // R^2 mod n, R = 2^(32k)
+  BigInt one_mont_;      // R mod n
+};
+
+/// General modular exponentiation: Montgomery for odd moduli, plain
+/// square-and-multiply with division-based reduction otherwise.
+BigInt mod_exp(const BigInt& base, const BigInt& e, const BigInt& mod);
+
+/// Constant-operation-sequence variant (Montgomery ladder when possible).
+BigInt mod_exp_ct(const BigInt& base, const BigInt& e, const BigInt& mod);
+
+}  // namespace mapsec::crypto

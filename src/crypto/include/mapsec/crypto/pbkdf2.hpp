@@ -1,0 +1,31 @@
+// PBKDF2 (RFC 2898 / PKCS #5 v2.0).
+//
+// The bridge between Section 2's "user identification" and "secure
+// storage" concerns: a human PIN or passphrase must be stretched into a
+// key before it can seal anything, with an iteration count tuned to the
+// handset's MIPS budget (another place the Section 3.2 processing gap
+// bites — the same count that slows an attacker slows the device).
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// PBKDF2-HMAC-SHA1. `iterations` >= 1; `dk_len` any length.
+Bytes pbkdf2_hmac_sha1(ConstBytes password, ConstBytes salt,
+                       std::uint32_t iterations, std::size_t dk_len);
+
+/// PBKDF2-HMAC-SHA256 (for the secure-platform layer).
+Bytes pbkdf2_hmac_sha256(ConstBytes password, ConstBytes salt,
+                         std::uint32_t iterations, std::size_t dk_len);
+
+/// Iteration count that takes roughly `budget_ms` on a processor rated
+/// `mips` (from the measured per-iteration cost of ~2 SHA-1 compressions
+/// ≈ `instr_per_iteration` instructions). The tuning knob a handset
+/// vendor actually turns.
+std::uint32_t pbkdf2_iterations_for_budget(double mips, double budget_ms,
+                                           double instr_per_iteration = 3000);
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,23 @@
+// Probabilistic prime generation and testing (Miller-Rabin) for RSA and DH
+// parameter generation.
+#pragma once
+
+#include "mapsec/crypto/bignum.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::crypto {
+
+/// Miller-Rabin primality test with `rounds` random bases. Error
+/// probability <= 4^-rounds for odd composites.
+bool is_probably_prime(const BigInt& n, Rng& rng, int rounds = 24);
+
+/// Generate a random prime of exactly `bits` bits (top two bits set, so
+/// products of two such primes have the full 2*bits length).
+BigInt generate_prime(Rng& rng, std::size_t bits);
+
+/// Generate a "safe prime" p = 2q + 1 with q prime. Used for DH group
+/// generation. Noticeably slower than generate_prime; intended for small
+/// test groups — production code uses the fixed RFC groups in dh.hpp.
+BigInt generate_safe_prime(Rng& rng, std::size_t bits);
+
+}  // namespace mapsec::crypto

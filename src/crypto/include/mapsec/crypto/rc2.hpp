@@ -1,0 +1,29 @@
+// RC2 block cipher (RFC 2268). Listed in the paper's Section 3.1 among the
+// symmetric ciphers an RSA-key-exchange SSL suite must support ("3-DES,
+// RC4, RC2 or DES"), so the flexibility requirement pulls it in.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// RC2 over 8-byte blocks. `effective_bits` implements the RFC 2268 key
+/// reduction used by export-grade SSL suites (default: 8 * key length,
+/// i.e. no reduction).
+class Rc2 {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+
+  explicit Rc2(ConstBytes key, int effective_bits = 0);
+
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+ private:
+  std::array<std::uint16_t, 64> k_{};  // expanded key, 16-bit words
+};
+
+}  // namespace mapsec::crypto

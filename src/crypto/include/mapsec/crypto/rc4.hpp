@@ -1,0 +1,39 @@
+// RC4 stream cipher. One of the SSL 3.0 bulk ciphers the paper's
+// flexibility analysis (Section 3.1) requires, and the cipher inside the
+// 802.11 WEP encapsulation whose key-scheduling weakness attack::wep
+// exploits (FMS weak-IV attack).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// RC4 keystream generator. Construct with a 1..256-byte key; each call to
+/// `next_byte()` / `keystream()` advances the PRGA. Encryption and
+/// decryption are the same operation (XOR with the keystream).
+class Rc4 {
+ public:
+  explicit Rc4(ConstBytes key);
+
+  /// Next keystream byte.
+  std::uint8_t next_byte();
+
+  /// Produce `n` keystream bytes.
+  Bytes keystream(std::size_t n);
+
+  /// XOR `data` with the keystream (in place semantics on a copy).
+  Bytes process(ConstBytes data);
+
+  /// Drop `n` keystream bytes (RC4-drop[n] hardening).
+  void skip(std::size_t n);
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+}  // namespace mapsec::crypto

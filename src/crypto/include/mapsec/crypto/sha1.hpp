@@ -1,0 +1,44 @@
+// SHA-1 (FIPS 180-1). The message-authentication hash named throughout the
+// paper's workload analysis ("3DES for encryption and SHA for message
+// authentication", Section 3.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::crypto {
+
+/// Incremental SHA-1. Streaming interface: update() any number of times,
+/// then finish() once. `hash()` is the one-shot convenience.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+
+  /// Re-initialise to the empty-message state.
+  void reset();
+
+  /// Absorb more message bytes.
+  void update(ConstBytes data);
+
+  /// Finalise and return the 20-byte digest. The object must be reset()
+  /// before reuse.
+  Bytes finish();
+
+  /// One-shot digest of `data`.
+  static Bytes hash(ConstBytes data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,123 @@
+#include "mapsec/crypto/a51.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::crypto {
+
+namespace {
+
+// Register geometry per the published reference implementation
+// (Briceno/Goldberg/Wagner "pedagogical" A5/1).
+constexpr std::uint32_t kR1Mask = 0x07FFFF;  // 19 bits
+constexpr std::uint32_t kR2Mask = 0x3FFFFF;  // 22 bits
+constexpr std::uint32_t kR3Mask = 0x7FFFFF;  // 23 bits
+constexpr std::uint32_t kR1Taps = 0x072000;  // bits 18,17,16,13
+constexpr std::uint32_t kR2Taps = 0x300000;  // bits 21,20
+constexpr std::uint32_t kR3Taps = 0x700080;  // bits 22,21,20,7
+constexpr std::uint32_t kR1Clock = 1u << 8;
+constexpr std::uint32_t kR2Clock = 1u << 10;
+constexpr std::uint32_t kR3Clock = 1u << 10;
+
+int parity32(std::uint32_t x) {
+  x ^= x >> 16;
+  x ^= x >> 8;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return static_cast<int>(x & 1);
+}
+
+std::uint32_t clock_one(std::uint32_t reg, std::uint32_t mask,
+                        std::uint32_t taps) {
+  const int feedback = parity32(reg & taps);
+  return ((reg << 1) & mask) | static_cast<std::uint32_t>(feedback);
+}
+
+}  // namespace
+
+void A51::clock_all() {
+  r1_ = clock_one(r1_, kR1Mask, kR1Taps);
+  r2_ = clock_one(r2_, kR2Mask, kR2Taps);
+  r3_ = clock_one(r3_, kR3Mask, kR3Taps);
+}
+
+void A51::clock_majority() {
+  const int b1 = (r1_ & kR1Clock) ? 1 : 0;
+  const int b2 = (r2_ & kR2Clock) ? 1 : 0;
+  const int b3 = (r3_ & kR3Clock) ? 1 : 0;
+  const int maj = (b1 + b2 + b3) >= 2 ? 1 : 0;
+  if (b1 == maj) r1_ = clock_one(r1_, kR1Mask, kR1Taps);
+  if (b2 == maj) r2_ = clock_one(r2_, kR2Mask, kR2Taps);
+  if (b3 == maj) r3_ = clock_one(r3_, kR3Mask, kR3Taps);
+}
+
+int A51::output_bit() const {
+  return static_cast<int>(((r1_ >> 18) ^ (r2_ >> 21) ^ (r3_ >> 22)) & 1);
+}
+
+A51::A51(ConstBytes key8, std::uint32_t frame) {
+  if (key8.size() != 8)
+    throw std::invalid_argument("A5/1 key must be 8 bytes");
+  if (frame >= (1u << 22))
+    throw std::invalid_argument("A5/1 frame number is 22 bits");
+
+  // Key setup: 64 key bits (LSB-first within each byte), then 22 frame
+  // bits, each XORed into the LSB of all registers after a plain clock.
+  for (int i = 0; i < 64; ++i) {
+    clock_all();
+    const std::uint32_t bit = (key8[static_cast<std::size_t>(i / 8)] >>
+                               (i & 7)) & 1u;
+    r1_ ^= bit;
+    r2_ ^= bit;
+    r3_ ^= bit;
+  }
+  for (int i = 0; i < 22; ++i) {
+    clock_all();
+    const std::uint32_t bit = (frame >> i) & 1u;
+    r1_ ^= bit;
+    r2_ ^= bit;
+    r3_ ^= bit;
+  }
+  // 100 warm-up clocks with the majority rule, output discarded.
+  for (int i = 0; i < 100; ++i) clock_majority();
+}
+
+int A51::next_bit() {
+  clock_majority();
+  return output_bit();
+}
+
+Bytes A51::keystream(std::size_t n) {
+  Bytes out(n, 0);
+  for (std::size_t i = 0; i < 8 * n; ++i)
+    out[i / 8] = static_cast<std::uint8_t>(
+        out[i / 8] | (next_bit() << (7 - (i % 8))));
+  return out;
+}
+
+A51::FrameKeystream A51::frame_keystream(ConstBytes key8,
+                                         std::uint32_t frame) {
+  A51 gen(key8, frame);
+  FrameKeystream out;
+  out.downlink.assign(15, 0);
+  out.uplink.assign(15, 0);
+  for (int i = 0; i < 114; ++i)
+    out.downlink[static_cast<std::size_t>(i / 8)] =
+        static_cast<std::uint8_t>(out.downlink[static_cast<std::size_t>(i / 8)] |
+                                  (gen.next_bit() << (7 - (i % 8))));
+  for (int i = 0; i < 114; ++i)
+    out.uplink[static_cast<std::size_t>(i / 8)] =
+        static_cast<std::uint8_t>(out.uplink[static_cast<std::size_t>(i / 8)] |
+                                  (gen.next_bit() << (7 - (i % 8))));
+  return out;
+}
+
+Bytes a51_crypt(ConstBytes key8, std::uint32_t frame, ConstBytes data) {
+  A51 gen(key8, frame);
+  const Bytes ks = gen.keystream(data.size());
+  Bytes out(data.begin(), data.end());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= ks[i];
+  return out;
+}
+
+}  // namespace mapsec::crypto

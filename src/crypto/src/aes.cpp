@@ -1,0 +1,200 @@
+#include "mapsec/crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mapsec::crypto {
+
+namespace aes_detail {
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1B : 0x00));
+}
+
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t acc = 0;
+  while (b) {
+    if (b & 1) acc ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return acc;
+}
+
+namespace {
+
+// The S-box is derived at startup from its definition (multiplicative
+// inverse in GF(2^8) followed by the affine transform) rather than typed in
+// as a 256-entry literal, eliminating transcription errors.
+struct SboxTables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+
+  SboxTables() {
+    for (int x = 0; x < 256; ++x) {
+      std::uint8_t invx = 0;
+      if (x != 0) {
+        for (int c = 1; c < 256; ++c) {
+          if (gmul(static_cast<std::uint8_t>(x),
+                   static_cast<std::uint8_t>(c)) == 1) {
+            invx = static_cast<std::uint8_t>(c);
+            break;
+          }
+        }
+      }
+      std::uint8_t b = invx;
+      const auto rotl8 = [](std::uint8_t v, int n) {
+        return static_cast<std::uint8_t>((v << n) | (v >> (8 - n)));
+      };
+      const std::uint8_t s = static_cast<std::uint8_t>(
+          b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63);
+      fwd[static_cast<std::size_t>(x)] = s;
+      inv[s] = static_cast<std::uint8_t>(x);
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t sbox(std::uint8_t x) { return tables().fwd[x]; }
+std::uint8_t inv_sbox(std::uint8_t x) { return tables().inv[x]; }
+
+}  // namespace aes_detail
+
+namespace {
+
+using aes_detail::gmul;
+using aes_detail::inv_sbox;
+using aes_detail::sbox;
+using aes_detail::xtime;
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return (std::uint32_t{sbox(static_cast<std::uint8_t>(w >> 24))} << 24) |
+         (std::uint32_t{sbox(static_cast<std::uint8_t>(w >> 16))} << 16) |
+         (std::uint32_t{sbox(static_cast<std::uint8_t>(w >> 8))} << 8) |
+         std::uint32_t{sbox(static_cast<std::uint8_t>(w))};
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+// State is a flat 16-byte array: s[4*col + row] (FIPS 197 column order,
+// identical to the block byte order).
+void add_round_key(std::uint8_t* s, const std::uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t w = rk[c];
+    s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+    s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+    s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+    s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+  }
+}
+
+void sub_bytes(std::uint8_t* s) {
+  for (int i = 0; i < 16; ++i) s[i] = sbox(s[i]);
+}
+
+void inv_sub_bytes(std::uint8_t* s) {
+  for (int i = 0; i < 16; ++i) s[i] = inv_sbox(s[i]);
+}
+
+void shift_rows(std::uint8_t* s) {
+  std::uint8_t t[16];
+  std::memcpy(t, s, 16);
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+}
+
+void inv_shift_rows(std::uint8_t* s) {
+  std::uint8_t t[16];
+  std::memcpy(t, s, 16);
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) s[4 * ((c + r) % 4) + r] = t[4 * c + r];
+}
+
+void mix_columns(std::uint8_t* s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(std::uint8_t* s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                       gmul(a2, 13) ^ gmul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                       gmul(a2, 11) ^ gmul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                       gmul(a2, 14) ^ gmul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                       gmul(a2, 9) ^ gmul(a3, 14));
+  }
+}
+
+}  // namespace
+
+Aes::Aes(ConstBytes key) {
+  const std::size_t nk = key.size() / 4;
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    throw std::invalid_argument("AES key must be 16, 24 or 32 bytes");
+  rounds_ = static_cast<int>(nk) + 6;
+  const std::size_t total_words = 4 * (static_cast<std::size_t>(rounds_) + 1);
+  rk_.resize(total_words);
+  for (std::size_t i = 0; i < nk; ++i) rk_[i] = load_be32(key.data() + 4 * i);
+  std::uint8_t rcon = 1;
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint32_t temp = rk_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ (std::uint32_t{rcon} << 24);
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    rk_[i] = rk_[i - nk] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, rk_.data());
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, rk_.data() + 4 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, rk_.data() + 4 * rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, rk_.data() + 4 * rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, rk_.data() + 4 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, rk_.data());
+  std::memcpy(out, s, 16);
+}
+
+}  // namespace mapsec::crypto

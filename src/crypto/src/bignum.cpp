@@ -1,0 +1,388 @@
+#include "mapsec/crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mapsec::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+void BigInt::trim() {
+  while (!w_.empty() && w_.back() == 0) w_.pop_back();
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v) w_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) w_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+BigInt BigInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigInt r;
+  r.w_ = std::move(limbs);
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::from_bytes_be(ConstBytes bytes) {
+  BigInt r;
+  r.w_.reserve(bytes.size() / 4 + 1);
+  std::uint32_t limb = 0;
+  int shift = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    limb |= std::uint32_t{bytes[i]} << shift;
+    shift += 8;
+    if (shift == 32) {
+      r.w_.push_back(limb);
+      limb = 0;
+      shift = 0;
+    }
+  }
+  if (shift) r.w_.push_back(limb);
+  r.trim();
+  return r;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  Bytes out;
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    const std::uint32_t limb = w_[i];
+    out.push_back(static_cast<std::uint8_t>(limb));
+    out.push_back(static_cast<std::uint8_t>(limb >> 8));
+    out.push_back(static_cast<std::uint8_t>(limb >> 16));
+    out.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  while (out.size() < min_len) out.push_back(0);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded;
+  for (char c : hex)
+    if (!std::isspace(static_cast<unsigned char>(c))) padded.push_back(c);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes_be(mapsec::crypto::from_hex(padded));
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = mapsec::crypto::to_hex(to_bytes_be());
+  // Strip the leading zero nibble if present.
+  if (s.size() > 1 && s[0] == '0') s.erase(0, 1);
+  return s;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  std::string out;
+  BigInt v = *this;
+  const BigInt ten(10);
+  while (!v.is_zero()) {
+    BigInt q, r;
+    divmod(v, ten, q, r);
+    out.push_back(static_cast<char>('0' + r.to_u64()));
+    v = std::move(q);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (w_.empty()) return 0;
+  return 32 * (w_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(w_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= w_.size()) return false;
+  return (w_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  std::uint64_t v = 0;
+  if (!w_.empty()) v = w_[0];
+  if (w_.size() > 1) v |= std::uint64_t{w_[1]} << 32;
+  return v;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.w_.size() != b.w_.size()) return a.w_.size() <=> b.w_.size();
+  for (std::size_t i = a.w_.size(); i-- > 0;)
+    if (a.w_[i] != b.w_[i]) return a.w_[i] <=> b.w_[i];
+  return std::strong_ordering::equal;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt r;
+  const std::size_t n = std::max(a.w_.size(), b.w_.size());
+  r.w_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.w_.size()) sum += a.w_[i];
+    if (i < b.w_.size()) sum += b.w_[i];
+    r.w_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  r.w_[n] = static_cast<std::uint32_t>(carry);
+  r.trim();
+  return r;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (a < b) throw std::underflow_error("BigInt: negative subtraction");
+  BigInt r;
+  r.w_.resize(a.w_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.w_[i]) - borrow;
+    if (i < b.w_.size()) diff -= b.w_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.w_[i] = static_cast<std::uint32_t>(diff);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  BigInt r;
+  r.w_.assign(a.w_.size() + b.w_.size(), 0);
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.w_[i];
+    for (std::size_t j = 0; j < b.w_.size(); ++j) {
+      const std::uint64_t cur =
+          ai * b.w_[j] + r.w_[i + j] + carry;
+      r.w_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    r.w_[i + b.w_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt operator<<(const BigInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) {
+    BigInt copy = a;
+    return copy;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  BigInt r;
+  r.w_.assign(a.w_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    r.w_[i + limb_shift] |= a.w_[i] << bit_shift;
+    if (bit_shift)
+      r.w_[i + limb_shift + 1] |= a.w_[i] >> (32 - bit_shift);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt operator>>(const BigInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  if (limb_shift >= a.w_.size()) return BigInt{};
+  BigInt r;
+  r.w_.assign(a.w_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.w_.size(); ++i) {
+    r.w_[i] = a.w_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < a.w_.size())
+      r.w_[i] |= a.w_[i + limb_shift + 1] << (32 - bit_shift);
+  }
+  r.trim();
+  return r;
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+  if (b.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (a < b) {
+    q = BigInt{};
+    r = a;
+    return;
+  }
+  if (b.w_.size() == 1) {
+    // Short division.
+    const std::uint64_t d = b.w_[0];
+    BigInt quot;
+    quot.w_.resize(a.w_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.w_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a.w_[i];
+      quot.w_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quot.trim();
+    q = std::move(quot);
+    r = BigInt(rem);
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its MSB set.
+  const unsigned shift =
+      static_cast<unsigned>(std::countl_zero(b.w_.back()));
+  const BigInt u = a << shift;
+  const BigInt v = b << shift;
+  const std::size_t n = v.w_.size();
+  const std::size_t m = u.w_.size() - n;
+
+  std::vector<std::uint32_t> un(u.w_.begin(), u.w_.end());
+  un.resize(u.w_.size() + 1, 0);  // extra high limb for the algorithm
+  const std::vector<std::uint32_t>& vn = v.w_;
+
+  BigInt quot;
+  quot.w_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Trial quotient from the top two limbs.
+    const std::uint64_t num =
+        (std::uint64_t{un[j + n]} << 32) | un[j + n - 1];
+    std::uint64_t qhat = num / vn[n - 1];
+    std::uint64_t rhat = num % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xFFFFFFFFu) -
+                             borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            std::uint64_t{un[i + j]} + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    quot.w_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  quot.trim();
+  q = std::move(quot);
+
+  BigInt rem;
+  rem.w_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  rem.trim();
+  r = rem >> shift;
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  return q;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  return r;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid, tracking coefficients for `a` only. Coefficients can
+  // go "negative", handled with an explicit sign flag.
+  if (m <= BigInt(1)) throw std::domain_error("mod_inverse: modulus must be > 1");
+  BigInt r0 = m, r1 = a % m;
+  BigInt t0, t1 = 1;
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    BigInt q, r2;
+    divmod(r0, r1, q, r2);
+    // t2 = t0 - q * t1 (signed).
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may change sign.
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (r0 != BigInt(1)) throw std::domain_error("mod_inverse: not invertible");
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigInt BigInt::random_bits(Rng& rng, std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("random_bits: bits must be >= 1");
+  const std::size_t nbytes = (bits + 7) / 8;
+  Bytes b = rng.bytes(nbytes);
+  // Clear excess high bits, then force the top bit so the bit length is
+  // exactly `bits`.
+  const unsigned top_bits = static_cast<unsigned>(bits % 8 == 0 ? 8 : bits % 8);
+  b[0] &= static_cast<std::uint8_t>(0xFF >> (8 - top_bits));
+  b[0] |= static_cast<std::uint8_t>(1u << (top_bits - 1));
+  return from_bytes_be(b);
+}
+
+BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {
+  if (bound.is_zero())
+    throw std::invalid_argument("random_below: bound must be > 0");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const unsigned top_bits = static_cast<unsigned>(bits % 8 == 0 ? 8 : bits % 8);
+  // Rejection sampling: mask to the bound's bit length, retry if >= bound.
+  for (;;) {
+    Bytes b = rng.bytes(nbytes);
+    b[0] &= static_cast<std::uint8_t>(0xFF >> (8 - top_bits));
+    BigInt candidate = from_bytes_be(b);
+    if (candidate < bound) return candidate;
+  }
+}
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,71 @@
+#include "mapsec/crypto/cipher.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::crypto {
+
+Bytes cbc_encrypt(const BlockCipher& cipher, ConstBytes iv,
+                  ConstBytes plaintext) {
+  const std::size_t bs = cipher.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cbc_encrypt: bad IV size");
+
+  const std::size_t pad = bs - (plaintext.size() % bs);
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(padded.size());
+  Bytes chain(iv.begin(), iv.end());
+  for (std::size_t off = 0; off < padded.size(); off += bs) {
+    for (std::size_t i = 0; i < bs; ++i) padded[off + i] ^= chain[i];
+    cipher.encrypt_block(padded.data() + off, out.data() + off);
+    chain.assign(out.begin() + static_cast<std::ptrdiff_t>(off),
+                 out.begin() + static_cast<std::ptrdiff_t>(off + bs));
+  }
+  return out;
+}
+
+Bytes cbc_decrypt(const BlockCipher& cipher, ConstBytes iv,
+                  ConstBytes ciphertext) {
+  const std::size_t bs = cipher.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cbc_decrypt: bad IV size");
+  if (ciphertext.empty() || ciphertext.size() % bs != 0)
+    throw std::runtime_error("cbc_decrypt: ciphertext not a block multiple");
+
+  Bytes out(ciphertext.size());
+  Bytes chain(iv.begin(), iv.end());
+  for (std::size_t off = 0; off < ciphertext.size(); off += bs) {
+    cipher.decrypt_block(ciphertext.data() + off, out.data() + off);
+    for (std::size_t i = 0; i < bs; ++i) out[off + i] ^= chain[i];
+    chain.assign(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
+                 ciphertext.begin() + static_cast<std::ptrdiff_t>(off + bs));
+  }
+
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > bs) throw std::runtime_error("cbc_decrypt: bad padding");
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i)
+    if (out[i] != pad) throw std::runtime_error("cbc_decrypt: bad padding");
+  out.resize(out.size() - pad);
+  return out;
+}
+
+Bytes ecb_encrypt(const BlockCipher& cipher, ConstBytes plaintext) {
+  const std::size_t bs = cipher.block_size();
+  if (plaintext.size() % bs != 0)
+    throw std::invalid_argument("ecb_encrypt: not a block multiple");
+  Bytes out(plaintext.size());
+  for (std::size_t off = 0; off < plaintext.size(); off += bs)
+    cipher.encrypt_block(plaintext.data() + off, out.data() + off);
+  return out;
+}
+
+Bytes ecb_decrypt(const BlockCipher& cipher, ConstBytes ciphertext) {
+  const std::size_t bs = cipher.block_size();
+  if (ciphertext.size() % bs != 0)
+    throw std::invalid_argument("ecb_decrypt: not a block multiple");
+  Bytes out(ciphertext.size());
+  for (std::size_t off = 0; off < ciphertext.size(); off += bs)
+    cipher.decrypt_block(ciphertext.data() + off, out.data() + off);
+  return out;
+}
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,32 @@
+#include "mapsec/crypto/crc32.hpp"
+
+#include <array>
+
+namespace mapsec::crypto {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, ConstBytes data) {
+  crc = ~crc;
+  for (std::uint8_t b : data) crc = kTable[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+std::uint32_t crc32(ConstBytes data) { return crc32_update(0, data); }
+
+}  // namespace mapsec::crypto

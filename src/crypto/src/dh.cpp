@@ -1,0 +1,60 @@
+#include "mapsec/crypto/dh.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/modexp.hpp"
+#include "mapsec/crypto/prime.hpp"
+
+namespace mapsec::crypto {
+
+DhGroup DhGroup::oakley_group2() {
+  // RFC 2409 section 6.2: 1024-bit MODP prime, generator 2.
+  return {BigInt::from_hex(
+              "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+              "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+              "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+              "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+              "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381"
+              "FFFFFFFFFFFFFFFF"),
+          BigInt(2)};
+}
+
+DhGroup DhGroup::modp2048() {
+  // RFC 3526 group 14: 2048-bit MODP prime, generator 2.
+  return {BigInt::from_hex(
+              "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+              "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+              "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+              "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+              "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+              "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+              "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+              "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+              "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+              "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+              "15728E5A8AACAA68FFFFFFFFFFFFFFFF"),
+          BigInt(2)};
+}
+
+DhGroup DhGroup::generate(Rng& rng, std::size_t bits) {
+  const BigInt p = generate_safe_prime(rng, bits);
+  // For a safe prime, g = 4 = 2^2 generates the order-q subgroup.
+  return {p, BigInt(4)};
+}
+
+DhKeyPair dh_generate(const DhGroup& group, Rng& rng) {
+  // Private exponent in [2, p-2].
+  const BigInt x =
+      BigInt(2) + BigInt::random_below(rng, group.p - BigInt(3));
+  return {x, mod_exp_ct(group.g, x, group.p)};
+}
+
+BigInt dh_shared_secret(const DhGroup& group, const BigInt& private_key,
+                        const BigInt& peer_public) {
+  const BigInt p_minus_1 = group.p - BigInt(1);
+  if (peer_public <= BigInt(1) || peer_public >= p_minus_1)
+    throw std::invalid_argument("dh_shared_secret: degenerate peer value");
+  return mod_exp_ct(peer_public, private_key, group.p);
+}
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,160 @@
+#include "mapsec/crypto/modexp.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::crypto {
+
+Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
+  if (n_.is_even() || n_ <= BigInt(1))
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
+  k_ = n_.limbs().size();
+
+  // n0inv = -n^{-1} mod 2^32 by Newton iteration (5 steps suffice for 32
+  // bits: each step doubles the number of correct low bits).
+  const std::uint32_t n0 = n_.limbs()[0];
+  std::uint32_t x = n0;  // correct to 5 bits already (odd n0)
+  for (int i = 0; i < 5; ++i) x *= 2u - n0 * x;
+  n0inv_ = ~x + 1u;  // = -n0^{-1} mod 2^32
+
+  // R^2 mod n with R = 2^(32k): compute by shifting.
+  BigInt r = (BigInt(1) << (32 * k_)) % n_;
+  rr_ = (r * r) % n_;
+  one_mont_ = r;
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b,
+                       MontStats* stats) const {
+  // CIOS Montgomery multiplication over 32-bit limbs.
+  const auto& aw = a.limbs();
+  const auto& bw = b.limbs();
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t ai = i < aw.size() ? aw[i] : 0;
+
+    // t += ai * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t bj = j < bw.size() ? bw[j] : 0;
+      const std::uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = std::uint64_t{t[k_]} + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // m = t[0] * n0inv mod 2^32; t += m * n; t >>= 32
+    const std::uint32_t m = t[0] * n0inv_;
+    const auto& nw = n_.limbs();
+    carry = 0;
+    {
+      const std::uint64_t c0 =
+          std::uint64_t{t[0]} + std::uint64_t{m} * nw[0];
+      carry = c0 >> 32;
+    }
+    for (std::size_t j = 1; j < k_; ++j) {
+      const std::uint64_t c =
+          std::uint64_t{t[j]} + std::uint64_t{m} * nw[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(c);
+      carry = c >> 32;
+    }
+    cur = std::uint64_t{t[k_]} + carry;
+    t[k_ - 1] = static_cast<std::uint32_t>(cur);
+    cur = std::uint64_t{t[k_ + 1]} + (cur >> 32);
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = 0;
+  }
+
+  BigInt result = BigInt::from_limbs(
+      std::vector<std::uint32_t>(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_ + 1)));
+  if (stats) ++stats->mults;
+  if (result >= n_) {
+    result = result - n_;
+    if (stats) ++stats->extra_reductions;
+  }
+  return result;
+}
+
+BigInt Montgomery::to_mont(const BigInt& x) const { return mul(x % n_, rr_); }
+
+BigInt Montgomery::from_mont(const BigInt& x) const { return mul(x, BigInt(1)); }
+
+BigInt Montgomery::exp(const BigInt& base, const BigInt& e, MontStats* stats,
+                       MontOpSequence* seq) const {
+  if (e.is_zero()) return BigInt(1) % n_;
+  const BigInt bm = to_mont(base);
+  BigInt acc = bm;
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    acc = mul(acc, acc, stats);
+    if (stats) {
+      ++stats->squares;
+      --stats->mults;  // the square was counted as a mult; reclassify
+    }
+    if (seq) seq->push_back(MontOp::kSquare);
+    if (e.bit(i)) {
+      acc = mul(acc, bm, stats);
+      if (seq) seq->push_back(MontOp::kMultiply);
+    }
+  }
+  return from_mont(acc);
+}
+
+BigInt Montgomery::exp_ladder(const BigInt& base, const BigInt& e,
+                              MontStats* stats, MontOpSequence* seq) const {
+  if (e.is_zero()) return BigInt(1) % n_;
+  const BigInt bm = to_mont(base);
+  // Montgomery ladder: invariant r1 = r0 * base (in the exponent sense);
+  // every step does exactly one multiply and one square, in that order,
+  // regardless of the key bit — the SPA-visible sequence is constant.
+  BigInt r0 = one_mont_;
+  BigInt r1 = bm;
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    if (e.bit(i)) {
+      r0 = mul(r0, r1, stats);
+      r1 = mul(r1, r1, stats);
+    } else {
+      r1 = mul(r0, r1, stats);
+      r0 = mul(r0, r0, stats);
+    }
+    if (stats) {
+      ++stats->squares;
+      --stats->mults;
+    }
+    if (seq) {
+      seq->push_back(MontOp::kMultiply);
+      seq->push_back(MontOp::kSquare);
+    }
+  }
+  return from_mont(r0);
+}
+
+namespace {
+
+BigInt mod_exp_generic(const BigInt& base, const BigInt& e,
+                       const BigInt& mod) {
+  if (mod.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (mod == BigInt(1)) return BigInt{};
+  BigInt acc = 1;
+  BigInt b = base % mod;
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    acc = (acc * acc) % mod;
+    if (e.bit(i)) acc = (acc * b) % mod;
+  }
+  return acc;
+}
+
+}  // namespace
+
+BigInt mod_exp(const BigInt& base, const BigInt& e, const BigInt& mod) {
+  if (mod.is_odd() && mod > BigInt(1)) return Montgomery(mod).exp(base, e);
+  return mod_exp_generic(base, e, mod);
+}
+
+BigInt mod_exp_ct(const BigInt& base, const BigInt& e, const BigInt& mod) {
+  if (mod.is_odd() && mod > BigInt(1)) return Montgomery(mod).exp_ladder(base, e);
+  return mod_exp_generic(base, e, mod);
+}
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,63 @@
+#include "mapsec/crypto/pbkdf2.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::crypto {
+
+namespace {
+
+template <typename H>
+Bytes pbkdf2(ConstBytes password, ConstBytes salt, std::uint32_t iterations,
+             std::size_t dk_len) {
+  if (iterations == 0)
+    throw std::invalid_argument("pbkdf2: iterations must be >= 1");
+  Bytes out;
+  out.reserve(dk_len + H::kDigestSize);
+  std::uint32_t block_index = 1;
+  while (out.size() < dk_len) {
+    // U1 = PRF(P, S || INT(i))
+    Hmac<H> prf(password);
+    prf.update(salt);
+    std::uint8_t idx[4];
+    store_be32(idx, block_index);
+    prf.update(ConstBytes{idx, 4});
+    Bytes u = prf.finish();
+    Bytes t = u;
+    for (std::uint32_t c = 1; c < iterations; ++c) {
+      u = Hmac<H>::mac(password, u);
+      for (std::size_t i = 0; i < t.size(); ++i) t[i] ^= u[i];
+    }
+    out.insert(out.end(), t.begin(), t.end());
+    ++block_index;
+  }
+  out.resize(dk_len);
+  return out;
+}
+
+}  // namespace
+
+Bytes pbkdf2_hmac_sha1(ConstBytes password, ConstBytes salt,
+                       std::uint32_t iterations, std::size_t dk_len) {
+  return pbkdf2<Sha1>(password, salt, iterations, dk_len);
+}
+
+Bytes pbkdf2_hmac_sha256(ConstBytes password, ConstBytes salt,
+                         std::uint32_t iterations, std::size_t dk_len) {
+  return pbkdf2<Sha256>(password, salt, iterations, dk_len);
+}
+
+std::uint32_t pbkdf2_iterations_for_budget(double mips, double budget_ms,
+                                           double instr_per_iteration) {
+  if (mips <= 0 || budget_ms <= 0 || instr_per_iteration <= 0)
+    throw std::invalid_argument("pbkdf2_iterations_for_budget: bad inputs");
+  const double iterations =
+      mips * 1e6 * (budget_ms / 1e3) / instr_per_iteration;
+  return iterations < 1.0 ? 1u
+                          : static_cast<std::uint32_t>(
+                                std::min(iterations, 4.0e9));
+}
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,139 @@
+#include "mapsec/crypto/rc2.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::crypto {
+
+namespace {
+
+// RFC 2268 PITABLE (a fixed permutation of 0..255 derived from pi).
+constexpr std::uint8_t kPi[256] = {
+    0xd9, 0x78, 0xf9, 0xc4, 0x19, 0xdd, 0xb5, 0xed, 0x28, 0xe9, 0xfd, 0x79,
+    0x4a, 0xa0, 0xd8, 0x9d, 0xc6, 0x7e, 0x37, 0x83, 0x2b, 0x76, 0x53, 0x8e,
+    0x62, 0x4c, 0x64, 0x88, 0x44, 0x8b, 0xfb, 0xa2, 0x17, 0x9a, 0x59, 0xf5,
+    0x87, 0xb3, 0x4f, 0x13, 0x61, 0x45, 0x6d, 0x8d, 0x09, 0x81, 0x7d, 0x32,
+    0xbd, 0x8f, 0x40, 0xeb, 0x86, 0xb7, 0x7b, 0x0b, 0xf0, 0x95, 0x21, 0x22,
+    0x5c, 0x6b, 0x4e, 0x82, 0x54, 0xd6, 0x65, 0x93, 0xce, 0x60, 0xb2, 0x1c,
+    0x73, 0x56, 0xc0, 0x14, 0xa7, 0x8c, 0xf1, 0xdc, 0x12, 0x75, 0xca, 0x1f,
+    0x3b, 0xbe, 0xe4, 0xd1, 0x42, 0x3d, 0xd4, 0x30, 0xa3, 0x3c, 0xb6, 0x26,
+    0x6f, 0xbf, 0x0e, 0xda, 0x46, 0x69, 0x07, 0x57, 0x27, 0xf2, 0x1d, 0x9b,
+    0xbc, 0x94, 0x43, 0x03, 0xf8, 0x11, 0xc7, 0xf6, 0x90, 0xef, 0x3e, 0xe7,
+    0x06, 0xc3, 0xd5, 0x2f, 0xc8, 0x66, 0x1e, 0xd7, 0x08, 0xe8, 0xea, 0xde,
+    0x80, 0x52, 0xee, 0xf7, 0x84, 0xaa, 0x72, 0xac, 0x35, 0x4d, 0x6a, 0x2a,
+    0x96, 0x1a, 0xd2, 0x71, 0x5a, 0x15, 0x49, 0x74, 0x4b, 0x9f, 0xd0, 0x5e,
+    0x04, 0x18, 0xa4, 0xec, 0xc2, 0xe0, 0x41, 0x6e, 0x0f, 0x51, 0xcb, 0xcc,
+    0x24, 0x91, 0xaf, 0x50, 0xa1, 0xf4, 0x70, 0x39, 0x99, 0x7c, 0x3a, 0x85,
+    0x23, 0xb8, 0xb4, 0x7a, 0xfc, 0x02, 0x36, 0x5b, 0x25, 0x55, 0x97, 0x31,
+    0x2d, 0x5d, 0xfa, 0x98, 0xe3, 0x8a, 0x92, 0xae, 0x05, 0xdf, 0x29, 0x10,
+    0x67, 0x6c, 0xba, 0xc9, 0xd3, 0x00, 0xe6, 0xcf, 0xe1, 0x9e, 0xa8, 0x2c,
+    0x63, 0x16, 0x01, 0x3f, 0x58, 0xe2, 0x89, 0xa9, 0x0d, 0x38, 0x34, 0x1b,
+    0xab, 0x33, 0xff, 0xb0, 0xbb, 0x48, 0x0c, 0x5f, 0xb9, 0xb1, 0xcd, 0x2e,
+    0xc5, 0xf3, 0xdb, 0x47, 0xe5, 0xa5, 0x9c, 0x77, 0x0a, 0xa6, 0x20, 0x68,
+    0xfe, 0x7f, 0xc1, 0xad};
+
+std::uint16_t rotl16(std::uint16_t x, int n) {
+  return static_cast<std::uint16_t>((x << n) | (x >> (16 - n)));
+}
+
+std::uint16_t rotr16(std::uint16_t x, int n) {
+  return static_cast<std::uint16_t>((x >> n) | (x << (16 - n)));
+}
+
+constexpr int kMixShift[4] = {1, 2, 3, 5};
+
+}  // namespace
+
+Rc2::Rc2(ConstBytes key, int effective_bits) {
+  const std::size_t t = key.size();
+  if (t == 0 || t > 128)
+    throw std::invalid_argument("RC2 key must be 1..128 bytes");
+  if (effective_bits <= 0) effective_bits = static_cast<int>(t) * 8;
+
+  std::array<std::uint8_t, 128> l{};
+  for (std::size_t i = 0; i < t; ++i) l[i] = key[i];
+  for (std::size_t i = t; i < 128; ++i)
+    l[i] = kPi[static_cast<std::uint8_t>(l[i - 1] + l[i - t])];
+
+  const int t8 = (effective_bits + 7) / 8;
+  const std::uint8_t tm =
+      static_cast<std::uint8_t>(255 >> (8 * t8 - effective_bits));
+  l[static_cast<std::size_t>(128 - t8)] =
+      kPi[l[static_cast<std::size_t>(128 - t8)] & tm];
+  for (int i = 127 - t8; i >= 0; --i)
+    l[static_cast<std::size_t>(i)] =
+        kPi[l[static_cast<std::size_t>(i + 1)] ^
+            l[static_cast<std::size_t>(i + t8)]];
+
+  for (int i = 0; i < 64; ++i)
+    k_[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(
+        l[static_cast<std::size_t>(2 * i)] +
+        (l[static_cast<std::size_t>(2 * i + 1)] << 8));
+}
+
+void Rc2::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  std::uint16_t r[4];
+  for (int i = 0; i < 4; ++i)
+    r[i] = static_cast<std::uint16_t>(in[2 * i] | (in[2 * i + 1] << 8));
+
+  int j = 0;
+  const auto mix = [&](int i) {
+    r[i] = static_cast<std::uint16_t>(
+        r[i] + k_[static_cast<std::size_t>(j)] +
+        (r[(i + 3) % 4] & r[(i + 2) % 4]) +
+        (static_cast<std::uint16_t>(~r[(i + 3) % 4]) & r[(i + 1) % 4]));
+    ++j;
+    r[i] = rotl16(r[i], kMixShift[i]);
+  };
+  const auto mash = [&](int i) {
+    r[i] = static_cast<std::uint16_t>(r[i] + k_[r[(i + 3) % 4] & 63]);
+  };
+
+  for (int round = 0; round < 5; ++round)
+    for (int i = 0; i < 4; ++i) mix(i);
+  for (int i = 0; i < 4; ++i) mash(i);
+  for (int round = 0; round < 6; ++round)
+    for (int i = 0; i < 4; ++i) mix(i);
+  for (int i = 0; i < 4; ++i) mash(i);
+  for (int round = 0; round < 5; ++round)
+    for (int i = 0; i < 4; ++i) mix(i);
+
+  for (int i = 0; i < 4; ++i) {
+    out[2 * i] = static_cast<std::uint8_t>(r[i]);
+    out[2 * i + 1] = static_cast<std::uint8_t>(r[i] >> 8);
+  }
+}
+
+void Rc2::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  std::uint16_t r[4];
+  for (int i = 0; i < 4; ++i)
+    r[i] = static_cast<std::uint16_t>(in[2 * i] | (in[2 * i + 1] << 8));
+
+  int j = 63;
+  const auto rmix = [&](int i) {
+    r[i] = rotr16(r[i], kMixShift[i]);
+    r[i] = static_cast<std::uint16_t>(
+        r[i] - k_[static_cast<std::size_t>(j)] -
+        (r[(i + 3) % 4] & r[(i + 2) % 4]) -
+        (static_cast<std::uint16_t>(~r[(i + 3) % 4]) & r[(i + 1) % 4]));
+    --j;
+  };
+  const auto rmash = [&](int i) {
+    r[i] = static_cast<std::uint16_t>(r[i] - k_[r[(i + 3) % 4] & 63]);
+  };
+
+  for (int round = 0; round < 5; ++round)
+    for (int i = 3; i >= 0; --i) rmix(i);
+  for (int i = 3; i >= 0; --i) rmash(i);
+  for (int round = 0; round < 6; ++round)
+    for (int i = 3; i >= 0; --i) rmix(i);
+  for (int i = 3; i >= 0; --i) rmash(i);
+  for (int round = 0; round < 5; ++round)
+    for (int i = 3; i >= 0; --i) rmix(i);
+
+  for (int i = 0; i < 4; ++i) {
+    out[2 * i] = static_cast<std::uint8_t>(r[i]);
+    out[2 * i + 1] = static_cast<std::uint8_t>(r[i] >> 8);
+  }
+}
+
+}  // namespace mapsec::crypto

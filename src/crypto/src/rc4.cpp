@@ -1,0 +1,42 @@
+#include "mapsec/crypto/rc4.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mapsec::crypto {
+
+Rc4::Rc4(ConstBytes key) {
+  if (key.empty() || key.size() > 256)
+    throw std::invalid_argument("Rc4: key must be 1..256 bytes");
+  for (int i = 0; i < 256; ++i) s_[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next_byte() {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+Bytes Rc4::keystream(std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = next_byte();
+  return out;
+}
+
+Bytes Rc4::process(ConstBytes data) {
+  Bytes out(data.begin(), data.end());
+  for (auto& b : out) b ^= next_byte();
+  return out;
+}
+
+void Rc4::skip(std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) next_byte();
+}
+
+}  // namespace mapsec::crypto

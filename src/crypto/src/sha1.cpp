@@ -1,0 +1,96 @@
+#include "mapsec/crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace mapsec::crypto {
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buf_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(ConstBytes data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buf_len_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buf_len_, data.size());
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off += take;
+    if (buf_len_ == kBlockSize) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+Bytes Sha1::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(ConstBytes{&pad, 1});
+  static constexpr std::uint8_t kZero[kBlockSize] = {};
+  while (buf_len_ != 56) {
+    const std::size_t gap = buf_len_ < 56 ? 56 - buf_len_ : kBlockSize - buf_len_ + 56;
+    update(ConstBytes{kZero, std::min<std::size_t>(gap, kBlockSize)});
+  }
+  std::uint8_t len_bytes[8];
+  store_be64(len_bytes, bit_len);
+  update(ConstBytes{len_bytes, 8});
+
+  Bytes digest(kDigestSize);
+  for (int i = 0; i < 5; ++i) store_be32(digest.data() + 4 * i, h_[i]);
+  return digest;
+}
+
+Bytes Sha1::hash(ConstBytes data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,93 @@
+// Security-processing acceleration tiers (Section 4.2).
+//
+// The paper surveys four ways to close the processing gap, each trading
+// flexibility for efficiency:
+//
+//   software          — everything on the host core (the Section 3.2 base)
+//   ISA extension     — SmartMIPS / SecurCore-style instructions: speeds
+//                       up the bit-level cipher kernels a few-fold
+//   crypto accelerator— dedicated DES/AES/SHA/RSA engines (Discretix,
+//                       Safenet): order-of-magnitude faster and far more
+//                       energy-efficient, but only for the cipher work
+//   protocol engine   — MOSES-style programmable engines that also absorb
+//                       the per-packet protocol processing (Section 4.2.3:
+//                       "a holistic view of the entire security processing
+//                       workload")
+//
+// The tier model applies literature-calibrated speedup and energy factors
+// per primitive class, preserving the paper's qualitative ranking and
+// rough factors rather than any one vendor's datasheet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapsec/platform/processor.hpp"
+#include "mapsec/platform/workload.hpp"
+
+namespace mapsec::platform {
+
+enum class AccelTier {
+  kSoftware,
+  kIsaExtension,
+  kDspOffload,  // OMAP-style dual-core: crypto on a low-power DSP (§4.1)
+  kCryptoAccelerator,
+  kProtocolEngine,
+};
+
+std::string accel_tier_name(AccelTier tier);
+
+/// Speedup / energy-efficiency factors for one tier.
+struct AccelProfile {
+  AccelTier tier = AccelTier::kSoftware;
+  double symmetric_speedup = 1.0;  // block/stream ciphers
+  double hash_speedup = 1.0;       // SHA/MD5
+  double pubkey_speedup = 1.0;     // RSA/DH
+  double protocol_offload = 0.0;   // fraction of protocol processing removed
+  double energy_efficiency = 1.0;  // accelerated work costs 1/this energy
+
+  static AccelProfile software();
+  static AccelProfile isa_extension();
+  static AccelProfile dsp_offload();
+  static AccelProfile crypto_accelerator();
+  static AccelProfile protocol_engine();
+  static std::vector<AccelProfile> all_tiers();
+};
+
+/// A platform = host processor + acceleration tier + workload cost table.
+class SecurityPlatform {
+ public:
+  SecurityPlatform(Processor host, AccelProfile accel, WorkloadModel model);
+
+  const Processor& host() const { return host_; }
+  const AccelProfile& accel() const { return accel_; }
+
+  /// Effective instructions/byte for a bulk primitive after acceleration.
+  double effective_instr_per_byte(Primitive p) const;
+
+  /// Effective instructions for one public-key operation.
+  double effective_instr_per_op(Primitive p) const;
+
+  /// Achievable secure data rate (Mbps) for a cipher+MAC combination,
+  /// assuming the host dedicates `utilisation` of its MIPS to security.
+  double achievable_mbps(Primitive cipher, Primitive mac,
+                         double utilisation = 1.0) const;
+
+  /// Handshake latency (s) for one public-key op at `utilisation`.
+  double handshake_latency_s(Primitive pk_op, double utilisation = 1.0) const;
+
+  /// Energy (mJ) to protect `bytes` of data with cipher+MAC.
+  double bulk_energy_mj(Primitive cipher, Primitive mac, double bytes) const;
+
+  /// Energy (mJ) for one public-key operation.
+  double pk_energy_mj(Primitive pk_op) const;
+
+ private:
+  double speedup_for(Primitive p) const;
+
+  Processor host_;
+  AccelProfile accel_;
+  WorkloadModel model_;
+};
+
+}  // namespace mapsec::platform

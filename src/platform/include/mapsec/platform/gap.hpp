@@ -1,0 +1,94 @@
+// The wireless security processing gap (Figure 3).
+//
+// Figure 3 plots required MIPS as a surface over (connection latency, data
+// rate) for the reference protocol (RSA-1024 set-up + 3DES/SHA bulk), with
+// a processor's capability drawn as a horizontal plane. Operating points
+// whose requirement rises above the plane are infeasible — that region is
+// the gap. GapAnalysis produces the surface and per-processor feasibility
+// classifications.
+#pragma once
+
+#include <vector>
+
+#include "mapsec/platform/processor.hpp"
+#include "mapsec/platform/workload.hpp"
+
+namespace mapsec::platform {
+
+/// One point of the Figure 3 surface.
+struct GapPoint {
+  double latency_s = 0;
+  double mbps = 0;
+  double required_mips = 0;
+  double handshake_mips = 0;
+  double bulk_mips = 0;
+};
+
+/// Feasibility summary of one processor plane against a surface.
+struct PlaneSummary {
+  Processor processor;
+  std::size_t feasible_points = 0;
+  std::size_t total_points = 0;
+  /// Max secure data rate (Mbps) at 1 s connection latency.
+  double max_mbps_at_1s = 0;
+};
+
+class GapAnalysis {
+ public:
+  explicit GapAnalysis(WorkloadModel model);
+
+  /// Evaluate the surface over a grid.
+  std::vector<GapPoint> surface(const std::vector<double>& latencies_s,
+                                const std::vector<double>& rates_mbps) const;
+
+  /// The default Figure 3 grid: latency {0.1, 0.5, 1.0} s x rate
+  /// {0.01 .. 60} Mbps (the paper quotes WLAN rates "2-60 Mbps").
+  static std::vector<double> default_latencies();
+  static std::vector<double> default_rates();
+
+  /// Whether `proc` can sustain the operating point.
+  bool feasible(const Processor& proc, const GapPoint& point) const {
+    return point.required_mips <= proc.mips;
+  }
+
+  /// Classify a whole surface against one processor.
+  PlaneSummary summarise(const Processor& proc,
+                         const std::vector<GapPoint>& points) const;
+
+  /// Largest bulk data rate (Mbps) `proc` sustains with connection latency
+  /// `latency_s`, or 0 when even the handshake alone does not fit.
+  double max_rate_mbps(const Processor& proc, double latency_s) const;
+
+  const WorkloadModel& model() const { return model_; }
+
+ private:
+  WorkloadModel model_;
+};
+
+/// Projection of the gap over time — Section 3.2's closing argument:
+/// "the increase in data rates ... and the use of stronger cryptographic
+/// algorithms ... threaten to further widen the wireless security
+/// processing gap" even as processors improve.
+struct GapTrendAssumptions {
+  double processor_growth = 1.35;   // embedded MIPS per year (Moore-ish)
+  double data_rate_growth = 1.60;   // WLAN generation cadence
+  double crypto_strength_growth = 1.10;  // instr/byte creep (longer keys,
+                                         // stronger ciphers)
+};
+
+struct GapTrendPoint {
+  int year = 0;
+  double available_mips = 0;
+  double required_mips = 0;
+  /// required / available: > 1 means the gap is open.
+  double gap_ratio = 0;
+};
+
+/// Project `years` years forward from a base processor and operating
+/// point (1 s connection latency assumed).
+std::vector<GapTrendPoint> project_gap_trend(
+    const GapAnalysis& gap, const Processor& base_processor,
+    double base_mbps, int base_year, int years,
+    const GapTrendAssumptions& assumptions = {});
+
+}  // namespace mapsec::platform

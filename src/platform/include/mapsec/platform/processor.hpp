@@ -1,0 +1,52 @@
+// Embedded processor models.
+//
+// Section 3.2 of the paper frames the whole gap analysis in MIPS ratings:
+// a 2.6 GHz Pentium 4 at ~2890 MIPS versus the StrongARM SA-1100 at 235
+// MIPS, ARM7/ARM9 cell-phone cores at 15-20 MIPS, and the Motorola
+// 68EC000 DragonBall at ~2.7 MIPS. The Processor model captures exactly
+// the quantities that analysis needs: an instruction rate and an energy
+// cost per instruction (for the battery-gap analysis of Section 3.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mapsec::platform {
+
+/// A processor characterised at the MIPS granularity of the paper's own
+/// analysis. `mj_per_mi` is millijoules per million instructions,
+/// i.e. nanojoules per instruction.
+struct Processor {
+  std::string name;
+  double mips = 0;        // million instructions per second
+  double mj_per_mi = 0;   // energy per million instructions (mJ)
+
+  /// Seconds to execute `instructions`.
+  double seconds_for(double instructions) const {
+    return instructions / (mips * 1e6);
+  }
+
+  /// Millijoules to execute `instructions`.
+  double millijoules_for(double instructions) const {
+    return (instructions / 1e6) * mj_per_mi;
+  }
+
+  // -- The paper's catalogue (Section 3.2 and the Figure 3/4 case studies).
+
+  /// 2.6 GHz Pentium 4 desktop reference, ~2890 MIPS.
+  static Processor pentium4();
+  /// Intel StrongARM SA-1100 at 206 MHz, 235 MIPS — the paper's
+  /// "state-of-the-art PDA" processor.
+  static Processor strongarm_sa1100();
+  /// ARM7 cell-phone core: 15-20 MIPS at 30-40 MHz; modelled at 17.5.
+  static Processor arm7();
+  /// Motorola 68EC000 DragonBall (Palm OS), ~2.7 MIPS.
+  static Processor dragonball();
+  /// The generic "300 MIPS plane" drawn in Figure 3.
+  static Processor embedded300();
+
+  /// All catalogue entries, for sweeps.
+  static std::vector<Processor> catalogue();
+};
+
+}  // namespace mapsec::platform

@@ -1,0 +1,113 @@
+#include "mapsec/platform/accelerator.hpp"
+
+namespace mapsec::platform {
+
+std::string accel_tier_name(AccelTier tier) {
+  switch (tier) {
+    case AccelTier::kSoftware: return "software";
+    case AccelTier::kIsaExtension: return "ISA-extension";
+    case AccelTier::kDspOffload: return "DSP-offload";
+    case AccelTier::kCryptoAccelerator: return "crypto-accelerator";
+    case AccelTier::kProtocolEngine: return "protocol-engine";
+  }
+  return "?";
+}
+
+AccelProfile AccelProfile::software() { return {AccelTier::kSoftware, 1, 1, 1, 0.0, 1}; }
+
+AccelProfile AccelProfile::isa_extension() {
+  // Bit-permutation instructions help DES-class kernels most (Lee et al.
+  // [55], Burke et al. [56] report 2-4x on symmetric kernels); modest gain
+  // on hashes; multiply-accumulate extensions give ~2x on bignum kernels
+  // (SmartMIPS [57]).
+  return {AccelTier::kIsaExtension, 3.0, 1.5, 2.0, 0.0, 1.2};
+}
+
+AccelProfile AccelProfile::dsp_offload() {
+  // Section 4.1's dual-core pattern (TI OMAP1510): "a low-power DSP in a
+  // dual-core processor ... accelerates critical and performance
+  // intensive crypto operations, freeing up much-needed headroom on the
+  // main applications processor." A programmable DSP lands between ISA
+  // extensions and fixed-function accelerators on both axes.
+  return {AccelTier::kDspOffload, 5.0, 4.0, 6.0, 0.0, 3.0};
+}
+
+AccelProfile AccelProfile::crypto_accelerator() {
+  // Dedicated cipher/hash/modexp engines: one to two orders of magnitude
+  // on the crypto kernels and ~10x energy efficiency, but the protocol
+  // processing stays on the host.
+  return {AccelTier::kCryptoAccelerator, 20.0, 15.0, 25.0, 0.0, 10.0};
+}
+
+AccelProfile AccelProfile::protocol_engine() {
+  // MOSES-style engines [66-68]: crypto acceleration plus offload of ~90%
+  // of the per-packet protocol component.
+  return {AccelTier::kProtocolEngine, 25.0, 20.0, 30.0, 0.9, 12.0};
+}
+
+std::vector<AccelProfile> AccelProfile::all_tiers() {
+  return {software(), isa_extension(), dsp_offload(), crypto_accelerator(),
+          protocol_engine()};
+}
+
+SecurityPlatform::SecurityPlatform(Processor host, AccelProfile accel,
+                                   WorkloadModel model)
+    : host_(std::move(host)), accel_(accel), model_(std::move(model)) {}
+
+double SecurityPlatform::speedup_for(Primitive p) const {
+  switch (p) {
+    case Primitive::kDes:
+    case Primitive::kDes3:
+    case Primitive::kAes128:
+    case Primitive::kRc4:
+    case Primitive::kRc2:
+      return accel_.symmetric_speedup;
+    case Primitive::kSha1:
+    case Primitive::kMd5:
+    case Primitive::kSha256:
+      return accel_.hash_speedup;
+    default:
+      return accel_.pubkey_speedup;
+  }
+}
+
+double SecurityPlatform::effective_instr_per_byte(Primitive p) const {
+  return model_.instr_per_byte(p) / speedup_for(p);
+}
+
+double SecurityPlatform::effective_instr_per_op(Primitive p) const {
+  return model_.instr_per_op(p) / speedup_for(p);
+}
+
+double SecurityPlatform::achievable_mbps(Primitive cipher, Primitive mac,
+                                         double utilisation) const {
+  const double instr_per_byte =
+      effective_instr_per_byte(cipher) + effective_instr_per_byte(mac) +
+      model_.protocol_instr_per_byte() * (1.0 - accel_.protocol_offload);
+  const double bytes_per_s = host_.mips * 1e6 * utilisation / instr_per_byte;
+  return bytes_per_s * 8.0 / 1e6;
+}
+
+double SecurityPlatform::handshake_latency_s(Primitive pk_op,
+                                             double utilisation) const {
+  return effective_instr_per_op(pk_op) / (host_.mips * 1e6 * utilisation);
+}
+
+double SecurityPlatform::bulk_energy_mj(Primitive cipher, Primitive mac,
+                                        double bytes) const {
+  // Crypto work runs at the tier's energy efficiency; residual protocol
+  // work runs at host efficiency.
+  const double crypto_instr =
+      (model_.instr_per_byte(cipher) + model_.instr_per_byte(mac)) * bytes;
+  const double protocol_instr = model_.protocol_instr_per_byte() *
+                                (1.0 - accel_.protocol_offload) * bytes;
+  return host_.millijoules_for(crypto_instr) / accel_.energy_efficiency +
+         host_.millijoules_for(protocol_instr);
+}
+
+double SecurityPlatform::pk_energy_mj(Primitive pk_op) const {
+  return host_.millijoules_for(model_.instr_per_op(pk_op)) /
+         accel_.energy_efficiency;
+}
+
+}  // namespace mapsec::platform

@@ -1,0 +1,85 @@
+#include "mapsec/platform/energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mapsec::platform {
+
+EnergyModel EnergyModel::paper_sensor_node() {
+  EnergyModel m;
+  m.tx_mj_per_kb = 21.5;
+  m.rx_mj_per_kb = 14.3;
+  m.crypto_mj_per_kb = 42.0;
+  return m;
+}
+
+Battery::Battery(double capacity_kj)
+    : capacity_mj_(capacity_kj * 1e6), remaining_mj_(capacity_mj_) {
+  if (capacity_kj <= 0)
+    throw std::invalid_argument("Battery: capacity must be positive");
+}
+
+bool Battery::consume_mj(double mj) {
+  if (mj < 0) throw std::invalid_argument("Battery: negative draw");
+  if (mj > remaining_mj_) {
+    remaining_mj_ = 0;
+    return false;
+  }
+  remaining_mj_ -= mj;
+  return true;
+}
+
+double transactions_per_charge(const EnergyModel& energy, double battery_kj,
+                               double kb, bool secure) {
+  const double per_txn = energy.transaction_mj(kb, secure);
+  if (per_txn <= 0)
+    throw std::invalid_argument("transactions_per_charge: zero-cost txn");
+  return battery_kj * 1e6 / per_txn;
+}
+
+RateCapacityBattery::RateCapacityBattery(double capacity_kj,
+                                         double ref_power_mw, double peukert)
+    : capacity_mj_(capacity_kj * 1e6),
+      ref_power_mw_(ref_power_mw),
+      peukert_(peukert) {
+  if (capacity_kj <= 0 || ref_power_mw <= 0 || peukert < 1.0)
+    throw std::invalid_argument("RateCapacityBattery: bad parameters");
+}
+
+double RateCapacityBattery::effective_capacity_mj(double power_mw) const {
+  if (power_mw <= 0)
+    throw std::invalid_argument("effective_capacity_mj: power must be > 0");
+  // Peukert, expressed in power: C_eff = C_rated * (P_ref / P)^(k-1).
+  // Draws below the reference rate are capped at the rated capacity (no
+  // free energy from trickle discharge).
+  const double ratio = ref_power_mw_ / power_mw;
+  const double factor =
+      ratio >= 1.0 ? 1.0 : std::pow(ratio, peukert_ - 1.0);
+  return capacity_mj_ * factor;
+}
+
+double RateCapacityBattery::lifetime_hours(double power_mw) const {
+  return effective_capacity_mj(power_mw) / power_mw / 3600.0;
+}
+
+double RateCapacityBattery::lifetime_hours_duty_cycle(double peak_mw,
+                                                      double idle_mw,
+                                                      double duty) const {
+  if (duty < 0 || duty > 1)
+    throw std::invalid_argument("duty must be in [0,1]");
+  // Rate-weighted consumption: each watt-second drawn at power P consumes
+  // 1 / C_eff(P) of the battery. Average the consumption rate over the
+  // duty cycle and invert.
+  const double peak_frac =
+      peak_mw > 0 ? duty * peak_mw / effective_capacity_mj(peak_mw) : 0.0;
+  const double idle_frac =
+      idle_mw > 0
+          ? (1.0 - duty) * idle_mw / effective_capacity_mj(idle_mw)
+          : 0.0;
+  const double per_second = peak_frac + idle_frac;
+  if (per_second <= 0)
+    throw std::invalid_argument("duty cycle draws no power");
+  return 1.0 / per_second / 3600.0;
+}
+
+}  // namespace mapsec::platform

@@ -1,0 +1,82 @@
+#include "mapsec/platform/gap.hpp"
+
+namespace mapsec::platform {
+
+GapAnalysis::GapAnalysis(WorkloadModel model) : model_(std::move(model)) {}
+
+std::vector<GapPoint> GapAnalysis::surface(
+    const std::vector<double>& latencies_s,
+    const std::vector<double>& rates_mbps) const {
+  std::vector<GapPoint> out;
+  out.reserve(latencies_s.size() * rates_mbps.size());
+  for (const double latency : latencies_s) {
+    for (const double rate : rates_mbps) {
+      GapPoint p;
+      p.latency_s = latency;
+      p.mbps = rate;
+      p.handshake_mips =
+          model_.handshake_mips(Primitive::kRsa1024Private, latency);
+      p.bulk_mips = model_.bulk_mips(Primitive::kDes3, Primitive::kSha1, rate);
+      p.required_mips = p.handshake_mips + p.bulk_mips;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<double> GapAnalysis::default_latencies() {
+  return {0.1, 0.5, 1.0};
+}
+
+std::vector<double> GapAnalysis::default_rates() {
+  return {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0};
+}
+
+PlaneSummary GapAnalysis::summarise(
+    const Processor& proc, const std::vector<GapPoint>& points) const {
+  PlaneSummary s;
+  s.processor = proc;
+  s.total_points = points.size();
+  for (const auto& p : points)
+    if (feasible(proc, p)) ++s.feasible_points;
+  s.max_mbps_at_1s = max_rate_mbps(proc, 1.0);
+  return s;
+}
+
+std::vector<GapTrendPoint> project_gap_trend(
+    const GapAnalysis& gap, const Processor& base_processor,
+    double base_mbps, int base_year, int years,
+    const GapTrendAssumptions& assumptions) {
+  std::vector<GapTrendPoint> out;
+  out.reserve(static_cast<std::size_t>(years) + 1);
+  double mips = base_processor.mips;
+  double mbps = base_mbps;
+  double strength = 1.0;
+  for (int y = 0; y <= years; ++y) {
+    GapTrendPoint p;
+    p.year = base_year + y;
+    p.available_mips = mips;
+    // Stronger crypto multiplies the whole per-byte and per-op cost.
+    p.required_mips = gap.model().required_mips(1.0, mbps) * strength;
+    p.gap_ratio = p.required_mips / p.available_mips;
+    out.push_back(p);
+    mips *= assumptions.processor_growth;
+    mbps *= assumptions.data_rate_growth;
+    strength *= assumptions.crypto_strength_growth;
+  }
+  return out;
+}
+
+double GapAnalysis::max_rate_mbps(const Processor& proc,
+                                  double latency_s) const {
+  const double handshake =
+      model_.handshake_mips(Primitive::kRsa1024Private, latency_s);
+  const double headroom_mips = proc.mips - handshake;
+  if (headroom_mips <= 0) return 0;
+  // Invert bulk_mips: rate such that bulk requirement == headroom.
+  const double per_mbps =
+      model_.bulk_mips(Primitive::kDes3, Primitive::kSha1, 1.0);
+  return headroom_mips / per_mbps;
+}
+
+}  // namespace mapsec::platform

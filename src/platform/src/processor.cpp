@@ -1,0 +1,28 @@
+#include "mapsec/platform/processor.hpp"
+
+namespace mapsec::platform {
+
+// Energy-per-instruction figures are derived from typical published power
+// draws of each part at its rated MIPS (P4 ~60 W, SA-1110 ~0.4 W active,
+// ARM7 ~25 mW, 68EC000 ~20 mW); the battery analysis only needs the right
+// order of magnitude and the right *ordering* across parts.
+
+Processor Processor::pentium4() { return {"Pentium4-2.6GHz", 2890.0, 20.8}; }
+
+Processor Processor::strongarm_sa1100() {
+  return {"StrongARM-SA1100-206MHz", 235.0, 1.7};
+}
+
+Processor Processor::arm7() { return {"ARM7-35MHz", 17.5, 1.4}; }
+
+Processor Processor::dragonball() {
+  return {"DragonBall-68EC000", 2.7, 7.4};
+}
+
+Processor Processor::embedded300() { return {"Embedded-300MIPS", 300.0, 1.5}; }
+
+std::vector<Processor> Processor::catalogue() {
+  return {dragonball(), arm7(), strongarm_sa1100(), embedded300(), pentium4()};
+}
+
+}  // namespace mapsec::platform

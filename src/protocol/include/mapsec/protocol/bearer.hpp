@@ -1,0 +1,71 @@
+// GSM-style bearer channel: network-access-domain security and its
+// structural limits.
+//
+// Section 2: "Many of these protocols address only network access domain
+// security, i.e., securing the link between a wireless client and the
+// access point, base station, or gateway." This module models exactly
+// that: a GSM link encrypting with A5/1 per frame between handset and
+// base station — and *terminating* there. The base station (and any WAP
+// gateway behind it) sees plaintext; there is no integrity protection;
+// the cipher can be downgraded by the network side. Each limitation is
+// observable through the API, motivating the paper's conclusion that
+// bearer security "need[s] to be complemented through the use of security
+// mechanisms at higher protocol layers."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/a51.hpp"
+
+namespace mapsec::protocol {
+
+/// Ciphering mode, chosen by the *network*, not the handset — the
+/// downgrade vector (A5/0 is "no encryption", as deployed networks
+/// could and did select).
+enum class GsmCipherMode { kA50None, kA51 };
+
+/// One air-interface frame.
+struct GsmFrame {
+  std::uint32_t frame_number = 0;  // 22-bit counter
+  GsmCipherMode mode = GsmCipherMode::kA51;
+  crypto::Bytes body;
+};
+
+/// The handset/base-station shared cipher endpoint.
+class GsmLink {
+ public:
+  /// `kc` is the 64-bit session key from GSM authentication.
+  explicit GsmLink(crypto::Bytes kc);
+
+  /// Handset side: protect a payload (mode per the network's order).
+  GsmFrame send(crypto::ConstBytes payload, GsmCipherMode mode);
+
+  /// Receiving side: recover the payload. Always succeeds structurally —
+  /// GSM has no integrity check, so corrupted or forged frames produce
+  /// garbage, not errors.
+  crypto::Bytes receive(const GsmFrame& frame) const;
+
+  std::uint32_t frames_sent() const { return counter_; }
+
+ private:
+  crypto::Bytes kc_;
+  std::uint32_t counter_ = 0;
+};
+
+/// The paper's end-to-end picture: handset -> base station -> gateway ->
+/// server. Bearer encryption covers only the first hop; this pipeline
+/// records what each node observes, making the exposure auditable.
+struct BearerPathTrace {
+  crypto::Bytes over_the_air;        // what an eavesdropper of the radio sees
+  crypto::Bytes at_base_station;     // after bearer decryption
+  crypto::Bytes delivered_to_server; // what reaches the far end
+};
+
+/// Run one uplink payload through the bearer path.
+BearerPathTrace bearer_path_transfer(GsmLink& link, crypto::ConstBytes payload,
+                                     GsmCipherMode mode);
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,67 @@
+// CCMP-style link-layer protection (the 802.11i answer to WEP).
+//
+// The paper: WEP-class protocols "can be easily broken" and the drawbacks
+// "are being addressed in newer wireless standards such as ... 802.11
+// enhancements". This is that enhancement, modelled on CCMP: AES-CCM per
+// frame, a 48-bit packet number (PN) that serves as both nonce material
+// and replay counter, and the frame header authenticated as AAD — each
+// element closing one of WEP's holes (keystream reuse, forgery by CRC
+// linearity, replay, header spoofing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mapsec/crypto/ccm.hpp"
+
+namespace mapsec::protocol {
+
+/// A protected frame: cleartext header + PN, sealed body.
+struct CcmpFrame {
+  crypto::Bytes header;   // addresses etc., authenticated but not encrypted
+  std::uint64_t pn = 0;   // 48-bit packet number
+  crypto::Bytes body;     // ciphertext || 8-byte MIC
+};
+
+/// Sender half of a CCMP security association (128-bit AES key).
+class CcmpSender {
+ public:
+  explicit CcmpSender(crypto::ConstBytes key16);
+
+  /// Protect one frame. PN increments automatically — reuse is
+  /// structurally impossible within the association.
+  CcmpFrame protect(crypto::ConstBytes header, crypto::ConstBytes payload);
+
+  std::uint64_t next_pn() const { return pn_ + 1; }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher> cipher_;
+  std::uint64_t pn_ = 0;
+};
+
+/// Receiver half with strictly-increasing PN replay enforcement.
+class CcmpReceiver {
+ public:
+  explicit CcmpReceiver(crypto::ConstBytes key16);
+
+  /// Verify and decrypt; nullopt on MIC failure or replayed/old PN.
+  std::optional<crypto::Bytes> unprotect(const CcmpFrame& frame);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t bad_mic = 0;
+    std::uint64_t replayed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher> cipher_;
+  std::uint64_t last_pn_ = 0;
+  Stats stats_;
+};
+
+/// Nonce construction shared by both halves: PN (48 bits) padded into the
+/// 13-byte CCM nonce. Exposed for tests.
+crypto::Bytes ccmp_nonce(std::uint64_t pn);
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,76 @@
+// Minimal X.509-flavoured certificates for the handshake's server
+// authentication (the paper's Section 2: "authenticating the server and
+// client, transmitting certificates, establishing session keys").
+//
+// The encoding is a simple length-prefixed structure, not DER; the trust
+// semantics (issuer chains, validity windows, signature verification up to
+// a trusted root) are the real ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::protocol {
+
+struct Certificate {
+  std::string subject;
+  std::string issuer;
+  crypto::RsaPublicKey public_key;
+  std::uint32_t serial = 0;
+  std::uint64_t not_before = 0;  // seconds since epoch
+  std::uint64_t not_after = 0;
+  crypto::Bytes signature;  // RSA-SHA256 over tbs()
+
+  /// The to-be-signed serialization (everything except the signature).
+  crypto::Bytes tbs() const;
+
+  /// Full wire encoding / decoding.
+  crypto::Bytes encode() const;
+  static std::optional<Certificate> decode(crypto::ConstBytes wire);
+
+  bool is_self_signed() const { return subject == issuer; }
+};
+
+/// A certificate authority: a named RSA key that can issue certificates.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, crypto::RsaKeyPair key,
+                       std::uint64_t not_before, std::uint64_t not_after);
+
+  /// The CA's self-signed root certificate.
+  const Certificate& root() const { return root_; }
+
+  /// Issue an end-entity certificate.
+  Certificate issue(const std::string& subject,
+                    const crypto::RsaPublicKey& subject_key,
+                    std::uint64_t not_before, std::uint64_t not_after);
+
+ private:
+  std::string name_;
+  crypto::RsaKeyPair key_;
+  Certificate root_;
+  std::uint32_t next_serial_ = 2;
+};
+
+/// Why a chain failed to verify.
+enum class CertVerifyResult {
+  kOk,
+  kUnknownIssuer,
+  kBadSignature,
+  kExpired,
+  kNotYetValid,
+  kEmptyChain,
+};
+
+std::string cert_verify_result_name(CertVerifyResult r);
+
+/// Verify `chain` (leaf first) against `trusted_roots` at time `now`.
+CertVerifyResult verify_chain(const std::vector<Certificate>& chain,
+                              const std::vector<Certificate>& trusted_roots,
+                              std::uint64_t now);
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,68 @@
+// Datagram record protection — the WTLS adaptation.
+//
+// Section 3.1: "WTLS bears a close resemblance to the SSL/TLS standards"
+// but runs over datagram bearers (WDP/UDP over GSM SMS, CSD, GPRS...).
+// The stream record layer's implicit sequence numbers cannot survive
+// loss and reordering, so the datagram variant — like WTLS and later
+// DTLS — carries an explicit sequence number in each record, derives the
+// per-record IV from it, and the receiver keeps an anti-replay window
+// instead of a strict counter. Lost records simply never arrive;
+// reordered records still authenticate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mapsec/protocol/record.hpp"
+
+namespace mapsec::protocol {
+
+/// One direction of a datagram security association.
+class DatagramRecordCodec {
+ public:
+  DatagramRecordCodec() = default;
+
+  void activate(const SuiteInfo& suite, crypto::ConstBytes enc_key,
+                crypto::ConstBytes mac_key, crypto::ConstBytes iv_seed);
+
+  bool active() const { return active_; }
+
+  /// Protect one record. Wire format:
+  /// type(1) | version(2) | seq(8, explicit) | length(2) | body.
+  crypto::Bytes seal(RecordType type, ProtocolVersion version,
+                     crypto::ConstBytes payload);
+
+  /// Open a record. Returns nullopt (rather than throwing) for the
+  /// datagram failure modes a receiver must absorb silently: bad MAC,
+  /// replayed or too-old sequence, malformed framing.
+  std::optional<Record> open(crypto::ConstBytes wire);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t bad_mac = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  crypto::Bytes record_iv(std::uint64_t seq) const;
+  crypto::Bytes compute_mac(std::uint64_t seq, RecordType type,
+                            crypto::ConstBytes payload) const;
+  bool replay_check_and_update(std::uint64_t seq);
+
+  bool active_ = false;
+  const SuiteInfo* suite_ = nullptr;
+  std::unique_ptr<crypto::BlockCipher> block_;
+  crypto::Bytes enc_key_;
+  crypto::Bytes mac_key_;
+  crypto::Bytes iv_seed_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t highest_seq_ = 0;
+  std::uint64_t window_ = 0;
+  bool any_received_ = false;
+  Stats stats_;
+};
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,72 @@
+// IPsec ESP-style packet protection (the network-layer option of the
+// paper's Section 2 protocol-stack discussion, and the workload of the
+// Safenet "IPSec packet engine" cited in Section 4.2.3).
+//
+// Packet format: spi(4) | seq(4) | iv(block) | Enc(payload || pad) | ICV
+// where ICV = HMAC-SHA1-96 over spi..ciphertext. The receiver enforces
+// a 64-packet anti-replay window, as RFC 2406 requires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/suites.hpp"
+
+namespace mapsec::protocol {
+
+/// A unidirectional security association.
+struct EspSa {
+  std::uint32_t spi = 0;
+  BulkCipher cipher = BulkCipher::kDes3;
+  crypto::Bytes enc_key;
+  crypto::Bytes mac_key;
+};
+
+constexpr std::size_t kEspIcvLen = 12;  // HMAC-SHA1-96
+
+/// Outbound ESP processing: sequence numbering, CBC encryption, ICV.
+class EspSender {
+ public:
+  EspSender(EspSa sa, crypto::Rng* rng);
+
+  crypto::Bytes protect(crypto::ConstBytes payload);
+
+  std::uint32_t next_seq() const { return seq_ + 1; }
+
+ private:
+  EspSa sa_;
+  crypto::Rng* rng_;
+  std::unique_ptr<crypto::BlockCipher> cipher_;
+  std::uint32_t seq_ = 0;
+};
+
+/// Inbound ESP processing with anti-replay.
+class EspReceiver {
+ public:
+  explicit EspReceiver(EspSa sa);
+
+  /// Returns the payload, or nullopt for: wrong SPI, bad ICV, replayed or
+  /// too-old sequence number, malformed packet.
+  std::optional<crypto::Bytes> unprotect(crypto::ConstBytes packet);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t bad_icv = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool replay_check_and_update(std::uint32_t seq);
+
+  EspSa sa_;
+  std::unique_ptr<crypto::BlockCipher> cipher_;
+  std::uint32_t highest_seq_ = 0;
+  std::uint64_t window_ = 0;  // bitmask of the 64 sequence numbers <= highest
+  Stats stats_;
+};
+
+}  // namespace mapsec::protocol

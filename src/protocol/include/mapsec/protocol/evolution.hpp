@@ -1,0 +1,40 @@
+// Security-protocol evolution registry — the data behind Figure 2.
+//
+// Figure 2 tracks the wired protocols (IPSec, SSL/TLS) and the wireless
+// ones (WTLS, MET) through their revisions, making the paper's point that
+// "security protocols are not only diverse but also are continuously
+// evolving" — the flexibility requirement of Section 3.1. The registry
+// records each milestone with its date and what changed, and provides the
+// aggregations the figure displays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mapsec::protocol {
+
+enum class ProtocolDomain { kWired, kWireless };
+
+struct ProtocolMilestone {
+  std::string family;    // "SSL/TLS", "IPSec", "WTLS", "MET", "WAP"
+  std::string version;   // "SSL 2.0", "RFC 2246", ...
+  ProtocolDomain domain;
+  int year = 0;
+  int month = 0;         // 1-12, 0 if unknown
+  std::string change;    // what the revision did
+};
+
+/// The Figure 2 timeline, in chronological order.
+const std::vector<ProtocolMilestone>& protocol_evolution();
+
+/// Milestones of one family, chronological.
+std::vector<ProtocolMilestone> family_history(const std::string& family);
+
+/// Families present in the registry.
+std::vector<std::string> protocol_families();
+
+/// Revisions per year for a family — the "constant modification" rate the
+/// paper highlights (e.g. TLS's June 2002 AES revision).
+double revisions_per_year(const std::string& family);
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,185 @@
+// SSL/TLS-style handshake state machines (client and server), with the
+// WTLS profile and abbreviated (session-resumption) handshakes.
+//
+// This is the protocol whose connection set-up cost drives the latency
+// axis of the paper's Figure 3: ClientHello/ServerHello negotiation over
+// the Section 3.1 suite space, server authentication by certificate
+// chain, RSA key transport of the premaster secret, key derivation, and
+// Finished-message verification of the transcript. Session resumption
+// (the WTLS-friendly abbreviated handshake) skips the RSA operation —
+// exactly the optimisation a MIPS-starved handset needs.
+//
+// Endpoints are synchronous message processors: feed inbound record bytes
+// to process(), transmit whatever it returns. run_handshake() drives two
+// endpoints to completion in memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/dh.hpp"
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/crypto/rsa.hpp"
+#include "mapsec/protocol/cert.hpp"
+#include "mapsec/protocol/datagram.hpp"
+#include "mapsec/protocol/record.hpp"
+#include "mapsec/protocol/suites.hpp"
+
+namespace mapsec::protocol {
+
+class HandshakeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Server-side cache of resumable sessions (session id -> master secret +
+/// suite).
+class SessionCache {
+ public:
+  struct Entry {
+    crypto::Bytes master_secret;
+    CipherSuite suite = CipherSuite::kRsa3DesEdeCbcSha;
+  };
+
+  void store(const crypto::Bytes& session_id, Entry entry);
+  const Entry* lookup(const crypto::Bytes& session_id) const;
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<crypto::Bytes, Entry> entries_;
+};
+
+/// What both sides agree on once established.
+struct HandshakeSummary {
+  CipherSuite suite = CipherSuite::kRsa3DesEdeCbcSha;
+  KeyExchange key_exchange = KeyExchange::kRsa;
+  bool resumed = false;
+  bool client_authenticated = false;
+  ProtocolVersion version = ProtocolVersion::kTls10;
+  std::size_t bytes_sent = 0;      // wire bytes this endpoint transmitted
+  std::size_t bytes_received = 0;  // wire bytes this endpoint consumed
+  int rsa_private_ops = 0;         // performed by this endpoint
+  int rsa_public_ops = 0;
+  int dh_ops = 0;                  // modexp agreements/keygens
+  crypto::Bytes session_id;
+};
+
+/// Shared configuration. A client needs `trusted_roots`; a server needs
+/// `cert_chain` + `private_key` (plus `trusted_roots` when it
+/// authenticates clients). `rng` must outlive the endpoint.
+struct HandshakeConfig {
+  ProtocolVersion version = ProtocolVersion::kTls10;
+  std::vector<CipherSuite> offered_suites = all_suites();
+  crypto::Rng* rng = nullptr;
+  std::uint64_t now = 0;  // certificate-validation clock
+
+  // Server credentials.
+  std::vector<Certificate> cert_chain;
+  const crypto::RsaPrivateKey* private_key = nullptr;
+
+  // Trust anchors (client: verifies the server chain; server: verifies
+  // the client chain when client auth is on).
+  std::vector<Certificate> trusted_roots;
+
+  // Client credentials, presented when the server asks (Section 2's
+  // mutual authentication).
+  std::vector<Certificate> client_cert_chain;
+  const crypto::RsaPrivateKey* client_private_key = nullptr;
+
+  // Server-side client-authentication policy.
+  bool request_client_auth = false;  // send CertificateRequest
+  bool require_client_auth = false;  // fail if the client sends no cert
+
+  // Ephemeral-DH group for DHE suites.
+  crypto::DhGroup dhe_group = crypto::DhGroup::oakley_group2();
+};
+
+/// Common interface of the two endpoints.
+class HandshakeEndpoint {
+ public:
+  virtual ~HandshakeEndpoint() = default;
+
+  /// Feed inbound wire bytes (zero or more whole records); returns
+  /// outbound wire bytes (possibly empty). Throws HandshakeError on any
+  /// protocol, certificate or MAC failure.
+  virtual crypto::Bytes process(crypto::ConstBytes inbound) = 0;
+
+  virtual bool established() const = 0;
+  virtual const HandshakeSummary& summary() const = 0;
+
+  /// Post-handshake: protect an application payload into wire bytes.
+  virtual crypto::Bytes send_data(crypto::ConstBytes payload) = 0;
+
+  /// Post-handshake: open wire bytes into application payloads.
+  virtual std::vector<crypto::Bytes> recv_data(crypto::ConstBytes wire) = 0;
+
+  /// Post-handshake, WTLS deployment shape: run application data over an
+  /// unreliable bearer. Activates `tx`/`rx` datagram codecs from the
+  /// negotiated key material (send direction = this endpoint's write
+  /// keys). Requires an established session on a block-cipher suite.
+  virtual void setup_datagram(DatagramRecordCodec& tx,
+                              DatagramRecordCodec& rx) = 0;
+};
+
+class TlsClient final : public HandshakeEndpoint {
+ public:
+  explicit TlsClient(HandshakeConfig config);
+  ~TlsClient() override;
+
+  /// Request resumption of a previous session on the next handshake.
+  void set_resume_session(crypto::ConstBytes session_id,
+                          crypto::ConstBytes master_secret, CipherSuite suite);
+
+  crypto::Bytes process(crypto::ConstBytes inbound) override;
+  bool established() const override;
+  const HandshakeSummary& summary() const override;
+  crypto::Bytes send_data(crypto::ConstBytes payload) override;
+  std::vector<crypto::Bytes> recv_data(crypto::ConstBytes wire) override;
+  void setup_datagram(DatagramRecordCodec& tx,
+                      DatagramRecordCodec& rx) override;
+
+  /// Master secret (exposed so callers can cache it for resumption).
+  const crypto::Bytes& master_secret() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class TlsServer final : public HandshakeEndpoint {
+ public:
+  /// `cache`, when provided, enables session resumption (not owned).
+  explicit TlsServer(HandshakeConfig config, SessionCache* cache = nullptr);
+  ~TlsServer() override;
+
+  crypto::Bytes process(crypto::ConstBytes inbound) override;
+  bool established() const override;
+  const HandshakeSummary& summary() const override;
+  crypto::Bytes send_data(crypto::ConstBytes payload) override;
+  std::vector<crypto::Bytes> recv_data(crypto::ConstBytes wire) override;
+  void setup_datagram(DatagramRecordCodec& tx,
+                      DatagramRecordCodec& rx) override;
+
+  const crypto::Bytes& master_secret() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Drive two endpoints to completion in memory. `tap`, when non-null,
+/// receives every flight (direction, bytes) — the eavesdropper's view.
+struct TappedFlight {
+  bool client_to_server;
+  crypto::Bytes data;
+};
+
+void run_handshake(HandshakeEndpoint& client, HandshakeEndpoint& server,
+                   std::vector<TappedFlight>* tap = nullptr);
+
+}  // namespace mapsec::protocol

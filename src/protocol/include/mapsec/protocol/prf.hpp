@@ -1,0 +1,48 @@
+// Key-derivation PRF, following the TLS 1.0 construction the paper's
+// protocols (SSL/TLS and their WTLS adaptation) use: P_hash expansion with
+// HMAC, and the top-level PRF splitting the secret between MD5 and SHA-1
+// so that a break of either hash alone does not break key derivation.
+#pragma once
+
+#include <string_view>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::protocol {
+
+/// P_hash(secret, seed) expansion to `out_len` bytes using HMAC-`H`
+/// (RFC 2246 section 5).
+crypto::Bytes p_md5(crypto::ConstBytes secret, crypto::ConstBytes seed,
+                    std::size_t out_len);
+crypto::Bytes p_sha1(crypto::ConstBytes secret, crypto::ConstBytes seed,
+                     std::size_t out_len);
+
+/// TLS 1.0 PRF: split the secret, expand each half with a different hash,
+/// XOR the expansions.
+crypto::Bytes tls_prf(crypto::ConstBytes secret, std::string_view label,
+                      crypto::ConstBytes seed, std::size_t out_len);
+
+/// Derived per-connection key material for one suite.
+struct KeyBlock {
+  crypto::Bytes client_mac_key;
+  crypto::Bytes server_mac_key;
+  crypto::Bytes client_enc_key;
+  crypto::Bytes server_enc_key;
+  crypto::Bytes client_iv;
+  crypto::Bytes server_iv;
+};
+
+/// master_secret = PRF(premaster, "master secret", client_rand||server_rand)
+crypto::Bytes derive_master_secret(crypto::ConstBytes premaster,
+                                   crypto::ConstBytes client_random,
+                                   crypto::ConstBytes server_random);
+
+/// key_block = PRF(master, "key expansion", server_rand||client_rand),
+/// partitioned per the suite's key/IV/MAC sizes.
+KeyBlock derive_key_block(crypto::ConstBytes master_secret,
+                          crypto::ConstBytes client_random,
+                          crypto::ConstBytes server_random,
+                          std::size_t mac_len, std::size_t key_len,
+                          std::size_t iv_len);
+
+}  // namespace mapsec::protocol

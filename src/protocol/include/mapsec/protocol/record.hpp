@@ -1,0 +1,87 @@
+// Record layer: authenticated encryption of protocol messages.
+//
+// Wire format (big-endian):
+//   type(1) | version(2) | length(2) | body(length)
+//
+// Under an active cipher state, body = Enc(plaintext || MAC) where
+//   MAC = HMAC(mac_key, seq(8) || type(1) || plen(2) || plaintext)
+// with an implicit 64-bit sequence number per direction. Block suites use
+// CBC with a per-record IV derived from the sequence number (IV_i =
+// MAC(iv_key, seq)[0..block), a deterministic, non-repeating choice that
+// avoids the chained-IV weakness of SSL 3.0). Stream suites keep RC4 state
+// across records, as SSL does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mapsec/crypto/rc4.hpp"
+#include "mapsec/protocol/suites.hpp"
+
+namespace mapsec::protocol {
+
+enum class RecordType : std::uint8_t {
+  kHandshake = 22,
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kApplicationData = 23,
+};
+
+/// Protocol version constants (Figure 2's lineage).
+enum class ProtocolVersion : std::uint16_t {
+  kSsl30 = 0x0300,
+  kTls10 = 0x0301,
+  kWtls1 = 0x0100,
+};
+
+struct Record {
+  RecordType type;
+  crypto::Bytes payload;
+};
+
+/// One direction's cipher state + sequence number.
+class RecordCodec {
+ public:
+  /// Null state: records pass in the clear (handshake phase).
+  RecordCodec() = default;
+
+  /// Activate a cipher state.
+  void activate(const SuiteInfo& suite, crypto::ConstBytes enc_key,
+                crypto::ConstBytes mac_key, crypto::ConstBytes iv_seed);
+
+  bool active() const { return active_; }
+  std::uint64_t sequence() const { return seq_; }
+
+  /// Protect a payload into a full wire record.
+  crypto::Bytes seal(RecordType type, ProtocolVersion version,
+                     crypto::ConstBytes payload);
+
+  /// Parse and (if active) decrypt+verify a wire record.
+  /// Throws std::runtime_error on malformed input or MAC failure.
+  Record open(crypto::ConstBytes wire);
+
+  /// Bytes of overhead seal() adds to a payload of `n` bytes (MAC +
+  /// padding); used by the platform workload calibration benches.
+  std::size_t overhead(std::size_t n) const;
+
+ private:
+  crypto::Bytes record_iv(std::uint64_t seq) const;
+  crypto::Bytes compute_mac(std::uint64_t seq, RecordType type,
+                            crypto::ConstBytes payload) const;
+
+  bool active_ = false;
+  const SuiteInfo* suite_ = nullptr;
+  std::unique_ptr<crypto::BlockCipher> block_;
+  std::optional<crypto::Rc4> stream_;
+  crypto::Bytes mac_key_;
+  crypto::Bytes iv_seed_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Split a byte stream into complete records (returns the number of bytes
+/// consumed; remaining bytes are an incomplete record).
+std::size_t split_records(crypto::ConstBytes stream,
+                          std::vector<crypto::Bytes>& out);
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,73 @@
+// Cipher-suite inventory for the handshake protocol.
+//
+// Section 3.1: "an RSA key exchange based SSL cipher suite would need to
+// support 3-DES, RC4, RC2 or DES, along with the appropriate message
+// authentication algorithm (SHA-1 or MD5) ... it is desirable to support
+// all the allowed combinations so as to inter-operate with the widest
+// possible range of peers." This table is that combination space, plus the
+// AES suite that the June 2002 TLS revision added (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/cipher.hpp"
+
+namespace mapsec::protocol {
+
+/// Suite identifiers (values follow the TLS registry where one exists).
+enum class CipherSuite : std::uint16_t {
+  kRsaRc4128Md5 = 0x0004,
+  kRsaRc4128Sha = 0x0005,
+  kRsaDesCbcSha = 0x0009,
+  kRsa3DesEdeCbcSha = 0x000A,
+  kDheRsa3DesEdeCbcSha = 0x0016,
+  kRsaAes128CbcSha = 0x002F,
+  kDheRsaAes128CbcSha = 0x0033,
+  kRsaRc2Cbc128Md5 = 0xFF01,  // private-range id for the RC2 suite
+};
+
+enum class BulkKind : std::uint8_t { kStream, kBlock };
+enum class BulkCipher : std::uint8_t { kRc4, kDes, kDes3, kAes128, kRc2 };
+enum class MacAlgo : std::uint8_t { kHmacMd5, kHmacSha1 };
+
+/// Key-exchange method. RSA transports the premaster under the server's
+/// long-term key; DHE-RSA agrees on it with signed ephemeral
+/// Diffie-Hellman (forward secrecy — a session key outlives the theft of
+/// the device or server key, squarely the paper's loss/theft threat).
+enum class KeyExchange : std::uint8_t { kRsa, kDheRsa };
+
+/// Static properties of a suite.
+struct SuiteInfo {
+  CipherSuite id;
+  std::string name;
+  KeyExchange kx;
+  BulkKind kind;
+  BulkCipher cipher;
+  std::size_t key_len;    // bulk key bytes
+  std::size_t block_len;  // block/IV bytes (0 for stream)
+  MacAlgo mac;
+  std::size_t mac_len;    // tag bytes
+};
+
+/// Look up a suite (throws std::invalid_argument for unknown ids).
+const SuiteInfo& suite_info(CipherSuite id);
+
+/// All suites, strongest-preference first (the library default offer).
+std::vector<CipherSuite> all_suites();
+
+/// Compute an HMAC tag with the suite's MAC algorithm.
+crypto::Bytes suite_mac(MacAlgo algo, crypto::ConstBytes key,
+                        crypto::ConstBytes data);
+
+/// Digest size of a MAC algorithm.
+std::size_t mac_length(MacAlgo algo);
+
+/// Instantiate the suite's block cipher with `key` (block suites only).
+std::unique_ptr<crypto::BlockCipher> make_suite_cipher(BulkCipher cipher,
+                                                       crypto::ConstBytes key);
+
+}  // namespace mapsec::protocol

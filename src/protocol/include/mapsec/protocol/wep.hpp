@@ -1,0 +1,62 @@
+// 802.11 WEP encapsulation (Wired Equivalent Privacy).
+//
+// Implemented exactly as deployed — 24-bit IV prepended to the RC4 key,
+// CRC-32 "integrity check value", per-frame RC4 keystream — because the
+// paper's Section 2 cites the published breaks [21-23] ("the level of
+// security provided by most of the above security protocols is
+// insufficient"). attack::wep mounts the keystream-reuse and FMS weak-IV
+// attacks against this implementation; use the TLS stack for actual
+// confidentiality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::protocol {
+
+/// A WEP-protected frame: the cleartext IV plus the RC4-encrypted
+/// (payload || CRC32) body.
+struct WepFrame {
+  std::array<std::uint8_t, 3> iv{};
+  std::uint8_t key_id = 0;
+  crypto::Bytes body;
+};
+
+/// Encapsulate `payload` under `key` (5-byte WEP-40 or 13-byte WEP-104)
+/// with the given IV. Per-frame RC4 key = IV || key.
+WepFrame wep_encapsulate(crypto::ConstBytes key,
+                         const std::array<std::uint8_t, 3>& iv,
+                         crypto::ConstBytes payload);
+
+/// Decapsulate; returns nullopt when the ICV (CRC) check fails.
+std::optional<crypto::Bytes> wep_decapsulate(crypto::ConstBytes key,
+                                             const WepFrame& frame);
+
+/// IV-assignment policies observed in real 802.11 gear; the policy choice
+/// is what the keystream-reuse attack exploits.
+enum class WepIvPolicy {
+  kSequential,  // counter, wraps at 2^24 — guarantees eventual reuse
+  kRandom,      // random per frame — birthday collisions after ~4096 frames
+};
+
+/// Stateful WEP sender applying an IV policy.
+class WepSender {
+ public:
+  WepSender(crypto::Bytes key, WepIvPolicy policy, crypto::Rng* rng);
+
+  WepFrame send(crypto::ConstBytes payload);
+
+  std::uint32_t frames_sent() const { return counter_; }
+
+ private:
+  crypto::Bytes key_;
+  WepIvPolicy policy_;
+  crypto::Rng* rng_;
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace mapsec::protocol

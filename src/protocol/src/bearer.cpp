@@ -1,0 +1,43 @@
+#include "mapsec/protocol/bearer.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::protocol {
+
+GsmLink::GsmLink(crypto::Bytes kc) : kc_(std::move(kc)) {
+  if (kc_.size() != 8)
+    throw std::invalid_argument("GsmLink: Kc is 8 bytes");
+}
+
+GsmFrame GsmLink::send(crypto::ConstBytes payload, GsmCipherMode mode) {
+  GsmFrame frame;
+  frame.frame_number = counter_++ & 0x3FFFFF;  // 22-bit wrap
+  frame.mode = mode;
+  if (mode == GsmCipherMode::kA51) {
+    frame.body = crypto::a51_crypt(kc_, frame.frame_number, payload);
+  } else {
+    frame.body.assign(payload.begin(), payload.end());
+  }
+  return frame;
+}
+
+crypto::Bytes GsmLink::receive(const GsmFrame& frame) const {
+  if (frame.mode == GsmCipherMode::kA51)
+    return crypto::a51_crypt(kc_, frame.frame_number, frame.body);
+  return frame.body;
+}
+
+BearerPathTrace bearer_path_transfer(GsmLink& link,
+                                     crypto::ConstBytes payload,
+                                     GsmCipherMode mode) {
+  BearerPathTrace trace;
+  const GsmFrame frame = link.send(payload, mode);
+  trace.over_the_air = frame.body;
+  // The base station is the bearer-security endpoint: it decrypts.
+  trace.at_base_station = link.receive(frame);
+  // Everything past it travels as the base station saw it.
+  trace.delivered_to_server = trace.at_base_station;
+  return trace;
+}
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,56 @@
+#include "mapsec/protocol/ccmp.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::protocol {
+
+crypto::Bytes ccmp_nonce(std::uint64_t pn) {
+  crypto::Bytes nonce(crypto::kCcmNonceLen, 0);
+  for (int i = 0; i < 6; ++i)
+    nonce[static_cast<std::size_t>(12 - i)] =
+        static_cast<std::uint8_t>(pn >> (8 * i));
+  return nonce;
+}
+
+CcmpSender::CcmpSender(crypto::ConstBytes key16) {
+  if (key16.size() != 16)
+    throw std::invalid_argument("CCMP uses a 128-bit key");
+  cipher_ = crypto::make_block_cipher(crypto::Aes(key16));
+}
+
+CcmpFrame CcmpSender::protect(crypto::ConstBytes header,
+                              crypto::ConstBytes payload) {
+  CcmpFrame frame;
+  frame.header.assign(header.begin(), header.end());
+  frame.pn = ++pn_;
+  if (frame.pn >= (1ull << 48))
+    throw std::runtime_error("CCMP: PN space exhausted; rekey required");
+  frame.body =
+      crypto::ccm_seal(*cipher_, ccmp_nonce(frame.pn), header, payload, 8);
+  return frame;
+}
+
+CcmpReceiver::CcmpReceiver(crypto::ConstBytes key16) {
+  if (key16.size() != 16)
+    throw std::invalid_argument("CCMP uses a 128-bit key");
+  cipher_ = crypto::make_block_cipher(crypto::Aes(key16));
+}
+
+std::optional<crypto::Bytes> CcmpReceiver::unprotect(const CcmpFrame& frame) {
+  // Replay first: PNs must strictly increase.
+  if (frame.pn <= last_pn_) {
+    ++stats_.replayed;
+    return std::nullopt;
+  }
+  auto plaintext = crypto::ccm_open(*cipher_, ccmp_nonce(frame.pn),
+                                    frame.header, frame.body, 8);
+  if (!plaintext) {
+    ++stats_.bad_mic;
+    return std::nullopt;
+  }
+  last_pn_ = frame.pn;
+  ++stats_.accepted;
+  return plaintext;
+}
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,187 @@
+#include "mapsec/protocol/cert.hpp"
+
+#include <stdexcept>
+
+namespace mapsec::protocol {
+
+namespace {
+
+void put_u16(crypto::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(crypto::Bytes& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+void put_u64(crypto::Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_blob(crypto::Bytes& out, crypto::ConstBytes blob) {
+  if (blob.size() > 0xFFFF)
+    throw std::invalid_argument("certificate field too large");
+  put_u16(out, static_cast<std::uint16_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+void put_str(crypto::Bytes& out, const std::string& s) {
+  put_blob(out, crypto::to_bytes(s));
+}
+
+/// Cursor-based reader; all methods throw std::runtime_error on underrun
+/// so decode() can translate to nullopt in one place.
+struct Reader {
+  crypto::ConstBytes data;
+  std::size_t off = 0;
+
+  void need(std::size_t n) const {
+    if (data.size() - off < n) throw std::runtime_error("cert: truncated");
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data[off] << 8) | data[off + 1]);
+    off += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  crypto::Bytes blob() {
+    const std::size_t n = u16();
+    need(n);
+    crypto::Bytes out(data.begin() + static_cast<std::ptrdiff_t>(off),
+                      data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    return out;
+  }
+  std::string str() {
+    const crypto::Bytes b = blob();
+    return std::string(b.begin(), b.end());
+  }
+};
+
+}  // namespace
+
+crypto::Bytes Certificate::tbs() const {
+  crypto::Bytes out;
+  put_str(out, subject);
+  put_str(out, issuer);
+  put_blob(out, public_key.n.to_bytes_be());
+  put_blob(out, public_key.e.to_bytes_be());
+  put_u32(out, serial);
+  put_u64(out, not_before);
+  put_u64(out, not_after);
+  return out;
+}
+
+crypto::Bytes Certificate::encode() const {
+  crypto::Bytes out = tbs();
+  put_blob(out, signature);
+  return out;
+}
+
+std::optional<Certificate> Certificate::decode(crypto::ConstBytes wire) {
+  try {
+    Reader r{wire};
+    Certificate c;
+    c.subject = r.str();
+    c.issuer = r.str();
+    c.public_key.n = crypto::BigInt::from_bytes_be(r.blob());
+    c.public_key.e = crypto::BigInt::from_bytes_be(r.blob());
+    c.serial = r.u32();
+    c.not_before = r.u64();
+    c.not_after = r.u64();
+    c.signature = r.blob();
+    if (r.off != wire.size()) return std::nullopt;
+    return c;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           crypto::RsaKeyPair key,
+                                           std::uint64_t not_before,
+                                           std::uint64_t not_after)
+    : name_(std::move(name)), key_(std::move(key)) {
+  root_.subject = name_;
+  root_.issuer = name_;
+  root_.public_key = key_.pub;
+  root_.serial = 1;
+  root_.not_before = not_before;
+  root_.not_after = not_after;
+  root_.signature = crypto::rsa_sign_sha256(key_.priv, root_.tbs());
+}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const crypto::RsaPublicKey& subject_key,
+                                        std::uint64_t not_before,
+                                        std::uint64_t not_after) {
+  Certificate c;
+  c.subject = subject;
+  c.issuer = name_;
+  c.public_key = subject_key;
+  c.serial = next_serial_++;
+  c.not_before = not_before;
+  c.not_after = not_after;
+  c.signature = crypto::rsa_sign_sha256(key_.priv, c.tbs());
+  return c;
+}
+
+std::string cert_verify_result_name(CertVerifyResult r) {
+  switch (r) {
+    case CertVerifyResult::kOk: return "ok";
+    case CertVerifyResult::kUnknownIssuer: return "unknown-issuer";
+    case CertVerifyResult::kBadSignature: return "bad-signature";
+    case CertVerifyResult::kExpired: return "expired";
+    case CertVerifyResult::kNotYetValid: return "not-yet-valid";
+    case CertVerifyResult::kEmptyChain: return "empty-chain";
+  }
+  return "?";
+}
+
+CertVerifyResult verify_chain(const std::vector<Certificate>& chain,
+                              const std::vector<Certificate>& trusted_roots,
+                              std::uint64_t now) {
+  if (chain.empty()) return CertVerifyResult::kEmptyChain;
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (now < cert.not_before) return CertVerifyResult::kNotYetValid;
+    if (now > cert.not_after) return CertVerifyResult::kExpired;
+
+    // Find the issuer: next element of the chain, or a trusted root.
+    const Certificate* issuer = nullptr;
+    if (i + 1 < chain.size() && chain[i + 1].subject == cert.issuer) {
+      issuer = &chain[i + 1];
+    } else {
+      for (const auto& root : trusted_roots) {
+        if (root.subject == cert.issuer) {
+          issuer = &root;
+          break;
+        }
+      }
+    }
+    if (issuer == nullptr) return CertVerifyResult::kUnknownIssuer;
+    if (!crypto::rsa_verify_sha256(issuer->public_key, cert.tbs(),
+                                   cert.signature))
+      return CertVerifyResult::kBadSignature;
+    // If the issuer is a trusted root we are done.
+    for (const auto& root : trusted_roots)
+      if (root.subject == issuer->subject) return CertVerifyResult::kOk;
+  }
+  // Walked the whole chain without reaching a trusted root.
+  return CertVerifyResult::kUnknownIssuer;
+}
+
+}  // namespace mapsec::protocol

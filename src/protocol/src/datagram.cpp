@@ -1,0 +1,131 @@
+#include "mapsec/protocol/datagram.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::protocol {
+
+void DatagramRecordCodec::activate(const SuiteInfo& suite,
+                                   crypto::ConstBytes enc_key,
+                                   crypto::ConstBytes mac_key,
+                                   crypto::ConstBytes iv_seed) {
+  if (suite.kind != BulkKind::kBlock)
+    throw std::invalid_argument(
+        "DatagramRecordCodec: stream suites cannot survive datagram loss "
+        "(keystream position is delivery-dependent); WTLS profiles use "
+        "block ciphers");
+  suite_ = &suite;
+  enc_key_.assign(enc_key.begin(), enc_key.end());
+  mac_key_.assign(mac_key.begin(), mac_key.end());
+  iv_seed_.assign(iv_seed.begin(), iv_seed.end());
+  block_ = make_suite_cipher(suite.cipher, enc_key_);
+  send_seq_ = 0;
+  highest_seq_ = 0;
+  window_ = 0;
+  any_received_ = false;
+  active_ = true;
+}
+
+crypto::Bytes DatagramRecordCodec::record_iv(std::uint64_t seq) const {
+  std::uint8_t seq_bytes[8];
+  crypto::store_be64(seq_bytes, seq);
+  const crypto::Bytes full =
+      crypto::HmacSha1::mac(iv_seed_, crypto::ConstBytes{seq_bytes, 8});
+  return crypto::Bytes(
+      full.begin(),
+      full.begin() + static_cast<std::ptrdiff_t>(suite_->block_len));
+}
+
+crypto::Bytes DatagramRecordCodec::compute_mac(
+    std::uint64_t seq, RecordType type, crypto::ConstBytes payload) const {
+  crypto::Bytes header(11);
+  crypto::store_be64(header.data(), seq);
+  header[8] = static_cast<std::uint8_t>(type);
+  header[9] = static_cast<std::uint8_t>(payload.size() >> 8);
+  header[10] = static_cast<std::uint8_t>(payload.size());
+  return suite_mac(suite_->mac, mac_key_, crypto::cat(header, payload));
+}
+
+crypto::Bytes DatagramRecordCodec::seal(RecordType type,
+                                        ProtocolVersion version,
+                                        crypto::ConstBytes payload) {
+  if (!active_) throw std::runtime_error("datagram codec not active");
+  const std::uint64_t seq = ++send_seq_;
+  const crypto::Bytes mac = compute_mac(seq, type, payload);
+  const crypto::Bytes body =
+      crypto::cbc_encrypt(*block_, record_iv(seq), crypto::cat(payload, mac));
+  if (body.size() > 0xFFFF)
+    throw std::invalid_argument("datagram record too large");
+
+  crypto::Bytes wire(13 + body.size());
+  wire[0] = static_cast<std::uint8_t>(type);
+  wire[1] = static_cast<std::uint8_t>(static_cast<std::uint16_t>(version) >> 8);
+  wire[2] = static_cast<std::uint8_t>(static_cast<std::uint16_t>(version));
+  crypto::store_be64(wire.data() + 3, seq);
+  wire[11] = static_cast<std::uint8_t>(body.size() >> 8);
+  wire[12] = static_cast<std::uint8_t>(body.size());
+  std::copy(body.begin(), body.end(), wire.begin() + 13);
+  return wire;
+}
+
+bool DatagramRecordCodec::replay_check_and_update(std::uint64_t seq) {
+  if (!any_received_ || seq > highest_seq_) {
+    const std::uint64_t shift = any_received_ ? seq - highest_seq_ : 1;
+    window_ = shift >= 64 ? 0 : window_ << shift;
+    window_ |= 1;
+    highest_seq_ = seq;
+    any_received_ = true;
+    return true;
+  }
+  const std::uint64_t offset = highest_seq_ - seq;
+  if (offset >= 64) return false;
+  const std::uint64_t bit = 1ull << offset;
+  if (window_ & bit) return false;
+  window_ |= bit;
+  return true;
+}
+
+std::optional<Record> DatagramRecordCodec::open(crypto::ConstBytes wire) {
+  if (!active_) throw std::runtime_error("datagram codec not active");
+  if (wire.size() < 13) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const auto type = static_cast<RecordType>(wire[0]);
+  const std::uint64_t seq = crypto::load_be64(wire.data() + 3);
+  const std::size_t len = (std::size_t{wire[11]} << 8) | wire[12];
+  if (wire.size() != 13 + len) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+
+  crypto::Bytes fragment;
+  try {
+    fragment = crypto::cbc_decrypt(*block_, record_iv(seq), wire.subspan(13));
+  } catch (const std::runtime_error&) {
+    ++stats_.bad_mac;  // padding failure: treat as authentication failure
+    return std::nullopt;
+  }
+  if (fragment.size() < suite_->mac_len) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const std::size_t plen = fragment.size() - suite_->mac_len;
+  const crypto::ConstBytes payload{fragment.data(), plen};
+  const crypto::ConstBytes tag{fragment.data() + plen, suite_->mac_len};
+  if (!crypto::ct_equal(compute_mac(seq, type, payload), tag)) {
+    ++stats_.bad_mac;
+    return std::nullopt;
+  }
+  // Authenticate first, then replay-check, so forged packets cannot
+  // poison the window.
+  if (!replay_check_and_update(seq)) {
+    ++stats_.replayed;
+    return std::nullopt;
+  }
+  ++stats_.accepted;
+  return Record{type, crypto::Bytes(payload.begin(), payload.end())};
+}
+
+}  // namespace mapsec::protocol

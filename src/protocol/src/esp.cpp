@@ -1,0 +1,114 @@
+#include "mapsec/protocol/esp.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::protocol {
+
+namespace {
+
+crypto::Bytes icv(crypto::ConstBytes mac_key, crypto::ConstBytes data) {
+  crypto::Bytes full = crypto::HmacSha1::mac(mac_key, data);
+  full.resize(kEspIcvLen);
+  return full;
+}
+
+}  // namespace
+
+EspSender::EspSender(EspSa sa, crypto::Rng* rng)
+    : sa_(std::move(sa)), rng_(rng),
+      cipher_(make_suite_cipher(sa_.cipher, sa_.enc_key)) {
+  if (rng_ == nullptr) throw std::invalid_argument("EspSender: rng required");
+}
+
+crypto::Bytes EspSender::protect(crypto::ConstBytes payload) {
+  ++seq_;
+  const std::size_t bs = cipher_->block_size();
+  const crypto::Bytes iv = rng_->bytes(bs);
+  const crypto::Bytes ciphertext = cbc_encrypt(*cipher_, iv, payload);
+
+  crypto::Bytes packet;
+  packet.reserve(8 + iv.size() + ciphertext.size() + kEspIcvLen);
+  packet.push_back(static_cast<std::uint8_t>(sa_.spi >> 24));
+  packet.push_back(static_cast<std::uint8_t>(sa_.spi >> 16));
+  packet.push_back(static_cast<std::uint8_t>(sa_.spi >> 8));
+  packet.push_back(static_cast<std::uint8_t>(sa_.spi));
+  packet.push_back(static_cast<std::uint8_t>(seq_ >> 24));
+  packet.push_back(static_cast<std::uint8_t>(seq_ >> 16));
+  packet.push_back(static_cast<std::uint8_t>(seq_ >> 8));
+  packet.push_back(static_cast<std::uint8_t>(seq_));
+  packet.insert(packet.end(), iv.begin(), iv.end());
+  packet.insert(packet.end(), ciphertext.begin(), ciphertext.end());
+
+  const crypto::Bytes tag = icv(sa_.mac_key, packet);
+  packet.insert(packet.end(), tag.begin(), tag.end());
+  return packet;
+}
+
+EspReceiver::EspReceiver(EspSa sa)
+    : sa_(std::move(sa)),
+      cipher_(make_suite_cipher(sa_.cipher, sa_.enc_key)) {}
+
+bool EspReceiver::replay_check_and_update(std::uint32_t seq) {
+  if (seq == 0) return false;
+  if (seq > highest_seq_) {
+    const std::uint32_t shift = seq - highest_seq_;
+    window_ = shift >= 64 ? 0 : window_ << shift;
+    window_ |= 1;  // bit 0 = highest
+    highest_seq_ = seq;
+    return true;
+  }
+  const std::uint32_t offset = highest_seq_ - seq;
+  if (offset >= 64) return false;  // too old
+  const std::uint64_t bit = 1ull << offset;
+  if (window_ & bit) return false;  // replay
+  window_ |= bit;
+  return true;
+}
+
+std::optional<crypto::Bytes> EspReceiver::unprotect(
+    crypto::ConstBytes packet) {
+  const std::size_t bs = cipher_->block_size();
+  if (packet.size() < 8 + bs + bs + kEspIcvLen) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const std::uint32_t spi = (std::uint32_t{packet[0]} << 24) |
+                            (std::uint32_t{packet[1]} << 16) |
+                            (std::uint32_t{packet[2]} << 8) | packet[3];
+  const std::uint32_t seq = (std::uint32_t{packet[4]} << 24) |
+                            (std::uint32_t{packet[5]} << 16) |
+                            (std::uint32_t{packet[6]} << 8) | packet[7];
+  if (spi != sa_.spi) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+
+  const std::size_t body_len = packet.size() - kEspIcvLen;
+  const crypto::ConstBytes authed{packet.data(), body_len};
+  const crypto::ConstBytes tag{packet.data() + body_len, kEspIcvLen};
+  if (!crypto::ct_equal(icv(sa_.mac_key, authed), tag)) {
+    ++stats_.bad_icv;
+    return std::nullopt;
+  }
+
+  if (!replay_check_and_update(seq)) {
+    ++stats_.replayed;
+    return std::nullopt;
+  }
+
+  const crypto::ConstBytes iv{packet.data() + 8, bs};
+  const crypto::ConstBytes ciphertext{packet.data() + 8 + bs,
+                                      body_len - 8 - bs};
+  try {
+    crypto::Bytes payload = cbc_decrypt(*cipher_, iv, ciphertext);
+    ++stats_.accepted;
+    return payload;
+  } catch (const std::runtime_error&) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+}
+
+}  // namespace mapsec::protocol

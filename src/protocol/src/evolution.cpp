@@ -1,0 +1,70 @@
+#include "mapsec/protocol/evolution.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mapsec::protocol {
+
+const std::vector<ProtocolMilestone>& protocol_evolution() {
+  static const std::vector<ProtocolMilestone> kTimeline = {
+      // ---- wired: SSL/TLS lineage -------------------------------------
+      {"SSL/TLS", "SSL 2.0", ProtocolDomain::kWired, 1995, 2,
+       "first deployed SSL release (Netscape)"},
+      {"SSL/TLS", "SSL 3.0", ProtocolDomain::kWired, 1996, 11,
+       "redesign fixing SSL 2.0 weaknesses; cipher-suite negotiation"},
+      {"SSL/TLS", "TLS 1.0 (RFC 2246)", ProtocolDomain::kWired, 1999, 1,
+       "IETF standardisation; HMAC-based record protection, PRF"},
+      {"SSL/TLS", "AES suites (RFC 3268)", ProtocolDomain::kWired, 2002, 6,
+       "TLS revised to accommodate AES, the proposed DES replacement"},
+      // ---- wired: IPSec lineage ----------------------------------------
+      {"IPSec", "RFC 1825-1829", ProtocolDomain::kWired, 1995, 8,
+       "first IPSec architecture: AH and ESP"},
+      {"IPSec", "RFC 2401-2412", ProtocolDomain::kWired, 1998, 11,
+       "revised architecture; IKE key management; mandatory HMAC"},
+      {"IPSec", "AES drafts", ProtocolDomain::kWired, 2002, 3,
+       "AES-CBC cipher drafts for ESP in IETF last call"},
+      // ---- wireless: WTLS / WAP lineage --------------------------------
+      {"WTLS", "WAP 1.0 WTLS", ProtocolDomain::kWireless, 1998, 4,
+       "transport-layer security for WAP, adapted from TLS for datagrams"},
+      {"WTLS", "WAP 1.1 WTLS", ProtocolDomain::kWireless, 1999, 6,
+       "revision after initial deployment feedback"},
+      {"WTLS", "WAP 1.2.1 WTLS", ProtocolDomain::kWireless, 2000, 6,
+       "fixes for published WTLS cryptanalysis (Saarinen attacks)"},
+      {"WAP", "WAP 2.0 (TLS profile)", ProtocolDomain::kWireless, 2002, 1,
+       "end-to-end TLS replaces gateway re-encryption"},
+      // ---- wireless: MET lineage ----------------------------------------
+      {"MET", "MeT 1.0 PTD definition", ProtocolDomain::kWireless, 2001, 2,
+       "Mobile Electronic Transactions personal trusted device spec"},
+      {"MET", "MeT 1.1", ProtocolDomain::kWireless, 2002, 2,
+       "revised PTD definition and security framework"},
+  };
+  return kTimeline;
+}
+
+std::vector<ProtocolMilestone> family_history(const std::string& family) {
+  std::vector<ProtocolMilestone> out;
+  for (const auto& m : protocol_evolution())
+    if (m.family == family) out.push_back(m);
+  return out;
+}
+
+std::vector<std::string> protocol_families() {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& m : protocol_evolution())
+    if (seen.insert(m.family).second) out.push_back(m.family);
+  return out;
+}
+
+double revisions_per_year(const std::string& family) {
+  const auto history = family_history(family);
+  if (history.size() < 2) return 0.0;
+  const auto date = [](const ProtocolMilestone& m) {
+    return m.year + (m.month == 0 ? 0.5 : (m.month - 0.5) / 12.0);
+  };
+  const double span = date(history.back()) - date(history.front());
+  if (span <= 0) return 0.0;
+  return static_cast<double>(history.size() - 1) / span;
+}
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,124 @@
+#include "mapsec/protocol/record.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::protocol {
+
+void RecordCodec::activate(const SuiteInfo& suite, crypto::ConstBytes enc_key,
+                           crypto::ConstBytes mac_key,
+                           crypto::ConstBytes iv_seed) {
+  suite_ = &suite;
+  mac_key_.assign(mac_key.begin(), mac_key.end());
+  iv_seed_.assign(iv_seed.begin(), iv_seed.end());
+  if (suite.kind == BulkKind::kBlock) {
+    block_ = make_suite_cipher(suite.cipher, enc_key);
+    stream_.reset();
+  } else {
+    stream_.emplace(enc_key);
+    block_.reset();
+  }
+  seq_ = 0;
+  active_ = true;
+}
+
+crypto::Bytes RecordCodec::record_iv(std::uint64_t seq) const {
+  std::uint8_t seq_bytes[8];
+  crypto::store_be64(seq_bytes, seq);
+  const crypto::Bytes full =
+      crypto::HmacSha1::mac(iv_seed_, crypto::ConstBytes{seq_bytes, 8});
+  return crypto::Bytes(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(
+                                          suite_->block_len));
+}
+
+crypto::Bytes RecordCodec::compute_mac(std::uint64_t seq, RecordType type,
+                                       crypto::ConstBytes payload) const {
+  crypto::Bytes header(11);
+  crypto::store_be64(header.data(), seq);
+  header[8] = static_cast<std::uint8_t>(type);
+  header[9] = static_cast<std::uint8_t>(payload.size() >> 8);
+  header[10] = static_cast<std::uint8_t>(payload.size());
+  return suite_mac(suite_->mac, mac_key_, crypto::cat(header, payload));
+}
+
+crypto::Bytes RecordCodec::seal(RecordType type, ProtocolVersion version,
+                                crypto::ConstBytes payload) {
+  crypto::Bytes body;
+  if (!active_) {
+    body.assign(payload.begin(), payload.end());
+  } else {
+    const crypto::Bytes mac = compute_mac(seq_, type, payload);
+    const crypto::Bytes fragment = crypto::cat(payload, mac);
+    if (suite_->kind == BulkKind::kBlock) {
+      body = crypto::cbc_encrypt(*block_, record_iv(seq_), fragment);
+    } else {
+      body = stream_->process(fragment);
+    }
+    ++seq_;
+  }
+  if (body.size() > 0xFFFF)
+    throw std::invalid_argument("RecordCodec::seal: record too large");
+  crypto::Bytes wire(5 + body.size());
+  wire[0] = static_cast<std::uint8_t>(type);
+  wire[1] = static_cast<std::uint8_t>(static_cast<std::uint16_t>(version) >> 8);
+  wire[2] = static_cast<std::uint8_t>(static_cast<std::uint16_t>(version));
+  wire[3] = static_cast<std::uint8_t>(body.size() >> 8);
+  wire[4] = static_cast<std::uint8_t>(body.size());
+  std::copy(body.begin(), body.end(), wire.begin() + 5);
+  return wire;
+}
+
+Record RecordCodec::open(crypto::ConstBytes wire) {
+  if (wire.size() < 5) throw std::runtime_error("record: truncated header");
+  const auto type = static_cast<RecordType>(wire[0]);
+  const std::size_t len = (std::size_t{wire[3]} << 8) | wire[4];
+  if (wire.size() != 5 + len)
+    throw std::runtime_error("record: length mismatch");
+  const crypto::ConstBytes body = wire.subspan(5);
+
+  if (!active_) return {type, crypto::Bytes(body.begin(), body.end())};
+
+  crypto::Bytes fragment;
+  if (suite_->kind == BulkKind::kBlock) {
+    fragment = crypto::cbc_decrypt(*block_, record_iv(seq_), body);
+  } else {
+    fragment = stream_->process(body);
+  }
+  if (fragment.size() < suite_->mac_len)
+    throw std::runtime_error("record: fragment shorter than MAC");
+  const std::size_t plen = fragment.size() - suite_->mac_len;
+  const crypto::ConstBytes payload{fragment.data(), plen};
+  const crypto::ConstBytes tag{fragment.data() + plen, suite_->mac_len};
+  const crypto::Bytes expected = compute_mac(seq_, type, payload);
+  if (!crypto::ct_equal(expected, tag))
+    throw std::runtime_error("record: MAC verification failed");
+  ++seq_;
+  return {type, crypto::Bytes(payload.begin(), payload.end())};
+}
+
+std::size_t RecordCodec::overhead(std::size_t n) const {
+  if (!active_) return 5;
+  if (suite_->kind == BulkKind::kStream) return 5 + suite_->mac_len;
+  const std::size_t fragment = n + suite_->mac_len;
+  const std::size_t padded =
+      (fragment / suite_->block_len + 1) * suite_->block_len;
+  return 5 + padded - n;
+}
+
+std::size_t split_records(crypto::ConstBytes stream,
+                          std::vector<crypto::Bytes>& out) {
+  std::size_t off = 0;
+  while (stream.size() - off >= 5) {
+    const std::size_t len =
+        (std::size_t{stream[off + 3]} << 8) | stream[off + 4];
+    if (stream.size() - off < 5 + len) break;
+    out.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(off),
+                     stream.begin() + static_cast<std::ptrdiff_t>(off + 5 + len));
+    off += 5 + len;
+  }
+  return off;
+}
+
+}  // namespace mapsec::protocol

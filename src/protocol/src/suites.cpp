@@ -1,0 +1,80 @@
+#include "mapsec/protocol/suites.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::protocol {
+
+namespace {
+
+const std::array<SuiteInfo, 8>& table() {
+  static const std::array<SuiteInfo, 8> kTable = {{
+      {CipherSuite::kRsa3DesEdeCbcSha, "RSA_WITH_3DES_EDE_CBC_SHA",
+       KeyExchange::kRsa, BulkKind::kBlock, BulkCipher::kDes3, 24, 8,
+       MacAlgo::kHmacSha1, 20},
+      {CipherSuite::kRsaAes128CbcSha, "RSA_WITH_AES_128_CBC_SHA",
+       KeyExchange::kRsa, BulkKind::kBlock, BulkCipher::kAes128, 16, 16,
+       MacAlgo::kHmacSha1, 20},
+      {CipherSuite::kDheRsa3DesEdeCbcSha, "DHE_RSA_WITH_3DES_EDE_CBC_SHA",
+       KeyExchange::kDheRsa, BulkKind::kBlock, BulkCipher::kDes3, 24, 8,
+       MacAlgo::kHmacSha1, 20},
+      {CipherSuite::kDheRsaAes128CbcSha, "DHE_RSA_WITH_AES_128_CBC_SHA",
+       KeyExchange::kDheRsa, BulkKind::kBlock, BulkCipher::kAes128, 16, 16,
+       MacAlgo::kHmacSha1, 20},
+      {CipherSuite::kRsaRc4128Sha, "RSA_WITH_RC4_128_SHA", KeyExchange::kRsa,
+       BulkKind::kStream, BulkCipher::kRc4, 16, 0, MacAlgo::kHmacSha1, 20},
+      {CipherSuite::kRsaRc4128Md5, "RSA_WITH_RC4_128_MD5", KeyExchange::kRsa,
+       BulkKind::kStream, BulkCipher::kRc4, 16, 0, MacAlgo::kHmacMd5, 16},
+      {CipherSuite::kRsaDesCbcSha, "RSA_WITH_DES_CBC_SHA", KeyExchange::kRsa,
+       BulkKind::kBlock, BulkCipher::kDes, 8, 8, MacAlgo::kHmacSha1, 20},
+      {CipherSuite::kRsaRc2Cbc128Md5, "RSA_WITH_RC2_CBC_128_MD5",
+       KeyExchange::kRsa, BulkKind::kBlock, BulkCipher::kRc2, 16, 8,
+       MacAlgo::kHmacMd5, 16},
+  }};
+  return kTable;
+}
+
+}  // namespace
+
+const SuiteInfo& suite_info(CipherSuite id) {
+  for (const auto& s : table())
+    if (s.id == id) return s;
+  throw std::invalid_argument("suite_info: unknown cipher suite");
+}
+
+std::vector<CipherSuite> all_suites() {
+  std::vector<CipherSuite> out;
+  out.reserve(table().size());
+  for (const auto& s : table()) out.push_back(s.id);
+  return out;
+}
+
+crypto::Bytes suite_mac(MacAlgo algo, crypto::ConstBytes key,
+                        crypto::ConstBytes data) {
+  switch (algo) {
+    case MacAlgo::kHmacMd5: return crypto::HmacMd5::mac(key, data);
+    case MacAlgo::kHmacSha1: return crypto::HmacSha1::mac(key, data);
+  }
+  throw std::invalid_argument("suite_mac: unknown MAC algorithm");
+}
+
+std::size_t mac_length(MacAlgo algo) {
+  return algo == MacAlgo::kHmacMd5 ? 16 : 20;
+}
+
+std::unique_ptr<crypto::BlockCipher> make_suite_cipher(
+    BulkCipher cipher, crypto::ConstBytes key) {
+  switch (cipher) {
+    case BulkCipher::kDes: return crypto::make_block_cipher(crypto::Des(key));
+    case BulkCipher::kDes3: return crypto::make_block_cipher(crypto::Des3(key));
+    case BulkCipher::kAes128: return crypto::make_block_cipher(crypto::Aes(key));
+    case BulkCipher::kRc2: return crypto::make_block_cipher(crypto::Rc2(key));
+    case BulkCipher::kRc4:
+      throw std::invalid_argument("make_suite_cipher: RC4 is a stream cipher");
+  }
+  throw std::invalid_argument("make_suite_cipher: unknown cipher");
+}
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,79 @@
+#include "mapsec/protocol/wep.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/crc32.hpp"
+#include "mapsec/crypto/rc4.hpp"
+
+namespace mapsec::protocol {
+
+namespace {
+
+crypto::Bytes per_frame_key(crypto::ConstBytes key,
+                            const std::array<std::uint8_t, 3>& iv) {
+  crypto::Bytes k;
+  k.reserve(3 + key.size());
+  k.insert(k.end(), iv.begin(), iv.end());
+  k.insert(k.end(), key.begin(), key.end());
+  return k;
+}
+
+}  // namespace
+
+WepFrame wep_encapsulate(crypto::ConstBytes key,
+                         const std::array<std::uint8_t, 3>& iv,
+                         crypto::ConstBytes payload) {
+  if (key.size() != 5 && key.size() != 13)
+    throw std::invalid_argument("WEP key must be 5 or 13 bytes");
+  crypto::Bytes plaintext(payload.begin(), payload.end());
+  const std::uint32_t icv = crypto::crc32(payload);
+  plaintext.push_back(static_cast<std::uint8_t>(icv));
+  plaintext.push_back(static_cast<std::uint8_t>(icv >> 8));
+  plaintext.push_back(static_cast<std::uint8_t>(icv >> 16));
+  plaintext.push_back(static_cast<std::uint8_t>(icv >> 24));
+
+  crypto::Rc4 rc4(per_frame_key(key, iv));
+  WepFrame frame;
+  frame.iv = iv;
+  frame.body = rc4.process(plaintext);
+  return frame;
+}
+
+std::optional<crypto::Bytes> wep_decapsulate(crypto::ConstBytes key,
+                                             const WepFrame& frame) {
+  if (key.size() != 5 && key.size() != 13)
+    throw std::invalid_argument("WEP key must be 5 or 13 bytes");
+  if (frame.body.size() < 4) return std::nullopt;
+  crypto::Rc4 rc4(per_frame_key(key, frame.iv));
+  const crypto::Bytes plaintext = rc4.process(frame.body);
+  const std::size_t n = plaintext.size() - 4;
+  const std::uint32_t got = std::uint32_t{plaintext[n]} |
+                            (std::uint32_t{plaintext[n + 1]} << 8) |
+                            (std::uint32_t{plaintext[n + 2]} << 16) |
+                            (std::uint32_t{plaintext[n + 3]} << 24);
+  if (got != crypto::crc32(crypto::ConstBytes{plaintext.data(), n}))
+    return std::nullopt;
+  return crypto::Bytes(plaintext.begin(),
+                       plaintext.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+WepSender::WepSender(crypto::Bytes key, WepIvPolicy policy, crypto::Rng* rng)
+    : key_(std::move(key)), policy_(policy), rng_(rng) {
+  if (policy_ == WepIvPolicy::kRandom && rng_ == nullptr)
+    throw std::invalid_argument("WepSender: random IV policy needs an rng");
+}
+
+WepFrame WepSender::send(crypto::ConstBytes payload) {
+  std::array<std::uint8_t, 3> iv{};
+  if (policy_ == WepIvPolicy::kSequential) {
+    iv[0] = static_cast<std::uint8_t>(counter_);
+    iv[1] = static_cast<std::uint8_t>(counter_ >> 8);
+    iv[2] = static_cast<std::uint8_t>(counter_ >> 16);
+  } else {
+    rng_->fill(iv);
+  }
+  ++counter_;
+  return wep_encapsulate(key_, iv, payload);
+}
+
+}  // namespace mapsec::protocol

@@ -1,0 +1,111 @@
+// Signed application installation and a permission sandbox.
+//
+// Section 3.4: "the likelihood of software attacks tends to be high in
+// systems such as mobile terminals, where application software is
+// frequently downloaded from the Internet. The downloaded software may
+// originate from a non-trusted source..." The countermeasures it lists —
+// verifying operational correctness of code before and during run time,
+// and protecting secrets from trojan applications — map here to:
+//
+//   * install-time signature verification against a publisher registry,
+//   * per-publisher permission ceilings (an unknown publisher cannot get
+//     the secure-storage permission no matter what its manifest asks),
+//   * anti-downgrade version enforcement per application,
+//   * launch-time re-hashing of the stored image (run-time integrity),
+//   * a run-time permission check API for the OS services.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::secureplat {
+
+/// Permissions an application manifest may request.
+enum class Permission : std::uint8_t {
+  kNetwork = 1 << 0,
+  kUserData = 1 << 1,
+  kCrypto = 1 << 2,
+  kSecureStorage = 1 << 3,  // access to sealed keys: most sensitive
+};
+
+using PermissionMask = std::uint8_t;
+
+constexpr PermissionMask permission_bit(Permission p) {
+  return static_cast<PermissionMask>(p);
+}
+
+/// A signed application package.
+struct SignedPackage {
+  std::string name;
+  std::string publisher;
+  std::uint32_t version = 0;
+  PermissionMask requested = 0;
+  crypto::Bytes code;
+  crypto::Bytes signature;  // publisher RSA-SHA256 over tbs()
+
+  crypto::Bytes tbs() const;
+};
+
+/// Build and sign a package.
+SignedPackage make_package(const std::string& name,
+                           const std::string& publisher,
+                           std::uint32_t version, PermissionMask requested,
+                           crypto::ConstBytes code,
+                           const crypto::RsaPrivateKey& publisher_key);
+
+enum class InstallStatus {
+  kOk,
+  kUnknownPublisher,
+  kBadSignature,
+  kPermissionExceedsTrust,
+  kDowngrade,
+};
+
+std::string install_status_name(InstallStatus s);
+
+/// The device's application manager.
+class AppInstaller {
+ public:
+  /// Register a publisher with the maximum permissions its apps may hold.
+  void trust_publisher(const std::string& name,
+                       const crypto::RsaPublicKey& key,
+                       PermissionMask ceiling);
+
+  InstallStatus install(const SignedPackage& package);
+
+  /// Launch = run-time integrity check: the stored image must still hash
+  /// to the installed digest (catches post-install tampering of flash).
+  bool launch(const std::string& name) const;
+
+  /// OS-service permission check for a running app.
+  bool has_permission(const std::string& name, Permission p) const;
+
+  /// Simulate a flash-level attack on the stored image.
+  void corrupt_installed_image(const std::string& name);
+
+  std::size_t installed_count() const { return installed_.size(); }
+  std::optional<std::uint32_t> installed_version(
+      const std::string& name) const;
+
+ private:
+  struct Publisher {
+    crypto::RsaPublicKey key;
+    PermissionMask ceiling = 0;
+  };
+  struct Installed {
+    std::uint32_t version = 0;
+    PermissionMask granted = 0;
+    crypto::Bytes image;
+    crypto::Bytes digest;  // SHA-256 at install time
+  };
+
+  std::map<std::string, Publisher> publishers_;
+  std::map<std::string, Installed> installed_;
+};
+
+}  // namespace mapsec::secureplat

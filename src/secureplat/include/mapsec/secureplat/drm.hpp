@@ -1,0 +1,129 @@
+// Content protection / digital rights management.
+//
+// Figure 1 lists "content security" among the core concerns: "ensuring
+// that any content that is downloaded or stored in the appliance is used
+// in accordance with the terms set forth by the content provider (e.g.
+// read only, no copying)". Section 3.4's software-attack measures include
+// (iii) "enforcing that application content can remain secret (digital
+// rights management)".
+//
+// The model: a provider packages content under a random AES content key
+// and issues per-device licenses — the content key RSA-wrapped to the
+// device, the usage rights signed by the provider. The device-side
+// DrmAgent enforces the rights: play counting, expiry, and an export/copy
+// bit. Content keys exist in the clear only inside the agent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::secureplat {
+
+/// Usage rights granted by a license.
+struct UsageRights {
+  std::uint32_t max_plays = 0;  // 0 = unlimited
+  std::uint64_t not_after = 0;  // 0 = no expiry (seconds since epoch)
+  bool allow_export = false;    // may the raw content leave the device?
+};
+
+/// A packaged piece of content (ciphertext; key held by the provider).
+struct PackagedContent {
+  std::string content_id;
+  crypto::Bytes iv;
+  crypto::Bytes ciphertext;  // AES-128-CBC under the content key
+};
+
+/// A per-device license.
+struct ContentLicense {
+  std::string content_id;
+  std::string device_id;
+  UsageRights rights;
+  crypto::Bytes wrapped_key;  // content key, RSA-encrypted to the device
+  crypto::Bytes signature;    // provider RSA-SHA256 over the fields above
+
+  crypto::Bytes tbs() const;
+};
+
+/// The licensor: packages content and issues licenses.
+class ContentProvider {
+ public:
+  ContentProvider(crypto::RsaKeyPair signing_key, crypto::Rng* rng);
+
+  /// Encrypt `content` under a fresh content key, remembering the key for
+  /// later license issuance.
+  PackagedContent package(const std::string& content_id,
+                          crypto::ConstBytes content);
+
+  /// Issue a license for `device` (identified by its public key).
+  ContentLicense issue_license(const std::string& content_id,
+                               const std::string& device_id,
+                               const crypto::RsaPublicKey& device_key,
+                               const UsageRights& rights);
+
+  crypto::RsaPublicKey verification_key() const { return key_.pub; }
+
+ private:
+  crypto::RsaKeyPair key_;
+  crypto::Rng* rng_;
+  std::map<std::string, crypto::Bytes> content_keys_;
+};
+
+enum class DrmStatus {
+  kOk,
+  kNoLicense,
+  kBadLicenseSignature,
+  kWrongDevice,
+  kExpired,
+  kPlayCountExhausted,
+  kExportForbidden,
+  kDecryptFailed,
+};
+
+std::string drm_status_name(DrmStatus s);
+
+/// The device-side enforcement point.
+class DrmAgent {
+ public:
+  DrmAgent(std::string device_id, crypto::RsaKeyPair device_key,
+           crypto::RsaPublicKey provider_key);
+
+  /// Validate and store a license. Rejects bad signatures and licenses
+  /// issued to another device.
+  DrmStatus install_license(const ContentLicense& license);
+
+  /// Decrypt for rendering, enforcing expiry and play counts. `now` is
+  /// the device clock. On success the play counter advances.
+  DrmStatus play(const PackagedContent& content, std::uint64_t now,
+                 crypto::Bytes& plaintext_out);
+
+  /// Raw export (copy to another device/medium): only with the export
+  /// right; never advances play counts.
+  DrmStatus export_content(const PackagedContent& content, std::uint64_t now,
+                           crypto::Bytes& plaintext_out);
+
+  /// Plays consumed so far for a content id.
+  std::uint32_t plays_used(const std::string& content_id) const;
+
+ private:
+  struct InstalledLicense {
+    ContentLicense license;
+    std::uint32_t plays_used = 0;
+  };
+
+  DrmStatus check_and_unwrap(const PackagedContent& content,
+                             std::uint64_t now, bool for_export,
+                             const InstalledLicense** entry_out,
+                             crypto::Bytes& key_out) const;
+
+  std::string device_id_;
+  crypto::RsaKeyPair device_key_;
+  crypto::RsaPublicKey provider_key_;
+  std::map<std::string, InstalledLicense> licenses_;
+};
+
+}  // namespace mapsec::secureplat

@@ -1,0 +1,62 @@
+// Sealed key storage.
+//
+// Section 2's "secure storage" concern: "the security of sensitive
+// information such as passwords, PINs, keys, certificates ... that may
+// reside in secondary storage (e.g. flash memory)". The KeyStore models a
+// device whose only root secret is an on-die master key (Figure 6's
+// "HW-based key storage"): every secret written to flash is sealed —
+// AES-128-CBC encrypted and HMAC-SHA256 authenticated under keys derived
+// from the master key — and bound to a monotonic counter so that
+// replaying an old flash image (rollback) is detected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::secureplat {
+
+/// A sealed blob as it would sit in external flash.
+struct SealedBlob {
+  std::string name;
+  std::uint64_t counter = 0;  // anti-rollback binding
+  crypto::Bytes iv;
+  crypto::Bytes ciphertext;
+  crypto::Bytes tag;  // HMAC over name | counter | iv | ciphertext
+};
+
+/// Why an unseal failed.
+enum class UnsealStatus { kOk, kBadTag, kRollback, kUnknownName };
+
+/// The device-side key store. The master key never leaves the object
+/// (modelling an on-die fuse/OTP key); the monotonic counter models a
+/// tamper-resistant counter block.
+class KeyStore {
+ public:
+  KeyStore(crypto::Bytes master_key, crypto::Rng* rng);
+
+  /// Seal `secret` under `name`. Advances the monotonic counter and
+  /// remembers it as the minimum acceptable counter for this name.
+  SealedBlob seal(const std::string& name, crypto::ConstBytes secret);
+
+  /// Unseal a blob. Rejects forged/corrupted blobs (kBadTag) and blobs
+  /// older than the freshest seal of that name (kRollback).
+  UnsealStatus unseal(const SealedBlob& blob, crypto::Bytes& secret_out) const;
+
+  std::uint64_t monotonic_counter() const { return counter_; }
+
+ private:
+  crypto::Bytes enc_key_;   // derived: HMAC(master, "enc")
+  crypto::Bytes mac_key_;   // derived: HMAC(master, "mac")
+  crypto::Rng* rng_;
+  std::uint64_t counter_ = 0;
+  std::map<std::string, std::uint64_t> freshest_;
+
+  crypto::Bytes mac_input(const SealedBlob& blob) const;
+};
+
+}  // namespace mapsec::secureplat

@@ -1,0 +1,91 @@
+// Secure boot chain.
+//
+// Section 4.1: "HW components such as secure RAM and secure ROM in
+// conjunction with HW-based key storage and appropriate firmware can
+// enable an optimized 'secure execution' environment where only trusted
+// code can execute." The anchor of that guarantee is a boot chain in
+// which each stage verifies the next before transferring control:
+//
+//   Boot ROM (immutable, holds the root public key)
+//     -> second-stage loader (signed)
+//         -> kernel (signed)
+//             -> applications (signed)
+//
+// Every image carries a signed manifest (SHA-256 digest, version,
+// rollback counter). Verification failures and rollback attempts halt the
+// chain; the BootReport records exactly where and why — the observable a
+// platform integrator needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::secureplat {
+
+/// A bootable image with its signed manifest.
+struct BootImage {
+  std::string name;
+  crypto::Bytes payload;        // the "code"
+  std::uint32_t version = 0;    // anti-rollback version
+  crypto::Bytes digest;         // SHA-256 of payload (in the manifest)
+  crypto::Bytes signature;      // RSA-SHA256 over manifest fields
+
+  /// The signed manifest serialization.
+  crypto::Bytes manifest_tbs() const;
+};
+
+/// Sign an image (fills digest + signature).
+BootImage make_boot_image(const std::string& name, crypto::ConstBytes payload,
+                          std::uint32_t version,
+                          const crypto::RsaPrivateKey& signer);
+
+enum class BootStageStatus {
+  kOk,
+  kBadSignature,
+  kDigestMismatch,
+  kRollback,
+  kMissing,
+};
+
+std::string boot_stage_status_name(BootStageStatus s);
+
+struct BootStageReport {
+  std::string image_name;
+  BootStageStatus status = BootStageStatus::kMissing;
+  std::uint32_t version = 0;
+};
+
+struct BootReport {
+  bool booted = false;
+  std::vector<BootStageReport> stages;
+  /// Index of the failing stage, or stages.size() on success.
+  std::size_t failed_stage = 0;
+};
+
+/// The immutable boot ROM: root of trust. Holds the root verification key
+/// and the minimum-version (anti-rollback) registers, which monotonically
+/// ratchet on successful boots.
+class BootRom {
+ public:
+  explicit BootRom(crypto::RsaPublicKey root_key);
+
+  /// Verify and "execute" a chain of images in order (loader, kernel,
+  /// apps...). All images must be signed by the root key. On success the
+  /// rollback registers advance to the booted versions.
+  BootReport boot(const std::vector<BootImage>& chain);
+
+  /// Current minimum acceptable version for a stage index.
+  std::uint32_t min_version(std::size_t stage) const;
+
+ private:
+  BootStageStatus verify_image(const BootImage& image, std::size_t stage) const;
+
+  crypto::RsaPublicKey root_key_;
+  std::vector<std::uint32_t> min_versions_;
+};
+
+}  // namespace mapsec::secureplat

@@ -1,0 +1,102 @@
+// Secure-execution-environment model (trusted / normal worlds).
+//
+// Section 4.1: "a secure execution mode can be used for critical security
+// operations such as key storage/management and run-time security". This
+// models the partitioned-SoC pattern (SecurCore/SmartMIPS-era secure
+// modes, later formalised as TrustZone): memory regions tagged secure or
+// normal, a world bit, an access-control matrix enforced on every memory
+// access, and a monitor-call interface through which the normal world
+// requests cryptographic services without ever seeing key material.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::secureplat {
+
+enum class World { kNormal, kSecure };
+
+/// A recorded access violation (the SoC's bus-fault log).
+struct AccessFault {
+  World accessor = World::kNormal;
+  std::string region;
+  bool write = false;
+};
+
+/// Memory with secure/normal region tagging and world-sensitive access
+/// enforcement.
+class PartitionedMemory {
+ public:
+  /// Define a region. Secure regions are inaccessible to the normal
+  /// world; normal regions are accessible to both.
+  void add_region(const std::string& name, std::size_t size, bool secure);
+
+  /// Read/write from the given world. Violations return nullopt/false and
+  /// are recorded in the fault log; they never return secret bytes.
+  std::optional<crypto::Bytes> read(World world, const std::string& region,
+                                    std::size_t offset, std::size_t len);
+  bool write(World world, const std::string& region, std::size_t offset,
+             crypto::ConstBytes data);
+
+  const std::vector<AccessFault>& faults() const { return faults_; }
+
+ private:
+  struct Region {
+    crypto::Bytes data;
+    bool secure = false;
+  };
+  bool allowed(World world, const Region& r) const {
+    return world == World::kSecure || !r.secure;
+  }
+
+  std::map<std::string, Region> regions_;
+  std::vector<AccessFault> faults_;
+};
+
+/// Monitor-call services the secure world exposes.
+enum class MonitorCall {
+  kGenerateKey,   // create a named symmetric key inside secure RAM
+  kMac,           // HMAC-SHA256 with a named key
+  kEncrypt,       // AES-128-CBC encrypt with a named key
+  kDecrypt,
+  kGetKey,        // always refused: keys never cross the boundary
+};
+
+struct MonitorResult {
+  bool ok = false;
+  crypto::Bytes data;
+  std::string error;
+};
+
+/// The trusted-execution environment: secure-world code plus the monitor
+/// interface. World switches are counted (they are the performance cost
+/// bench_secureplat measures against the paper's Section 4.1 layering).
+class SecureWorld {
+ public:
+  SecureWorld(PartitionedMemory* memory, crypto::Rng* rng);
+
+  /// Invoke a monitor call from the normal world. Performs the world
+  /// switch, runs the service in the secure world, switches back.
+  MonitorResult call(MonitorCall service, const std::string& key_name,
+                     crypto::ConstBytes payload = {});
+
+  std::uint64_t world_switches() const { return world_switches_; }
+
+  /// Simulated cycle cost per world switch (save/restore of banked
+  /// state); used by the platform benches.
+  static constexpr double kWorldSwitchCycles = 200.0;
+
+ private:
+  PartitionedMemory* memory_;
+  crypto::Rng* rng_;
+  std::map<std::string, crypto::Bytes> keys_;  // lives in "secure RAM"
+  std::uint64_t world_switches_ = 0;
+};
+
+}  // namespace mapsec::secureplat

@@ -1,0 +1,93 @@
+// End-user authentication (Section 4.1's "weak link").
+//
+// "Most of today's devices rely on the authentication of the client
+// device. The lack of end-user authentication is thus a weak link.
+// Biometric technologies such as finger print recognition and voice
+// recognition are emerging as important elements..."
+//
+// Two authenticators:
+//   PinAuthenticator  — salted-hash PIN verification with a retry counter
+//                       and lockout (the smart-card PIN discipline).
+//   BiometricMatcher  — a feature-vector matcher with a decision
+//                       threshold; genuine and impostor score
+//                       distributions give the FAR/FRR trade-off curve
+//                       that bench_secureplat sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::secureplat {
+
+enum class AuthResult { kGranted, kDenied, kLockedOut };
+
+/// Salted-hash PIN verification with hardware-style retry limiting.
+class PinAuthenticator {
+ public:
+  /// `max_attempts` consecutive failures lock the authenticator until
+  /// reset_lockout() (e.g. a PUK flow).
+  PinAuthenticator(crypto::ConstBytes pin, crypto::Rng* rng,
+                   int max_attempts = 3);
+
+  AuthResult verify(crypto::ConstBytes pin);
+
+  int remaining_attempts() const { return remaining_; }
+  bool locked_out() const { return remaining_ <= 0; }
+
+  /// Administrative unlock + PIN change.
+  void reset(crypto::ConstBytes new_pin);
+
+ private:
+  crypto::Bytes salt_;
+  crypto::Bytes digest_;  // H(salt || pin)
+  int max_attempts_;
+  int remaining_;
+
+  static crypto::Bytes hash_pin(crypto::ConstBytes salt,
+                                crypto::ConstBytes pin);
+};
+
+/// A biometric template: a fixed-length feature vector (e.g. fingerprint
+/// minutiae map projected to d dimensions).
+using BiometricTemplate = std::vector<double>;
+
+/// Threshold matcher over Euclidean distance, plus the sampling model
+/// used to estimate FAR/FRR: genuine presentations are the enrolled
+/// template plus N(0, genuine_noise) per dimension; impostors are fresh
+/// uniform templates.
+class BiometricMatcher {
+ public:
+  BiometricMatcher(BiometricTemplate enrolled, double threshold);
+
+  bool match(const BiometricTemplate& probe) const;
+  double distance(const BiometricTemplate& probe) const;
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  /// Draw a genuine presentation (enrolled + per-dimension noise).
+  BiometricTemplate sample_genuine(crypto::Rng& rng,
+                                   double genuine_noise) const;
+
+  /// Draw an impostor presentation (uniform in [0,1]^d).
+  BiometricTemplate sample_impostor(crypto::Rng& rng) const;
+
+  /// Enrolment helper: random template in [0,1]^d.
+  static BiometricTemplate enroll(crypto::Rng& rng, std::size_t dims);
+
+  /// Monte-Carlo FAR/FRR at the current threshold.
+  struct ErrorRates {
+    double far = 0;  // impostors accepted
+    double frr = 0;  // genuines rejected
+  };
+  ErrorRates estimate_rates(crypto::Rng& rng, std::size_t trials,
+                            double genuine_noise) const;
+
+ private:
+  BiometricTemplate enrolled_;
+  double threshold_;
+};
+
+}  // namespace mapsec::secureplat

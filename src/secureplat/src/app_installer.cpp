@@ -1,0 +1,103 @@
+#include "mapsec/secureplat/app_installer.hpp"
+
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::secureplat {
+
+crypto::Bytes SignedPackage::tbs() const {
+  crypto::Bytes out = crypto::to_bytes(name);
+  out.push_back(0);
+  out.insert(out.end(), publisher.begin(), publisher.end());
+  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(version >> 24));
+  out.push_back(static_cast<std::uint8_t>(version >> 16));
+  out.push_back(static_cast<std::uint8_t>(version >> 8));
+  out.push_back(static_cast<std::uint8_t>(version));
+  out.push_back(requested);
+  const crypto::Bytes digest = crypto::Sha256::hash(code);
+  out.insert(out.end(), digest.begin(), digest.end());
+  return out;
+}
+
+SignedPackage make_package(const std::string& name,
+                           const std::string& publisher,
+                           std::uint32_t version, PermissionMask requested,
+                           crypto::ConstBytes code,
+                           const crypto::RsaPrivateKey& publisher_key) {
+  SignedPackage pkg;
+  pkg.name = name;
+  pkg.publisher = publisher;
+  pkg.version = version;
+  pkg.requested = requested;
+  pkg.code.assign(code.begin(), code.end());
+  pkg.signature = crypto::rsa_sign_sha256(publisher_key, pkg.tbs());
+  return pkg;
+}
+
+std::string install_status_name(InstallStatus s) {
+  switch (s) {
+    case InstallStatus::kOk: return "ok";
+    case InstallStatus::kUnknownPublisher: return "unknown-publisher";
+    case InstallStatus::kBadSignature: return "bad-signature";
+    case InstallStatus::kPermissionExceedsTrust:
+      return "permission-exceeds-trust";
+    case InstallStatus::kDowngrade: return "downgrade";
+  }
+  return "?";
+}
+
+void AppInstaller::trust_publisher(const std::string& name,
+                                   const crypto::RsaPublicKey& key,
+                                   PermissionMask ceiling) {
+  publishers_[name] = {key, ceiling};
+}
+
+InstallStatus AppInstaller::install(const SignedPackage& package) {
+  const auto pub = publishers_.find(package.publisher);
+  if (pub == publishers_.end()) return InstallStatus::kUnknownPublisher;
+  if (!crypto::rsa_verify_sha256(pub->second.key, package.tbs(),
+                                 package.signature))
+    return InstallStatus::kBadSignature;
+  if ((package.requested & ~pub->second.ceiling) != 0)
+    return InstallStatus::kPermissionExceedsTrust;
+
+  const auto existing = installed_.find(package.name);
+  if (existing != installed_.end() &&
+      package.version <= existing->second.version)
+    return InstallStatus::kDowngrade;
+
+  installed_[package.name] = {package.version, package.requested,
+                              package.code,
+                              crypto::Sha256::hash(package.code)};
+  return InstallStatus::kOk;
+}
+
+bool AppInstaller::launch(const std::string& name) const {
+  const auto it = installed_.find(name);
+  if (it == installed_.end()) return false;
+  // Run-time integrity: re-hash the stored image.
+  return crypto::ct_equal(crypto::Sha256::hash(it->second.image),
+                          it->second.digest);
+}
+
+bool AppInstaller::has_permission(const std::string& name,
+                                  Permission p) const {
+  const auto it = installed_.find(name);
+  return it != installed_.end() &&
+         (it->second.granted & permission_bit(p)) != 0;
+}
+
+void AppInstaller::corrupt_installed_image(const std::string& name) {
+  const auto it = installed_.find(name);
+  if (it == installed_.end() || it->second.image.empty()) return;
+  it->second.image[it->second.image.size() / 2] ^= 0x01;
+}
+
+std::optional<std::uint32_t> AppInstaller::installed_version(
+    const std::string& name) const {
+  const auto it = installed_.find(name);
+  if (it == installed_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+}  // namespace mapsec::secureplat

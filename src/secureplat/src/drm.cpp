@@ -1,0 +1,176 @@
+#include "mapsec/secureplat/drm.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/cipher.hpp"
+
+namespace mapsec::secureplat {
+
+namespace {
+
+void put_str(crypto::Bytes& out, const std::string& s) {
+  out.push_back(static_cast<std::uint8_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_u32(crypto::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(crypto::Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace
+
+crypto::Bytes ContentLicense::tbs() const {
+  crypto::Bytes out;
+  put_str(out, content_id);
+  put_str(out, device_id);
+  put_u32(out, rights.max_plays);
+  put_u64(out, rights.not_after);
+  out.push_back(rights.allow_export ? 1 : 0);
+  out.insert(out.end(), wrapped_key.begin(), wrapped_key.end());
+  return out;
+}
+
+ContentProvider::ContentProvider(crypto::RsaKeyPair signing_key,
+                                 crypto::Rng* rng)
+    : key_(std::move(signing_key)), rng_(rng) {
+  if (rng_ == nullptr)
+    throw std::invalid_argument("ContentProvider: rng required");
+}
+
+PackagedContent ContentProvider::package(const std::string& content_id,
+                                         crypto::ConstBytes content) {
+  const crypto::Bytes content_key = rng_->bytes(16);
+  content_keys_[content_id] = content_key;
+
+  PackagedContent out;
+  out.content_id = content_id;
+  out.iv = rng_->bytes(16);
+  const auto cipher = crypto::make_block_cipher(crypto::Aes(content_key));
+  out.ciphertext = crypto::cbc_encrypt(*cipher, out.iv, content);
+  return out;
+}
+
+ContentLicense ContentProvider::issue_license(
+    const std::string& content_id, const std::string& device_id,
+    const crypto::RsaPublicKey& device_key, const UsageRights& rights) {
+  const auto it = content_keys_.find(content_id);
+  if (it == content_keys_.end())
+    throw std::invalid_argument("issue_license: unknown content id");
+
+  ContentLicense lic;
+  lic.content_id = content_id;
+  lic.device_id = device_id;
+  lic.rights = rights;
+  lic.wrapped_key = crypto::rsa_encrypt_pkcs1(device_key, it->second, *rng_);
+  lic.signature = crypto::rsa_sign_sha256(key_.priv, lic.tbs());
+  return lic;
+}
+
+std::string drm_status_name(DrmStatus s) {
+  switch (s) {
+    case DrmStatus::kOk: return "ok";
+    case DrmStatus::kNoLicense: return "no-license";
+    case DrmStatus::kBadLicenseSignature: return "bad-license-signature";
+    case DrmStatus::kWrongDevice: return "wrong-device";
+    case DrmStatus::kExpired: return "expired";
+    case DrmStatus::kPlayCountExhausted: return "play-count-exhausted";
+    case DrmStatus::kExportForbidden: return "export-forbidden";
+    case DrmStatus::kDecryptFailed: return "decrypt-failed";
+  }
+  return "?";
+}
+
+DrmAgent::DrmAgent(std::string device_id, crypto::RsaKeyPair device_key,
+                   crypto::RsaPublicKey provider_key)
+    : device_id_(std::move(device_id)),
+      device_key_(std::move(device_key)),
+      provider_key_(std::move(provider_key)) {}
+
+DrmStatus DrmAgent::install_license(const ContentLicense& license) {
+  if (!crypto::rsa_verify_sha256(provider_key_, license.tbs(),
+                                 license.signature))
+    return DrmStatus::kBadLicenseSignature;
+  if (license.device_id != device_id_) return DrmStatus::kWrongDevice;
+  licenses_[license.content_id] = {license, 0};
+  return DrmStatus::kOk;
+}
+
+DrmStatus DrmAgent::check_and_unwrap(const PackagedContent& content,
+                                     std::uint64_t now, bool for_export,
+                                     const InstalledLicense** entry_out,
+                                     crypto::Bytes& key_out) const {
+  const auto it = licenses_.find(content.content_id);
+  if (it == licenses_.end()) return DrmStatus::kNoLicense;
+  const InstalledLicense& entry = it->second;
+  const UsageRights& rights = entry.license.rights;
+
+  if (rights.not_after != 0 && now > rights.not_after)
+    return DrmStatus::kExpired;
+  if (for_export && !rights.allow_export) return DrmStatus::kExportForbidden;
+  if (!for_export && rights.max_plays != 0 &&
+      entry.plays_used >= rights.max_plays)
+    return DrmStatus::kPlayCountExhausted;
+
+  const auto key = crypto::rsa_decrypt_pkcs1(device_key_.priv,
+                                             entry.license.wrapped_key);
+  if (!key || key->size() != 16) return DrmStatus::kDecryptFailed;
+  key_out = *key;
+  *entry_out = &entry;
+  return DrmStatus::kOk;
+}
+
+DrmStatus DrmAgent::play(const PackagedContent& content, std::uint64_t now,
+                         crypto::Bytes& plaintext_out) {
+  const InstalledLicense* entry = nullptr;
+  crypto::Bytes key;
+  const DrmStatus status =
+      check_and_unwrap(content, now, /*for_export=*/false, &entry, key);
+  if (status != DrmStatus::kOk) return status;
+
+  try {
+    const auto cipher = crypto::make_block_cipher(crypto::Aes(key));
+    plaintext_out = crypto::cbc_decrypt(*cipher, content.iv,
+                                        content.ciphertext);
+  } catch (const std::runtime_error&) {
+    return DrmStatus::kDecryptFailed;
+  }
+  // Advance the play counter only after a successful decrypt.
+  ++licenses_[content.content_id].plays_used;
+  crypto::secure_wipe(key);
+  return DrmStatus::kOk;
+}
+
+DrmStatus DrmAgent::export_content(const PackagedContent& content,
+                                   std::uint64_t now,
+                                   crypto::Bytes& plaintext_out) {
+  const InstalledLicense* entry = nullptr;
+  crypto::Bytes key;
+  const DrmStatus status =
+      check_and_unwrap(content, now, /*for_export=*/true, &entry, key);
+  if (status != DrmStatus::kOk) return status;
+  try {
+    const auto cipher = crypto::make_block_cipher(crypto::Aes(key));
+    plaintext_out = crypto::cbc_decrypt(*cipher, content.iv,
+                                        content.ciphertext);
+  } catch (const std::runtime_error&) {
+    return DrmStatus::kDecryptFailed;
+  }
+  crypto::secure_wipe(key);
+  return DrmStatus::kOk;
+}
+
+std::uint32_t DrmAgent::plays_used(const std::string& content_id) const {
+  const auto it = licenses_.find(content_id);
+  return it == licenses_.end() ? 0 : it->second.plays_used;
+}
+
+}  // namespace mapsec::secureplat

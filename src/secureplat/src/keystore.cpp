@@ -1,0 +1,61 @@
+#include "mapsec/secureplat/keystore.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/cipher.hpp"
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::secureplat {
+
+KeyStore::KeyStore(crypto::Bytes master_key, crypto::Rng* rng) : rng_(rng) {
+  if (master_key.size() < 16)
+    throw std::invalid_argument("KeyStore: master key must be >= 16 bytes");
+  if (rng_ == nullptr) throw std::invalid_argument("KeyStore: rng required");
+  // Domain-separated subkeys so a compromise of one use never crosses over.
+  enc_key_ = crypto::HmacSha256::mac(master_key, crypto::to_bytes("enc"));
+  enc_key_.resize(16);  // AES-128
+  mac_key_ = crypto::HmacSha256::mac(master_key, crypto::to_bytes("mac"));
+  crypto::secure_wipe(master_key);
+}
+
+crypto::Bytes KeyStore::mac_input(const SealedBlob& blob) const {
+  crypto::Bytes in = crypto::to_bytes(blob.name);
+  in.push_back(0);
+  std::uint8_t ctr[8];
+  crypto::store_be64(ctr, blob.counter);
+  in.insert(in.end(), ctr, ctr + 8);
+  in.insert(in.end(), blob.iv.begin(), blob.iv.end());
+  in.insert(in.end(), blob.ciphertext.begin(), blob.ciphertext.end());
+  return in;
+}
+
+SealedBlob KeyStore::seal(const std::string& name, crypto::ConstBytes secret) {
+  SealedBlob blob;
+  blob.name = name;
+  blob.counter = ++counter_;
+  blob.iv = rng_->bytes(16);
+  const auto cipher = crypto::make_block_cipher(crypto::Aes(enc_key_));
+  blob.ciphertext = crypto::cbc_encrypt(*cipher, blob.iv, secret);
+  blob.tag = crypto::HmacSha256::mac(mac_key_, mac_input(blob));
+  freshest_[name] = blob.counter;
+  return blob;
+}
+
+UnsealStatus KeyStore::unseal(const SealedBlob& blob,
+                              crypto::Bytes& secret_out) const {
+  // Authenticate before anything else — including before the rollback
+  // check, so an attacker cannot probe counter state with forged blobs.
+  if (blob.iv.size() != 16 ||
+      !crypto::ct_equal(crypto::HmacSha256::mac(mac_key_, mac_input(blob)),
+                        blob.tag))
+    return UnsealStatus::kBadTag;
+  const auto it = freshest_.find(blob.name);
+  if (it == freshest_.end()) return UnsealStatus::kUnknownName;
+  if (blob.counter < it->second) return UnsealStatus::kRollback;
+  const auto cipher = crypto::make_block_cipher(crypto::Aes(enc_key_));
+  secret_out = crypto::cbc_decrypt(*cipher, blob.iv, blob.ciphertext);
+  return UnsealStatus::kOk;
+}
+
+}  // namespace mapsec::secureplat

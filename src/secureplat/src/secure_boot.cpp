@@ -1,0 +1,86 @@
+#include "mapsec/secureplat/secure_boot.hpp"
+
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::secureplat {
+
+crypto::Bytes BootImage::manifest_tbs() const {
+  crypto::Bytes out = crypto::to_bytes(name);
+  out.push_back(0);  // name terminator
+  out.push_back(static_cast<std::uint8_t>(version >> 24));
+  out.push_back(static_cast<std::uint8_t>(version >> 16));
+  out.push_back(static_cast<std::uint8_t>(version >> 8));
+  out.push_back(static_cast<std::uint8_t>(version));
+  out.insert(out.end(), digest.begin(), digest.end());
+  return out;
+}
+
+BootImage make_boot_image(const std::string& name, crypto::ConstBytes payload,
+                          std::uint32_t version,
+                          const crypto::RsaPrivateKey& signer) {
+  BootImage img;
+  img.name = name;
+  img.payload.assign(payload.begin(), payload.end());
+  img.version = version;
+  img.digest = crypto::Sha256::hash(payload);
+  img.signature = crypto::rsa_sign_sha256(signer, img.manifest_tbs());
+  return img;
+}
+
+std::string boot_stage_status_name(BootStageStatus s) {
+  switch (s) {
+    case BootStageStatus::kOk: return "ok";
+    case BootStageStatus::kBadSignature: return "bad-signature";
+    case BootStageStatus::kDigestMismatch: return "digest-mismatch";
+    case BootStageStatus::kRollback: return "rollback";
+    case BootStageStatus::kMissing: return "missing";
+  }
+  return "?";
+}
+
+BootRom::BootRom(crypto::RsaPublicKey root_key)
+    : root_key_(std::move(root_key)) {}
+
+std::uint32_t BootRom::min_version(std::size_t stage) const {
+  return stage < min_versions_.size() ? min_versions_[stage] : 0;
+}
+
+BootStageStatus BootRom::verify_image(const BootImage& image,
+                                      std::size_t stage) const {
+  // Manifest signature first: an attacker can fake everything else.
+  if (!crypto::rsa_verify_sha256(root_key_, image.manifest_tbs(),
+                                 image.signature))
+    return BootStageStatus::kBadSignature;
+  // Then the payload digest against the (now trusted) manifest.
+  if (!crypto::ct_equal(crypto::Sha256::hash(image.payload), image.digest))
+    return BootStageStatus::kDigestMismatch;
+  // Anti-rollback.
+  if (image.version < min_version(stage)) return BootStageStatus::kRollback;
+  return BootStageStatus::kOk;
+}
+
+BootReport BootRom::boot(const std::vector<BootImage>& chain) {
+  BootReport report;
+  report.stages.reserve(chain.size());
+  for (std::size_t stage = 0; stage < chain.size(); ++stage) {
+    BootStageReport sr;
+    sr.image_name = chain[stage].name;
+    sr.version = chain[stage].version;
+    sr.status = verify_image(chain[stage], stage);
+    report.stages.push_back(sr);
+    if (sr.status != BootStageStatus::kOk) {
+      report.booted = false;
+      report.failed_stage = stage;
+      return report;
+    }
+  }
+  // Successful boot: ratchet the rollback registers.
+  if (min_versions_.size() < chain.size()) min_versions_.resize(chain.size(), 0);
+  for (std::size_t stage = 0; stage < chain.size(); ++stage)
+    min_versions_[stage] = std::max(min_versions_[stage], chain[stage].version);
+  report.booted = true;
+  report.failed_stage = chain.size();
+  return report;
+}
+
+}  // namespace mapsec::secureplat

@@ -1,0 +1,116 @@
+#include "mapsec/secureplat/secure_world.hpp"
+
+#include <stdexcept>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/cipher.hpp"
+#include "mapsec/crypto/hmac.hpp"
+
+namespace mapsec::secureplat {
+
+void PartitionedMemory::add_region(const std::string& name, std::size_t size,
+                                   bool secure) {
+  if (regions_.count(name))
+    throw std::invalid_argument("PartitionedMemory: duplicate region");
+  regions_[name] = Region{crypto::Bytes(size, 0), secure};
+}
+
+std::optional<crypto::Bytes> PartitionedMemory::read(World world,
+                                                     const std::string& region,
+                                                     std::size_t offset,
+                                                     std::size_t len) {
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) return std::nullopt;
+  if (!allowed(world, it->second)) {
+    faults_.push_back({world, region, false});
+    return std::nullopt;
+  }
+  const auto& data = it->second.data;
+  if (offset + len > data.size()) return std::nullopt;
+  return crypto::Bytes(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                       data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+bool PartitionedMemory::write(World world, const std::string& region,
+                              std::size_t offset, crypto::ConstBytes data) {
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) return false;
+  if (!allowed(world, it->second)) {
+    faults_.push_back({world, region, true});
+    return false;
+  }
+  auto& mem = it->second.data;
+  if (offset + data.size() > mem.size()) return false;
+  std::copy(data.begin(), data.end(),
+            mem.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+SecureWorld::SecureWorld(PartitionedMemory* memory, crypto::Rng* rng)
+    : memory_(memory), rng_(rng) {
+  if (memory_ == nullptr || rng_ == nullptr)
+    throw std::invalid_argument("SecureWorld: memory and rng required");
+}
+
+MonitorResult SecureWorld::call(MonitorCall service,
+                                const std::string& key_name,
+                                crypto::ConstBytes payload) {
+  // Entry switch (normal -> secure) and exit switch (secure -> normal).
+  world_switches_ += 2;
+  MonitorResult result;
+
+  switch (service) {
+    case MonitorCall::kGenerateKey: {
+      keys_[key_name] = rng_->bytes(16);
+      result.ok = true;
+      return result;
+    }
+    case MonitorCall::kGetKey: {
+      // The defining property of the architecture.
+      result.error = "keys never leave the secure world";
+      return result;
+    }
+    default:
+      break;
+  }
+
+  const auto it = keys_.find(key_name);
+  if (it == keys_.end()) {
+    result.error = "unknown key";
+    return result;
+  }
+
+  switch (service) {
+    case MonitorCall::kMac:
+      result.data = crypto::HmacSha256::mac(it->second, payload);
+      result.ok = true;
+      return result;
+    case MonitorCall::kEncrypt: {
+      const crypto::Bytes iv = rng_->bytes(16);
+      const auto cipher = crypto::make_block_cipher(crypto::Aes(it->second));
+      result.data = crypto::cat(iv, crypto::cbc_encrypt(*cipher, iv, payload));
+      result.ok = true;
+      return result;
+    }
+    case MonitorCall::kDecrypt: {
+      if (payload.size() < 32) {
+        result.error = "ciphertext too short";
+        return result;
+      }
+      const crypto::ConstBytes iv = payload.subspan(0, 16);
+      const auto cipher = crypto::make_block_cipher(crypto::Aes(it->second));
+      try {
+        result.data = crypto::cbc_decrypt(*cipher, iv, payload.subspan(16));
+        result.ok = true;
+      } catch (const std::runtime_error&) {
+        result.error = "decryption failed";
+      }
+      return result;
+    }
+    default:
+      result.error = "unsupported service";
+      return result;
+  }
+}
+
+}  // namespace mapsec::secureplat

@@ -1,0 +1,106 @@
+#include "mapsec/secureplat/user_auth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::secureplat {
+
+crypto::Bytes PinAuthenticator::hash_pin(crypto::ConstBytes salt,
+                                         crypto::ConstBytes pin) {
+  return crypto::Sha256::hash(crypto::cat(salt, pin));
+}
+
+PinAuthenticator::PinAuthenticator(crypto::ConstBytes pin, crypto::Rng* rng,
+                                   int max_attempts)
+    : max_attempts_(max_attempts), remaining_(max_attempts) {
+  if (rng == nullptr) throw std::invalid_argument("PinAuthenticator: rng");
+  if (max_attempts < 1)
+    throw std::invalid_argument("PinAuthenticator: attempts >= 1");
+  salt_ = rng->bytes(16);
+  digest_ = hash_pin(salt_, pin);
+}
+
+AuthResult PinAuthenticator::verify(crypto::ConstBytes pin) {
+  if (locked_out()) return AuthResult::kLockedOut;
+  // Decrement before comparing: a glitch that aborts mid-verify must not
+  // grant a free retry (the smart-card ordering rule).
+  --remaining_;
+  if (crypto::ct_equal(hash_pin(salt_, pin), digest_)) {
+    remaining_ = max_attempts_;
+    return AuthResult::kGranted;
+  }
+  return locked_out() ? AuthResult::kLockedOut : AuthResult::kDenied;
+}
+
+void PinAuthenticator::reset(crypto::ConstBytes new_pin) {
+  digest_ = hash_pin(salt_, new_pin);
+  remaining_ = max_attempts_;
+}
+
+BiometricMatcher::BiometricMatcher(BiometricTemplate enrolled,
+                                   double threshold)
+    : enrolled_(std::move(enrolled)), threshold_(threshold) {
+  if (enrolled_.empty())
+    throw std::invalid_argument("BiometricMatcher: empty template");
+}
+
+double BiometricMatcher::distance(const BiometricTemplate& probe) const {
+  if (probe.size() != enrolled_.size())
+    throw std::invalid_argument("BiometricMatcher: dimension mismatch");
+  double sum = 0;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const double d = probe[i] - enrolled_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+bool BiometricMatcher::match(const BiometricTemplate& probe) const {
+  return distance(probe) <= threshold_;
+}
+
+namespace {
+double uniform01(crypto::Rng& rng) {
+  return static_cast<double>(rng.next_u64() >> 11) / 9007199254740992.0;
+}
+}  // namespace
+
+BiometricTemplate BiometricMatcher::sample_genuine(crypto::Rng& rng,
+                                                   double genuine_noise) const {
+  BiometricTemplate out = enrolled_;
+  for (auto& v : out) {
+    // Sum of 12 uniforms - 6: a cheap approximate standard normal.
+    double g = -6.0;
+    for (int k = 0; k < 12; ++k) g += uniform01(rng);
+    v += g * genuine_noise;
+  }
+  return out;
+}
+
+BiometricTemplate BiometricMatcher::sample_impostor(crypto::Rng& rng) const {
+  BiometricTemplate out(enrolled_.size());
+  for (auto& v : out) v = uniform01(rng);
+  return out;
+}
+
+BiometricTemplate BiometricMatcher::enroll(crypto::Rng& rng,
+                                           std::size_t dims) {
+  BiometricTemplate out(dims);
+  for (auto& v : out) v = uniform01(rng);
+  return out;
+}
+
+BiometricMatcher::ErrorRates BiometricMatcher::estimate_rates(
+    crypto::Rng& rng, std::size_t trials, double genuine_noise) const {
+  std::size_t false_accepts = 0, false_rejects = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (match(sample_impostor(rng))) ++false_accepts;
+    if (!match(sample_genuine(rng, genuine_noise))) ++false_rejects;
+  }
+  return {static_cast<double>(false_accepts) / static_cast<double>(trials),
+          static_cast<double>(false_rejects) / static_cast<double>(trials)};
+}
+
+}  // namespace mapsec::secureplat

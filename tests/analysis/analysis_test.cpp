@@ -1,0 +1,123 @@
+// Table rendering and the figure-report generators.
+#include <gtest/gtest.h>
+
+#include "mapsec/analysis/csv.hpp"
+#include "mapsec/analysis/report.hpp"
+#include "mapsec/analysis/table.hpp"
+
+namespace mapsec::analysis {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "123.45"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("123.45"), std::string::npos);
+  // Three content lines + rule.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_eng(1234.0, 1), "1.2k");
+  EXPECT_EQ(fmt_eng(2.5e6, 1), "2.5M");
+  EXPECT_EQ(fmt_eng(3.0e9, 1), "3.0G");
+  EXPECT_EQ(fmt_eng(12.0, 1), "12.0");
+}
+
+TEST(ReportTest, Figure2ContainsTheFamiliesAndAesRevision) {
+  const std::string r = figure2_report();
+  EXPECT_NE(r.find("SSL/TLS"), std::string::npos);
+  EXPECT_NE(r.find("IPSec"), std::string::npos);
+  EXPECT_NE(r.find("WTLS"), std::string::npos);
+  EXPECT_NE(r.find("MET"), std::string::npos);
+  EXPECT_NE(r.find("2002-06"), std::string::npos);  // the AES revision
+  EXPECT_NE(r.find("revisions/year"), std::string::npos);
+}
+
+TEST(ReportTest, Figure3ContainsSurfaceAndPlanes) {
+  const std::string r = figure3_report();
+  EXPECT_NE(r.find("651.3"), std::string::npos);  // the 10 Mbps anchor row
+  EXPECT_NE(r.find("StrongARM"), std::string::npos);
+  EXPECT_NE(r.find("Pentium4"), std::string::npos);
+  EXPECT_NE(r.find("DragonBall"), std::string::npos);
+  EXPECT_NE(r.find("Embedded-300MIPS"), std::string::npos);
+}
+
+TEST(ReportTest, Section32AnchorsMatchPaper) {
+  const std::string r = section32_anchor_report();
+  EXPECT_NE(r.find("651.3"), std::string::npos);
+  // Feasibility verdicts in latency order 0.1 / 0.5 / 1.0: no, yes, yes.
+  const auto no_pos = r.find("no");
+  ASSERT_NE(no_pos, std::string::npos);
+  EXPECT_NE(r.find("yes", no_pos), std::string::npos);
+}
+
+TEST(ReportTest, Figure4RatioBelowHalf) {
+  const std::string r = figure4_report();
+  EXPECT_NE(r.find("less than half"), std::string::npos);
+  // The computed ratio 0.460 appears.
+  EXPECT_NE(r.find("0.46"), std::string::npos);
+}
+
+TEST(ReportTest, AccelTiersOrdered) {
+  const std::string r = accel_tier_report();
+  // All five tiers present, in efficiency order.
+  const auto sw = r.find("software");
+  const auto isa = r.find("ISA-extension");
+  const auto dsp = r.find("DSP-offload");
+  const auto acc = r.find("crypto-accelerator");
+  const auto eng = r.find("protocol-engine");
+  ASSERT_NE(sw, std::string::npos);
+  ASSERT_NE(isa, std::string::npos);
+  ASSERT_NE(dsp, std::string::npos);
+  ASSERT_NE(acc, std::string::npos);
+  ASSERT_NE(eng, std::string::npos);
+  EXPECT_LT(sw, isa);
+  EXPECT_LT(isa, dsp);
+  EXPECT_LT(dsp, acc);
+  EXPECT_LT(acc, eng);
+}
+
+TEST(CsvTest, QuotingAndStructure) {
+  const std::string csv = to_csv({"a", "b"}, {{"1", "plain"},
+                                              {"2", "has,comma"},
+                                              {"3", "has\"quote"}});
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("3,\"has\"\"quote\"\n"), std::string::npos);
+}
+
+TEST(CsvTest, GapSurfaceExport) {
+  const platform::GapAnalysis gap(
+      platform::WorkloadModel::paper_calibrated());
+  const auto points = gap.surface({1.0}, {10.0});
+  const std::string csv = gap_surface_csv(points);
+  EXPECT_NE(csv.find("latency_s,mbps"), std::string::npos);
+  EXPECT_NE(csv.find("651.3"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + 1 row
+}
+
+TEST(CsvTest, GapTrendExport) {
+  const platform::GapAnalysis gap(
+      platform::WorkloadModel::paper_calibrated());
+  const auto trend = platform::project_gap_trend(
+      gap, platform::Processor::strongarm_sa1100(), 2.0, 2003, 2);
+  const std::string csv = gap_trend_csv(trend);
+  EXPECT_NE(csv.find("2003,"), std::string::npos);
+  EXPECT_NE(csv.find("2005,"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace mapsec::analysis

@@ -1,0 +1,361 @@
+// BigInt arithmetic: known answers, algebraic properties, and the
+// Montgomery engine against the generic path.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/bignum.hpp"
+#include "mapsec/crypto/modexp.hpp"
+#include "mapsec/crypto/prime.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::crypto {
+namespace {
+
+TEST(BigIntTest, ConstructionAndConversion) {
+  EXPECT_TRUE(BigInt().is_zero());
+  EXPECT_EQ(BigInt(0).to_u64(), 0u);
+  EXPECT_EQ(BigInt(1).to_u64(), 1u);
+  EXPECT_EQ(BigInt(0xFFFFFFFFFFFFFFFFull).to_u64(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(BigInt::from_hex("deadbeef").to_u64(), 0xdeadbeefu);
+  EXPECT_EQ(BigInt::from_hex("0").to_hex(), "0");
+  EXPECT_EQ(BigInt::from_hex("123456789abcdef0123").to_hex(),
+            "123456789abcdef0123");
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  const Bytes b = from_hex("0102030405060708090a0b0c0d");
+  const BigInt x = BigInt::from_bytes_be(b);
+  EXPECT_EQ(x.to_bytes_be(), b);
+  EXPECT_EQ(x.to_bytes_be(16).size(), 16u);
+  EXPECT_EQ(x.to_bytes_be(16)[0], 0u);
+  // Leading zeros in input are dropped in minimal output.
+  EXPECT_EQ(BigInt::from_bytes_be(from_hex("0000ff")).to_bytes_be(),
+            from_hex("ff"));
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_GT(BigInt::from_hex("100000000"), BigInt(0xFFFFFFFFull));
+  EXPECT_EQ(BigInt(42), BigInt(42));
+  EXPECT_LT(BigInt(), BigInt(1));
+}
+
+TEST(BigIntTest, AddSubKnownAnswers) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((a + BigInt(1)).to_hex(), "1000000000000000000000000");
+  EXPECT_EQ((a - a).to_hex(), "0");
+  EXPECT_EQ((BigInt::from_hex("1000000000000000000000000") - BigInt(1)),
+            a);
+  EXPECT_THROW(BigInt(1) - BigInt(2), std::underflow_error);
+}
+
+TEST(BigIntTest, MulKnownAnswers) {
+  EXPECT_EQ((BigInt::from_hex("ffffffff") * BigInt::from_hex("ffffffff"))
+                .to_hex(),
+            "fffffffe00000001");
+  EXPECT_EQ((BigInt::from_hex("123456789abcdef") *
+             BigInt::from_hex("fedcba987654321"))
+                .to_hex(),
+            "121fa00ad77d7422236d88fe5618cf");
+  EXPECT_TRUE((BigInt(0) * BigInt::from_hex("abc")).is_zero());
+}
+
+TEST(BigIntTest, DivModKnownAnswers) {
+  BigInt q, r;
+  BigInt::divmod(BigInt(100), BigInt(7), q, r);
+  EXPECT_EQ(q.to_u64(), 14u);
+  EXPECT_EQ(r.to_u64(), 2u);
+
+  // Multi-limb divisor.
+  const BigInt a = BigInt::from_hex("123456789abcdef0fedcba9876543210");
+  const BigInt b = BigInt::from_hex("fedcba9876543211");
+  BigInt::divmod(a, b, q, r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+
+  EXPECT_THROW(BigInt::divmod(a, BigInt(), q, r), std::domain_error);
+}
+
+TEST(BigIntTest, DivModPropertyRandom) {
+  HmacDrbg rng(12345);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t abits = 1 + rng.below(512);
+    const std::size_t bbits = 1 + rng.below(256);
+    const BigInt a = BigInt::random_bits(rng, abits);
+    const BigInt b = BigInt::random_bits(rng, bbits);
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a) << "a=" << a.to_hex() << " b=" << b.to_hex();
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigIntTest, KnuthD6CornerCase) {
+  // A case forcing the rare "add back" branch of Algorithm D: divisor with
+  // top limb 0x80000000 and dividend crafted so qhat overshoots.
+  const BigInt a = BigInt::from_hex("7fffffff800000010000000000000000");
+  const BigInt b = BigInt::from_hex("800000008000000200000005");
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(BigIntTest, Shifts) {
+  const BigInt x = BigInt::from_hex("1234");
+  EXPECT_EQ((x << 4).to_hex(), "12340");
+  EXPECT_EQ((x << 32).to_hex(), "123400000000");
+  EXPECT_EQ((x >> 4).to_hex(), "123");
+  EXPECT_EQ((x >> 13).to_hex(), "0");
+  EXPECT_EQ(((x << 100) >> 100), x);
+}
+
+TEST(BigIntTest, BitAccess) {
+  const BigInt x = BigInt::from_hex("8000000000000001");
+  EXPECT_TRUE(x.bit(0));
+  EXPECT_FALSE(x.bit(1));
+  EXPECT_TRUE(x.bit(63));
+  EXPECT_FALSE(x.bit(64));
+  EXPECT_EQ(x.bit_length(), 64u);
+  EXPECT_EQ(BigInt().bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+}
+
+TEST(BigIntTest, DecimalOutput) {
+  EXPECT_EQ(BigInt(0).to_dec(), "0");
+  EXPECT_EQ(BigInt(1234567890123456789ull).to_dec(), "1234567890123456789");
+  EXPECT_EQ(BigInt::from_hex("100000000000000000000000000000000").to_dec(),
+            "340282366920938463463374607431768211456");  // 2^128
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_u64(), 6u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(31)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_u64(), 5u);
+  // gcd(a*g, b*g) == g * gcd(a,b)
+  const BigInt g = BigInt::from_hex("10001");
+  EXPECT_EQ(BigInt::gcd(BigInt(12) * g, BigInt(18) * g), BigInt(6) * g);
+}
+
+TEST(BigIntTest, ModInverse) {
+  EXPECT_EQ(BigInt::mod_inverse(BigInt(3), BigInt(7)).to_u64(), 5u);
+  EXPECT_THROW(BigInt::mod_inverse(BigInt(2), BigInt(4)), std::domain_error);
+
+  HmacDrbg rng(999);
+  const BigInt m = generate_prime(rng, 128);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BigInt a = BigInt(1) + BigInt::random_below(rng, m - BigInt(1));
+    const BigInt inv = BigInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, RandomBitsExactLength) {
+  HmacDrbg rng(7);
+  for (std::size_t bits : {1u, 2u, 7u, 8u, 9u, 31u, 32u, 33u, 256u}) {
+    for (int trial = 0; trial < 10; ++trial)
+      EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  HmacDrbg rng(8);
+  const BigInt bound = BigInt::from_hex("1000000000000001");
+  for (int trial = 0; trial < 100; ++trial)
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+}
+
+// Cross-check every operator against native 128-bit arithmetic on random
+// small operands — an oracle the big-number path cannot share bugs with.
+TEST(BigIntTest, CrossCheckAgainstNativeArithmetic) {
+  HmacDrbg rng(0xCC01);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t a64 = rng.next_u64() >> (rng.below(40));
+    const std::uint64_t b64 = (rng.next_u64() >> (rng.below(40))) | 1;
+    const BigInt a(a64), b(b64);
+
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(a64) + b64;
+    const BigInt s = a + b;
+    EXPECT_EQ(s.to_u64(), static_cast<std::uint64_t>(sum));
+    EXPECT_EQ((s >> 64).to_u64(), static_cast<std::uint64_t>(sum >> 64));
+
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(a64) * b64;
+    const BigInt p = a * b;
+    EXPECT_EQ(p.to_u64(), static_cast<std::uint64_t>(prod));
+    EXPECT_EQ((p >> 64).to_u64(), static_cast<std::uint64_t>(prod >> 64));
+
+    EXPECT_EQ((a / b).to_u64(), a64 / b64);
+    EXPECT_EQ((a % b).to_u64(), a64 % b64);
+    if (a64 >= b64) {
+      EXPECT_EQ((a - b).to_u64(), a64 - b64);
+    }
+    EXPECT_EQ(a < b, a64 < b64);
+    EXPECT_EQ(a == b, a64 == b64);
+  }
+}
+
+TEST(BigIntTest, CrossCheckGcdAgainstEuclid64) {
+  HmacDrbg rng(0xCC02);
+  const auto gcd64 = [](std::uint64_t a, std::uint64_t b) {
+    while (b) {
+      const std::uint64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next_u64() >> rng.below(32);
+    const std::uint64_t b = rng.next_u64() >> rng.below(32);
+    EXPECT_EQ(BigInt::gcd(BigInt(a), BigInt(b)).to_u64(), gcd64(a, b));
+  }
+}
+
+TEST(BigIntTest, CrossCheckModExpAgainstNative) {
+  HmacDrbg rng(0xCC03);
+  const auto modexp64 = [](std::uint64_t base, std::uint64_t e,
+                           std::uint64_t mod) {
+    unsigned __int128 acc = 1;
+    unsigned __int128 b = base % mod;
+    while (e) {
+      if (e & 1) acc = acc * b % mod;
+      b = b * b % mod;
+      e >>= 1;
+    }
+    return static_cast<std::uint64_t>(acc);
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t mod = (rng.next_u64() >> 16) | 1;  // odd
+    const std::uint64_t base = rng.next_u64() % mod;
+    const std::uint64_t e = rng.next_u64() >> 40;
+    EXPECT_EQ(mod_exp(BigInt(base), BigInt(e), BigInt(mod)).to_u64(),
+              modexp64(base, e, mod));
+    EXPECT_EQ(mod_exp_ct(BigInt(base), BigInt(e), BigInt(mod)).to_u64(),
+              modexp64(base, e, mod));
+  }
+}
+
+// ---- modular exponentiation -------------------------------------------------
+
+TEST(ModExpTest, SmallKnownAnswers) {
+  EXPECT_EQ(mod_exp(BigInt(2), BigInt(10), BigInt(1000)).to_u64(), 24u);
+  EXPECT_EQ(mod_exp(BigInt(3), BigInt(0), BigInt(7)).to_u64(), 1u);
+  EXPECT_EQ(mod_exp(BigInt(5), BigInt(117), BigInt(19)).to_u64(), 1u);
+  // Fermat: a^(p-1) = 1 mod p
+  EXPECT_EQ(mod_exp(BigInt(7), BigInt(102), BigInt(103)).to_u64(), 1u);
+}
+
+TEST(ModExpTest, EvenModulusFallback) {
+  EXPECT_EQ(mod_exp(BigInt(3), BigInt(4), BigInt(100)).to_u64(), 81u % 100u);
+  EXPECT_EQ(mod_exp_ct(BigInt(3), BigInt(5), BigInt(64)).to_u64(),
+            243u % 64u);
+}
+
+TEST(MontgomeryTest, MulMatchesSchoolbook) {
+  HmacDrbg rng(55);
+  const BigInt n = generate_prime(rng, 256);
+  const Montgomery mont(n);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigInt a = BigInt::random_below(rng, n);
+    const BigInt b = BigInt::random_below(rng, n);
+    const BigInt got =
+        mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+    EXPECT_EQ(got, (a * b) % n);
+  }
+}
+
+TEST(MontgomeryTest, ExpMatchesGenericAndLadder) {
+  HmacDrbg rng(66);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BigInt n = generate_prime(rng, 192);
+    const Montgomery mont(n);
+    const BigInt base = BigInt::random_below(rng, n);
+    const BigInt e = BigInt::random_bits(rng, 96);
+    const BigInt expected = [&] {
+      BigInt acc = 1;
+      for (std::size_t i = e.bit_length(); i-- > 0;) {
+        acc = (acc * acc) % n;
+        if (e.bit(i)) acc = (acc * base) % n;
+      }
+      return acc;
+    }();
+    EXPECT_EQ(mont.exp(base, e), expected);
+    EXPECT_EQ(mont.exp_ladder(base, e), expected);
+  }
+}
+
+TEST(MontgomeryTest, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigInt(100)), std::invalid_argument);
+  EXPECT_THROW(Montgomery(BigInt(1)), std::invalid_argument);
+}
+
+TEST(MontgomeryTest, StatsCountOperations) {
+  HmacDrbg rng(77);
+  const BigInt n = generate_prime(rng, 128);
+  const Montgomery mont(n);
+  const BigInt base = BigInt::random_below(rng, n);
+  const BigInt e = BigInt::from_hex("ffffffffffffffff");  // 64 one-bits
+
+  MontStats leaky;
+  mont.exp(base, e, &leaky);
+  // L2R square-and-multiply: bits-1 squares, (ones-1) multiplies.
+  EXPECT_EQ(leaky.squares, 63u);
+  EXPECT_EQ(leaky.mults, 63u);
+
+  MontStats ladder;
+  mont.exp_ladder(base, e, &ladder);
+  // Ladder: one square and one multiply for every bit.
+  EXPECT_EQ(ladder.squares, 64u);
+  EXPECT_EQ(ladder.mults, 64u);
+}
+
+TEST(MontgomeryTest, LadderOperationCountIsKeyIndependent) {
+  HmacDrbg rng(88);
+  const BigInt n = generate_prime(rng, 128);
+  const Montgomery mont(n);
+  const BigInt base = BigInt::random_below(rng, n);
+  const BigInt sparse = BigInt::from_hex("8000000000000001");
+  const BigInt dense = BigInt::from_hex("ffffffffffffffff");
+  MontStats a, b;
+  mont.exp_ladder(base, sparse, &a);
+  mont.exp_ladder(base, dense, &b);
+  EXPECT_EQ(a.squares + a.mults, b.squares + b.mults);
+}
+
+// ---- primality ---------------------------------------------------------------
+
+TEST(PrimeTest, KnownPrimesAndComposites) {
+  HmacDrbg rng(99);
+  EXPECT_TRUE(is_probably_prime(BigInt(2), rng));
+  EXPECT_TRUE(is_probably_prime(BigInt(3), rng));
+  EXPECT_TRUE(is_probably_prime(BigInt(65537), rng));
+  EXPECT_TRUE(is_probably_prime(BigInt::from_hex("FFFFFFFFFFFFFFC5"), rng));
+  EXPECT_FALSE(is_probably_prime(BigInt(1), rng));
+  EXPECT_FALSE(is_probably_prime(BigInt(561), rng));    // Carmichael
+  EXPECT_FALSE(is_probably_prime(BigInt(41041), rng));  // Carmichael
+  EXPECT_FALSE(is_probably_prime(BigInt(1024), rng));
+  // Product of two primes.
+  EXPECT_FALSE(
+      is_probably_prime(BigInt(65537) * BigInt(65539), rng));
+}
+
+TEST(PrimeTest, GeneratedPrimesHaveRequestedLength) {
+  HmacDrbg rng(111);
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(p.bit(bits - 2));  // second-top bit forced
+  }
+}
+
+TEST(PrimeTest, SafePrimeStructure) {
+  HmacDrbg rng(222);
+  const BigInt p = generate_safe_prime(rng, 96);
+  EXPECT_TRUE(is_probably_prime(p, rng));
+  EXPECT_TRUE(is_probably_prime((p - BigInt(1)) >> 1, rng));
+}
+
+}  // namespace
+}  // namespace mapsec::crypto

@@ -1,0 +1,167 @@
+// CTR mode, CBC-MAC and CCM authenticated encryption.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/ccm.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::crypto {
+namespace {
+
+TEST(CtrTest, EncryptDecryptSymmetry) {
+  HmacDrbg rng(1);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes counter = rng.bytes(16);
+  const Bytes pt = rng.bytes(100);  // not a block multiple
+  const Bytes ct = ctr_crypt(*cipher, counter, pt);
+  EXPECT_EQ(ct.size(), pt.size());
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(ctr_crypt(*cipher, counter, ct), pt);
+}
+
+TEST(CtrTest, CounterIncrementAcrossBlockBoundary) {
+  // A counter block ending in 0xFF...FF must carry into higher bytes.
+  HmacDrbg rng(2);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  Bytes counter(16, 0);
+  counter[15] = 0xFF;
+  counter[14] = 0xFF;
+  const Bytes pt(48, 0);  // three blocks -> counters X, X+1, X+2
+  const Bytes ks = ctr_crypt(*cipher, counter, pt);
+  // Keystream blocks must be pairwise distinct.
+  EXPECT_FALSE(std::equal(ks.begin(), ks.begin() + 16, ks.begin() + 16));
+  EXPECT_FALSE(std::equal(ks.begin() + 16, ks.begin() + 32, ks.begin() + 32));
+}
+
+TEST(CtrTest, RejectsWrongCounterSize) {
+  HmacDrbg rng(3);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  EXPECT_THROW(ctr_crypt(*cipher, Bytes(8), Bytes(16)),
+               std::invalid_argument);
+}
+
+TEST(CbcMacTest, MatchesManualComputation) {
+  HmacDrbg rng(4);
+  const Bytes key = rng.bytes(16);
+  const auto cipher = make_block_cipher(Aes(key));
+  const Bytes msg = rng.bytes(32);  // exactly two blocks
+  // Manual: E(E(m0) ^ m1)
+  const Aes aes(key);
+  Bytes b0(16), state(16);
+  aes.encrypt_block(msg.data(), b0.data());
+  for (int i = 0; i < 16; ++i)
+    b0[static_cast<std::size_t>(i)] ^=
+        msg[static_cast<std::size_t>(16 + i)];
+  aes.encrypt_block(b0.data(), state.data());
+  EXPECT_EQ(cbc_mac(*cipher, msg), state);
+}
+
+class CcmLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CcmLengthTest, SealOpenRoundTrip) {
+  HmacDrbg rng(5);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  const Bytes aad = to_bytes("802.11 header");
+  const Bytes pt = rng.bytes(GetParam());
+  const Bytes sealed = ccm_seal(*cipher, nonce, aad, pt);
+  EXPECT_EQ(sealed.size(), pt.size() + 8);
+  const auto opened = ccm_open(*cipher, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadLengths, CcmLengthTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 100,
+                                           1000));
+
+TEST(CcmTest, TamperedCiphertextRejected) {
+  HmacDrbg rng(6);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  Bytes sealed = ccm_seal(*cipher, nonce, {}, to_bytes("authentic frame"));
+  sealed[3] ^= 1;
+  EXPECT_FALSE(ccm_open(*cipher, nonce, {}, sealed).has_value());
+}
+
+TEST(CcmTest, TamperedTagRejected) {
+  HmacDrbg rng(7);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  Bytes sealed = ccm_seal(*cipher, nonce, {}, to_bytes("frame"));
+  sealed.back() ^= 1;
+  EXPECT_FALSE(ccm_open(*cipher, nonce, {}, sealed).has_value());
+}
+
+TEST(CcmTest, AadIsBound) {
+  // Unlike WEP (whose CRC ignores the header), CCM binds the AAD: the
+  // same sealed frame under a different header must not verify.
+  HmacDrbg rng(8);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  const Bytes sealed =
+      ccm_seal(*cipher, nonce, to_bytes("src=alice"), to_bytes("payload"));
+  EXPECT_TRUE(
+      ccm_open(*cipher, nonce, to_bytes("src=alice"), sealed).has_value());
+  EXPECT_FALSE(
+      ccm_open(*cipher, nonce, to_bytes("src=mallet"), sealed).has_value());
+}
+
+TEST(CcmTest, WrongNonceRejected) {
+  HmacDrbg rng(9);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  Bytes nonce2 = nonce;
+  nonce2[0] ^= 1;
+  const Bytes sealed = ccm_seal(*cipher, nonce, {}, to_bytes("payload"));
+  EXPECT_FALSE(ccm_open(*cipher, nonce2, {}, sealed).has_value());
+}
+
+TEST(CcmTest, TagLengths) {
+  HmacDrbg rng(10);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  for (const std::size_t m : {4u, 8u, 12u, 16u}) {
+    const Bytes sealed = ccm_seal(*cipher, nonce, {}, to_bytes("x"), m);
+    EXPECT_EQ(sealed.size(), 1 + m);
+    EXPECT_TRUE(ccm_open(*cipher, nonce, {}, sealed, m).has_value());
+  }
+  EXPECT_THROW(ccm_seal(*cipher, nonce, {}, to_bytes("x"), 3),
+               std::invalid_argument);
+  EXPECT_THROW(ccm_seal(*cipher, nonce, {}, to_bytes("x"), 7),
+               std::invalid_argument);
+}
+
+TEST(CcmTest, ParameterValidation) {
+  HmacDrbg rng(11);
+  const auto aes = make_block_cipher(Aes(rng.bytes(16)));
+  const auto des = make_block_cipher(Des3(rng.bytes(24)));
+  EXPECT_THROW(ccm_seal(*des, Bytes(13), {}, Bytes(4)),
+               std::invalid_argument);
+  EXPECT_THROW(ccm_seal(*aes, Bytes(12), {}, Bytes(4)),
+               std::invalid_argument);
+  EXPECT_THROW(ccm_seal(*aes, Bytes(13), {}, Bytes(70000)),
+               std::invalid_argument);
+  EXPECT_FALSE(ccm_open(*aes, Bytes(13), {}, Bytes(4), 8).has_value());
+}
+
+TEST(CcmTest, Rfc3610PacketVector1) {
+  // RFC 3610 Packet Vector #1: AES key C0..CF, 13-byte nonce, 8-byte AAD,
+  // 23-byte payload, M=8.
+  const auto cipher =
+      make_block_cipher(Aes(from_hex("c0c1c2c3c4c5c6c7c8c9cacbcccdcecf")));
+  const Bytes nonce = from_hex("00000003020100a0a1a2a3a4a5");
+  const Bytes aad = from_hex("0001020304050607");
+  const Bytes payload =
+      from_hex("08090a0b0c0d0e0f101112131415161718191a1b1c1d1e");
+  const Bytes sealed = ccm_seal(*cipher, nonce, aad, payload, 8);
+  EXPECT_EQ(to_hex(sealed),
+            "588c979a61c663d2f066d0c2c0f989806d5f6b61dac384"
+            "17e8d12cfdf926e0");
+  const auto opened = ccm_open(*cipher, nonce, aad, sealed, 8);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+}  // namespace
+}  // namespace mapsec::crypto

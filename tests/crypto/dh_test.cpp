@@ -1,0 +1,63 @@
+// Diffie-Hellman key agreement.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/dh.hpp"
+#include "mapsec/crypto/prime.hpp"
+
+namespace mapsec::crypto {
+namespace {
+
+TEST(DhTest, Oakley2GroupParameters) {
+  const DhGroup g = DhGroup::oakley_group2();
+  EXPECT_EQ(g.p.bit_length(), 1024u);
+  EXPECT_EQ(g.g.to_u64(), 2u);
+  EXPECT_TRUE(g.p.is_odd());
+}
+
+TEST(DhTest, Modp2048GroupParameters) {
+  const DhGroup g = DhGroup::modp2048();
+  EXPECT_EQ(g.p.bit_length(), 2048u);
+}
+
+TEST(DhTest, AgreementOnSmallGroup) {
+  HmacDrbg rng(1);
+  const DhGroup group = DhGroup::generate(rng, 128);
+  const DhKeyPair alice = dh_generate(group, rng);
+  const DhKeyPair bob = dh_generate(group, rng);
+  const BigInt s1 = dh_shared_secret(group, alice.private_key, bob.public_key);
+  const BigInt s2 = dh_shared_secret(group, bob.private_key, alice.public_key);
+  EXPECT_EQ(s1, s2);
+  EXPECT_FALSE(s1.is_zero());
+}
+
+TEST(DhTest, AgreementOnOakley2) {
+  HmacDrbg rng(2);
+  const DhGroup group = DhGroup::oakley_group2();
+  const DhKeyPair alice = dh_generate(group, rng);
+  const DhKeyPair bob = dh_generate(group, rng);
+  EXPECT_EQ(dh_shared_secret(group, alice.private_key, bob.public_key),
+            dh_shared_secret(group, bob.private_key, alice.public_key));
+}
+
+TEST(DhTest, RejectsDegeneratePeerValues) {
+  HmacDrbg rng(3);
+  const DhGroup group = DhGroup::oakley_group2();
+  const DhKeyPair alice = dh_generate(group, rng);
+  EXPECT_THROW(dh_shared_secret(group, alice.private_key, BigInt(0)),
+               std::invalid_argument);
+  EXPECT_THROW(dh_shared_secret(group, alice.private_key, BigInt(1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      dh_shared_secret(group, alice.private_key, group.p - BigInt(1)),
+      std::invalid_argument);
+}
+
+TEST(DhTest, DistinctEphemerals) {
+  HmacDrbg rng(4);
+  const DhGroup group = DhGroup::oakley_group2();
+  EXPECT_NE(dh_generate(group, rng).public_key,
+            dh_generate(group, rng).public_key);
+}
+
+}  // namespace
+}  // namespace mapsec::crypto

@@ -1,0 +1,70 @@
+// PBKDF2 (RFC 6070 known-answer vectors + properties).
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/pbkdf2.hpp"
+
+namespace mapsec::crypto {
+namespace {
+
+TEST(Pbkdf2Test, Rfc6070Vectors) {
+  EXPECT_EQ(to_hex(pbkdf2_hmac_sha1(to_bytes("password"), to_bytes("salt"),
+                                    1, 20)),
+            "0c60c80f961f0e71f3a9b524af6012062fe037a6");
+  EXPECT_EQ(to_hex(pbkdf2_hmac_sha1(to_bytes("password"), to_bytes("salt"),
+                                    2, 20)),
+            "ea6c014dc72d6f8ccd1ed92ace1d41f0d8de8957");
+  EXPECT_EQ(to_hex(pbkdf2_hmac_sha1(to_bytes("password"), to_bytes("salt"),
+                                    4096, 20)),
+            "4b007901b765489abead49d926f721d065a429c1");
+  EXPECT_EQ(
+      to_hex(pbkdf2_hmac_sha1(to_bytes("passwordPASSWORDpassword"),
+                              to_bytes("saltSALTsaltSALTsaltSALTsaltSALTsalt"),
+                              4096, 25)),
+      "3d2eec4fe41c849b80c8d83662c0e44a8b291a964cf2f07038");
+}
+
+TEST(Pbkdf2Test, MultiBlockOutput) {
+  // dk_len > digest size exercises block chaining.
+  const Bytes dk =
+      pbkdf2_hmac_sha1(to_bytes("pw"), to_bytes("salt"), 10, 50);
+  EXPECT_EQ(dk.size(), 50u);
+  // Prefix property: a shorter derivation is a prefix of a longer one.
+  const Bytes dk20 =
+      pbkdf2_hmac_sha1(to_bytes("pw"), to_bytes("salt"), 10, 20);
+  EXPECT_TRUE(std::equal(dk20.begin(), dk20.end(), dk.begin()));
+}
+
+TEST(Pbkdf2Test, SaltAndIterationSeparation) {
+  const Bytes a = pbkdf2_hmac_sha1(to_bytes("pw"), to_bytes("salt1"), 10, 20);
+  const Bytes b = pbkdf2_hmac_sha1(to_bytes("pw"), to_bytes("salt2"), 10, 20);
+  const Bytes c = pbkdf2_hmac_sha1(to_bytes("pw"), to_bytes("salt1"), 11, 20);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Pbkdf2Test, Sha256VariantWorks) {
+  const Bytes dk =
+      pbkdf2_hmac_sha256(to_bytes("pin-4711"), to_bytes("device-id"), 100, 32);
+  EXPECT_EQ(dk.size(), 32u);
+  EXPECT_EQ(dk, pbkdf2_hmac_sha256(to_bytes("pin-4711"),
+                                   to_bytes("device-id"), 100, 32));
+}
+
+TEST(Pbkdf2Test, Validation) {
+  EXPECT_THROW(pbkdf2_hmac_sha1(to_bytes("p"), to_bytes("s"), 0, 20),
+               std::invalid_argument);
+}
+
+TEST(Pbkdf2Test, IterationBudgetScalesWithMips) {
+  // A DragonBall (2.7 MIPS) affords ~87x fewer iterations than the
+  // StrongARM (235 MIPS) for the same 100 ms budget — the gap, again.
+  const auto slow = pbkdf2_iterations_for_budget(2.7, 100);
+  const auto fast = pbkdf2_iterations_for_budget(235, 100);
+  EXPECT_NEAR(static_cast<double>(fast) / static_cast<double>(slow),
+              235.0 / 2.7, 1.0);
+  EXPECT_EQ(pbkdf2_iterations_for_budget(0.001, 0.001), 1u);  // floor
+  EXPECT_THROW(pbkdf2_iterations_for_budget(0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapsec::crypto

@@ -1,0 +1,188 @@
+// RSA: key generation invariants, private-op strategies, PKCS#1 padding.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/crypto/rsa.hpp"
+
+namespace mapsec::crypto {
+namespace {
+
+// Shared fixture: generating keys is the slow part, do it once per size.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HmacDrbg rng(0xA5A5);
+    key512_ = new RsaKeyPair(rsa_generate(rng, 512));
+    key1024_ = new RsaKeyPair(rsa_generate(rng, 1024));
+  }
+  static void TearDownTestSuite() {
+    delete key512_;
+    delete key1024_;
+    key512_ = nullptr;
+    key1024_ = nullptr;
+  }
+
+  static RsaKeyPair* key512_;
+  static RsaKeyPair* key1024_;
+};
+
+RsaKeyPair* RsaTest::key512_ = nullptr;
+RsaKeyPair* RsaTest::key1024_ = nullptr;
+
+TEST_F(RsaTest, KeyStructure) {
+  const auto& k = key1024_->priv;
+  EXPECT_EQ(k.n.bit_length(), 1024u);
+  EXPECT_EQ(k.p * k.q, k.n);
+  EXPECT_GT(k.p, k.q);
+  EXPECT_EQ((k.qinv * k.q) % k.p, BigInt(1));
+  EXPECT_EQ(k.dp, k.d % (k.p - BigInt(1)));
+  EXPECT_EQ(k.dq, k.d % (k.q - BigInt(1)));
+  // e*d = 1 mod lcm is implied by e*d = 1 mod phi; check phi version.
+  const BigInt phi = (k.p - BigInt(1)) * (k.q - BigInt(1));
+  EXPECT_EQ((k.e * k.d) % phi, BigInt(1));
+}
+
+TEST_F(RsaTest, PublicPrivateRoundTrip) {
+  HmacDrbg rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BigInt m = BigInt::random_below(rng, key512_->pub.n);
+    const BigInt c = rsa_public_op(key512_->pub, m);
+    EXPECT_EQ(rsa_private_op(key512_->priv, c), m);
+  }
+}
+
+TEST_F(RsaTest, CrtMatchesPlain) {
+  HmacDrbg rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BigInt c = BigInt::random_below(rng, key1024_->pub.n);
+    EXPECT_EQ(rsa_private_op_crt(key1024_->priv, c),
+              rsa_private_op(key1024_->priv, c));
+  }
+}
+
+TEST_F(RsaTest, CrtCheckedMatches) {
+  HmacDrbg rng(3);
+  const BigInt c = BigInt::random_below(rng, key1024_->pub.n);
+  EXPECT_EQ(rsa_private_op_crt_checked(key1024_->priv, c),
+            rsa_private_op(key1024_->priv, c));
+}
+
+TEST_F(RsaTest, BlindedMatches) {
+  HmacDrbg rng(4);
+  for (int trial = 0; trial < 3; ++trial) {
+    const BigInt c = BigInt::random_below(rng, key512_->pub.n);
+    EXPECT_EQ(rsa_private_op_blinded(key512_->priv, c, rng),
+              rsa_private_op(key512_->priv, c));
+  }
+}
+
+TEST_F(RsaTest, CrtIsCheaperThanPlain) {
+  // The CRT speedup claim (~4x): compare Montgomery multiply counts.
+  HmacDrbg rng(5);
+  const BigInt c = BigInt::random_below(rng, key1024_->pub.n);
+  MontStats plain, crt;
+  rsa_private_op(key1024_->priv, c, &plain);
+  rsa_private_op_crt(key1024_->priv, c, &crt);
+  // Each CRT half has ~half the exponent bits; with half-size operands
+  // each multiply is ~4x cheaper, but in raw op counts CRT does about the
+  // same number of multiplies; the win shows as halved operand size. Here
+  // we check the op-count structure: crt ops ~= plain ops.
+  EXPECT_GT(plain.squares, 1000u);
+  EXPECT_GT(crt.squares, 900u);
+  EXPECT_LT(crt.squares, plain.squares * 11 / 10);
+}
+
+TEST_F(RsaTest, Pkcs1EncryptDecryptRoundTrip) {
+  HmacDrbg rng(6);
+  const Bytes msg = to_bytes("premaster-secret-48-bytes-xxxxxxxxxxxxxxxxxxxx");
+  const Bytes ct = rsa_encrypt_pkcs1(key1024_->pub, msg, rng);
+  EXPECT_EQ(ct.size(), key1024_->pub.modulus_bytes());
+  const auto pt = rsa_decrypt_pkcs1(key1024_->priv, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, msg);
+}
+
+TEST_F(RsaTest, Pkcs1RandomisedPadding) {
+  HmacDrbg rng(7);
+  const Bytes msg = to_bytes("same message");
+  const Bytes c1 = rsa_encrypt_pkcs1(key1024_->pub, msg, rng);
+  const Bytes c2 = rsa_encrypt_pkcs1(key1024_->pub, msg, rng);
+  EXPECT_NE(c1, c2);  // type-2 padding must randomise
+}
+
+TEST_F(RsaTest, Pkcs1RejectsOversizeMessage) {
+  HmacDrbg rng(8);
+  const Bytes big(key512_->pub.modulus_bytes() - 10, 0x41);
+  EXPECT_THROW(rsa_encrypt_pkcs1(key512_->pub, big, rng),
+               std::invalid_argument);
+}
+
+TEST_F(RsaTest, Pkcs1DecryptRejectsGarbage) {
+  HmacDrbg rng(9);
+  Bytes garbage = rng.bytes(key1024_->pub.modulus_bytes());
+  garbage[0] = 0;  // keep below modulus
+  EXPECT_FALSE(rsa_decrypt_pkcs1(key1024_->priv, garbage).has_value());
+  EXPECT_FALSE(rsa_decrypt_pkcs1(key1024_->priv, Bytes(5)).has_value());
+}
+
+TEST_F(RsaTest, Pkcs1DecryptRejectsTamperedCiphertext) {
+  HmacDrbg rng(10);
+  const Bytes msg = to_bytes("tamper me");
+  Bytes ct = rsa_encrypt_pkcs1(key1024_->pub, msg, rng);
+  ct[ct.size() / 2] ^= 1;
+  const auto pt = rsa_decrypt_pkcs1(key1024_->priv, ct);
+  if (pt.has_value()) {
+    EXPECT_NE(*pt, msg);  // overwhelmingly likely: nullopt
+  }
+}
+
+TEST_F(RsaTest, SignVerifySha1) {
+  const Bytes msg = to_bytes("handshake transcript");
+  const Bytes sig = rsa_sign_sha1(key1024_->priv, msg);
+  EXPECT_TRUE(rsa_verify_sha1(key1024_->pub, msg, sig));
+  EXPECT_FALSE(rsa_verify_sha1(key1024_->pub, to_bytes("other"), sig));
+  Bytes bad = sig;
+  bad[10] ^= 1;
+  EXPECT_FALSE(rsa_verify_sha1(key1024_->pub, msg, bad));
+}
+
+TEST_F(RsaTest, SignVerifySha256) {
+  const Bytes msg = to_bytes("boot image");
+  const Bytes sig = rsa_sign_sha256(key1024_->priv, msg);
+  EXPECT_TRUE(rsa_verify_sha256(key1024_->pub, msg, sig));
+  EXPECT_FALSE(rsa_verify_sha256(key1024_->pub, msg,
+                                 rsa_sign_sha256(key512_->priv, msg)));
+}
+
+TEST_F(RsaTest, SignatureIsDeterministic) {
+  const Bytes msg = to_bytes("deterministic");
+  EXPECT_EQ(rsa_sign_sha1(key1024_->priv, msg),
+            rsa_sign_sha1(key1024_->priv, msg));
+}
+
+TEST_F(RsaTest, WrongKeyCannotVerify) {
+  const Bytes msg = to_bytes("cross-key");
+  const Bytes sig = rsa_sign_sha1(key512_->priv, msg);
+  EXPECT_FALSE(rsa_verify_sha1(key1024_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, RawOpsRejectOutOfRange) {
+  EXPECT_THROW(rsa_public_op(key512_->pub, key512_->pub.n),
+               std::invalid_argument);
+  EXPECT_THROW(rsa_private_op(key512_->priv, key512_->priv.n),
+               std::invalid_argument);
+}
+
+TEST(RsaGenerateTest, RejectsBadSizes) {
+  HmacDrbg rng(11);
+  EXPECT_THROW(rsa_generate(rng, 32), std::invalid_argument);
+  EXPECT_THROW(rsa_generate(rng, 129), std::invalid_argument);
+}
+
+TEST(RsaGenerateTest, DistinctKeysFromDistinctSeeds) {
+  HmacDrbg a(1), b(2);
+  EXPECT_NE(rsa_generate(a, 256).pub.n, rsa_generate(b, 256).pub.n);
+}
+
+}  // namespace
+}  // namespace mapsec::crypto

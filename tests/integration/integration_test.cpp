@@ -1,0 +1,158 @@
+// Cross-module integration: the full device lifecycle in one test file —
+// verified boot gating the key store, stored credentials driving a
+// mutually-authenticated TLS session, the platform models pricing it,
+// and the attack modules probing the running configuration.
+#include <gtest/gtest.h>
+
+#include "mapsec/attack/bleichenbacher.hpp"
+#include "mapsec/attack/spa.hpp"
+#include "mapsec/crypto/pbkdf2.hpp"
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/engine/protocol_engine.hpp"
+#include "mapsec/platform/accelerator.hpp"
+#include "mapsec/protocol/esp.hpp"
+#include "mapsec/protocol/handshake.hpp"
+#include "mapsec/secureplat/keystore.hpp"
+#include "mapsec/secureplat/secure_boot.hpp"
+#include "mapsec/secureplat/user_auth.hpp"
+
+namespace mapsec {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+constexpr std::uint64_t kNow = 1'050'000'000;
+
+TEST(IntegrationTest, DeviceLifecycleBootToSecureSession) {
+  crypto::HmacDrbg rng(0x1F7E);
+
+  // -- 1. Verified boot gates everything else.
+  const crypto::RsaKeyPair oem = crypto::rsa_generate(rng, 512);
+  secureplat::BootRom rom(oem.pub);
+  const auto report = rom.boot({
+      secureplat::make_boot_image("loader", to_bytes("ldr"), 1, oem.priv),
+      secureplat::make_boot_image("os", to_bytes("os"), 1, oem.priv),
+  });
+  ASSERT_TRUE(report.booted);
+
+  // -- 2. The user's PIN, stretched with PBKDF2, unlocks the key store
+  //       master secret (modelling the PIN->storage-key path).
+  secureplat::PinAuthenticator pin(to_bytes("4711"), &rng);
+  ASSERT_EQ(pin.verify(to_bytes("4711")), secureplat::AuthResult::kGranted);
+  const Bytes master = crypto::pbkdf2_hmac_sha256(
+      to_bytes("4711"), to_bytes("device-serial-0042"), 100, 32);
+  secureplat::KeyStore store(master, &rng);
+
+  // -- 3. Client TLS credentials live sealed in flash.
+  const crypto::RsaKeyPair client_key = crypto::rsa_generate(rng, 512);
+  const Bytes client_key_der = client_key.priv.d.to_bytes_be();
+  const auto sealed = store.seal("tls-client-key", client_key_der);
+  Bytes unsealed;
+  ASSERT_EQ(store.unseal(sealed, unsealed),
+            secureplat::UnsealStatus::kOk);
+  ASSERT_EQ(unsealed, client_key_der);
+
+  // -- 4. Mutually-authenticated TLS session using the unsealed identity.
+  const crypto::RsaKeyPair ca_key = crypto::rsa_generate(rng, 512);
+  const crypto::RsaKeyPair server_key = crypto::rsa_generate(rng, 512);
+  protocol::CertificateAuthority ca("Root", ca_key, 0, kNow * 2);
+  const auto server_cert = ca.issue("srv", server_key.pub, 0, kNow * 2);
+  const auto client_cert = ca.issue("dev-0042", client_key.pub, 0, kNow * 2);
+
+  crypto::HmacDrbg crng(1), srng(2);
+  protocol::HandshakeConfig ccfg;
+  ccfg.rng = &crng;
+  ccfg.now = kNow;
+  ccfg.trusted_roots = {ca.root()};
+  ccfg.client_cert_chain = {client_cert};
+  ccfg.client_private_key = &client_key.priv;
+  protocol::HandshakeConfig scfg;
+  scfg.rng = &srng;
+  scfg.now = kNow;
+  scfg.cert_chain = {server_cert};
+  scfg.private_key = &server_key.priv;
+  scfg.request_client_auth = true;
+  scfg.require_client_auth = true;
+  scfg.trusted_roots = {ca.root()};
+
+  protocol::TlsClient client(ccfg);
+  protocol::TlsServer server(scfg, nullptr);
+  protocol::run_handshake(client, server);
+  ASSERT_TRUE(server.established());
+  EXPECT_TRUE(server.summary().client_authenticated);
+
+  const auto got =
+      server.recv_data(client.send_data(to_bytes("device telemetry")));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], to_bytes("device telemetry"));
+
+  // -- 5. The platform model prices exactly what just happened: the
+  //       client did one RSA private op (CertificateVerify) plus public
+  //       ops; on the DragonBall that handshake alone blows a 1 s budget,
+  //       on the StrongARM it fits.
+  const auto model = platform::WorkloadModel::paper_calibrated();
+  const double handshake_instr =
+      model.instr_per_op(platform::Primitive::kRsa1024Private);
+  EXPECT_GT(platform::Processor::dragonball().seconds_for(handshake_instr),
+            1.0);
+  EXPECT_LT(
+      platform::Processor::strongarm_sa1100().seconds_for(handshake_instr),
+      1.0);
+}
+
+TEST(IntegrationTest, AttackSurfaceOfTheRunningConfiguration) {
+  crypto::HmacDrbg rng(0x1F7F);
+  const crypto::RsaKeyPair key = crypto::rsa_generate(rng, 256);
+
+  // A server that decrypts ClientKeyExchange with a leaky error path is
+  // Bleichenbacher-recoverable...
+  const Bytes premaster = to_bytes("premaster-secret");
+  const Bytes ct = crypto::rsa_encrypt_pkcs1(key.pub, premaster, rng);
+  attack::PaddingOracle oracle(key.priv,
+                               attack::PaddingOracle::Strictness::kPrefixOnly);
+  const auto bb = attack::bleichenbacher_attack(key.pub, ct, oracle);
+  ASSERT_TRUE(bb.success);
+  EXPECT_EQ(bb.recovered_message, premaster);
+
+  // ...and a device signing with unprotected square-and-multiply loses
+  // its key to one SPA trace; the ladder build of the *same* key does not.
+  const crypto::BigInt m = crypto::BigInt::random_below(rng, key.pub.n);
+  attack::SpaOracle leaky(key.priv,
+                          attack::SpaOracle::Strategy::kSquareAndMultiply);
+  EXPECT_TRUE(attack::spa_attack(key.pub, m, leaky.sign(m)).verified);
+  attack::SpaOracle fixed(key.priv,
+                          attack::SpaOracle::Strategy::kMontgomeryLadder);
+  EXPECT_FALSE(attack::spa_attack(key.pub, m, fixed.sign(m)).verified);
+}
+
+TEST(IntegrationTest, EngineCarriesEspTrafficFromTheProtocolStack) {
+  // The programmable engine (src/engine) drops into the datapath of the
+  // hand-written ESP stack (src/protocol) without either knowing the
+  // other: same SA material, interoperable packets.
+  crypto::HmacDrbg rng(0x1F80);
+  protocol::EspSa sa;
+  sa.spi = 77;
+  sa.cipher = protocol::BulkCipher::kAes128;
+  sa.enc_key = rng.bytes(16);
+  sa.mac_key = rng.bytes(20);
+  protocol::EspSender sender(sa, &rng);
+
+  engine::EngineSa esa;
+  esa.spi = sa.spi;
+  esa.cipher = sa.cipher;
+  esa.enc_key = sa.enc_key;
+  esa.mac_key = sa.mac_key;
+  engine::ProtocolEngine eng(engine::EngineProfile{}, &rng);
+  eng.load_program("esp-in", engine::esp_inbound_program());
+
+  for (int i = 0; i < 20; ++i) {
+    const Bytes payload = rng.bytes(1 + rng.below(200));
+    const auto r = eng.run("esp-in", esa, sender.protect(payload));
+    ASSERT_TRUE(r.accepted) << r.drop_reason;
+    EXPECT_EQ(r.payload, payload);
+  }
+}
+
+}  // namespace
+}  // namespace mapsec

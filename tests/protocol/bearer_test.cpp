@@ -1,0 +1,88 @@
+// GSM bearer channel: what network-access-domain security does and does
+// not provide.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/bearer.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+class BearerTest : public ::testing::Test {
+ protected:
+  BearerTest() : rng_(0x65), kc_(rng_.bytes(8)) {}
+  crypto::HmacDrbg rng_;
+  Bytes kc_;
+};
+
+TEST_F(BearerTest, AirInterfaceIsEncryptedUnderA51) {
+  GsmLink link(kc_);
+  const Bytes payload = to_bytes("voice/data frame payload");
+  const auto trace =
+      bearer_path_transfer(link, payload, GsmCipherMode::kA51);
+  EXPECT_NE(trace.over_the_air, payload);          // radio eavesdropper: ct
+  EXPECT_EQ(trace.at_base_station, payload);       // operator: plaintext!
+  EXPECT_EQ(trace.delivered_to_server, payload);
+}
+
+TEST_F(BearerTest, ProtectionEndsAtBaseStation) {
+  // The paper's core limitation: bearer security covers one hop. The
+  // base-station view IS the plaintext — anything beyond (SS7 backhaul,
+  // WAP gateway) handles user data unprotected.
+  GsmLink link(kc_);
+  const Bytes secret = to_bytes("card=5105105105105100");
+  const auto trace = bearer_path_transfer(link, secret, GsmCipherMode::kA51);
+  EXPECT_EQ(trace.at_base_station, secret);
+}
+
+TEST_F(BearerTest, NetworkCanDowngradeToNoEncryption) {
+  GsmLink link(kc_);
+  const Bytes payload = to_bytes("sensitive");
+  const auto trace =
+      bearer_path_transfer(link, payload, GsmCipherMode::kA50None);
+  EXPECT_EQ(trace.over_the_air, payload);  // cleartext on the air
+}
+
+TEST_F(BearerTest, FrameCountersAdvanceAndRoundTrip) {
+  GsmLink link(kc_);
+  const Bytes p1 = to_bytes("frame one");
+  const Bytes p2 = to_bytes("frame two");
+  const GsmFrame f1 = link.send(p1, GsmCipherMode::kA51);
+  const GsmFrame f2 = link.send(p2, GsmCipherMode::kA51);
+  EXPECT_EQ(f2.frame_number, f1.frame_number + 1);
+  EXPECT_EQ(link.receive(f1), p1);
+  EXPECT_EQ(link.receive(f2), p2);
+}
+
+TEST_F(BearerTest, NoIntegrity) {
+  // Corrupted frames decrypt to garbage without any error signal —
+  // GSM's missing integrity protection, observable.
+  GsmLink link(kc_);
+  GsmFrame frame = link.send(to_bytes("AAAA"), GsmCipherMode::kA51);
+  frame.body[0] ^= 0xFF;
+  const Bytes out = link.receive(frame);  // no exception, no rejection
+  EXPECT_NE(out, to_bytes("AAAA"));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(BearerTest, FrameCounterWrapReusesKeystream) {
+  // The 22-bit counter wraps; frames 2^22 apart share keystream under
+  // the same Kc — a WEP-like exposure on long-lived sessions.
+  GsmLink link(kc_);
+  const Bytes p = to_bytes("probe");
+  const GsmFrame first = link.send(p, GsmCipherMode::kA51);
+  GsmFrame far_future = first;
+  // Simulate the wrapped counter directly.
+  far_future.frame_number = first.frame_number;  // same 22-bit value
+  EXPECT_EQ(link.receive(far_future), p);
+}
+
+TEST_F(BearerTest, Validation) {
+  EXPECT_THROW(GsmLink(Bytes(4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

@@ -1,0 +1,129 @@
+// Certificate encoding and chain verification.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/cert.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+class CertTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0xCE27);
+    ca_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    leaf_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    other_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete ca_key_;
+    delete leaf_key_;
+    delete other_key_;
+  }
+
+  static crypto::RsaKeyPair* ca_key_;
+  static crypto::RsaKeyPair* leaf_key_;
+  static crypto::RsaKeyPair* other_key_;
+
+  static constexpr std::uint64_t kNow = 1'050'000'000;  // ~2003
+};
+
+crypto::RsaKeyPair* CertTest::ca_key_ = nullptr;
+crypto::RsaKeyPair* CertTest::leaf_key_ = nullptr;
+crypto::RsaKeyPair* CertTest::other_key_ = nullptr;
+
+TEST_F(CertTest, EncodeDecodeRoundTrip) {
+  CertificateAuthority ca("MapSec Root", *ca_key_, kNow - 1000, kNow + 1000);
+  const Certificate leaf =
+      ca.issue("server.example", leaf_key_->pub, kNow - 10, kNow + 10);
+  const auto decoded = Certificate::decode(leaf.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->subject, "server.example");
+  EXPECT_EQ(decoded->issuer, "MapSec Root");
+  EXPECT_EQ(decoded->public_key.n, leaf_key_->pub.n);
+  EXPECT_EQ(decoded->serial, leaf.serial);
+  EXPECT_EQ(decoded->signature, leaf.signature);
+}
+
+TEST_F(CertTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Certificate::decode(crypto::Bytes{}).has_value());
+  EXPECT_FALSE(Certificate::decode(crypto::Bytes(7, 0xFF)).has_value());
+  CertificateAuthority ca("CA", *ca_key_, 0, kNow * 2);
+  crypto::Bytes enc = ca.root().encode();
+  enc.push_back(0);  // trailing junk
+  EXPECT_FALSE(Certificate::decode(enc).has_value());
+}
+
+TEST_F(CertTest, ValidChainVerifies) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  const Certificate leaf = ca.issue("leaf", leaf_key_->pub, 0, kNow * 2);
+  EXPECT_EQ(verify_chain({leaf}, {ca.root()}, kNow), CertVerifyResult::kOk);
+}
+
+TEST_F(CertTest, SelfSignedRootVerifiesAgainstItself) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  EXPECT_TRUE(ca.root().is_self_signed());
+  EXPECT_EQ(verify_chain({ca.root()}, {ca.root()}, kNow),
+            CertVerifyResult::kOk);
+}
+
+TEST_F(CertTest, UnknownIssuerRejected) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  CertificateAuthority rogue("Rogue", *other_key_, 0, kNow * 2);
+  const Certificate leaf = rogue.issue("leaf", leaf_key_->pub, 0, kNow * 2);
+  EXPECT_EQ(verify_chain({leaf}, {ca.root()}, kNow),
+            CertVerifyResult::kUnknownIssuer);
+}
+
+TEST_F(CertTest, ForgedSignatureRejected) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  Certificate leaf = ca.issue("leaf", leaf_key_->pub, 0, kNow * 2);
+  leaf.subject = "attacker.example";  // content changed after signing
+  EXPECT_EQ(verify_chain({leaf}, {ca.root()}, kNow),
+            CertVerifyResult::kBadSignature);
+}
+
+TEST_F(CertTest, ExpiryAndNotYetValid) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  const Certificate expired =
+      ca.issue("old", leaf_key_->pub, 0, kNow - 100);
+  EXPECT_EQ(verify_chain({expired}, {ca.root()}, kNow),
+            CertVerifyResult::kExpired);
+  const Certificate future =
+      ca.issue("future", leaf_key_->pub, kNow + 100, kNow + 200);
+  EXPECT_EQ(verify_chain({future}, {ca.root()}, kNow),
+            CertVerifyResult::kNotYetValid);
+}
+
+TEST_F(CertTest, EmptyChainRejected) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  EXPECT_EQ(verify_chain({}, {ca.root()}, kNow),
+            CertVerifyResult::kEmptyChain);
+}
+
+TEST_F(CertTest, IntermediateChain) {
+  // Root signs an intermediate CA cert; the intermediate's key signs the
+  // leaf. The chain (leaf, intermediate) verifies against the root.
+  CertificateAuthority root("Root", *ca_key_, 0, kNow * 2);
+  const Certificate intermediate_cert =
+      root.issue("Intermediate", other_key_->pub, 0, kNow * 2);
+  CertificateAuthority intermediate("Intermediate", *other_key_, 0, kNow * 2);
+  const Certificate leaf =
+      intermediate.issue("leaf", leaf_key_->pub, 0, kNow * 2);
+  EXPECT_EQ(verify_chain({leaf, intermediate_cert}, {root.root()}, kNow),
+            CertVerifyResult::kOk);
+  // Without the intermediate the leaf's issuer is unknown.
+  EXPECT_EQ(verify_chain({leaf}, {root.root()}, kNow),
+            CertVerifyResult::kUnknownIssuer);
+}
+
+TEST_F(CertTest, SerialNumbersIncrease) {
+  CertificateAuthority ca("Root", *ca_key_, 0, kNow * 2);
+  const Certificate a = ca.issue("a", leaf_key_->pub, 0, kNow * 2);
+  const Certificate b = ca.issue("b", leaf_key_->pub, 0, kNow * 2);
+  EXPECT_LT(a.serial, b.serial);
+  EXPECT_GT(a.serial, ca.root().serial);
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

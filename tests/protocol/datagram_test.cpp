@@ -1,0 +1,206 @@
+// Datagram (WTLS-style) record protection: loss, reorder, replay.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/datagram.hpp"
+#include "mapsec/protocol/handshake.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+class DatagramTest : public ::testing::Test {
+ protected:
+  DatagramTest() {
+    crypto::HmacDrbg rng(0xDA7A);
+    const SuiteInfo& suite = suite_info(CipherSuite::kRsaAes128CbcSha);
+    const Bytes enc = rng.bytes(suite.key_len);
+    const Bytes mac = rng.bytes(suite.mac_len);
+    const Bytes iv = rng.bytes(16);
+    tx_.activate(suite, enc, mac, iv);
+    rx_.activate(suite, enc, mac, iv);
+  }
+
+  Bytes seal(const std::string& s) {
+    return tx_.seal(RecordType::kApplicationData, ProtocolVersion::kWtls1,
+                    to_bytes(s));
+  }
+
+  DatagramRecordCodec tx_, rx_;
+};
+
+TEST_F(DatagramTest, RoundTrip) {
+  for (int i = 0; i < 5; ++i) {
+    const auto rec = rx_.open(seal("datagram " + std::to_string(i)));
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->payload, to_bytes("datagram " + std::to_string(i)));
+  }
+  EXPECT_EQ(rx_.stats().accepted, 5u);
+}
+
+TEST_F(DatagramTest, ToleratesLoss) {
+  // Records 1 and 3 are lost in transit; 2, 4, 5 still open. The stream
+  // codec would desynchronise here — the datagram codec must not.
+  const Bytes r1 = seal("one");
+  const Bytes r2 = seal("two");
+  const Bytes r3 = seal("three");
+  const Bytes r4 = seal("four");
+  (void)r1;
+  (void)r3;
+  EXPECT_TRUE(rx_.open(r2).has_value());
+  EXPECT_TRUE(rx_.open(r4).has_value());
+  EXPECT_TRUE(rx_.open(seal("five")).has_value());
+}
+
+TEST_F(DatagramTest, ToleratesReorder) {
+  const Bytes r1 = seal("one");
+  const Bytes r2 = seal("two");
+  const Bytes r3 = seal("three");
+  EXPECT_EQ(rx_.open(r3)->payload, to_bytes("three"));
+  EXPECT_EQ(rx_.open(r1)->payload, to_bytes("one"));
+  EXPECT_EQ(rx_.open(r2)->payload, to_bytes("two"));
+}
+
+TEST_F(DatagramTest, RejectsReplay) {
+  const Bytes r = seal("once");
+  EXPECT_TRUE(rx_.open(r).has_value());
+  EXPECT_FALSE(rx_.open(r).has_value());
+  EXPECT_EQ(rx_.stats().replayed, 1u);
+}
+
+TEST_F(DatagramTest, RejectsTamper) {
+  Bytes r = seal("genuine");
+  r[r.size() - 2] ^= 1;
+  EXPECT_FALSE(rx_.open(r).has_value());
+  EXPECT_GE(rx_.stats().bad_mac, 1u);
+}
+
+TEST_F(DatagramTest, ForgeryCannotPoisonReplayWindow) {
+  // A forged record with a huge sequence number must not advance the
+  // window (authentication precedes the replay update), so genuine
+  // records still arrive afterwards.
+  Bytes forged = seal("real payload");
+  crypto::store_be64(forged.data() + 3, 1'000'000);  // fake seq, bad MAC now
+  EXPECT_FALSE(rx_.open(forged).has_value());
+  EXPECT_TRUE(rx_.open(seal("still fine")).has_value());
+}
+
+TEST_F(DatagramTest, TooOldOutsideWindowRejected) {
+  const Bytes first = seal("first");
+  for (int i = 0; i < 70; ++i) EXPECT_TRUE(rx_.open(seal("x")).has_value());
+  EXPECT_FALSE(rx_.open(first).has_value());
+}
+
+TEST_F(DatagramTest, MalformedHandled) {
+  EXPECT_FALSE(rx_.open(Bytes(5)).has_value());
+  Bytes r = seal("trunc");
+  r.pop_back();
+  EXPECT_FALSE(rx_.open(r).has_value());
+  EXPECT_GE(rx_.stats().malformed, 2u);
+}
+
+TEST_F(DatagramTest, StreamSuitesRejected) {
+  DatagramRecordCodec codec;
+  crypto::HmacDrbg rng(1);
+  EXPECT_THROW(codec.activate(suite_info(CipherSuite::kRsaRc4128Sha),
+                              rng.bytes(16), rng.bytes(20), rng.bytes(16)),
+               std::invalid_argument);
+}
+
+// ---- handshake -> datagram handoff (the WTLS deployment shape) -----------------
+
+TEST(DatagramHandoffTest, NegotiatedKeysDriveDatagramTraffic) {
+  // Handshake over a reliable channel, then application data over an
+  // unreliable bearer with loss and reordering — WTLS's split.
+  constexpr std::uint64_t kNow = 1'050'000'000;
+  crypto::HmacDrbg krng(0xD46);
+  const crypto::RsaKeyPair ca_key = crypto::rsa_generate(krng, 512);
+  const crypto::RsaKeyPair srv_key = crypto::rsa_generate(krng, 512);
+  CertificateAuthority ca("Root", ca_key, 0, kNow * 2);
+  const Certificate cert = ca.issue("srv", srv_key.pub, 0, kNow * 2);
+
+  crypto::HmacDrbg crng(1), srng(2);
+  HandshakeConfig ccfg;
+  ccfg.rng = &crng;
+  ccfg.now = kNow;
+  ccfg.trusted_roots = {ca.root()};
+  ccfg.offered_suites = {CipherSuite::kRsaAes128CbcSha};
+  ccfg.version = ProtocolVersion::kWtls1;
+  HandshakeConfig scfg;
+  scfg.rng = &srng;
+  scfg.now = kNow;
+  scfg.cert_chain = {cert};
+  scfg.private_key = &srv_key.priv;
+  scfg.version = ProtocolVersion::kWtls1;
+
+  TlsClient client(ccfg);
+  TlsServer server(scfg);
+  run_handshake(client, server);
+
+  DatagramRecordCodec c_tx, c_rx, s_tx, s_rx;
+  client.setup_datagram(c_tx, c_rx);
+  server.setup_datagram(s_tx, s_rx);
+
+  // Client sends three datagrams; the middle one is lost, the other two
+  // arrive swapped.
+  const Bytes d1 = c_tx.seal(RecordType::kApplicationData,
+                             ProtocolVersion::kWtls1, to_bytes("one"));
+  (void)c_tx.seal(RecordType::kApplicationData, ProtocolVersion::kWtls1,
+                  to_bytes("two (lost)"));
+  const Bytes d3 = c_tx.seal(RecordType::kApplicationData,
+                             ProtocolVersion::kWtls1, to_bytes("three"));
+  EXPECT_EQ(s_rx.open(d3)->payload, to_bytes("three"));
+  EXPECT_EQ(s_rx.open(d1)->payload, to_bytes("one"));
+  // Replay across directions fails too (distinct keys per direction).
+  EXPECT_FALSE(c_rx.open(d1).has_value());
+  // Server replies.
+  const Bytes r = s_tx.seal(RecordType::kApplicationData,
+                            ProtocolVersion::kWtls1, to_bytes("ack"));
+  EXPECT_EQ(c_rx.open(r)->payload, to_bytes("ack"));
+}
+
+TEST(DatagramHandoffTest, RequiresEstablishedBlockSuite) {
+  constexpr std::uint64_t kNow = 1'050'000'000;
+  crypto::HmacDrbg krng(0xD47);
+  const crypto::RsaKeyPair ca_key = crypto::rsa_generate(krng, 512);
+  const crypto::RsaKeyPair srv_key = crypto::rsa_generate(krng, 512);
+  CertificateAuthority ca("Root", ca_key, 0, kNow * 2);
+  const Certificate cert = ca.issue("srv", srv_key.pub, 0, kNow * 2);
+
+  crypto::HmacDrbg crng(1), srng(2);
+  HandshakeConfig ccfg;
+  ccfg.rng = &crng;
+  ccfg.now = kNow;
+  ccfg.trusted_roots = {ca.root()};
+  DatagramRecordCodec tx, rx;
+  {
+    TlsClient unestablished(ccfg);
+    EXPECT_THROW(unestablished.setup_datagram(tx, rx), HandshakeError);
+  }
+  {
+    // Stream suite: refuse the handoff.
+    HandshakeConfig c2 = ccfg;
+    c2.offered_suites = {CipherSuite::kRsaRc4128Sha};
+    HandshakeConfig scfg;
+    scfg.rng = &srng;
+    scfg.now = kNow;
+    scfg.cert_chain = {cert};
+    scfg.private_key = &srv_key.priv;
+    TlsClient client(c2);
+    TlsServer server(scfg);
+    run_handshake(client, server);
+    EXPECT_THROW(client.setup_datagram(tx, rx), HandshakeError);
+  }
+}
+
+TEST_F(DatagramTest, InactiveCodecThrows) {
+  DatagramRecordCodec codec;
+  EXPECT_THROW(codec.seal(RecordType::kApplicationData,
+                          ProtocolVersion::kWtls1, to_bytes("x")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

@@ -1,0 +1,214 @@
+// Robustness: malformed and mutated wire input must produce clean,
+// typed failures — never crashes, hangs, or silent acceptance. This is
+// the Section 3.4 software-attack surface ("exploits weaknesses in ...
+// the system implementation"): a parser that misbehaves on hostile input
+// is the entry point.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/cert.hpp"
+#include "mapsec/protocol/esp.hpp"
+#include "mapsec/protocol/handshake.hpp"
+#include "mapsec/protocol/record.hpp"
+#include "mapsec/protocol/wep.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+constexpr std::uint64_t kNow = 1'050'000'000;
+
+/// Apply `n_mutations` random byte mutations.
+Bytes mutate(Bytes data, crypto::Rng& rng, int n_mutations) {
+  if (data.empty()) return data;
+  for (int i = 0; i < n_mutations; ++i) {
+    const std::size_t pos = rng.below(data.size());
+    switch (rng.below(3)) {
+      case 0:
+        data[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      case 1:
+        data.erase(data.begin() + static_cast<std::ptrdiff_t>(pos));
+        if (data.empty()) return data;
+        break;
+      default:
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<std::uint8_t>(rng.below(256)));
+        break;
+    }
+  }
+  return data;
+}
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0xF22);
+    ca_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    server_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    ca_ = new CertificateAuthority("FuzzRoot", *ca_key_, 0, kNow * 2);
+    server_cert_ = new Certificate(
+        ca_->issue("server.fuzz", server_key_->pub, 0, kNow * 2));
+  }
+  static void TearDownTestSuite() {
+    delete server_cert_;
+    delete ca_;
+    delete server_key_;
+    delete ca_key_;
+  }
+
+  static crypto::RsaKeyPair* ca_key_;
+  static crypto::RsaKeyPair* server_key_;
+  static CertificateAuthority* ca_;
+  static Certificate* server_cert_;
+};
+
+crypto::RsaKeyPair* FuzzTest::ca_key_ = nullptr;
+crypto::RsaKeyPair* FuzzTest::server_key_ = nullptr;
+CertificateAuthority* FuzzTest::ca_ = nullptr;
+Certificate* FuzzTest::server_cert_ = nullptr;
+
+TEST_F(FuzzTest, ServerSurvivesMutatedClientHello) {
+  crypto::HmacDrbg fuzz_rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    crypto::HmacDrbg crng(static_cast<std::uint64_t>(trial)),
+        srng(static_cast<std::uint64_t>(trial) + 1000);
+    HandshakeConfig ccfg;
+    ccfg.rng = &crng;
+    ccfg.now = kNow;
+    ccfg.trusted_roots = {ca_->root()};
+    TlsClient client(ccfg);
+    const Bytes hello = client.process({});
+
+    HandshakeConfig scfg;
+    scfg.rng = &srng;
+    scfg.now = kNow;
+    scfg.cert_chain = {*server_cert_};
+    scfg.private_key = &server_key_->priv;
+    TlsServer server(scfg);
+    const Bytes bad = mutate(hello, fuzz_rng, 1 + static_cast<int>(
+                                                  fuzz_rng.below(4)));
+    try {
+      const Bytes reply = server.process(bad);
+      // Accepting a mutated hello is fine only if the mutation left the
+      // message semantically valid; the server must not be established.
+      EXPECT_FALSE(server.established());
+      (void)reply;
+    } catch (const std::exception&) {
+      // Typed failure: exactly what we want.
+    }
+  }
+}
+
+TEST_F(FuzzTest, ClientSurvivesMutatedServerFlight) {
+  crypto::HmacDrbg fuzz_rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    crypto::HmacDrbg crng(static_cast<std::uint64_t>(trial) + 7),
+        srng(static_cast<std::uint64_t>(trial) + 2000);
+    HandshakeConfig ccfg;
+    ccfg.rng = &crng;
+    ccfg.now = kNow;
+    ccfg.trusted_roots = {ca_->root()};
+    HandshakeConfig scfg;
+    scfg.rng = &srng;
+    scfg.now = kNow;
+    scfg.cert_chain = {*server_cert_};
+    scfg.private_key = &server_key_->priv;
+    TlsClient client(ccfg);
+    TlsServer server(scfg);
+    const Bytes flight = server.process(client.process({}));
+    const Bytes bad = mutate(flight, fuzz_rng, 1 + static_cast<int>(
+                                                   fuzz_rng.below(6)));
+    try {
+      (void)client.process(bad);
+      EXPECT_FALSE(client.established());
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_F(FuzzTest, RecordCodecSurvivesGarbage) {
+  crypto::HmacDrbg rng(3);
+  const SuiteInfo& suite = suite_info(CipherSuite::kRsaAes128CbcSha);
+  RecordCodec codec;
+  codec.activate(suite, rng.bytes(16), rng.bytes(20), rng.bytes(16));
+  for (int trial = 0; trial < 500; ++trial) {
+    const Bytes garbage = rng.bytes(rng.below(200));
+    try {
+      (void)codec.open(garbage);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(FuzzTest, CertificateDecoderSurvivesMutations) {
+  crypto::HmacDrbg rng(4);
+  const Bytes valid = server_cert_->encode();
+  std::size_t decoded_ok = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Bytes bad = mutate(valid, rng, 1 + static_cast<int>(rng.below(8)));
+    const auto cert = Certificate::decode(bad);  // must never throw
+    if (cert.has_value()) {
+      ++decoded_ok;
+      // Structurally decodable mutants must still fail verification
+      // unless the mutation missed every covered field.
+      (void)verify_chain({*cert}, {ca_->root()}, kNow);
+    }
+  }
+  // Most mutations break framing entirely.
+  EXPECT_LT(decoded_ok, 400u);
+}
+
+TEST_F(FuzzTest, EspReceiverSurvivesGarbageAndTruncation) {
+  crypto::HmacDrbg rng(5);
+  EspSa sa;
+  sa.spi = 1;
+  sa.cipher = BulkCipher::kAes128;
+  sa.enc_key = rng.bytes(16);
+  sa.mac_key = rng.bytes(20);
+  EspSender tx(sa, &rng);
+  EspReceiver rx(sa);
+  const Bytes good = tx.protect(to_bytes("payload"));
+  for (int trial = 0; trial < 300; ++trial) {
+    const Bytes bad = mutate(good, rng, 1 + static_cast<int>(rng.below(5)));
+    const auto out = rx.unprotect(bad);  // must never throw
+    if (out.has_value()) {
+      // Only acceptable if the mutation recreated a valid fresh packet —
+      // with an HMAC tag that is computationally impossible; treat as
+      // failure.
+      ADD_FAILURE() << "mutated ESP packet accepted";
+    }
+  }
+  EXPECT_EQ(rx.stats().accepted, 0u);
+}
+
+TEST_F(FuzzTest, WepDecapsulationNeverThrows) {
+  crypto::HmacDrbg rng(6);
+  const Bytes key = rng.bytes(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    WepFrame frame;
+    rng.fill(frame.iv);
+    frame.body = rng.bytes(rng.below(64));
+    (void)wep_decapsulate(key, frame);  // may reject, must not throw
+  }
+  SUCCEED();
+}
+
+TEST_F(FuzzTest, SplitRecordsNeverOverreads) {
+  crypto::HmacDrbg rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Bytes stream = rng.bytes(rng.below(100));
+    std::vector<Bytes> records;
+    const std::size_t used = split_records(stream, records);
+    EXPECT_LE(used, stream.size());
+    std::size_t total = 0;
+    for (const auto& r : records) total += r.size();
+    EXPECT_EQ(total, used);
+  }
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

@@ -1,0 +1,220 @@
+// PRF and record-layer tests.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/prf.hpp"
+#include "mapsec/protocol/record.hpp"
+#include "mapsec/protocol/suites.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+using crypto::Bytes;
+using crypto::ConstBytes;
+using crypto::to_bytes;
+
+// ---- PRF ---------------------------------------------------------------------
+
+TEST(PrfTest, DeterministicAndLengthExact) {
+  const Bytes secret = to_bytes("secret");
+  const Bytes seed = to_bytes("seed");
+  for (std::size_t len : {1u, 12u, 20u, 48u, 104u, 200u}) {
+    const Bytes a = tls_prf(secret, "label", seed, len);
+    const Bytes b = tls_prf(secret, "label", seed, len);
+    EXPECT_EQ(a.size(), len);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PrfTest, LabelAndSeedSeparation) {
+  const Bytes secret = to_bytes("secret");
+  const Bytes seed = to_bytes("seed");
+  const Bytes a = tls_prf(secret, "master secret", seed, 48);
+  const Bytes b = tls_prf(secret, "key expansion", seed, 48);
+  const Bytes c = tls_prf(secret, "master secret", to_bytes("other"), 48);
+  const Bytes d = tls_prf(to_bytes("secret2"), "master secret", seed, 48);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(PrfTest, PHashExpansionsDiffer) {
+  const Bytes s = to_bytes("s"), seed = to_bytes("x");
+  EXPECT_NE(p_md5(s, seed, 32), p_sha1(s, seed, 32));
+}
+
+TEST(PrfTest, KeyBlockPartitionIsDisjointAndStable) {
+  crypto::HmacDrbg rng(1);
+  const Bytes master = rng.bytes(48);
+  const Bytes cr = rng.bytes(32), sr = rng.bytes(32);
+  const KeyBlock kb = derive_key_block(master, cr, sr, 20, 24, 8);
+  EXPECT_EQ(kb.client_mac_key.size(), 20u);
+  EXPECT_EQ(kb.server_mac_key.size(), 20u);
+  EXPECT_EQ(kb.client_enc_key.size(), 24u);
+  EXPECT_EQ(kb.server_enc_key.size(), 24u);
+  EXPECT_EQ(kb.client_iv.size(), 8u);
+  EXPECT_EQ(kb.server_iv.size(), 8u);
+  EXPECT_NE(kb.client_enc_key, kb.server_enc_key);
+  EXPECT_NE(kb.client_mac_key, kb.server_mac_key);
+  // Same inputs -> same block.
+  const KeyBlock kb2 = derive_key_block(master, cr, sr, 20, 24, 8);
+  EXPECT_EQ(kb.client_enc_key, kb2.client_enc_key);
+}
+
+TEST(PrfTest, MasterSecretIs48Bytes) {
+  crypto::HmacDrbg rng(2);
+  const Bytes pm = rng.bytes(48);
+  const Bytes ms = derive_master_secret(pm, rng.bytes(32), rng.bytes(32));
+  EXPECT_EQ(ms.size(), 48u);
+}
+
+// ---- record codec -------------------------------------------------------------
+
+class RecordSuiteTest : public ::testing::TestWithParam<CipherSuite> {
+ protected:
+  // A matched sender/receiver pair for the suite under test.
+  void make_pair(RecordCodec& tx, RecordCodec& rx) {
+    const SuiteInfo& suite = suite_info(GetParam());
+    crypto::HmacDrbg rng(42);
+    const Bytes enc_key = rng.bytes(suite.key_len);
+    const Bytes mac_key = rng.bytes(suite.mac_len);
+    const Bytes iv = rng.bytes(suite.block_len == 0 ? 16 : suite.block_len);
+    tx.activate(suite, enc_key, mac_key, iv);
+    rx.activate(suite, enc_key, mac_key, iv);
+  }
+};
+
+TEST_P(RecordSuiteTest, SealOpenRoundTrip) {
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  for (int i = 0; i < 5; ++i) {
+    const Bytes payload = to_bytes("application payload #" +
+                                   std::to_string(i));
+    const Bytes wire =
+        tx.seal(RecordType::kApplicationData, ProtocolVersion::kTls10, payload);
+    const Record rec = rx.open(wire);
+    EXPECT_EQ(rec.type, RecordType::kApplicationData);
+    EXPECT_EQ(rec.payload, payload);
+  }
+}
+
+TEST_P(RecordSuiteTest, CiphertextHidesPlaintext) {
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  const Bytes payload = to_bytes("SECRET-SECRET-SECRET-SECRET");
+  const Bytes wire =
+      tx.seal(RecordType::kApplicationData, ProtocolVersion::kTls10, payload);
+  // The plaintext must not appear in the wire bytes.
+  const auto it = std::search(wire.begin(), wire.end(), payload.begin(),
+                              payload.end());
+  EXPECT_EQ(it, wire.end());
+}
+
+TEST_P(RecordSuiteTest, TamperDetected) {
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  Bytes wire = tx.seal(RecordType::kApplicationData, ProtocolVersion::kTls10,
+                       to_bytes("authentic"));
+  wire[wire.size() - 1] ^= 0x01;
+  EXPECT_THROW(rx.open(wire), std::runtime_error);
+}
+
+TEST_P(RecordSuiteTest, ReorderDetected) {
+  // Sequence numbers are implicit: swapping two records breaks the MAC
+  // (or, for stream suites, the keystream alignment).
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  const Bytes w1 = tx.seal(RecordType::kApplicationData,
+                           ProtocolVersion::kTls10, to_bytes("first"));
+  const Bytes w2 = tx.seal(RecordType::kApplicationData,
+                           ProtocolVersion::kTls10, to_bytes("second"));
+  EXPECT_THROW(rx.open(w2), std::runtime_error);
+}
+
+TEST_P(RecordSuiteTest, ReplayDetected) {
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  const Bytes wire = tx.seal(RecordType::kApplicationData,
+                             ProtocolVersion::kTls10, to_bytes("once"));
+  EXPECT_EQ(rx.open(wire).payload, to_bytes("once"));
+  EXPECT_THROW(rx.open(wire), std::runtime_error);
+}
+
+TEST_P(RecordSuiteTest, EmptyPayload) {
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  const Bytes wire =
+      tx.seal(RecordType::kApplicationData, ProtocolVersion::kTls10, {});
+  EXPECT_TRUE(rx.open(wire).payload.empty());
+}
+
+TEST_P(RecordSuiteTest, OverheadPrediction) {
+  RecordCodec tx, rx;
+  make_pair(tx, rx);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 100u}) {
+    const Bytes payload(n, 0x61);
+    RecordCodec probe, sink;
+    make_pair(probe, sink);
+    const Bytes wire = probe.seal(RecordType::kApplicationData,
+                                  ProtocolVersion::kTls10, payload);
+    EXPECT_EQ(wire.size(), n + probe.overhead(n)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, RecordSuiteTest, ::testing::ValuesIn(all_suites()),
+    [](const ::testing::TestParamInfo<CipherSuite>& info) {
+      return suite_info(info.param).name;
+    });
+
+TEST(RecordTest, NullCodecPassesThrough) {
+  RecordCodec codec;
+  const Bytes wire = codec.seal(RecordType::kHandshake,
+                                ProtocolVersion::kTls10, to_bytes("hello"));
+  RecordCodec reader;
+  const Record rec = reader.open(wire);
+  EXPECT_EQ(rec.type, RecordType::kHandshake);
+  EXPECT_EQ(rec.payload, to_bytes("hello"));
+}
+
+TEST(RecordTest, SplitRecords) {
+  RecordCodec codec;
+  Bytes stream = codec.seal(RecordType::kHandshake, ProtocolVersion::kTls10,
+                            to_bytes("one"));
+  const Bytes second = codec.seal(RecordType::kAlert, ProtocolVersion::kTls10,
+                                  to_bytes("two!"));
+  stream.insert(stream.end(), second.begin(), second.end());
+  stream.push_back(22);  // partial third record
+  std::vector<Bytes> records;
+  const std::size_t used = split_records(stream, records);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(used, stream.size() - 1);
+}
+
+TEST(RecordTest, MalformedInputs) {
+  RecordCodec codec;
+  EXPECT_THROW(codec.open(Bytes(3)), std::runtime_error);
+  Bytes wire = codec.seal(RecordType::kHandshake, ProtocolVersion::kTls10,
+                          to_bytes("x"));
+  wire.pop_back();
+  EXPECT_THROW(codec.open(wire), std::runtime_error);
+}
+
+TEST(RecordTest, SuiteTableConsistency) {
+  for (const CipherSuite id : all_suites()) {
+    const SuiteInfo& s = suite_info(id);
+    EXPECT_EQ(s.id, id);
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_EQ(s.mac_len, mac_length(s.mac));
+    if (s.kind == BulkKind::kStream) {
+      EXPECT_EQ(s.block_len, 0u);
+    } else {
+      EXPECT_GT(s.block_len, 0u);
+    }
+  }
+  EXPECT_THROW(suite_info(static_cast<CipherSuite>(0x1234)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

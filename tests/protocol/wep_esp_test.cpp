@@ -1,0 +1,354 @@
+// WEP encapsulation, ESP transform with anti-replay, and the evolution
+// registry.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/crc32.hpp"
+#include "mapsec/protocol/ccmp.hpp"
+#include "mapsec/protocol/esp.hpp"
+#include "mapsec/protocol/evolution.hpp"
+#include "mapsec/protocol/wep.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+// ---- WEP ---------------------------------------------------------------------
+
+TEST(WepTest, RoundTripWep40AndWep104) {
+  for (std::size_t key_len : {5u, 13u}) {
+    crypto::HmacDrbg rng(key_len);
+    const Bytes key = rng.bytes(key_len);
+    const std::array<std::uint8_t, 3> iv{0x01, 0x02, 0x03};
+    const Bytes payload = to_bytes("802.11 data frame payload");
+    const WepFrame frame = wep_encapsulate(key, iv, payload);
+    const auto got = wep_decapsulate(key, frame);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+}
+
+TEST(WepTest, WrongKeyFailsIcv) {
+  crypto::HmacDrbg rng(1);
+  const Bytes key = rng.bytes(5);
+  const Bytes wrong = rng.bytes(5);
+  const WepFrame frame =
+      wep_encapsulate(key, {0, 0, 1}, to_bytes("payload"));
+  EXPECT_FALSE(wep_decapsulate(wrong, frame).has_value());
+}
+
+TEST(WepTest, BitFlipWithCrcFixupIsAccepted) {
+  // The Borisov-Goldberg-Wagner observation [22]: CRC-32 is linear, so an
+  // attacker can flip plaintext bits through the ciphertext and patch the
+  // encrypted ICV so the frame still verifies. This is the designed-in
+  // flaw the paper's Section 2 points at; the test documents that our
+  // faithful implementation inherits it.
+  crypto::HmacDrbg rng(2);
+  const Bytes key = rng.bytes(13);
+  const Bytes payload = to_bytes("PAY 0001 EUR to Alice");
+  WepFrame frame = wep_encapsulate(key, {9, 9, 9}, payload);
+
+  // Flip "Alice"[0] 'A' -> 'B' at payload offset 16.
+  Bytes delta(payload.size(), 0);
+  delta[16] = 'A' ^ 'B';
+  // CRC of the delta pattern, with the linearity correction term.
+  const std::uint32_t crc_delta =
+      crypto::crc32(delta) ^ crypto::crc32(Bytes(delta.size(), 0));
+  for (std::size_t i = 0; i < delta.size(); ++i) frame.body[i] ^= delta[i];
+  frame.body[payload.size() + 0] ^= static_cast<std::uint8_t>(crc_delta);
+  frame.body[payload.size() + 1] ^= static_cast<std::uint8_t>(crc_delta >> 8);
+  frame.body[payload.size() + 2] ^= static_cast<std::uint8_t>(crc_delta >> 16);
+  frame.body[payload.size() + 3] ^= static_cast<std::uint8_t>(crc_delta >> 24);
+
+  const auto got = wep_decapsulate(key, frame);
+  ASSERT_TRUE(got.has_value());  // forgery accepted!
+  EXPECT_EQ(*got, to_bytes("PAY 0001 EUR to Blice"));
+}
+
+TEST(WepTest, SequentialIvPolicyWraps) {
+  crypto::HmacDrbg rng(3);
+  WepSender sender(rng.bytes(5), WepIvPolicy::kSequential, nullptr);
+  const WepFrame f0 = sender.send(to_bytes("a"));
+  const WepFrame f1 = sender.send(to_bytes("b"));
+  EXPECT_EQ(f0.iv[0], 0);
+  EXPECT_EQ(f1.iv[0], 1);
+}
+
+TEST(WepTest, SameIvSameKeystream) {
+  // The keystream-reuse hazard: identical IV + key => identical keystream.
+  crypto::HmacDrbg rng(4);
+  const Bytes key = rng.bytes(5);
+  const Bytes p1 = to_bytes("first message!!");
+  const Bytes p2 = to_bytes("second message!");
+  const WepFrame f1 = wep_encapsulate(key, {7, 7, 7}, p1);
+  const WepFrame f2 = wep_encapsulate(key, {7, 7, 7}, p2);
+  // c1 xor c2 == p1 xor p2 on the payload prefix.
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    EXPECT_EQ(f1.body[i] ^ f2.body[i], p1[i] ^ p2[i]);
+}
+
+TEST(WepTest, RejectsBadKeySizes) {
+  EXPECT_THROW(wep_encapsulate(Bytes(8), {0, 0, 0}, to_bytes("x")),
+               std::invalid_argument);
+  EXPECT_THROW(WepSender(Bytes(5), WepIvPolicy::kRandom, nullptr),
+               std::invalid_argument);
+}
+
+// ---- ESP ---------------------------------------------------------------------
+
+class EspTest : public ::testing::Test {
+ protected:
+  EspSa make_sa() {
+    crypto::HmacDrbg rng(77);
+    EspSa sa;
+    sa.spi = 0x1001;
+    sa.cipher = BulkCipher::kDes3;
+    sa.enc_key = rng.bytes(24);
+    sa.mac_key = rng.bytes(20);
+    return sa;
+  }
+  crypto::HmacDrbg rng_{88};
+};
+
+TEST_F(EspTest, RoundTrip) {
+  const EspSa sa = make_sa();
+  EspSender tx(sa, &rng_);
+  EspReceiver rx(sa);
+  for (int i = 0; i < 10; ++i) {
+    const Bytes payload = to_bytes("ip datagram " + std::to_string(i));
+    const auto got = rx.unprotect(tx.protect(payload));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+  EXPECT_EQ(rx.stats().accepted, 10u);
+}
+
+TEST_F(EspTest, ReplayRejected) {
+  const EspSa sa = make_sa();
+  EspSender tx(sa, &rng_);
+  EspReceiver rx(sa);
+  const Bytes packet = tx.protect(to_bytes("once only"));
+  EXPECT_TRUE(rx.unprotect(packet).has_value());
+  EXPECT_FALSE(rx.unprotect(packet).has_value());
+  EXPECT_EQ(rx.stats().replayed, 1u);
+}
+
+TEST_F(EspTest, OutOfOrderWithinWindowAccepted) {
+  const EspSa sa = make_sa();
+  EspSender tx(sa, &rng_);
+  EspReceiver rx(sa);
+  const Bytes p1 = tx.protect(to_bytes("1"));
+  const Bytes p2 = tx.protect(to_bytes("2"));
+  const Bytes p3 = tx.protect(to_bytes("3"));
+  EXPECT_TRUE(rx.unprotect(p3).has_value());
+  EXPECT_TRUE(rx.unprotect(p1).has_value());  // late but within window
+  EXPECT_TRUE(rx.unprotect(p2).has_value());
+  EXPECT_FALSE(rx.unprotect(p2).has_value());  // now a replay
+}
+
+TEST_F(EspTest, TooOldRejected) {
+  const EspSa sa = make_sa();
+  EspSender tx(sa, &rng_);
+  EspReceiver rx(sa);
+  const Bytes first = tx.protect(to_bytes("first"));
+  // Advance the window far beyond 64.
+  for (int i = 0; i < 70; ++i) rx.unprotect(tx.protect(to_bytes("x")));
+  EXPECT_FALSE(rx.unprotect(first).has_value());
+  EXPECT_GE(rx.stats().replayed, 1u);
+}
+
+TEST_F(EspTest, TamperRejected) {
+  const EspSa sa = make_sa();
+  EspSender tx(sa, &rng_);
+  EspReceiver rx(sa);
+  Bytes packet = tx.protect(to_bytes("integrity matters"));
+  packet[12] ^= 1;
+  EXPECT_FALSE(rx.unprotect(packet).has_value());
+  EXPECT_EQ(rx.stats().bad_icv, 1u);
+}
+
+TEST_F(EspTest, WrongSpiRejected) {
+  const EspSa sa = make_sa();
+  EspSa other = sa;
+  other.spi = 0x2002;
+  EspSender tx(sa, &rng_);
+  EspReceiver rx(other);
+  EXPECT_FALSE(rx.unprotect(tx.protect(to_bytes("hi"))).has_value());
+  EXPECT_EQ(rx.stats().malformed, 1u);
+}
+
+TEST_F(EspTest, TruncatedRejected) {
+  const EspSa sa = make_sa();
+  EspReceiver rx(sa);
+  EXPECT_FALSE(rx.unprotect(Bytes(10)).has_value());
+  EXPECT_EQ(rx.stats().malformed, 1u);
+}
+
+// ESP over every block cipher the suite table offers.
+class EspCipherTest : public ::testing::TestWithParam<BulkCipher> {};
+
+TEST_P(EspCipherTest, RoundTripAndTamper) {
+  crypto::HmacDrbg rng(99);
+  const std::size_t key_len = [&] {
+    switch (GetParam()) {
+      case BulkCipher::kDes: return 8u;
+      case BulkCipher::kDes3: return 24u;
+      case BulkCipher::kAes128: return 16u;
+      case BulkCipher::kRc2: return 16u;
+      default: return 16u;
+    }
+  }();
+  EspSa sa;
+  sa.spi = 7;
+  sa.cipher = GetParam();
+  sa.enc_key = rng.bytes(key_len);
+  sa.mac_key = rng.bytes(20);
+  EspSender tx(sa, &rng);
+  EspReceiver rx(sa);
+  for (int i = 0; i < 3; ++i) {
+    const Bytes payload = rng.bytes(1 + rng.below(100));
+    const auto got = rx.unprotect(tx.protect(payload));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+  Bytes bad = tx.protect(to_bytes("tamper me"));
+  bad[bad.size() / 2] ^= 1;
+  EXPECT_FALSE(rx.unprotect(bad).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCiphers, EspCipherTest,
+                         ::testing::Values(BulkCipher::kDes, BulkCipher::kDes3,
+                                           BulkCipher::kAes128,
+                                           BulkCipher::kRc2),
+                         [](const ::testing::TestParamInfo<BulkCipher>& info) {
+                           switch (info.param) {
+                             case BulkCipher::kDes: return "DES";
+                             case BulkCipher::kDes3: return "DES3";
+                             case BulkCipher::kAes128: return "AES128";
+                             case BulkCipher::kRc2: return "RC2";
+                             default: return "other";
+                           }
+                         });
+
+// ---- CCMP (the WEP fix) --------------------------------------------------------
+
+class CcmpTest : public ::testing::Test {
+ protected:
+  CcmpTest() : rng_(0xCC) , key_(rng_.bytes(16)) {}
+  crypto::HmacDrbg rng_;
+  Bytes key_;
+};
+
+TEST_F(CcmpTest, RoundTrip) {
+  CcmpSender tx(key_);
+  CcmpReceiver rx(key_);
+  for (int i = 0; i < 5; ++i) {
+    const Bytes hdr = to_bytes("da:aa bb sa:cc dd");
+    const Bytes payload = to_bytes("frame " + std::to_string(i));
+    const auto got = rx.unprotect(tx.protect(hdr, payload));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+  EXPECT_EQ(rx.stats().accepted, 5u);
+}
+
+TEST_F(CcmpTest, PnsNeverRepeat) {
+  // The structural fix for WEP's IV reuse: PN is a strict counter.
+  CcmpSender tx(key_);
+  const auto f1 = tx.protect(to_bytes("h"), to_bytes("a"));
+  const auto f2 = tx.protect(to_bytes("h"), to_bytes("a"));
+  EXPECT_NE(f1.pn, f2.pn);
+  // Same plaintext, different ciphertext (no keystream reuse).
+  EXPECT_NE(f1.body, f2.body);
+}
+
+TEST_F(CcmpTest, ReplayRejected) {
+  CcmpSender tx(key_);
+  CcmpReceiver rx(key_);
+  const auto frame = tx.protect(to_bytes("h"), to_bytes("once"));
+  EXPECT_TRUE(rx.unprotect(frame).has_value());
+  EXPECT_FALSE(rx.unprotect(frame).has_value());
+  EXPECT_EQ(rx.stats().replayed, 1u);
+}
+
+TEST_F(CcmpTest, BitFlipRejectedUnlikeWep) {
+  // The exact forgery that succeeds against WEP (CRC fix-up) is
+  // impossible here: any body modification fails the MIC.
+  CcmpSender tx(key_);
+  CcmpReceiver rx(key_);
+  auto frame = tx.protect(to_bytes("h"), to_bytes("PAY 0001 EUR to Alice"));
+  frame.body[16] ^= 'A' ^ 'B';
+  EXPECT_FALSE(rx.unprotect(frame).has_value());
+  EXPECT_EQ(rx.stats().bad_mic, 1u);
+}
+
+TEST_F(CcmpTest, HeaderSpoofRejected) {
+  // The header is AAD: altering the (cleartext) addresses invalidates the
+  // frame — WEP's CRC never covered the header at all.
+  CcmpSender tx(key_);
+  CcmpReceiver rx(key_);
+  auto frame = tx.protect(to_bytes("src=alice"), to_bytes("payload"));
+  frame.header = to_bytes("src=malet");
+  EXPECT_FALSE(rx.unprotect(frame).has_value());
+}
+
+TEST_F(CcmpTest, NonceEmbedsPn) {
+  const Bytes n1 = ccmp_nonce(0x010203040506ull);
+  EXPECT_EQ(n1.size(), crypto::kCcmNonceLen);
+  EXPECT_EQ(n1[12], 0x06);
+  EXPECT_EQ(n1[7], 0x01);
+  EXPECT_NE(ccmp_nonce(1), ccmp_nonce(2));
+}
+
+TEST_F(CcmpTest, RejectsBadKeySize) {
+  EXPECT_THROW(CcmpSender(Bytes(8)), std::invalid_argument);
+  EXPECT_THROW(CcmpReceiver(Bytes(24)), std::invalid_argument);
+}
+
+// ---- evolution registry (Figure 2) --------------------------------------------
+
+TEST(EvolutionTest, TimelineIsChronologicalWithinFamilies) {
+  for (const auto& family : protocol_families()) {
+    const auto history = family_history(family);
+    ASSERT_FALSE(history.empty()) << family;
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      const double prev = history[i - 1].year + history[i - 1].month / 12.0;
+      const double cur = history[i].year + history[i].month / 12.0;
+      EXPECT_LE(prev, cur) << family;
+    }
+  }
+}
+
+TEST(EvolutionTest, ContainsThePaperFamilies) {
+  const auto fams = protocol_families();
+  const auto has = [&](const char* f) {
+    return std::find(fams.begin(), fams.end(), f) != fams.end();
+  };
+  EXPECT_TRUE(has("SSL/TLS"));
+  EXPECT_TRUE(has("IPSec"));
+  EXPECT_TRUE(has("WTLS"));
+  EXPECT_TRUE(has("MET"));
+}
+
+TEST(EvolutionTest, TlsAesRevisionJune2002Present) {
+  // The revision the paper singles out: "in June 2002, TLS was revised to
+  // accommodate the proposed replacement to the DES standard, AES".
+  bool found = false;
+  for (const auto& m : family_history("SSL/TLS"))
+    if (m.year == 2002 && m.month == 6) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(EvolutionTest, WirelessProtocolsEvolveFasterThanTls) {
+  // Section 3.1: evolution is "much more pronounced ... in the wireless
+  // domain".
+  EXPECT_GT(revisions_per_year("WTLS"), revisions_per_year("SSL/TLS"));
+}
+
+TEST(EvolutionTest, RevisionsPerYearEdgeCases) {
+  EXPECT_EQ(revisions_per_year("NoSuchProtocol"), 0.0);
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

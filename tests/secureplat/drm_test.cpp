@@ -1,0 +1,274 @@
+// Content protection (DRM) and the signed app installer.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/secureplat/app_installer.hpp"
+#include "mapsec/secureplat/drm.hpp"
+
+namespace mapsec::secureplat {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+constexpr std::uint64_t kNow = 1'050'000'000;
+
+// ---- DRM -------------------------------------------------------------------
+
+class DrmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0xD12);
+    provider_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    device_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    other_device_key_ =
+        new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete provider_key_;
+    delete device_key_;
+    delete other_device_key_;
+  }
+
+  DrmTest() : rng_(0xD13), provider_(*provider_key_, &rng_) {}
+
+  DrmAgent make_agent(const std::string& id = "phone-1") {
+    return DrmAgent(id, *device_key_, provider_key_->pub);
+  }
+
+  static crypto::RsaKeyPair* provider_key_;
+  static crypto::RsaKeyPair* device_key_;
+  static crypto::RsaKeyPair* other_device_key_;
+
+  crypto::HmacDrbg rng_;
+  ContentProvider provider_;
+};
+
+crypto::RsaKeyPair* DrmTest::provider_key_ = nullptr;
+crypto::RsaKeyPair* DrmTest::device_key_ = nullptr;
+crypto::RsaKeyPair* DrmTest::other_device_key_ = nullptr;
+
+TEST_F(DrmTest, LicensedPlaybackRoundTrip) {
+  const Bytes song = to_bytes("[] mp3 frames of a 2003 ringtone []");
+  const PackagedContent content = provider_.package("song-1", song);
+  // The package itself hides the content.
+  const auto it = std::search(content.ciphertext.begin(),
+                              content.ciphertext.end(), song.begin(),
+                              song.end());
+  EXPECT_EQ(it, content.ciphertext.end());
+
+  DrmAgent agent = make_agent();
+  const ContentLicense lic = provider_.issue_license(
+      "song-1", "phone-1", device_key_->pub, UsageRights{});
+  EXPECT_EQ(agent.install_license(lic), DrmStatus::kOk);
+
+  Bytes out;
+  EXPECT_EQ(agent.play(content, kNow, out), DrmStatus::kOk);
+  EXPECT_EQ(out, song);
+}
+
+TEST_F(DrmTest, NoLicenseNoPlayback) {
+  const PackagedContent content =
+      provider_.package("song-2", to_bytes("content"));
+  DrmAgent agent = make_agent();
+  Bytes out;
+  EXPECT_EQ(agent.play(content, kNow, out), DrmStatus::kNoLicense);
+}
+
+TEST_F(DrmTest, PlayCountEnforced) {
+  const PackagedContent content =
+      provider_.package("rental", to_bytes("3-play rental movie"));
+  DrmAgent agent = make_agent();
+  UsageRights rights;
+  rights.max_plays = 3;
+  agent.install_license(provider_.issue_license("rental", "phone-1",
+                                                device_key_->pub, rights));
+  Bytes out;
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(agent.play(content, kNow, out), DrmStatus::kOk) << i;
+  EXPECT_EQ(agent.play(content, kNow, out), DrmStatus::kPlayCountExhausted);
+  EXPECT_EQ(agent.plays_used("rental"), 3u);
+}
+
+TEST_F(DrmTest, ExpiryEnforced) {
+  const PackagedContent content =
+      provider_.package("timed", to_bytes("weekend pass"));
+  DrmAgent agent = make_agent();
+  UsageRights rights;
+  rights.not_after = kNow + 100;
+  agent.install_license(provider_.issue_license("timed", "phone-1",
+                                                device_key_->pub, rights));
+  Bytes out;
+  EXPECT_EQ(agent.play(content, kNow, out), DrmStatus::kOk);
+  EXPECT_EQ(agent.play(content, kNow + 101, out), DrmStatus::kExpired);
+}
+
+TEST_F(DrmTest, ExportRequiresRight) {
+  const PackagedContent content =
+      provider_.package("locked", to_bytes("no copying"));
+  DrmAgent agent = make_agent();
+  agent.install_license(provider_.issue_license(
+      "locked", "phone-1", device_key_->pub, UsageRights{}));
+  Bytes out;
+  EXPECT_EQ(agent.export_content(content, kNow, out),
+            DrmStatus::kExportForbidden);
+
+  // With the right granted, export works and does not consume plays.
+  const PackagedContent portable =
+      provider_.package("portable", to_bytes("copy allowed"));
+  UsageRights rights;
+  rights.allow_export = true;
+  rights.max_plays = 1;
+  agent.install_license(provider_.issue_license(
+      "portable", "phone-1", device_key_->pub, rights));
+  EXPECT_EQ(agent.export_content(portable, kNow, out), DrmStatus::kOk);
+  EXPECT_EQ(out, to_bytes("copy allowed"));
+  EXPECT_EQ(agent.plays_used("portable"), 0u);
+}
+
+TEST_F(DrmTest, ForgedLicenseRejected) {
+  provider_.package("song-3", to_bytes("content"));
+  DrmAgent agent = make_agent();
+  ContentLicense lic = provider_.issue_license(
+      "song-3", "phone-1", device_key_->pub, UsageRights{});
+  lic.rights.max_plays = 0;  // try to upgrade a limited license
+  lic.rights.allow_export = true;
+  EXPECT_EQ(agent.install_license(lic), DrmStatus::kBadLicenseSignature);
+}
+
+TEST_F(DrmTest, LicenseBoundToDevice) {
+  provider_.package("song-4", to_bytes("content"));
+  // License for phone-2 presented to phone-1.
+  const ContentLicense lic = provider_.issue_license(
+      "song-4", "phone-2", other_device_key_->pub, UsageRights{});
+  DrmAgent agent = make_agent("phone-1");
+  EXPECT_EQ(agent.install_license(lic), DrmStatus::kWrongDevice);
+}
+
+TEST_F(DrmTest, WrongDeviceKeyCannotUnwrap) {
+  // A license legitimately issued for phone-1's id but wrapped to a
+  // different key (e.g. cloned id): unwrap fails.
+  const PackagedContent content =
+      provider_.package("song-5", to_bytes("content"));
+  const ContentLicense lic = provider_.issue_license(
+      "song-5", "phone-1", other_device_key_->pub, UsageRights{});
+  DrmAgent agent = make_agent("phone-1");  // holds device_key_, not other
+  EXPECT_EQ(agent.install_license(lic), DrmStatus::kOk);
+  Bytes out;
+  EXPECT_EQ(agent.play(content, kNow, out), DrmStatus::kDecryptFailed);
+}
+
+// ---- app installer ------------------------------------------------------------
+
+class AppInstallerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0xAB5);
+    oem_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    indie_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    rogue_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete oem_key_;
+    delete indie_key_;
+    delete rogue_key_;
+  }
+
+  AppInstallerTest() {
+    installer_.trust_publisher(
+        "oem", oem_key_->pub,
+        static_cast<PermissionMask>(
+            permission_bit(Permission::kNetwork) |
+            permission_bit(Permission::kUserData) |
+            permission_bit(Permission::kCrypto) |
+            permission_bit(Permission::kSecureStorage)));
+    installer_.trust_publisher("indie", indie_key_->pub,
+                               permission_bit(Permission::kNetwork));
+  }
+
+  static crypto::RsaKeyPair* oem_key_;
+  static crypto::RsaKeyPair* indie_key_;
+  static crypto::RsaKeyPair* rogue_key_;
+  AppInstaller installer_;
+};
+
+crypto::RsaKeyPair* AppInstallerTest::oem_key_ = nullptr;
+crypto::RsaKeyPair* AppInstallerTest::indie_key_ = nullptr;
+crypto::RsaKeyPair* AppInstallerTest::rogue_key_ = nullptr;
+
+TEST_F(AppInstallerTest, InstallLaunchAndPermissions) {
+  const auto pkg = make_package(
+      "wallet", "oem", 1,
+      static_cast<PermissionMask>(permission_bit(Permission::kCrypto) |
+                                  permission_bit(Permission::kSecureStorage)),
+      to_bytes("wallet code"), oem_key_->priv);
+  EXPECT_EQ(installer_.install(pkg), InstallStatus::kOk);
+  EXPECT_TRUE(installer_.launch("wallet"));
+  EXPECT_TRUE(installer_.has_permission("wallet", Permission::kSecureStorage));
+  EXPECT_FALSE(installer_.has_permission("wallet", Permission::kNetwork));
+  EXPECT_EQ(installer_.installed_version("wallet"), 1u);
+}
+
+TEST_F(AppInstallerTest, UnknownPublisherRejected) {
+  const auto pkg = make_package("malware", "rogue", 1, 0,
+                                to_bytes("evil"), rogue_key_->priv);
+  EXPECT_EQ(installer_.install(pkg), InstallStatus::kUnknownPublisher);
+}
+
+TEST_F(AppInstallerTest, WrongKeyRejected) {
+  // Rogue signs a package claiming to be from "oem".
+  const auto pkg = make_package("trojan", "oem", 1, 0, to_bytes("evil"),
+                                rogue_key_->priv);
+  EXPECT_EQ(installer_.install(pkg), InstallStatus::kBadSignature);
+}
+
+TEST_F(AppInstallerTest, TamperedCodeRejected) {
+  auto pkg = make_package("game", "indie", 1,
+                          permission_bit(Permission::kNetwork),
+                          to_bytes("game code"), indie_key_->priv);
+  pkg.code.push_back(0xCC);  // injected payload after signing
+  EXPECT_EQ(installer_.install(pkg), InstallStatus::kBadSignature);
+}
+
+TEST_F(AppInstallerTest, PermissionCeilingEnforced) {
+  // Indie publisher asks for secure storage: signature is valid, but the
+  // trust policy caps it.
+  const auto pkg = make_package(
+      "sneaky", "indie", 1,
+      static_cast<PermissionMask>(permission_bit(Permission::kNetwork) |
+                                  permission_bit(Permission::kSecureStorage)),
+      to_bytes("sneaky code"), indie_key_->priv);
+  EXPECT_EQ(installer_.install(pkg), InstallStatus::kPermissionExceedsTrust);
+}
+
+TEST_F(AppInstallerTest, DowngradeRejected) {
+  EXPECT_EQ(installer_.install(make_package("app", "oem", 3, 0,
+                                            to_bytes("v3"), oem_key_->priv)),
+            InstallStatus::kOk);
+  EXPECT_EQ(installer_.install(make_package("app", "oem", 2, 0,
+                                            to_bytes("v2"), oem_key_->priv)),
+            InstallStatus::kDowngrade);
+  EXPECT_EQ(installer_.install(make_package("app", "oem", 3, 0,
+                                            to_bytes("v3b"), oem_key_->priv)),
+            InstallStatus::kDowngrade);  // same version: also refused
+  EXPECT_EQ(installer_.install(make_package("app", "oem", 4, 0,
+                                            to_bytes("v4"), oem_key_->priv)),
+            InstallStatus::kOk);
+  EXPECT_EQ(installer_.installed_version("app"), 4u);
+}
+
+TEST_F(AppInstallerTest, RuntimeIntegrityCheckCatchesFlashTamper) {
+  installer_.install(make_package("browser", "oem", 1, 0,
+                                  to_bytes("browser code"), oem_key_->priv));
+  EXPECT_TRUE(installer_.launch("browser"));
+  installer_.corrupt_installed_image("browser");
+  EXPECT_FALSE(installer_.launch("browser"));  // run-time check trips
+}
+
+TEST_F(AppInstallerTest, LaunchUnknownAppFails) {
+  EXPECT_FALSE(installer_.launch("ghost"));
+  EXPECT_FALSE(installer_.has_permission("ghost", Permission::kNetwork));
+}
+
+}  // namespace
+}  // namespace mapsec::secureplat

@@ -1,0 +1,314 @@
+// Secure-platform layer: boot chain, sealed storage, secure world, user
+// authentication.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/crypto/sha256.hpp"
+#include "mapsec/secureplat/keystore.hpp"
+#include "mapsec/secureplat/secure_boot.hpp"
+#include "mapsec/secureplat/secure_world.hpp"
+#include "mapsec/secureplat/user_auth.hpp"
+
+namespace mapsec::secureplat {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+// ---- secure boot ---------------------------------------------------------------
+
+class SecureBootTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0xB007);
+    root_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    rogue_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete root_;
+    delete rogue_;
+  }
+
+  std::vector<BootImage> make_chain(std::uint32_t version = 1) const {
+    return {
+        make_boot_image("loader", to_bytes("loader-code"), version,
+                        root_->priv),
+        make_boot_image("kernel", to_bytes("kernel-code"), version,
+                        root_->priv),
+        make_boot_image("apps", to_bytes("application-bundle"), version,
+                        root_->priv),
+    };
+  }
+
+  static crypto::RsaKeyPair* root_;
+  static crypto::RsaKeyPair* rogue_;
+};
+
+crypto::RsaKeyPair* SecureBootTest::root_ = nullptr;
+crypto::RsaKeyPair* SecureBootTest::rogue_ = nullptr;
+
+TEST_F(SecureBootTest, ValidChainBoots) {
+  BootRom rom(root_->pub);
+  const BootReport report = rom.boot(make_chain());
+  EXPECT_TRUE(report.booted);
+  EXPECT_EQ(report.stages.size(), 3u);
+  for (const auto& s : report.stages)
+    EXPECT_EQ(s.status, BootStageStatus::kOk);
+}
+
+TEST_F(SecureBootTest, TamperedPayloadHalts) {
+  BootRom rom(root_->pub);
+  auto chain = make_chain();
+  chain[1].payload.push_back(0x90);  // patch the kernel
+  const BootReport report = rom.boot(chain);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failed_stage, 1u);
+  EXPECT_EQ(report.stages[1].status, BootStageStatus::kDigestMismatch);
+}
+
+TEST_F(SecureBootTest, ResignedManifestWithWrongKeyHalts) {
+  BootRom rom(root_->pub);
+  auto chain = make_chain();
+  // Attacker replaces the loader with one signed by their own key.
+  chain[0] =
+      make_boot_image("loader", to_bytes("evil-loader"), 1, rogue_->priv);
+  const BootReport report = rom.boot(chain);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failed_stage, 0u);
+  EXPECT_EQ(report.stages[0].status, BootStageStatus::kBadSignature);
+}
+
+TEST_F(SecureBootTest, ForgedDigestStillBadSignature) {
+  BootRom rom(root_->pub);
+  auto chain = make_chain();
+  chain[2].digest = crypto::Sha256::hash(chain[2].payload);  // unchanged
+  chain[2].payload = to_bytes("swapped-apps");
+  chain[2].digest = crypto::Sha256::hash(chain[2].payload);  // fixed up...
+  // ...but the manifest signature no longer matches.
+  const BootReport report = rom.boot(chain);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.stages[2].status, BootStageStatus::kBadSignature);
+}
+
+TEST_F(SecureBootTest, RollbackRejectedAfterUpgrade) {
+  BootRom rom(root_->pub);
+  EXPECT_TRUE(rom.boot(make_chain(1)).booted);
+  EXPECT_TRUE(rom.boot(make_chain(3)).booted);  // upgrade
+  EXPECT_EQ(rom.min_version(0), 3u);
+  // Old (vulnerable) version no longer boots.
+  const BootReport report = rom.boot(make_chain(2));
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.stages[0].status, BootStageStatus::kRollback);
+}
+
+TEST_F(SecureBootTest, FailedBootDoesNotRatchet) {
+  BootRom rom(root_->pub);
+  auto chain = make_chain(5);
+  chain[2].payload.push_back(1);  // will fail at stage 2
+  EXPECT_FALSE(rom.boot(chain).booted);
+  EXPECT_EQ(rom.min_version(0), 0u);  // no partial ratchet
+  EXPECT_TRUE(rom.boot(make_chain(1)).booted);
+}
+
+// ---- key store -----------------------------------------------------------------
+
+class KeyStoreTest : public ::testing::Test {
+ protected:
+  KeyStoreTest() : rng_(0x5EA1), store_(rng_.bytes(32), &rng_) {}
+  crypto::HmacDrbg rng_;
+  KeyStore store_;
+};
+
+TEST_F(KeyStoreTest, SealUnsealRoundTrip) {
+  const Bytes secret = to_bytes("wpa-passphrase");
+  const SealedBlob blob = store_.seal("wifi", secret);
+  Bytes out;
+  EXPECT_EQ(store_.unseal(blob, out), UnsealStatus::kOk);
+  EXPECT_EQ(out, secret);
+}
+
+TEST_F(KeyStoreTest, CiphertextHidesSecret) {
+  const Bytes secret = to_bytes("SECRETSECRETSECRET");
+  const SealedBlob blob = store_.seal("x", secret);
+  const auto it = std::search(blob.ciphertext.begin(), blob.ciphertext.end(),
+                              secret.begin(), secret.end());
+  EXPECT_EQ(it, blob.ciphertext.end());
+}
+
+TEST_F(KeyStoreTest, TamperDetected) {
+  SealedBlob blob = store_.seal("k", to_bytes("v"));
+  blob.ciphertext[0] ^= 1;
+  Bytes out;
+  EXPECT_EQ(store_.unseal(blob, out), UnsealStatus::kBadTag);
+  SealedBlob blob2 = store_.seal("k2", to_bytes("v2"));
+  blob2.name = "k3";  // name swap also breaks the tag
+  EXPECT_EQ(store_.unseal(blob2, out), UnsealStatus::kBadTag);
+}
+
+TEST_F(KeyStoreTest, RollbackDetected) {
+  const SealedBlob old_blob = store_.seal("token", to_bytes("old"));
+  const SealedBlob new_blob = store_.seal("token", to_bytes("new"));
+  Bytes out;
+  EXPECT_EQ(store_.unseal(new_blob, out), UnsealStatus::kOk);
+  EXPECT_EQ(out, to_bytes("new"));
+  // Replaying the stale flash image is caught.
+  EXPECT_EQ(store_.unseal(old_blob, out), UnsealStatus::kRollback);
+}
+
+TEST_F(KeyStoreTest, DistinctStoresCannotReadEachOther) {
+  crypto::HmacDrbg rng2(0x5EA2);
+  KeyStore other(rng2.bytes(32), &rng2);
+  const SealedBlob blob = store_.seal("k", to_bytes("v"));
+  Bytes out;
+  EXPECT_EQ(other.unseal(blob, out), UnsealStatus::kBadTag);
+}
+
+TEST_F(KeyStoreTest, CounterMonotone) {
+  const auto before = store_.monotonic_counter();
+  store_.seal("a", to_bytes("1"));
+  store_.seal("b", to_bytes("2"));
+  EXPECT_EQ(store_.monotonic_counter(), before + 2);
+}
+
+TEST_F(KeyStoreTest, Validation) {
+  crypto::HmacDrbg rng(1);
+  EXPECT_THROW(KeyStore(Bytes(8), &rng), std::invalid_argument);
+  EXPECT_THROW(KeyStore(Bytes(32), nullptr), std::invalid_argument);
+}
+
+// ---- secure world ---------------------------------------------------------------
+
+class SecureWorldTest : public ::testing::Test {
+ protected:
+  SecureWorldTest() : rng_(0x7E57) {
+    memory_.add_region("secure_ram", 4096, /*secure=*/true);
+    memory_.add_region("dram", 65536, /*secure=*/false);
+  }
+  crypto::HmacDrbg rng_;
+  PartitionedMemory memory_;
+};
+
+TEST_F(SecureWorldTest, NormalWorldCannotTouchSecureRam) {
+  EXPECT_TRUE(memory_.write(World::kSecure, "secure_ram", 0,
+                            to_bytes("key material")));
+  EXPECT_FALSE(memory_.read(World::kNormal, "secure_ram", 0, 4).has_value());
+  EXPECT_FALSE(memory_.write(World::kNormal, "secure_ram", 0, to_bytes("x")));
+  ASSERT_EQ(memory_.faults().size(), 2u);
+  EXPECT_EQ(memory_.faults()[0].accessor, World::kNormal);
+  EXPECT_FALSE(memory_.faults()[0].write);
+  EXPECT_TRUE(memory_.faults()[1].write);
+}
+
+TEST_F(SecureWorldTest, SecureWorldSeesEverything) {
+  EXPECT_TRUE(memory_.write(World::kSecure, "dram", 8, to_bytes("shared")));
+  const auto data = memory_.read(World::kSecure, "secure_ram", 0, 16);
+  EXPECT_TRUE(data.has_value());
+  EXPECT_TRUE(memory_.faults().empty());
+}
+
+TEST_F(SecureWorldTest, BoundsAndUnknownRegions) {
+  EXPECT_FALSE(memory_.read(World::kSecure, "nowhere", 0, 1).has_value());
+  EXPECT_FALSE(memory_.read(World::kSecure, "dram", 65530, 100).has_value());
+  EXPECT_THROW(memory_.add_region("dram", 16, false), std::invalid_argument);
+}
+
+TEST_F(SecureWorldTest, MonitorCryptoWithoutKeyExposure) {
+  SecureWorld tee(&memory_, &rng_);
+  EXPECT_TRUE(tee.call(MonitorCall::kGenerateKey, "session").ok);
+
+  const Bytes msg = to_bytes("normal-world message");
+  const auto enc = tee.call(MonitorCall::kEncrypt, "session", msg);
+  ASSERT_TRUE(enc.ok);
+  const auto dec = tee.call(MonitorCall::kDecrypt, "session", enc.data);
+  ASSERT_TRUE(dec.ok);
+  EXPECT_EQ(dec.data, msg);
+
+  const auto mac1 = tee.call(MonitorCall::kMac, "session", msg);
+  const auto mac2 = tee.call(MonitorCall::kMac, "session", msg);
+  ASSERT_TRUE(mac1.ok);
+  EXPECT_EQ(mac1.data, mac2.data);
+
+  // The defining refusal.
+  const auto leak = tee.call(MonitorCall::kGetKey, "session");
+  EXPECT_FALSE(leak.ok);
+  EXPECT_TRUE(leak.data.empty());
+}
+
+TEST_F(SecureWorldTest, UnknownKeyAndMalformedCiphertext) {
+  SecureWorld tee(&memory_, &rng_);
+  EXPECT_FALSE(tee.call(MonitorCall::kMac, "ghost", to_bytes("x")).ok);
+  tee.call(MonitorCall::kGenerateKey, "k");
+  EXPECT_FALSE(tee.call(MonitorCall::kDecrypt, "k", Bytes(8)).ok);
+}
+
+TEST_F(SecureWorldTest, WorldSwitchAccounting) {
+  SecureWorld tee(&memory_, &rng_);
+  tee.call(MonitorCall::kGenerateKey, "k");
+  tee.call(MonitorCall::kMac, "k", to_bytes("m"));
+  EXPECT_EQ(tee.world_switches(), 4u);  // two calls, entry+exit each
+}
+
+// ---- user auth -------------------------------------------------------------------
+
+TEST(PinAuthTest, GrantAndDeny) {
+  crypto::HmacDrbg rng(1);
+  PinAuthenticator auth(to_bytes("1234"), &rng);
+  EXPECT_EQ(auth.verify(to_bytes("0000")), AuthResult::kDenied);
+  EXPECT_EQ(auth.verify(to_bytes("1234")), AuthResult::kGranted);
+  EXPECT_EQ(auth.remaining_attempts(), 3);  // success resets the counter
+}
+
+TEST(PinAuthTest, LockoutAfterMaxAttempts) {
+  crypto::HmacDrbg rng(2);
+  PinAuthenticator auth(to_bytes("1234"), &rng, 3);
+  EXPECT_EQ(auth.verify(to_bytes("a")), AuthResult::kDenied);
+  EXPECT_EQ(auth.verify(to_bytes("b")), AuthResult::kDenied);
+  EXPECT_EQ(auth.verify(to_bytes("c")), AuthResult::kLockedOut);
+  // Even the correct PIN is refused once locked.
+  EXPECT_EQ(auth.verify(to_bytes("1234")), AuthResult::kLockedOut);
+  auth.reset(to_bytes("5678"));
+  EXPECT_EQ(auth.verify(to_bytes("5678")), AuthResult::kGranted);
+}
+
+TEST(PinAuthTest, Validation) {
+  crypto::HmacDrbg rng(3);
+  EXPECT_THROW(PinAuthenticator(to_bytes("1"), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(PinAuthenticator(to_bytes("1"), &rng, 0),
+               std::invalid_argument);
+}
+
+TEST(BiometricTest, GenuineMatchesImpostorDoesNot) {
+  crypto::HmacDrbg rng(4);
+  const auto tpl = BiometricMatcher::enroll(rng, 16);
+  BiometricMatcher matcher(tpl, 0.5);
+  // The enrolled template itself is distance 0.
+  EXPECT_TRUE(matcher.match(tpl));
+  // Slightly noisy genuine probe matches.
+  EXPECT_TRUE(matcher.match(matcher.sample_genuine(rng, 0.02)));
+  // A random impostor in 16 dims is far away w.h.p.
+  EXPECT_FALSE(matcher.match(matcher.sample_impostor(rng)));
+}
+
+TEST(BiometricTest, ThresholdTradesFarAgainstFrr) {
+  crypto::HmacDrbg rng(5);
+  const auto tpl = BiometricMatcher::enroll(rng, 16);
+  BiometricMatcher strict(tpl, 0.1);
+  BiometricMatcher loose(tpl, 1.2);
+  const auto strict_rates = strict.estimate_rates(rng, 400, 0.05);
+  const auto loose_rates = loose.estimate_rates(rng, 400, 0.05);
+  // Tightening the threshold lowers FAR and raises FRR.
+  EXPECT_LE(strict_rates.far, loose_rates.far);
+  EXPECT_GE(strict_rates.frr, loose_rates.frr);
+}
+
+TEST(BiometricTest, DimensionMismatchThrows) {
+  crypto::HmacDrbg rng(6);
+  BiometricMatcher matcher(BiometricMatcher::enroll(rng, 8), 0.5);
+  EXPECT_THROW(matcher.match(BiometricTemplate(4, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(BiometricMatcher({}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapsec::secureplat
