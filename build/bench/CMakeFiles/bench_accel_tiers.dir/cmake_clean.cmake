@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accel_tiers.dir/accel_tiers.cpp.o"
+  "CMakeFiles/bench_accel_tiers.dir/accel_tiers.cpp.o.d"
+  "bench_accel_tiers"
+  "bench_accel_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accel_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

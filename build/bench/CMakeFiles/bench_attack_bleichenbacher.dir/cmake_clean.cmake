@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_bleichenbacher.dir/attack_bleichenbacher.cpp.o"
+  "CMakeFiles/bench_attack_bleichenbacher.dir/attack_bleichenbacher.cpp.o.d"
+  "bench_attack_bleichenbacher"
+  "bench_attack_bleichenbacher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_bleichenbacher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_dpa.dir/attack_dpa.cpp.o"
+  "CMakeFiles/bench_attack_dpa.dir/attack_dpa.cpp.o.d"
+  "bench_attack_dpa"
+  "bench_attack_dpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_timing.dir/attack_timing.cpp.o"
+  "CMakeFiles/bench_attack_timing.dir/attack_timing.cpp.o.d"
+  "bench_attack_timing"
+  "bench_attack_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_wep.dir/attack_wep.cpp.o"
+  "CMakeFiles/bench_attack_wep.dir/attack_wep.cpp.o.d"
+  "bench_attack_wep"
+  "bench_attack_wep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_wep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_protocol_evolution.dir/fig2_protocol_evolution.cpp.o"
+  "CMakeFiles/bench_fig2_protocol_evolution.dir/fig2_protocol_evolution.cpp.o.d"
+  "bench_fig2_protocol_evolution"
+  "bench_fig2_protocol_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_protocol_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secureplat.dir/secureplat.cpp.o"
+  "CMakeFiles/bench_secureplat.dir/secureplat.cpp.o.d"
+  "bench_secureplat"
+  "bench_secureplat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secureplat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

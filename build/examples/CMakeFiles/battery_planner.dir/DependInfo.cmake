@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/battery_planner.cpp" "examples/CMakeFiles/battery_planner.dir/battery_planner.cpp.o" "gcc" "examples/CMakeFiles/battery_planner.dir/battery_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/mapsec_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mapsec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/mapsec_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mapsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

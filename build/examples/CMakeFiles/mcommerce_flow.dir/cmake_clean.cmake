@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcommerce_flow.dir/mcommerce_flow.cpp.o"
+  "CMakeFiles/mcommerce_flow.dir/mcommerce_flow.cpp.o.d"
+  "mcommerce_flow"
+  "mcommerce_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcommerce_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

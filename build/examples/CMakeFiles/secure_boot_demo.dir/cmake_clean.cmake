@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_boot_demo.dir/secure_boot_demo.cpp.o"
+  "CMakeFiles/secure_boot_demo.dir/secure_boot_demo.cpp.o.d"
+  "secure_boot_demo"
+  "secure_boot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_boot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_evolution.dir/wireless_evolution.cpp.o"
+  "CMakeFiles/wireless_evolution.dir/wireless_evolution.cpp.o.d"
+  "wireless_evolution"
+  "wireless_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

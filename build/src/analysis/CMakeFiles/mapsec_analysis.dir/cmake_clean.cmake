@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapsec_analysis.dir/src/csv.cpp.o"
+  "CMakeFiles/mapsec_analysis.dir/src/csv.cpp.o.d"
+  "CMakeFiles/mapsec_analysis.dir/src/report.cpp.o"
+  "CMakeFiles/mapsec_analysis.dir/src/report.cpp.o.d"
+  "CMakeFiles/mapsec_analysis.dir/src/table.cpp.o"
+  "CMakeFiles/mapsec_analysis.dir/src/table.cpp.o.d"
+  "libmapsec_analysis.a"
+  "libmapsec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapsec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/src/bleichenbacher.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/bleichenbacher.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/bleichenbacher.cpp.o.d"
+  "/root/repo/src/attack/src/cbc_iv.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/cbc_iv.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/cbc_iv.cpp.o.d"
+  "/root/repo/src/attack/src/dpa.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/dpa.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/dpa.cpp.o.d"
+  "/root/repo/src/attack/src/fault.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/fault.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/fault.cpp.o.d"
+  "/root/repo/src/attack/src/noise.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/noise.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/noise.cpp.o.d"
+  "/root/repo/src/attack/src/spa.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/spa.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/spa.cpp.o.d"
+  "/root/repo/src/attack/src/timing.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/timing.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/timing.cpp.o.d"
+  "/root/repo/src/attack/src/wep_attack.cpp" "src/attack/CMakeFiles/mapsec_attack.dir/src/wep_attack.cpp.o" "gcc" "src/attack/CMakeFiles/mapsec_attack.dir/src/wep_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mapsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/mapsec_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

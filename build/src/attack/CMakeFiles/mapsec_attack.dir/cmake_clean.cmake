@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapsec_attack.dir/src/bleichenbacher.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/bleichenbacher.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/cbc_iv.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/cbc_iv.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/dpa.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/dpa.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/fault.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/fault.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/noise.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/noise.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/spa.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/spa.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/timing.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/timing.cpp.o.d"
+  "CMakeFiles/mapsec_attack.dir/src/wep_attack.cpp.o"
+  "CMakeFiles/mapsec_attack.dir/src/wep_attack.cpp.o.d"
+  "libmapsec_attack.a"
+  "libmapsec_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapsec_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/src/a51.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/a51.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/a51.cpp.o.d"
+  "/root/repo/src/crypto/src/aes.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/aes.cpp.o.d"
+  "/root/repo/src/crypto/src/bignum.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/bignum.cpp.o.d"
+  "/root/repo/src/crypto/src/bytes.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/bytes.cpp.o.d"
+  "/root/repo/src/crypto/src/ccm.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/ccm.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/ccm.cpp.o.d"
+  "/root/repo/src/crypto/src/cipher.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/cipher.cpp.o.d"
+  "/root/repo/src/crypto/src/crc32.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/crc32.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/crc32.cpp.o.d"
+  "/root/repo/src/crypto/src/des.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/des.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/des.cpp.o.d"
+  "/root/repo/src/crypto/src/dh.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/dh.cpp.o.d"
+  "/root/repo/src/crypto/src/md5.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/md5.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/md5.cpp.o.d"
+  "/root/repo/src/crypto/src/modexp.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/modexp.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/modexp.cpp.o.d"
+  "/root/repo/src/crypto/src/pbkdf2.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/pbkdf2.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/pbkdf2.cpp.o.d"
+  "/root/repo/src/crypto/src/prime.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/prime.cpp.o.d"
+  "/root/repo/src/crypto/src/rc2.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rc2.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rc2.cpp.o.d"
+  "/root/repo/src/crypto/src/rc4.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rc4.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rc4.cpp.o.d"
+  "/root/repo/src/crypto/src/rng.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rng.cpp.o.d"
+  "/root/repo/src/crypto/src/rsa.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/rsa.cpp.o.d"
+  "/root/repo/src/crypto/src/sha1.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/sha1.cpp.o.d"
+  "/root/repo/src/crypto/src/sha256.cpp" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/mapsec_crypto.dir/src/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

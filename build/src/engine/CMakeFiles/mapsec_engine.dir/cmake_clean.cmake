@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapsec_engine.dir/src/protocol_engine.cpp.o"
+  "CMakeFiles/mapsec_engine.dir/src/protocol_engine.cpp.o.d"
+  "libmapsec_engine.a"
+  "libmapsec_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapsec_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

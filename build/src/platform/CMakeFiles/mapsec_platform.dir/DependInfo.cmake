@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/src/accelerator.cpp" "src/platform/CMakeFiles/mapsec_platform.dir/src/accelerator.cpp.o" "gcc" "src/platform/CMakeFiles/mapsec_platform.dir/src/accelerator.cpp.o.d"
+  "/root/repo/src/platform/src/energy.cpp" "src/platform/CMakeFiles/mapsec_platform.dir/src/energy.cpp.o" "gcc" "src/platform/CMakeFiles/mapsec_platform.dir/src/energy.cpp.o.d"
+  "/root/repo/src/platform/src/gap.cpp" "src/platform/CMakeFiles/mapsec_platform.dir/src/gap.cpp.o" "gcc" "src/platform/CMakeFiles/mapsec_platform.dir/src/gap.cpp.o.d"
+  "/root/repo/src/platform/src/processor.cpp" "src/platform/CMakeFiles/mapsec_platform.dir/src/processor.cpp.o" "gcc" "src/platform/CMakeFiles/mapsec_platform.dir/src/processor.cpp.o.d"
+  "/root/repo/src/platform/src/workload.cpp" "src/platform/CMakeFiles/mapsec_platform.dir/src/workload.cpp.o" "gcc" "src/platform/CMakeFiles/mapsec_platform.dir/src/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

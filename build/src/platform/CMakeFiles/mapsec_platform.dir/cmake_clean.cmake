@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapsec_platform.dir/src/accelerator.cpp.o"
+  "CMakeFiles/mapsec_platform.dir/src/accelerator.cpp.o.d"
+  "CMakeFiles/mapsec_platform.dir/src/energy.cpp.o"
+  "CMakeFiles/mapsec_platform.dir/src/energy.cpp.o.d"
+  "CMakeFiles/mapsec_platform.dir/src/gap.cpp.o"
+  "CMakeFiles/mapsec_platform.dir/src/gap.cpp.o.d"
+  "CMakeFiles/mapsec_platform.dir/src/processor.cpp.o"
+  "CMakeFiles/mapsec_platform.dir/src/processor.cpp.o.d"
+  "CMakeFiles/mapsec_platform.dir/src/workload.cpp.o"
+  "CMakeFiles/mapsec_platform.dir/src/workload.cpp.o.d"
+  "libmapsec_platform.a"
+  "libmapsec_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapsec_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

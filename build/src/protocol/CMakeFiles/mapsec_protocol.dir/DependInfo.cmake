@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/src/bearer.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/bearer.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/bearer.cpp.o.d"
+  "/root/repo/src/protocol/src/ccmp.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/ccmp.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/ccmp.cpp.o.d"
+  "/root/repo/src/protocol/src/cert.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/cert.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/cert.cpp.o.d"
+  "/root/repo/src/protocol/src/datagram.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/datagram.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/datagram.cpp.o.d"
+  "/root/repo/src/protocol/src/esp.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/esp.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/esp.cpp.o.d"
+  "/root/repo/src/protocol/src/evolution.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/evolution.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/evolution.cpp.o.d"
+  "/root/repo/src/protocol/src/handshake.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/handshake.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/handshake.cpp.o.d"
+  "/root/repo/src/protocol/src/prf.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/prf.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/prf.cpp.o.d"
+  "/root/repo/src/protocol/src/record.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/record.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/record.cpp.o.d"
+  "/root/repo/src/protocol/src/suites.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/suites.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/suites.cpp.o.d"
+  "/root/repo/src/protocol/src/wep.cpp" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/wep.cpp.o" "gcc" "src/protocol/CMakeFiles/mapsec_protocol.dir/src/wep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mapsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

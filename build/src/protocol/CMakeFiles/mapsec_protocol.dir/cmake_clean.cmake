@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapsec_protocol.dir/src/bearer.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/bearer.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/ccmp.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/ccmp.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/cert.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/cert.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/datagram.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/datagram.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/esp.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/esp.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/evolution.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/evolution.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/handshake.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/handshake.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/prf.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/prf.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/record.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/record.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/suites.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/suites.cpp.o.d"
+  "CMakeFiles/mapsec_protocol.dir/src/wep.cpp.o"
+  "CMakeFiles/mapsec_protocol.dir/src/wep.cpp.o.d"
+  "libmapsec_protocol.a"
+  "libmapsec_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapsec_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmapsec_protocol.a"
+)

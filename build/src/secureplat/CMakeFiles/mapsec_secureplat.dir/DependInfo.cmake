@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secureplat/src/app_installer.cpp" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/app_installer.cpp.o" "gcc" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/app_installer.cpp.o.d"
+  "/root/repo/src/secureplat/src/drm.cpp" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/drm.cpp.o" "gcc" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/drm.cpp.o.d"
+  "/root/repo/src/secureplat/src/keystore.cpp" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/keystore.cpp.o" "gcc" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/keystore.cpp.o.d"
+  "/root/repo/src/secureplat/src/secure_boot.cpp" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/secure_boot.cpp.o" "gcc" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/secure_boot.cpp.o.d"
+  "/root/repo/src/secureplat/src/secure_world.cpp" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/secure_world.cpp.o" "gcc" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/secure_world.cpp.o.d"
+  "/root/repo/src/secureplat/src/user_auth.cpp" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/user_auth.cpp.o" "gcc" "src/secureplat/CMakeFiles/mapsec_secureplat.dir/src/user_auth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mapsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapsec_secureplat.dir/src/app_installer.cpp.o"
+  "CMakeFiles/mapsec_secureplat.dir/src/app_installer.cpp.o.d"
+  "CMakeFiles/mapsec_secureplat.dir/src/drm.cpp.o"
+  "CMakeFiles/mapsec_secureplat.dir/src/drm.cpp.o.d"
+  "CMakeFiles/mapsec_secureplat.dir/src/keystore.cpp.o"
+  "CMakeFiles/mapsec_secureplat.dir/src/keystore.cpp.o.d"
+  "CMakeFiles/mapsec_secureplat.dir/src/secure_boot.cpp.o"
+  "CMakeFiles/mapsec_secureplat.dir/src/secure_boot.cpp.o.d"
+  "CMakeFiles/mapsec_secureplat.dir/src/secure_world.cpp.o"
+  "CMakeFiles/mapsec_secureplat.dir/src/secure_world.cpp.o.d"
+  "CMakeFiles/mapsec_secureplat.dir/src/user_auth.cpp.o"
+  "CMakeFiles/mapsec_secureplat.dir/src/user_auth.cpp.o.d"
+  "libmapsec_secureplat.a"
+  "libmapsec_secureplat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapsec_secureplat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_a51_test.dir/crypto/a51_test.cpp.o"
+  "CMakeFiles/crypto_a51_test.dir/crypto/a51_test.cpp.o.d"
+  "crypto_a51_test"
+  "crypto_a51_test.pdb"
+  "crypto_a51_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_a51_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_bignum_test.dir/crypto/bignum_test.cpp.o"
+  "CMakeFiles/crypto_bignum_test.dir/crypto/bignum_test.cpp.o.d"
+  "crypto_bignum_test"
+  "crypto_bignum_test.pdb"
+  "crypto_bignum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_bignum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

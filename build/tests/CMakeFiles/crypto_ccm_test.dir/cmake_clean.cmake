@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_ccm_test.dir/crypto/ccm_test.cpp.o"
+  "CMakeFiles/crypto_ccm_test.dir/crypto/ccm_test.cpp.o.d"
+  "crypto_ccm_test"
+  "crypto_ccm_test.pdb"
+  "crypto_ccm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_ccm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

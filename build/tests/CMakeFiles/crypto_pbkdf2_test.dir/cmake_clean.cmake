@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_pbkdf2_test.dir/crypto/pbkdf2_test.cpp.o"
+  "CMakeFiles/crypto_pbkdf2_test.dir/crypto/pbkdf2_test.cpp.o.d"
+  "crypto_pbkdf2_test"
+  "crypto_pbkdf2_test.pdb"
+  "crypto_pbkdf2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_pbkdf2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

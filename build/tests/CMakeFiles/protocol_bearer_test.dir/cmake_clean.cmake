@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_bearer_test.dir/protocol/bearer_test.cpp.o"
+  "CMakeFiles/protocol_bearer_test.dir/protocol/bearer_test.cpp.o.d"
+  "protocol_bearer_test"
+  "protocol_bearer_test.pdb"
+  "protocol_bearer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_bearer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

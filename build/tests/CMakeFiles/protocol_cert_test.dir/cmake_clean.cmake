@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_cert_test.dir/protocol/cert_test.cpp.o"
+  "CMakeFiles/protocol_cert_test.dir/protocol/cert_test.cpp.o.d"
+  "protocol_cert_test"
+  "protocol_cert_test.pdb"
+  "protocol_cert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_cert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_datagram_test.dir/protocol/datagram_test.cpp.o"
+  "CMakeFiles/protocol_datagram_test.dir/protocol/datagram_test.cpp.o.d"
+  "protocol_datagram_test"
+  "protocol_datagram_test.pdb"
+  "protocol_datagram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_datagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

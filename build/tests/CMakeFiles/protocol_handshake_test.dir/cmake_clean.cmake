@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_handshake_test.dir/protocol/handshake_test.cpp.o"
+  "CMakeFiles/protocol_handshake_test.dir/protocol/handshake_test.cpp.o.d"
+  "protocol_handshake_test"
+  "protocol_handshake_test.pdb"
+  "protocol_handshake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_handshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

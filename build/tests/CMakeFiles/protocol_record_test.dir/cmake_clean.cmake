@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_record_test.dir/protocol/record_test.cpp.o"
+  "CMakeFiles/protocol_record_test.dir/protocol/record_test.cpp.o.d"
+  "protocol_record_test"
+  "protocol_record_test.pdb"
+  "protocol_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

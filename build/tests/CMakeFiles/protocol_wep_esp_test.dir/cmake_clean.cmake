@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_wep_esp_test.dir/protocol/wep_esp_test.cpp.o"
+  "CMakeFiles/protocol_wep_esp_test.dir/protocol/wep_esp_test.cpp.o.d"
+  "protocol_wep_esp_test"
+  "protocol_wep_esp_test.pdb"
+  "protocol_wep_esp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_wep_esp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secureplat_drm_test.dir/secureplat/drm_test.cpp.o"
+  "CMakeFiles/secureplat_drm_test.dir/secureplat/drm_test.cpp.o.d"
+  "secureplat_drm_test"
+  "secureplat_drm_test.pdb"
+  "secureplat_drm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secureplat_drm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secureplat_test.dir/secureplat/secureplat_test.cpp.o"
+  "CMakeFiles/secureplat_test.dir/secureplat/secureplat_test.cpp.o.d"
+  "secureplat_test"
+  "secureplat_test.pdb"
+  "secureplat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secureplat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_cipher_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_dh_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_record_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_cert_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_handshake_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_wep_esp_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/secureplat_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/secureplat_drm_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_ccm_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_a51_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_bearer_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_pbkdf2_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_datagram_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
