@@ -2,12 +2,20 @@
 // TLS revision that added AES as the DES replacement; Section 4.1 lists AES
 // among the algorithms a mobile crypto foundation must accelerate.
 //
+// The implementation is the classic 32-bit T-table formulation: SubBytes,
+// ShiftRows and MixColumns fused into four 1 KiB lookup tables, one table
+// read and one XOR per state byte per round. Key schedules (encryption and
+// the InvMixColumns-transformed decryption schedule) are expanded once at
+// construction into fixed arrays, so bulk encryption performs no heap
+// traffic at all.
+//
 // `aes_detail` exposes the S-box so the DPA attack module can build
 // hypothesis tables against the real implementation.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "mapsec/crypto/bytes.hpp"
 
@@ -30,6 +38,7 @@ std::uint8_t gmul(std::uint8_t a, std::uint8_t b);
 }  // namespace aes_detail
 
 /// AES block cipher over 16-byte blocks; key may be 16, 24 or 32 bytes.
+/// encrypt_block/decrypt_block accept in == out (in-place operation).
 class Aes {
  public:
   static constexpr std::size_t kBlockSize = 16;
@@ -42,12 +51,17 @@ class Aes {
   /// Number of rounds (10/12/14 for 128/192/256-bit keys).
   int rounds() const { return rounds_; }
 
-  /// Round keys as 4-byte words (4*(rounds+1) words).
-  const std::vector<std::uint32_t>& round_keys() const { return rk_; }
+  /// Encryption round keys as 4-byte words (4*(rounds+1) words).
+  std::span<const std::uint32_t> round_keys() const {
+    return {rk_.data(), 4 * (static_cast<std::size_t>(rounds_) + 1)};
+  }
 
  private:
+  static constexpr std::size_t kMaxRkWords = 60;  // 4 * (14 + 1)
+
   int rounds_;
-  std::vector<std::uint32_t> rk_;
+  std::array<std::uint32_t, kMaxRkWords> rk_{};   // encryption schedule
+  std::array<std::uint32_t, kMaxRkWords> rkd_{};  // decryption schedule
 };
 
 }  // namespace mapsec::crypto

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "mapsec/crypto/aes.hpp"
 #include "mapsec/crypto/bytes.hpp"
@@ -48,13 +49,33 @@ std::unique_ptr<BlockCipher> make_block_cipher(C cipher) {
   return std::make_unique<BlockCipherAdapter<C>>(std::move(cipher));
 }
 
+/// Padded CBC output length for an `n`-byte plaintext (PKCS#7 always adds
+/// at least one byte).
+constexpr std::size_t cbc_padded_len(std::size_t n, std::size_t block_size) {
+  return n + block_size - n % block_size;
+}
+
 /// CBC-encrypt `plaintext` with PKCS#7 padding. `iv` must equal the block
 /// size. Output length is a whole number of blocks (always >= one block).
 Bytes cbc_encrypt(const BlockCipher& cipher, ConstBytes iv, ConstBytes plaintext);
 
+/// Zero-allocation CBC encryption: writes the padded ciphertext into
+/// `out` (which must hold >= cbc_padded_len(plaintext.size(), bs) bytes)
+/// and returns the number of bytes written. `out` may alias `plaintext`
+/// exactly (same data pointer) for in-place operation.
+std::size_t cbc_encrypt_into(const BlockCipher& cipher, ConstBytes iv,
+                             ConstBytes plaintext, std::span<std::uint8_t> out);
+
 /// CBC-decrypt and strip PKCS#7 padding. Throws std::runtime_error on a
 /// malformed length or bad padding.
 Bytes cbc_decrypt(const BlockCipher& cipher, ConstBytes iv, ConstBytes ciphertext);
+
+/// Zero-allocation in-place CBC decryption over `data` (whole blocks).
+/// Returns the plaintext length after stripping PKCS#7 padding; throws
+/// std::runtime_error on a malformed length or bad padding (in which case
+/// `data` contents are unspecified).
+std::size_t cbc_decrypt_in_place(const BlockCipher& cipher, ConstBytes iv,
+                                 std::span<std::uint8_t> data);
 
 /// Raw ECB helpers (whole blocks only); used by tests and key wrapping.
 Bytes ecb_encrypt(const BlockCipher& cipher, ConstBytes plaintext);

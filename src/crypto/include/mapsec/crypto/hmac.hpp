@@ -1,6 +1,13 @@
 // HMAC (RFC 2104), templated over any mapsec hash with the
 // update()/finish() streaming interface (Sha1, Md5, Sha256).
+//
+// The key schedule (ipad/opad absorption) is performed once at
+// construction and cached as ready-to-clone hash states, so a context can
+// be reset() and reused for many messages at zero per-message key cost —
+// the inner loop shape PBKDF2, the TLS PRF and per-packet MACs rely on.
 #pragma once
+
+#include <array>
 
 #include "mapsec/crypto/bytes.hpp"
 #include "mapsec/crypto/md5.hpp"
@@ -10,7 +17,8 @@
 namespace mapsec::crypto {
 
 /// Incremental HMAC over hash `H`. Construct with the key, update() with
-/// message bytes, finish() for the tag.
+/// message bytes, finish() for the tag; reset() rewinds to the
+/// just-keyed state without re-deriving the key schedule.
 template <typename H>
 class Hmac {
  public:
@@ -18,28 +26,43 @@ class Hmac {
   static constexpr std::size_t kBlockSize = H::kBlockSize;
 
   explicit Hmac(ConstBytes key) {
-    Bytes k(key.begin(), key.end());
-    if (k.size() > kBlockSize) k = H::hash(k);
-    k.resize(kBlockSize, 0);
-    Bytes ipad(kBlockSize), opad(kBlockSize);
-    for (std::size_t i = 0; i < kBlockSize; ++i) {
-      ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
-      opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    std::array<std::uint8_t, kBlockSize> k{};
+    if (key.size() > kBlockSize) {
+      H::hash_into(key, k.data());  // kDigestSize <= kBlockSize
+    } else {
+      for (std::size_t i = 0; i < key.size(); ++i) k[i] = key[i];
     }
-    opad_ = std::move(opad);
-    inner_.update(ipad);
-    secure_wipe(k);
-    secure_wipe(ipad);
+    std::array<std::uint8_t, kBlockSize> pad;
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+      pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    inner_init_.update(pad);
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+      pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    outer_init_.update(pad);
+    secure_wipe(k.data(), k.size());
+    secure_wipe(pad.data(), pad.size());
+    inner_ = inner_init_;
   }
+
+  /// Rewind to the freshly keyed state (no key re-derivation).
+  void reset() { inner_ = inner_init_; }
 
   void update(ConstBytes data) { inner_.update(data); }
 
-  Bytes finish() {
-    const Bytes inner_digest = inner_.finish();
-    H outer;
-    outer.update(opad_);
+  /// Allocation-free finalisation: writes kDigestSize bytes to `tag`.
+  /// The context must be reset() before reuse.
+  void finish_into(std::uint8_t* tag) {
+    std::array<std::uint8_t, kDigestSize> inner_digest;
+    inner_.finish_into(inner_digest.data());
+    H outer = outer_init_;
     outer.update(inner_digest);
-    return outer.finish();
+    outer.finish_into(tag);
+  }
+
+  Bytes finish() {
+    Bytes tag(kDigestSize);
+    finish_into(tag.data());
+    return tag;
   }
 
   /// One-shot tag.
@@ -55,8 +78,9 @@ class Hmac {
   }
 
  private:
-  H inner_;
-  Bytes opad_;
+  H inner_init_;  // state after absorbing key ^ ipad
+  H outer_init_;  // state after absorbing key ^ opad
+  H inner_;       // running state for the current message
 };
 
 using HmacSha1 = Hmac<Sha1>;

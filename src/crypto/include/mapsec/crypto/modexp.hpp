@@ -45,6 +45,13 @@ enum class MontOp : std::uint8_t { kSquare, kMultiply };
 using MontOpSequence = std::vector<MontOp>;
 
 /// Montgomery multiplication context for a fixed odd modulus.
+///
+/// The engine packs operands into raw 64-bit limb buffers normalized to
+/// the modulus width once at entry; inner loops use 128-bit accumulation
+/// and carry no per-iteration bounds checks or heap traffic (the CIOS
+/// accumulator is a preallocated scratch buffer). Consequently a single
+/// Montgomery instance is NOT safe for concurrent use from multiple
+/// threads; construct one per thread.
 class Montgomery {
  public:
   /// Modulus must be odd and > 1.
@@ -72,12 +79,48 @@ class Montgomery {
                     MontStats* stats = nullptr,
                     MontOpSequence* seq = nullptr) const;
 
+  /// base^e mod n via 4-bit fixed windows: four squares and one multiply
+  /// per window regardless of the exponent, with the window's multiplier
+  /// chosen from the 16-entry table by a constant-time masked scan (no
+  /// key-dependent table index reaches the memory system). The fast path
+  /// that is also sequence-constant.
+  BigInt exp_fixed_window(const BigInt& base, const BigInt& e,
+                          MontStats* stats = nullptr) const;
+
  private:
+  /// out = REDC(a * b), all pointers kw_ limbs, out distinct from a and b.
+  void mul_raw(const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* out, MontStats* stats) const;
+
+  void mul_raw_w64(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* out, MontStats* stats) const;
+  void mul_raw_w32(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* out, MontStats* stats) const;
+
+  /// Pack x's 32-bit limbs into exactly kw_ 64-bit limbs at `out`,
+  /// zero-padding (and truncating limbs above the modulus width, which
+  /// cannot occur for in-range values).
+  void normalize_into(const BigInt& x, std::uint64_t* out) const;
+
+  BigInt from_raw(const std::uint64_t* limbs) const;
+
   BigInt n_;
-  std::size_t k_;        // limb count of n
-  std::uint32_t n0inv_;  // -n^{-1} mod 2^32
-  BigInt rr_;            // R^2 mod n, R = 2^(32k)
+  // R = 2^(32 k32) for a k32-limb modulus, always — the extra-reduction
+  // statistics the timing attack consumes are a function of n/R, so R
+  // must not depend on the internal word size. When k32 is even the
+  // engine runs 64-bit limbs (kw_ = k32/2, the fast path); odd-limb
+  // moduli fall back to a 32-bit radix carried in the same buffers
+  // (kw_ = k32, each element < 2^32).
+  bool radix32_;
+  std::size_t kw_;       // internal limb count of n
+  std::uint64_t n0inv_;  // -n^{-1} mod 2^64 (mod 2^32 in radix-32 mode)
+  BigInt rr_;            // R^2 mod n
   BigInt one_mont_;      // R mod n
+  std::vector<std::uint64_t> n_limbs_;    // n, exactly kw_ limbs
+  std::vector<std::uint64_t> rr_limbs_;   // R^2 mod n, kw_ limbs
+  std::vector<std::uint64_t> one_limbs_;  // the value 1, kw_ limbs
+  mutable std::vector<std::uint64_t> scratch_;  // CIOS accumulator, kw_ + 2
+  mutable std::vector<std::uint64_t> mul_buf_;  // operand staging, 3 * kw_
 };
 
 /// General modular exponentiation: Montgomery for odd moduli, plain

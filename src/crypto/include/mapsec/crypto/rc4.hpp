@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "mapsec/crypto/bytes.hpp"
 
@@ -24,8 +25,14 @@ class Rc4 {
   /// Produce `n` keystream bytes.
   Bytes keystream(std::size_t n);
 
+  /// Fill `out` with keystream bytes (no allocation).
+  void keystream_into(std::span<std::uint8_t> out);
+
   /// XOR `data` with the keystream (in place semantics on a copy).
   Bytes process(ConstBytes data);
+
+  /// XOR `data` with the keystream in place (zero-allocation hot path).
+  void process_inplace(std::span<std::uint8_t> data);
 
   /// Drop `n` keystream bytes (RC4-drop[n] hardening).
   void skip(std::size_t n);

@@ -29,8 +29,14 @@ class Sha1 {
   /// before reuse.
   Bytes finish();
 
+  /// Allocation-free finalisation: writes kDigestSize bytes to `out`.
+  void finish_into(std::uint8_t* out);
+
   /// One-shot digest of `data`.
   static Bytes hash(ConstBytes data);
+
+  /// Allocation-free one-shot digest: writes kDigestSize bytes to `out`.
+  static void hash_into(ConstBytes data, std::uint8_t* out);
 
  private:
   void process_block(const std::uint8_t* block);

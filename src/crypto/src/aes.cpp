@@ -23,14 +23,26 @@ std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
 
 namespace {
 
-// The S-box is derived at startup from its definition (multiplicative
-// inverse in GF(2^8) followed by the affine transform) rather than typed in
-// as a 256-entry literal, eliminating transcription errors.
-struct SboxTables {
+// The S-box (and the round T-tables derived from it) are computed at
+// startup from their definitions — multiplicative inverse in GF(2^8)
+// followed by the affine transform, then the MixColumns coefficients —
+// rather than typed in as 256-entry literals, eliminating transcription
+// errors.
+//
+// Te0[x] packs the four MixColumns products of S[x] for a row-0 byte:
+//   Te0[x] = (2·S[x], S[x], S[x], 3·S[x]) big-endian; Te1..Te3 are byte
+// rotations of Te0 for rows 1..3. Td0..Td3 are the same construction over
+// the inverse S-box with the InvMixColumns coefficients (14, 9, 13, 11).
+struct AesTables {
   std::array<std::uint8_t, 256> fwd{};
   std::array<std::uint8_t, 256> inv{};
+  std::array<std::uint32_t, 256> te[4];
+  std::array<std::uint32_t, 256> td[4];
 
-  SboxTables() {
+  AesTables() {
+    const auto rotl8 = [](std::uint8_t v, int n) {
+      return static_cast<std::uint8_t>((v << n) | (v >> (8 - n)));
+    };
     for (int x = 0; x < 256; ++x) {
       std::uint8_t invx = 0;
       if (x != 0) {
@@ -42,20 +54,33 @@ struct SboxTables {
           }
         }
       }
-      std::uint8_t b = invx;
-      const auto rotl8 = [](std::uint8_t v, int n) {
-        return static_cast<std::uint8_t>((v << n) | (v >> (8 - n)));
-      };
+      const std::uint8_t b = invx;
       const std::uint8_t s = static_cast<std::uint8_t>(
           b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63);
       fwd[static_cast<std::size_t>(x)] = s;
       inv[s] = static_cast<std::uint8_t>(x);
     }
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t s = fwd[static_cast<std::size_t>(x)];
+      const std::uint32_t e0 = (std::uint32_t{gmul(s, 2)} << 24) |
+                               (std::uint32_t{s} << 16) |
+                               (std::uint32_t{s} << 8) |
+                               std::uint32_t{gmul(s, 3)};
+      const std::uint8_t is = inv[static_cast<std::size_t>(x)];
+      const std::uint32_t d0 = (std::uint32_t{gmul(is, 14)} << 24) |
+                               (std::uint32_t{gmul(is, 9)} << 16) |
+                               (std::uint32_t{gmul(is, 13)} << 8) |
+                               std::uint32_t{gmul(is, 11)};
+      for (int r = 0; r < 4; ++r) {
+        te[r][static_cast<std::size_t>(x)] = rotr32(e0, 8 * static_cast<unsigned>(r));
+        td[r][static_cast<std::size_t>(x)] = rotr32(d0, 8 * static_cast<unsigned>(r));
+      }
+    }
   }
 };
 
-const SboxTables& tables() {
-  static const SboxTables t;
+const AesTables& tables() {
+  static const AesTables t;
   return t;
 }
 
@@ -82,64 +107,24 @@ std::uint32_t sub_word(std::uint32_t w) {
 
 std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
 
-// State is a flat 16-byte array: s[4*col + row] (FIPS 197 column order,
-// identical to the block byte order).
-void add_round_key(std::uint8_t* s, const std::uint32_t* rk) {
-  for (int c = 0; c < 4; ++c) {
-    const std::uint32_t w = rk[c];
-    s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
-    s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
-    s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
-    s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
-  }
-}
-
-void sub_bytes(std::uint8_t* s) {
-  for (int i = 0; i < 16; ++i) s[i] = sbox(s[i]);
-}
-
-void inv_sub_bytes(std::uint8_t* s) {
-  for (int i = 0; i < 16; ++i) s[i] = inv_sbox(s[i]);
-}
-
-void shift_rows(std::uint8_t* s) {
-  std::uint8_t t[16];
-  std::memcpy(t, s, 16);
-  for (int r = 1; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) s[4 * c + r] = t[4 * ((c + r) % 4) + r];
-}
-
-void inv_shift_rows(std::uint8_t* s) {
-  std::uint8_t t[16];
-  std::memcpy(t, s, 16);
-  for (int r = 1; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) s[4 * ((c + r) % 4) + r] = t[4 * c + r];
-}
-
-void mix_columns(std::uint8_t* s) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = s + 4 * c;
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-  }
-}
-
-void inv_mix_columns(std::uint8_t* s) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = s + 4 * c;
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
-                                       gmul(a2, 13) ^ gmul(a3, 9));
-    col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
-                                       gmul(a2, 11) ^ gmul(a3, 13));
-    col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
-                                       gmul(a2, 14) ^ gmul(a3, 11));
-    col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
-                                       gmul(a2, 9) ^ gmul(a3, 14));
-  }
+// InvMixColumns on a round-key word, for the equivalent inverse cipher's
+// transformed decryption schedule (FIPS 197 §5.3.5).
+std::uint32_t inv_mix_word(std::uint32_t w) {
+  const std::uint8_t a0 = static_cast<std::uint8_t>(w >> 24);
+  const std::uint8_t a1 = static_cast<std::uint8_t>(w >> 16);
+  const std::uint8_t a2 = static_cast<std::uint8_t>(w >> 8);
+  const std::uint8_t a3 = static_cast<std::uint8_t>(w);
+  return (std::uint32_t{static_cast<std::uint8_t>(
+              gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9))}
+          << 24) |
+         (std::uint32_t{static_cast<std::uint8_t>(
+              gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13))}
+          << 16) |
+         (std::uint32_t{static_cast<std::uint8_t>(
+              gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11))}
+          << 8) |
+         std::uint32_t{static_cast<std::uint8_t>(
+             gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14))};
 }
 
 }  // namespace
@@ -150,7 +135,6 @@ Aes::Aes(ConstBytes key) {
     throw std::invalid_argument("AES key must be 16, 24 or 32 bytes");
   rounds_ = static_cast<int>(nk) + 6;
   const std::size_t total_words = 4 * (static_cast<std::size_t>(rounds_) + 1);
-  rk_.resize(total_words);
   for (std::size_t i = 0; i < nk; ++i) rk_[i] = load_be32(key.data() + 4 * i);
   std::uint8_t rcon = 1;
   for (std::size_t i = nk; i < total_words; ++i) {
@@ -163,38 +147,106 @@ Aes::Aes(ConstBytes key) {
     }
     rk_[i] = rk_[i - nk] ^ temp;
   }
+
+  // Decryption schedule: encryption keys in reverse round order, inner
+  // rounds passed through InvMixColumns so decryption can use the Td
+  // tables directly.
+  for (int round = 0; round <= rounds_; ++round) {
+    const std::size_t src = 4 * static_cast<std::size_t>(rounds_ - round);
+    const std::size_t dst = 4 * static_cast<std::size_t>(round);
+    for (std::size_t c = 0; c < 4; ++c) {
+      const std::uint32_t w = rk_[src + c];
+      rkd_[dst + c] =
+          (round == 0 || round == rounds_) ? w : inv_mix_word(w);
+    }
+  }
 }
 
 void Aes::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
-  std::uint8_t s[16];
-  std::memcpy(s, in, 16);
-  add_round_key(s, rk_.data());
-  for (int round = 1; round < rounds_; ++round) {
-    sub_bytes(s);
-    shift_rows(s);
-    mix_columns(s);
-    add_round_key(s, rk_.data() + 4 * round);
+  const auto& t = aes_detail::tables();
+  const std::uint32_t* rk = rk_.data();
+
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
+  rk += 4;
+
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    const std::uint32_t u0 = t.te[0][s0 >> 24] ^ t.te[1][(s1 >> 16) & 0xFF] ^
+                             t.te[2][(s2 >> 8) & 0xFF] ^ t.te[3][s3 & 0xFF] ^
+                             rk[0];
+    const std::uint32_t u1 = t.te[0][s1 >> 24] ^ t.te[1][(s2 >> 16) & 0xFF] ^
+                             t.te[2][(s3 >> 8) & 0xFF] ^ t.te[3][s0 & 0xFF] ^
+                             rk[1];
+    const std::uint32_t u2 = t.te[0][s2 >> 24] ^ t.te[1][(s3 >> 16) & 0xFF] ^
+                             t.te[2][(s0 >> 8) & 0xFF] ^ t.te[3][s1 & 0xFF] ^
+                             rk[2];
+    const std::uint32_t u3 = t.te[0][s3 >> 24] ^ t.te[1][(s0 >> 16) & 0xFF] ^
+                             t.te[2][(s1 >> 8) & 0xFF] ^ t.te[3][s2 & 0xFF] ^
+                             rk[3];
+    s0 = u0;
+    s1 = u1;
+    s2 = u2;
+    s3 = u3;
   }
-  sub_bytes(s);
-  shift_rows(s);
-  add_round_key(s, rk_.data() + 4 * rounds_);
-  std::memcpy(out, s, 16);
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const auto last = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                        std::uint32_t d, std::uint32_t k) {
+    return ((std::uint32_t{t.fwd[a >> 24]} << 24) |
+            (std::uint32_t{t.fwd[(b >> 16) & 0xFF]} << 16) |
+            (std::uint32_t{t.fwd[(c >> 8) & 0xFF]} << 8) |
+            std::uint32_t{t.fwd[d & 0xFF]}) ^
+           k;
+  };
+  store_be32(out, last(s0, s1, s2, s3, rk[0]));
+  store_be32(out + 4, last(s1, s2, s3, s0, rk[1]));
+  store_be32(out + 8, last(s2, s3, s0, s1, rk[2]));
+  store_be32(out + 12, last(s3, s0, s1, s2, rk[3]));
 }
 
 void Aes::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
-  std::uint8_t s[16];
-  std::memcpy(s, in, 16);
-  add_round_key(s, rk_.data() + 4 * rounds_);
-  for (int round = rounds_ - 1; round >= 1; --round) {
-    inv_shift_rows(s);
-    inv_sub_bytes(s);
-    add_round_key(s, rk_.data() + 4 * round);
-    inv_mix_columns(s);
+  const auto& t = aes_detail::tables();
+  const std::uint32_t* rk = rkd_.data();
+
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
+  rk += 4;
+
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    const std::uint32_t u0 = t.td[0][s0 >> 24] ^ t.td[1][(s3 >> 16) & 0xFF] ^
+                             t.td[2][(s2 >> 8) & 0xFF] ^ t.td[3][s1 & 0xFF] ^
+                             rk[0];
+    const std::uint32_t u1 = t.td[0][s1 >> 24] ^ t.td[1][(s0 >> 16) & 0xFF] ^
+                             t.td[2][(s3 >> 8) & 0xFF] ^ t.td[3][s2 & 0xFF] ^
+                             rk[1];
+    const std::uint32_t u2 = t.td[0][s2 >> 24] ^ t.td[1][(s1 >> 16) & 0xFF] ^
+                             t.td[2][(s0 >> 8) & 0xFF] ^ t.td[3][s3 & 0xFF] ^
+                             rk[2];
+    const std::uint32_t u3 = t.td[0][s3 >> 24] ^ t.td[1][(s2 >> 16) & 0xFF] ^
+                             t.td[2][(s1 >> 8) & 0xFF] ^ t.td[3][s0 & 0xFF] ^
+                             rk[3];
+    s0 = u0;
+    s1 = u1;
+    s2 = u2;
+    s3 = u3;
   }
-  inv_shift_rows(s);
-  inv_sub_bytes(s);
-  add_round_key(s, rk_.data());
-  std::memcpy(out, s, 16);
+
+  const auto last = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                        std::uint32_t d, std::uint32_t k) {
+    return ((std::uint32_t{t.inv[a >> 24]} << 24) |
+            (std::uint32_t{t.inv[(b >> 16) & 0xFF]} << 16) |
+            (std::uint32_t{t.inv[(c >> 8) & 0xFF]} << 8) |
+            std::uint32_t{t.inv[d & 0xFF]}) ^
+           k;
+  };
+  store_be32(out, last(s0, s3, s2, s1, rk[0]));
+  store_be32(out + 4, last(s1, s0, s3, s2, rk[1]));
+  store_be32(out + 8, last(s2, s1, s0, s3, rk[2]));
+  store_be32(out + 12, last(s3, s2, s1, s0, rk[3]));
 }
 
 }  // namespace mapsec::crypto

@@ -1,50 +1,87 @@
 #include "mapsec/crypto/cipher.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace mapsec::crypto {
 
-Bytes cbc_encrypt(const BlockCipher& cipher, ConstBytes iv,
-                  ConstBytes plaintext) {
+namespace {
+
+// Large enough for every cipher in the library (DES/RC2: 8, AES: 16).
+constexpr std::size_t kMaxBlockSize = 32;
+
+}  // namespace
+
+std::size_t cbc_encrypt_into(const BlockCipher& cipher, ConstBytes iv,
+                             ConstBytes plaintext,
+                             std::span<std::uint8_t> out) {
   const std::size_t bs = cipher.block_size();
   if (iv.size() != bs) throw std::invalid_argument("cbc_encrypt: bad IV size");
+  if (bs > kMaxBlockSize)
+    throw std::invalid_argument("cbc_encrypt: block size too large");
+  const std::size_t total = cbc_padded_len(plaintext.size(), bs);
+  if (out.size() < total)
+    throw std::invalid_argument("cbc_encrypt_into: output buffer too small");
+  const std::uint8_t pad =
+      static_cast<std::uint8_t>(total - plaintext.size());
 
-  const std::size_t pad = bs - (plaintext.size() % bs);
-  Bytes padded(plaintext.begin(), plaintext.end());
-  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
-
-  Bytes out(padded.size());
-  Bytes chain(iv.begin(), iv.end());
-  for (std::size_t off = 0; off < padded.size(); off += bs) {
-    for (std::size_t i = 0; i < bs; ++i) padded[off + i] ^= chain[i];
-    cipher.encrypt_block(padded.data() + off, out.data() + off);
-    chain.assign(out.begin() + static_cast<std::ptrdiff_t>(off),
-                 out.begin() + static_cast<std::ptrdiff_t>(off + bs));
+  const std::uint8_t* chain = iv.data();
+  for (std::size_t off = 0; off < total; off += bs) {
+    // Assemble the padded plaintext block xor chain directly in `out`,
+    // then encrypt it in place (every cipher here reads its input into
+    // locals before writing, so in == out is safe).
+    std::uint8_t* blk = out.data() + off;
+    for (std::size_t i = 0; i < bs; ++i) {
+      const std::size_t pos = off + i;
+      const std::uint8_t p =
+          pos < plaintext.size() ? plaintext[pos] : pad;
+      blk[i] = static_cast<std::uint8_t>(p ^ chain[i]);
+    }
+    cipher.encrypt_block(blk, blk);
+    chain = blk;
   }
+  return total;
+}
+
+Bytes cbc_encrypt(const BlockCipher& cipher, ConstBytes iv,
+                  ConstBytes plaintext) {
+  Bytes out(cbc_padded_len(plaintext.size(), cipher.block_size()));
+  cbc_encrypt_into(cipher, iv, plaintext, out);
   return out;
+}
+
+std::size_t cbc_decrypt_in_place(const BlockCipher& cipher, ConstBytes iv,
+                                 std::span<std::uint8_t> data) {
+  const std::size_t bs = cipher.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cbc_decrypt: bad IV size");
+  if (bs > kMaxBlockSize)
+    throw std::invalid_argument("cbc_decrypt: block size too large");
+  if (data.empty() || data.size() % bs != 0)
+    throw std::runtime_error("cbc_decrypt: ciphertext not a block multiple");
+
+  std::uint8_t chain[kMaxBlockSize];
+  std::uint8_t saved[kMaxBlockSize];
+  std::memcpy(chain, iv.data(), bs);
+  for (std::size_t off = 0; off < data.size(); off += bs) {
+    std::uint8_t* blk = data.data() + off;
+    std::memcpy(saved, blk, bs);  // ciphertext block, needed as next chain
+    cipher.decrypt_block(blk, blk);
+    for (std::size_t i = 0; i < bs; ++i) blk[i] ^= chain[i];
+    std::memcpy(chain, saved, bs);
+  }
+
+  const std::uint8_t pad = data.back();
+  if (pad == 0 || pad > bs) throw std::runtime_error("cbc_decrypt: bad padding");
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i)
+    if (data[i] != pad) throw std::runtime_error("cbc_decrypt: bad padding");
+  return data.size() - pad;
 }
 
 Bytes cbc_decrypt(const BlockCipher& cipher, ConstBytes iv,
                   ConstBytes ciphertext) {
-  const std::size_t bs = cipher.block_size();
-  if (iv.size() != bs) throw std::invalid_argument("cbc_decrypt: bad IV size");
-  if (ciphertext.empty() || ciphertext.size() % bs != 0)
-    throw std::runtime_error("cbc_decrypt: ciphertext not a block multiple");
-
-  Bytes out(ciphertext.size());
-  Bytes chain(iv.begin(), iv.end());
-  for (std::size_t off = 0; off < ciphertext.size(); off += bs) {
-    cipher.decrypt_block(ciphertext.data() + off, out.data() + off);
-    for (std::size_t i = 0; i < bs; ++i) out[off + i] ^= chain[i];
-    chain.assign(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
-                 ciphertext.begin() + static_cast<std::ptrdiff_t>(off + bs));
-  }
-
-  const std::uint8_t pad = out.back();
-  if (pad == 0 || pad > bs) throw std::runtime_error("cbc_decrypt: bad padding");
-  for (std::size_t i = out.size() - pad; i < out.size(); ++i)
-    if (out[i] != pad) throw std::runtime_error("cbc_decrypt: bad padding");
-  out.resize(out.size() - pad);
+  Bytes out(ciphertext.begin(), ciphertext.end());
+  const std::size_t len = cbc_decrypt_in_place(cipher, iv, out);
+  out.resize(len);
   return out;
 }
 

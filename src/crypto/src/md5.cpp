@@ -90,22 +90,25 @@ void Md5::update(ConstBytes data) {
   }
 }
 
-Bytes Md5::finish() {
+void Md5::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(ConstBytes{&pad, 1});
-  static constexpr std::uint8_t kZero[kBlockSize] = {};
-  while (buf_len_ != 56) {
-    const std::size_t gap =
-        buf_len_ < 56 ? 56 - buf_len_ : kBlockSize - buf_len_ + 56;
-    update(ConstBytes{kZero, std::min<std::size_t>(gap, kBlockSize)});
+  buf_[buf_len_++] = 0x80;
+  if (buf_len_ > 56) {
+    std::memset(buf_.data() + buf_len_, 0, kBlockSize - buf_len_);
+    process_block(buf_.data());
+    buf_len_ = 0;
   }
-  std::uint8_t len_bytes[8];
-  store_le64(len_bytes, bit_len);
-  update(ConstBytes{len_bytes, 8});
+  std::memset(buf_.data() + buf_len_, 0, 56 - buf_len_);
+  store_le64(buf_.data() + 56, bit_len);
+  process_block(buf_.data());
+  buf_len_ = 0;
 
+  for (int i = 0; i < 4; ++i) store_le32(out + 4 * i, h_[i]);
+}
+
+Bytes Md5::finish() {
   Bytes digest(kDigestSize);
-  for (int i = 0; i < 4; ++i) store_le32(digest.data() + 4 * i, h_[i]);
+  finish_into(digest.data());
   return digest;
 }
 
@@ -113,6 +116,12 @@ Bytes Md5::hash(ConstBytes data) {
   Md5 h;
   h.update(data);
   return h.finish();
+}
+
+void Md5::hash_into(ConstBytes data, std::uint8_t* out) {
+  Md5 h;
+  h.update(data);
+  h.finish_into(out);
 }
 
 }  // namespace mapsec::crypto

@@ -1,6 +1,7 @@
 #include "mapsec/crypto/pbkdf2.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "mapsec/crypto/hmac.hpp"
@@ -16,23 +17,32 @@ Bytes pbkdf2(ConstBytes password, ConstBytes salt, std::uint32_t iterations,
     throw std::invalid_argument("pbkdf2: iterations must be >= 1");
   Bytes out;
   out.reserve(dk_len + H::kDigestSize);
+  // One keyed context for the whole derivation: each iteration is a
+  // reset() plus one message, never a key re-schedule or an allocation.
+  Hmac<H> prf(password);
+  std::uint8_t u[H::kDigestSize];
+  std::uint8_t t[H::kDigestSize];
   std::uint32_t block_index = 1;
   while (out.size() < dk_len) {
     // U1 = PRF(P, S || INT(i))
-    Hmac<H> prf(password);
+    prf.reset();
     prf.update(salt);
     std::uint8_t idx[4];
     store_be32(idx, block_index);
     prf.update(ConstBytes{idx, 4});
-    Bytes u = prf.finish();
-    Bytes t = u;
+    prf.finish_into(u);
+    std::memcpy(t, u, H::kDigestSize);
     for (std::uint32_t c = 1; c < iterations; ++c) {
-      u = Hmac<H>::mac(password, u);
-      for (std::size_t i = 0; i < t.size(); ++i) t[i] ^= u[i];
+      prf.reset();
+      prf.update(ConstBytes{u, H::kDigestSize});
+      prf.finish_into(u);
+      for (std::size_t i = 0; i < H::kDigestSize; ++i) t[i] ^= u[i];
     }
-    out.insert(out.end(), t.begin(), t.end());
+    out.insert(out.end(), t, t + H::kDigestSize);
     ++block_index;
   }
+  secure_wipe(u, H::kDigestSize);
+  secure_wipe(t, H::kDigestSize);
   out.resize(dk_len);
   return out;
 }

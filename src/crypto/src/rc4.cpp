@@ -25,14 +25,40 @@ std::uint8_t Rc4::next_byte() {
 
 Bytes Rc4::keystream(std::size_t n) {
   Bytes out(n);
-  for (auto& b : out) b = next_byte();
+  keystream_into(out);
   return out;
+}
+
+void Rc4::keystream_into(std::span<std::uint8_t> out) {
+  // Local copies of the PRGA state let the compiler keep i/j in registers
+  // across the loop instead of spilling to the object on every byte.
+  std::uint8_t i = i_, j = j_;
+  for (auto& b : out) {
+    i = static_cast<std::uint8_t>(i + 1);
+    j = static_cast<std::uint8_t>(j + s_[i]);
+    std::swap(s_[i], s_[j]);
+    b = s_[static_cast<std::uint8_t>(s_[i] + s_[j])];
+  }
+  i_ = i;
+  j_ = j;
 }
 
 Bytes Rc4::process(ConstBytes data) {
   Bytes out(data.begin(), data.end());
-  for (auto& b : out) b ^= next_byte();
+  process_inplace(out);
   return out;
+}
+
+void Rc4::process_inplace(std::span<std::uint8_t> data) {
+  std::uint8_t i = i_, j = j_;
+  for (auto& b : data) {
+    i = static_cast<std::uint8_t>(i + 1);
+    j = static_cast<std::uint8_t>(j + s_[i]);
+    std::swap(s_[i], s_[j]);
+    b ^= s_[static_cast<std::uint8_t>(s_[i] + s_[j])];
+  }
+  i_ = i;
+  j_ = j;
 }
 
 void Rc4::skip(std::size_t n) {

@@ -69,21 +69,26 @@ void Sha1::update(ConstBytes data) {
   }
 }
 
-Bytes Sha1::finish() {
+void Sha1::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(ConstBytes{&pad, 1});
-  static constexpr std::uint8_t kZero[kBlockSize] = {};
-  while (buf_len_ != 56) {
-    const std::size_t gap = buf_len_ < 56 ? 56 - buf_len_ : kBlockSize - buf_len_ + 56;
-    update(ConstBytes{kZero, std::min<std::size_t>(gap, kBlockSize)});
+  // Pad directly in the block buffer: 0x80, zeros to byte 56, be64 length.
+  buf_[buf_len_++] = 0x80;
+  if (buf_len_ > 56) {
+    std::memset(buf_.data() + buf_len_, 0, kBlockSize - buf_len_);
+    process_block(buf_.data());
+    buf_len_ = 0;
   }
-  std::uint8_t len_bytes[8];
-  store_be64(len_bytes, bit_len);
-  update(ConstBytes{len_bytes, 8});
+  std::memset(buf_.data() + buf_len_, 0, 56 - buf_len_);
+  store_be64(buf_.data() + 56, bit_len);
+  process_block(buf_.data());
+  buf_len_ = 0;
 
+  for (int i = 0; i < 5; ++i) store_be32(out + 4 * i, h_[i]);
+}
+
+Bytes Sha1::finish() {
   Bytes digest(kDigestSize);
-  for (int i = 0; i < 5; ++i) store_be32(digest.data() + 4 * i, h_[i]);
+  finish_into(digest.data());
   return digest;
 }
 
@@ -91,6 +96,12 @@ Bytes Sha1::hash(ConstBytes data) {
   Sha1 h;
   h.update(data);
   return h.finish();
+}
+
+void Sha1::hash_into(ConstBytes data, std::uint8_t* out) {
+  Sha1 h;
+  h.update(data);
+  h.finish_into(out);
 }
 
 }  // namespace mapsec::crypto

@@ -25,9 +25,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "mapsec/crypto/hmac.hpp"
 #include "mapsec/crypto/rng.hpp"
 #include "mapsec/protocol/suites.hpp"
 
@@ -43,6 +45,10 @@ enum class OpCode : std::uint8_t {
   kComputeMac,      // operand: tag length; appends the tag
   kDecryptCbc,      // payload = IV || ciphertext -> plaintext
   kEncryptCbc,      // payload -> IV || ciphertext (fresh random IV)
+  kSealCcm,         // operand: tag length; payload -> nonce || AES-CCM
+                    // ciphertext+tag, header as AAD (requires kAes128)
+  kOpenCcm,         // operand: tag length; payload = nonce || sealed ->
+                    // plaintext, header as AAD; drop on auth failure
   kAccept,          // terminate: packet accepted
   kDrop,            // terminate: packet dropped
 };
@@ -67,6 +73,19 @@ struct EngineSa {
   // Anti-replay window state (64 entries).
   std::uint32_t highest_seq = 0;
   std::uint64_t window = 0;
+
+  // Cached execution resources, built lazily by the engine on first use.
+  // Key scheduling and HMAC ipad/opad absorption are per-SA work, not
+  // per-packet work; the engine rebuilds these only when the keys change.
+  // Copying an SA shares the (immutable-once-built) cache. Like the
+  // replay window, these make a live SA single-threaded: process all of
+  // one SA's packets on one thread (what PacketPipeline's SA-affine
+  // sharding guarantees).
+  mutable std::shared_ptr<const crypto::BlockCipher> rt_cipher;
+  mutable crypto::Bytes rt_cipher_key;
+  mutable protocol::BulkCipher rt_cipher_kind = protocol::BulkCipher::kDes3;
+  mutable std::shared_ptr<const crypto::HmacSha1> rt_mac;
+  mutable crypto::Bytes rt_mac_key;
 };
 
 /// Cycle cost parameters. Defaults model a MOSES-class engine: cheap
@@ -106,6 +125,13 @@ class ProtocolEngine {
   Result run(const std::string& program_name, EngineSa& sa,
              crypto::ConstBytes packet);
 
+  /// Same, drawing IVs/nonces from `rng` instead of the engine's own
+  /// source. Program lookup is read-only, so concurrent calls are safe as
+  /// long as each SA (and each rng) is confined to one thread — the
+  /// contract PacketPipeline's SA-affine sharding provides.
+  Result run(const std::string& program_name, EngineSa& sa,
+             crypto::ConstBytes packet, crypto::Rng& rng) const;
+
   /// Throughput estimate (Mbps) for a program processing `packet_bytes`
   /// packets back to back, from the cost model.
   double throughput_mbps(const std::string& program_name, EngineSa& sa,
@@ -123,5 +149,12 @@ class ProtocolEngine {
 Program esp_inbound_program();
 Program esp_outbound_program();
 Program wep_inbound_like_program();
+
+/// CCMP-shaped programs (802.11i AES-CCM data path): spi|seq header as
+/// AAD, AES-CCM sealed payload. The SA must use kAes128. Inbound checks
+/// replay only after the tag verifies (forgeries cannot advance the
+/// window).
+Program ccmp_inbound_program();
+Program ccmp_outbound_program();
 
 }  // namespace mapsec::engine

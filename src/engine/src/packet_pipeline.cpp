@@ -1,0 +1,128 @@
+#include "mapsec/engine/packet_pipeline.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace mapsec::engine {
+
+PacketPipeline::PacketPipeline(EngineProfile profile, std::size_t num_workers,
+                               std::uint64_t rng_seed)
+    : engine_(profile, &engine_rng_),
+      engine_rng_(rng_seed),
+      rng_seed_(rng_seed),
+      stats_(num_workers == 0 ? 1 : num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+PacketPipeline::~PacketPipeline() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void PacketPipeline::load_program(const std::string& name, Program program) {
+  engine_.load_program(name, std::move(program));
+}
+
+void PacketPipeline::add_sa(std::uint32_t sa_id, EngineSa sa) {
+  sas_.emplace(sa_id,
+               SaState{std::move(sa), crypto::HmacDrbg(rng_seed_ ^ sa_id)});
+}
+
+const EngineSa& PacketPipeline::sa(std::uint32_t sa_id) const {
+  const auto it = sas_.find(sa_id);
+  if (it == sas_.end())
+    throw std::invalid_argument("PacketPipeline: unknown SA");
+  return it->second.sa;
+}
+
+void PacketPipeline::reset_replay() {
+  for (auto& [id, state] : sas_) {
+    state.sa.highest_seq = 0;
+    state.sa.window = 0;
+  }
+}
+
+std::vector<PipelineResult> PacketPipeline::run_batch(
+    const std::vector<PipelineJob>& jobs) {
+  std::vector<PipelineResult> results(jobs.size());
+  {
+    std::lock_guard lock(mu_);
+    jobs_ = &jobs;
+    results_ = &results;
+    workers_remaining_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
+    jobs_ = nullptr;
+    results_ = nullptr;
+  }
+  return results;
+}
+
+void PacketPipeline::worker_main(std::size_t index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::vector<PipelineJob>* jobs = nullptr;
+    std::vector<PipelineResult>* results = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      jobs = jobs_;
+      results = results_;
+    }
+
+    // Walk the whole batch in order, claiming this worker's SAs. The scan
+    // is what preserves per-SA arrival order; jobs for other workers cost
+    // one modulo each.
+    const auto start = std::chrono::steady_clock::now();
+    WorkerStats& st = stats_[index];
+    for (std::size_t i = 0; i < jobs->size(); ++i) {
+      const PipelineJob& job = (*jobs)[i];
+      if (job.sa_id % workers_.size() != index) continue;
+      PipelineResult& out = (*results)[i];
+      const auto it = sas_.find(job.sa_id);
+      if (it == sas_.end()) {
+        out.drop_reason = "unknown SA";
+        continue;
+      }
+      SaState& state = it->second;
+      try {
+        auto r = engine_.run(job.program, state.sa, job.packet, state.rng);
+        out.accepted = r.accepted;
+        out.header = std::move(r.header);
+        out.payload = std::move(r.payload);
+        out.drop_reason = std::move(r.drop_reason);
+        out.engine_cycles = r.cycles;
+        st.engine_cycles += r.cycles;
+      } catch (const std::exception& e) {
+        out.drop_reason = e.what();
+      }
+      ++st.packets;
+    }
+    ++st.batches;
+    st.busy_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+
+    {
+      std::lock_guard lock(mu_);
+      --workers_remaining_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace mapsec::engine

@@ -1,7 +1,9 @@
 #include "mapsec/engine/protocol_engine.hpp"
 
+#include <array>
 #include <stdexcept>
 
+#include "mapsec/crypto/ccm.hpp"
 #include "mapsec/crypto/hmac.hpp"
 
 namespace mapsec::engine {
@@ -16,6 +18,8 @@ std::string opcode_name(OpCode op) {
     case OpCode::kComputeMac: return "COMPUTE_MAC";
     case OpCode::kDecryptCbc: return "DECRYPT_CBC";
     case OpCode::kEncryptCbc: return "ENCRYPT_CBC";
+    case OpCode::kSealCcm: return "SEAL_CCM";
+    case OpCode::kOpenCcm: return "OPEN_CCM";
     case OpCode::kAccept: return "ACCEPT";
     case OpCode::kDrop: return "DROP";
   }
@@ -56,6 +60,27 @@ std::uint32_t read_be32(const crypto::Bytes& b, std::size_t off) {
          (std::uint32_t{b[off + 2]} << 8) | b[off + 3];
 }
 
+// Per-SA cached cipher/MAC contexts: the key schedule and the HMAC
+// ipad/opad absorption run once per key, not once per packet. The cache
+// keys on the actual key material so rekeying an SA in place works.
+const crypto::BlockCipher& sa_cipher(const EngineSa& sa) {
+  if (!sa.rt_cipher || sa.rt_cipher_kind != sa.cipher ||
+      sa.rt_cipher_key != sa.enc_key) {
+    sa.rt_cipher = protocol::make_suite_cipher(sa.cipher, sa.enc_key);
+    sa.rt_cipher_kind = sa.cipher;
+    sa.rt_cipher_key = sa.enc_key;
+  }
+  return *sa.rt_cipher;
+}
+
+const crypto::HmacSha1& sa_mac(const EngineSa& sa) {
+  if (!sa.rt_mac || sa.rt_mac_key != sa.mac_key) {
+    sa.rt_mac = std::make_shared<const crypto::HmacSha1>(sa.mac_key);
+    sa.rt_mac_key = sa.mac_key;
+  }
+  return *sa.rt_mac;
+}
+
 bool replay_check_and_update(EngineSa& sa, std::uint32_t seq) {
   if (seq == 0) return false;
   if (seq > sa.highest_seq) {
@@ -78,6 +103,13 @@ bool replay_check_and_update(EngineSa& sa, std::uint32_t seq) {
 ProtocolEngine::Result ProtocolEngine::run(const std::string& program_name,
                                            EngineSa& sa,
                                            crypto::ConstBytes packet) {
+  return run(program_name, sa, packet, *rng_);
+}
+
+ProtocolEngine::Result ProtocolEngine::run(const std::string& program_name,
+                                           EngineSa& sa,
+                                           crypto::ConstBytes packet,
+                                           crypto::Rng& rng) const {
   const auto prog = programs_.find(program_name);
   if (prog == programs_.end())
     throw std::invalid_argument("ProtocolEngine: unknown program " +
@@ -129,12 +161,14 @@ ProtocolEngine::Result ProtocolEngine::run(const std::string& program_name,
         const std::size_t body = payload.size() - tag_len;
         r.cycles += profile_.mac_cycles_per_byte *
                     static_cast<double>(header.size() + body);
-        crypto::Bytes tag = crypto::HmacSha1::mac(
-            sa.mac_key,
-            crypto::cat(header, crypto::ConstBytes{payload.data(), body}));
-        tag.resize(tag_len);
+        crypto::HmacSha1 h = sa_mac(sa);  // copy of the keyed state
+        h.update(header);
+        h.update(crypto::ConstBytes{payload.data(), body});
+        std::array<std::uint8_t, crypto::HmacSha1::kDigestSize> tag;
+        h.finish_into(tag.data());
         if (!crypto::ct_equal(
-                tag, crypto::ConstBytes{payload.data() + body, tag_len}))
+                crypto::ConstBytes{tag.data(), tag_len},
+                crypto::ConstBytes{payload.data() + body, tag_len}))
           return drop("MAC failure");
         payload.resize(body);
         break;
@@ -144,38 +178,77 @@ ProtocolEngine::Result ProtocolEngine::run(const std::string& program_name,
         const std::size_t tag_len = ins.operand;
         r.cycles += profile_.mac_cycles_per_byte *
                     static_cast<double>(header.size() + payload.size());
-        crypto::Bytes tag =
-            crypto::HmacSha1::mac(sa.mac_key, crypto::cat(header, payload));
-        tag.resize(tag_len);
-        payload.insert(payload.end(), tag.begin(), tag.end());
+        crypto::HmacSha1 h = sa_mac(sa);
+        h.update(header);
+        h.update(payload);
+        std::array<std::uint8_t, crypto::HmacSha1::kDigestSize> tag;
+        h.finish_into(tag.data());
+        payload.insert(payload.end(), tag.data(), tag.data() + tag_len);
         break;
       }
 
       case OpCode::kDecryptCbc: {
-        const auto cipher =
-            protocol::make_suite_cipher(sa.cipher, sa.enc_key);
-        const std::size_t bs = cipher->block_size();
+        const auto& cipher = sa_cipher(sa);
+        const std::size_t bs = cipher.block_size();
         if (payload.size() < 2 * bs) return drop("short ciphertext");
         r.cycles += profile_.cipher_cycles_per_byte *
                     static_cast<double>(payload.size() - bs);
-        const crypto::ConstBytes view(payload);
+        std::size_t len = 0;
         try {
-          payload = crypto::cbc_decrypt(*cipher, view.subspan(0, bs),
-                                        view.subspan(bs));
+          len = crypto::cbc_decrypt_in_place(
+              cipher, crypto::ConstBytes{payload.data(), bs},
+              std::span{payload.data() + bs, payload.size() - bs});
         } catch (const std::runtime_error&) {
           return drop("bad padding");
         }
+        payload.erase(payload.begin(),
+                      payload.begin() + static_cast<std::ptrdiff_t>(bs));
+        payload.resize(len);
         break;
       }
 
       case OpCode::kEncryptCbc: {
-        const auto cipher =
-            protocol::make_suite_cipher(sa.cipher, sa.enc_key);
-        const std::size_t bs = cipher->block_size();
-        const crypto::Bytes iv = rng_->bytes(bs);
+        const auto& cipher = sa_cipher(sa);
+        const std::size_t bs = cipher.block_size();
         r.cycles += profile_.cipher_cycles_per_byte *
                     static_cast<double>(payload.size() + bs);
-        payload = crypto::cat(iv, crypto::cbc_encrypt(*cipher, iv, payload));
+        crypto::Bytes out(bs + crypto::cbc_padded_len(payload.size(), bs));
+        rng.fill(std::span{out.data(), bs});
+        crypto::cbc_encrypt_into(cipher, crypto::ConstBytes{out.data(), bs},
+                                 payload,
+                                 std::span{out.data() + bs, out.size() - bs});
+        payload = std::move(out);
+        break;
+      }
+
+      case OpCode::kSealCcm: {
+        const auto& cipher = sa_cipher(sa);
+        if (cipher.block_size() != 16) return drop("CCM needs AES");
+        // CTR pass plus CBC-MAC pass, both through the cipher unit.
+        r.cycles += 2 * profile_.cipher_cycles_per_byte *
+                    static_cast<double>(payload.size() + header.size());
+        crypto::Bytes out(crypto::kCcmNonceLen);
+        rng.fill(out);
+        crypto::Bytes sealed = crypto::ccm_seal(
+            cipher, out, header, payload, ins.operand);
+        out.insert(out.end(), sealed.begin(), sealed.end());
+        payload = std::move(out);
+        break;
+      }
+
+      case OpCode::kOpenCcm: {
+        const auto& cipher = sa_cipher(sa);
+        if (cipher.block_size() != 16) return drop("CCM needs AES");
+        if (payload.size() < crypto::kCcmNonceLen + ins.operand)
+          return drop("short for CCM");
+        r.cycles += 2 * profile_.cipher_cycles_per_byte *
+                    static_cast<double>(payload.size() + header.size());
+        const crypto::ConstBytes view(payload);
+        auto opened = crypto::ccm_open(
+            cipher, view.subspan(0, crypto::kCcmNonceLen), header,
+            view.subspan(crypto::kCcmNonceLen), ins.operand);
+        if (!opened) return drop("CCM auth failure");
+        payload = std::move(*opened);
         break;
       }
 
@@ -222,6 +295,27 @@ Program esp_outbound_program() {
       {OpCode::kParseHeader, 8},  // caller pre-builds spi|seq header
       {OpCode::kEncryptCbc, 0},
       {OpCode::kComputeMac, 12},
+      {OpCode::kAccept, 0},
+  };
+}
+
+Program ccmp_inbound_program() {
+  // spi(4) | seq(4) | nonce(13) | ciphertext+tag(8). The header doubles
+  // as the AAD; replay state only advances once the tag has verified.
+  return {
+      {OpCode::kCheckMinLength, 8 + 13 + 8},
+      {OpCode::kParseHeader, 8},
+      {OpCode::kCheckSpi, 0},
+      {OpCode::kOpenCcm, 8},
+      {OpCode::kCheckReplay, 4},
+      {OpCode::kAccept, 0},
+  };
+}
+
+Program ccmp_outbound_program() {
+  return {
+      {OpCode::kParseHeader, 8},  // caller pre-builds spi|seq header
+      {OpCode::kSealCcm, 8},
       {OpCode::kAccept, 0},
   };
 }

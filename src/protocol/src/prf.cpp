@@ -13,14 +13,21 @@ crypto::Bytes p_hash(crypto::ConstBytes secret, crypto::ConstBytes seed,
   out.reserve(out_len + H::kDigestSize);
   // A(0) = seed; A(i) = HMAC(secret, A(i-1));
   // output = HMAC(secret, A(1) || seed) || HMAC(secret, A(2) || seed) ...
-  crypto::Bytes a(seed.begin(), seed.end());
+  // One keyed context serves the whole expansion (reset() between MACs).
+  crypto::Hmac<H> prf(secret);
+  std::uint8_t a[H::kDigestSize];
+  std::uint8_t chunk[H::kDigestSize];
+  prf.update(seed);
+  prf.finish_into(a);  // A(1)
   while (out.size() < out_len) {
-    a = crypto::Hmac<H>::mac(secret, a);
-    crypto::Hmac<H> h(secret);
-    h.update(a);
-    h.update(seed);
-    const crypto::Bytes chunk = h.finish();
-    out.insert(out.end(), chunk.begin(), chunk.end());
+    prf.reset();
+    prf.update(crypto::ConstBytes{a, H::kDigestSize});
+    prf.update(seed);
+    prf.finish_into(chunk);
+    out.insert(out.end(), chunk, chunk + H::kDigestSize);
+    prf.reset();
+    prf.update(crypto::ConstBytes{a, H::kDigestSize});
+    prf.finish_into(a);  // A(i+1)
   }
   out.resize(out_len);
   return out;

@@ -1,0 +1,280 @@
+// Known-answer tests pinning the optimised primitives to their standards:
+// FIPS-197 (AES, including the in-place block path), FIPS-180 / RFC 1321
+// (streaming hash update()/finish_into()), RFC 2202 (HMAC context reuse),
+// plus cross-checks of the zero-allocation cipher APIs and of the three
+// modular-exponentiation strategies against each other.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/cipher.hpp"
+#include "mapsec/crypto/hmac.hpp"
+#include "mapsec/crypto/md5.hpp"
+#include "mapsec/crypto/modexp.hpp"
+#include "mapsec/crypto/rc4.hpp"
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/crypto/sha1.hpp"
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::crypto {
+namespace {
+
+// ---- FIPS-197 appendix C: AES known answers ------------------------------------
+
+const char* const kAesPlain = "00112233445566778899aabbccddeeff";
+
+struct AesKat {
+  const char* key;
+  const char* ct;
+};
+
+const AesKat kAesKats[] = {
+    // C.1 AES-128, C.2 AES-192, C.3 AES-256
+    {"000102030405060708090a0b0c0d0e0f",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"},
+    {"000102030405060708090a0b0c0d0e0f1011121314151617",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"},
+    {"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "8ea2b7ca516745bfeafc49904b496089"},
+};
+
+TEST(AesKatTest, Fips197KnownAnswers) {
+  const Bytes pt = from_hex(kAesPlain);
+  for (const auto& kat : kAesKats) {
+    const Aes aes(from_hex(kat.key));
+    Bytes ct(16), back(16);
+    aes.encrypt_block(pt.data(), ct.data());
+    EXPECT_EQ(to_hex(ct), kat.ct);
+    aes.decrypt_block(ct.data(), back.data());
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(AesKatTest, InPlaceBlockOperationsMatch) {
+  // in == out must be safe for both directions (the CBC in-place paths
+  // depend on it).
+  for (const auto& kat : kAesKats) {
+    const Aes aes(from_hex(kat.key));
+    Bytes buf = from_hex(kAesPlain);
+    aes.encrypt_block(buf.data(), buf.data());
+    EXPECT_EQ(to_hex(buf), kat.ct);
+    aes.decrypt_block(buf.data(), buf.data());
+    EXPECT_EQ(to_hex(buf), kAesPlain);
+  }
+}
+
+// ---- streaming hashes ----------------------------------------------------------
+
+TEST(HashKatTest, Sha1Abc) {
+  EXPECT_EQ(to_hex(Sha1::hash(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  std::array<std::uint8_t, Sha1::kDigestSize> d;
+  Sha1::hash_into(to_bytes("abc"), d.data());
+  EXPECT_EQ(to_hex(Bytes(d.begin(), d.end())),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(HashKatTest, Sha256Abc) {
+  EXPECT_EQ(
+      to_hex(Sha256::hash(to_bytes("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HashKatTest, Md5Abc) {
+  EXPECT_EQ(to_hex(Md5::hash(to_bytes("abc"))),
+            "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(HashKatTest, Sha1MillionA) {
+  // FIPS-180 long-message vector, fed through update() in uneven chunks
+  // to cross block boundaries at every offset.
+  Sha1 h;
+  const Bytes chunk(17, 'a');
+  std::size_t fed = 0;
+  while (fed + chunk.size() <= 1000000) {
+    h.update(chunk);
+    fed += chunk.size();
+  }
+  h.update(Bytes(1000000 - fed, 'a'));
+  std::array<std::uint8_t, Sha1::kDigestSize> d;
+  h.finish_into(d.data());
+  EXPECT_EQ(to_hex(Bytes(d.begin(), d.end())),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+template <typename H>
+void split_update_matches_oneshot() {
+  HmacDrbg rng(0x5411);
+  const Bytes msg = rng.bytes(300);
+  const Bytes ref = H::hash(msg);
+  for (const std::size_t split : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 200u}) {
+    H h;
+    h.update(ConstBytes{msg.data(), split});
+    h.update(ConstBytes{msg.data() + split, msg.size() - split});
+    std::array<std::uint8_t, H::kDigestSize> d;
+    h.finish_into(d.data());
+    EXPECT_EQ(Bytes(d.begin(), d.end()), ref) << "split at " << split;
+  }
+}
+
+TEST(HashKatTest, SplitUpdatesMatchOneShot) {
+  split_update_matches_oneshot<Sha1>();
+  split_update_matches_oneshot<Sha256>();
+  split_update_matches_oneshot<Md5>();
+}
+
+// ---- HMAC context reuse --------------------------------------------------------
+
+TEST(HmacKatTest, Rfc2202Sha1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(HmacSha1::mac(key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacKatTest, ResetReusesKeySchedule) {
+  HmacDrbg rng(0x4A4A);
+  const Bytes key = rng.bytes(20);
+  HmacSha1 h(key);
+  for (int i = 0; i < 4; ++i) {
+    const Bytes msg = rng.bytes(10 + 50 * i);
+    h.reset();
+    h.update(msg);
+    std::array<std::uint8_t, HmacSha1::kDigestSize> tag;
+    h.finish_into(tag.data());
+    EXPECT_EQ(Bytes(tag.begin(), tag.end()), HmacSha1::mac(key, msg));
+  }
+}
+
+TEST(HmacKatTest, LongKeysAreHashedFirst) {
+  const Bytes key(80, 0xaa);  // > block size: RFC 2202 test case 6 key
+  const Bytes msg = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(HmacSha1::mac(key, msg)),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+// ---- zero-allocation cipher APIs -----------------------------------------------
+
+TEST(CipherApiTest, Rc4InPlaceMatchesAllocating) {
+  HmacDrbg rng(0xC4);
+  const Bytes key = rng.bytes(16);
+  const Bytes data = rng.bytes(333);
+
+  Rc4 a(key), b(key);
+  const Bytes ref = a.process(data);
+  Bytes buf = data;
+  b.process_inplace(buf);
+  EXPECT_EQ(buf, ref);
+
+  Rc4 c(key), d(key);
+  const Bytes ks = c.keystream(77);
+  Bytes ks2(77);
+  d.keystream_into(ks2);
+  EXPECT_EQ(ks2, ks);
+}
+
+TEST(CipherApiTest, CbcIntoAndInPlaceMatchAllocating) {
+  HmacDrbg rng(0xCBC);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes iv = rng.bytes(16);
+  for (const std::size_t n : {0u, 1u, 15u, 16u, 17u, 100u}) {
+    const Bytes pt = rng.bytes(n);
+    const Bytes ref = cbc_encrypt(*cipher, iv, pt);
+
+    Bytes out(cbc_padded_len(n, 16));
+    EXPECT_EQ(cbc_encrypt_into(*cipher, iv, pt, out), out.size());
+    EXPECT_EQ(out, ref);
+
+    Bytes buf = ref;
+    const std::size_t len = cbc_decrypt_in_place(*cipher, iv, buf);
+    buf.resize(len);
+    EXPECT_EQ(buf, pt);
+    EXPECT_EQ(cbc_decrypt(*cipher, iv, ref), pt);
+  }
+}
+
+TEST(CipherApiTest, CbcEncryptExactAliasing) {
+  // out may alias the plaintext exactly (same data pointer).
+  HmacDrbg rng(0xA11A5);
+  const auto cipher = make_block_cipher(Aes(rng.bytes(16)));
+  const Bytes iv = rng.bytes(16);
+  const Bytes pt = rng.bytes(48);
+  const Bytes ref = cbc_encrypt(*cipher, iv, pt);
+
+  Bytes buf = pt;
+  buf.resize(cbc_padded_len(pt.size(), 16));
+  cbc_encrypt_into(*cipher, iv, ConstBytes{buf.data(), pt.size()}, buf);
+  EXPECT_EQ(buf, ref);
+}
+
+// ---- modular exponentiation strategies -----------------------------------------
+
+BigInt random_odd(HmacDrbg& rng, std::size_t bytes) {
+  Bytes b = rng.bytes(bytes);
+  b.front() |= 0x80;  // full bit length
+  b.back() |= 0x01;   // odd
+  return BigInt::from_bytes_be(b);
+}
+
+TEST(ModExpKatTest, FixedWindowMatchesSquareAndMultiply) {
+  HmacDrbg rng(0xF1FE);
+  for (const std::size_t bits : {512u, 1024u}) {
+    const BigInt n = random_odd(rng, bits / 8);
+    const Montgomery mont(n);
+    for (int i = 0; i < 3; ++i) {
+      const BigInt base = BigInt::random_below(rng, n);
+      const BigInt e = BigInt::from_bytes_be(rng.bytes(bits / 8));
+      const BigInt ref = mont.exp(base, e);
+      EXPECT_EQ(mont.exp_fixed_window(base, e), ref) << bits << "-bit";
+      EXPECT_EQ(mont.exp_ladder(base, e), ref) << bits << "-bit";
+    }
+  }
+}
+
+TEST(ModExpKatTest, EdgeExponents) {
+  HmacDrbg rng(0xED6E);
+  const BigInt n = random_odd(rng, 64);
+  const Montgomery mont(n);
+  const BigInt base = BigInt::random_below(rng, n);
+  EXPECT_EQ(mont.exp_fixed_window(base, BigInt(0)), BigInt(1));
+  EXPECT_EQ(mont.exp_fixed_window(base, BigInt(1)), base % n);
+  EXPECT_EQ(mont.exp_fixed_window(base, BigInt(2)), (base * base) % n);
+  // Exponent with long zero runs (exercises table[0] multiplies).
+  Bytes sparse(64, 0);
+  sparse.front() = 0x80;
+  sparse.back() = 0x01;
+  const BigInt e = BigInt::from_bytes_be(sparse);
+  EXPECT_EQ(mont.exp_fixed_window(base, e), mont.exp(base, e));
+}
+
+TEST(ModExpKatTest, DispatchersAgree) {
+  HmacDrbg rng(0xD15);
+  const BigInt n = random_odd(rng, 48);
+  const BigInt base = BigInt::random_below(rng, n);
+  const BigInt e = BigInt::from_bytes_be(rng.bytes(48));
+  EXPECT_EQ(mod_exp(base, e, n), mod_exp_ct(base, e, n));
+}
+
+TEST(ModExpKatTest, ExtraReductionCountsStayDataDependent) {
+  // The timing side channel the attack module consumes: different bases
+  // must (overwhelmingly) produce different extra-reduction counts.
+  HmacDrbg rng(0x71D3);
+  const BigInt n = random_odd(rng, 32);
+  const Montgomery mont(n);
+  const BigInt e = BigInt::from_bytes_be(rng.bytes(32));
+  std::uint64_t first = 0;
+  bool varies = false;
+  for (int i = 0; i < 8; ++i) {
+    MontStats stats;
+    mont.exp(BigInt::random_below(rng, n), e, &stats);
+    EXPECT_GT(stats.squares, 0u);
+    if (i == 0)
+      first = stats.extra_reductions;
+    else if (stats.extra_reductions != first)
+      varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+}  // namespace
+}  // namespace mapsec::crypto
