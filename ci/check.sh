@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification sweep: a release tree and an ASan/UBSan tree, with
+# the complete ctest suite run in both. This is the gate a change must
+# pass before it lands.
+#
+# Usage: ci/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== release tree =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== sanitizer tree (MAPSEC_SANITIZE=ON) =="
+cmake -B build-asan -S . -DMAPSEC_SANITIZE=ON
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== OK: both trees green =="

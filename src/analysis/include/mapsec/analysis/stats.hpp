@@ -1,0 +1,29 @@
+// Sample-statistics helpers for the experiment harnesses: percentiles
+// and distribution summaries (handshake-latency histograms, throughput
+// spreads). Shared here so every bench reports the same definitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mapsec::analysis {
+
+/// q-quantile (q in [0, 1]) with linear interpolation between order
+/// statistics. Returns 0 for an empty sample. The input is copied and
+/// sorted internally.
+double percentile(std::vector<double> values, double q);
+
+/// Five-number-ish summary of a sample.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+SampleSummary summarize(const std::vector<double>& values);
+
+}  // namespace mapsec::analysis

@@ -1,0 +1,34 @@
+#include "mapsec/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mapsec::analysis {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[lo + 1] * frac;
+}
+
+SampleSummary summarize(const std::vector<double>& values) {
+  SampleSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.p50 = percentile(values, 0.50);
+  s.p90 = percentile(values, 0.90);
+  s.p99 = percentile(values, 0.99);
+  return s;
+}
+
+}  // namespace mapsec::analysis

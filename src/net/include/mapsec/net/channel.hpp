@@ -1,0 +1,104 @@
+// Lossy in-memory channels — the bearer model under the session server.
+//
+// Section 2 of the paper grounds every protocol decision in the bearers
+// mobile appliances actually get: narrowband, high-latency, lossy links
+// (GSM SMS/CSD, GPRS, 802.11 at range). This models that class of link as
+// a unidirectional frame pipe with seeded, configurable impairments:
+// random loss, duplication, reordering, propagation latency with jitter,
+// and a serialization bandwidth cap. All randomness comes from an
+// injected Rng, and all timing from the shared EventQueue, so a channel's
+// behaviour is a pure function of (config, seed, traffic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/net/sim_clock.hpp"
+
+namespace mapsec::net {
+
+struct ChannelConfig {
+  double loss_rate = 0;     // P(frame silently dropped)
+  double dup_rate = 0;      // P(frame delivered twice)
+  double reorder_rate = 0;  // P(frame held back so later frames overtake it)
+  SimTime latency_us = 1'000;       // propagation delay
+  SimTime jitter_us = 0;            // extra uniform [0, jitter_us)
+  SimTime reorder_extra_us = 5'000;  // hold-back applied to reordered frames
+  double bytes_per_sec = 0;          // serialization rate; 0 = unlimited
+  std::size_t mtu = 1024;            // frames larger than this are dropped
+};
+
+struct ChannelStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_oversize = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// One direction of a link. Frames pushed with send() arrive (or not) at
+/// the receiver callback after the configured impairments. The queue and
+/// rng must outlive the channel, and the channel must outlive any frames
+/// still in flight (in practice: keep channels alive until the event
+/// queue drains).
+class LossyChannel {
+ public:
+  LossyChannel(EventQueue& queue, ChannelConfig config, crypto::Rng& rng)
+      : queue_(queue), config_(config), rng_(rng) {}
+
+  LossyChannel(const LossyChannel&) = delete;
+  LossyChannel& operator=(const LossyChannel&) = delete;
+
+  /// Install the receiver. Replacing it detaches the previous one; frames
+  /// already in flight deliver to whichever receiver is installed when
+  /// they land.
+  void set_receiver(std::function<void(crypto::ConstBytes)> on_frame) {
+    on_frame_ = std::move(on_frame);
+  }
+
+  /// Offer a frame to the channel. Loss/duplication/reordering and delay
+  /// are decided immediately (one rng draw sequence per send), delivery
+  /// happens via the event queue.
+  void send(crypto::ConstBytes frame);
+
+  const ChannelStats& stats() const { return stats_; }
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  bool chance(double p);
+  void schedule_delivery(crypto::Bytes frame, SimTime at);
+
+  EventQueue& queue_;
+  ChannelConfig config_;
+  crypto::Rng& rng_;
+  std::function<void(crypto::ConstBytes)> on_frame_;
+  SimTime link_free_at_ = 0;  // serialization: when the link next idles
+  ChannelStats stats_;
+};
+
+/// A bidirectional link: two independently-impaired directions sharing
+/// one rng (the connection's "weather"), seeded per connection so runs
+/// are reproducible regardless of how connections interleave.
+class DuplexChannel {
+ public:
+  DuplexChannel(EventQueue& queue, const ChannelConfig& a_to_b,
+                const ChannelConfig& b_to_a, std::uint64_t seed)
+      : rng_(seed),
+        a_to_b_(queue, a_to_b, rng_),
+        b_to_a_(queue, b_to_a, rng_) {}
+
+  LossyChannel& a_to_b() { return a_to_b_; }
+  LossyChannel& b_to_a() { return b_to_a_; }
+
+ private:
+  crypto::HmacDrbg rng_;
+  LossyChannel a_to_b_;
+  LossyChannel b_to_a_;
+};
+
+}  // namespace mapsec::net

@@ -1,0 +1,123 @@
+// Reliable, message-oriented ARQ link over a pair of lossy channels.
+//
+// The handshake endpoints in mapsec::protocol are flight-oriented: each
+// process() call consumes one complete flight of records. A bearer that
+// loses, duplicates and reorders frames therefore needs a thin reliability
+// layer underneath — exactly the arrangement the paper's protocol stacks
+// assume (WTLS over WDP gets this from the transport; TLS gets it from
+// TCP). This link provides it: messages are length-prefixed, fragmented
+// into sequenced segments no larger than the channel MTU, delivered
+// in order exactly once, with cumulative acks, per-segment retransmission
+// timers, exponential backoff, and a bounded retry budget. When the
+// budget is exhausted the link declares itself dead and reports the error
+// once — the clean-failure path the session layer's retry logic builds on.
+//
+// Frame formats (big-endian):
+//   DATA: 0x01 | seq(4) | payload
+//   ACK:  0x02 | next_needed(4)      (cumulative)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "mapsec/net/channel.hpp"
+
+namespace mapsec::net {
+
+struct LinkConfig {
+  std::size_t segment_payload = 512;  // max payload bytes per DATA frame
+  std::size_t window = 16;            // max unacked segments in flight
+  SimTime initial_rto_us = 50'000;    // first retransmission timeout
+  SimTime max_rto_us = 800'000;       // backoff ceiling
+  int max_retries = 8;  // retransmissions per segment before giving up
+};
+
+struct LinkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicate_segments = 0;  // received and discarded
+  std::uint64_t acks_sent = 0;
+};
+
+class ReliableLink {
+ public:
+  /// `tx` carries this side's DATA and ACK frames; `rx` delivers the
+  /// peer's. Installs itself as `rx`'s receiver. All referenced objects
+  /// must outlive the link; call shutdown() before destroying a link
+  /// that may still have frames in flight on `rx`.
+  ReliableLink(EventQueue& queue, LossyChannel& tx, LossyChannel& rx,
+               LinkConfig config);
+  ~ReliableLink();
+
+  ReliableLink(const ReliableLink&) = delete;
+  ReliableLink& operator=(const ReliableLink&) = delete;
+
+  /// Complete messages from the peer, in order, exactly once.
+  void set_on_message(std::function<void(crypto::ConstBytes)> fn) {
+    on_message_ = std::move(fn);
+  }
+
+  /// Called once, when the retry budget of any segment is exhausted.
+  void set_on_error(std::function<void(const std::string&)> fn) {
+    on_error_ = std::move(fn);
+  }
+
+  /// Queue a message for reliable delivery. Returns false if the link is
+  /// dead (message discarded).
+  bool send_message(crypto::ConstBytes message);
+
+  /// Nothing queued or in flight on the send side.
+  bool idle() const { return unsent_.empty() && inflight_.empty(); }
+  bool dead() const { return dead_; }
+
+  /// Cancel all timers, drop queued data and detach from the rx channel.
+  /// Does not fire on_error. Safe to call repeatedly.
+  void shutdown();
+
+  const LinkStats& stats() const { return stats_; }
+
+ private:
+  struct Inflight {
+    crypto::Bytes frame;  // complete DATA frame, ready to retransmit
+    int retries = 0;
+    SimTime rto;
+    EventId timer = 0;
+  };
+
+  void on_frame(crypto::ConstBytes frame);
+  void on_data(std::uint32_t seq, crypto::ConstBytes payload);
+  void on_ack(std::uint32_t next_needed);
+  void fill_window();
+  void arm_timer(std::uint32_t seq);
+  void handle_timeout(std::uint32_t seq);
+  void deliver_ready();
+  void fail(const std::string& reason);
+
+  EventQueue& queue_;
+  LossyChannel& tx_;
+  LossyChannel& rx_;
+  LinkConfig config_;
+
+  // Send side.
+  std::deque<crypto::Bytes> unsent_;  // segments not yet transmitted
+  std::map<std::uint32_t, Inflight> inflight_;
+  std::uint32_t send_base_ = 0;  // oldest unacked seq
+  std::uint32_t next_seq_ = 0;   // next seq to assign
+
+  // Receive side.
+  std::uint32_t recv_next_ = 0;  // next in-order seq expected
+  std::map<std::uint32_t, crypto::Bytes> out_of_order_;
+  crypto::Bytes rx_stream_;  // reassembled, not yet parsed into messages
+
+  bool dead_ = false;
+  std::function<void(crypto::ConstBytes)> on_message_;
+  std::function<void(const std::string&)> on_error_;
+  LinkStats stats_;
+};
+
+}  // namespace mapsec::net

@@ -1,0 +1,67 @@
+#include "mapsec/net/channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mapsec::net {
+
+bool LossyChannel::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  // 32-bit draw keeps the rng consumption per decision fixed.
+  return rng_.next_u32() < static_cast<std::uint32_t>(p * 4294967296.0);
+}
+
+void LossyChannel::send(crypto::ConstBytes frame) {
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  if (frame.size() > config_.mtu) {
+    ++stats_.dropped_oversize;
+    return;
+  }
+
+  // Serialization: frames occupy the link back to back at bytes_per_sec.
+  SimTime departure = std::max(queue_.now(), link_free_at_);
+  if (config_.bytes_per_sec > 0) {
+    const SimTime tx_us = static_cast<SimTime>(
+        frame.size() * 1e6 / config_.bytes_per_sec);
+    departure += tx_us;
+    link_free_at_ = departure;
+  }
+
+  // Impairment decisions draw from the rng in a fixed order per frame so
+  // the consumption pattern (and thus every later draw) is reproducible.
+  const bool lost = chance(config_.loss_rate);
+  const bool duplicated = chance(config_.dup_rate);
+  const bool reordered = chance(config_.reorder_rate);
+  const SimTime jitter =
+      config_.jitter_us > 0 ? rng_.below(config_.jitter_us) : 0;
+
+  if (lost) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  SimTime arrival = departure + config_.latency_us + jitter;
+  if (reordered) {
+    ++stats_.reordered;
+    arrival += config_.reorder_extra_us;
+  }
+
+  crypto::Bytes copy(frame.begin(), frame.end());
+  if (duplicated) {
+    ++stats_.duplicated;
+    schedule_delivery(copy, arrival + 1);
+  }
+  schedule_delivery(std::move(copy), arrival);
+}
+
+void LossyChannel::schedule_delivery(crypto::Bytes frame, SimTime at) {
+  queue_.schedule_at(at, [this, frame = std::move(frame)]() {
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += frame.size();
+    if (on_frame_) on_frame_(frame);
+  });
+}
+
+}  // namespace mapsec::net

@@ -1,0 +1,177 @@
+#include "mapsec/net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mapsec::net {
+
+namespace {
+constexpr std::uint8_t kData = 0x01;
+constexpr std::uint8_t kAck = 0x02;
+constexpr std::size_t kDataHeader = 5;  // kind(1) | seq(4)
+}  // namespace
+
+ReliableLink::ReliableLink(EventQueue& queue, LossyChannel& tx,
+                           LossyChannel& rx, LinkConfig config)
+    : queue_(queue), tx_(tx), rx_(rx), config_(config) {
+  rx_.set_receiver([this](crypto::ConstBytes frame) { on_frame(frame); });
+}
+
+ReliableLink::~ReliableLink() { shutdown(); }
+
+void ReliableLink::shutdown() {
+  for (auto& [seq, seg] : inflight_)
+    if (seg.timer) queue_.cancel(seg.timer);
+  inflight_.clear();
+  unsent_.clear();
+  out_of_order_.clear();
+  if (!dead_) rx_.set_receiver(nullptr);
+  dead_ = true;
+}
+
+bool ReliableLink::send_message(crypto::ConstBytes message) {
+  if (dead_) return false;
+  ++stats_.messages_sent;
+  // Length-prefix the message into the segment stream.
+  crypto::Bytes framed(4 + message.size());
+  crypto::store_be32(framed.data(),
+                     static_cast<std::uint32_t>(message.size()));
+  std::copy(message.begin(), message.end(), framed.begin() + 4);
+
+  // Pack into segments, topping up the last pending segment so small
+  // messages (acks of the application protocol, close frames) coalesce.
+  std::size_t offset = 0;
+  if (!unsent_.empty() &&
+      unsent_.back().size() < config_.segment_payload) {
+    const std::size_t room = config_.segment_payload - unsent_.back().size();
+    const std::size_t take = std::min(room, framed.size());
+    unsent_.back().insert(unsent_.back().end(), framed.begin(),
+                          framed.begin() + take);
+    offset = take;
+  }
+  while (offset < framed.size()) {
+    const std::size_t take =
+        std::min(config_.segment_payload, framed.size() - offset);
+    unsent_.emplace_back(framed.begin() + offset,
+                         framed.begin() + offset + take);
+    offset += take;
+  }
+  fill_window();
+  return true;
+}
+
+void ReliableLink::fill_window() {
+  while (!unsent_.empty() && inflight_.size() < config_.window) {
+    const std::uint32_t seq = next_seq_++;
+    crypto::Bytes frame(kDataHeader + unsent_.front().size());
+    frame[0] = kData;
+    crypto::store_be32(frame.data() + 1, seq);
+    std::copy(unsent_.front().begin(), unsent_.front().end(),
+              frame.begin() + kDataHeader);
+    unsent_.pop_front();
+
+    Inflight seg;
+    seg.frame = frame;
+    seg.rto = config_.initial_rto_us;
+    inflight_.emplace(seq, std::move(seg));
+    ++stats_.segments_sent;
+    tx_.send(frame);
+    arm_timer(seq);
+  }
+}
+
+void ReliableLink::arm_timer(std::uint32_t seq) {
+  Inflight& seg = inflight_.at(seq);
+  seg.timer = queue_.schedule_in(seg.rto, [this, seq] {
+    handle_timeout(seq);
+  });
+}
+
+void ReliableLink::handle_timeout(std::uint32_t seq) {
+  const auto it = inflight_.find(seq);
+  if (dead_ || it == inflight_.end()) return;  // acked meanwhile
+  Inflight& seg = it->second;
+  seg.timer = 0;
+  if (++seg.retries > config_.max_retries) {
+    fail("retry budget exhausted (seq " + std::to_string(seq) + ")");
+    return;
+  }
+  ++stats_.retransmits;
+  seg.rto = std::min(seg.rto * 2, config_.max_rto_us);
+  tx_.send(seg.frame);
+  arm_timer(seq);
+}
+
+void ReliableLink::on_frame(crypto::ConstBytes frame) {
+  if (dead_ || frame.empty()) return;
+  switch (frame[0]) {
+    case kData:
+      if (frame.size() >= kDataHeader)
+        on_data(crypto::load_be32(frame.data() + 1),
+                frame.subspan(kDataHeader));
+      break;
+    case kAck:
+      if (frame.size() >= 5) on_ack(crypto::load_be32(frame.data() + 1));
+      break;
+    default:
+      break;  // unknown frame kind: ignore
+  }
+}
+
+void ReliableLink::on_data(std::uint32_t seq, crypto::ConstBytes payload) {
+  if (seq < recv_next_ || out_of_order_.count(seq)) {
+    ++stats_.duplicate_segments;
+  } else if (seq < recv_next_ + 4 * config_.window) {
+    out_of_order_.emplace(seq,
+                          crypto::Bytes(payload.begin(), payload.end()));
+    // Drain whatever is now contiguous into the reassembly stream.
+    auto it = out_of_order_.find(recv_next_);
+    while (it != out_of_order_.end()) {
+      rx_stream_.insert(rx_stream_.end(), it->second.begin(),
+                        it->second.end());
+      out_of_order_.erase(it);
+      it = out_of_order_.find(++recv_next_);
+    }
+  }
+  // Ack everything received so far — including duplicates, since a
+  // duplicate usually means our previous ack was lost.
+  crypto::Bytes ack(5);
+  ack[0] = kAck;
+  crypto::store_be32(ack.data() + 1, recv_next_);
+  ++stats_.acks_sent;
+  tx_.send(ack);
+  deliver_ready();
+}
+
+void ReliableLink::deliver_ready() {
+  while (rx_stream_.size() >= 4) {
+    const std::size_t len = crypto::load_be32(rx_stream_.data());
+    if (rx_stream_.size() < 4 + len) return;
+    crypto::Bytes message(rx_stream_.begin() + 4,
+                          rx_stream_.begin() + 4 + len);
+    rx_stream_.erase(rx_stream_.begin(), rx_stream_.begin() + 4 + len);
+    ++stats_.messages_delivered;
+    if (on_message_) on_message_(message);
+    if (dead_) return;  // handler may have shut us down
+  }
+}
+
+void ReliableLink::on_ack(std::uint32_t next_needed) {
+  if (next_needed <= send_base_) return;  // stale cumulative ack
+  for (std::uint32_t seq = send_base_; seq < next_needed; ++seq) {
+    const auto it = inflight_.find(seq);
+    if (it != inflight_.end()) {
+      if (it->second.timer) queue_.cancel(it->second.timer);
+      inflight_.erase(it);
+    }
+  }
+  send_base_ = next_needed;
+  fill_window();
+}
+
+void ReliableLink::fail(const std::string& reason) {
+  shutdown();
+  if (on_error_) on_error_(reason);
+}
+
+}  // namespace mapsec::net

@@ -65,6 +65,43 @@ class GapAnalysis {
   WorkloadModel model_;
 };
 
+// ---- served-load accounting ----------------------------------------------
+
+/// Observed serving rates from a session-server run (mapsec::server's
+/// LoadGenerator) — the measured counterpart of the Figure 3 axes:
+/// handshakes per second instead of connection latency, protected
+/// megabits per second instead of a nominal data rate.
+struct ServedLoad {
+  double full_handshakes_per_s = 0;
+  double resumed_handshakes_per_s = 0;
+  double bulk_mbps = 0;           // protected record-layer throughput
+  double avg_session_kb = 0;      // protected KB per served session
+  double sessions_per_s = 0;
+};
+
+/// How a processor's MIPS and energy budget fare against a served load.
+struct ServingGapReport {
+  double handshake_mips = 0;  // RSA set-up cost of the handshake rate
+  double bulk_mips = 0;       // bulk protection cost of the data rate
+  double required_mips = 0;
+  double available_mips = 0;
+  double gap_ratio = 0;  // required / available; > 1 means infeasible
+  double session_mj = 0;  // processing energy per average session
+  double sessions_per_charge = 0;
+};
+
+/// Price a served load against `proc`, tying the measured serving rates
+/// back to the Figure 3 gap (MIPS) and the Figure 4 battery argument
+/// (sessions per `battery_kj` charge). Resumed handshakes are priced at
+/// zero public-key cost — that saving is exactly why resumption matters
+/// on an appliance budget.
+ServingGapReport serving_gap(const WorkloadModel& model,
+                             const Processor& proc, const ServedLoad& load,
+                             double battery_kj = 26.0,
+                             Primitive pk = Primitive::kRsa1024Private,
+                             Primitive cipher = Primitive::kDes3,
+                             Primitive mac = Primitive::kSha1);
+
 /// Projection of the gap over time — Section 3.2's closing argument:
 /// "the increase in data rates ... and the use of stronger cryptographic
 /// algorithms ... threaten to further widen the wireless security

@@ -67,6 +67,43 @@ std::vector<GapTrendPoint> project_gap_trend(
   return out;
 }
 
+ServingGapReport serving_gap(const WorkloadModel& model,
+                             const Processor& proc, const ServedLoad& load,
+                             double battery_kj, Primitive pk,
+                             Primitive cipher, Primitive mac) {
+  ServingGapReport report;
+  // Handshake side: each full handshake spends one private-key op;
+  // resumed handshakes skip it (their symmetric cost is folded into the
+  // bulk term, which measures all protected bytes).
+  report.handshake_mips =
+      load.full_handshakes_per_s * model.instr_per_op(pk) / 1e6;
+  report.bulk_mips = load.bulk_mbps > 0
+                         ? model.bulk_mips(cipher, mac, load.bulk_mbps)
+                         : 0.0;
+  report.required_mips = report.handshake_mips + report.bulk_mips;
+  report.available_mips = proc.mips;
+  report.gap_ratio =
+      proc.mips > 0 ? report.required_mips / proc.mips : 0.0;
+
+  // Battery tie-in (Figure 4's arithmetic over the same load): the
+  // processing instructions of one average session, priced through the
+  // processor's energy-per-instruction rating.
+  const double session_share =
+      load.sessions_per_s > 0
+          ? load.full_handshakes_per_s / load.sessions_per_s
+          : 1.0;
+  const double bulk_instr_per_kb =
+      model.instr_per_byte(cipher) * 1024.0 +
+      model.instr_per_byte(mac) * 1024.0;
+  const double session_instr =
+      session_share * model.instr_per_op(pk) +
+      load.avg_session_kb * bulk_instr_per_kb;
+  report.session_mj = proc.millijoules_for(session_instr);
+  report.sessions_per_charge =
+      report.session_mj > 0 ? battery_kj * 1e6 / report.session_mj : 0.0;
+  return report;
+}
+
 double GapAnalysis::max_rate_mbps(const Processor& proc,
                                   double latency_s) const {
   const double handshake =

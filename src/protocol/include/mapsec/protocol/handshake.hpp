@@ -9,9 +9,12 @@
 // (the WTLS-friendly abbreviated handshake) skips the RSA operation —
 // exactly the optimisation a MIPS-starved handset needs.
 //
-// Endpoints are synchronous message processors: feed inbound record bytes
-// to process(), transmit whatever it returns. run_handshake() drives two
-// endpoints to completion in memory.
+// Endpoints are incremental message processors: feed one complete inbound
+// flight to process(), transmit whatever it returns, repeat. Two drivers
+// are provided: step_handshake() advances one endpoint by one flight (the
+// building block for event-driven callers that receive flights from a
+// transport, e.g. mapsec::server), and run_handshake() drives two
+// endpoints to completion in memory for tests and benchmarks.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +40,10 @@ class HandshakeError : public std::runtime_error {
 };
 
 /// Server-side cache of resumable sessions (session id -> master secret +
-/// suite).
+/// suite). The base class is an unbounded map; implementations with an
+/// eviction policy (e.g. mapsec::server::BoundedSessionCache, LRU + TTL)
+/// override the virtuals. `lookup` is non-const because policy caches
+/// update recency/expiry state on the read path.
 class SessionCache {
  public:
   struct Entry {
@@ -45,10 +51,13 @@ class SessionCache {
     CipherSuite suite = CipherSuite::kRsa3DesEdeCbcSha;
   };
 
-  void store(const crypto::Bytes& session_id, Entry entry);
-  const Entry* lookup(const crypto::Bytes& session_id) const;
-  std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  virtual ~SessionCache() = default;
+
+  virtual void store(const crypto::Bytes& session_id, Entry entry);
+  /// nullptr when absent (or expired/evicted, for bounded caches).
+  virtual const Entry* lookup(const crypto::Bytes& session_id);
+  virtual std::size_t size() const { return entries_.size(); }
+  virtual void clear() { entries_.clear(); }
 
  private:
   std::map<crypto::Bytes, Entry> entries_;
@@ -171,6 +180,24 @@ class TlsServer final : public HandshakeEndpoint {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Result of advancing one endpoint by one flight.
+struct HandshakeStep {
+  crypto::Bytes output;  // flight to transmit to the peer (may be empty)
+  bool established = false;
+};
+
+/// Advance `endpoint` by one inbound flight and return what it wants to
+/// transmit. Pass an empty flight to start a client (its ClientHello
+/// needs no input). Once the endpoint is established further calls are
+/// no-ops returning an empty flight — duplicate or late flights from a
+/// transport are absorbed rather than treated as fatal. Throws
+/// HandshakeError on protocol, certificate or MAC failure, exactly as
+/// process() does. This is the single-step primitive the lockstep
+/// run_handshake() helper is built from; event-driven callers
+/// (mapsec::server) use it directly to pump endpoints message by message.
+HandshakeStep step_handshake(HandshakeEndpoint& endpoint,
+                             crypto::ConstBytes inbound);
 
 /// Drive two endpoints to completion in memory. `tap`, when non-null,
 /// receives every flight (direction, bytes) — the eavesdropper's view.

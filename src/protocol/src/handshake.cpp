@@ -317,7 +317,7 @@ void SessionCache::store(const crypto::Bytes& session_id, Entry entry) {
 }
 
 const SessionCache::Entry* SessionCache::lookup(
-    const crypto::Bytes& session_id) const {
+    const crypto::Bytes& session_id) {
   const auto it = entries_.find(session_id);
   return it == entries_.end() ? nullptr : &it->second;
 }
@@ -977,19 +977,27 @@ const crypto::Bytes& TlsServer::master_secret() const {
 
 // ---- driver -------------------------------------------------------------------
 
+HandshakeStep step_handshake(HandshakeEndpoint& endpoint,
+                             crypto::ConstBytes inbound) {
+  HandshakeStep step;
+  if (!endpoint.established()) step.output = endpoint.process(inbound);
+  step.established = endpoint.established();
+  return step;
+}
+
 void run_handshake(HandshakeEndpoint& client, HandshakeEndpoint& server,
                    std::vector<TappedFlight>* tap) {
-  crypto::Bytes to_server = client.process({});
+  crypto::Bytes to_server = step_handshake(client, {}).output;
   int rounds = 0;
   while (!(client.established() && server.established())) {
     if (++rounds > 8) throw HandshakeError("run_handshake: no progress");
     if (tap && !to_server.empty()) tap->push_back({true, to_server});
-    const crypto::Bytes to_client = server.process(to_server);
-    if (to_client.empty() && server.established() && client.established())
+    const HandshakeStep reply = step_handshake(server, to_server);
+    if (reply.output.empty() && reply.established && client.established())
       break;
-    if (tap && !to_client.empty()) tap->push_back({false, to_client});
-    if (client.established() && to_client.empty()) break;
-    to_server = client.process(to_client);
+    if (tap && !reply.output.empty()) tap->push_back({false, reply.output});
+    if (client.established() && reply.output.empty()) break;
+    to_server = step_handshake(client, reply.output).output;
   }
 }
 

@@ -1,0 +1,155 @@
+// Client-side session driver: connect, handshake (with retry/backoff),
+// send application data, verify the echoed bulk records byte-exactly,
+// close gracefully.
+//
+// This is the handset side of the paper's serving story: a client on a
+// lossy bearer that must establish a secure session within a latency
+// budget, resume when it can (the abbreviated handshake that spares the
+// RSA op), and give up cleanly after a bounded number of attempts. Each
+// client is fully deterministic given its seed; a fleet of them is the
+// LoadGenerator's workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapsec/engine/protocol_engine.hpp"
+#include "mapsec/net/link.hpp"
+#include "mapsec/protocol/handshake.hpp"
+#include "mapsec/server/wire.hpp"
+
+namespace mapsec::server {
+
+struct ClientConfig {
+  /// Client credentials/trust anchors. `rng` is ignored — each client
+  /// owns a seeded rng.
+  protocol::HandshakeConfig handshake;
+  net::LinkConfig link;
+
+  net::SimTime handshake_timeout_us = 3'000'000;
+  net::SimTime attempt_timeout_us = 30'000'000;  // whole-session deadline
+  int retry_budget = 3;  // connection attempts per session before giving up
+  net::SimTime retry_backoff_us = 200'000;  // doubles per failed attempt
+
+  std::size_t payload_bytes = 256;
+  int payloads_per_session = 4;
+  net::SimTime think_time_us = 10'000;
+
+  /// Sessions run back to back; the second and later ones request
+  /// resumption with the previous session's ticket.
+  int sessions = 1;
+
+  /// Complete the handshake, then go silent without closing (exercises
+  /// the server's idle timeout).
+  bool linger = false;
+};
+
+/// Outcome of one session (one entry per session attempted).
+struct SessionRecord {
+  bool completed = false;
+  bool failed = false;  // gave up after the retry budget
+  bool resumed = false;
+  bool echo_ok = true;
+  int attempts = 0;
+  net::SimTime handshake_latency_us = 0;
+  std::string fail_reason;
+};
+
+class SessionClient {
+ public:
+  /// Produce a fresh transport for one connection attempt: the
+  /// environment builds a channel, has the server accept its side, and
+  /// returns the client-side link (which the client then owns).
+  using ConnectFn =
+      std::function<std::unique_ptr<net::ReliableLink>(SessionClient&)>;
+
+  /// `engine` opens the server's CCM bulk records (shared, read-only —
+  /// each client keeps its own SA and rng). All references must outlive
+  /// the client.
+  SessionClient(net::EventQueue& queue, ClientConfig config,
+                std::uint32_t id, const engine::ProtocolEngine& engine,
+                std::uint64_t seed);
+
+  SessionClient(const SessionClient&) = delete;
+  SessionClient& operator=(const SessionClient&) = delete;
+
+  void set_connect(ConnectFn fn) { connect_ = std::move(fn); }
+  void set_on_finished(std::function<void(SessionClient&)> fn) {
+    on_finished_ = std::move(fn);
+  }
+
+  /// Begin the first session at the current simulated time.
+  void start();
+
+  std::uint32_t id() const { return id_; }
+  bool finished() const { return finished_; }
+  const std::vector<SessionRecord>& sessions() const { return records_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_echoed() const { return bytes_echoed_; }
+
+  /// Running SHA-256 over every verified echoed payload, in arrival
+  /// order — the soak tests compare this across PacketPipeline worker
+  /// counts.
+  const crypto::Bytes& transcript_digest() const { return digest_; }
+
+ private:
+  void start_session();
+  void begin_attempt();
+  void on_message(crypto::ConstBytes msg);
+  void handle_handshake(crypto::ConstBytes body);
+  void handle_bulk(crypto::ConstBytes body);
+  void on_established();
+  void send_next_payload();
+  void maybe_close();
+  void attempt_failed(const std::string& reason);
+  void session_done();
+  void finish_client();
+  void cancel_timers();
+
+  net::EventQueue& queue_;
+  ClientConfig config_;
+  std::uint32_t id_;
+  const engine::ProtocolEngine& engine_;
+
+  crypto::HmacDrbg rng_;          // handshake endpoint randomness
+  crypto::HmacDrbg payload_rng_;  // application payload contents
+  crypto::HmacDrbg engine_rng_;   // engine run() nonce source (unused by
+                                  // the inbound program, required by API)
+
+  ConnectFn connect_;
+  std::function<void(SessionClient&)> on_finished_;
+
+  // Current-session state.
+  std::unique_ptr<net::ReliableLink> link_;
+  std::unique_ptr<protocol::TlsClient> tls_;
+  std::uint64_t epoch_ = 0;  // invalidates timers of torn-down attempts
+  int session_index_ = 0;
+  net::SimTime attempt_started_at_ = 0;
+  net::EventId handshake_timer_ = 0;
+  net::EventId attempt_timer_ = 0;
+  std::vector<crypto::Bytes> sent_payloads_;
+  int echoes_received_ = 0;
+  bool all_sent_ = false;
+  bool close_sent_ = false;
+  engine::EngineSa bulk_sa_;
+  bool bulk_active_ = false;
+
+  struct Ticket {
+    crypto::Bytes session_id;
+    crypto::Bytes master_secret;
+    protocol::CipherSuite suite;
+  };
+  std::optional<Ticket> ticket_;
+
+  std::vector<SessionRecord> records_;
+  bool finished_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_echoed_ = 0;
+  crypto::Bytes digest_;
+};
+
+}  // namespace mapsec::server

@@ -1,0 +1,91 @@
+// Load-generation harness: seeded client fleets against one server.
+//
+// Spawns N SessionClients with a configurable arrival process (Poisson
+// or uniform) over per-connection lossy channels, drives the whole
+// system on one EventQueue, and aggregates the result: serving rates
+// (full/resumed handshakes per second, protected record throughput),
+// latency percentiles, cache behaviour, clean-failure accounting, and a
+// fleet-wide transcript digest that must be bit-identical for any
+// PacketPipeline worker count. The report is priced against a processor
+// model via platform::serving_gap, closing the loop to Figure 3: how
+// much appliance-class silicon would this measured serving load need?
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mapsec/net/channel.hpp"
+#include "mapsec/platform/gap.hpp"
+#include "mapsec/server/client.hpp"
+#include "mapsec/server/server.hpp"
+#include "mapsec/server/session_cache.hpp"
+
+namespace mapsec::server {
+
+struct LoadConfig {
+  std::size_t num_clients = 100;
+  net::SimTime mean_interarrival_us = 1'000;
+  bool poisson_arrivals = true;
+
+  /// Channel impairments, applied to both directions of every
+  /// connection.
+  net::ChannelConfig channel;
+
+  std::uint64_t seed = 0x10ADCAFE;
+  std::size_t max_events = 100'000'000;  // runaway guard
+
+  /// Appliance-class processor the served load is priced against.
+  platform::Processor appliance;
+  platform::Primitive pk_primitive = platform::Primitive::kRsa1024Private;
+  double battery_kj = 26.0;  // the paper's Figure 4 battery
+};
+
+struct LoadReport {
+  ServerStats server;
+  BoundedSessionCache::Stats cache;
+  double cache_hit_rate = 0;
+
+  std::size_t sessions_attempted = 0;
+  std::size_t sessions_completed = 0;
+  std::size_t sessions_failed = 0;  // gave up after the retry budget
+  std::size_t echo_mismatches = 0;  // session records with a bad echo
+  std::size_t connection_attempts = 0;
+
+  double sim_duration_s = 0;
+  double full_handshakes_per_s = 0;
+  double resumed_handshakes_per_s = 0;
+  double sessions_per_s = 0;
+  double record_mbps = 0;  // protected application bits per sim second
+  double handshake_p50_ms = 0;
+  double handshake_p99_ms = 0;
+
+  /// SHA-256 over every client's transcript digest in client order —
+  /// the determinism witness compared across worker counts.
+  crypto::Bytes fleet_digest;
+
+  platform::ServingGapReport gap;
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(LoadConfig load, ServerConfig server,
+                ClientConfig client_template,
+                BoundedSessionCache::Config cache)
+      : load_(std::move(load)),
+        server_(std::move(server)),
+        client_(std::move(client_template)),
+        cache_(cache) {}
+
+  /// Build the world, run it to quiescence, aggregate. Each call is an
+  /// independent, fully-seeded run.
+  LoadReport run();
+
+ private:
+  LoadConfig load_;
+  ServerConfig server_;
+  ClientConfig client_;
+  BoundedSessionCache::Config cache_;
+};
+
+}  // namespace mapsec::server

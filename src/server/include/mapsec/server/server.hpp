@@ -1,0 +1,153 @@
+// Event-driven secure-session server.
+//
+// This is the serving layer the ROADMAP's north star asks for, sized
+// against the paper's Figure 3 claim: secure-session *rates* — RSA
+// handshakes per second and protected bulk throughput — are what a
+// mobile appliance's MIPS budget cannot sustain. The server runs the
+// full TlsServer handshake and record layer per connection over
+// mapsec::net's lossy transport, with:
+//
+//   * session resumption through any protocol::SessionCache (use
+//     BoundedSessionCache for LRU+TTL bounds),
+//   * per-connection handshake and idle timeouts,
+//   * backpressure: a bounded per-connection echo queue; application
+//     data beyond it is deferred, never dropped,
+//   * a bulk echo path through the PacketPipeline — record protection
+//     (AES-CCM via the ccmp programs) shards across workers by
+//     connection, bit-identical for any worker count,
+//   * graceful close, and per-server counters plus a simulated-time
+//     handshake-latency histogram.
+//
+// Single-threaded by design: every callback runs on the EventQueue, and
+// the only parallelism is inside PacketPipeline::run_batch — which is
+// deterministic — so a whole serving run is a pure function of its seeds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapsec/engine/packet_pipeline.hpp"
+#include "mapsec/net/link.hpp"
+#include "mapsec/protocol/handshake.hpp"
+#include "mapsec/server/wire.hpp"
+
+namespace mapsec::server {
+
+struct ServerConfig {
+  /// Server credentials (cert_chain, private_key, rng, ...); copied per
+  /// connection.
+  protocol::HandshakeConfig handshake;
+
+  net::SimTime handshake_timeout_us = 5'000'000;
+  net::SimTime idle_timeout_us = 30'000'000;
+
+  /// Backpressure: per-connection cap on queued-but-unsealed echo bytes.
+  std::size_t max_pending_echo_bytes = 64 * 1024;
+
+  /// Bulk jobs accumulate across connections and flush through the
+  /// pipeline this long after the first pending job.
+  net::SimTime pipeline_flush_interval_us = 500;
+
+  std::size_t pipeline_workers = 1;
+  std::uint64_t pipeline_seed = 0xC0FFEE;
+  engine::EngineProfile engine_profile;
+
+  net::LinkConfig link;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t handshakes_started = 0;
+  std::uint64_t handshakes_completed = 0;
+  std::uint64_t handshakes_failed = 0;
+  std::uint64_t full_handshakes = 0;
+  std::uint64_t resumed_handshakes = 0;
+  std::uint64_t app_messages = 0;
+  std::uint64_t bulk_messages = 0;
+  std::uint64_t bytes_opened = 0;  // application plaintext received
+  std::uint64_t bytes_sealed = 0;  // application plaintext protected
+  std::uint64_t backpressure_deferrals = 0;
+  std::uint64_t idle_closes = 0;
+  std::uint64_t graceful_closes = 0;
+  std::uint64_t link_failures = 0;
+  double engine_cycles = 0;  // simulated pipeline cost of the bulk path
+
+  /// Completed-handshake latencies in simulated microseconds, in
+  /// completion order (run through analysis::percentile for p50/p99).
+  std::vector<double> handshake_latencies_us;
+
+  double resumption_rate() const {
+    return handshakes_completed == 0
+               ? 0.0
+               : static_cast<double>(resumed_handshakes) /
+                     static_cast<double>(handshakes_completed);
+  }
+};
+
+class SecureSessionServer {
+ public:
+  /// `cache` (optional, not owned) enables resumption. The queue, cache
+  /// and channels must outlive the server; the server must outlive the
+  /// queue's remaining events (keep it alive until the run drains).
+  SecureSessionServer(net::EventQueue& queue, ServerConfig config,
+                      protocol::SessionCache* cache);
+
+  SecureSessionServer(const SecureSessionServer&) = delete;
+  SecureSessionServer& operator=(const SecureSessionServer&) = delete;
+
+  /// Take the server side of a duplex link: `tx` carries frames to the
+  /// client, `rx` delivers the client's. Returns the connection id.
+  std::uint32_t accept(net::LossyChannel& tx, net::LossyChannel& rx);
+
+  const ServerStats& stats() const { return stats_; }
+  const engine::PacketPipeline& pipeline() const { return pipeline_; }
+  std::size_t open_connections() const;
+
+ private:
+  enum class ConnState {
+    kHandshake,
+    kEstablished,
+    kClosed,
+    kFailed,
+  };
+
+  struct Connection {
+    std::uint32_t id = 0;
+    ConnState state = ConnState::kHandshake;
+    std::unique_ptr<net::ReliableLink> link;
+    std::unique_ptr<protocol::TlsServer> endpoint;
+    net::SimTime accepted_at = 0;
+    net::SimTime last_activity = 0;
+    net::EventId handshake_timer = 0;
+    net::EventId idle_timer = 0;
+    std::uint32_t bulk_seq = 1;
+    std::deque<crypto::Bytes> pending_echo;  // plaintext awaiting the pipeline
+    std::size_t pending_echo_bytes = 0;
+    std::deque<crypto::Bytes> deferred_appdata;  // backpressured inbound
+  };
+
+  void on_message(std::uint32_t id, crypto::ConstBytes msg);
+  void on_link_error(std::uint32_t id, const std::string& reason);
+  void handle_handshake(Connection& conn, crypto::ConstBytes body);
+  void handle_appdata(Connection& conn, crypto::ConstBytes body);
+  void process_appdata(Connection& conn, crypto::ConstBytes records);
+  void complete_handshake(Connection& conn);
+  void fail_connection(Connection& conn, const std::string& reason);
+  void close_connection(Connection& conn, std::uint64_t ServerStats::*counter);
+  void arm_idle_timer(Connection& conn);
+  void schedule_flush();
+  void flush_pipeline();
+
+  net::EventQueue& queue_;
+  ServerConfig config_;
+  protocol::SessionCache* cache_;
+  engine::PacketPipeline pipeline_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // index == id
+  bool flush_scheduled_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace mapsec::server

@@ -1,0 +1,76 @@
+// Bounded session-resumption cache: LRU capacity + TTL expiry.
+//
+// Resumption is the paper's own remedy for the handshake half of the
+// Figure 3 gap — an abbreviated handshake skips the RSA operation a
+// MIPS-starved appliance cannot afford per connection. But a server
+// "serving heavy traffic from millions of users" cannot keep every
+// session forever: the cache must bound memory (LRU eviction) and bound
+// the lifetime of resumable master secrets (TTL — a stolen device, the
+// paper's Section 2 threat, should not be able to resume a week-old
+// session). This cache plugs into TlsServer through the virtual
+// protocol::SessionCache interface.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "mapsec/net/sim_clock.hpp"
+#include "mapsec/protocol/handshake.hpp"
+
+namespace mapsec::server {
+
+class BoundedSessionCache final : public protocol::SessionCache {
+ public:
+  struct Config {
+    std::size_t capacity = 1024;  // max live entries; 0 disables storage
+    net::SimTime ttl_us = 0;      // entry lifetime; 0 = no expiry
+  };
+
+  struct Stats {
+    std::uint64_t insertions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t lru_evictions = 0;
+    std::uint64_t ttl_evictions = 0;
+  };
+
+  /// `clock` provides the TTL time base (not owned, must outlive the
+  /// cache).
+  BoundedSessionCache(const net::EventQueue& clock, Config config)
+      : clock_(clock), config_(config) {}
+
+  void store(const crypto::Bytes& session_id, Entry entry) override;
+
+  /// TTL-expired entries are evicted on the read path; a hit refreshes
+  /// recency but not the TTL deadline (absolute lifetime, so a secret
+  /// cannot be kept resumable indefinitely by steady traffic).
+  const Entry* lookup(const crypto::Bytes& session_id) override;
+
+  std::size_t size() const override { return entries_.size(); }
+  void clear() override;
+
+  const Stats& stats() const { return stats_; }
+  double hit_rate() const {
+    const auto total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats_.hits) / total;
+  }
+
+ private:
+  struct Node {
+    Entry entry;
+    net::SimTime stored_at = 0;
+    std::list<crypto::Bytes>::iterator lru_pos;  // into lru_, MRU at front
+  };
+
+  bool expired(const Node& node) const;
+  void evict_lru();
+
+  const net::EventQueue& clock_;
+  Config config_;
+  std::map<crypto::Bytes, Node> entries_;
+  std::list<crypto::Bytes> lru_;  // most recently used first
+  Stats stats_;
+};
+
+}  // namespace mapsec::server

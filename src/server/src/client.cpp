@@ -1,0 +1,236 @@
+#include "mapsec/server/client.hpp"
+
+#include <utility>
+
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::server {
+
+SessionClient::SessionClient(net::EventQueue& queue, ClientConfig config,
+                             std::uint32_t id,
+                             const engine::ProtocolEngine& engine,
+                             std::uint64_t seed)
+    : queue_(queue),
+      config_(std::move(config)),
+      id_(id),
+      engine_(engine),
+      rng_(seed),
+      payload_rng_(seed ^ 0x9E3779B97F4A7C15ull),
+      engine_rng_(seed ^ 0xC6A4A7935BD1E995ull),
+      digest_(crypto::Sha256::kDigestSize, 0) {}
+
+void SessionClient::start() { start_session(); }
+
+void SessionClient::start_session() {
+  records_.emplace_back();
+  begin_attempt();
+}
+
+void SessionClient::begin_attempt() {
+  ++epoch_;
+  ++records_.back().attempts;
+  attempt_started_at_ = queue_.now();
+  echoes_received_ = 0;
+  all_sent_ = false;
+  close_sent_ = false;
+  bulk_active_ = false;
+  sent_payloads_.clear();
+
+  if (link_) link_->shutdown();
+  link_ = connect_(*this);
+  link_->set_on_message([this](crypto::ConstBytes msg) { on_message(msg); });
+  link_->set_on_error([this](const std::string& reason) {
+    attempt_failed("link: " + reason);
+  });
+
+  protocol::HandshakeConfig cfg = config_.handshake;
+  cfg.rng = &rng_;
+  tls_ = std::make_unique<protocol::TlsClient>(cfg);
+  if (ticket_)
+    tls_->set_resume_session(ticket_->session_id, ticket_->master_secret,
+                             ticket_->suite);
+
+  const std::uint64_t epoch = epoch_;
+  handshake_timer_ =
+      queue_.schedule_in(config_.handshake_timeout_us, [this, epoch] {
+        if (epoch != epoch_ || finished_) return;
+        handshake_timer_ = 0;
+        attempt_failed("handshake timeout");
+      });
+  attempt_timer_ =
+      queue_.schedule_in(config_.attempt_timeout_us, [this, epoch] {
+        if (epoch != epoch_ || finished_) return;
+        attempt_timer_ = 0;
+        attempt_failed("session timeout");
+      });
+
+  // ClientHello needs no input.
+  const protocol::HandshakeStep step = protocol::step_handshake(*tls_, {});
+  link_->send_message(make_msg(MsgKind::kHandshake, step.output));
+}
+
+void SessionClient::on_message(crypto::ConstBytes msg) {
+  if (finished_ || msg.empty()) return;
+  const auto kind = static_cast<MsgKind>(msg[0]);
+  const crypto::ConstBytes body = msg.subspan(1);
+  switch (kind) {
+    case MsgKind::kHandshake:
+      handle_handshake(body);
+      break;
+    case MsgKind::kBulk:
+      handle_bulk(body);
+      break;
+    case MsgKind::kCloseAck:
+      if (close_sent_) session_done();
+      break;
+    default:
+      break;  // kAppData/kClose are client->server only: ignore
+  }
+}
+
+void SessionClient::handle_handshake(crypto::ConstBytes body) {
+  if (tls_->established()) return;  // late flight
+  try {
+    const protocol::HandshakeStep step =
+        protocol::step_handshake(*tls_, body);
+    if (!step.output.empty())
+      link_->send_message(make_msg(MsgKind::kHandshake, step.output));
+    if (step.established) on_established();
+  } catch (const protocol::HandshakeError& e) {
+    attempt_failed(e.what());
+  }
+}
+
+void SessionClient::on_established() {
+  if (handshake_timer_) {
+    queue_.cancel(handshake_timer_);
+    handshake_timer_ = 0;
+  }
+  SessionRecord& record = records_.back();
+  record.resumed = tls_->summary().resumed;
+  record.handshake_latency_us = queue_.now() - attempt_started_at_;
+  ticket_ = Ticket{tls_->summary().session_id, tls_->master_secret(),
+                   tls_->summary().suite};
+
+  if (config_.linger) {
+    // Handshake done, then silence: the server's idle timeout owns the
+    // cleanup. The session counts as completed (nothing else was asked).
+    record.completed = true;
+    cancel_timers();
+    finish_client();
+    return;
+  }
+  if (config_.payloads_per_session == 0) {
+    all_sent_ = true;
+    maybe_close();
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  queue_.schedule_in(config_.think_time_us, [this, epoch] {
+    if (epoch == epoch_ && !finished_) send_next_payload();
+  });
+}
+
+void SessionClient::send_next_payload() {
+  crypto::Bytes payload = payload_rng_.bytes(config_.payload_bytes);
+  const crypto::Bytes wire = tls_->send_data(payload);
+  bytes_sent_ += payload.size();
+  sent_payloads_.push_back(std::move(payload));
+  link_->send_message(make_msg(MsgKind::kAppData, wire));
+
+  if (static_cast<int>(sent_payloads_.size()) >=
+      config_.payloads_per_session) {
+    all_sent_ = true;
+    maybe_close();
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  queue_.schedule_in(config_.think_time_us, [this, epoch] {
+    if (epoch == epoch_ && !finished_) send_next_payload();
+  });
+}
+
+void SessionClient::handle_bulk(crypto::ConstBytes body) {
+  if (!tls_->established() || body.size() < 8) return;
+  if (!bulk_active_) {
+    const BulkKeys keys = derive_bulk_keys(tls_->master_secret(),
+                                           tls_->summary().session_id);
+    bulk_sa_ = make_bulk_sa(crypto::load_be32(body.data()), keys);
+    bulk_active_ = true;
+  }
+  const engine::ProtocolEngine::Result result =
+      engine_.run("ccmp-in", bulk_sa_, body, engine_rng_);
+  SessionRecord& record = records_.back();
+  if (!result.accepted) {
+    record.echo_ok = false;
+    return;
+  }
+  const int index = echoes_received_++;
+  if (index >= static_cast<int>(sent_payloads_.size()) ||
+      result.payload != sent_payloads_[index]) {
+    record.echo_ok = false;
+  } else {
+    bytes_echoed_ += result.payload.size();
+    digest_ = crypto::Sha256::hash(crypto::cat(digest_, result.payload));
+  }
+  maybe_close();
+}
+
+void SessionClient::maybe_close() {
+  if (close_sent_ || !all_sent_) return;
+  if (echoes_received_ < config_.payloads_per_session) return;
+  close_sent_ = true;
+  link_->send_message(make_msg(MsgKind::kClose, {}));
+}
+
+void SessionClient::attempt_failed(const std::string& reason) {
+  if (finished_) return;
+  cancel_timers();
+  ++epoch_;
+  link_->shutdown();
+  SessionRecord& record = records_.back();
+  if (record.attempts >= config_.retry_budget) {
+    record.failed = true;
+    record.fail_reason = reason;
+    finish_client();  // a given-up session ends the client cleanly
+    return;
+  }
+  // Exponential backoff: budget exhaustion must be a deliberate, paced
+  // decision, not a hammering loop against a congested bearer.
+  const net::SimTime backoff = config_.retry_backoff_us
+                               << (record.attempts - 1);
+  const std::uint64_t epoch = epoch_;
+  queue_.schedule_in(backoff, [this, epoch] {
+    if (epoch == epoch_ && !finished_) begin_attempt();
+  });
+}
+
+void SessionClient::session_done() {
+  cancel_timers();
+  ++epoch_;
+  records_.back().completed = true;
+  ++session_index_;
+  if (session_index_ < config_.sessions) {
+    const std::uint64_t epoch = epoch_;
+    queue_.schedule_in(config_.think_time_us, [this, epoch] {
+      if (epoch == epoch_ && !finished_) start_session();
+    });
+    return;
+  }
+  finish_client();
+}
+
+void SessionClient::finish_client() {
+  finished_ = true;
+  // The link stays alive (still acking the peer's retransmissions) until
+  // the client is destroyed at end of run.
+  if (on_finished_) on_finished_(*this);
+}
+
+void SessionClient::cancel_timers() {
+  if (handshake_timer_) queue_.cancel(handshake_timer_);
+  if (attempt_timer_) queue_.cancel(attempt_timer_);
+  handshake_timer_ = attempt_timer_ = 0;
+}
+
+}  // namespace mapsec::server

@@ -1,0 +1,143 @@
+#include "mapsec/server/load_gen.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "mapsec/analysis/stats.hpp"
+#include "mapsec/crypto/sha256.hpp"
+#include "mapsec/net/sim_clock.hpp"
+
+namespace mapsec::server {
+
+namespace {
+
+/// Exponential inter-arrival draw (Poisson process) from a uniform
+/// 32-bit sample; +1 keeps ln() off zero.
+net::SimTime exponential_us(crypto::Rng& rng, double mean_us) {
+  const double u =
+      (static_cast<double>(rng.next_u32()) + 1.0) / 4294967297.0;
+  return static_cast<net::SimTime>(-mean_us * std::log(u));
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t n) {
+  return seed ^ (n * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+}
+
+}  // namespace
+
+LoadReport LoadGenerator::run() {
+  // Declaration order doubles as lifetime order: channels must outlive
+  // the server and the clients (their links detach from channels on
+  // destruction), and everything outlives the queue's drained events.
+  net::EventQueue queue;
+  BoundedSessionCache cache(queue, cache_);
+  std::vector<std::unique_ptr<net::DuplexChannel>> channels;
+
+  // Each run() seeds its own server rng so repeated runs (and runs that
+  // differ only in worker count) are bit-identical.
+  crypto::HmacDrbg server_rng(mix(load_.seed, 0x5E4));
+  ServerConfig server_config = server_;
+  server_config.handshake.rng = &server_rng;
+  SecureSessionServer server(queue, server_config, &cache);
+
+  // Client-side engine for opening the server's CCM bulk records.
+  crypto::HmacDrbg client_engine_rng(mix(load_.seed, 0xE17));
+  engine::ProtocolEngine client_engine(server_.engine_profile,
+                                       &client_engine_rng);
+  client_engine.load_program("ccmp-in", engine::ccmp_inbound_program());
+
+  std::vector<std::unique_ptr<SessionClient>> clients;
+  clients.reserve(load_.num_clients);
+  std::uint64_t connect_counter = 0;
+
+  crypto::HmacDrbg arrival_rng(mix(load_.seed, 0xA881));
+  net::SimTime arrival = 0;
+  for (std::size_t i = 0; i < load_.num_clients; ++i) {
+    auto client = std::make_unique<SessionClient>(
+        queue, client_, static_cast<std::uint32_t>(i), client_engine,
+        mix(load_.seed, 0xC11E57 + i));
+    client->set_connect([this, &queue, &channels, &server,
+                         &connect_counter](SessionClient&) {
+      // Fresh channel per attempt: stale frames of an abandoned attempt
+      // can never reach the new connection's link.
+      auto channel = std::make_unique<net::DuplexChannel>(
+          queue, load_.channel, load_.channel,
+          mix(load_.seed, 0xC4A17 + connect_counter));
+      ++connect_counter;
+      // Client is the "a" side.
+      server.accept(channel->b_to_a(), channel->a_to_b());
+      auto link = std::make_unique<net::ReliableLink>(
+          queue, channel->a_to_b(), channel->b_to_a(), client_.link);
+      channels.push_back(std::move(channel));
+      return link;
+    });
+    queue.schedule_at(arrival,
+                      [c = client.get()] { c->start(); });
+    arrival += load_.poisson_arrivals
+                   ? exponential_us(
+                         arrival_rng,
+                         static_cast<double>(load_.mean_interarrival_us))
+                   : load_.mean_interarrival_us;
+    clients.push_back(std::move(client));
+  }
+
+  queue.run_all(load_.max_events);
+
+  // ---- aggregate -----------------------------------------------------
+  LoadReport report;
+  report.server = server.stats();
+  report.cache = cache.stats();
+  report.cache_hit_rate = cache.hit_rate();
+
+  crypto::Bytes digest_stream;
+  for (const auto& client : clients) {
+    for (const SessionRecord& record : client->sessions()) {
+      ++report.sessions_attempted;
+      report.connection_attempts += static_cast<std::size_t>(record.attempts);
+      if (record.completed) ++report.sessions_completed;
+      if (record.failed) ++report.sessions_failed;
+      if (!record.echo_ok) ++report.echo_mismatches;
+    }
+    digest_stream.insert(digest_stream.end(),
+                         client->transcript_digest().begin(),
+                         client->transcript_digest().end());
+  }
+  report.fleet_digest = crypto::Sha256::hash(digest_stream);
+
+  report.sim_duration_s = static_cast<double>(queue.now()) / 1e6;
+  const double dur = report.sim_duration_s > 0 ? report.sim_duration_s : 1;
+  report.full_handshakes_per_s =
+      static_cast<double>(report.server.full_handshakes) / dur;
+  report.resumed_handshakes_per_s =
+      static_cast<double>(report.server.resumed_handshakes) / dur;
+  report.sessions_per_s =
+      static_cast<double>(report.sessions_completed) / dur;
+  const double protected_bytes =
+      static_cast<double>(report.server.bytes_opened +
+                          report.server.bytes_sealed);
+  report.record_mbps = protected_bytes * 8 / 1e6 / dur;
+  report.handshake_p50_ms =
+      analysis::percentile(report.server.handshake_latencies_us, 0.50) /
+      1e3;
+  report.handshake_p99_ms =
+      analysis::percentile(report.server.handshake_latencies_us, 0.99) /
+      1e3;
+
+  platform::ServedLoad served;
+  served.full_handshakes_per_s = report.full_handshakes_per_s;
+  served.resumed_handshakes_per_s = report.resumed_handshakes_per_s;
+  served.bulk_mbps = report.record_mbps;
+  served.sessions_per_s = report.sessions_per_s;
+  served.avg_session_kb =
+      report.sessions_completed > 0
+          ? protected_bytes / 1024.0 /
+                static_cast<double>(report.sessions_completed)
+          : 0;
+  report.gap =
+      platform::serving_gap(platform::WorkloadModel::paper_calibrated(),
+                            load_.appliance, served, load_.battery_kj,
+                            load_.pk_primitive);
+  return report;
+}
+
+}  // namespace mapsec::server

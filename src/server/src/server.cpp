@@ -1,0 +1,257 @@
+#include "mapsec/server/server.hpp"
+
+#include <utility>
+
+namespace mapsec::server {
+
+SecureSessionServer::SecureSessionServer(net::EventQueue& queue,
+                                         ServerConfig config,
+                                         protocol::SessionCache* cache)
+    : queue_(queue),
+      config_(std::move(config)),
+      cache_(cache),
+      pipeline_(config_.engine_profile, config_.pipeline_workers,
+                config_.pipeline_seed) {
+  pipeline_.load_program("ccmp-out", engine::ccmp_outbound_program());
+  pipeline_.load_program("ccmp-in", engine::ccmp_inbound_program());
+}
+
+std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
+                                          net::LossyChannel& rx) {
+  const std::uint32_t id =
+      static_cast<std::uint32_t>(connections_.size());
+  auto conn = std::make_unique<Connection>();
+  conn->id = id;
+  conn->accepted_at = queue_.now();
+  conn->last_activity = queue_.now();
+  conn->endpoint =
+      std::make_unique<protocol::TlsServer>(config_.handshake, cache_);
+  conn->link = std::make_unique<net::ReliableLink>(queue_, tx, rx,
+                                                   config_.link);
+  conn->link->set_on_message([this, id](crypto::ConstBytes msg) {
+    on_message(id, msg);
+  });
+  conn->link->set_on_error([this, id](const std::string& reason) {
+    on_link_error(id, reason);
+  });
+  conn->handshake_timer =
+      queue_.schedule_in(config_.handshake_timeout_us, [this, id] {
+        Connection& c = *connections_[id];
+        c.handshake_timer = 0;
+        if (c.state == ConnState::kHandshake)
+          fail_connection(c, "handshake timeout");
+      });
+  connections_.push_back(std::move(conn));
+  ++stats_.connections_accepted;
+  ++stats_.handshakes_started;
+  return id;
+}
+
+std::size_t SecureSessionServer::open_connections() const {
+  std::size_t open = 0;
+  for (const auto& conn : connections_)
+    if (conn->state == ConnState::kHandshake ||
+        conn->state == ConnState::kEstablished)
+      ++open;
+  return open;
+}
+
+void SecureSessionServer::on_message(std::uint32_t id,
+                                     crypto::ConstBytes msg) {
+  Connection& conn = *connections_[id];
+  if (conn.state == ConnState::kClosed || conn.state == ConnState::kFailed)
+    return;
+  if (msg.empty()) return;
+  conn.last_activity = queue_.now();
+  const auto kind = static_cast<MsgKind>(msg[0]);
+  const crypto::ConstBytes body = msg.subspan(1);
+  switch (kind) {
+    case MsgKind::kHandshake:
+      handle_handshake(conn, body);
+      break;
+    case MsgKind::kAppData:
+      handle_appdata(conn, body);
+      break;
+    case MsgKind::kClose:
+      if (conn.state == ConnState::kEstablished) {
+        conn.link->send_message(make_msg(MsgKind::kCloseAck, {}));
+        close_connection(conn, &ServerStats::graceful_closes);
+      }
+      break;
+    default:
+      break;  // kBulk/kCloseAck are server->client only: ignore
+  }
+}
+
+void SecureSessionServer::handle_handshake(Connection& conn,
+                                           crypto::ConstBytes body) {
+  if (conn.state != ConnState::kHandshake) return;  // late flight
+  try {
+    const protocol::HandshakeStep step =
+        protocol::step_handshake(*conn.endpoint, body);
+    if (!step.output.empty())
+      conn.link->send_message(make_msg(MsgKind::kHandshake, step.output));
+    if (step.established) complete_handshake(conn);
+  } catch (const protocol::HandshakeError& e) {
+    fail_connection(conn, e.what());
+  }
+}
+
+void SecureSessionServer::complete_handshake(Connection& conn) {
+  if (conn.handshake_timer) {
+    queue_.cancel(conn.handshake_timer);
+    conn.handshake_timer = 0;
+  }
+  conn.state = ConnState::kEstablished;
+  ++stats_.handshakes_completed;
+  const protocol::HandshakeSummary& summary = conn.endpoint->summary();
+  summary.resumed ? ++stats_.resumed_handshakes : ++stats_.full_handshakes;
+  stats_.handshake_latencies_us.push_back(
+      static_cast<double>(queue_.now() - conn.accepted_at));
+
+  const BulkKeys keys = derive_bulk_keys(conn.endpoint->master_secret(),
+                                         summary.session_id);
+  pipeline_.add_sa(conn.id, make_bulk_sa(conn.id, keys));
+  arm_idle_timer(conn);
+}
+
+void SecureSessionServer::handle_appdata(Connection& conn,
+                                         crypto::ConstBytes body) {
+  if (conn.state != ConnState::kEstablished) return;
+  if (conn.pending_echo_bytes >= config_.max_pending_echo_bytes) {
+    // Backpressure: hold the raw records until the pipeline drains the
+    // queue. Deferred, not dropped — the link already acked them.
+    conn.deferred_appdata.emplace_back(body.begin(), body.end());
+    ++stats_.backpressure_deferrals;
+    return;
+  }
+  process_appdata(conn, body);
+}
+
+void SecureSessionServer::process_appdata(Connection& conn,
+                                          crypto::ConstBytes records) {
+  std::vector<crypto::Bytes> payloads;
+  try {
+    payloads = conn.endpoint->recv_data(records);
+  } catch (const std::exception& e) {
+    fail_connection(conn, e.what());
+    return;
+  }
+  for (auto& payload : payloads) {
+    ++stats_.app_messages;
+    stats_.bytes_opened += payload.size();
+    conn.pending_echo_bytes += payload.size();
+    conn.pending_echo.push_back(std::move(payload));
+  }
+  if (!conn.pending_echo.empty()) schedule_flush();
+}
+
+void SecureSessionServer::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  queue_.schedule_in(config_.pipeline_flush_interval_us,
+                     [this] { flush_pipeline(); });
+}
+
+void SecureSessionServer::flush_pipeline() {
+  flush_scheduled_ = false;
+
+  // Gather pending echoes in connection-id order: the job sequence — and
+  // therefore each SA's nonce stream — is independent of arrival
+  // interleaving within the flush window and of the worker count.
+  std::vector<engine::PipelineJob> jobs;
+  std::vector<std::pair<std::uint32_t, std::size_t>> meta;  // conn, plen
+  for (auto& conn_ptr : connections_) {
+    Connection& conn = *conn_ptr;
+    if (conn.state != ConnState::kEstablished) continue;
+    while (!conn.pending_echo.empty()) {
+      crypto::Bytes payload = std::move(conn.pending_echo.front());
+      conn.pending_echo.pop_front();
+      engine::PipelineJob job;
+      job.sa_id = conn.id;
+      job.program = "ccmp-out";
+      job.packet = bulk_header(conn.id, conn.bulk_seq++);
+      job.packet.insert(job.packet.end(), payload.begin(), payload.end());
+      meta.emplace_back(conn.id, payload.size());
+      jobs.push_back(std::move(job));
+    }
+    conn.pending_echo_bytes = 0;
+  }
+  if (jobs.empty()) return;
+
+  const std::vector<engine::PipelineResult> results =
+      pipeline_.run_batch(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const engine::PipelineResult& r = results[i];
+    Connection& conn = *connections_[meta[i].first];
+    stats_.engine_cycles += r.engine_cycles;
+    if (!r.accepted || conn.state != ConnState::kEstablished) continue;
+    ++stats_.bulk_messages;
+    stats_.bytes_sealed += meta[i].second;
+    crypto::Bytes body = r.header;
+    body.insert(body.end(), r.payload.begin(), r.payload.end());
+    conn.link->send_message(make_msg(MsgKind::kBulk, body));
+  }
+
+  // Queues drained: admit deferred application data (may re-arm the
+  // flush timer).
+  for (auto& conn_ptr : connections_) {
+    Connection& conn = *conn_ptr;
+    while (!conn.deferred_appdata.empty() &&
+           conn.state == ConnState::kEstablished &&
+           conn.pending_echo_bytes < config_.max_pending_echo_bytes) {
+      const crypto::Bytes records = std::move(conn.deferred_appdata.front());
+      conn.deferred_appdata.pop_front();
+      process_appdata(conn, records);
+    }
+  }
+}
+
+void SecureSessionServer::arm_idle_timer(Connection& conn) {
+  const std::uint32_t id = conn.id;
+  conn.idle_timer = queue_.schedule_at(
+      conn.last_activity + config_.idle_timeout_us, [this, id] {
+        Connection& c = *connections_[id];
+        c.idle_timer = 0;
+        if (c.state != ConnState::kEstablished) return;
+        if (queue_.now() >= c.last_activity + config_.idle_timeout_us) {
+          close_connection(c, &ServerStats::idle_closes);
+          c.link->shutdown();  // stop acking a peer we gave up on
+        } else {
+          arm_idle_timer(c);  // activity since scheduling: re-arm
+        }
+      });
+}
+
+void SecureSessionServer::close_connection(
+    Connection& conn, std::uint64_t ServerStats::*counter) {
+  if (conn.handshake_timer) queue_.cancel(conn.handshake_timer);
+  if (conn.idle_timer) queue_.cancel(conn.idle_timer);
+  conn.handshake_timer = conn.idle_timer = 0;
+  conn.state = ConnState::kClosed;
+  ++(stats_.*counter);
+  // The link stays up (unless the caller shuts it down): a graceful
+  // close still owes the peer the retransmission of its kCloseAck.
+}
+
+void SecureSessionServer::fail_connection(Connection& conn,
+                                          const std::string& reason) {
+  (void)reason;
+  if (conn.handshake_timer) queue_.cancel(conn.handshake_timer);
+  if (conn.idle_timer) queue_.cancel(conn.idle_timer);
+  conn.handshake_timer = conn.idle_timer = 0;
+  if (conn.state == ConnState::kHandshake) ++stats_.handshakes_failed;
+  conn.state = ConnState::kFailed;
+  conn.link->shutdown();
+}
+
+void SecureSessionServer::on_link_error(std::uint32_t id,
+                                        const std::string& reason) {
+  Connection& conn = *connections_[id];
+  if (conn.state == ConnState::kClosed || conn.state == ConnState::kFailed)
+    return;
+  ++stats_.link_failures;
+  fail_connection(conn, reason);
+}
+
+}  // namespace mapsec::server

@@ -1,0 +1,64 @@
+#include "mapsec/server/session_cache.hpp"
+
+#include <utility>
+
+namespace mapsec::server {
+
+bool BoundedSessionCache::expired(const Node& node) const {
+  return config_.ttl_us > 0 &&
+         clock_.now() >= node.stored_at + config_.ttl_us;
+}
+
+void BoundedSessionCache::evict_lru() {
+  const crypto::Bytes& victim = lru_.back();
+  entries_.erase(victim);
+  lru_.pop_back();
+  ++stats_.lru_evictions;
+}
+
+void BoundedSessionCache::store(const crypto::Bytes& session_id,
+                                Entry entry) {
+  if (config_.capacity == 0) return;
+  const auto it = entries_.find(session_id);
+  if (it != entries_.end()) {
+    // Refresh in place (same id re-established): new secret, new TTL.
+    it->second.entry = std::move(entry);
+    it->second.stored_at = clock_.now();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (entries_.size() >= config_.capacity) evict_lru();
+  lru_.push_front(session_id);
+  Node node;
+  node.entry = std::move(entry);
+  node.stored_at = clock_.now();
+  node.lru_pos = lru_.begin();
+  entries_.emplace(session_id, std::move(node));
+  ++stats_.insertions;
+}
+
+const BoundedSessionCache::Entry* BoundedSessionCache::lookup(
+    const crypto::Bytes& session_id) {
+  const auto it = entries_.find(session_id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (expired(it->second)) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    ++stats_.ttl_evictions;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++stats_.hits;
+  return &it->second.entry;
+}
+
+void BoundedSessionCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace mapsec::server

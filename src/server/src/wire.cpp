@@ -1,0 +1,41 @@
+#include "mapsec/server/wire.hpp"
+
+#include "mapsec/protocol/prf.hpp"
+
+namespace mapsec::server {
+
+crypto::Bytes make_msg(MsgKind kind, crypto::ConstBytes body) {
+  crypto::Bytes msg;
+  msg.reserve(1 + body.size());
+  msg.push_back(static_cast<std::uint8_t>(kind));
+  msg.insert(msg.end(), body.begin(), body.end());
+  return msg;
+}
+
+BulkKeys derive_bulk_keys(crypto::ConstBytes master_secret,
+                          crypto::ConstBytes session_id) {
+  const crypto::Bytes block =
+      protocol::tls_prf(master_secret, "mapsec bulk keys", session_id, 36);
+  BulkKeys keys;
+  keys.enc_key.assign(block.begin(), block.begin() + 16);
+  keys.mac_key.assign(block.begin() + 16, block.begin() + 36);
+  return keys;
+}
+
+engine::EngineSa make_bulk_sa(std::uint32_t spi, const BulkKeys& keys) {
+  engine::EngineSa sa;
+  sa.spi = spi;
+  sa.cipher = protocol::BulkCipher::kAes128;
+  sa.enc_key = keys.enc_key;
+  sa.mac_key = keys.mac_key;
+  return sa;
+}
+
+crypto::Bytes bulk_header(std::uint32_t spi, std::uint32_t seq) {
+  crypto::Bytes header(8);
+  crypto::store_be32(header.data(), spi);
+  crypto::store_be32(header.data() + 4, seq);
+  return header;
+}
+
+}  // namespace mapsec::server

@@ -505,5 +505,35 @@ TEST_F(HandshakeTest, ServerConfigValidation) {
   EXPECT_THROW(TlsServer{no_rng}, std::invalid_argument);
 }
 
+// step_handshake is the single-flight primitive run_handshake is built
+// on; an event-driven caller pumps it once per arriving flight.
+TEST_F(HandshakeTest, StepHandshakeDrivesOneFlightAtATime) {
+  crypto::HmacDrbg crng(90), srng(91);
+  TlsClient client(client_config(crng));
+  TlsServer server(server_config(srng));
+
+  // Kick: the ClientHello needs no input.
+  HandshakeStep to_server = step_handshake(client, {});
+  ASSERT_FALSE(to_server.output.empty());
+  ASSERT_FALSE(to_server.established);
+
+  int flights = 0;
+  while (!(client.established() && server.established())) {
+    ASSERT_LT(++flights, 10);
+    const HandshakeStep to_client = step_handshake(server, to_server.output);
+    if (client.established() && to_client.output.empty()) break;
+    to_server = step_handshake(client, to_client.output);
+  }
+
+  EXPECT_TRUE(client.established());
+  EXPECT_TRUE(server.established());
+  EXPECT_EQ(client.master_secret(), server.master_secret());
+
+  // On an established endpoint the step is a no-op, not an error.
+  const HandshakeStep idle = step_handshake(client, {});
+  EXPECT_TRUE(idle.established);
+  EXPECT_TRUE(idle.output.empty());
+}
+
 }  // namespace
 }  // namespace mapsec::protocol

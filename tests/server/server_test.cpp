@@ -1,0 +1,295 @@
+// mapsec::server tests: bounded resumption cache, handshakes over lossy
+// channels, retry/backoff clean failure, backpressure, idle reaping, and
+// the 1000-session soak whose transcript must be bit-identical for any
+// PacketPipeline worker count.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/platform/processor.hpp"
+#include "mapsec/server/load_gen.hpp"
+#include "mapsec/server/session_cache.hpp"
+
+namespace mapsec::server {
+namespace {
+
+using crypto::Bytes;
+using protocol::CipherSuite;
+
+constexpr std::uint64_t kNow = 1'050'000'000;  // ~2003
+
+// ---------------------------------------------------- BoundedSessionCache
+
+protocol::SessionCache::Entry entry(std::uint8_t tag) {
+  protocol::SessionCache::Entry e;
+  e.master_secret = Bytes(48, tag);
+  e.suite = CipherSuite::kRsaAes128CbcSha;
+  return e;
+}
+
+TEST(BoundedCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 3, .ttl_us = 0});
+  cache.store(Bytes{1}, entry(1));
+  cache.store(Bytes{2}, entry(2));
+  cache.store(Bytes{3}, entry(3));
+  ASSERT_NE(cache.lookup(Bytes{1}), nullptr);  // refresh {1}'s recency
+  cache.store(Bytes{4}, entry(4));             // evicts {2}, not {1}
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.lookup(Bytes{2}), nullptr);
+  EXPECT_NE(cache.lookup(Bytes{1}), nullptr);
+  EXPECT_NE(cache.lookup(Bytes{4}), nullptr);
+  EXPECT_EQ(cache.stats().lru_evictions, 1u);
+  EXPECT_EQ(cache.stats().insertions, 4u);
+}
+
+TEST(BoundedCacheTest, TtlExpiresOnTheReadPathWithoutRefresh) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 8, .ttl_us = 1'000});
+  cache.store(Bytes{1}, entry(1));
+
+  clock.run_until(600);
+  ASSERT_NE(cache.lookup(Bytes{1}), nullptr);  // alive, hit counted
+
+  // A hit refreshes recency, not the deadline: at t=1200 the entry is
+  // past its absolute lifetime even though it was read at t=600.
+  clock.run_until(1'200);
+  EXPECT_EQ(cache.lookup(Bytes{1}), nullptr);
+  EXPECT_EQ(cache.stats().ttl_evictions, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BoundedCacheTest, StoreRefreshesExistingEntryInPlace) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 2, .ttl_us = 0});
+  cache.store(Bytes{1}, entry(1));
+  cache.store(Bytes{2}, entry(2));
+  cache.store(Bytes{1}, entry(9));  // overwrite, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().lru_evictions, 0u);
+  const auto* e = cache.lookup(Bytes{1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->master_secret, Bytes(48, 9));
+}
+
+TEST(BoundedCacheTest, ZeroCapacityStoresNothing) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 0, .ttl_us = 0});
+  cache.store(Bytes{1}, entry(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(Bytes{1}), nullptr);
+}
+
+// ------------------------------------------------------- serving fixture
+
+/// Shared PKI: one CA, one server identity (RSA-512 for speed).
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0x5E53);
+    ca_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    server_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    ca_ = new protocol::CertificateAuthority("SoakRoot", *ca_key_, 0,
+                                             kNow * 2);
+    server_cert_ = new protocol::Certificate(
+        ca_->issue("server.test", server_key_->pub, 0, kNow * 2));
+  }
+  static void TearDownTestSuite() {
+    delete server_cert_;
+    delete ca_;
+    delete server_key_;
+    delete ca_key_;
+  }
+
+  static ServerConfig server_config() {
+    ServerConfig cfg;
+    cfg.handshake.now = kNow;
+    cfg.handshake.cert_chain = {*server_cert_};
+    cfg.handshake.private_key = &server_key_->priv;
+    return cfg;
+  }
+
+  static ClientConfig client_config() {
+    ClientConfig cfg;
+    cfg.handshake.now = kNow;
+    cfg.handshake.trusted_roots = {ca_->root()};
+    cfg.handshake.offered_suites = {CipherSuite::kRsaAes128CbcSha};
+    return cfg;
+  }
+
+  static LoadConfig load_config(std::size_t clients) {
+    LoadConfig cfg;
+    cfg.num_clients = clients;
+    cfg.appliance = platform::Processor::strongarm_sa1100();
+    return cfg;
+  }
+
+  static crypto::RsaKeyPair* ca_key_;
+  static crypto::RsaKeyPair* server_key_;
+  static protocol::CertificateAuthority* ca_;
+  static protocol::Certificate* server_cert_;
+};
+
+crypto::RsaKeyPair* ServerTest::ca_key_ = nullptr;
+crypto::RsaKeyPair* ServerTest::server_key_ = nullptr;
+protocol::CertificateAuthority* ServerTest::ca_ = nullptr;
+protocol::Certificate* ServerTest::server_cert_ = nullptr;
+
+// Loss sweep: sessions must complete (after retries if need be) at 0%,
+// 5% and 20% frame loss with duplication and reordering on top.
+class ServerLossTest : public ServerTest,
+                       public ::testing::WithParamInterface<double> {};
+
+TEST_P(ServerLossTest, SessionsCompleteUnderImpairments) {
+  LoadConfig load = load_config(12);
+  load.channel.loss_rate = GetParam();
+  load.channel.dup_rate = GetParam() / 2;
+  load.channel.reorder_rate = GetParam();
+  load.seed = 0xB0A7 + static_cast<std::uint64_t>(GetParam() * 100);
+
+  LoadGenerator gen(load, server_config(), client_config(), {});
+  const LoadReport report = gen.run();
+
+  EXPECT_EQ(report.sessions_attempted, 12u);
+  EXPECT_EQ(report.sessions_completed, 12u);
+  EXPECT_EQ(report.sessions_failed, 0u);
+  EXPECT_EQ(report.echo_mismatches, 0u);
+  EXPECT_EQ(report.server.handshakes_completed, 12u);
+  if (GetParam() == 0.0) {
+    EXPECT_EQ(report.connection_attempts, 12u);  // no retries needed
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, ServerLossTest,
+                         ::testing::Values(0.0, 0.05, 0.20));
+
+TEST_F(ServerTest, SecondSessionResumesThroughTheCache) {
+  ClientConfig client = client_config();
+  client.sessions = 2;
+  LoadGenerator gen(load_config(3), server_config(), client, {});
+  const LoadReport report = gen.run();
+
+  EXPECT_EQ(report.sessions_completed, 6u);
+  EXPECT_EQ(report.server.full_handshakes, 3u);
+  EXPECT_EQ(report.server.resumed_handshakes, 3u);
+  EXPECT_EQ(report.cache.hits, 3u);
+  EXPECT_DOUBLE_EQ(report.server.resumption_rate(), 0.5);
+  // Resumption skips the RSA exchange: it must be visibly cheaper.
+  ASSERT_EQ(report.server.handshake_latencies_us.size(), 6u);
+}
+
+TEST_F(ServerTest, ClientGivesUpCleanlyAfterRetryBudget) {
+  ClientConfig client = client_config();
+  client.retry_budget = 3;
+  client.handshake_timeout_us = 500'000;
+  client.link.max_retries = 2;
+  client.link.initial_rto_us = 20'000;
+
+  LoadConfig load = load_config(1);
+  load.channel.loss_rate = 1.0;  // black hole
+
+  LoadGenerator gen(load, server_config(), client, {});
+  const LoadReport report = gen.run();
+
+  EXPECT_EQ(report.sessions_attempted, 1u);
+  EXPECT_EQ(report.sessions_completed, 0u);
+  EXPECT_EQ(report.sessions_failed, 1u);
+  EXPECT_EQ(report.connection_attempts, 3u);  // exactly the budget
+  EXPECT_EQ(report.server.handshakes_completed, 0u);
+  EXPECT_GT(report.server.handshakes_failed, 0u);  // server timed out too
+}
+
+TEST_F(ServerTest, BackpressureDefersInsteadOfDropping) {
+  ClientConfig client = client_config();
+  client.payloads_per_session = 8;
+  client.payload_bytes = 256;
+  client.think_time_us = 0;  // burst: all payloads in one flush window
+
+  ServerConfig server = server_config();
+  server.max_pending_echo_bytes = 300;  // < two payloads
+
+  LoadGenerator gen(load_config(2), server, client, {});
+  const LoadReport report = gen.run();
+
+  EXPECT_EQ(report.sessions_completed, 2u);
+  EXPECT_EQ(report.echo_mismatches, 0u);
+  EXPECT_GT(report.server.backpressure_deferrals, 0u);
+  EXPECT_EQ(report.server.bytes_opened, 2u * 8u * 256u);
+  EXPECT_EQ(report.server.bytes_sealed, 2u * 8u * 256u);
+}
+
+TEST_F(ServerTest, IdleTimeoutReapsLingeringClients) {
+  ClientConfig client = client_config();
+  client.linger = true;  // handshake, then silence
+
+  ServerConfig server = server_config();
+  server.idle_timeout_us = 2'000'000;
+
+  LoadGenerator gen(load_config(2), server, client, {});
+  const LoadReport report = gen.run();
+
+  EXPECT_EQ(report.sessions_completed, 2u);
+  EXPECT_EQ(report.server.idle_closes, 2u);
+  EXPECT_EQ(report.server.graceful_closes, 0u);
+}
+
+TEST_F(ServerTest, ReportPricesLoadAgainstTheAppliance) {
+  LoadGenerator gen(load_config(4), server_config(), client_config(), {});
+  const LoadReport report = gen.run();
+
+  EXPECT_GT(report.sim_duration_s, 0.0);
+  EXPECT_GT(report.full_handshakes_per_s, 0.0);
+  EXPECT_GT(report.record_mbps, 0.0);
+  EXPECT_LE(report.handshake_p50_ms, report.handshake_p99_ms);
+  EXPECT_EQ(report.fleet_digest.size(), 32u);
+  // Figure 3's point: required serving MIPS dwarfs the appliance budget.
+  EXPECT_GT(report.gap.required_mips, 0.0);
+  EXPECT_GT(report.gap.sessions_per_charge, 0.0);
+}
+
+// The acceptance soak: >= 1000 sessions through one server over a 5%-loss
+// reordering channel. Every session completes (handshake + byte-exact
+// echo) or fails cleanly inside its retry budget, and the entire run is
+// bit-identical for any PacketPipeline worker count.
+TEST_F(ServerTest, SoakIsBitIdenticalAcrossWorkerCounts) {
+  auto run_with_workers = [&](std::size_t workers) {
+    ClientConfig client = client_config();
+    client.sessions = 2;
+    client.payloads_per_session = 2;
+    client.payload_bytes = 128;
+
+    ServerConfig server = server_config();
+    server.pipeline_workers = workers;
+
+    LoadConfig load = load_config(500);  // 500 clients x 2 sessions
+    load.channel.loss_rate = 0.05;
+    load.channel.reorder_rate = 0.10;
+    load.channel.dup_rate = 0.02;
+    load.seed = 0x50AC;
+
+    LoadGenerator gen(load, server, client,
+                      {.capacity = 600, .ttl_us = 0});
+    return gen.run();
+  };
+
+  const LoadReport one = run_with_workers(1);
+  EXPECT_EQ(one.sessions_attempted, 1'000u);
+  EXPECT_EQ(one.sessions_completed + one.sessions_failed,
+            one.sessions_attempted);
+  EXPECT_GT(one.sessions_completed, 990u);  // 5% loss, retries absorb it
+  EXPECT_EQ(one.echo_mismatches, 0u);
+  EXPECT_GT(one.server.resumed_handshakes, 0u);
+
+  const LoadReport three = run_with_workers(3);
+  EXPECT_EQ(one.fleet_digest, three.fleet_digest);
+  EXPECT_EQ(one.sessions_completed, three.sessions_completed);
+  EXPECT_EQ(one.server.bytes_sealed, three.server.bytes_sealed);
+  EXPECT_EQ(one.server.handshake_latencies_us,
+            three.server.handshake_latencies_us);
+  EXPECT_EQ(one.sim_duration_s, three.sim_duration_s);
+}
+
+}  // namespace
+}  // namespace mapsec::server
