@@ -1,0 +1,42 @@
+// Build-type guard for benchmark harnesses (no google-benchmark
+// dependency — also usable from the plain table-printing executables).
+//
+// The committed BENCH_*.json baselines are throughput claims; an
+// -O0/assert build understates them severalfold and poisons any later
+// comparison, so recording from a debug tree is refused unless
+// MAPSEC_BENCH_ALLOW_DEBUG=1 is set — and even then the run is loudly
+// tagged.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mapsec::bench {
+
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+inline void release_guard() {
+#ifndef NDEBUG
+  if (std::getenv("MAPSEC_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(
+        stderr,
+        "refusing to benchmark a debug build: numbers from an unoptimised "
+        "tree are not comparable to the committed baselines.\n"
+        "Rebuild with -DCMAKE_BUILD_TYPE=Release, or set "
+        "MAPSEC_BENCH_ALLOW_DEBUG=1 to run anyway (tagged as debug).\n");
+    std::exit(1);
+  }
+  std::fprintf(stderr,
+               "WARNING: benchmarking a DEBUG build "
+               "(MAPSEC_BENCH_ALLOW_DEBUG set); results are tagged "
+               "mapsec_build_type=debug and must not be committed.\n");
+#endif
+}
+
+}  // namespace mapsec::bench

@@ -1,0 +1,34 @@
+// Shared main() for the google-benchmark harnesses.
+//
+// Two jobs:
+//
+//  * Refuse to record numbers from a debug tree. The committed
+//    BENCH_*.json baselines are throughput claims; an -O0/assert build
+//    understates them severalfold and poisons any later comparison. A
+//    debug build exits with an error unless MAPSEC_BENCH_ALLOW_DEBUG=1
+//    is set, and even then the run is loudly tagged.
+//  * Stamp every JSON report with the build type and the active
+//    crypto::dispatch backend summary, so a baseline file says which
+//    hardware kernels produced it (context keys "mapsec_build_type" and
+//    "crypto_dispatch").
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_guard.hpp"
+#include "mapsec/crypto/dispatch.hpp"
+
+#define MAPSEC_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                      \
+    ::mapsec::bench::release_guard();                                    \
+    ::benchmark::AddCustomContext("mapsec_build_type",                   \
+                                  ::mapsec::bench::build_type());        \
+    ::benchmark::AddCustomContext(                                       \
+        "crypto_dispatch",                                               \
+        ::mapsec::crypto::dispatch::capabilities_summary());             \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    return 0;                                                            \
+  }

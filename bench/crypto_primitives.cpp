@@ -2,13 +2,30 @@
 // Section 3.2 workload model prices, plus the RSA private-op strategy
 // ablation (plain vs CRT vs blinded — the CRT speedup is also the fault-
 // attack surface of E11).
+//
+// E19 rides on the same binary: the *Scalar twins pin crypto::dispatch to
+// the portable kernels, so accelerated-vs-scalar speedups of the
+// ISA-dispatched primitives (AES/CCM, SHA, CRC-32, Montgomery modexp)
+// fall out of one JSON report.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+#include "mapsec/crypto/ccm.hpp"
+#include "mapsec/crypto/cipher.hpp"
+#include "mapsec/crypto/crc32.hpp"
 #include "mapsec/crypto/crypto.hpp"
+#include "mapsec/crypto/dispatch.hpp"
 
 namespace {
 
 using namespace mapsec::crypto;
+
+/// Pins the benchmark body to the scalar backend; destructor restores
+/// auto-dispatch for subsequent benchmarks.
+struct ForceScalar {
+  ForceScalar() { dispatch::force_scalar(true); }
+  ~ForceScalar() { dispatch::force_scalar(false); }
+};
 
 Bytes test_data(std::size_t n) {
   HmacDrbg rng(42);
@@ -34,6 +51,52 @@ void BM_Des(benchmark::State& state) { bulk_cipher_bench<Des>(state, 8); }
 void BM_Des3(benchmark::State& state) { bulk_cipher_bench<Des3>(state, 24); }
 void BM_Aes128(benchmark::State& state) { bulk_cipher_bench<Aes>(state, 16); }
 void BM_Rc2(benchmark::State& state) { bulk_cipher_bench<Rc2>(state, 16); }
+
+void BM_Aes128Scalar(benchmark::State& state) {
+  ForceScalar scalar;
+  bulk_cipher_bench<Aes>(state, 16);
+}
+
+// The CCMP/ESP bulk path: CTR keystream + CBC-MAC over a 4 KiB payload.
+void ccm_seal_bench(benchmark::State& state) {
+  HmacDrbg rng(12);
+  const BlockCipherAdapter<Aes> cipher{Aes(rng.bytes(16))};
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  const Bytes aad = rng.bytes(32);
+  const Bytes payload = test_data(4096);
+  for (auto _ : state) {
+    Bytes sealed = ccm_seal(cipher, nonce, aad, payload);
+    benchmark::DoNotOptimize(sealed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+
+void BM_AesCcmSeal(benchmark::State& state) { ccm_seal_bench(state); }
+void BM_AesCcmSealScalar(benchmark::State& state) {
+  ForceScalar scalar;
+  ccm_seal_bench(state);
+}
+
+void ccm_open_bench(benchmark::State& state) {
+  HmacDrbg rng(13);
+  const BlockCipherAdapter<Aes> cipher{Aes(rng.bytes(16))};
+  const Bytes nonce = rng.bytes(kCcmNonceLen);
+  const Bytes aad = rng.bytes(32);
+  const Bytes sealed = ccm_seal(cipher, nonce, aad, test_data(4096));
+  for (auto _ : state) {
+    auto opened = ccm_open(cipher, nonce, aad, sealed);
+    benchmark::DoNotOptimize(opened->data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sealed.size() - 8));
+}
+
+void BM_AesCcmOpen(benchmark::State& state) { ccm_open_bench(state); }
+void BM_AesCcmOpenScalar(benchmark::State& state) {
+  ForceScalar scalar;
+  ccm_open_bench(state);
+}
 
 void BM_Rc4(benchmark::State& state) {
   HmacDrbg rng(2);
@@ -61,6 +124,31 @@ void hash_bench(benchmark::State& state) {
 void BM_Sha1(benchmark::State& state) { hash_bench<Sha1>(state); }
 void BM_Md5(benchmark::State& state) { hash_bench<Md5>(state); }
 void BM_Sha256(benchmark::State& state) { hash_bench<Sha256>(state); }
+
+void BM_Sha1Scalar(benchmark::State& state) {
+  ForceScalar scalar;
+  hash_bench<Sha1>(state);
+}
+void BM_Sha256Scalar(benchmark::State& state) {
+  ForceScalar scalar;
+  hash_bench<Sha256>(state);
+}
+
+void crc32_bench(benchmark::State& state) {
+  Bytes buf = test_data(4096);
+  for (auto _ : state) {
+    std::uint32_t c = crc32(buf);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void BM_Crc32(benchmark::State& state) { crc32_bench(state); }
+void BM_Crc32Scalar(benchmark::State& state) {
+  ForceScalar scalar;
+  crc32_bench(state);
+}
 
 void BM_HmacSha1(benchmark::State& state) {
   HmacDrbg rng(3);
@@ -100,6 +188,16 @@ void BM_Rsa1024PrivatePlain(benchmark::State& state) {
 }
 
 void BM_Rsa1024PrivateCrt(benchmark::State& state) {
+  HmacDrbg rng(5);
+  const BigInt c = BigInt::random_below(rng, key1024().pub.n);
+  for (auto _ : state) {
+    BigInt m = rsa_private_op_crt(key1024().priv, c);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
+void BM_Rsa1024PrivateCrtScalar(benchmark::State& state) {
+  ForceScalar scalar;
   HmacDrbg rng(5);
   const BigInt c = BigInt::random_below(rng, key1024().pub.n);
   for (auto _ : state) {
@@ -167,14 +265,24 @@ void BM_Rsa512KeyGen(benchmark::State& state) {
 BENCHMARK(BM_Des);
 BENCHMARK(BM_Des3);
 BENCHMARK(BM_Aes128);
+BENCHMARK(BM_Aes128Scalar);
+BENCHMARK(BM_AesCcmSeal);
+BENCHMARK(BM_AesCcmSealScalar);
+BENCHMARK(BM_AesCcmOpen);
+BENCHMARK(BM_AesCcmOpenScalar);
 BENCHMARK(BM_Rc2);
 BENCHMARK(BM_Rc4);
 BENCHMARK(BM_Sha1);
+BENCHMARK(BM_Sha1Scalar);
 BENCHMARK(BM_Md5);
 BENCHMARK(BM_Sha256);
+BENCHMARK(BM_Sha256Scalar);
+BENCHMARK(BM_Crc32);
+BENCHMARK(BM_Crc32Scalar);
 BENCHMARK(BM_HmacSha1);
 BENCHMARK(BM_Rsa1024PrivatePlain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateCrt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa1024PrivateCrtScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateBlinded)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateLadder)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024Public)->Unit(benchmark::kMillisecond);
@@ -184,4 +292,4 @@ BENCHMARK(BM_Rsa512KeyGen)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MAPSEC_BENCHMARK_MAIN()

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_main.hpp"
 #include "mapsec/analysis/table.hpp"
 #include "mapsec/protocol/handshake.hpp"
 
@@ -168,6 +169,12 @@ void print_summary() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mapsec::bench::release_guard();
+  benchmark::AddCustomContext("mapsec_build_type",
+                              mapsec::bench::build_type());
+  benchmark::AddCustomContext(
+      "crypto_dispatch",
+      mapsec::crypto::dispatch::capabilities_summary());
   print_summary();
   register_benchmarks();
   benchmark::Initialize(&argc, argv);

@@ -8,6 +8,7 @@
 // disturbs).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
 #include "mapsec/engine/packet_pipeline.hpp"
 
 namespace {
@@ -140,4 +141,4 @@ BENCHMARK(BM_CcmpOutboundPipeline)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MAPSEC_BENCHMARK_MAIN()

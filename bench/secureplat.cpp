@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_main.hpp"
 #include "mapsec/analysis/table.hpp"
 #include "mapsec/crypto/rng.hpp"
 #include "mapsec/secureplat/keystore.hpp"
@@ -127,6 +128,12 @@ void print_world_switch_note() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mapsec::bench::release_guard();
+  benchmark::AddCustomContext("mapsec_build_type",
+                              mapsec::bench::build_type());
+  benchmark::AddCustomContext(
+      "crypto_dispatch",
+      mapsec::crypto::dispatch::capabilities_summary());
   print_biometric_sweep();
   print_world_switch_note();
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON report against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 0.20]
+
+Matches benchmarks by name and compares throughput (bytes_per_second when
+present, otherwise inverse real_time). Exits non-zero if any benchmark
+regressed by more than the threshold. Improvements and new/removed
+benchmarks are reported but never fail the run — a baseline recorded on
+different hardware or a different dispatch backend (see the report's
+"crypto_dispatch" context) is expected to move in both directions, which
+is why this check is opt-in (MAPSEC_BENCH_COMPARE=1 in ci/check.sh).
+
+Only python3 stdlib; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if "bytes_per_second" in b:
+            out[name] = ("bytes_per_second", float(b["bytes_per_second"]))
+        elif float(b.get("real_time", 0)) > 0:
+            # Throughput proxy: ops per unit real time.
+            out[name] = ("1/real_time", 1.0 / float(b["real_time"]))
+    return doc.get("context", {}), out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fractional regression that fails the run")
+    args = ap.parse_args()
+
+    base_ctx, base = load_benchmarks(args.baseline)
+    fresh_ctx, fresh = load_benchmarks(args.fresh)
+
+    for key in ("mapsec_build_type", "crypto_dispatch"):
+        b, f = base_ctx.get(key), fresh_ctx.get(key)
+        if b and f and b != f:
+            print(f"note: {key} differs: baseline={b!r} fresh={f!r}")
+
+    regressions = []
+    for name, (metric, base_v) in sorted(base.items()):
+        if name not in fresh:
+            print(f"  [gone]    {name} (in baseline only)")
+            continue
+        fresh_metric, fresh_v = fresh[name]
+        if fresh_metric != metric or base_v <= 0:
+            continue
+        ratio = fresh_v / base_v
+        if ratio < 1.0 - args.threshold:
+            regressions.append((name, metric, ratio))
+            print(f"  [REGRESS] {name}: {metric} at {ratio:.2f}x baseline")
+        elif ratio > 1.0 + args.threshold:
+            print(f"  [faster]  {name}: {metric} at {ratio:.2f}x baseline")
+        else:
+            print(f"  [ok]      {name}: {ratio:.2f}x")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"  [new]     {name} (no baseline)")
+
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}")
+        return 1
+    print(f"no regressions beyond {args.threshold:.0%} vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

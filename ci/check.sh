@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
 # Full verification sweep: a release tree and an ASan/UBSan tree, with
-# the complete ctest suite run in both. This is the gate a change must
-# pass before it lands.
+# the complete ctest suite run in both — then the release suite a third
+# time under MAPSEC_FORCE_SCALAR=1, so the portable crypto kernels stay
+# green on hardware where the runtime dispatcher would otherwise hide
+# them (the sanitizer tree covers the accelerated path). This is the
+# gate a change must pass before it lands.
+#
+# Optionally (MAPSEC_BENCH_COMPARE=1), re-records the benchmark
+# baselines from the release tree and diffs them against the committed
+# BENCH_*.json, failing on >20% throughput regressions.
 #
 # Usage: ci/check.sh [jobs]
 set -euo pipefail
@@ -19,4 +26,23 @@ cmake -B build-asan -S . -DMAPSEC_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "== OK: both trees green =="
+echo "== release tree, forced-scalar crypto (MAPSEC_FORCE_SCALAR=1) =="
+MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${MAPSEC_BENCH_COMPARE:-0}" == "1" ]]; then
+  echo "== benchmark baseline comparison =="
+  BENCH_DIR="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_DIR}"' EXIT
+  ./build/bench/bench_crypto_primitives \
+    --benchmark_format=json --benchmark_min_time=0.2 \
+    --benchmark_out="${BENCH_DIR}/BENCH_crypto.json" \
+    --benchmark_out_format=json
+  ./build/bench/bench_pipeline_throughput \
+    --benchmark_format=json --benchmark_min_time=0.2 \
+    --benchmark_out="${BENCH_DIR}/BENCH_engine.json" \
+    --benchmark_out_format=json
+  python3 ci/bench_compare.py BENCH_crypto.json "${BENCH_DIR}/BENCH_crypto.json"
+  python3 ci/bench_compare.py BENCH_engine.json "${BENCH_DIR}/BENCH_engine.json"
+fi
+
+echo "== OK: all configurations green =="

@@ -56,12 +56,26 @@ class Aes {
     return {rk_.data(), 4 * (static_cast<std::size_t>(rounds_) + 1)};
   }
 
+  /// Decryption round keys (equivalent inverse cipher layout: reversed
+  /// round order, inner keys InvMixColumns-transformed).
+  std::span<const std::uint32_t> dec_round_keys() const {
+    return {rkd_.data(), 4 * (static_cast<std::size_t>(rounds_) + 1)};
+  }
+
+  /// The same schedules serialized big-endian, 16 bytes per round key —
+  /// the layout hardware AES round instructions load directly. Used by
+  /// the crypto::dispatch kernels.
+  const std::uint8_t* round_key_bytes() const { return rkb_.data(); }
+  const std::uint8_t* dec_round_key_bytes() const { return rkdb_.data(); }
+
  private:
   static constexpr std::size_t kMaxRkWords = 60;  // 4 * (14 + 1)
 
   int rounds_;
   std::array<std::uint32_t, kMaxRkWords> rk_{};   // encryption schedule
   std::array<std::uint32_t, kMaxRkWords> rkd_{};  // decryption schedule
+  std::array<std::uint8_t, 4 * kMaxRkWords> rkb_{};   // rk_ serialized
+  std::array<std::uint8_t, 4 * kMaxRkWords> rkdb_{};  // rkd_ serialized
 };
 
 }  // namespace mapsec::crypto

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <span>
+#include <type_traits>
 
 #include "mapsec/crypto/aes.hpp"
 #include "mapsec/crypto/bytes.hpp"
@@ -23,6 +24,12 @@ class BlockCipher {
   virtual std::size_t block_size() const = 0;
   virtual void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const = 0;
   virtual void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const = 0;
+
+  /// Downcast hook for the dispatch layer: when the wrapped cipher is AES
+  /// the span-based modes (CTR, CBC-MAC, CBC decrypt) can hand the whole
+  /// buffer to a hardware kernel instead of calling the virtual per-block
+  /// interface. Non-AES ciphers return nullptr and take the generic path.
+  virtual const Aes* as_aes() const { return nullptr; }
 };
 
 /// Wrap any concrete cipher (Des, Des3, Aes, Rc2) in the interface.
@@ -37,6 +44,10 @@ class BlockCipherAdapter final : public BlockCipher {
   }
   void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const override {
     cipher_.decrypt_block(in, out);
+  }
+  const Aes* as_aes() const override {
+    if constexpr (std::is_same_v<C, Aes>) return &cipher_;
+    return nullptr;
   }
 
  private:

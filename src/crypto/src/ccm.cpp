@@ -1,6 +1,9 @@
 #include "mapsec/crypto/ccm.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "kernels.hpp"
 
 namespace mapsec::crypto {
 
@@ -9,6 +12,20 @@ Bytes ctr_crypt(const BlockCipher& cipher, ConstBytes counter_block,
   const std::size_t bs = cipher.block_size();
   if (counter_block.size() != bs)
     throw std::invalid_argument("ctr_crypt: counter block size mismatch");
+
+  // Accelerated span path: one call processes the whole payload, with the
+  // keystream pipelined several blocks wide.
+  if (const Aes* aes = cipher.as_aes(); aes != nullptr && bs == 16) {
+    const auto& k = dispatch::aes_kernels();
+    if (k.ctr_xor != nullptr) {
+      Bytes out(data.begin(), data.end());
+      std::uint8_t ctr[16];
+      std::memcpy(ctr, counter_block.data(), 16);
+      k.ctr_xor(dispatch::enc_schedule(*aes), ctr, out.data(), out.size());
+      return out;
+    }
+  }
+
   Bytes counter(counter_block.begin(), counter_block.end());
   Bytes keystream(bs);
   Bytes out(data.begin(), data.end());
@@ -26,6 +43,23 @@ Bytes ctr_crypt(const BlockCipher& cipher, ConstBytes counter_block,
 
 Bytes cbc_mac(const BlockCipher& cipher, ConstBytes data) {
   const std::size_t bs = cipher.block_size();
+  if (const Aes* aes = cipher.as_aes(); aes != nullptr && bs == 16) {
+    const auto& k = dispatch::aes_kernels();
+    if (k.cbc_mac != nullptr) {
+      const auto sched = dispatch::enc_schedule(*aes);
+      Bytes state(16, 0);
+      const std::size_t nfull = data.size() / 16;
+      k.cbc_mac(sched, state.data(), data.data(), nfull);
+      const std::size_t rem = data.size() - 16 * nfull;
+      if (rem != 0) {
+        for (std::size_t i = 0; i < rem; ++i)
+          state[i] ^= data[16 * nfull + i];
+        k.encrypt_block(sched, state.data(), state.data());
+      }
+      return state;
+    }
+  }
+
   Bytes state(bs, 0);
   for (std::size_t off = 0; off < data.size(); off += bs) {
     const std::size_t n = std::min(bs, data.size() - off);

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kernels.hpp"
+
 namespace mapsec::crypto {
 
 namespace {
@@ -59,15 +61,29 @@ std::size_t cbc_decrypt_in_place(const BlockCipher& cipher, ConstBytes iv,
   if (data.empty() || data.size() % bs != 0)
     throw std::runtime_error("cbc_decrypt: ciphertext not a block multiple");
 
-  std::uint8_t chain[kMaxBlockSize];
-  std::uint8_t saved[kMaxBlockSize];
-  std::memcpy(chain, iv.data(), bs);
-  for (std::size_t off = 0; off < data.size(); off += bs) {
-    std::uint8_t* blk = data.data() + off;
-    std::memcpy(saved, blk, bs);  // ciphertext block, needed as next chain
-    cipher.decrypt_block(blk, blk);
-    for (std::size_t i = 0; i < bs; ++i) blk[i] ^= chain[i];
-    std::memcpy(chain, saved, bs);
+  const dispatch::AesKernels* span_kernel = nullptr;
+  const Aes* aes = cipher.as_aes();
+  if (aes != nullptr && bs == 16) {
+    const auto& k = dispatch::aes_kernels();
+    if (k.cbc_decrypt != nullptr) span_kernel = &k;
+  }
+
+  if (span_kernel != nullptr) {
+    // Hardware path: CBC decryption has no inter-block dependency on the
+    // plaintext side, so the kernel decrypts several blocks in flight.
+    span_kernel->cbc_decrypt(dispatch::dec_schedule(*aes), iv.data(),
+                             data.data(), data.size() / 16);
+  } else {
+    std::uint8_t chain[kMaxBlockSize];
+    std::uint8_t saved[kMaxBlockSize];
+    std::memcpy(chain, iv.data(), bs);
+    for (std::size_t off = 0; off < data.size(); off += bs) {
+      std::uint8_t* blk = data.data() + off;
+      std::memcpy(saved, blk, bs);  // ciphertext block, needed as next chain
+      cipher.decrypt_block(blk, blk);
+      for (std::size_t i = 0; i < bs; ++i) blk[i] ^= chain[i];
+      std::memcpy(chain, saved, bs);
+    }
   }
 
   const std::uint8_t pad = data.back();

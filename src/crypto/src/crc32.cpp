@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "kernels.hpp"
+
 namespace mapsec::crypto {
 
 namespace {
@@ -21,10 +23,22 @@ constexpr auto kTable = make_table();
 
 }  // namespace
 
+namespace dispatch {
+
+// Raw-register-domain table recurrence (no ~ pre/post inversion): the
+// scalar kernel, and also what the PCLMUL backend uses for its final
+// residue and tail bytes.
+std::uint32_t crc32_raw(std::uint32_t raw, const std::uint8_t* data,
+                        std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i)
+    raw = kTable[(raw ^ data[i]) & 0xFF] ^ (raw >> 8);
+  return raw;
+}
+
+}  // namespace dispatch
+
 std::uint32_t crc32_update(std::uint32_t crc, ConstBytes data) {
-  crc = ~crc;
-  for (std::uint8_t b : data) crc = kTable[(crc ^ b) & 0xFF] ^ (crc >> 8);
-  return ~crc;
+  return ~dispatch::crc32_kernel()(~crc, data.data(), data.size());
 }
 
 std::uint32_t crc32(ConstBytes data) { return crc32_update(0, data); }

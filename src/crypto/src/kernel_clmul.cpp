@@ -1,0 +1,93 @@
+// PCLMULQDQ CRC-32 backend: 128-bit carry-less-multiply folding over the
+// reflected IEEE 802.3 polynomial. Four 16-byte lanes are folded 64 bytes
+// at a stride (the constants are x^(512+32·i) mod P, bit-reflected — the
+// same pair the Linux kernel's crc32-pclmul uses), then collapsed to one
+// lane and folded 16 bytes at a time. Instead of a Barrett reduction the
+// final 16-byte residue is streamed through the scalar table together
+// with the tail — the fold invariant CRC(msg) = CRC(residue ‖ tail) makes
+// that exact, and it keeps the scalar table as the single definition of
+// the polynomial.
+#include "kernels.hpp"
+
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+
+#include <immintrin.h>
+
+namespace mapsec::crypto::dispatch {
+
+namespace {
+
+// x^544, x^480 (64-byte stride) and x^160, x^96 (16-byte stride), mod P,
+// bit-reflected and shifted — the standard reflected CRC-32 fold pair.
+constexpr std::uint64_t kFold64Lo = 0x0000000154442bd4ULL;
+constexpr std::uint64_t kFold64Hi = 0x00000001c6e41596ULL;
+constexpr std::uint64_t kFold16Lo = 0x00000001751997d0ULL;
+constexpr std::uint64_t kFold16Hi = 0x00000000ccaa009eULL;
+
+inline __m128i fold(__m128i x, __m128i k, __m128i next) {
+  const __m128i lo = _mm_clmulepi64_si128(x, k, 0x00);
+  const __m128i hi = _mm_clmulepi64_si128(x, k, 0x11);
+  return _mm_xor_si128(_mm_xor_si128(lo, hi), next);
+}
+
+std::uint32_t crc32_pclmul(std::uint32_t raw, const std::uint8_t* data,
+                           std::size_t len) {
+  if (len < 64) return crc32_raw(raw, data, len);
+
+  const __m128i k64 = _mm_set_epi64x(
+      static_cast<long long>(kFold64Hi), static_cast<long long>(kFold64Lo));
+  const __m128i k16 = _mm_set_epi64x(
+      static_cast<long long>(kFold16Hi), static_cast<long long>(kFold16Lo));
+
+  const __m128i* p = reinterpret_cast<const __m128i*>(data);
+  // The running register XORs into the first four message bytes — the
+  // same identity the byte-at-a-time table recurrence applies implicitly.
+  __m128i x0 = _mm_xor_si128(_mm_loadu_si128(p),
+                             _mm_cvtsi32_si128(static_cast<int>(raw)));
+  __m128i x1 = _mm_loadu_si128(p + 1);
+  __m128i x2 = _mm_loadu_si128(p + 2);
+  __m128i x3 = _mm_loadu_si128(p + 3);
+  p += 4;
+  len -= 64;
+
+  while (len >= 64) {
+    x0 = fold(x0, k64, _mm_loadu_si128(p));
+    x1 = fold(x1, k64, _mm_loadu_si128(p + 1));
+    x2 = fold(x2, k64, _mm_loadu_si128(p + 2));
+    x3 = fold(x3, k64, _mm_loadu_si128(p + 3));
+    p += 4;
+    len -= 64;
+  }
+
+  // Collapse the four lanes (each fold steps 16 bytes).
+  __m128i x = fold(x0, k16, x1);
+  x = fold(x, k16, x2);
+  x = fold(x, k16, x3);
+
+  while (len >= 16) {
+    x = fold(x, k16, _mm_loadu_si128(p));
+    ++p;
+    len -= 16;
+  }
+
+  alignas(16) std::uint8_t residue[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(residue), x);
+  std::uint32_t crc = crc32_raw(0, residue, 16);
+  return crc32_raw(crc, reinterpret_cast<const std::uint8_t*>(p), len);
+}
+
+}  // namespace
+
+const Crc32Fn kCrc32Pclmul = crc32_pclmul;
+const bool kHavePclmul = true;
+
+}  // namespace mapsec::crypto::dispatch
+
+#else
+
+namespace mapsec::crypto::dispatch {
+const Crc32Fn kCrc32Pclmul = nullptr;
+const bool kHavePclmul = false;
+}  // namespace mapsec::crypto::dispatch
+
+#endif

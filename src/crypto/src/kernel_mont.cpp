@@ -1,0 +1,106 @@
+// Unrolled Montgomery CIOS inner loop. The arithmetic is identical to the
+// scalar kernel in modexp.cpp — 64-bit limbs, 128-bit accumulation — but
+// the limb count is a compile-time constant for the widths RSA/DH actually
+// use (512/1024/2048-bit: kw = 8/16/32), letting the compiler fully unroll
+// the j-loops, keep carries in registers, and (this TU is built with
+// -mbmi2 -madx on x86) schedule mulx/adcx/adox carry chains instead of
+// serialized mul/adc. Only the pre-subtraction REDC value is produced
+// here; the caller owns the conditional final subtraction, so the
+// timing-attack-visible extra-reduction behaviour cannot differ between
+// backends.
+#include "kernels.hpp"
+
+#include <cstring>
+
+namespace mapsec::crypto::dispatch {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+template <std::size_t KW>
+void cios_fixed(const u64* a, const u64* b, const u64* n, u64 n0inv,
+                u64* t) {
+  std::memset(t, 0, (KW + 2) * sizeof(u64));
+  for (std::size_t i = 0; i < KW; ++i) {
+    const u64 ai = a[i];
+
+    u64 carry = 0;
+    for (std::size_t j = 0; j < KW; ++j) {
+      const u128 cur = u128{t[j]} + u128{ai} * b[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = u128{t[KW]} + carry;
+    t[KW] = static_cast<u64>(cur);
+    t[KW + 1] = static_cast<u64>(cur >> 64);
+
+    const u64 m = t[0] * n0inv;
+    carry = static_cast<u64>((u128{t[0]} + u128{m} * n[0]) >> 64);
+    for (std::size_t j = 1; j < KW; ++j) {
+      const u128 c = u128{t[j]} + u128{m} * n[j] + carry;
+      t[j - 1] = static_cast<u64>(c);
+      carry = static_cast<u64>(c >> 64);
+    }
+    cur = u128{t[KW]} + carry;
+    t[KW - 1] = static_cast<u64>(cur);
+    cur = u128{t[KW + 1]} + static_cast<u64>(cur >> 64);
+    t[KW] = static_cast<u64>(cur);
+    t[KW + 1] = 0;
+  }
+}
+
+void cios_var(const u64* a, const u64* b, const u64* n, u64 n0inv, u64* t,
+              std::size_t kw) {
+  std::memset(t, 0, (kw + 2) * sizeof(u64));
+  for (std::size_t i = 0; i < kw; ++i) {
+    const u64 ai = a[i];
+
+    u64 carry = 0;
+    for (std::size_t j = 0; j < kw; ++j) {
+      const u128 cur = u128{t[j]} + u128{ai} * b[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = u128{t[kw]} + carry;
+    t[kw] = static_cast<u64>(cur);
+    t[kw + 1] = static_cast<u64>(cur >> 64);
+
+    const u64 m = t[0] * n0inv;
+    carry = static_cast<u64>((u128{t[0]} + u128{m} * n[0]) >> 64);
+    for (std::size_t j = 1; j < kw; ++j) {
+      const u128 c = u128{t[j]} + u128{m} * n[j] + carry;
+      t[j - 1] = static_cast<u64>(c);
+      carry = static_cast<u64>(c >> 64);
+    }
+    cur = u128{t[kw]} + carry;
+    t[kw - 1] = static_cast<u64>(cur);
+    cur = u128{t[kw + 1]} + static_cast<u64>(cur >> 64);
+    t[kw] = static_cast<u64>(cur);
+    t[kw + 1] = 0;
+  }
+}
+
+void cios_unrolled(const u64* a, const u64* b, const u64* n, u64 n0inv,
+                   u64* t, std::size_t kw) {
+  switch (kw) {
+    case 4: cios_fixed<4>(a, b, n, n0inv, t); break;    // 256-bit
+    case 8: cios_fixed<8>(a, b, n, n0inv, t); break;    // 512-bit (RSA CRT)
+    case 16: cios_fixed<16>(a, b, n, n0inv, t); break;  // 1024-bit
+    case 32: cios_fixed<32>(a, b, n, n0inv, t); break;  // 2048-bit
+    default: cios_var(a, b, n, n0inv, t, kw); break;
+  }
+}
+
+}  // namespace
+
+const MontCiosFn kMontCiosUnrolled = cios_unrolled;
+const bool kHaveMontUnrolled = true;
+#if defined(__BMI2__) && defined(__ADX__)
+const bool kMontNeedsBmi2 = true;
+#else
+const bool kMontNeedsBmi2 = false;
+#endif
+
+}  // namespace mapsec::crypto::dispatch

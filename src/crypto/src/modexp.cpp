@@ -4,7 +4,51 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kernels.hpp"
+
 namespace mapsec::crypto {
+
+namespace dispatch {
+
+// The pre-dispatch 64-bit CIOS accumulation loop, now the scalar kernel.
+// Produces the pre-conditional-subtraction REDC value in t[0..kw].
+void mont_cios_w64_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                          const std::uint64_t* n, std::uint64_t n0inv,
+                          std::uint64_t* t, std::size_t kw) {
+  using u128 = unsigned __int128;
+  std::memset(t, 0, (kw + 2) * sizeof(std::uint64_t));
+
+  for (std::size_t i = 0; i < kw; ++i) {
+    const std::uint64_t ai = a[i];
+
+    // t += ai * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < kw; ++j) {
+      const u128 cur = u128{t[j]} + u128{ai} * b[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    u128 cur = u128{t[kw]} + carry;
+    t[kw] = static_cast<std::uint64_t>(cur);
+    t[kw + 1] = static_cast<std::uint64_t>(cur >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+    const std::uint64_t m = t[0] * n0inv;
+    carry = static_cast<std::uint64_t>((u128{t[0]} + u128{m} * n[0]) >> 64);
+    for (std::size_t j = 1; j < kw; ++j) {
+      const u128 c = u128{t[j]} + u128{m} * n[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(c);
+      carry = static_cast<std::uint64_t>(c >> 64);
+    }
+    cur = u128{t[kw]} + carry;
+    t[kw - 1] = static_cast<std::uint64_t>(cur);
+    cur = u128{t[kw + 1]} + static_cast<std::uint64_t>(cur >> 64);
+    t[kw] = static_cast<std::uint64_t>(cur);
+    t[kw + 1] = 0;
+  }
+}
+
+}  // namespace dispatch
 
 Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
   if (n_.is_even() || n_ <= BigInt(1))
@@ -146,40 +190,15 @@ void Montgomery::mul_raw_w64(const std::uint64_t* a, const std::uint64_t* b,
                              std::uint64_t* out, MontStats* stats) const {
   // CIOS Montgomery multiplication over 64-bit limbs with 128-bit
   // accumulation; a, b and out are exactly kw_ limbs, the accumulator is
-  // the preallocated scratch.
-  using u128 = unsigned __int128;
+  // the preallocated scratch. The accumulation loop is dispatched (the
+  // unrolled BMI2 kernel for common widths, the scalar kernel otherwise);
+  // both produce the identical pre-subtraction value, and the final
+  // data-dependent subtraction below stays in one place so the
+  // extra-reduction statistics the timing attack consumes cannot drift
+  // between backends.
   std::uint64_t* t = scratch_.data();
-  std::memset(t, 0, (kw_ + 2) * sizeof(std::uint64_t));
   const std::uint64_t* nw = n_limbs_.data();
-
-  for (std::size_t i = 0; i < kw_; ++i) {
-    const std::uint64_t ai = a[i];
-
-    // t += ai * b
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < kw_; ++j) {
-      const u128 cur = u128{t[j]} + u128{ai} * b[j] + carry;
-      t[j] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    u128 cur = u128{t[kw_]} + carry;
-    t[kw_] = static_cast<std::uint64_t>(cur);
-    t[kw_ + 1] = static_cast<std::uint64_t>(cur >> 64);
-
-    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
-    const std::uint64_t m = t[0] * n0inv_;
-    carry = static_cast<std::uint64_t>((u128{t[0]} + u128{m} * nw[0]) >> 64);
-    for (std::size_t j = 1; j < kw_; ++j) {
-      const u128 c = u128{t[j]} + u128{m} * nw[j] + carry;
-      t[j - 1] = static_cast<std::uint64_t>(c);
-      carry = static_cast<std::uint64_t>(c >> 64);
-    }
-    cur = u128{t[kw_]} + carry;
-    t[kw_ - 1] = static_cast<std::uint64_t>(cur);
-    cur = u128{t[kw_ + 1]} + static_cast<std::uint64_t>(cur >> 64);
-    t[kw_] = static_cast<std::uint64_t>(cur);
-    t[kw_ + 1] = 0;
-  }
+  dispatch::mont_cios_w64()(a, b, nw, n0inv_, t, kw_);
 
   if (stats) ++stats->mults;
 

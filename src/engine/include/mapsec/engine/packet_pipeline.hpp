@@ -91,6 +91,12 @@ class PacketPipeline {
   std::size_t num_workers() const { return workers_.size(); }
   const std::vector<WorkerStats>& stats() const { return stats_; }
 
+  /// Which crypto backend the workers' inner loops dispatch to (the
+  /// crypto::dispatch capabilities summary, e.g. "aes=aesni sha1=sha-ni
+  /// ..."). Identical for every worker — dispatch is process-global —
+  /// and reported so throughput numbers carry their hardware context.
+  static std::string crypto_backend();
+
  private:
   struct SaState {
     EngineSa sa;

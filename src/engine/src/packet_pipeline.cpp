@@ -3,7 +3,13 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "mapsec/crypto/dispatch.hpp"
+
 namespace mapsec::engine {
+
+std::string PacketPipeline::crypto_backend() {
+  return crypto::dispatch::capabilities_summary();
+}
 
 PacketPipeline::PacketPipeline(EngineProfile profile, std::size_t num_workers,
                                std::uint64_t rng_seed)

@@ -52,7 +52,31 @@ struct AccelProfile {
   static AccelProfile crypto_accelerator();
   static AccelProfile protocol_engine();
   static std::vector<AccelProfile> all_tiers();
+
+  /// The tier this repository implements: runtime-dispatched host-ISA
+  /// kernels (crypto::dispatch — AES-NI, SHA-NI, PCLMUL, BMI2 CIOS).
+  /// Defaults are round numbers in line with the bench/bench_crypto
+  /// scalar-vs-accelerated measurements; callers with fresh measurements
+  /// (e.g. bench_server_load) pass them in. Same-silicon acceleration:
+  /// fewer instructions per byte is also the energy saving, so the
+  /// energy efficiency tracks the bulk speedups rather than being an
+  /// independent accelerator property.
+  static AccelProfile isa_dispatch(double symmetric = 6.0, double hash = 4.0,
+                                   double pubkey = 1.1);
 };
+
+/// Speedup `accel` applies to one primitive (symmetric / hash / pubkey
+/// class factor).
+double accel_speedup_for(const AccelProfile& accel, Primitive p);
+
+/// The cost table an appliance running `accel` effectively sees: every
+/// per-byte and per-op cost divided by its class speedup, and the
+/// per-packet protocol component scaled by the offload fraction. The
+/// result plugs into GapAnalysis / serving_gap unchanged — acceleration
+/// moves the Figure 3 surface down instead of moving the processor plane
+/// up.
+WorkloadModel accelerated_model(const WorkloadModel& model,
+                                const AccelProfile& accel);
 
 /// A platform = host processor + acceleration tier + workload cost table.
 class SecurityPlatform {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "mapsec/platform/accelerator.hpp"
 #include "mapsec/platform/processor.hpp"
 #include "mapsec/platform/workload.hpp"
 
@@ -98,6 +99,20 @@ struct ServingGapReport {
 ServingGapReport serving_gap(const WorkloadModel& model,
                              const Processor& proc, const ServedLoad& load,
                              double battery_kj = 26.0,
+                             Primitive pk = Primitive::kRsa1024Private,
+                             Primitive cipher = Primitive::kDes3,
+                             Primitive mac = Primitive::kSha1);
+
+/// The accelerated-appliance variant: the same served load priced on a
+/// processor equipped with `accel` (e.g. AccelProfile::isa_dispatch()
+/// calibrated from crypto::dispatch's measured kernels). MIPS demand is
+/// computed from the accelerated cost table; session energy is the
+/// unaccelerated instruction bill divided by the tier's energy
+/// efficiency. The gap-ratio delta against the base overload is the
+/// Figure 3 gap the acceleration closes.
+ServingGapReport serving_gap(const WorkloadModel& model,
+                             const AccelProfile& accel, const Processor& proc,
+                             const ServedLoad& load, double battery_kj = 26.0,
                              Primitive pk = Primitive::kRsa1024Private,
                              Primitive cipher = Primitive::kDes3,
                              Primitive mac = Primitive::kSha1);

@@ -50,25 +50,63 @@ std::vector<AccelProfile> AccelProfile::all_tiers() {
           protocol_engine()};
 }
 
-SecurityPlatform::SecurityPlatform(Processor host, AccelProfile accel,
-                                   WorkloadModel model)
-    : host_(std::move(host)), accel_(accel), model_(std::move(model)) {}
+AccelProfile AccelProfile::isa_dispatch(double symmetric, double hash,
+                                        double pubkey) {
+  // Same-silicon ISA dispatch: the bulk kernels execute fewer
+  // instructions, so energy per protected byte falls with the bulk
+  // speedups (the handshake's modexp gain is small and rare per session).
+  const double energy = (symmetric + hash) / 2.0;
+  return {AccelTier::kIsaExtension, symmetric, hash, pubkey, 0.0, energy};
+}
 
-double SecurityPlatform::speedup_for(Primitive p) const {
+double accel_speedup_for(const AccelProfile& accel, Primitive p) {
   switch (p) {
     case Primitive::kDes:
     case Primitive::kDes3:
     case Primitive::kAes128:
     case Primitive::kRc4:
     case Primitive::kRc2:
-      return accel_.symmetric_speedup;
+      return accel.symmetric_speedup;
     case Primitive::kSha1:
     case Primitive::kMd5:
     case Primitive::kSha256:
-      return accel_.hash_speedup;
+      return accel.hash_speedup;
     default:
-      return accel_.pubkey_speedup;
+      return accel.pubkey_speedup;
   }
+}
+
+WorkloadModel accelerated_model(const WorkloadModel& model,
+                                const AccelProfile& accel) {
+  static constexpr Primitive kAll[] = {
+      Primitive::kDes,           Primitive::kDes3,
+      Primitive::kAes128,        Primitive::kRc4,
+      Primitive::kRc2,           Primitive::kSha1,
+      Primitive::kMd5,           Primitive::kSha256,
+      Primitive::kRsa512Private, Primitive::kRsa1024Private,
+      Primitive::kRsa2048Private, Primitive::kRsa1024Public,
+      Primitive::kDh1024};
+  WorkloadModel out = model;
+  for (const Primitive p : kAll) {
+    if (is_bulk_primitive(p)) {
+      out.set_instr_per_byte(p,
+                             model.instr_per_byte(p) / accel_speedup_for(accel, p));
+    } else {
+      out.set_instr_per_op(p,
+                           model.instr_per_op(p) / accel_speedup_for(accel, p));
+    }
+  }
+  out.set_protocol_instr_per_byte(model.protocol_instr_per_byte() *
+                                  (1.0 - accel.protocol_offload));
+  return out;
+}
+
+SecurityPlatform::SecurityPlatform(Processor host, AccelProfile accel,
+                                   WorkloadModel model)
+    : host_(std::move(host)), accel_(accel), model_(std::move(model)) {}
+
+double SecurityPlatform::speedup_for(Primitive p) const {
+  return accel_speedup_for(accel_, p);
 }
 
 double SecurityPlatform::effective_instr_per_byte(Primitive p) const {

@@ -104,6 +104,34 @@ ServingGapReport serving_gap(const WorkloadModel& model,
   return report;
 }
 
+ServingGapReport serving_gap(const WorkloadModel& model,
+                             const AccelProfile& accel, const Processor& proc,
+                             const ServedLoad& load, double battery_kj,
+                             Primitive pk, Primitive cipher, Primitive mac) {
+  // MIPS side: price against the accelerated cost table.
+  ServingGapReport report = serving_gap(accelerated_model(model, accel), proc,
+                                        load, battery_kj, pk, cipher, mac);
+
+  // Energy side: the tier's energy_efficiency is defined against the host
+  // running the UNaccelerated workload, so recompute the session bill
+  // from the base model rather than double-counting the instruction
+  // reduction already applied above.
+  const double session_share =
+      load.sessions_per_s > 0
+          ? load.full_handshakes_per_s / load.sessions_per_s
+          : 1.0;
+  const double bulk_instr_per_kb = model.instr_per_byte(cipher) * 1024.0 +
+                                   model.instr_per_byte(mac) * 1024.0;
+  const double session_instr = session_share * model.instr_per_op(pk) +
+                               load.avg_session_kb * bulk_instr_per_kb;
+  const double efficiency =
+      accel.energy_efficiency > 0 ? accel.energy_efficiency : 1.0;
+  report.session_mj = proc.millijoules_for(session_instr) / efficiency;
+  report.sessions_per_charge =
+      report.session_mj > 0 ? battery_kj * 1e6 / report.session_mj : 0.0;
+  return report;
+}
+
 double GapAnalysis::max_rate_mbps(const Processor& proc,
                                   double latency_s) const {
   const double handshake =

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mapsec/net/channel.hpp"
@@ -59,6 +60,19 @@ struct LoadReport {
   double record_mbps = 0;  // protected application bits per sim second
   double handshake_p50_ms = 0;
   double handshake_p99_ms = 0;
+  /// Full-vs-resumed latency split from THIS run. These are the
+  /// apples-to-apples comparison: per-second rates depend on the
+  /// scenario's offered load and duration, so comparing a full rate from
+  /// one scenario against a resumed rate from another says nothing about
+  /// handshake cost. Zero when the run had no handshakes of that kind.
+  double full_handshake_p50_ms = 0;
+  double full_handshake_p99_ms = 0;
+  double resumed_handshake_p50_ms = 0;
+  double resumed_handshake_p99_ms = 0;
+
+  /// Active crypto backend summary (crypto::dispatch via the engine),
+  /// recorded so serving rates carry their hardware context.
+  std::string crypto_backend;
 
   /// SHA-256 over every client's transcript digest in client order —
   /// the determinism witness compared across worker counts.

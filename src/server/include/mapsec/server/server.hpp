@@ -78,6 +78,12 @@ struct ServerStats {
   /// Completed-handshake latencies in simulated microseconds, in
   /// completion order (run through analysis::percentile for p50/p99).
   std::vector<double> handshake_latencies_us;
+  /// The same latencies split by handshake kind, so full and resumed
+  /// handshakes can be compared within ONE run at one offered load —
+  /// cross-scenario rate comparisons conflate arrival rate with
+  /// handshake cost (each scenario's sim duration differs).
+  std::vector<double> full_handshake_latencies_us;
+  std::vector<double> resumed_handshake_latencies_us;
 
   double resumption_rate() const {
     return handshakes_completed == 0

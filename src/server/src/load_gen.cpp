@@ -122,6 +122,21 @@ LoadReport LoadGenerator::run() {
   report.handshake_p99_ms =
       analysis::percentile(report.server.handshake_latencies_us, 0.99) /
       1e3;
+  report.full_handshake_p50_ms =
+      analysis::percentile(report.server.full_handshake_latencies_us, 0.50) /
+      1e3;
+  report.full_handshake_p99_ms =
+      analysis::percentile(report.server.full_handshake_latencies_us, 0.99) /
+      1e3;
+  report.resumed_handshake_p50_ms =
+      analysis::percentile(report.server.resumed_handshake_latencies_us,
+                           0.50) /
+      1e3;
+  report.resumed_handshake_p99_ms =
+      analysis::percentile(report.server.resumed_handshake_latencies_us,
+                           0.99) /
+      1e3;
+  report.crypto_backend = engine::PacketPipeline::crypto_backend();
 
   platform::ServedLoad served;
   served.full_handshakes_per_s = report.full_handshakes_per_s;

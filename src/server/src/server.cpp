@@ -106,8 +106,12 @@ void SecureSessionServer::complete_handshake(Connection& conn) {
   ++stats_.handshakes_completed;
   const protocol::HandshakeSummary& summary = conn.endpoint->summary();
   summary.resumed ? ++stats_.resumed_handshakes : ++stats_.full_handshakes;
-  stats_.handshake_latencies_us.push_back(
-      static_cast<double>(queue_.now() - conn.accepted_at));
+  const double latency_us =
+      static_cast<double>(queue_.now() - conn.accepted_at);
+  stats_.handshake_latencies_us.push_back(latency_us);
+  (summary.resumed ? stats_.resumed_handshake_latencies_us
+                   : stats_.full_handshake_latencies_us)
+      .push_back(latency_us);
 
   const BulkKeys keys = derive_bulk_keys(conn.endpoint->master_secret(),
                                          summary.session_id);

@@ -380,5 +380,52 @@ TEST(AccelTest, UtilisationScalesLinearly) {
   EXPECT_NEAR(half, full / 2, 1e-9);
 }
 
+TEST(AccelTest, AcceleratedModelScalesCostsByClass) {
+  const auto base = WorkloadModel::paper_calibrated();
+  const AccelProfile accel = AccelProfile::isa_dispatch(6.0, 4.0, 1.2);
+  const auto fast = accelerated_model(base, accel);
+  EXPECT_NEAR(fast.instr_per_byte(Primitive::kAes128),
+              base.instr_per_byte(Primitive::kAes128) / 6.0, 1e-9);
+  EXPECT_NEAR(fast.instr_per_byte(Primitive::kSha1),
+              base.instr_per_byte(Primitive::kSha1) / 4.0, 1e-9);
+  EXPECT_NEAR(fast.instr_per_op(Primitive::kRsa1024Private),
+              base.instr_per_op(Primitive::kRsa1024Private) / 1.2, 1e-6);
+  // ISA dispatch does not offload the per-packet protocol component.
+  EXPECT_NEAR(fast.protocol_instr_per_byte(), base.protocol_instr_per_byte(),
+              1e-9);
+  // Software profile is the identity.
+  const auto same = accelerated_model(base, AccelProfile::software());
+  EXPECT_NEAR(same.instr_per_byte(Primitive::kDes3),
+              base.instr_per_byte(Primitive::kDes3), 1e-9);
+}
+
+TEST(AccelTest, AcceleratedServingGapNarrowsAndSavesEnergy) {
+  const auto model = WorkloadModel::paper_calibrated();
+  const Processor proc = Processor::strongarm_sa1100();
+  ServedLoad load;
+  load.full_handshakes_per_s = 2.0;
+  load.resumed_handshakes_per_s = 6.0;
+  load.bulk_mbps = 4.0;
+  load.sessions_per_s = 8.0;
+  load.avg_session_kb = 64.0;
+
+  const ServingGapReport base = serving_gap(model, proc, load);
+  const ServingGapReport fast =
+      serving_gap(model, AccelProfile::isa_dispatch(), proc, load);
+  EXPECT_GT(base.gap_ratio, 0);
+  EXPECT_LT(fast.gap_ratio, base.gap_ratio);
+  EXPECT_LT(fast.bulk_mips, base.bulk_mips);
+  EXPECT_LT(fast.handshake_mips, base.handshake_mips);
+  EXPECT_LT(fast.session_mj, base.session_mj);
+  EXPECT_GT(fast.sessions_per_charge, base.sessions_per_charge);
+  EXPECT_EQ(fast.available_mips, base.available_mips);
+
+  // A tier that accelerates nothing must reproduce the base report.
+  const ServingGapReport same =
+      serving_gap(model, AccelProfile::software(), proc, load);
+  EXPECT_NEAR(same.gap_ratio, base.gap_ratio, 1e-12);
+  EXPECT_NEAR(same.session_mj, base.session_mj, 1e-12);
+}
+
 }  // namespace
 }  // namespace mapsec::platform
