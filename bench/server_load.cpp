@@ -19,6 +19,7 @@
 //
 // Usage: bench_server_load [json-output-path]
 //   Writes BENCH_server.json (default: ./BENCH_server.json).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -26,6 +27,7 @@
 #include "bench_guard.hpp"
 #include "mapsec/analysis/csv.hpp"
 #include "mapsec/analysis/table.hpp"
+#include "mapsec/chaos/campaign.hpp"
 #include "mapsec/crypto/rng.hpp"
 #include "mapsec/crypto/rsa.hpp"
 #include "mapsec/platform/processor.hpp"
@@ -197,6 +199,70 @@ void write_scenario_json(FILE* f, const char* key, const Timed& t,
       trailing_comma ? "," : "");
 }
 
+// ---- scenario 4: handshake flood (Section 3.3 battery-exhaustion DoS) --
+
+/// One chaos campaign: the scenario-1 honest fleet plus a 200-connection
+/// full-handshake flood that drives each probe through the
+/// ClientKeyExchange, so every admitted attack connection costs the
+/// server an RSA private operation. `defended` toggles the admission
+/// valve and the degraded (resumption-only) watermarks; undefended is
+/// the pre-hardening server that performs every handshake it is offered.
+chaos::CampaignConfig flood_campaign(const Pki& pki, bool defended,
+                                     bool flood) {
+  chaos::CampaignConfig cfg;
+  cfg.seed = 0xF100D;
+  cfg.honest_clients = 12;
+  cfg.mean_interarrival_us = 3'000;
+  cfg.server = server_config(pki);
+  cfg.client = client_config(pki);
+  cfg.client.retry_budget = 8;
+  cfg.client.retry_backoff_us = 100'000;
+  cfg.client.max_retry_backoff_us = 1'000'000;
+  cfg.cache.capacity = 256;
+  cfg.cache.ttl_us = 0;
+  if (defended) {
+    cfg.server.max_handshake_queue = 8;
+    cfg.server.degraded_high_watermark = 5;
+    cfg.server.degraded_low_watermark = 2;
+  }
+  // Flood concurrency == attacker count (each attacker walks its
+  // connections sequentially), so 40 attackers keep ~40 handshakes in
+  // flight — far past the defended server's 8-deep admission queue.
+  if (flood)
+    cfg.faults.push_back(chaos::HandshakeFlood{
+        .at_us = 5'000,
+        .attackers = 40,
+        .connections_each = 5,
+        .interarrival_us = 1'000,
+        .reach_key_exchange = true,
+    });
+  return cfg;
+}
+
+struct FloodOutcome {
+  chaos::CampaignReport report;
+  /// Handshake energy beyond the flood-free baseline run — the bill the
+  /// attacker ran up, priced per byte the attacker had to transmit.
+  double attack_energy_mj = 0;
+  double attack_mj_per_byte = 0;
+  double degraded_time_share = 0;
+};
+
+FloodOutcome run_flood(const chaos::CampaignConfig& cfg,
+                       double baseline_energy_mj) {
+  FloodOutcome out;
+  out.report = chaos::CampaignRunner(cfg).run();
+  out.attack_energy_mj =
+      std::max(0.0, out.report.handshake_energy_mj - baseline_energy_mj);
+  if (out.report.attack_bytes > 0)
+    out.attack_mj_per_byte =
+        out.attack_energy_mj / static_cast<double>(out.report.attack_bytes);
+  if (out.report.sim_duration_s > 0)
+    out.degraded_time_share = out.report.degraded_time_us /
+                              (out.report.sim_duration_s * 1e6);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,6 +336,70 @@ int main(int argc, char** argv) {
                                sweep_csv)
                   .c_str());
 
+  // Scenario 4: handshake flood, undefended vs defended. The flood-free
+  // baseline run prices the honest fleet's handshake energy; the two
+  // flood runs differ only in the admission valve + degraded watermarks,
+  // so the energy delta is the attacker's battery bill (Section 3.3).
+  const double baseline_energy_mj =
+      chaos::CampaignRunner(flood_campaign(pki, false, false))
+          .run()
+          .handshake_energy_mj;
+  const FloodOutcome undefended =
+      run_flood(flood_campaign(pki, false, true), baseline_energy_mj);
+  const FloodOutcome defended =
+      run_flood(flood_campaign(pki, true, true), baseline_energy_mj);
+
+  std::puts("\n-- handshake flood: 40 attackers x 5 connections through "
+            "the ClientKeyExchange\n   (12 honest clients riding along; "
+            "energy beyond the flood-free baseline) --");
+  analysis::Table flood_tab({"metric", "undefended", "defended"});
+  auto flood_row = [&](const char* name, auto get, int digits) {
+    flood_tab.add_row({name, analysis::fmt(get(undefended), digits),
+                       analysis::fmt(get(defended), digits)});
+  };
+  flood_row("attack connections refused (shed)",
+            [](const FloodOutcome& o) {
+              return static_cast<double>(o.report.attack_refused);
+            },
+            0);
+  flood_row("full handshakes shed while degraded",
+            [](const FloodOutcome& o) {
+              return static_cast<double>(o.report.server.degraded_refusals);
+            },
+            0);
+  flood_row("RSA private ops performed",
+            [](const FloodOutcome& o) {
+              return static_cast<double>(
+                  o.report.server.handshake_rsa_private_ops);
+            },
+            0);
+  flood_row("degraded-mode time share",
+            [](const FloodOutcome& o) { return o.degraded_time_share; }, 3);
+  flood_row("attack-induced energy (mJ)",
+            [](const FloodOutcome& o) { return o.attack_energy_mj; }, 1);
+  flood_row("mJ per attack byte",
+            [](const FloodOutcome& o) { return o.attack_mj_per_byte; }, 4);
+  flood_row("honest sessions completed",
+            [](const FloodOutcome& o) {
+              return static_cast<double>(o.report.sessions_completed);
+            },
+            0);
+  std::fputs(flood_tab.render().c_str(), stdout);
+  const bool defense_holds =
+      defended.attack_energy_mj < undefended.attack_energy_mj &&
+      defended.report.attack_refused > 0 &&
+      defended.report.sessions_completed ==
+          defended.report.sessions_attempted;
+  std::printf("defense %s: %.1f mJ -> %.1f mJ attack bill (%.1fx cheaper), "
+              "honest fleet %zu/%zu\n",
+              defense_holds ? "HOLDS" : "BROKEN",
+              undefended.attack_energy_mj, defended.attack_energy_mj,
+              defended.attack_energy_mj > 0
+                  ? undefended.attack_energy_mj / defended.attack_energy_mj
+                  : 0.0,
+              defended.report.sessions_completed,
+              defended.report.sessions_attempted);
+
   // Machine-readable baseline.
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
@@ -286,13 +416,52 @@ int main(int argc, char** argv) {
                full.report.crypto_backend.c_str());
   write_scenario_json(f, "full_only", full, full_accel, true);
   write_scenario_json(f, "resumption_heavy", resumed, resumed_accel, false);
+  // The flood block carries no *_per_s/_mbps fields on purpose: these are
+  // robustness metrics, not throughput, so ci/bench_compare.py skips them
+  // and adding fields here can never break a baseline comparison.
+  auto write_flood = [f](const char* key, const FloodOutcome& o,
+                         bool trailing_comma) {
+    std::fprintf(
+        f,
+        "    \"%s\": {\n"
+        "      \"attack_connections\": %llu,\n"
+        "      \"attack_bytes\": %llu,\n"
+        "      \"attack_refused\": %llu,\n"
+        "      \"degraded_refusals\": %llu,\n"
+        "      \"rsa_private_ops\": %llu,\n"
+        "      \"degraded_time_share\": %.4f,\n"
+        "      \"attack_energy_mj\": %.2f,\n"
+        "      \"attack_mj_per_byte\": %.5f,\n"
+        "      \"honest_sessions_completed\": %zu,\n"
+        "      \"honest_sessions_attempted\": %zu\n"
+        "    }%s\n",
+        key,
+        static_cast<unsigned long long>(o.report.attack_connections),
+        static_cast<unsigned long long>(o.report.attack_bytes),
+        static_cast<unsigned long long>(o.report.attack_refused),
+        static_cast<unsigned long long>(o.report.server.degraded_refusals),
+        static_cast<unsigned long long>(
+            o.report.server.handshake_rsa_private_ops),
+        o.degraded_time_share, o.attack_energy_mj, o.attack_mj_per_byte,
+        o.report.sessions_completed, o.report.sessions_attempted,
+        trailing_comma ? "," : "");
+  };
+  std::fprintf(f,
+               "  },\n"
+               "  \"flood\": {\n"
+               "    \"baseline_handshake_energy_mj\": %.2f,\n",
+               baseline_energy_mj);
+  write_flood("undefended", undefended, true);
+  write_flood("defended", defended, false);
   std::fprintf(f,
                "  },\n"
                "  \"bulk_record_mbps\": %.3f,\n"
-               "  \"worker_sweep_digests_match\": %s\n"
+               "  \"worker_sweep_digests_match\": %s,\n"
+               "  \"flood_defense_holds\": %s\n"
                "}\n",
-               bulk_mbps, digests_match ? "true" : "false");
+               bulk_mbps, digests_match ? "true" : "false",
+               defense_holds ? "true" : "false");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
-  return digests_match ? 0 : 1;
+  return digests_match && defense_holds ? 0 : 1;
 }

@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a fresh google-benchmark JSON report against a committed baseline.
+"""Compare a fresh benchmark JSON report against a committed baseline.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 0.20]
 
-Matches benchmarks by name and compares throughput (bytes_per_second when
-present, otherwise inverse real_time). Exits non-zero if any benchmark
-regressed by more than the threshold. Improvements and new/removed
-benchmarks are reported but never fail the run — a baseline recorded on
-different hardware or a different dispatch backend (see the report's
-"crypto_dispatch" context) is expected to move in both directions, which
-is why this check is opt-in (MAPSEC_BENCH_COMPARE=1 in ci/check.sh).
+Two input formats are understood:
+
+  * google-benchmark reports (BENCH_crypto.json, BENCH_engine.json):
+    benchmarks matched by name, throughput taken from bytes_per_second
+    when present, otherwise inverse real_time.
+  * mapsec scenario reports (BENCH_server.json, any doc with a top-level
+    "scenarios" key): nested dicts of named scenarios holding mixed
+    metric fields. Only throughput-like numeric leaves (keys ending in
+    "_per_s" or "_mbps") are compared; every other field — counters,
+    energy figures, metrics added by future experiments — is ignored by
+    construction, so extending a report never breaks comparison against
+    an older baseline.
+
+Exits non-zero if any benchmark regressed by more than the threshold.
+Improvements and new/removed benchmarks are reported but never fail the
+run — a baseline recorded on different hardware or a different dispatch
+backend (see the report's "crypto_dispatch" context) is expected to move
+in both directions, which is why this check is opt-in
+(MAPSEC_BENCH_COMPARE=1 in ci/check.sh).
 
 Only python3 stdlib; no third-party imports.
 """
@@ -19,9 +31,25 @@ import json
 import sys
 
 
+def _walk_throughput(node, prefix, out):
+    """Collect throughput-like numeric leaves from a scenario report."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            _walk_throughput(value, f"{prefix}/{key}" if prefix else key, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if prefix.endswith(("_per_s", "_mbps")) and node > 0:
+            out[prefix] = ("throughput", float(node))
+
+
 def load_benchmarks(path):
     with open(path) as f:
         doc = json.load(f)
+    if "scenarios" in doc:
+        out = {}
+        _walk_throughput(doc, "", out)
+        ctx = {"mapsec_build_type": doc.get("build_type"),
+               "crypto_dispatch": doc.get("crypto_dispatch")}
+        return ctx, out
     out = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":

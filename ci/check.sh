@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Full verification sweep: a release tree and an ASan/UBSan tree, with
-# the complete ctest suite run in both — then the release suite a third
-# time under MAPSEC_FORCE_SCALAR=1, so the portable crypto kernels stay
-# green on hardware where the runtime dispatcher would otherwise hide
-# them (the sanitizer tree covers the accelerated path). This is the
-# gate a change must pass before it lands.
+# Full verification sweep, four trees:
+#   1. release            — the complete ctest suite
+#   2. ASan/UBSan         — the complete suite under address+UB sanitizers
+#   3. release, forced-scalar crypto (MAPSEC_FORCE_SCALAR=1) — portable
+#      kernels stay green where the dispatcher would otherwise hide them
+#      (the sanitizer tree covers the accelerated path)
+#   4. TSan               — the concurrency-bearing subset (pipeline,
+#      server, chaos campaigns, wire fuzzing) under ThreadSanitizer
+# This is the gate a change must pass before it lands.
 #
 # Optionally (MAPSEC_BENCH_COMPARE=1), re-records the benchmark
 # baselines from the release tree and diffs them against the committed
@@ -29,6 +32,14 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 echo "== release tree, forced-scalar crypto (MAPSEC_FORCE_SCALAR=1) =="
 MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== thread-sanitizer tree (MAPSEC_SANITIZE=thread) =="
+# TSan covers the concurrency surface: the PacketPipeline's worker pool
+# and everything that drives it (server, chaos campaigns, wire fuzzing).
+cmake -B build-tsan -S . -DMAPSEC_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+  -R 'Pipeline|pipeline|Server|server|Chaos|chaos|Campaign|WireFuzz|net_'
+
 if [[ "${MAPSEC_BENCH_COMPARE:-0}" == "1" ]]; then
   echo "== benchmark baseline comparison =="
   BENCH_DIR="$(mktemp -d)"
@@ -41,8 +52,10 @@ if [[ "${MAPSEC_BENCH_COMPARE:-0}" == "1" ]]; then
     --benchmark_format=json --benchmark_min_time=0.2 \
     --benchmark_out="${BENCH_DIR}/BENCH_engine.json" \
     --benchmark_out_format=json
+  ./build/bench/bench_server_load "${BENCH_DIR}/BENCH_server.json"
   python3 ci/bench_compare.py BENCH_crypto.json "${BENCH_DIR}/BENCH_crypto.json"
   python3 ci/bench_compare.py BENCH_engine.json "${BENCH_DIR}/BENCH_engine.json"
+  python3 ci/bench_compare.py BENCH_server.json "${BENCH_DIR}/BENCH_server.json"
 fi
 
 echo "== OK: all configurations green =="

@@ -1,0 +1,151 @@
+// Adversarial clients — the traffic-layer fault injectors.
+//
+// Two attacker models from the paper's Section 3.3/3.4 threat analysis:
+//
+//   FloodClient     — battery-exhaustion DoS. Opens connection after
+//                     connection, drives each just deep enough into the
+//                     handshake to make the server burn energy
+//                     (certificate flights, and with reach_key_exchange
+//                     the RSA private op), then abandons it. Never
+//                     completes a session; the cost asymmetry IS the
+//                     attack.
+//   MalformedClient — protocol fuzzing over the live transport: sends
+//                     WireMutator output (truncated records, corrupted
+//                     lengths, spliced frames) and abandons. The server
+//                     must shed each such connection cleanly.
+//
+// Both are event-driven peers on the campaign's queue, seeded like
+// SessionClient, so campaigns that include attacks remain bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mapsec/chaos/wire_mutator.hpp"
+#include "mapsec/net/link.hpp"
+#include "mapsec/protocol/handshake.hpp"
+
+namespace mapsec::chaos {
+
+struct FloodConfig {
+  /// Trust anchors etc. for a syntactically genuine handshake; `rng` is
+  /// ignored (each attacker owns a seeded rng).
+  protocol::HandshakeConfig handshake;
+  net::LinkConfig link;
+
+  int connections = 8;
+  net::SimTime interarrival_us = 10'000;
+  /// false: abandon right after the ClientHello (cheap probe).
+  /// true: answer the server's flight so the ClientKeyExchange lands and
+  /// the server performs its RSA private operation before the abandon.
+  bool reach_key_exchange = true;
+  /// Give up on an unresponsive (or refusing) server after this long.
+  net::SimTime attempt_timeout_us = 2'000'000;
+};
+
+struct FloodStats {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t refused = 0;             // server answered kRefused
+  std::uint64_t hellos_sent = 0;
+  std::uint64_t key_exchanges_sent = 0;
+  std::uint64_t bytes_sent = 0;          // attack bytes at the message layer
+};
+
+class FloodClient {
+ public:
+  using ConnectFn =
+      std::function<std::unique_ptr<net::ReliableLink>(FloodClient&)>;
+
+  FloodClient(net::EventQueue& queue, FloodConfig config, std::uint32_t id,
+              std::uint64_t seed);
+
+  void set_connect(ConnectFn fn) { connect_ = std::move(fn); }
+
+  /// Open the first connection at the current simulated time.
+  void start();
+
+  std::uint32_t id() const { return id_; }
+  bool finished() const { return finished_; }
+  const FloodStats& stats() const { return stats_; }
+
+ private:
+  void open_connection();
+  void on_message(crypto::ConstBytes msg);
+  void abandon();
+  void send_raw(crypto::Bytes msg);
+
+  net::EventQueue& queue_;
+  FloodConfig config_;
+  std::uint32_t id_;
+  crypto::HmacDrbg rng_;
+
+  ConnectFn connect_;
+  std::unique_ptr<net::ReliableLink> link_;
+  std::unique_ptr<protocol::TlsClient> tls_;
+  std::uint64_t epoch_ = 0;
+  net::EventId attempt_timer_ = 0;
+  int opened_ = 0;
+  bool finished_ = false;
+  FloodStats stats_;
+};
+
+struct MalformedConfig {
+  net::LinkConfig link;
+  int connections = 4;
+  int messages_per_connection = 3;
+  net::SimTime interarrival_us = 20'000;
+  net::SimTime message_gap_us = 2'000;
+};
+
+struct MalformedStats {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class MalformedClient {
+ public:
+  using ConnectFn =
+      std::function<std::unique_ptr<net::ReliableLink>(MalformedClient&)>;
+
+  /// The mutator arrives pre-seeded with a specimen corpus (see
+  /// make_default_corpus) and is owned by the client.
+  MalformedClient(net::EventQueue& queue, MalformedConfig config,
+                  std::uint32_t id, WireMutator mutator);
+
+  void set_connect(ConnectFn fn) { connect_ = std::move(fn); }
+  void start();
+
+  std::uint32_t id() const { return id_; }
+  bool finished() const { return finished_; }
+  const MalformedStats& stats() const { return stats_; }
+
+ private:
+  void open_connection();
+  void send_next();
+
+  net::EventQueue& queue_;
+  MalformedConfig config_;
+  std::uint32_t id_;
+  WireMutator mutator_;
+
+  ConnectFn connect_;
+  std::unique_ptr<net::ReliableLink> link_;
+  std::uint64_t epoch_ = 0;
+  int opened_ = 0;
+  int sent_this_connection_ = 0;
+  bool finished_ = false;
+  MalformedStats stats_;
+};
+
+/// A specimen corpus covering the session layer's surface: a genuine
+/// ClientHello flight (generated from `handshake` with a seeded rng), an
+/// application-data-shaped record, a bulk frame, close and refusal
+/// frames. `handshake` needs no credentials — only what a TlsClient needs
+/// to emit its first flight.
+WireMutator make_seeded_mutator(std::uint64_t seed,
+                                const protocol::HandshakeConfig& handshake);
+
+}  // namespace mapsec::chaos

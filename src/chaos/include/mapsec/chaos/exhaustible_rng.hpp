@@ -1,0 +1,60 @@
+// An entropy source that can run dry on command.
+//
+// Figure 6 of the paper puts a hardware RNG at the root of the secure
+// platform; a real TRNG block can stall (health-test trip, clock gate,
+// fault injection) and everything above it must cope. ExhaustibleRng
+// wraps a deterministic HmacDrbg with a byte budget: once spent, fill()
+// throws RngExhaustedError until refill(). Chaos campaigns exhaust the
+// server's handshake rng mid-run and assert the failure stays contained
+// to the connections that asked for randomness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::chaos {
+
+class RngExhaustedError : public std::runtime_error {
+ public:
+  RngExhaustedError() : std::runtime_error("rng: entropy pool exhausted") {}
+};
+
+class ExhaustibleRng final : public crypto::Rng {
+ public:
+  static constexpr std::uint64_t kUnlimited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit ExhaustibleRng(std::uint64_t seed,
+                          std::uint64_t budget_bytes = kUnlimited)
+      : inner_(seed), budget_(budget_bytes) {}
+
+  void fill(std::span<std::uint8_t> out) override {
+    if (budget_ != kUnlimited) {
+      if (out.size() > budget_) {
+        budget_ = 0;
+        throw RngExhaustedError();
+      }
+      budget_ -= out.size();
+    }
+    inner_.fill(out);
+  }
+
+  /// The pool runs dry immediately; fill() throws until refill().
+  void exhaust() { budget_ = 0; }
+
+  void refill(std::uint64_t budget_bytes = kUnlimited) {
+    budget_ = budget_bytes;
+  }
+
+  bool exhausted() const { return budget_ == 0; }
+  std::uint64_t remaining() const { return budget_; }
+
+ private:
+  crypto::HmacDrbg inner_;
+  std::uint64_t budget_;
+};
+
+}  // namespace mapsec::chaos

@@ -1,0 +1,62 @@
+// Structure-aware wire-frame mutation.
+//
+// The session layer's attack surface is `kind(1) | body` messages whose
+// bodies are TLS records (`type(1) | version(2) | length(2) | payload`)
+// or bulk headers (`spi(4) | seq(4) | ciphertext`). Purely random bytes
+// mostly die in the first length check; the interesting crashes live one
+// layer deeper. The mutator therefore starts from a corpus of VALID
+// specimens and applies protocol-shaped damage: truncations, record
+// length lies, kind swaps, splices, bit flips, oversize growth — plus a
+// ration of raw garbage so the outermost parser is covered too.
+//
+// Fully deterministic: (seed, corpus order) -> the same mutation stream,
+// which is what lets the fuzz corpus be replayed under ASan/UBSan/TSan
+// and lets chaos campaigns include adversarial traffic without losing
+// bit-reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::chaos {
+
+class WireMutator {
+ public:
+  explicit WireMutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Add a valid message (`kind | body`) to the corpus. Mutations are
+  /// drawn from specimens in insertion order under rng control.
+  void add_specimen(crypto::Bytes msg) {
+    corpus_.push_back(std::move(msg));
+  }
+
+  std::size_t corpus_size() const { return corpus_.size(); }
+
+  /// Produce the next malformed frame. Never returns a byte-for-byte
+  /// copy of a specimen (a final bit flip is forced if a mutation lands
+  /// on the identity), so every output exercises an error path.
+  crypto::Bytes next();
+
+ private:
+  enum class Strategy {
+    kTruncate,       // cut the frame at a random point
+    kBitFlip,        // flip 1-8 random bits
+    kKindSwap,       // rewrite the kind byte (valid or invalid kinds)
+    kRecordLength,   // lie in a TLS record length field
+    kSplice,         // head of one specimen + tail of another
+    kGrow,           // append random bytes (oversize / trailing junk)
+    kGarbage,        // fresh random bytes, random length
+    kEmpty,          // zero-length or single-byte frame
+    kCount,
+  };
+
+  crypto::Bytes mutate(const crypto::Bytes& specimen, Strategy strategy);
+
+  crypto::HmacDrbg rng_;
+  std::vector<crypto::Bytes> corpus_;
+};
+
+}  // namespace mapsec::chaos

@@ -1,0 +1,200 @@
+#include "mapsec/chaos/adversary.hpp"
+
+#include <utility>
+
+#include "mapsec/server/wire.hpp"
+
+namespace mapsec::chaos {
+
+// ---------------------------------------------------------------------------
+// FloodClient
+
+FloodClient::FloodClient(net::EventQueue& queue, FloodConfig config,
+                         std::uint32_t id, std::uint64_t seed)
+    : queue_(queue), config_(std::move(config)), id_(id), rng_(seed) {}
+
+void FloodClient::start() { open_connection(); }
+
+void FloodClient::send_raw(crypto::Bytes msg) {
+  stats_.bytes_sent += msg.size();
+  link_->send_message(msg);
+}
+
+void FloodClient::open_connection() {
+  if (opened_ >= config_.connections) {
+    finished_ = true;
+    return;
+  }
+  ++epoch_;
+  ++opened_;
+  ++stats_.connections_opened;
+
+  if (link_) link_->shutdown();
+  link_ = connect_(*this);
+  link_->set_on_message([this](crypto::ConstBytes msg) { on_message(msg); });
+  // A dead link (server shed us without a kRefused, blackout, ...) just
+  // means this probe is spent; the timer moves us along.
+  link_->set_on_error([this](const std::string&) { abandon(); });
+
+  protocol::HandshakeConfig cfg = config_.handshake;
+  cfg.rng = &rng_;
+  tls_ = std::make_unique<protocol::TlsClient>(cfg);
+
+  const std::uint64_t epoch = epoch_;
+  attempt_timer_ =
+      queue_.schedule_in(config_.attempt_timeout_us, [this, epoch] {
+        if (epoch != epoch_) return;
+        attempt_timer_ = 0;
+        abandon();
+      });
+
+  const protocol::HandshakeStep step = protocol::step_handshake(*tls_, {});
+  ++stats_.hellos_sent;
+  send_raw(server::make_msg(server::MsgKind::kHandshake, step.output));
+}
+
+void FloodClient::on_message(crypto::ConstBytes msg) {
+  if (finished_ || msg.empty()) return;
+  const auto kind = static_cast<server::MsgKind>(msg[0]);
+  if (kind == server::MsgKind::kRefused) {
+    ++stats_.refused;
+    abandon();
+    return;
+  }
+  if (kind != server::MsgKind::kHandshake) return;
+  if (!config_.reach_key_exchange) {
+    // The server already paid for its certificate flight; done here.
+    abandon();
+    return;
+  }
+  try {
+    const protocol::HandshakeStep step =
+        protocol::step_handshake(*tls_, msg.subspan(1));
+    if (!step.output.empty()) {
+      // This flight carries the ClientKeyExchange — the message that
+      // forces the server's RSA private operation. Send it, then walk
+      // away without finishing the session.
+      ++stats_.key_exchanges_sent;
+      send_raw(server::make_msg(server::MsgKind::kHandshake, step.output));
+    }
+  } catch (const protocol::HandshakeError&) {
+    // Server alerts/garbage don't matter to an attacker.
+  }
+  abandon();
+}
+
+void FloodClient::abandon() {
+  if (attempt_timer_) {
+    queue_.cancel(attempt_timer_);
+    attempt_timer_ = 0;
+  }
+  ++epoch_;  // invalidates this attempt's timer and stray callbacks
+  link_->shutdown();
+  if (opened_ >= config_.connections) {
+    finished_ = true;
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  queue_.schedule_in(config_.interarrival_us, [this, epoch] {
+    if (epoch == epoch_ && !finished_) open_connection();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MalformedClient
+
+MalformedClient::MalformedClient(net::EventQueue& queue,
+                                 MalformedConfig config, std::uint32_t id,
+                                 WireMutator mutator)
+    : queue_(queue),
+      config_(std::move(config)),
+      id_(id),
+      mutator_(std::move(mutator)) {}
+
+void MalformedClient::start() { open_connection(); }
+
+void MalformedClient::open_connection() {
+  if (opened_ >= config_.connections) {
+    finished_ = true;
+    return;
+  }
+  ++epoch_;
+  ++opened_;
+  ++stats_.connections_opened;
+  sent_this_connection_ = 0;
+
+  if (link_) link_->shutdown();
+  link_ = connect_(*this);
+  link_->set_on_message([](crypto::ConstBytes) {});  // replies are noise
+  const std::uint64_t open_epoch = epoch_;
+  link_->set_on_error([this, open_epoch](const std::string&) {
+    // Server (rightly) killed the connection; move to the next one.
+    if (open_epoch != epoch_ || finished_) return;
+    ++epoch_;
+    queue_.schedule_in(config_.interarrival_us,
+                       [this] { if (!finished_) open_connection(); });
+  });
+  send_next();
+}
+
+void MalformedClient::send_next() {
+  if (sent_this_connection_ >= config_.messages_per_connection) {
+    ++epoch_;
+    link_->shutdown();
+    if (opened_ >= config_.connections) {
+      finished_ = true;
+      return;
+    }
+    queue_.schedule_in(config_.interarrival_us,
+                       [this] { if (!finished_) open_connection(); });
+    return;
+  }
+  const crypto::Bytes msg = mutator_.next();
+  ++sent_this_connection_;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.size();
+  link_->send_message(msg);
+  const std::uint64_t epoch = epoch_;
+  queue_.schedule_in(config_.message_gap_us, [this, epoch] {
+    if (epoch == epoch_ && !finished_) send_next();
+  });
+}
+
+// ---------------------------------------------------------------------------
+
+WireMutator make_seeded_mutator(std::uint64_t seed,
+                                const protocol::HandshakeConfig& handshake) {
+  WireMutator mutator(seed);
+
+  // A genuine ClientHello flight: mutations of it reach the deepest
+  // parsing (record layer, then handshake codec) before dying.
+  crypto::HmacDrbg hello_rng(seed ^ 0xC11E5711u);
+  protocol::HandshakeConfig cfg = handshake;
+  cfg.rng = &hello_rng;
+  protocol::TlsClient probe(cfg);
+  const protocol::HandshakeStep step = protocol::step_handshake(probe, {});
+  mutator.add_specimen(
+      server::make_msg(server::MsgKind::kHandshake, step.output));
+
+  // Application-data-shaped record: valid header, undecryptable payload.
+  crypto::HmacDrbg body_rng(seed ^ 0xA99DA7Au);
+  crypto::Bytes record = body_rng.bytes(48);
+  record[0] = 23;  // application_data
+  record[1] = 3;
+  record[2] = 1;
+  record[3] = 0;
+  record[4] = 43;  // length of the remaining 43 bytes
+  mutator.add_specimen(server::make_msg(server::MsgKind::kAppData, record));
+
+  // Bulk frame: spi|seq header plus ciphertext-shaped tail.
+  crypto::Bytes bulk = body_rng.bytes(32);
+  mutator.add_specimen(server::make_msg(server::MsgKind::kBulk, bulk));
+
+  // Control frames.
+  mutator.add_specimen(server::make_msg(server::MsgKind::kClose, {}));
+  mutator.add_specimen(server::make_msg(server::MsgKind::kCloseAck, {}));
+
+  return mutator;
+}
+
+}  // namespace mapsec::chaos

@@ -1,0 +1,335 @@
+#include "mapsec/chaos/campaign.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mapsec/chaos/adversary.hpp"
+#include "mapsec/chaos/exhaustible_rng.hpp"
+#include "mapsec/crypto/dispatch.hpp"
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::chaos {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t n) {
+  return seed ^ (n * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+}
+
+net::SimTime exponential_us(crypto::Rng& rng, double mean_us) {
+  const double u =
+      (static_cast<double>(rng.next_u32()) + 1.0) / 4294967297.0;
+  return static_cast<net::SimTime>(-mean_us * std::log(u));
+}
+
+/// Faults flip process-global dispatch state; restore it however the
+/// run ends.
+struct DispatchGuard {
+  bool prev = crypto::dispatch::scalar_forced();
+  ~DispatchGuard() { crypto::dispatch::force_scalar(prev); }
+};
+
+/// The bearer's current fault state, composed over the base config.
+/// Blackouts nest (depth counter) so overlapping plans recover exactly
+/// when the last outage lifts.
+struct Weather {
+  int blackout_depth = 0;
+  bool collapsed = false;
+  double collapse_bytes_per_sec = 0;
+  bool burst = false;
+  double ge_p_good_to_bad = 0.05;
+  double ge_p_bad_to_good = 0.30;
+  double ge_loss_bad = 0.9;
+};
+
+/// Memory peaks may legitimately overshoot their configured cap by the
+/// final message/batch that tripped the limit; anything past this slop
+/// is an unbounded-growth bug.
+constexpr std::uint64_t kMemorySlop = 32 * 1024;
+
+}  // namespace
+
+CampaignReport CampaignRunner::run() {
+  DispatchGuard dispatch_guard;
+
+  // Declaration order doubles as lifetime order (see LoadGenerator):
+  // channels outlive server and clients, everything outlives the queue's
+  // drained events.
+  net::EventQueue queue;
+  server::BoundedSessionCache cache(queue, config_.cache);
+  std::vector<std::unique_ptr<net::DuplexChannel>> channels;
+
+  // The server's entropy source is exhaustible — the RngExhaustion fault
+  // drains it live; until then it behaves exactly like a seeded DRBG.
+  ExhaustibleRng server_rng(mix(config_.seed, 0x5E4));
+  server::ServerConfig server_config = config_.server;
+  server_config.handshake.rng = &server_rng;
+  server::SecureSessionServer server(queue, server_config, &cache);
+
+  crypto::HmacDrbg client_engine_rng(mix(config_.seed, 0xE17));
+  engine::ProtocolEngine client_engine(config_.server.engine_profile,
+                                       &client_engine_rng);
+  client_engine.load_program("ccmp-in", engine::ccmp_inbound_program());
+
+  // ---- bearer weather -------------------------------------------------
+  Weather weather;
+  std::vector<net::LossyChannel*> live_channels;
+
+  auto apply_weather = [&](net::LossyChannel& ch) {
+    net::ChannelConfig& cfg = ch.mutable_config();
+    const net::ChannelConfig& base = config_.channel;
+    cfg.loss_rate = weather.blackout_depth > 0 ? 1.0 : base.loss_rate;
+    cfg.bytes_per_sec = weather.collapsed ? weather.collapse_bytes_per_sec
+                                          : base.bytes_per_sec;
+    cfg.ge_enabled = base.ge_enabled || weather.burst;
+    if (weather.burst) {
+      cfg.ge_p_good_to_bad = weather.ge_p_good_to_bad;
+      cfg.ge_p_bad_to_good = weather.ge_p_bad_to_good;
+      cfg.ge_loss_bad = weather.ge_loss_bad;
+    } else {
+      cfg.ge_p_good_to_bad = base.ge_p_good_to_bad;
+      cfg.ge_p_bad_to_good = base.ge_p_bad_to_good;
+      cfg.ge_loss_bad = base.ge_loss_bad;
+    }
+  };
+  auto reapply_all = [&] {
+    for (net::LossyChannel* ch : live_channels) apply_weather(*ch);
+  };
+
+  // ---- shared connect path -------------------------------------------
+  // Fresh duplex channel per attempt (stale frames can never cross
+  // connections), registered with the weather so faults scheduled later
+  // reach channels created earlier and vice versa.
+  std::uint64_t connect_counter = 0;
+  auto make_link = [&](const net::LinkConfig& link_cfg) {
+    auto channel = std::make_unique<net::DuplexChannel>(
+        queue, config_.channel, config_.channel,
+        mix(config_.seed, 0xC4A17 + connect_counter));
+    ++connect_counter;
+    apply_weather(channel->a_to_b());
+    apply_weather(channel->b_to_a());
+    server.accept(channel->b_to_a(), channel->a_to_b());
+    auto link = std::make_unique<net::ReliableLink>(
+        queue, channel->a_to_b(), channel->b_to_a(), link_cfg);
+    live_channels.push_back(&channel->a_to_b());
+    live_channels.push_back(&channel->b_to_a());
+    channels.push_back(std::move(channel));
+    return link;
+  };
+
+  // ---- honest fleet ---------------------------------------------------
+  std::vector<std::unique_ptr<server::SessionClient>> clients;
+  clients.reserve(config_.honest_clients);
+  crypto::HmacDrbg arrival_rng(mix(config_.seed, 0xA881));
+  net::SimTime arrival = 0;
+  for (std::size_t i = 0; i < config_.honest_clients; ++i) {
+    auto client = std::make_unique<server::SessionClient>(
+        queue, config_.client, static_cast<std::uint32_t>(i), client_engine,
+        mix(config_.seed, 0xC11E57 + i));
+    client->set_connect(
+        [&, link_cfg = config_.client.link](server::SessionClient&) {
+          return make_link(link_cfg);
+        });
+    queue.schedule_at(arrival, [c = client.get()] { c->start(); });
+    arrival +=
+        config_.poisson_arrivals
+            ? exponential_us(arrival_rng,
+                             static_cast<double>(config_.mean_interarrival_us))
+            : config_.mean_interarrival_us;
+    clients.push_back(std::move(client));
+  }
+
+  // ---- fault plan -----------------------------------------------------
+  std::vector<std::unique_ptr<FloodClient>> floods;
+  std::vector<std::unique_ptr<MalformedClient>> vandals;
+  std::uint64_t fault_index = 0;
+
+  for (const Fault& fault : config_.faults) {
+    const std::uint64_t fseed = mix(config_.seed, 0xFA017 + fault_index);
+    ++fault_index;
+
+    if (const auto* f = std::get_if<Blackout>(&fault)) {
+      queue.schedule_at(f->at_us, [&] {
+        ++weather.blackout_depth;
+        reapply_all();
+      });
+      queue.schedule_at(f->at_us + f->duration_us, [&] {
+        --weather.blackout_depth;
+        reapply_all();
+      });
+    } else if (const auto* f = std::get_if<BearerFlap>(&fault)) {
+      for (int i = 0; i < f->flaps; ++i) {
+        const net::SimTime start =
+            f->at_us + static_cast<net::SimTime>(i) * f->period_us;
+        queue.schedule_at(start, [&] {
+          ++weather.blackout_depth;
+          reapply_all();
+        });
+        queue.schedule_at(start + f->outage_us, [&] {
+          --weather.blackout_depth;
+          reapply_all();
+        });
+      }
+    } else if (const auto* f = std::get_if<BurstLoss>(&fault)) {
+      queue.schedule_at(f->at_us, [&, p = *f] {
+        weather.burst = true;
+        weather.ge_p_good_to_bad = p.p_good_to_bad;
+        weather.ge_p_bad_to_good = p.p_bad_to_good;
+        weather.ge_loss_bad = p.loss_bad;
+        reapply_all();
+      });
+      if (f->duration_us != 0)
+        queue.schedule_at(f->at_us + f->duration_us, [&] {
+          weather.burst = false;
+          reapply_all();
+        });
+    } else if (const auto* f = std::get_if<BandwidthCollapse>(&fault)) {
+      queue.schedule_at(f->at_us, [&, bps = f->bytes_per_sec] {
+        weather.collapsed = true;
+        weather.collapse_bytes_per_sec = bps;
+        reapply_all();
+      });
+      if (f->duration_us != 0)
+        queue.schedule_at(f->at_us + f->duration_us, [&] {
+          weather.collapsed = false;
+          reapply_all();
+        });
+    } else if (const auto* f = std::get_if<DispatchFailure>(&fault)) {
+      queue.schedule_at(f->at_us,
+                        [] { crypto::dispatch::force_scalar(true); });
+      if (f->duration_us != 0)
+        queue.schedule_at(f->at_us + f->duration_us,
+                          [prev = dispatch_guard.prev] {
+                            crypto::dispatch::force_scalar(prev);
+                          });
+    } else if (const auto* f = std::get_if<RngExhaustion>(&fault)) {
+      queue.schedule_at(f->at_us, [&] { server_rng.exhaust(); });
+      queue.schedule_at(f->at_us + f->duration_us,
+                        [&] { server_rng.refill(); });
+    } else if (const auto* f = std::get_if<WorkerStall>(&fault)) {
+      queue.schedule_at(f->at_us, [&, w = *f] {
+        server.pipeline_for_chaos().inject_worker_stall(w.worker, w.stall_ns);
+      });
+      if (f->duration_us != 0)
+        queue.schedule_at(f->at_us + f->duration_us, [&, w = *f] {
+          server.pipeline_for_chaos().inject_worker_stall(w.worker, 0);
+        });
+    } else if (const auto* f = std::get_if<HandshakeFlood>(&fault)) {
+      for (int a = 0; a < f->attackers; ++a) {
+        FloodConfig fc;
+        fc.handshake = config_.client.handshake;
+        fc.link = config_.client.link;
+        fc.connections = f->connections_each;
+        fc.interarrival_us = f->interarrival_us;
+        fc.reach_key_exchange = f->reach_key_exchange;
+        auto attacker = std::make_unique<FloodClient>(
+            queue, std::move(fc),
+            static_cast<std::uint32_t>(0xF000 + floods.size()),
+            mix(fseed, 0xDD05 + a));
+        attacker->set_connect(
+            [&, link_cfg = config_.client.link](FloodClient&) {
+              return make_link(link_cfg);
+            });
+        queue.schedule_at(f->at_us, [p = attacker.get()] { p->start(); });
+        floods.push_back(std::move(attacker));
+      }
+    } else if (const auto* f = std::get_if<MalformedTraffic>(&fault)) {
+      for (int c = 0; c < f->clients; ++c) {
+        MalformedConfig mc;
+        mc.link = config_.client.link;
+        mc.connections = f->connections_each;
+        mc.messages_per_connection = f->messages_per_connection;
+        mc.interarrival_us = f->interarrival_us;
+        mc.message_gap_us = f->message_gap_us;
+        auto vandal = std::make_unique<MalformedClient>(
+            queue, std::move(mc),
+            static_cast<std::uint32_t>(0xBAD0 + vandals.size()),
+            make_seeded_mutator(mix(fseed, 0x3AD + c),
+                                config_.client.handshake));
+        vandal->set_connect(
+            [&, link_cfg = config_.client.link](MalformedClient&) {
+              return make_link(link_cfg);
+            });
+        queue.schedule_at(f->at_us, [p = vandal.get()] { p->start(); });
+        vandals.push_back(std::move(vandal));
+      }
+    }
+  }
+
+  // ---- run ------------------------------------------------------------
+  const std::size_t executed = queue.run_all(config_.max_events);
+
+  // ---- judge ----------------------------------------------------------
+  CampaignReport report;
+  report.server = server.stats();
+  report.drained = executed < config_.max_events;
+  report.open_at_end = server.open_connections();
+  report.conserved = server.stats_conserved();
+  report.degraded_time_us = server.degraded_time_us();
+  report.degraded_transitions = report.server.degraded_transitions;
+  report.sim_duration_s = static_cast<double>(queue.now()) / 1e6;
+
+  crypto::Bytes digest_stream;
+  for (const auto& client : clients) {
+    for (const server::SessionRecord& record : client->sessions()) {
+      ++report.sessions_attempted;
+      if (record.completed) ++report.sessions_completed;
+      if (record.failed) ++report.sessions_failed;
+      if (!record.echo_ok) ++report.echo_mismatches;
+      report.honest_refused_attempts +=
+          static_cast<std::size_t>(record.refused_attempts);
+    }
+    digest_stream.insert(digest_stream.end(),
+                         client->transcript_digest().begin(),
+                         client->transcript_digest().end());
+  }
+  report.fleet_digest = crypto::Sha256::hash(digest_stream);
+
+  for (const auto& flood : floods) {
+    report.attack_connections += flood->stats().connections_opened;
+    report.attack_refused += flood->stats().refused;
+    report.attack_bytes += flood->stats().bytes_sent;
+  }
+  for (const auto& vandal : vandals) {
+    report.attack_connections += vandal->stats().connections_opened;
+    report.malformed_messages += vandal->stats().messages_sent;
+    report.attack_bytes += vandal->stats().bytes_sent;
+  }
+
+  report.handshake_energy_mj =
+      static_cast<double>(report.server.handshake_bytes_rx) / 1024.0 *
+          config_.energy.rx_mj_per_kb +
+      static_cast<double>(report.server.handshake_bytes_tx) / 1024.0 *
+          config_.energy.tx_mj_per_kb +
+      static_cast<double>(report.server.handshake_rsa_private_ops) *
+          config_.rsa_mj_per_op;
+  if (report.attack_bytes > 0)
+    report.mj_per_attack_byte =
+        report.handshake_energy_mj /
+        static_cast<double>(report.attack_bytes);
+
+  // ---- invariants -----------------------------------------------------
+  auto flag = [&](const char* what) {
+    if (!report.invariant_failures.empty())
+      report.invariant_failures += "; ";
+    report.invariant_failures += what;
+  };
+  if (!report.drained) flag("event budget exhausted (possible livelock)");
+  if (report.open_at_end != 0) flag("connections left open after drain");
+  if (!report.conserved) flag("connection accounting not conserved");
+  if (report.echo_mismatches != 0) flag("surviving session echo mismatch");
+  if (config_.server.max_pending_echo_bytes != 0 &&
+      report.server.peak_pending_echo_bytes >
+          config_.server.max_pending_echo_bytes + kMemorySlop)
+    flag("pending-echo memory exceeded its bound");
+  if (config_.server.max_deferred_appdata_bytes != 0 &&
+      report.server.peak_deferred_bytes >
+          config_.server.max_deferred_appdata_bytes + kMemorySlop)
+    flag("deferred-appdata memory exceeded its bound");
+
+  return report;
+}
+
+}  // namespace mapsec::chaos

@@ -1,0 +1,109 @@
+#include "mapsec/chaos/wire_mutator.hpp"
+
+#include <algorithm>
+
+namespace mapsec::chaos {
+
+namespace {
+
+/// TLS record header: type(1) version(2) length(2). The session layer
+/// prepends one kind byte, so record offsets start at 1.
+constexpr std::size_t kKindSize = 1;
+constexpr std::size_t kRecordHeader = 5;
+
+}  // namespace
+
+crypto::Bytes WireMutator::next() {
+  const auto strategy = static_cast<Strategy>(
+      rng_.below(static_cast<std::uint64_t>(Strategy::kCount)));
+  static const crypto::Bytes kNoSpecimen;
+  const crypto::Bytes& specimen =
+      corpus_.empty() ? kNoSpecimen : corpus_[rng_.below(corpus_.size())];
+  crypto::Bytes out = mutate(specimen, strategy);
+  if (out == specimen && !out.empty()) {
+    // Never emit a valid frame: force at least one flipped bit.
+    out[rng_.below(out.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
+  return out;
+}
+
+crypto::Bytes WireMutator::mutate(const crypto::Bytes& specimen,
+                                  Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kTruncate: {
+      if (specimen.size() < 2) return specimen;
+      const std::size_t cut = 1 + rng_.below(specimen.size() - 1);
+      return crypto::Bytes(specimen.begin(),
+                           specimen.begin() + static_cast<long>(cut));
+    }
+    case Strategy::kBitFlip: {
+      if (specimen.empty()) return specimen;
+      crypto::Bytes out = specimen;
+      const std::size_t flips = 1 + rng_.below(8);
+      for (std::size_t i = 0; i < flips; ++i)
+        out[rng_.below(out.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.below(8));
+      return out;
+    }
+    case Strategy::kKindSwap: {
+      if (specimen.empty()) return specimen;
+      crypto::Bytes out = specimen;
+      // Half the time a plausible kind (0x10..0x15), half anything.
+      out[0] = rng_.below(2) == 0
+                   ? static_cast<std::uint8_t>(0x10 + rng_.below(6))
+                   : static_cast<std::uint8_t>(rng_.below(256));
+      return out;
+    }
+    case Strategy::kRecordLength: {
+      if (specimen.size() < kKindSize + kRecordHeader) return specimen;
+      crypto::Bytes out = specimen;
+      // Length field is bytes [4,5) of the record; lie big, small or
+      // maximal.
+      const std::size_t off = kKindSize + 3;
+      switch (rng_.below(3)) {
+        case 0:  // huge: claims more payload than the frame carries
+          out[off] = 0xFF;
+          out[off + 1] = 0xFF;
+          break;
+        case 1:  // short: record ends mid-payload
+          out[off] = 0;
+          out[off + 1] = static_cast<std::uint8_t>(rng_.below(4));
+          break;
+        default:  // off-by-some
+          out[off + 1] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+          break;
+      }
+      return out;
+    }
+    case Strategy::kSplice: {
+      if (corpus_.size() < 2 || specimen.empty()) return specimen;
+      const crypto::Bytes& other = corpus_[rng_.below(corpus_.size())];
+      if (other.empty()) return specimen;
+      const std::size_t head = 1 + rng_.below(specimen.size());
+      const std::size_t tail_at = rng_.below(other.size());
+      crypto::Bytes out(specimen.begin(),
+                        specimen.begin() + static_cast<long>(head));
+      out.insert(out.end(), other.begin() + static_cast<long>(tail_at),
+                 other.end());
+      return out;
+    }
+    case Strategy::kGrow: {
+      crypto::Bytes out = specimen;
+      const crypto::Bytes extra = rng_.bytes(1 + rng_.below(512));
+      out.insert(out.end(), extra.begin(), extra.end());
+      return out;
+    }
+    case Strategy::kGarbage:
+      return rng_.bytes(rng_.below(256));
+    case Strategy::kEmpty:
+      return rng_.below(2) == 0
+                 ? crypto::Bytes{}
+                 : crypto::Bytes{static_cast<std::uint8_t>(rng_.below(256))};
+    case Strategy::kCount:
+      break;
+  }
+  return specimen;
+}
+
+}  // namespace mapsec::chaos

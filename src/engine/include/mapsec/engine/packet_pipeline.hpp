@@ -20,9 +20,11 @@
 // behaviour.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -97,6 +99,13 @@ class PacketPipeline {
   /// and reported so throughput numbers carry their hardware context.
   static std::string crypto_backend();
 
+  /// Chaos hook: make worker `index` sleep `ns_per_batch` wall-clock
+  /// nanoseconds at the start of every batch (0 clears it). A stalled
+  /// worker slows the batch barrier down but MUST NOT change any result
+  /// byte — the chaos soak asserts that. Safe to call while batches run
+  /// (the value is atomic); out-of-range indices are ignored.
+  void inject_worker_stall(std::size_t index, std::uint64_t ns_per_batch);
+
  private:
   struct SaState {
     EngineSa sa;
@@ -123,6 +132,7 @@ class PacketPipeline {
   std::vector<PipelineResult>* results_ = nullptr;
 
   std::vector<WorkerStats> stats_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stall_ns_;  // per worker
   std::vector<std::thread> workers_;
 };
 

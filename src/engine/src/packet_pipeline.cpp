@@ -18,9 +18,17 @@ PacketPipeline::PacketPipeline(EngineProfile profile, std::size_t num_workers,
       rng_seed_(rng_seed),
       stats_(num_workers == 0 ? 1 : num_workers) {
   if (num_workers == 0) num_workers = 1;
+  stall_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) stall_ns_[i] = 0;
   workers_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+void PacketPipeline::inject_worker_stall(std::size_t index,
+                                         std::uint64_t ns_per_batch) {
+  if (index < workers_.size())
+    stall_ns_[index].store(ns_per_batch, std::memory_order_relaxed);
 }
 
 PacketPipeline::~PacketPipeline() {
@@ -88,6 +96,13 @@ void PacketPipeline::worker_main(std::size_t index) {
       jobs = jobs_;
       results = results_;
     }
+
+    // Injected stall (chaos campaigns): wall-clock latency only — the
+    // batch barrier below absorbs it, results stay byte-identical.
+    const std::uint64_t stall =
+        stall_ns_[index].load(std::memory_order_relaxed);
+    if (stall > 0)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
 
     // Walk the whole batch in order, claiming this worker's SAs. The scan
     // is what preserves per-SA arrival order; jobs for other workers cost

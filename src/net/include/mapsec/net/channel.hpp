@@ -28,12 +28,24 @@ struct ChannelConfig {
   SimTime reorder_extra_us = 5'000;  // hold-back applied to reordered frames
   double bytes_per_sec = 0;          // serialization rate; 0 = unlimited
   std::size_t mtu = 1024;            // frames larger than this are dropped
+
+  // Gilbert-Elliott burst loss: a two-state Markov chain advanced once
+  // per frame, layered on top of the independent loss_rate above. Bad
+  // states model the fade/interference bursts real bearers exhibit
+  // (and chaos campaigns inject); disabled by default so the rng draw
+  // sequence of existing configurations is unchanged.
+  bool ge_enabled = false;
+  double ge_p_good_to_bad = 0.05;  // P(good -> bad) per frame
+  double ge_p_bad_to_good = 0.30;  // P(bad -> good) per frame
+  double ge_loss_good = 0.0;       // P(drop | good state)
+  double ge_loss_bad = 0.8;        // P(drop | bad state)
 };
 
 struct ChannelStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_delivered = 0;
   std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_burst = 0;  // Gilbert-Elliott bad-state drops
   std::uint64_t dropped_oversize = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
@@ -69,6 +81,13 @@ class LossyChannel {
   const ChannelStats& stats() const { return stats_; }
   const ChannelConfig& config() const { return config_; }
 
+  /// Live-mutable impairments. Frames already in flight keep the timing
+  /// they were scheduled with; frames sent after a change see the new
+  /// weather. This is the hook chaos campaigns use for blackouts, bearer
+  /// flaps and bandwidth collapse — changes are only deterministic if the
+  /// caller makes them from the same EventQueue the channel runs on.
+  ChannelConfig& mutable_config() { return config_; }
+
  private:
   bool chance(double p);
   void schedule_delivery(crypto::Bytes frame, SimTime at);
@@ -78,6 +97,7 @@ class LossyChannel {
   crypto::Rng& rng_;
   std::function<void(crypto::ConstBytes)> on_frame_;
   SimTime link_free_at_ = 0;  // serialization: when the link next idles
+  bool ge_bad_ = false;       // Gilbert-Elliott state (starts good)
   ChannelStats stats_;
 };
 

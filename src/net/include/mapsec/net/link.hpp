@@ -31,8 +31,18 @@ struct LinkConfig {
   std::size_t segment_payload = 512;  // max payload bytes per DATA frame
   std::size_t window = 16;            // max unacked segments in flight
   SimTime initial_rto_us = 50'000;    // first retransmission timeout
-  SimTime max_rto_us = 800'000;       // backoff ceiling
+  SimTime max_rto_us = 800'000;       // per-retransmission backoff ceiling
   int max_retries = 8;  // retransmissions per segment before giving up
+
+  /// Clamp on one segment's CUMULATIVE backoff: once the sum of its
+  /// waits exceeds this the link fails cleanly, even when max_retries is
+  /// huge (bounds time-to-failure during blackouts). 0 = no ceiling.
+  SimTime total_backoff_ceiling_us = 0;
+
+  /// Largest inbound message the reassembly stream will buffer. A peer
+  /// announcing a bigger length prefix (malicious or corrupted) kills
+  /// the link via on_error instead of growing memory. 0 = unlimited.
+  std::size_t max_message_size = 1 << 20;
 };
 
 struct LinkStats {
@@ -86,6 +96,7 @@ class ReliableLink {
     crypto::Bytes frame;  // complete DATA frame, ready to retransmit
     int retries = 0;
     SimTime rto;
+    SimTime backoff_spent = 0;  // cumulative waits, for the ceiling check
     EventId timer = 0;
   };
 

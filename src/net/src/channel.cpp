@@ -31,14 +31,24 @@ void LossyChannel::send(crypto::ConstBytes frame) {
 
   // Impairment decisions draw from the rng in a fixed order per frame so
   // the consumption pattern (and thus every later draw) is reproducible.
+  // The Gilbert-Elliott chain advances first (state transition, then the
+  // state-conditioned loss draw); it consumes rng only when enabled, so
+  // configurations without burst loss keep their historical draw stream.
+  bool burst_lost = false;
+  if (config_.ge_enabled) {
+    ge_bad_ = ge_bad_ ? !chance(config_.ge_p_bad_to_good)
+                      : chance(config_.ge_p_good_to_bad);
+    burst_lost =
+        chance(ge_bad_ ? config_.ge_loss_bad : config_.ge_loss_good);
+  }
   const bool lost = chance(config_.loss_rate);
   const bool duplicated = chance(config_.dup_rate);
   const bool reordered = chance(config_.reorder_rate);
   const SimTime jitter =
       config_.jitter_us > 0 ? rng_.below(config_.jitter_us) : 0;
 
-  if (lost) {
-    ++stats_.dropped_loss;
+  if (lost || burst_lost) {
+    lost ? ++stats_.dropped_loss : ++stats_.dropped_burst;
     return;
   }
 

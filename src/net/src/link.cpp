@@ -92,12 +92,22 @@ void ReliableLink::handle_timeout(std::uint32_t seq) {
   if (dead_ || it == inflight_.end()) return;  // acked meanwhile
   Inflight& seg = it->second;
   seg.timer = 0;
+  seg.backoff_spent += seg.rto;
   if (++seg.retries > config_.max_retries) {
     fail("retry budget exhausted (seq " + std::to_string(seq) + ")");
     return;
   }
+  if (config_.total_backoff_ceiling_us != 0 &&
+      seg.backoff_spent >= config_.total_backoff_ceiling_us) {
+    fail("backoff ceiling exceeded (seq " + std::to_string(seq) + ")");
+    return;
+  }
   ++stats_.retransmits;
-  seg.rto = std::min(seg.rto * 2, config_.max_rto_us);
+  // Overflow-safe doubling: with a large max_rto_us and a big retry
+  // budget, rto * 2 would eventually wrap; compare against half the
+  // ceiling instead of multiplying first.
+  seg.rto = seg.rto >= config_.max_rto_us / 2 ? config_.max_rto_us
+                                              : seg.rto * 2;
   tx_.send(seg.frame);
   arm_timer(seq);
 }
@@ -146,6 +156,11 @@ void ReliableLink::on_data(std::uint32_t seq, crypto::ConstBytes payload) {
 void ReliableLink::deliver_ready() {
   while (rx_stream_.size() >= 4) {
     const std::size_t len = crypto::load_be32(rx_stream_.data());
+    if (config_.max_message_size != 0 && len > config_.max_message_size) {
+      fail("inbound message length " + std::to_string(len) +
+           " exceeds bound");
+      return;
+    }
     if (rx_stream_.size() < 4 + len) return;
     crypto::Bytes message(rx_stream_.begin() + 4,
                           rx_stream_.begin() + 4 + len);

@@ -104,6 +104,13 @@ struct HandshakeConfig {
   bool request_client_auth = false;  // send CertificateRequest
   bool require_client_auth = false;  // fail if the client sends no cert
 
+  // Server-side degraded-mode policy: refuse ClientHellos that cannot
+  // resume a cached session, BEFORE any certificate transmission or RSA
+  // work. An overloaded server (mapsec::server admission control) flips
+  // this on so the cheap abbreviated handshake stays available while
+  // the expensive full handshake is shed.
+  bool resumption_only = false;
+
   // Ephemeral-DH group for DHE suites.
   crypto::DhGroup dhe_group = crypto::DhGroup::oakley_group2();
 };

@@ -740,6 +740,12 @@ struct TlsServer::Impl {
       }
     }
 
+    // Degraded mode: the refusal happens here, before the certificate
+    // flight and long before the RSA private operation, so a shed full
+    // handshake costs the server only the ClientHello parse.
+    if (c.config.resumption_only)
+      throw HandshakeError("full handshake refused: resumption only");
+
     // Suite selection: first of *our* preference list the client offered.
     CipherSuite chosen{};
     bool found = false;

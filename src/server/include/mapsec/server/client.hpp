@@ -34,6 +34,10 @@ struct ClientConfig {
   net::SimTime attempt_timeout_us = 30'000'000;  // whole-session deadline
   int retry_budget = 3;  // connection attempts per session before giving up
   net::SimTime retry_backoff_us = 200'000;  // doubles per failed attempt
+  /// Ceiling on one retry wait — keeps large retry budgets from shifting
+  /// the backoff into overflow (and the client from sulking for hours of
+  /// simulated time). 0 = uncapped doubling.
+  net::SimTime max_retry_backoff_us = 5'000'000;
 
   std::size_t payload_bytes = 256;
   int payloads_per_session = 4;
@@ -55,6 +59,7 @@ struct SessionRecord {
   bool resumed = false;
   bool echo_ok = true;
   int attempts = 0;
+  int refused_attempts = 0;  // attempts shed by server admission control
   net::SimTime handshake_latency_us = 0;
   std::string fail_reason;
 };

@@ -47,6 +47,34 @@ struct ServerConfig {
   /// Backpressure: per-connection cap on queued-but-unsealed echo bytes.
   std::size_t max_pending_echo_bytes = 64 * 1024;
 
+  /// Per-connection cap on deferred (backpressured) application bytes.
+  /// A peer that keeps pushing past both this and the echo cap is
+  /// violating flow control — the connection fails cleanly instead of
+  /// growing memory without bound. 0 = unlimited (the pre-hardening
+  /// behaviour).
+  std::size_t max_deferred_appdata_bytes = 256 * 1024;
+
+  // ---- admission control (all 0 = disabled) ---------------------------
+  /// Refuse new connections once this many are open (handshaking +
+  /// established). The refusal costs one kRefused message, not a
+  /// handshake endpoint.
+  std::size_t max_open_connections = 0;
+  /// Bounded handshake queue: refuse new connections while this many
+  /// are still mid-handshake. This is the flood valve — handshakes are
+  /// where the RSA work and the per-connection state live.
+  std::size_t max_handshake_queue = 0;
+  /// How long a refused connection's link lingers so the kRefused
+  /// message can be (re)delivered before the server stops acking.
+  net::SimTime refusal_linger_us = 1'000'000;
+
+  // ---- graceful degradation (0 = disabled) ----------------------------
+  /// Entering/leaving resumption-only mode: above the high watermark of
+  /// in-flight handshakes new connections may only resume (full
+  /// handshakes are refused at the ClientHello, before any RSA work);
+  /// below the low watermark (default high/2) full service resumes.
+  std::size_t degraded_high_watermark = 0;
+  std::size_t degraded_low_watermark = 0;
+
   /// Bulk jobs accumulate across connections and flush through the
   /// pipeline this long after the first pending job.
   net::SimTime pipeline_flush_interval_us = 500;
@@ -74,6 +102,28 @@ struct ServerStats {
   std::uint64_t graceful_closes = 0;
   std::uint64_t link_failures = 0;
   double engine_cycles = 0;  // simulated pipeline cost of the bulk path
+
+  // ---- robustness / overload accounting -------------------------------
+  std::uint64_t failed_connections = 0;   // every fail_connection()
+  std::uint64_t refused_connections = 0;  // shed by admission control
+  std::uint64_t degraded_refusals = 0;    // full handshakes shed while degraded
+  std::uint64_t poisoned_connections = 0;  // non-protocol exception contained
+  std::uint64_t deferred_overflow_closes = 0;
+  std::uint64_t degraded_transitions = 0;  // entries into degraded mode
+  /// Simulated time spent in degraded mode over CLOSED stretches; use
+  /// SecureSessionServer::degraded_time_us() for the live total.
+  double degraded_time_us = 0;
+  /// Handshake-layer work the server actually performed, accumulated at
+  /// each connection's terminal state (complete or fail) — the inputs to
+  /// attacker-energy pricing: a flood's cost is the RSA ops plus the
+  /// bytes pushed through the record/handshake codecs.
+  std::uint64_t handshake_rsa_private_ops = 0;
+  std::uint64_t handshake_bytes_rx = 0;
+  std::uint64_t handshake_bytes_tx = 0;
+  /// High-water marks for the bounded-memory invariant: largest
+  /// queued-echo and deferred-appdata backlog any connection reached.
+  std::uint64_t peak_pending_echo_bytes = 0;
+  std::uint64_t peak_deferred_bytes = 0;
 
   /// Completed-handshake latencies in simulated microseconds, in
   /// completion order (run through analysis::percentile for p50/p99).
@@ -110,7 +160,19 @@ class SecureSessionServer {
 
   const ServerStats& stats() const { return stats_; }
   const engine::PacketPipeline& pipeline() const { return pipeline_; }
+  engine::PacketPipeline& pipeline_for_chaos() { return pipeline_; }
   std::size_t open_connections() const;
+  std::size_t handshakes_in_flight() const { return handshakes_in_flight_; }
+
+  /// Degraded (resumption-only) mode: current state and cumulative
+  /// simulated time spent degraded, including the open stretch.
+  bool degraded() const { return degraded_; }
+  double degraded_time_us() const;
+
+  /// Conservation invariant the chaos campaigns assert after every run:
+  /// every accepted connection is accounted for exactly once.
+  ///   accepted == graceful + idle + failed + refused + open
+  bool stats_conserved() const;
 
  private:
   enum class ConnState {
@@ -118,6 +180,7 @@ class SecureSessionServer {
     kEstablished,
     kClosed,
     kFailed,
+    kShed,  // refused by admission control; link lingers to deliver kRefused
   };
 
   struct Connection {
@@ -133,6 +196,7 @@ class SecureSessionServer {
     std::deque<crypto::Bytes> pending_echo;  // plaintext awaiting the pipeline
     std::size_t pending_echo_bytes = 0;
     std::deque<crypto::Bytes> deferred_appdata;  // backpressured inbound
+    std::size_t deferred_bytes = 0;
   };
 
   void on_message(std::uint32_t id, crypto::ConstBytes msg);
@@ -146,6 +210,11 @@ class SecureSessionServer {
   void arm_idle_timer(Connection& conn);
   void schedule_flush();
   void flush_pipeline();
+  bool should_refuse() const;
+  void refuse_connection(Connection& conn);
+  void leave_handshake(Connection& conn);  // bookkeeping on queue exit
+  void account_handshake_work(const Connection& conn);
+  void update_degraded();
 
   net::EventQueue& queue_;
   ServerConfig config_;
@@ -153,6 +222,10 @@ class SecureSessionServer {
   engine::PacketPipeline pipeline_;
   std::vector<std::unique_ptr<Connection>> connections_;  // index == id
   bool flush_scheduled_ = false;
+  std::size_t handshakes_in_flight_ = 0;  // connections in kHandshake
+  std::size_t established_count_ = 0;     // connections in kEstablished
+  bool degraded_ = false;
+  net::SimTime degraded_since_ = 0;
   ServerStats stats_;
 };
 

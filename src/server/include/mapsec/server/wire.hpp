@@ -21,6 +21,7 @@ enum class MsgKind : std::uint8_t {
   kBulk = 0x12,       // spi|seq header + CCM-sealed payload, server -> client
   kClose = 0x13,      // client requests graceful close
   kCloseAck = 0x14,   // server confirms close
+  kRefused = 0x15,    // admission control shed the connection, server -> client
 };
 
 /// Prepend the kind byte.

@@ -1,5 +1,6 @@
 #include "mapsec/server/client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "mapsec/crypto/sha256.hpp"
@@ -82,6 +83,12 @@ void SessionClient::on_message(crypto::ConstBytes msg) {
       break;
     case MsgKind::kCloseAck:
       if (close_sent_) session_done();
+      break;
+    case MsgKind::kRefused:
+      // Admission control shed us before any handshake state existed.
+      // Fail the attempt now instead of burning the handshake timeout.
+      ++records_.back().refused_attempts;
+      attempt_failed("server refused (admission)");
       break;
     default:
       break;  // kAppData/kClose are client->server only: ignore
@@ -196,9 +203,13 @@ void SessionClient::attempt_failed(const std::string& reason) {
     return;
   }
   // Exponential backoff: budget exhaustion must be a deliberate, paced
-  // decision, not a hammering loop against a congested bearer.
-  const net::SimTime backoff = config_.retry_backoff_us
-                               << (record.attempts - 1);
+  // decision, not a hammering loop against a congested bearer. The shift
+  // is capped so a large retry budget can't push it past the width of
+  // SimTime, and the wait is clamped to max_retry_backoff_us.
+  const int shift = std::min(record.attempts - 1, 20);
+  net::SimTime backoff = config_.retry_backoff_us << shift;
+  if (config_.max_retry_backoff_us != 0)
+    backoff = std::min(backoff, config_.max_retry_backoff_us);
   const std::uint64_t epoch = epoch_;
   queue_.schedule_in(backoff, [this, epoch] {
     if (epoch == epoch_ && !finished_) begin_attempt();

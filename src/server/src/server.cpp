@@ -1,5 +1,7 @@
 #include "mapsec/server/server.hpp"
 
+#include <algorithm>
+#include <string_view>
 #include <utility>
 
 namespace mapsec::server {
@@ -24,8 +26,6 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
   conn->id = id;
   conn->accepted_at = queue_.now();
   conn->last_activity = queue_.now();
-  conn->endpoint =
-      std::make_unique<protocol::TlsServer>(config_.handshake, cache_);
   conn->link = std::make_unique<net::ReliableLink>(queue_, tx, rx,
                                                    config_.link);
   conn->link->set_on_message([this, id](crypto::ConstBytes msg) {
@@ -34,6 +34,23 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
   conn->link->set_on_error([this, id](const std::string& reason) {
     on_link_error(id, reason);
   });
+  ++stats_.connections_accepted;
+
+  if (should_refuse()) {
+    // Shed before any handshake state exists: no TlsServer endpoint, no
+    // timer, no queue slot — the refusal costs one message and a
+    // lingering link.
+    refuse_connection(*conn);
+    connections_.push_back(std::move(conn));
+    return id;
+  }
+
+  // Degraded mode is sampled at accept time: connections admitted while
+  // overloaded may only resume (the refusal happens at the ClientHello,
+  // before certificates or RSA).
+  protocol::HandshakeConfig hs = config_.handshake;
+  hs.resumption_only = degraded_;
+  conn->endpoint = std::make_unique<protocol::TlsServer>(hs, cache_);
   conn->handshake_timer =
       queue_.schedule_in(config_.handshake_timeout_us, [this, id] {
         Connection& c = *connections_[id];
@@ -42,9 +59,79 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
           fail_connection(c, "handshake timeout");
       });
   connections_.push_back(std::move(conn));
-  ++stats_.connections_accepted;
   ++stats_.handshakes_started;
+  ++handshakes_in_flight_;
+  update_degraded();
   return id;
+}
+
+bool SecureSessionServer::should_refuse() const {
+  const std::size_t open = handshakes_in_flight_ + established_count_;
+  if (config_.max_open_connections != 0 &&
+      open >= config_.max_open_connections)
+    return true;
+  return config_.max_handshake_queue != 0 &&
+         handshakes_in_flight_ >= config_.max_handshake_queue;
+}
+
+void SecureSessionServer::refuse_connection(Connection& conn) {
+  conn.state = ConnState::kShed;
+  ++stats_.refused_connections;
+  conn.link->send_message(make_msg(MsgKind::kRefused, {}));
+  const std::uint32_t id = conn.id;
+  queue_.schedule_in(config_.refusal_linger_us, [this, id] {
+    Connection& c = *connections_[id];
+    if (c.state == ConnState::kShed) {
+      c.state = ConnState::kClosed;
+      c.link->shutdown();
+    }
+  });
+}
+
+void SecureSessionServer::leave_handshake(Connection& conn) {
+  (void)conn;
+  --handshakes_in_flight_;
+  update_degraded();
+}
+
+void SecureSessionServer::account_handshake_work(const Connection& conn) {
+  if (!conn.endpoint) return;
+  const protocol::HandshakeSummary& s = conn.endpoint->summary();
+  stats_.handshake_rsa_private_ops +=
+      static_cast<std::uint64_t>(s.rsa_private_ops);
+  stats_.handshake_bytes_rx += s.bytes_received;
+  stats_.handshake_bytes_tx += s.bytes_sent;
+}
+
+void SecureSessionServer::update_degraded() {
+  if (config_.degraded_high_watermark == 0) return;
+  const std::size_t low = config_.degraded_low_watermark != 0
+                              ? config_.degraded_low_watermark
+                              : config_.degraded_high_watermark / 2;
+  if (!degraded_ &&
+      handshakes_in_flight_ >= config_.degraded_high_watermark) {
+    degraded_ = true;
+    degraded_since_ = queue_.now();
+    ++stats_.degraded_transitions;
+  } else if (degraded_ && handshakes_in_flight_ <= low) {
+    stats_.degraded_time_us +=
+        static_cast<double>(queue_.now() - degraded_since_);
+    degraded_ = false;
+  }
+}
+
+double SecureSessionServer::degraded_time_us() const {
+  double total = stats_.degraded_time_us;
+  if (degraded_)
+    total += static_cast<double>(queue_.now() - degraded_since_);
+  return total;
+}
+
+bool SecureSessionServer::stats_conserved() const {
+  return stats_.connections_accepted ==
+         stats_.graceful_closes + stats_.idle_closes +
+             stats_.failed_connections + stats_.refused_connections +
+             open_connections();
 }
 
 std::size_t SecureSessionServer::open_connections() const {
@@ -59,27 +146,35 @@ std::size_t SecureSessionServer::open_connections() const {
 void SecureSessionServer::on_message(std::uint32_t id,
                                      crypto::ConstBytes msg) {
   Connection& conn = *connections_[id];
-  if (conn.state == ConnState::kClosed || conn.state == ConnState::kFailed)
+  if (conn.state == ConnState::kClosed ||
+      conn.state == ConnState::kFailed || conn.state == ConnState::kShed)
     return;
   if (msg.empty()) return;
   conn.last_activity = queue_.now();
   const auto kind = static_cast<MsgKind>(msg[0]);
   const crypto::ConstBytes body = msg.subspan(1);
-  switch (kind) {
-    case MsgKind::kHandshake:
-      handle_handshake(conn, body);
-      break;
-    case MsgKind::kAppData:
-      handle_appdata(conn, body);
-      break;
-    case MsgKind::kClose:
-      if (conn.state == ConnState::kEstablished) {
-        conn.link->send_message(make_msg(MsgKind::kCloseAck, {}));
-        close_connection(conn, &ServerStats::graceful_closes);
-      }
-      break;
-    default:
-      break;  // kBulk/kCloseAck are server->client only: ignore
+  // Containment: whatever one connection's input does, only that
+  // connection dies — the event loop and every other session survive.
+  try {
+    switch (kind) {
+      case MsgKind::kHandshake:
+        handle_handshake(conn, body);
+        break;
+      case MsgKind::kAppData:
+        handle_appdata(conn, body);
+        break;
+      case MsgKind::kClose:
+        if (conn.state == ConnState::kEstablished) {
+          conn.link->send_message(make_msg(MsgKind::kCloseAck, {}));
+          close_connection(conn, &ServerStats::graceful_closes);
+        }
+        break;
+      default:
+        break;  // kBulk/kCloseAck/kRefused are server->client only: ignore
+    }
+  } catch (const std::exception& e) {
+    ++stats_.poisoned_connections;
+    fail_connection(conn, e.what());
   }
 }
 
@@ -93,8 +188,13 @@ void SecureSessionServer::handle_handshake(Connection& conn,
       conn.link->send_message(make_msg(MsgKind::kHandshake, step.output));
     if (step.established) complete_handshake(conn);
   } catch (const protocol::HandshakeError& e) {
+    if (std::string_view(e.what()).find("resumption only") !=
+        std::string_view::npos)
+      ++stats_.degraded_refusals;
     fail_connection(conn, e.what());
   }
+  // Non-HandshakeError exceptions (rng exhaustion, codec faults) fall
+  // through to on_message's containment catch and are counted poisoned.
 }
 
 void SecureSessionServer::complete_handshake(Connection& conn) {
@@ -103,6 +203,9 @@ void SecureSessionServer::complete_handshake(Connection& conn) {
     conn.handshake_timer = 0;
   }
   conn.state = ConnState::kEstablished;
+  leave_handshake(conn);
+  ++established_count_;
+  account_handshake_work(conn);
   ++stats_.handshakes_completed;
   const protocol::HandshakeSummary& summary = conn.endpoint->summary();
   summary.resumed ? ++stats_.resumed_handshakes : ++stats_.full_handshakes;
@@ -124,7 +227,21 @@ void SecureSessionServer::handle_appdata(Connection& conn,
   if (conn.state != ConnState::kEstablished) return;
   if (conn.pending_echo_bytes >= config_.max_pending_echo_bytes) {
     // Backpressure: hold the raw records until the pipeline drains the
-    // queue. Deferred, not dropped — the link already acked them.
+    // queue. Deferred, not dropped — the link already acked them. But
+    // deferral is itself bounded: a peer that blows through BOTH queues
+    // is violating flow control and fails cleanly rather than growing
+    // server memory without limit.
+    if (config_.max_deferred_appdata_bytes != 0 &&
+        conn.deferred_bytes + body.size() >
+            config_.max_deferred_appdata_bytes) {
+      ++stats_.deferred_overflow_closes;
+      fail_connection(conn, "deferred appdata bound exceeded");
+      return;
+    }
+    conn.deferred_bytes += body.size();
+    stats_.peak_deferred_bytes =
+        std::max<std::uint64_t>(stats_.peak_deferred_bytes,
+                                conn.deferred_bytes);
     conn.deferred_appdata.emplace_back(body.begin(), body.end());
     ++stats_.backpressure_deferrals;
     return;
@@ -147,6 +264,8 @@ void SecureSessionServer::process_appdata(Connection& conn,
     conn.pending_echo_bytes += payload.size();
     conn.pending_echo.push_back(std::move(payload));
   }
+  stats_.peak_pending_echo_bytes = std::max<std::uint64_t>(
+      stats_.peak_pending_echo_bytes, conn.pending_echo_bytes);
   if (!conn.pending_echo.empty()) schedule_flush();
 }
 
@@ -206,6 +325,7 @@ void SecureSessionServer::flush_pipeline() {
            conn.pending_echo_bytes < config_.max_pending_echo_bytes) {
       const crypto::Bytes records = std::move(conn.deferred_appdata.front());
       conn.deferred_appdata.pop_front();
+      conn.deferred_bytes -= std::min(conn.deferred_bytes, records.size());
       process_appdata(conn, records);
     }
   }
@@ -232,6 +352,7 @@ void SecureSessionServer::close_connection(
   if (conn.handshake_timer) queue_.cancel(conn.handshake_timer);
   if (conn.idle_timer) queue_.cancel(conn.idle_timer);
   conn.handshake_timer = conn.idle_timer = 0;
+  if (conn.state == ConnState::kEstablished) --established_count_;
   conn.state = ConnState::kClosed;
   ++(stats_.*counter);
   // The link stays up (unless the caller shuts it down): a graceful
@@ -241,19 +362,37 @@ void SecureSessionServer::close_connection(
 void SecureSessionServer::fail_connection(Connection& conn,
                                           const std::string& reason) {
   (void)reason;
+  if (conn.state == ConnState::kFailed || conn.state == ConnState::kClosed)
+    return;  // already terminal: keep the counters single-entry
   if (conn.handshake_timer) queue_.cancel(conn.handshake_timer);
   if (conn.idle_timer) queue_.cancel(conn.idle_timer);
   conn.handshake_timer = conn.idle_timer = 0;
-  if (conn.state == ConnState::kHandshake) ++stats_.handshakes_failed;
+  if (conn.state == ConnState::kHandshake) {
+    ++stats_.handshakes_failed;
+    leave_handshake(conn);
+    account_handshake_work(conn);  // attacker-induced work is work done
+  } else if (conn.state == ConnState::kEstablished) {
+    --established_count_;
+  }
   conn.state = ConnState::kFailed;
+  ++stats_.failed_connections;
   conn.link->shutdown();
 }
 
 void SecureSessionServer::on_link_error(std::uint32_t id,
                                         const std::string& reason) {
   Connection& conn = *connections_[id];
-  if (conn.state == ConnState::kClosed || conn.state == ConnState::kFailed)
+  if (conn.state == ConnState::kClosed ||
+      conn.state == ConnState::kFailed) {
     return;
+  }
+  if (conn.state == ConnState::kShed) {
+    // The refusal could not be delivered (e.g. blackout): the shed
+    // connection just goes quiet; it was already accounted as refused.
+    conn.state = ConnState::kClosed;
+    conn.link->shutdown();
+    return;
+  }
   ++stats_.link_failures;
   fail_connection(conn, reason);
 }

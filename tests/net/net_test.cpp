@@ -2,6 +2,7 @@
 // the ARQ link's exactly-once delivery under loss/duplication/reorder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -270,6 +271,160 @@ TEST(LinkTest, RetryBudgetExhaustionFiresErrorOnce) {
   EXPECT_TRUE(w.a.dead());
   EXPECT_FALSE(reason.empty());
   EXPECT_FALSE(w.a.send_message(Bytes{4}));  // dead link discards
+}
+
+TEST(ChannelTest, GilbertElliottBurstsDropInRuns) {
+  EventQueue q;
+  crypto::HmacDrbg rng(11);
+  ChannelConfig cfg;
+  cfg.ge_enabled = true;
+  cfg.ge_p_good_to_bad = 0.1;
+  cfg.ge_p_bad_to_good = 0.3;
+  cfg.ge_loss_bad = 1.0;  // every bad-state frame dies: clean run lengths
+  LossyChannel ch(q, cfg, rng);
+
+  std::vector<bool> outcome;  // true = delivered, per frame in order
+  int next = 0;
+  ch.set_receiver([&](crypto::ConstBytes f) {
+    while (next < f[0]) {
+      outcome.push_back(false);
+      ++next;
+    }
+    outcome.push_back(true);
+    ++next;
+  });
+  for (int i = 0; i < 200; ++i) ch.send(Bytes{static_cast<uint8_t>(i)});
+  q.run_all();
+  while (next < 200) {
+    outcome.push_back(false);
+    ++next;
+  }
+
+  const ChannelStats& s = ch.stats();
+  EXPECT_EQ(s.dropped_loss, 0u);  // independent loss is off
+  EXPECT_GT(s.dropped_burst, 10u);
+  EXPECT_LT(s.dropped_burst, 120u);
+  // Bursts: at least one run of >= 2 consecutive drops (p_bad_to_good
+  // 0.3 makes multi-frame fades overwhelmingly likely in 200 frames).
+  int run = 0, longest = 0;
+  for (const bool delivered : outcome) {
+    run = delivered ? 0 : run + 1;
+    longest = std::max(longest, run);
+  }
+  EXPECT_GE(longest, 2);
+}
+
+TEST(ChannelTest, GilbertElliottDisabledConsumesNoRngDraws) {
+  // The GE chain must not consume rng draws while disabled: a config
+  // predating the feature sees the identical weather no matter what the
+  // (ignored) GE knobs say.
+  auto transcript = [](double ge_loss_bad) {
+    EventQueue q;
+    crypto::HmacDrbg rng(21);
+    ChannelConfig cfg;
+    cfg.loss_rate = 0.3;
+    cfg.dup_rate = 0.2;
+    cfg.ge_enabled = false;
+    cfg.ge_loss_bad = ge_loss_bad;  // must be inert while disabled
+    LossyChannel ch(q, cfg, rng);
+    std::vector<int> got;
+    ch.set_receiver([&](crypto::ConstBytes f) { got.push_back(f[0]); });
+    for (int i = 0; i < 100; ++i) ch.send(Bytes{static_cast<uint8_t>(i)});
+    q.run_all();
+    return got;
+  };
+  EXPECT_EQ(transcript(0.0), transcript(1.0));
+
+  // And flipping it on DOES change the weather (draws are interleaved).
+  auto with_ge = [] {
+    EventQueue q;
+    crypto::HmacDrbg rng(21);
+    ChannelConfig cfg;
+    cfg.loss_rate = 0.3;
+    cfg.dup_rate = 0.2;
+    cfg.ge_enabled = true;
+    cfg.ge_loss_bad = 1.0;
+    LossyChannel ch(q, cfg, rng);
+    std::vector<int> got;
+    ch.set_receiver([&](crypto::ConstBytes f) { got.push_back(f[0]); });
+    for (int i = 0; i < 100; ++i) ch.send(Bytes{static_cast<uint8_t>(i)});
+    q.run_all();
+    return got;
+  };
+  EXPECT_NE(transcript(0.0), with_ge());
+}
+
+TEST(LinkTest, HighRetryBudgetDoesNotOverflowTheBackoffShift) {
+  // Regression: rto doubling used to be an unguarded shift-like doubling;
+  // with a huge retry budget over a black-hole channel it must saturate
+  // at max_rto_us and fail after exactly max_retries + 1 transmissions.
+  ChannelConfig black_hole;
+  black_hole.loss_rate = 1.0;
+  LinkConfig link;
+  link.max_retries = 80;  // enough to overflow 64-bit rto if unclamped
+  link.initial_rto_us = 1'000;
+  link.max_rto_us = 50'000;
+  LinkWorld w(black_hole, 31, link);
+
+  int errors = 0;
+  w.a.set_on_error([&](const std::string&) { ++errors; });
+  w.a.send_message(Bytes{1});
+  w.queue.run_all();
+
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(w.a.stats().retransmits, 80u);
+  // Time to failure is the geometric ramp capped at max_rto: strictly
+  // less than (retries + 1) * max_rto, far below any overflowed wait.
+  EXPECT_LT(w.queue.now(), 81u * 50'000u);
+  EXPECT_GT(w.queue.now(), 75u * 50'000u / 2u);
+}
+
+TEST(LinkTest, TotalBackoffCeilingBoundsTimeToFailure) {
+  ChannelConfig black_hole;
+  black_hole.loss_rate = 1.0;
+  LinkConfig link;
+  link.max_retries = 1'000'000;  // effectively infinite
+  link.initial_rto_us = 10'000;
+  link.max_rto_us = 100'000;
+  link.total_backoff_ceiling_us = 400'000;
+  LinkWorld w(black_hole, 32, link);
+
+  int errors = 0;
+  std::string reason;
+  w.a.set_on_error([&](const std::string& r) {
+    ++errors;
+    reason = r;
+  });
+  w.a.send_message(Bytes{1});
+  w.queue.run_all();
+
+  EXPECT_EQ(errors, 1);
+  EXPECT_NE(reason.find("backoff ceiling"), std::string::npos);
+  // Cumulative waits stop within one max_rto past the ceiling.
+  EXPECT_LE(w.queue.now(), 400'000u + 100'000u);
+}
+
+TEST(LinkTest, InboundMessagesBeyondTheBoundKillTheLinkCleanly) {
+  LinkConfig link;
+  link.max_message_size = 1'000;
+  LinkWorld w(ChannelConfig{}, 33, link);
+
+  int errors = 0;
+  std::string reason;
+  int delivered = 0;
+  w.b.set_on_message([&](crypto::ConstBytes) { ++delivered; });
+  w.b.set_on_error([&](const std::string& r) {
+    ++errors;
+    reason = r;
+  });
+  w.a.send_message(Bytes(900, 0xAB));    // under the bound: fine
+  w.a.send_message(Bytes(1'500, 0xCD));  // over: receiver must refuse
+  w.queue.run_all();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(errors, 1);
+  EXPECT_NE(reason.find("exceeds bound"), std::string::npos);
+  EXPECT_TRUE(w.b.dead());
 }
 
 TEST(LinkTest, ShutdownSilencesTheLink) {
