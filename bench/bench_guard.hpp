@@ -13,6 +13,13 @@
 
 namespace mapsec::bench {
 
+/// THE authoritative build type of the mapsec tree being measured,
+/// reported as "mapsec_build_type" in every baseline. google-benchmark
+/// reports additionally carry a "library_build_type" key emitted by the
+/// benchmark LIBRARY itself — that describes how the system-installed
+/// libbenchmark was compiled (often "debug" from a distro package) and
+/// says nothing about this tree's optimisation level. Comparisons and
+/// the release_guard() below key off mapsec_build_type only.
 inline const char* build_type() {
 #ifdef NDEBUG
   return "release";

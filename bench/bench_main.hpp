@@ -24,6 +24,11 @@
     ::benchmark::AddCustomContext("mapsec_build_type",                   \
                                   ::mapsec::bench::build_type());        \
     ::benchmark::AddCustomContext(                                       \
+        "build_type_note",                                               \
+        "mapsec_build_type is authoritative for this tree; "             \
+        "library_build_type describes the system google-benchmark "      \
+        "library only");                                                 \
+    ::benchmark::AddCustomContext(                                       \
         "crypto_dispatch",                                               \
         ::mapsec::crypto::dispatch::capabilities_summary());             \
     ::benchmark::Initialize(&argc, argv);                                \

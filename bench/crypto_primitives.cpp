@@ -15,6 +15,7 @@
 #include "mapsec/crypto/crc32.hpp"
 #include "mapsec/crypto/crypto.hpp"
 #include "mapsec/crypto/dispatch.hpp"
+#include "mapsec/crypto/mont_cache.hpp"
 
 namespace {
 
@@ -206,6 +207,20 @@ void BM_Rsa1024PrivateCrtScalar(benchmark::State& state) {
   }
 }
 
+// E21's per-key Montgomery-context caching: the same CRT op with both
+// prime contexts (R^2 mod p/q, p'/q') cached across iterations, the way a
+// server reuses them across every handshake under one key. The delta
+// against BM_Rsa1024PrivateCrt is pure context-construction cost.
+void BM_Rsa1024PrivateCrtCached(benchmark::State& state) {
+  HmacDrbg rng(5);
+  const BigInt c = BigInt::random_below(rng, key1024().pub.n);
+  MontCache cache;
+  for (auto _ : state) {
+    BigInt m = rsa_private_op_crt(key1024().priv, c, nullptr, &cache);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+
 void BM_Rsa1024PrivateBlinded(benchmark::State& state) {
   HmacDrbg rng(6);
   const BigInt c = BigInt::random_below(rng, key1024().pub.n);
@@ -283,6 +298,7 @@ BENCHMARK(BM_HmacSha1);
 BENCHMARK(BM_Rsa1024PrivatePlain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateCrt)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateCrtScalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rsa1024PrivateCrtCached)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateBlinded)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024PrivateLadder)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Rsa1024Public)->Unit(benchmark::kMillisecond);

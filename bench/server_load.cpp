@@ -9,6 +9,13 @@
 // bulk-heavy scenario across PacketPipeline worker counts and checks the
 // fleet transcript digest is bit-identical.
 //
+// E21 rides on the same binary: a public-key offload sweep re-runs the
+// full-handshake fleet with the server's RSA ops on modeled accelerator
+// lanes (engine::OffloadEngine, 1/2/4 lanes vs inline), asserting the
+// fleet digest stays byte-identical for any lane count while the
+// full-handshake rate scales with lanes; plus a session-cache index
+// micro-benchmark (hashed vs ordered tree at 10k entries).
+//
 // Metric provenance: every per-second rate is reported INSIDE its
 // scenario block. Rates from different scenarios are not comparable —
 // each scenario has its own offered load and sim duration, so an earlier
@@ -22,6 +29,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "bench_guard.hpp"
@@ -108,10 +116,7 @@ std::string hex_prefix(const crypto::Bytes& digest, std::size_t n = 8) {
   return s;
 }
 
-/// Re-price one report's served load with the ISA-dispatch tier applied
-/// (the accelerated appliance variant of E19).
-platform::ServingGapReport accelerated_gap(const server::LoadReport& r,
-                                           const platform::Processor& proc) {
+platform::ServedLoad served_load(const server::LoadReport& r) {
   platform::ServedLoad served;
   served.full_handshakes_per_s = r.full_handshakes_per_s;
   served.resumed_handshakes_per_s = r.resumed_handshakes_per_s;
@@ -123,9 +128,16 @@ platform::ServingGapReport accelerated_gap(const server::LoadReport& r,
                                  r.server.bytes_sealed) /
              1024.0 / static_cast<double>(r.sessions_completed))
           : 0;
+  return served;
+}
+
+/// Re-price one report's served load with the ISA-dispatch tier applied
+/// (the accelerated appliance variant of E19).
+platform::ServingGapReport accelerated_gap(const server::LoadReport& r,
+                                           const platform::Processor& proc) {
   return platform::serving_gap(platform::WorkloadModel::paper_calibrated(),
                                platform::AccelProfile::isa_dispatch(), proc,
-                               served);
+                               served_load(r));
 }
 
 void print_scenario(const char* name, const Timed& t,
@@ -336,6 +348,74 @@ int main(int argc, char** argv) {
                                sweep_csv)
                   .c_str());
 
+  // Scenario 5 (E21): public-key offload sweep. The same full-handshake
+  // fleet with the server's RSA private ops on modeled accelerator lanes
+  // (4 ms/op, the OffloadCosts default): handshakes suspend at each
+  // private-key op and resume via EventQueue completion events, so the
+  // event loop never blocks on bignum math. Loss-free bearers so every
+  // session completes even at 1-lane saturation; the fleet digest must
+  // then be byte-identical for ANY lane count — and for inline mode —
+  // per the offload determinism contract.
+  std::puts("\n-- E21: public-key offload (200 clients x 1 full handshake, "
+            "loss-free bearer,\n   modeled RSA lane = 4 ms/op) --");
+  struct OffRow {
+    std::size_t workers = 0;
+    double hs_per_s = 0;
+    double mbps = 0;
+    double lane_util = 0;
+  };
+  analysis::Table off_tab({"lanes", "full hs/s (sim)", "record Mbit/s",
+                           "lane util", "peak depth", "wall ms",
+                           "fleet digest"});
+  std::vector<OffRow> off_rows;
+  std::string off_digest0;
+  bool off_digests_match = true;
+  for (std::size_t workers : {0u, 1u, 2u, 4u}) {
+    server::LoadConfig off_load = load_config(200);
+    off_load.channel = {};  // loss-free
+    server::ClientConfig off_client = client_config(pki);
+    off_client.sessions = 1;
+    off_client.payloads_per_session = 4;
+    off_client.payload_bytes = 256;
+    server::ServerConfig off_server = server_config(pki);
+    off_server.offload_workers = workers;
+    const Timed t = run(server::LoadGenerator(off_load, off_server,
+                                              off_client, {}));
+    const std::string digest = hex_prefix(t.report.fleet_digest);
+    if (off_digest0.empty()) off_digest0 = digest;
+    off_digests_match = off_digests_match && digest == off_digest0;
+    OffRow row;
+    row.workers = workers;
+    row.hs_per_s = t.report.full_handshakes_per_s;
+    row.mbps = t.report.record_mbps;
+    if (workers > 0) {
+      // Offload-tier pricing: the host plane sheds the handshake MIPS
+      // term entirely; feasibility moves to lane occupancy.
+      const platform::OffloadGapReport og = platform::serving_gap_offloaded(
+          platform::WorkloadModel::paper_calibrated(),
+          platform::Processor::strongarm_sa1100(), served_load(t.report),
+          workers, off_server.offload_costs.rsa_decrypt_us / 1e6);
+      row.lane_util = og.lane_utilisation;
+    }
+    off_rows.push_back(row);
+    off_tab.add_row(
+        {workers == 0 ? "inline" : std::to_string(workers),
+         analysis::fmt(row.hs_per_s, 1), analysis::fmt(row.mbps, 3),
+         workers == 0 ? "-" : analysis::fmt(row.lane_util, 2),
+         std::to_string(t.report.server.offload_peak_depth),
+         analysis::fmt(t.wall_ms, 0), digest});
+  }
+  std::fputs(off_tab.render().c_str(), stdout);
+  const double off_scaling =
+      off_rows[1].hs_per_s > 0 ? off_rows[3].hs_per_s / off_rows[1].hs_per_s
+                               : 0.0;
+  const bool offload_ok = off_digests_match && off_scaling >= 2.0 &&
+                          off_rows[3].mbps >= off_rows[1].mbps;
+  std::printf("digests %s across lane counts (incl. inline); 1->4 lane "
+              "handshake scaling %.2fx, record path %.3f -> %.3f Mbit/s\n",
+              off_digests_match ? "IDENTICAL" : "DIVERGED", off_scaling,
+              off_rows[1].mbps, off_rows[3].mbps);
+
   // Scenario 4: handshake flood, undefended vs defended. The flood-free
   // baseline run prices the honest fleet's handshake energy; the two
   // flood runs differ only in the admission valve + degraded watermarks,
@@ -400,6 +480,51 @@ int main(int argc, char** argv) {
               defended.report.sessions_completed,
               defended.report.sessions_attempted);
 
+  // Session-cache index micro-benchmark: the hashed index
+  // (BoundedSessionCache, FNV-1a + unordered_map) vs the ordered tree it
+  // replaced, at the 10k-entry scale a busy server holds. Uniformly
+  // random 16-byte ids are the worst case for a tree (every probe is
+  // O(log n) full byte-compares) and the design case for hashing.
+  double cache_ns_hashed = 0;
+  double cache_ns_tree = 0;
+  {
+    constexpr std::size_t kEntries = 10'000;
+    constexpr std::size_t kLookups = 1'000'000;
+    net::EventQueue cache_clock;
+    server::BoundedSessionCache hashed(cache_clock,
+                                       {.capacity = kEntries, .ttl_us = 0});
+    std::map<crypto::Bytes, protocol::SessionCache::Entry> tree;
+    crypto::HmacDrbg cache_rng(0x5E55CACE);
+    std::vector<crypto::Bytes> ids;
+    ids.reserve(kEntries);
+    for (std::size_t i = 0; i < kEntries; ++i) {
+      crypto::Bytes id = cache_rng.bytes(16);
+      protocol::SessionCache::Entry e;
+      e.master_secret = cache_rng.bytes(48);
+      hashed.store(id, e);
+      tree.emplace(id, std::move(e));
+      ids.push_back(std::move(id));
+    }
+    std::size_t found = 0;  // 48271 is coprime to 10'000: full cycle
+    const auto c0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kLookups; ++i)
+      found += hashed.lookup(ids[(i * 48271u) % kEntries]) != nullptr;
+    const auto c1 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kLookups; ++i)
+      found += tree.find(ids[(i * 48271u) % kEntries]) != tree.end();
+    const auto c2 = std::chrono::steady_clock::now();
+    cache_ns_hashed =
+        std::chrono::duration<double, std::nano>(c1 - c0).count() / kLookups;
+    cache_ns_tree =
+        std::chrono::duration<double, std::nano>(c2 - c1).count() / kLookups;
+    std::printf("\n-- session-cache index: %zu lookups over %zu entries --\n"
+                "hashed %.0f ns/lookup vs ordered tree %.0f ns/lookup "
+                "(%.1fx); %zu found\n",
+                kLookups, kEntries, cache_ns_hashed, cache_ns_tree,
+                cache_ns_hashed > 0 ? cache_ns_tree / cache_ns_hashed : 0.0,
+                found);
+  }
+
   // Machine-readable baseline.
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
@@ -409,7 +534,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"experiment\": \"E18\",\n"
-               "  \"build_type\": \"%s\",\n"
+               "  \"mapsec_build_type\": \"%s\",\n"
                "  \"crypto_dispatch\": \"%s\",\n"
                "  \"scenarios\": {\n",
                mapsec::bench::build_type(),
@@ -455,13 +580,37 @@ int main(int argc, char** argv) {
   write_flood("defended", defended, false);
   std::fprintf(f,
                "  },\n"
+               "  \"offload_sweep\": {\n");
+  const char* off_keys[] = {"inline_pk", "lanes_1", "lanes_2", "lanes_4"};
+  for (std::size_t i = 0; i < off_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\n"
+                 "      \"full_handshakes_per_s\": %.3f,\n"
+                 "      \"record_mbps\": %.3f,\n"
+                 "      \"lane_utilisation\": %.3f\n"
+                 "    }%s\n",
+                 off_keys[i], off_rows[i].hs_per_s, off_rows[i].mbps,
+                 off_rows[i].lane_util,
+                 i + 1 < off_rows.size() ? "," : "");
+  }
+  // The ns/lookup figures are wall-clock (machine-dependent) and carry
+  // no _per_s/_mbps suffix, so bench_compare.py ignores them by
+  // construction.
+  std::fprintf(f,
+               "  },\n"
+               "  \"offload_digests_match\": %s,\n"
+               "  \"offload_scaling_1_to_4\": %.2f,\n"
+               "  \"session_cache_hashed_ns_per_lookup\": %.1f,\n"
+               "  \"session_cache_tree_ns_per_lookup\": %.1f,\n"
                "  \"bulk_record_mbps\": %.3f,\n"
                "  \"worker_sweep_digests_match\": %s,\n"
                "  \"flood_defense_holds\": %s\n"
                "}\n",
-               bulk_mbps, digests_match ? "true" : "false",
+               off_digests_match ? "true" : "false", off_scaling,
+               cache_ns_hashed, cache_ns_tree, bulk_mbps,
+               digests_match ? "true" : "false",
                defense_holds ? "true" : "false");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
-  return digests_match && defense_holds ? 0 : 1;
+  return digests_match && defense_holds && offload_ok ? 0 : 1;
 }

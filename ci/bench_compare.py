@@ -20,8 +20,9 @@ Exits non-zero if any benchmark regressed by more than the threshold.
 Improvements and new/removed benchmarks are reported but never fail the
 run — a baseline recorded on different hardware or a different dispatch
 backend (see the report's "crypto_dispatch" context) is expected to move
-in both directions, which is why this check is opt-in
-(MAPSEC_BENCH_COMPARE=1 in ci/check.sh).
+in both directions. ci/check.sh runs this comparison by default against
+the release tree it just validated; set MAPSEC_BENCH_COMPARE=0 there to
+skip it on hosts whose wall-clock throughput is not trustworthy.
 
 Only python3 stdlib; no third-party imports.
 """
@@ -47,7 +48,8 @@ def load_benchmarks(path):
     if "scenarios" in doc:
         out = {}
         _walk_throughput(doc, "", out)
-        ctx = {"mapsec_build_type": doc.get("build_type"),
+        ctx = {"mapsec_build_type": doc.get("mapsec_build_type",
+                                            doc.get("build_type")),
                "crypto_dispatch": doc.get("crypto_dispatch")}
         return ctx, out
     out = {}

@@ -9,9 +9,12 @@
 #      server, chaos campaigns, wire fuzzing) under ThreadSanitizer
 # This is the gate a change must pass before it lands.
 #
-# Optionally (MAPSEC_BENCH_COMPARE=1), re-records the benchmark
-# baselines from the release tree and diffs them against the committed
-# BENCH_*.json, failing on >20% throughput regressions.
+# Finally, re-records the benchmark baselines from the release tree and
+# diffs them against the committed BENCH_*.json, failing on >20%
+# throughput regressions. On by default — the release tree the suite
+# just built is exactly the tree the baselines describe. Set
+# MAPSEC_BENCH_COMPARE=0 to skip (e.g. on loaded or throttled hosts
+# where wall-clock throughput is meaningless).
 #
 # Usage: ci/check.sh [jobs]
 set -euo pipefail
@@ -40,22 +43,39 @@ cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
   -R 'Pipeline|pipeline|Server|server|Chaos|chaos|Campaign|WireFuzz|net_'
 
-if [[ "${MAPSEC_BENCH_COMPARE:-0}" == "1" ]]; then
+if [[ "${MAPSEC_BENCH_COMPARE:-1}" != "0" ]]; then
   echo "== benchmark baseline comparison =="
   BENCH_DIR="$(mktemp -d)"
   trap 'rm -rf "${BENCH_DIR}"' EXIT
-  ./build/bench/bench_crypto_primitives \
-    --benchmark_format=json --benchmark_min_time=0.2 \
-    --benchmark_out="${BENCH_DIR}/BENCH_crypto.json" \
-    --benchmark_out_format=json
-  ./build/bench/bench_pipeline_throughput \
-    --benchmark_format=json --benchmark_min_time=0.2 \
-    --benchmark_out="${BENCH_DIR}/BENCH_engine.json" \
-    --benchmark_out_format=json
-  ./build/bench/bench_server_load "${BENCH_DIR}/BENCH_server.json"
-  python3 ci/bench_compare.py BENCH_crypto.json "${BENCH_DIR}/BENCH_crypto.json"
-  python3 ci/bench_compare.py BENCH_engine.json "${BENCH_DIR}/BENCH_engine.json"
-  python3 ci/bench_compare.py BENCH_server.json "${BENCH_DIR}/BENCH_server.json"
+  record_crypto() {
+    ./build/bench/bench_crypto_primitives \
+      --benchmark_format=json --benchmark_min_time=0.2 \
+      --benchmark_out="${BENCH_DIR}/BENCH_crypto.json" \
+      --benchmark_out_format=json
+  }
+  record_engine() {
+    ./build/bench/bench_pipeline_throughput \
+      --benchmark_format=json --benchmark_min_time=0.2 \
+      --benchmark_out="${BENCH_DIR}/BENCH_engine.json" \
+      --benchmark_out_format=json
+  }
+  record_server() {
+    ./build/bench/bench_server_load "${BENCH_DIR}/BENCH_server.json"
+  }
+  # One wall-clock sample on a shared host can dip >20% without any code
+  # change; a real regression also reproduces in a second sample. Each
+  # report therefore gets a single re-measure before the gate fails.
+  compare() {  # compare BASELINE.json record_fn
+    "$2"
+    if ! python3 ci/bench_compare.py "$1" "${BENCH_DIR}/$1"; then
+      echo "-- $1 regressed in one sample; re-measuring to rule out host noise --"
+      "$2"
+      python3 ci/bench_compare.py "$1" "${BENCH_DIR}/$1"
+    fi
+  }
+  compare BENCH_crypto.json record_crypto
+  compare BENCH_engine.json record_engine
+  compare BENCH_server.json record_server
 fi
 
 echo "== OK: all configurations green =="

@@ -85,6 +85,20 @@ struct WorkerStall {
   std::uint64_t stall_ns = 200'000;
 };
 
+/// One (or all) public-key offload workers go slow: a wall-clock stall
+/// per job, injected into the server's OffloadEngine. The completion
+/// event's steal path must absorb it — after the grace period the job is
+/// recomputed inline, bit-identically — so simulated outcomes are
+/// unchanged; only host latency and the `stolen` counter move. A no-op
+/// when the server runs public-key operations inline (no engine).
+struct OffloadStall {
+  net::SimTime at_us = 0;
+  net::SimTime duration_us = 0;  // 0 = rest of the run
+  std::size_t worker = 0;
+  bool all_workers = false;
+  std::uint64_t stall_ns = 400'000'000;  // well past the steal timeout
+};
+
 /// Full-handshake flood (battery-exhaustion DoS): `attackers` adversarial
 /// clients each opening `connections_each` connections, every one forcing
 /// the server through handshake work and then abandoning the session.
@@ -115,8 +129,8 @@ struct MalformedTraffic {
 
 using Fault =
     std::variant<Blackout, BearerFlap, BurstLoss, BandwidthCollapse,
-                 DispatchFailure, RngExhaustion, WorkerStall, HandshakeFlood,
-                 MalformedTraffic>;
+                 DispatchFailure, RngExhaustion, WorkerStall, OffloadStall,
+                 HandshakeFlood, MalformedTraffic>;
 
 using FaultPlan = std::vector<Fault>;
 

@@ -216,6 +216,22 @@ CampaignReport CampaignRunner::run() {
         queue.schedule_at(f->at_us + f->duration_us, [&, w = *f] {
           server.pipeline_for_chaos().inject_worker_stall(w.worker, 0);
         });
+    } else if (const auto* f = std::get_if<OffloadStall>(&fault)) {
+      const auto stall_set = [&](const OffloadStall& w, std::uint64_t ns) {
+        engine::OffloadEngine* off = server.offload_for_chaos();
+        if (off == nullptr) return;  // inline pk mode: nothing to stall
+        if (w.all_workers) {
+          for (std::size_t i = 0; i < off->num_workers(); ++i)
+            off->inject_worker_stall(i, ns);
+        } else {
+          off->inject_worker_stall(w.worker, ns);
+        }
+      };
+      queue.schedule_at(f->at_us,
+                        [&, stall_set, w = *f] { stall_set(w, w.stall_ns); });
+      if (f->duration_us != 0)
+        queue.schedule_at(f->at_us + f->duration_us,
+                          [&, stall_set, w = *f] { stall_set(w, 0); });
     } else if (const auto* f = std::get_if<HandshakeFlood>(&fault)) {
       for (int a = 0; a < f->attackers; ++a) {
         FloodConfig fc;

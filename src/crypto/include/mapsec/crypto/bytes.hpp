@@ -100,4 +100,19 @@ constexpr std::uint32_t rotr32(std::uint32_t x, unsigned n) {
   return (x >> n) | (x << (32 - n));
 }
 
+/// FNV-1a over a byte string; the hash functor for every hashed
+/// byte-keyed index in the tree (MontCache moduli, the server's
+/// session-id cache).
+struct BytesHash {
+  std::size_t operator()(const Bytes& b) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t byte : b) {
+      h ^= byte;
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
 }  // namespace mapsec::crypto
+

@@ -1,0 +1,68 @@
+// Per-key Montgomery context cache.
+//
+// Constructing a `Montgomery` engine is the expensive part of a modular
+// exponentiation setup: R^2 mod n costs a full-width division, n' a Newton
+// iteration, and the limb buffers a handful of allocations. The paper's
+// accelerator argument (Section 4) assumes that per-key state is computed
+// once and reused across the key's lifetime — a server performs thousands
+// of private operations under the *same* RSA key, so recomputing R^2 per
+// handshake is pure waste.
+//
+// `MontCache` maps a modulus to a lazily constructed `Montgomery` engine
+// and hands back the same instance on every subsequent request. Outputs
+// are bit-identical to an uncached run and MontStats timing-attack
+// semantics are untouched: the cache only skips *context construction*,
+// never a square, multiply, or extra reduction of the exponentiation
+// itself (R stays 2^(32 k32) — a function of the modulus alone).
+//
+// Thread-safety: deliberately NONE. A `Montgomery` engine carries mutable
+// scratch buffers and is single-threaded by contract, so the cache that
+// owns it is too. Use one `MontCache` per thread (the OffloadEngine gives
+// each worker its own; the server event loop keeps one for inline work).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/modexp.hpp"
+
+namespace mapsec::crypto {
+
+class MontCache {
+ public:
+  /// The Montgomery engine for `modulus` (odd, > 1), constructed on first
+  /// request and reused afterwards. The reference stays valid until
+  /// clear() or destruction — entries are never evicted.
+  const Montgomery& get(const BigInt& modulus) {
+    Bytes key = modulus.to_bytes_be();
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return *it->second;
+    }
+    ++misses_;
+    auto [pos, inserted] =
+        map_.emplace(std::move(key), std::make_unique<Montgomery>(modulus));
+    (void)inserted;
+    return *pos->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  void clear() {
+    map_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  // unique_ptr values keep Montgomery references stable across rehashes.
+  std::unordered_map<Bytes, std::unique_ptr<Montgomery>, BytesHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mapsec::crypto

@@ -23,6 +23,8 @@
 
 namespace mapsec::crypto {
 
+class MontCache;  // mont_cache.hpp — per-key Montgomery context cache
+
 struct RsaPublicKey {
   BigInt n;
   BigInt e;
@@ -49,19 +51,25 @@ struct RsaKeyPair {
 /// Generate an RSA key of `bits` modulus bits (public exponent 65537).
 RsaKeyPair rsa_generate(Rng& rng, std::size_t bits);
 
-/// Raw public operation m^e mod n.
-BigInt rsa_public_op(const RsaPublicKey& key, const BigInt& m);
+/// Raw public operation m^e mod n. Every operation below accepts an
+/// optional `MontCache`: when provided, the per-modulus Montgomery
+/// context (R^2, n', limb buffers) is fetched from the cache instead of
+/// rebuilt, which removes the dominant fixed cost of repeated same-key
+/// operations. Outputs and MontStats are bit-identical either way.
+BigInt rsa_public_op(const RsaPublicKey& key, const BigInt& m,
+                     MontCache* cache = nullptr);
 
 /// Raw private operation c^d mod n, single full-length exponentiation.
 /// `stats`, when provided, accumulates the Montgomery operation counts
 /// (the simulated-time hook used by platform models and timing attacks).
 BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& c,
-                      MontStats* stats = nullptr);
+                      MontStats* stats = nullptr, MontCache* cache = nullptr);
 
 /// Raw private operation using the Chinese Remainder Theorem (two
 /// half-length exponentiations + recombination).
 BigInt rsa_private_op_crt(const RsaPrivateKey& key, const BigInt& c,
-                          MontStats* stats = nullptr);
+                          MontStats* stats = nullptr,
+                          MontCache* cache = nullptr);
 
 /// CRT private operation with verification countermeasure: recomputes the
 /// public operation and falls back to the slow path if the result is
@@ -83,15 +91,17 @@ Bytes rsa_encrypt_pkcs1(const RsaPublicKey& key, ConstBytes message, Rng& rng);
 /// Decrypt; returns std::nullopt on any padding failure (callers must not
 /// reveal which step failed — Bleichenbacher discipline).
 std::optional<Bytes> rsa_decrypt_pkcs1(const RsaPrivateKey& key,
-                                       ConstBytes ciphertext);
+                                       ConstBytes ciphertext,
+                                       MontCache* cache = nullptr);
 
 /// Sign a SHA-1 digest with PKCS#1 v1.5 type-1 padding (DigestInfo for
 /// SHA-1).
-Bytes rsa_sign_sha1(const RsaPrivateKey& key, ConstBytes message);
+Bytes rsa_sign_sha1(const RsaPrivateKey& key, ConstBytes message,
+                    MontCache* cache = nullptr);
 
 /// Verify a SHA-1 PKCS#1 v1.5 signature.
 bool rsa_verify_sha1(const RsaPublicKey& key, ConstBytes message,
-                     ConstBytes signature);
+                     ConstBytes signature, MontCache* cache = nullptr);
 
 /// SHA-256 variants used by the secure-boot chain.
 Bytes rsa_sign_sha256(const RsaPrivateKey& key, ConstBytes message);

@@ -1,12 +1,29 @@
 #include "mapsec/crypto/rsa.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "mapsec/crypto/mont_cache.hpp"
 #include "mapsec/crypto/prime.hpp"
 #include "mapsec/crypto/sha1.hpp"
 #include "mapsec/crypto/sha256.hpp"
 
 namespace mapsec::crypto {
+
+namespace {
+
+// Fetch the Montgomery engine for `m` from the cache when one is supplied,
+// otherwise construct it into `local` (whose lifetime the caller owns).
+// Either way the exponentiation code that follows is identical, so outputs
+// and MontStats match bit-for-bit.
+const Montgomery& mont_for(MontCache* cache, const BigInt& m,
+                           std::optional<Montgomery>& local) {
+  if (cache != nullptr) return cache->get(m);
+  local.emplace(m);
+  return *local;
+}
+
+}  // namespace
 
 RsaKeyPair rsa_generate(Rng& rng, std::size_t bits) {
   if (bits < 64 || bits % 2 != 0)
@@ -42,23 +59,29 @@ RsaKeyPair rsa_generate(Rng& rng, std::size_t bits) {
   }
 }
 
-BigInt rsa_public_op(const RsaPublicKey& key, const BigInt& m) {
+BigInt rsa_public_op(const RsaPublicKey& key, const BigInt& m,
+                     MontCache* cache) {
   if (m >= key.n) throw std::invalid_argument("rsa_public_op: m >= n");
-  return Montgomery(key.n).exp(m, key.e);
+  std::optional<Montgomery> local;
+  return mont_for(cache, key.n, local).exp(m, key.e);
 }
 
 BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& c,
-                      MontStats* stats) {
+                      MontStats* stats, MontCache* cache) {
   if (c >= key.n) throw std::invalid_argument("rsa_private_op: c >= n");
-  return Montgomery(key.n).exp(c, key.d, stats);
+  std::optional<Montgomery> local;
+  return mont_for(cache, key.n, local).exp(c, key.d, stats);
 }
 
 BigInt rsa_private_op_crt(const RsaPrivateKey& key, const BigInt& c,
-                          MontStats* stats) {
+                          MontStats* stats, MontCache* cache) {
   if (c >= key.n) throw std::invalid_argument("rsa_private_op_crt: c >= n");
   // Garner's recombination: m = m_q + q * (qinv * (m_p - m_q) mod p).
-  const BigInt mp = Montgomery(key.p).exp(c % key.p, key.dp, stats);
-  const BigInt mq = Montgomery(key.q).exp(c % key.q, key.dq, stats);
+  std::optional<Montgomery> local_p, local_q;
+  const BigInt mp = mont_for(cache, key.p, local_p).exp(c % key.p, key.dp,
+                                                        stats);
+  const BigInt mq = mont_for(cache, key.q, local_q).exp(c % key.q, key.dq,
+                                                        stats);
   BigInt diff = mp >= mq ? mp - mq : key.p - ((mq - mp) % key.p);
   const BigInt h = (key.qinv * diff) % key.p;
   return mq + key.q * h;
@@ -113,12 +136,13 @@ Bytes rsa_encrypt_pkcs1(const RsaPublicKey& key, ConstBytes message,
 }
 
 std::optional<Bytes> rsa_decrypt_pkcs1(const RsaPrivateKey& key,
-                                       ConstBytes ciphertext) {
+                                       ConstBytes ciphertext,
+                                       MontCache* cache) {
   const std::size_t k = key.modulus_bytes();
   if (ciphertext.size() != k) return std::nullopt;
   const BigInt c = BigInt::from_bytes_be(ciphertext);
   if (c >= key.n) return std::nullopt;
-  const Bytes em = rsa_private_op_crt(key, c).to_bytes_be(k);
+  const Bytes em = rsa_private_op_crt(key, c, nullptr, cache).to_bytes_be(k);
   if (em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
   std::size_t sep = 0;
   for (std::size_t i = 2; i < em.size(); ++i) {
@@ -151,31 +175,35 @@ Bytes emsa_pkcs1(ConstBytes digest_info, std::size_t k) {
 }
 
 Bytes sign_with_prefix(const RsaPrivateKey& key, ConstBytes prefix,
-                       ConstBytes digest) {
+                       ConstBytes digest, MontCache* cache = nullptr) {
   const Bytes em = emsa_pkcs1(cat(prefix, digest), key.modulus_bytes());
-  return rsa_private_op_crt(key, BigInt::from_bytes_be(em))
+  return rsa_private_op_crt(key, BigInt::from_bytes_be(em), nullptr, cache)
       .to_bytes_be(key.modulus_bytes());
 }
 
 bool verify_with_prefix(const RsaPublicKey& key, ConstBytes prefix,
-                        ConstBytes digest, ConstBytes signature) {
+                        ConstBytes digest, ConstBytes signature,
+                        MontCache* cache = nullptr) {
   if (signature.size() != key.modulus_bytes()) return false;
   const BigInt s = BigInt::from_bytes_be(signature);
   if (s >= key.n) return false;
-  const Bytes em = rsa_public_op(key, s).to_bytes_be(key.modulus_bytes());
+  const Bytes em =
+      rsa_public_op(key, s, cache).to_bytes_be(key.modulus_bytes());
   const Bytes expected = emsa_pkcs1(cat(prefix, digest), key.modulus_bytes());
   return ct_equal(em, expected);
 }
 
 }  // namespace
 
-Bytes rsa_sign_sha1(const RsaPrivateKey& key, ConstBytes message) {
-  return sign_with_prefix(key, kSha1Prefix, Sha1::hash(message));
+Bytes rsa_sign_sha1(const RsaPrivateKey& key, ConstBytes message,
+                    MontCache* cache) {
+  return sign_with_prefix(key, kSha1Prefix, Sha1::hash(message), cache);
 }
 
 bool rsa_verify_sha1(const RsaPublicKey& key, ConstBytes message,
-                     ConstBytes signature) {
-  return verify_with_prefix(key, kSha1Prefix, Sha1::hash(message), signature);
+                     ConstBytes signature, MontCache* cache) {
+  return verify_with_prefix(key, kSha1Prefix, Sha1::hash(message), signature,
+                            cache);
 }
 
 Bytes rsa_sign_sha256(const RsaPrivateKey& key, ConstBytes message) {

@@ -1,0 +1,119 @@
+#include "mapsec/engine/offload_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace mapsec::engine {
+
+OffloadEngine::OffloadEngine(net::EventQueue& queue, std::size_t num_workers,
+                             OffloadCosts costs,
+                             std::uint64_t steal_timeout_ms)
+    : queue_(queue), costs_(costs), steal_timeout_ms_(steal_timeout_ms) {
+  if (num_workers == 0)
+    throw std::invalid_argument("OffloadEngine: need at least one worker");
+  lane_free_.assign(num_workers, 0);
+  stall_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) stall_ns_[i] = 0;
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+OffloadEngine::~OffloadEngine() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void OffloadEngine::submit(protocol::PkJob job, Completion done) {
+  const net::SimTime now = queue_.now();
+
+  // Lane assignment is part of the *model*: earliest-free lane, ties to
+  // the lowest index — a pure function of the submission sequence, which
+  // is what keeps the completion-event schedule deterministic.
+  std::size_t lane = 0;
+  for (std::size_t i = 1; i < lane_free_.size(); ++i)
+    if (lane_free_[i] < lane_free_[lane]) lane = i;
+  const net::SimTime start = std::max(now, lane_free_[lane]);
+  const std::uint64_t cost = costs_.cost_us(job.kind);
+  const net::SimTime done_at = start + cost;
+  lane_free_[lane] = done_at;
+
+  stats_.submitted += 1;
+  stats_.queue_wait_us += start - now;
+  stats_.lane_busy_us += cost;
+  in_flight_ += 1;
+  stats_.peak_depth = std::max(stats_.peak_depth, in_flight_);
+
+  auto pending = std::make_shared<Pending>();
+  pending->job = std::move(job);
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_q_.push_back(pending);
+  }
+  work_cv_.notify_one();
+
+  queue_.schedule_at(
+      done_at, [this, pending, done = std::move(done)]() {
+        // The modeled accelerator is done; collect the wall-clock result.
+        // A healthy worker finished long ago (or finishes within the
+        // grace period). If it is stalled, steal the job: PkResults are
+        // pure functions of the job, so recomputing inline is
+        // bit-identical and only costs wall-clock time.
+        protocol::PkResult result;
+        bool have = false;
+        {
+          std::unique_lock<std::mutex> lock(pending->mu);
+          if (pending->cv.wait_for(
+                  lock, std::chrono::milliseconds(steal_timeout_ms_),
+                  [&] { return pending->ready; })) {
+            result = pending->result;
+            have = true;
+          }
+        }
+        if (!have) {
+          result = protocol::run_pk_job(pending->job, &steal_cache_);
+          stats_.stolen += 1;
+        }
+        stats_.completed += 1;
+        in_flight_ -= 1;
+        done(result);
+      });
+}
+
+void OffloadEngine::inject_worker_stall(std::size_t index,
+                                        std::uint64_t ns_per_job) {
+  if (index < workers_.size())
+    stall_ns_[index].store(ns_per_job, std::memory_order_relaxed);
+}
+
+void OffloadEngine::worker_main(std::size_t index) {
+  crypto::MontCache cache;  // per-lane Montgomery contexts, R^2 paid once
+  for (;;) {
+    std::shared_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !work_q_.empty(); });
+      if (stopping_) return;
+      pending = std::move(work_q_.front());
+      work_q_.pop_front();
+    }
+    const std::uint64_t stall =
+        stall_ns_[index].load(std::memory_order_relaxed);
+    if (stall != 0)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+    protocol::PkResult result = protocol::run_pk_job(pending->job, &cache);
+    {
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->result = std::move(result);
+      pending->ready = true;
+    }
+    pending->cv.notify_all();
+  }
+}
+
+}  // namespace mapsec::engine

@@ -117,6 +117,39 @@ ServingGapReport serving_gap(const WorkloadModel& model,
                              Primitive cipher = Primitive::kDes3,
                              Primitive mac = Primitive::kSha1);
 
+/// Offload-tier pricing — Section 4.2's crypto-accelerator argument made
+/// concrete against a measured load. Full-handshake public-key operations
+/// leave the host entirely (engine::OffloadEngine lanes), so the host
+/// plane only carries the bulk/record work; each accelerator lane is a
+/// fixed-rate server spending `lane_service_s` seconds per op. The host
+/// gap therefore drops by exactly the handshake MIPS term, and the new
+/// feasibility question becomes lane occupancy: `lane_utilisation` > 1
+/// means the offered full-handshake rate outruns the accelerator and the
+/// backlog grows without bound (the OffloadEngine's queue_wait_us stat is
+/// the measured witness of the same quantity).
+struct OffloadGapReport {
+  /// Serving gap with the public-key work removed from the host plane.
+  ServingGapReport host;
+  double pk_ops_per_s = 0;      // offered full-handshake rate
+  double lane_service_s = 0;    // modeled seconds per pk op on one lane
+  double lanes = 0;
+  double lane_utilisation = 0;  // pk_ops_per_s * lane_service_s / lanes
+  double min_lanes = 0;         // smallest lane count with utilisation <= 1
+};
+
+/// Price a served load with public-key work offloaded to `lanes`
+/// accelerator lanes of `lane_op_s` seconds per op (e.g.
+/// engine::OffloadCosts::rsa_decrypt_us / 1e6). Offloaded pk energy is
+/// billed at `accel_energy_efficiency` times the host's
+/// joules-per-instruction (the paper's order-of-magnitude accelerator
+/// efficiency claim; AccelProfile::crypto_accelerator().energy_efficiency
+/// is the calibrated default).
+OffloadGapReport serving_gap_offloaded(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t lanes, double lane_op_s, double accel_energy_efficiency = 10.0,
+    double battery_kj = 26.0, Primitive pk = Primitive::kRsa1024Private,
+    Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
+
 /// Projection of the gap over time — Section 3.2's closing argument:
 /// "the increase in data rates ... and the use of stronger cryptographic
 /// algorithms ... threaten to further widen the wireless security

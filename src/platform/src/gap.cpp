@@ -1,5 +1,7 @@
 #include "mapsec/platform/gap.hpp"
 
+#include <cmath>
+
 namespace mapsec::platform {
 
 GapAnalysis::GapAnalysis(WorkloadModel model) : model_(std::move(model)) {}
@@ -129,6 +131,47 @@ ServingGapReport serving_gap(const WorkloadModel& model,
   report.session_mj = proc.millijoules_for(session_instr) / efficiency;
   report.sessions_per_charge =
       report.session_mj > 0 ? battery_kj * 1e6 / report.session_mj : 0.0;
+  return report;
+}
+
+OffloadGapReport serving_gap_offloaded(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t lanes, double lane_op_s, double accel_energy_efficiency,
+    double battery_kj, Primitive pk, Primitive cipher, Primitive mac) {
+  OffloadGapReport report;
+
+  // Host plane: the same load with the full-handshake pk ops removed —
+  // they run on the accelerator lanes, not the host. The base pricing
+  // then also excludes the pk term from the session energy bill (its
+  // session_share collapses to zero), which is re-added below at the
+  // accelerator's efficiency.
+  ServedLoad host_load = load;
+  host_load.full_handshakes_per_s = 0;
+  report.host =
+      serving_gap(model, proc, host_load, battery_kj, pk, cipher, mac);
+
+  // Lane occupancy: the accelerator as a fixed-rate server.
+  report.pk_ops_per_s = load.full_handshakes_per_s;
+  report.lane_service_s = lane_op_s;
+  report.lanes = static_cast<double>(lanes);
+  const double demand_lane_s = load.full_handshakes_per_s * lane_op_s;
+  report.lane_utilisation = lanes > 0 ? demand_lane_s / report.lanes : 0.0;
+  report.min_lanes = std::ceil(demand_lane_s);
+
+  // Energy: the offloaded pk op still costs energy, just 1/efficiency of
+  // the host bill — added back into the per-session figure.
+  const double session_share =
+      load.sessions_per_s > 0
+          ? load.full_handshakes_per_s / load.sessions_per_s
+          : 1.0;
+  const double efficiency =
+      accel_energy_efficiency > 0 ? accel_energy_efficiency : 1.0;
+  report.host.session_mj +=
+      session_share * proc.millijoules_for(model.instr_per_op(pk)) /
+      efficiency;
+  report.host.sessions_per_charge =
+      report.host.session_mj > 0 ? battery_kj * 1e6 / report.host.session_mj
+                                 : 0.0;
   return report;
 }
 

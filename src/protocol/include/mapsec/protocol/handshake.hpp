@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -62,6 +63,38 @@ class SessionCache {
  private:
   std::map<crypto::Bytes, Entry> entries_;
 };
+
+/// One public-key operation extracted from a suspended server handshake —
+/// the unit of work the paper's crypto accelerator takes off the host
+/// (mapsec::engine::OffloadEngine executes these on a worker pool). The
+/// job is a pure function of its fields: run_pk_job() on any thread (with
+/// any MontCache) produces a bit-identical PkResult.
+struct PkJob {
+  enum class Kind : std::uint8_t {
+    kRsaDecrypt,  // ClientKeyExchange premaster decrypt (server private key)
+    kRsaSign,     // DHE ServerKeyExchange parameter signature
+    kRsaVerify,   // CertificateVerify check (client's public key)
+  };
+
+  Kind kind = Kind::kRsaDecrypt;
+  const crypto::RsaPrivateKey* private_key = nullptr;  // decrypt/sign
+  crypto::RsaPublicKey public_key;                     // verify
+  crypto::Bytes input;      // ciphertext / content-to-sign / signed content
+  crypto::Bytes signature;  // verify: signature under test
+};
+
+/// Outcome of a PkJob, fed back via TlsServer::resume_pk().
+struct PkResult {
+  PkJob::Kind kind = PkJob::Kind::kRsaDecrypt;
+  std::optional<crypto::Bytes> decrypted;  // kRsaDecrypt (nullopt = bad pad)
+  crypto::Bytes signature;                 // kRsaSign
+  bool valid = false;                      // kRsaVerify
+};
+
+/// Execute a job. Deterministic and side-effect free; safe to run on any
+/// thread. `cache`, when provided, reuses per-modulus Montgomery contexts
+/// (outputs identical either way).
+PkResult run_pk_job(const PkJob& job, crypto::MontCache* cache = nullptr);
 
 /// What both sides agree on once established.
 struct HandshakeSummary {
@@ -113,6 +146,16 @@ struct HandshakeConfig {
 
   // Ephemeral-DH group for DHE suites.
   crypto::DhGroup dhe_group = crypto::DhGroup::oakley_group2();
+
+  // Server-side asynchronous public-key mode. When set, the server
+  // SUSPENDS instead of executing a private-key (or CertificateVerify)
+  // operation inline: process() returns an empty flight, pk_pending()
+  // turns true, and the caller runs the extracted PkJob wherever it likes
+  // (inline, or on an OffloadEngine worker) before feeding the PkResult
+  // to resume_pk(), which returns the flight the synchronous path would
+  // have produced. Transcripts and outputs are byte-identical to the
+  // synchronous mode.
+  bool async_pk = false;
 };
 
 /// Common interface of the two endpoints.
@@ -127,6 +170,11 @@ class HandshakeEndpoint {
 
   virtual bool established() const = 0;
   virtual const HandshakeSummary& summary() const = 0;
+
+  /// True when the endpoint is suspended on an extracted public-key
+  /// operation (HandshakeConfig::async_pk servers only; see TlsServer).
+  /// While pending, process() refuses further flights.
+  virtual bool pk_pending() const { return false; }
 
   /// Post-handshake: protect an application payload into wire bytes.
   virtual crypto::Bytes send_data(crypto::ConstBytes payload) = 0;
@@ -183,6 +231,22 @@ class TlsServer final : public HandshakeEndpoint {
 
   const crypto::Bytes& master_secret() const;
 
+  // -- asynchronous public-key mode (HandshakeConfig::async_pk) --
+  // A suspended server exposes the extracted operation via
+  // pending_pk_job(); the caller executes it (run_pk_job, possibly on
+  // another thread) and hands the result to resume_pk(), which finishes
+  // the interrupted flight and returns the bytes to transmit. A flight
+  // may suspend more than once (e.g. ClientKeyExchange decrypt then
+  // CertificateVerify) — loop until pk_pending() is false.
+
+  bool pk_pending() const override;
+  /// Throws HandshakeError when no operation is pending.
+  const PkJob& pending_pk_job() const;
+  /// Throws HandshakeError on kind mismatch, bad signature/premaster, or
+  /// when nothing is pending — exactly the errors the synchronous path
+  /// would have raised at the same point.
+  crypto::Bytes resume_pk(const PkResult& result);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -192,6 +256,7 @@ class TlsServer final : public HandshakeEndpoint {
 struct HandshakeStep {
   crypto::Bytes output;  // flight to transmit to the peer (may be empty)
   bool established = false;
+  bool pk_pending = false;  // async server suspended on a PkJob
 };
 
 /// Advance `endpoint` by one inbound flight and return what it wants to
@@ -200,14 +265,19 @@ struct HandshakeStep {
 /// no-ops returning an empty flight — duplicate or late flights from a
 /// transport are absorbed rather than treated as fatal. Throws
 /// HandshakeError on protocol, certificate or MAC failure, exactly as
-/// process() does. This is the single-step primitive the lockstep
-/// run_handshake() helper is built from; event-driven callers
-/// (mapsec::server) use it directly to pump endpoints message by message.
+/// process() does. An async_pk server that suspends mid-flight returns
+/// with `pk_pending` set and an empty output — service the job and call
+/// TlsServer::resume_pk() for the flight. This is the single-step
+/// primitive the lockstep run_handshake() helper is built from;
+/// event-driven callers (mapsec::server) use it directly to pump
+/// endpoints message by message.
 HandshakeStep step_handshake(HandshakeEndpoint& endpoint,
                              crypto::ConstBytes inbound);
 
 /// Drive two endpoints to completion in memory. `tap`, when non-null,
 /// receives every flight (direction, bytes) — the eavesdropper's view.
+/// Suspended async_pk servers are serviced inline (run_pk_job), so the
+/// driver works for any endpoint configuration.
 struct TappedFlight {
   bool client_to_server;
   crypto::Bytes data;

@@ -1,7 +1,9 @@
 #include "mapsec/protocol/handshake.hpp"
 
 #include <cassert>
+#include <deque>
 
+#include "mapsec/crypto/mont_cache.hpp"
 #include "mapsec/crypto/sha1.hpp"
 #include "mapsec/protocol/prf.hpp"
 
@@ -40,7 +42,7 @@ crypto::Bytes frame_message(MsgType type, crypto::ConstBytes body) {
 }
 
 struct Message {
-  MsgType type;
+  MsgType type{};
   crypto::Bytes body;
   crypto::Bytes raw;  // full framed bytes, for the transcript
 };
@@ -320,6 +322,32 @@ const SessionCache::Entry* SessionCache::lookup(
     const crypto::Bytes& session_id) {
   const auto it = entries_.find(session_id);
   return it == entries_.end() ? nullptr : &it->second;
+}
+
+// ---- PkJob -------------------------------------------------------------------
+
+PkResult run_pk_job(const PkJob& job, crypto::MontCache* cache) {
+  PkResult result;
+  result.kind = job.kind;
+  switch (job.kind) {
+    case PkJob::Kind::kRsaDecrypt:
+      if (job.private_key == nullptr)
+        throw HandshakeError("run_pk_job: decrypt without a private key");
+      result.decrypted =
+          crypto::rsa_decrypt_pkcs1(*job.private_key, job.input, cache);
+      break;
+    case PkJob::Kind::kRsaSign:
+      if (job.private_key == nullptr)
+        throw HandshakeError("run_pk_job: sign without a private key");
+      result.signature =
+          crypto::rsa_sign_sha1(*job.private_key, job.input, cache);
+      break;
+    case PkJob::Kind::kRsaVerify:
+      result.valid = crypto::rsa_verify_sha1(job.public_key, job.input,
+                                             job.signature, cache);
+      break;
+  }
+  return result;
 }
 
 // ---- TlsClient ----------------------------------------------------------------
@@ -647,6 +675,14 @@ struct TlsServer::Impl {
 
   enum class State { kWaitClientHello, kWaitClientFlight, kWaitClientFinale, kDone };
 
+  /// Which continuation a pending PkJob resumes into (async_pk mode).
+  enum class PkWait : std::uint8_t {
+    kNone,
+    kSkeSign,     // DHE ServerKeyExchange signature, mid server flight
+    kCkeDecrypt,  // ClientKeyExchange premaster decrypt, mid client flight
+    kCertVerify,  // CertificateVerify check, mid client flight
+  };
+
   Common c;
   SessionCache* cache;
   State state = State::kWaitClientHello;
@@ -654,6 +690,30 @@ struct TlsServer::Impl {
   std::vector<Certificate> client_chain;
   bool client_cert_seen = false;
   bool client_verify_seen = false;
+
+  // Asynchronous-mode continuation state. The suspended flight's partial
+  // output is held back (the client expects whole flights in one
+  // process() call), and the not-yet-opened records of the inbound flight
+  // wait in `pending_records` — they must stay sealed because the
+  // encrypted Finished is only decryptable after the CKE decrypt derives
+  // the keys and the in-stream CCS activates the read cipher.
+  std::optional<PkJob> pending_job;
+  PkWait pk_wait = PkWait::kNone;
+  Message suspended_msg;       // CKE/CV message awaiting its PkResult
+  crypto::Bytes partial_out;   // server-flight bytes already produced
+  crypto::BigInt ske_public;   // DHE ephemeral public value (SKE resume)
+  std::deque<crypto::Bytes> pending_records;  // sealed records, in order
+  std::deque<Message> pending_msgs;           // parsed, unhandled messages
+  bool seen_cke = false;
+  bool seen_finished = false;
+
+  bool async_pk() const { return c.config.async_pk; }
+
+  void suspend(PkJob job, PkWait wait, Message msg = {}) {
+    pending_job = std::move(job);
+    pk_wait = wait;
+    suspended_msg = std::move(msg);
+  }
 
   crypto::Bytes server_hello(CipherSuite chosen, bool resumed) {
     crypto::Bytes body;
@@ -673,25 +733,32 @@ struct TlsServer::Impl {
                             encode_cert_list(c.config.cert_chain));
   }
 
-  crypto::Bytes server_key_exchange() {
-    // Fresh ephemeral per connection: forward secrecy.
-    const crypto::DhKeyPair eph =
-        crypto::dh_generate(c.config.dhe_group, *c.config.rng);
-    dhe_private = eph.private_key;
-    c.summary.dh_ops += 1;
-    const crypto::Bytes signed_content =
-        ske_signed_content(c.client_random, c.server_random,
-                           c.config.dhe_group, eph.public_key);
-    const crypto::Bytes sig =
-        crypto::rsa_sign_sha1(*c.config.private_key, signed_content);
-    c.summary.rsa_private_ops += 1;
-
+  /// ServerKeyExchange message from an already computed signature. The
+  /// ephemeral (ske_public/dhe_private) and the rsa_private_ops count are
+  /// established by the caller, so the synchronous and asynchronous paths
+  /// produce byte-identical transcripts.
+  crypto::Bytes ske_message(const crypto::Bytes& sig) {
     crypto::Bytes body;
     put_blob16(body, c.config.dhe_group.p.to_bytes_be());
     put_blob16(body, c.config.dhe_group.g.to_bytes_be());
-    put_blob16(body, eph.public_key.to_bytes_be());
+    put_blob16(body, ske_public.to_bytes_be());
     put_blob16(body, sig);
     return c.send_handshake(MsgType::kServerKeyExchange, body);
+  }
+
+  /// The rest of the server flight after the (possibly deferred) SKE:
+  /// optional CertificateRequest, then ServerHelloDone.
+  crypto::Bytes server_flight_tail() {
+    crypto::Bytes out;
+    if (c.config.request_client_auth) {
+      const crypto::Bytes req =
+          c.send_handshake(MsgType::kCertificateRequest, {});
+      out.insert(out.end(), req.begin(), req.end());
+    }
+    const crypto::Bytes done = c.send_handshake(MsgType::kServerHelloDone, {});
+    out.insert(out.end(), done.begin(), done.end());
+    state = State::kWaitClientFlight;
+    return out;
   }
 
   crypto::Bytes on_client_hello(crypto::ConstBytes inbound) {
@@ -769,17 +836,33 @@ struct TlsServer::Impl {
     const crypto::Bytes certs = certificate_message();
     out.insert(out.end(), certs.begin(), certs.end());
     if (c.suite->kx == KeyExchange::kDheRsa) {
-      const crypto::Bytes ske = server_key_exchange();
+      // Fresh ephemeral per connection: forward secrecy.
+      const crypto::DhKeyPair eph =
+          crypto::dh_generate(c.config.dhe_group, *c.config.rng);
+      dhe_private = eph.private_key;
+      ske_public = eph.public_key;
+      c.summary.dh_ops += 1;
+      const crypto::Bytes signed_content =
+          ske_signed_content(c.client_random, c.server_random,
+                             c.config.dhe_group, ske_public);
+      if (async_pk()) {
+        // Hold the partial flight and yield the private-key signature.
+        partial_out = std::move(out);
+        PkJob job;
+        job.kind = PkJob::Kind::kRsaSign;
+        job.private_key = c.config.private_key;
+        job.input = signed_content;
+        suspend(std::move(job), PkWait::kSkeSign);
+        return {};
+      }
+      const crypto::Bytes sig =
+          crypto::rsa_sign_sha1(*c.config.private_key, signed_content);
+      c.summary.rsa_private_ops += 1;
+      const crypto::Bytes ske = ske_message(sig);
       out.insert(out.end(), ske.begin(), ske.end());
     }
-    if (c.config.request_client_auth) {
-      const crypto::Bytes req =
-          c.send_handshake(MsgType::kCertificateRequest, {});
-      out.insert(out.end(), req.begin(), req.end());
-    }
-    const crypto::Bytes done = c.send_handshake(MsgType::kServerHelloDone, {});
-    out.insert(out.end(), done.begin(), done.end());
-    state = State::kWaitClientFlight;
+    const crypto::Bytes tail = server_flight_tail();
+    out.insert(out.end(), tail.begin(), tail.end());
     return out;
   }
 
@@ -819,95 +902,154 @@ struct TlsServer::Impl {
                            cert_verify_result_name(result) + ")");
   }
 
-  void handle_certificate_verify(const Message& m) {
-    if (client_chain.empty())
-      throw HandshakeError("CertificateVerify without a certificate");
-    std::size_t off = 0;
-    const crypto::Bytes sig = get_blob16(m.body, off);
-    if (off != m.body.size()) throw HandshakeError("CV: trailing bytes");
-    // Signature covers the transcript up to (not including) this message.
+  /// CertificateVerify epilogue shared by the sync and async paths; runs
+  /// after the verification outcome is known.
+  void finish_certificate_verify(const Message& m, bool valid) {
     c.summary.rsa_public_ops += 1;
-    if (!crypto::rsa_verify_sha1(client_chain.front().public_key,
-                                 c.transcript, sig))
-      throw HandshakeError("CertificateVerify: bad signature");
+    if (!valid) throw HandshakeError("CertificateVerify: bad signature");
     c.summary.client_authenticated = true;
     client_verify_seen = true;
+    c.note_received(m);
   }
 
-  void handle_client_key_exchange(const Message& cke) {
-    std::size_t off = 0;
-    const crypto::Bytes payload = get_blob16(cke.body, off);
-    if (off != cke.body.size()) throw HandshakeError("CKE: trailing bytes");
+  /// RSA ClientKeyExchange epilogue shared by the sync and async paths;
+  /// runs after the private-key decrypt produced `decrypted`.
+  void finish_cke_rsa(const Message& cke,
+                      const std::optional<crypto::Bytes>& decrypted) {
+    c.summary.rsa_private_ops += 1;
+    if (!decrypted || decrypted->size() != kPremasterLen ||
+        get_u16(*decrypted, 0) != static_cast<std::uint16_t>(c.config.version))
+      throw HandshakeError("CKE: bad premaster");
+    finish_cke(cke, *decrypted);
+  }
 
-    crypto::Bytes premaster;
-    if (c.suite->kx == KeyExchange::kRsa) {
-      const auto decrypted =
-          rsa_decrypt_pkcs1(*c.config.private_key, payload);
-      c.summary.rsa_private_ops += 1;
-      if (!decrypted || decrypted->size() != kPremasterLen ||
-          get_u16(*decrypted, 0) !=
-              static_cast<std::uint16_t>(c.config.version))
-        throw HandshakeError("CKE: bad premaster");
-      premaster = *decrypted;
-    } else {
-      const crypto::BigInt client_public =
-          crypto::BigInt::from_bytes_be(payload);
-      premaster = crypto::dh_shared_secret(c.config.dhe_group, dhe_private,
-                                           client_public)
-                      .to_bytes_be();
-      c.summary.dh_ops += 1;
-    }
+  void finish_cke(const Message& cke, const crypto::Bytes& premaster) {
     c.note_received(cke);
     c.master =
         derive_master_secret(premaster, c.client_random, c.server_random);
     c.derive_keys();
+    seen_cke = true;
     // Keys are now in place, so the CCS record that follows in this same
     // flight can activate the read cipher and the encrypted Finished will
     // decrypt.
   }
 
-  crypto::Bytes on_client_flight(crypto::ConstBytes inbound) {
-    bool seen_cke = false, seen_finished = false;
-    process_flight(c, inbound, /*is_client=*/false, [&](const Message& m) {
-      switch (m.type) {
-        case MsgType::kCertificate:
-          if (seen_cke || client_cert_seen)
-            throw HandshakeError("Certificate out of order");
-          if (!c.config.request_client_auth)
-            throw HandshakeError("unsolicited client certificate");
-          handle_client_certificate(m);
-          c.note_received(m);
-          break;
-        case MsgType::kClientKeyExchange:
-          if (seen_cke) throw HandshakeError("duplicate CKE");
-          if (c.config.request_client_auth && !client_cert_seen)
-            throw HandshakeError("expected client Certificate before CKE");
-          handle_client_key_exchange(m);
-          seen_cke = true;
-          break;
-        case MsgType::kCertificateVerify:
-          if (!seen_cke || client_verify_seen)
-            throw HandshakeError("CertificateVerify out of order");
-          handle_certificate_verify(m);
-          c.note_received(m);
-          break;
-        case MsgType::kFinished:
-          if (!seen_cke || seen_finished)
-            throw HandshakeError("Finished out of order");
-          if (c.config.require_client_auth &&
-              !c.summary.client_authenticated)
-            throw HandshakeError("client authentication required");
-          if (!client_chain.empty() && !client_verify_seen)
-            throw HandshakeError(
-                "client certificate without proof of possession");
-          c.check_finished(m, /*client_label=*/true);
-          c.note_received(m);
-          seen_finished = true;
-          break;
-        default:
-          throw HandshakeError("unexpected message in client flight");
+  /// Handle one message of the client flight. Returns false when the
+  /// handshake suspended on a PkJob (async_pk mode) — the message is
+  /// parked in `suspended_msg` and resume_pk() finishes it.
+  bool handle_client_flight_msg(Message& m) {
+    switch (m.type) {
+      case MsgType::kCertificate:
+        if (seen_cke || client_cert_seen)
+          throw HandshakeError("Certificate out of order");
+        if (!c.config.request_client_auth)
+          throw HandshakeError("unsolicited client certificate");
+        handle_client_certificate(m);
+        c.note_received(m);
+        return true;
+      case MsgType::kClientKeyExchange: {
+        if (seen_cke) throw HandshakeError("duplicate CKE");
+        if (c.config.request_client_auth && !client_cert_seen)
+          throw HandshakeError("expected client Certificate before CKE");
+        std::size_t off = 0;
+        const crypto::Bytes payload = get_blob16(m.body, off);
+        if (off != m.body.size()) throw HandshakeError("CKE: trailing bytes");
+        if (c.suite->kx == KeyExchange::kRsa) {
+          if (async_pk()) {
+            PkJob job;
+            job.kind = PkJob::Kind::kRsaDecrypt;
+            job.private_key = c.config.private_key;
+            job.input = payload;
+            suspend(std::move(job), PkWait::kCkeDecrypt, std::move(m));
+            return false;
+          }
+          finish_cke_rsa(m, rsa_decrypt_pkcs1(*c.config.private_key, payload));
+          return true;
+        }
+        const crypto::BigInt client_public =
+            crypto::BigInt::from_bytes_be(payload);
+        const crypto::Bytes premaster =
+            crypto::dh_shared_secret(c.config.dhe_group, dhe_private,
+                                     client_public)
+                .to_bytes_be();
+        c.summary.dh_ops += 1;
+        finish_cke(m, premaster);
+        return true;
       }
-    });
+      case MsgType::kCertificateVerify: {
+        if (!seen_cke || client_verify_seen)
+          throw HandshakeError("CertificateVerify out of order");
+        if (client_chain.empty())
+          throw HandshakeError("CertificateVerify without a certificate");
+        std::size_t off = 0;
+        const crypto::Bytes sig = get_blob16(m.body, off);
+        if (off != m.body.size()) throw HandshakeError("CV: trailing bytes");
+        // Signature covers the transcript up to (not including) this
+        // message.
+        if (async_pk()) {
+          PkJob job;
+          job.kind = PkJob::Kind::kRsaVerify;
+          job.public_key = client_chain.front().public_key;
+          job.input = c.transcript;
+          job.signature = sig;
+          suspend(std::move(job), PkWait::kCertVerify, std::move(m));
+          return false;
+        }
+        finish_certificate_verify(
+            m, crypto::rsa_verify_sha1(client_chain.front().public_key,
+                                       c.transcript, sig));
+        return true;
+      }
+      case MsgType::kFinished:
+        if (!seen_cke || seen_finished)
+          throw HandshakeError("Finished out of order");
+        if (c.config.require_client_auth && !c.summary.client_authenticated)
+          throw HandshakeError("client authentication required");
+        if (!client_chain.empty() && !client_verify_seen)
+          throw HandshakeError(
+              "client certificate without proof of possession");
+        c.check_finished(m, /*client_label=*/true);
+        c.note_received(m);
+        seen_finished = true;
+        return true;
+      default:
+        throw HandshakeError("unexpected message in client flight");
+    }
+  }
+
+  /// Open and handle the parked records/messages of the client flight in
+  /// order. Returns the server finale once the flight is fully consumed,
+  /// or an empty value if the handshake suspended on a PkJob.
+  crypto::Bytes drain_client_flight() {
+    for (;;) {
+      while (!pending_msgs.empty()) {
+        Message m = std::move(pending_msgs.front());
+        pending_msgs.pop_front();
+        if (!handle_client_flight_msg(m)) return {};
+      }
+      if (pending_records.empty()) break;
+      const crypto::Bytes rec = std::move(pending_records.front());
+      pending_records.pop_front();
+      Record r = c.read_codec.open(rec);
+      switch (r.type) {
+        case RecordType::kChangeCipherSpec:
+          c.activate_read(/*is_client=*/false);
+          break;
+        case RecordType::kHandshake: {
+          auto parsed = parse_messages(r.payload);
+          for (auto& m : parsed) pending_msgs.push_back(std::move(m));
+          break;
+        }
+        case RecordType::kAlert:
+          throw HandshakeError("handshake: peer sent alert");
+        case RecordType::kApplicationData:
+          throw HandshakeError("handshake: application data before Finished");
+      }
+    }
+    return finish_client_flight();
+  }
+
+  crypto::Bytes finish_client_flight() {
     if (!seen_cke || !seen_finished)
       throw HandshakeError("expected ClientKeyExchange + Finished");
 
@@ -921,6 +1063,55 @@ struct TlsServer::Impl {
     c.done = true;
     state = State::kDone;
     return out;
+  }
+
+  crypto::Bytes on_client_flight(crypto::ConstBytes inbound) {
+    c.summary.bytes_received += inbound.size();
+    std::vector<crypto::Bytes> records;
+    const std::size_t used = split_records(inbound, records);
+    if (used != inbound.size())
+      throw HandshakeError("handshake: trailing partial record");
+    for (auto& rec : records) pending_records.push_back(std::move(rec));
+    return drain_client_flight();
+  }
+
+  /// Complete the suspended operation with its result and continue the
+  /// interrupted flight exactly where the synchronous path would have.
+  crypto::Bytes resume_pk(const PkResult& result) {
+    if (!pending_job)
+      throw HandshakeError("resume_pk: no pending operation");
+    if (result.kind != pending_job->kind)
+      throw HandshakeError("resume_pk: result kind mismatch");
+    const PkWait wait = pk_wait;
+    pending_job.reset();
+    pk_wait = PkWait::kNone;
+    switch (wait) {
+      case PkWait::kSkeSign: {
+        c.summary.rsa_private_ops += 1;
+        crypto::Bytes out = std::move(partial_out);
+        partial_out.clear();
+        const crypto::Bytes ske = ske_message(result.signature);
+        out.insert(out.end(), ske.begin(), ske.end());
+        const crypto::Bytes tail = server_flight_tail();
+        out.insert(out.end(), tail.begin(), tail.end());
+        return out;
+      }
+      case PkWait::kCkeDecrypt: {
+        const Message m = std::move(suspended_msg);
+        suspended_msg = {};
+        finish_cke_rsa(m, result.decrypted);
+        return drain_client_flight();
+      }
+      case PkWait::kCertVerify: {
+        const Message m = std::move(suspended_msg);
+        suspended_msg = {};
+        finish_certificate_verify(m, result.valid);
+        return drain_client_flight();
+      }
+      case PkWait::kNone:
+        break;
+    }
+    throw HandshakeError("resume_pk: no pending operation");
   }
 
   crypto::Bytes on_client_finale(crypto::ConstBytes inbound) {
@@ -945,6 +1136,8 @@ TlsServer::TlsServer(HandshakeConfig config, SessionCache* cache)
 TlsServer::~TlsServer() = default;
 
 crypto::Bytes TlsServer::process(crypto::ConstBytes inbound) {
+  if (impl_->pending_job)
+    throw HandshakeError("server: flight received while pk operation pending");
   switch (impl_->state) {
     case Impl::State::kWaitClientHello:
       return impl_->on_client_hello(inbound);
@@ -981,6 +1174,18 @@ const crypto::Bytes& TlsServer::master_secret() const {
   return impl_->c.master;
 }
 
+bool TlsServer::pk_pending() const { return impl_->pending_job.has_value(); }
+
+const PkJob& TlsServer::pending_pk_job() const {
+  if (!impl_->pending_job)
+    throw HandshakeError("pending_pk_job: no pending operation");
+  return *impl_->pending_job;
+}
+
+crypto::Bytes TlsServer::resume_pk(const PkResult& result) {
+  return impl_->resume_pk(result);
+}
+
 // ---- driver -------------------------------------------------------------------
 
 HandshakeStep step_handshake(HandshakeEndpoint& endpoint,
@@ -988,8 +1193,28 @@ HandshakeStep step_handshake(HandshakeEndpoint& endpoint,
   HandshakeStep step;
   if (!endpoint.established()) step.output = endpoint.process(inbound);
   step.established = endpoint.established();
+  step.pk_pending = endpoint.pk_pending();
   return step;
 }
+
+namespace {
+
+/// In-memory driver support for async_pk servers: execute pending jobs
+/// inline so the endpoint behaves exactly like its synchronous twin.
+HandshakeStep service_pending_pk(HandshakeEndpoint& endpoint,
+                                 HandshakeStep step) {
+  auto* server = dynamic_cast<TlsServer*>(&endpoint);
+  while (server != nullptr && server->pk_pending()) {
+    const PkResult result = run_pk_job(server->pending_pk_job());
+    const crypto::Bytes more = server->resume_pk(result);
+    step.output.insert(step.output.end(), more.begin(), more.end());
+    step.established = server->established();
+    step.pk_pending = server->pk_pending();
+  }
+  return step;
+}
+
+}  // namespace
 
 void run_handshake(HandshakeEndpoint& client, HandshakeEndpoint& server,
                    std::vector<TappedFlight>* tap) {
@@ -998,7 +1223,8 @@ void run_handshake(HandshakeEndpoint& client, HandshakeEndpoint& server,
   while (!(client.established() && server.established())) {
     if (++rounds > 8) throw HandshakeError("run_handshake: no progress");
     if (tap && !to_server.empty()) tap->push_back({true, to_server});
-    const HandshakeStep reply = step_handshake(server, to_server);
+    const HandshakeStep reply =
+        service_pending_pk(server, step_handshake(server, to_server));
     if (reply.output.empty() && reply.established && client.established())
       break;
     if (tap && !reply.output.empty()) tap->push_back({false, reply.output});

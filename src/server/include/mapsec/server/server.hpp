@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "mapsec/engine/offload_engine.hpp"
 #include "mapsec/engine/packet_pipeline.hpp"
 #include "mapsec/net/link.hpp"
 #include "mapsec/protocol/handshake.hpp"
@@ -83,6 +84,19 @@ struct ServerConfig {
   std::uint64_t pipeline_seed = 0xC0FFEE;
   engine::EngineProfile engine_profile;
 
+  // ---- public-key offload (0 = inline, the pre-offload behaviour) -----
+  /// Accelerator lanes / worker threads for the OffloadEngine. When set,
+  /// every connection handshakes in async_pk mode: private-key operations
+  /// leave the event loop, and their completions return as simulated
+  /// events at the modeled accelerator finish time. The honest-fleet
+  /// transcript digest is byte-identical for ANY worker count (and for
+  /// inline mode) — only simulated timing changes.
+  std::size_t offload_workers = 0;
+  engine::OffloadCosts offload_costs;
+  /// Wall-clock grace before a completion event recomputes a stalled
+  /// worker's job inline (graceful degradation, never deadlock).
+  std::uint64_t offload_steal_timeout_ms = 250;
+
   net::LinkConfig link;
 };
 
@@ -125,6 +139,15 @@ struct ServerStats {
   std::uint64_t peak_pending_echo_bytes = 0;
   std::uint64_t peak_deferred_bytes = 0;
 
+  // ---- public-key offload accounting (mirrors OffloadEngine stats) ----
+  std::uint64_t offload_submitted = 0;
+  std::uint64_t offload_completed = 0;
+  std::uint64_t offload_stolen = 0;   // wall-clock steals (chaos stalls)
+  std::uint64_t offload_dropped = 0;  // completions for dead connections
+  std::uint64_t offload_peak_depth = 0;     // deferred handshakes at once
+  std::uint64_t offload_queue_wait_us = 0;  // modeled wait for a free lane
+  std::uint64_t offload_lane_busy_us = 0;   // modeled lane service time
+
   /// Completed-handshake latencies in simulated microseconds, in
   /// completion order (run through analysis::percentile for p50/p99).
   std::vector<double> handshake_latencies_us;
@@ -161,6 +184,9 @@ class SecureSessionServer {
   const ServerStats& stats() const { return stats_; }
   const engine::PacketPipeline& pipeline() const { return pipeline_; }
   engine::PacketPipeline& pipeline_for_chaos() { return pipeline_; }
+  /// nullptr when offload_workers == 0 (inline public-key mode).
+  const engine::OffloadEngine* offload() const { return offload_.get(); }
+  engine::OffloadEngine* offload_for_chaos() { return offload_.get(); }
   std::size_t open_connections() const;
   std::size_t handshakes_in_flight() const { return handshakes_in_flight_; }
 
@@ -202,6 +228,8 @@ class SecureSessionServer {
   void on_message(std::uint32_t id, crypto::ConstBytes msg);
   void on_link_error(std::uint32_t id, const std::string& reason);
   void handle_handshake(Connection& conn, crypto::ConstBytes body);
+  void submit_pk(Connection& conn);
+  void mirror_offload_stats();
   void handle_appdata(Connection& conn, crypto::ConstBytes body);
   void process_appdata(Connection& conn, crypto::ConstBytes records);
   void complete_handshake(Connection& conn);
@@ -220,6 +248,7 @@ class SecureSessionServer {
   ServerConfig config_;
   protocol::SessionCache* cache_;
   engine::PacketPipeline pipeline_;
+  std::unique_ptr<engine::OffloadEngine> offload_;
   std::vector<std::unique_ptr<Connection>> connections_;  // index == id
   bool flush_scheduled_ = false;
   std::size_t handshakes_in_flight_ = 0;  // connections in kHandshake

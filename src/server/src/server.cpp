@@ -16,6 +16,10 @@ SecureSessionServer::SecureSessionServer(net::EventQueue& queue,
                 config_.pipeline_seed) {
   pipeline_.load_program("ccmp-out", engine::ccmp_outbound_program());
   pipeline_.load_program("ccmp-in", engine::ccmp_inbound_program());
+  if (config_.offload_workers > 0)
+    offload_ = std::make_unique<engine::OffloadEngine>(
+        queue, config_.offload_workers, config_.offload_costs,
+        config_.offload_steal_timeout_ms);
 }
 
 std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
@@ -50,6 +54,7 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
   // before certificates or RSA).
   protocol::HandshakeConfig hs = config_.handshake;
   hs.resumption_only = degraded_;
+  hs.async_pk = offload_ != nullptr;
   conn->endpoint = std::make_unique<protocol::TlsServer>(hs, cache_);
   conn->handshake_timer =
       queue_.schedule_in(config_.handshake_timeout_us, [this, id] {
@@ -186,7 +191,10 @@ void SecureSessionServer::handle_handshake(Connection& conn,
         protocol::step_handshake(*conn.endpoint, body);
     if (!step.output.empty())
       conn.link->send_message(make_msg(MsgKind::kHandshake, step.output));
-    if (step.established) complete_handshake(conn);
+    if (step.established)
+      complete_handshake(conn);
+    else if (step.pk_pending)
+      submit_pk(conn);
   } catch (const protocol::HandshakeError& e) {
     if (std::string_view(e.what()).find("resumption only") !=
         std::string_view::npos)
@@ -195,6 +203,53 @@ void SecureSessionServer::handle_handshake(Connection& conn,
   }
   // Non-HandshakeError exceptions (rng exhaustion, codec faults) fall
   // through to on_message's containment catch and are counted poisoned.
+}
+
+void SecureSessionServer::submit_pk(Connection& conn) {
+  // The endpoint suspended on a private-key operation: hand the job to
+  // the accelerator and yield the event loop. The connection stays in
+  // kHandshake (so handshakes_in_flight_, admission control and degraded
+  // mode all see the deferred backlog) until the completion event — or
+  // its handshake timeout, whichever fires first.
+  const std::uint32_t id = conn.id;
+  offload_->submit(
+      conn.endpoint->pending_pk_job(),
+      [this, id](const protocol::PkResult& result) {
+        Connection& c = *connections_[id];
+        if (c.state != ConnState::kHandshake || !c.endpoint ||
+            !c.endpoint->pk_pending()) {
+          // Timed out / failed / closed while the job was in flight.
+          ++stats_.offload_dropped;
+          mirror_offload_stats();
+          return;
+        }
+        try {
+          const crypto::Bytes out = c.endpoint->resume_pk(result);
+          if (!out.empty())
+            c.link->send_message(make_msg(MsgKind::kHandshake, out));
+          if (c.endpoint->established())
+            complete_handshake(c);
+          else if (c.endpoint->pk_pending())
+            submit_pk(c);  // e.g. CKE decrypt, then CertificateVerify
+        } catch (const protocol::HandshakeError& e) {
+          fail_connection(c, e.what());
+        } catch (const std::exception& e) {
+          ++stats_.poisoned_connections;
+          fail_connection(c, e.what());
+        }
+        mirror_offload_stats();
+      });
+  mirror_offload_stats();
+}
+
+void SecureSessionServer::mirror_offload_stats() {
+  const engine::OffloadStats& os = offload_->stats();
+  stats_.offload_submitted = os.submitted;
+  stats_.offload_completed = os.completed;
+  stats_.offload_stolen = os.stolen;
+  stats_.offload_peak_depth = os.peak_depth;
+  stats_.offload_queue_wait_us = os.queue_wait_us;
+  stats_.offload_lane_busy_us = os.lane_busy_us;
 }
 
 void SecureSessionServer::complete_handshake(Connection& conn) {

@@ -378,5 +378,58 @@ TEST_F(ChaosTest, RngExhaustionIsContainedAndRecovers)
   EXPECT_EQ(report.sessions_completed, 10u);
 }
 
+// An offload-worker stall mid-run must degrade gracefully: the steal
+// path recomputes stalled jobs inline (bit-identically), so every honest
+// session still completes byte-exactly with the same simulated timing as
+// the unstalled run, the invariants hold, and the stall shows up in the
+// stolen counter — never as a deadlock.
+TEST_F(ChaosTest, OffloadWorkerStallIsStolenNotDeadlocked) {
+  CampaignConfig cfg = base_config(0x0FF5);
+  cfg.server.offload_workers = 2;
+  cfg.server.offload_steal_timeout_ms = 20;
+
+  CampaignConfig stalled = cfg;
+  stalled.faults.push_back(OffloadStall{.at_us = 0,
+                                        .duration_us = 0,
+                                        .worker = 0,
+                                        .all_workers = true,
+                                        .stall_ns = 300'000'000});
+
+  const CampaignReport clean = CampaignRunner(cfg).run();
+  const CampaignReport report = CampaignRunner(stalled).run();
+
+  EXPECT_TRUE(report.invariants_ok()) << report.invariant_failures;
+  EXPECT_EQ(report.sessions_completed, report.sessions_attempted);
+  EXPECT_EQ(report.fleet_digest, clean.fleet_digest);
+  EXPECT_EQ(report.sim_duration_s, clean.sim_duration_s);
+  EXPECT_GT(report.server.offload_stolen, 0u);
+  EXPECT_EQ(report.server.offload_completed,
+            report.server.offload_submitted);
+  EXPECT_EQ(clean.server.offload_stolen, 0u);
+}
+
+// Offload determinism inside the chaos harness: same seed, inline vs 1
+// vs 4 offload workers — identical fleet digest and serving outcome.
+TEST_F(ChaosTest, SameSeedIsBitIdenticalAcrossOffloadWorkerCounts) {
+  const CampaignConfig inline_cfg = base_config(0x0FF6);
+  CampaignConfig one = inline_cfg;
+  one.server.offload_workers = 1;
+  CampaignConfig four = inline_cfg;
+  four.server.offload_workers = 4;
+
+  const CampaignReport a = CampaignRunner(inline_cfg).run();
+  const CampaignReport b = CampaignRunner(one).run();
+  const CampaignReport c = CampaignRunner(four).run();
+
+  EXPECT_EQ(a.fleet_digest, b.fleet_digest);
+  EXPECT_EQ(b.fleet_digest, c.fleet_digest);
+  EXPECT_EQ(b.sessions_completed, c.sessions_completed);
+  EXPECT_EQ(b.server.handshakes_completed, c.server.handshakes_completed);
+  // Simulated timing legitimately differs (one lane queues, four do
+  // not); the contract fixes the bytes, not the schedule.
+  EXPECT_TRUE(b.invariants_ok()) << b.invariant_failures;
+  EXPECT_TRUE(c.invariants_ok()) << c.invariant_failures;
+}
+
 }  // namespace
 }  // namespace mapsec::chaos

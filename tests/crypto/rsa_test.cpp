@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "mapsec/crypto/rng.hpp"
+#include "mapsec/crypto/mont_cache.hpp"
 #include "mapsec/crypto/rsa.hpp"
 
 namespace mapsec::crypto {
@@ -182,6 +183,52 @@ TEST(RsaGenerateTest, RejectsBadSizes) {
 TEST(RsaGenerateTest, DistinctKeysFromDistinctSeeds) {
   HmacDrbg a(1), b(2);
   EXPECT_NE(rsa_generate(a, 256).pub.n, rsa_generate(b, 256).pub.n);
+}
+
+// ---- per-key Montgomery context cache -------------------------------------
+
+TEST_F(RsaTest, MontCacheOutputsBitIdentical) {
+  HmacDrbg rng(0xCAC4E);
+  MontCache cache;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes msg = rng.bytes(20 + i);
+    const Bytes plain_sig = rsa_sign_sha1(key512_->priv, msg);
+    const Bytes cached_sig = rsa_sign_sha1(key512_->priv, msg, &cache);
+    EXPECT_EQ(plain_sig, cached_sig);
+    EXPECT_TRUE(rsa_verify_sha1(key512_->pub, msg, cached_sig, &cache));
+  }
+  // The contexts (p and q for CRT signing, n for verification) are each
+  // constructed exactly once; every later op under the same key hits.
+  EXPECT_EQ(cache.misses(), cache.size());
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GE(cache.size(), 2u);
+}
+
+TEST_F(RsaTest, MontCacheDecryptRoundTrip) {
+  HmacDrbg rng(0xCAC4F);
+  MontCache cache;
+  const Bytes msg = rng.bytes(24);
+  const Bytes ct = rsa_encrypt_pkcs1(key512_->pub, msg, rng);
+  const auto plain = rsa_decrypt_pkcs1(key512_->priv, ct);
+  const auto cached = rsa_decrypt_pkcs1(key512_->priv, ct, &cache);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*plain, *cached);
+  EXPECT_EQ(*cached, msg);
+}
+
+TEST_F(RsaTest, MontCacheServesMultipleKeys) {
+  HmacDrbg rng(0xCAC50);
+  MontCache cache;
+  const Bytes msg = rng.bytes(16);
+  const Bytes sig512 = rsa_sign_sha1(key512_->priv, msg, &cache);
+  const Bytes sig1024 = rsa_sign_sha1(key1024_->priv, msg, &cache);
+  EXPECT_TRUE(rsa_verify_sha1(key512_->pub, msg, sig512, &cache));
+  EXPECT_TRUE(rsa_verify_sha1(key1024_->pub, msg, sig1024, &cache));
+  const std::size_t entries = cache.size();
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GT(entries, 3u);  // two keys' CRT primes + two public moduli
 }
 
 }  // namespace

@@ -535,5 +535,183 @@ TEST_F(HandshakeTest, StepHandshakeDrivesOneFlightAtATime) {
   EXPECT_TRUE(idle.output.empty());
 }
 
+// ---- asynchronous public-key offload (async_pk) ---------------------------
+
+// The async continuation must be a pure re-timing of the sync handshake:
+// identical flights byte for byte, identical counters — only WHO runs the
+// private-key op changes. This is the determinism contract the server's
+// OffloadEngine integration relies on.
+TEST_F(HandshakeTest, AsyncPkRsaTranscriptByteIdentical) {
+  // Sync reference run.
+  crypto::HmacDrbg crng_s(101), srng_s(102);
+  TlsClient sync_client(client_config(crng_s));
+  TlsServer sync_server(server_config(srng_s));
+  const Bytes hello_s = sync_client.process({});
+  const Bytes f1_s = sync_server.process(hello_s);
+  const Bytes f2_s = sync_client.process(f1_s);
+  const Bytes f3_s = sync_server.process(f2_s);
+  const Bytes f4_s = sync_client.process(f3_s);
+  ASSERT_TRUE(sync_server.established());
+
+  // Async twin with identical seeds.
+  crypto::HmacDrbg crng_a(101), srng_a(102);
+  HandshakeConfig scfg = server_config(srng_a);
+  scfg.async_pk = true;
+  TlsClient client(client_config(crng_a));
+  TlsServer server(scfg);
+  const Bytes hello = client.process({});
+  EXPECT_EQ(hello, hello_s);
+  const Bytes f1 = server.process(hello);  // RSA suite: no pk op here
+  EXPECT_EQ(f1, f1_s);
+  EXPECT_FALSE(server.pk_pending());
+  const Bytes f2 = client.process(f1);
+  EXPECT_EQ(f2, f2_s);
+
+  // The client flight carries the ClientKeyExchange: the server suspends
+  // instead of decrypting inline.
+  const HandshakeStep step = step_handshake(server, f2);
+  ASSERT_TRUE(step.pk_pending);
+  EXPECT_TRUE(step.output.empty());
+  EXPECT_FALSE(step.established);
+  ASSERT_TRUE(server.pk_pending());
+  EXPECT_EQ(server.pending_pk_job().kind, PkJob::Kind::kRsaDecrypt);
+
+  // A new flight while suspended is a protocol violation.
+  EXPECT_THROW(server.process(f2), HandshakeError);
+
+  // Service the job (as the OffloadEngine worker would) and resume.
+  const PkResult result = run_pk_job(server.pending_pk_job());
+  const Bytes f3 = server.resume_pk(result);
+  EXPECT_EQ(f3, f3_s);
+  ASSERT_TRUE(server.established());
+  EXPECT_FALSE(server.pk_pending());
+  const Bytes f4 = client.process(f3);
+  EXPECT_EQ(f4, f4_s);
+  ASSERT_TRUE(client.established());
+  EXPECT_EQ(client.master_secret(), server.master_secret());
+  EXPECT_EQ(server.summary().rsa_private_ops,
+            sync_server.summary().rsa_private_ops);
+
+  // The data path is live after an async establishment.
+  const auto got = server.recv_data(client.send_data(to_bytes("async")));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], to_bytes("async"));
+}
+
+TEST_F(HandshakeTest, AsyncPkDheSuspendsMidServerFlight) {
+  crypto::HmacDrbg grng(0xD4E);
+  const crypto::DhGroup group = crypto::DhGroup::generate(grng, 160);
+
+  crypto::HmacDrbg crng_s(103), srng_s(104);
+  HandshakeConfig ccfg_s = client_config(crng_s);
+  ccfg_s.offered_suites = {CipherSuite::kDheRsaAes128CbcSha};
+  HandshakeConfig scfg_s = server_config(srng_s);
+  scfg_s.dhe_group = group;
+  TlsClient sync_client(ccfg_s);
+  TlsServer sync_server(scfg_s);
+  const Bytes hello_s = sync_client.process({});
+  const Bytes f1_s = sync_server.process(hello_s);
+
+  crypto::HmacDrbg crng_a(103), srng_a(104);
+  HandshakeConfig ccfg = client_config(crng_a);
+  ccfg.offered_suites = {CipherSuite::kDheRsaAes128CbcSha};
+  HandshakeConfig scfg = server_config(srng_a);
+  scfg.dhe_group = group;
+  scfg.async_pk = true;
+  TlsClient client(ccfg);
+  TlsServer server(scfg);
+  const Bytes hello = client.process({});
+  EXPECT_EQ(hello, hello_s);
+
+  // The ServerKeyExchange signature suspends the server's OWN flight.
+  const HandshakeStep step = step_handshake(server, hello);
+  ASSERT_TRUE(step.pk_pending);
+  EXPECT_TRUE(step.output.empty());
+  ASSERT_EQ(server.pending_pk_job().kind, PkJob::Kind::kRsaSign);
+  const Bytes f1 = server.resume_pk(run_pk_job(server.pending_pk_job()));
+  EXPECT_EQ(f1, f1_s);
+
+  // A DHE ClientKeyExchange needs no RSA decrypt: the rest is synchronous.
+  const Bytes f2 = client.process(f1);
+  const Bytes f3 = server.process(f2);
+  ASSERT_TRUE(server.established());
+  client.process(f3);
+  ASSERT_TRUE(client.established());
+  EXPECT_EQ(client.master_secret(), server.master_secret());
+}
+
+TEST_F(HandshakeTest, AsyncPkResumeWithoutPendingJobThrows) {
+  crypto::HmacDrbg srng(107);
+  HandshakeConfig scfg = server_config(srng);
+  scfg.async_pk = true;
+  TlsServer server(scfg);
+  EXPECT_THROW(server.resume_pk(PkResult{}), HandshakeError);
+}
+
+TEST_F(HandshakeTest, RunHandshakeServicesAsyncServer) {
+  crypto::HmacDrbg crng(108), srng(109);
+  HandshakeConfig scfg = server_config(srng);
+  scfg.async_pk = true;
+  TlsClient client(client_config(crng));
+  TlsServer server(scfg);
+  run_handshake(client, server);
+  EXPECT_TRUE(client.established());
+  EXPECT_TRUE(server.established());
+  EXPECT_EQ(client.master_secret(), server.master_secret());
+}
+
+TEST_F(ClientAuthTest, AsyncPkDoubleSuspensionCkeThenCertVerify) {
+  // Sync reference.
+  crypto::HmacDrbg crng_s(110), srng_s(111);
+  HandshakeConfig ccfg_s = client_config(crng_s);
+  ccfg_s.client_cert_chain = {*client_cert_};
+  ccfg_s.client_private_key = &client_key_->priv;
+  HandshakeConfig scfg_s = server_config(srng_s);
+  scfg_s.request_client_auth = true;
+  scfg_s.require_client_auth = true;
+  scfg_s.trusted_roots = {ca_->root()};
+  TlsClient sync_client(ccfg_s);
+  TlsServer sync_server(scfg_s);
+  const Bytes f1_s = sync_server.process(sync_client.process({}));
+  const Bytes f2_s = sync_client.process(f1_s);
+  const Bytes f3_s = sync_server.process(f2_s);
+  ASSERT_TRUE(sync_server.established());
+
+  // Async twin: the one client flight costs TWO suspensions — the
+  // ClientKeyExchange decrypt, then the CertificateVerify check.
+  crypto::HmacDrbg crng_a(110), srng_a(111);
+  HandshakeConfig ccfg = client_config(crng_a);
+  ccfg.client_cert_chain = {*client_cert_};
+  ccfg.client_private_key = &client_key_->priv;
+  HandshakeConfig scfg = server_config(srng_a);
+  scfg.request_client_auth = true;
+  scfg.require_client_auth = true;
+  scfg.trusted_roots = {ca_->root()};
+  scfg.async_pk = true;
+  TlsClient client(ccfg);
+  TlsServer server(scfg);
+  const Bytes f1 = server.process(client.process({}));
+  EXPECT_EQ(f1, f1_s);
+  const Bytes f2 = client.process(f1);
+  EXPECT_EQ(f2, f2_s);
+
+  const HandshakeStep step = step_handshake(server, f2);
+  ASSERT_TRUE(step.pk_pending);
+  ASSERT_EQ(server.pending_pk_job().kind, PkJob::Kind::kRsaDecrypt);
+  Bytes out = server.resume_pk(run_pk_job(server.pending_pk_job()));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(server.pk_pending());
+  ASSERT_EQ(server.pending_pk_job().kind, PkJob::Kind::kRsaVerify);
+  out = server.resume_pk(run_pk_job(server.pending_pk_job()));
+  EXPECT_EQ(out, f3_s);
+  ASSERT_TRUE(server.established());
+  EXPECT_TRUE(server.summary().client_authenticated);
+  EXPECT_EQ(server.summary().rsa_private_ops,
+            sync_server.summary().rsa_private_ops);
+  client.process(out);
+  ASSERT_TRUE(client.established());
+  EXPECT_EQ(client.master_secret(), server.master_secret());
+}
+
 }  // namespace
 }  // namespace mapsec::protocol

@@ -1,0 +1,243 @@
+// Public-key offload engine tests: modeled-lane scheduling, thread-pool
+// lifecycle (drain and shutdown under TSan), stalled-worker stealing,
+// and the determinism contract — the fleet transcript digest must be
+// byte-identical for ANY offload worker count, including inline mode.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/engine/offload_engine.hpp"
+#include "mapsec/platform/processor.hpp"
+#include "mapsec/server/load_gen.hpp"
+
+namespace mapsec::server {
+namespace {
+
+using crypto::Bytes;
+using protocol::CipherSuite;
+
+constexpr std::uint64_t kNow = 1'050'000'000;  // ~2003
+
+/// Shared PKI: one CA, one server identity (RSA-512 for speed).
+class ServerOffloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0x0FF1);
+    ca_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    server_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    ca_ = new protocol::CertificateAuthority("OffloadRoot", *ca_key_, 0,
+                                             kNow * 2);
+    server_cert_ = new protocol::Certificate(
+        ca_->issue("server.test", server_key_->pub, 0, kNow * 2));
+  }
+  static void TearDownTestSuite() {
+    delete server_cert_;
+    delete ca_;
+    delete server_key_;
+    delete ca_key_;
+  }
+
+  static ServerConfig server_config() {
+    ServerConfig cfg;
+    cfg.handshake.now = kNow;
+    cfg.handshake.cert_chain = {*server_cert_};
+    cfg.handshake.private_key = &server_key_->priv;
+    return cfg;
+  }
+
+  static ClientConfig client_config() {
+    ClientConfig cfg;
+    cfg.handshake.now = kNow;
+    cfg.handshake.trusted_roots = {ca_->root()};
+    cfg.handshake.offered_suites = {CipherSuite::kRsaAes128CbcSha};
+    return cfg;
+  }
+
+  static LoadConfig load_config(std::size_t clients) {
+    LoadConfig cfg;
+    cfg.num_clients = clients;
+    cfg.appliance = platform::Processor::strongarm_sa1100();
+    return cfg;
+  }
+
+  static protocol::PkJob sign_job(std::uint8_t tag) {
+    protocol::PkJob job;
+    job.kind = protocol::PkJob::Kind::kRsaSign;
+    job.private_key = &server_key_->priv;
+    job.input = Bytes(32, tag);
+    return job;
+  }
+
+  static crypto::RsaKeyPair* ca_key_;
+  static crypto::RsaKeyPair* server_key_;
+  static protocol::CertificateAuthority* ca_;
+  static protocol::Certificate* server_cert_;
+};
+
+crypto::RsaKeyPair* ServerOffloadTest::ca_key_ = nullptr;
+crypto::RsaKeyPair* ServerOffloadTest::server_key_ = nullptr;
+protocol::CertificateAuthority* ServerOffloadTest::ca_ = nullptr;
+protocol::Certificate* ServerOffloadTest::server_cert_ = nullptr;
+
+// ------------------------------------------------- OffloadEngine directly
+
+TEST_F(ServerOffloadTest, PoolDrainsAllSubmittedJobs) {
+  net::EventQueue queue;
+  engine::OffloadEngine engine(queue, 4);
+  const protocol::PkResult expected = protocol::run_pk_job(sign_job(7));
+
+  int completions = 0;
+  for (int i = 0; i < 16; ++i) {
+    engine.submit(sign_job(7), [&](const protocol::PkResult& r) {
+      ++completions;
+      EXPECT_EQ(r.signature, expected.signature);
+    });
+  }
+  EXPECT_EQ(engine.in_flight(), 16u);
+  queue.run_all();
+  EXPECT_EQ(completions, 16);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_EQ(engine.stats().submitted, 16u);
+  EXPECT_EQ(engine.stats().completed, 16u);
+}
+
+// Destroying the engine with jobs still queued must stop the workers
+// cleanly (no deadlock, no use-after-free of the work queue) — the
+// completion events are simply never run because the EventQueue is
+// dropped without draining. TSan covers the join ordering.
+TEST_F(ServerOffloadTest, ShutdownWithQueuedJobsDoesNotDeadlock) {
+  net::EventQueue queue;
+  {
+    engine::OffloadEngine engine(queue, 2);
+    for (int i = 0; i < 32; ++i)
+      engine.submit(sign_job(9), [](const protocol::PkResult&) {});
+    // Engine destructor runs here with most jobs still queued.
+  }
+  SUCCEED();
+}
+
+TEST_F(ServerOffloadTest, ZeroWorkersRejected) {
+  net::EventQueue queue;
+  EXPECT_THROW(engine::OffloadEngine(queue, 0), std::invalid_argument);
+}
+
+// The modeled lane schedule is a pure function of the submission
+// sequence: with one lane every job queues behind the previous one; with
+// enough lanes none waits.
+TEST_F(ServerOffloadTest, LaneModelAccountsQueueing) {
+  engine::OffloadCosts costs;
+  costs.rsa_sign_us = 1'000;
+  {
+    net::EventQueue queue;
+    engine::OffloadEngine one(queue, 1, costs);
+    for (int i = 0; i < 4; ++i)
+      one.submit(sign_job(3), [](const protocol::PkResult&) {});
+    queue.run_all();
+    // Jobs 2..4 waited 1, 2 and 3 ms for the single lane.
+    EXPECT_EQ(one.stats().queue_wait_us, 6'000u);
+    EXPECT_EQ(one.stats().lane_busy_us, 4'000u);
+    EXPECT_EQ(queue.now(), 4'000u);
+  }
+  {
+    net::EventQueue queue;
+    engine::OffloadEngine four(queue, 4, costs);
+    for (int i = 0; i < 4; ++i)
+      four.submit(sign_job(3), [](const protocol::PkResult&) {});
+    queue.run_all();
+    EXPECT_EQ(four.stats().queue_wait_us, 0u);
+    EXPECT_EQ(queue.now(), 1'000u);
+  }
+}
+
+// A stalled worker must degrade gracefully: the completion event waits
+// out the grace period, then recomputes the job inline (bit-identical —
+// PkResults are pure functions of the job) and counts a steal.
+TEST_F(ServerOffloadTest, StalledWorkersAreStolenNotDeadlocked) {
+  net::EventQueue queue;
+  engine::OffloadEngine engine(queue, 2, {}, /*steal_timeout_ms=*/25);
+  engine.inject_worker_stall(0, 400'000'000);  // 400 ms per job
+  engine.inject_worker_stall(1, 400'000'000);
+  const protocol::PkResult expected = protocol::run_pk_job(sign_job(5));
+
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.submit(sign_job(5), [&](const protocol::PkResult& r) {
+      ++completions;
+      EXPECT_EQ(r.signature, expected.signature);
+    });
+  }
+  queue.run_all();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(engine.stats().completed, 3u);
+  EXPECT_GE(engine.stats().stolen, 1u);
+}
+
+// --------------------------------------------- fleet-level determinism
+
+// The offload determinism contract: for any worker count — and for
+// inline mode — the honest-fleet transcript digest is byte-identical;
+// only simulated timing (and therefore rates) may change.
+TEST_F(ServerOffloadTest, FleetDigestIdenticalAcrossWorkerCounts) {
+  Bytes digest;
+  for (std::size_t workers : {0u, 1u, 4u}) {
+    ServerConfig server = server_config();
+    server.offload_workers = workers;
+    LoadGenerator gen(load_config(30), server, client_config(), {});
+    const LoadReport r = gen.run();
+    EXPECT_EQ(r.sessions_completed, 30u) << workers << " workers";
+    EXPECT_EQ(r.echo_mismatches, 0u);
+    if (digest.empty()) {
+      digest = r.fleet_digest;
+    } else {
+      EXPECT_EQ(r.fleet_digest, digest) << workers << " workers";
+    }
+    if (workers > 0) {
+      // One RSA ClientKeyExchange decrypt per full handshake, all
+      // completed, none dropped or stolen on the healthy path.
+      EXPECT_EQ(r.server.offload_submitted, 30u);
+      EXPECT_EQ(r.server.offload_completed, 30u);
+      EXPECT_EQ(r.server.offload_stolen, 0u);
+      EXPECT_GT(r.server.offload_lane_busy_us, 0u);
+    } else {
+      EXPECT_EQ(r.server.offload_submitted, 0u);
+    }
+  }
+}
+
+// Resumption composes with offload: abbreviated handshakes never touch
+// the accelerator, so lane demand tracks FULL handshakes only.
+TEST_F(ServerOffloadTest, ResumedHandshakesSkipTheAccelerator) {
+  ServerConfig server = server_config();
+  server.offload_workers = 2;
+  ClientConfig client = client_config();
+  client.sessions = 3;  // one full + two resumed per client
+  LoadGenerator gen(load_config(10), server, client,
+                    {.capacity = 64, .ttl_us = 0});
+  const LoadReport r = gen.run();
+  EXPECT_EQ(r.sessions_completed, 30u);
+  EXPECT_EQ(r.server.full_handshakes, 10u);
+  EXPECT_EQ(r.server.resumed_handshakes, 20u);
+  EXPECT_EQ(r.server.offload_submitted, r.server.full_handshakes);
+  EXPECT_EQ(r.server.offload_completed, r.server.offload_submitted);
+}
+
+// Offload composes with the admission valve: suspended handshakes count
+// toward the handshake queue, so a flood of concurrent full handshakes
+// still trips the bound instead of growing unbounded deferred state.
+TEST_F(ServerOffloadTest, SuspendedHandshakesCountTowardAdmission) {
+  ServerConfig server = server_config();
+  server.offload_workers = 1;
+  server.max_handshake_queue = 4;
+  LoadConfig load = load_config(24);
+  load.mean_interarrival_us = 10;  // near-simultaneous arrivals
+  ClientConfig client = client_config();
+  client.retry_budget = 6;
+  LoadGenerator gen(load, server, client, {});
+  const LoadReport r = gen.run();
+  EXPECT_GT(r.server.refused_connections, 0u);
+  EXPECT_EQ(r.sessions_completed, 24u);  // retries land once lanes drain
+}
+
+}  // namespace
+}  // namespace mapsec::server
