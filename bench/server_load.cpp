@@ -416,6 +416,87 @@ int main(int argc, char** argv) {
               off_digests_match ? "IDENTICAL" : "DIVERGED", off_scaling,
               off_rows[1].mbps, off_rows[3].mbps);
 
+  // Scenario 6 (E22): batched offload sweep. The same offload fleet on
+  // saturated lanes, with each lane draining up to `width` queued jobs
+  // per service window (cost(j0) + 0.3 * cost(rest), the BatchModExp ILP
+  // model). At width 4 a full window serves 4 ops in 1.9 op-slots —
+  // 2.105x the per-op rate — so on a lane-bound fleet the served
+  // handshake rate must at least double vs width 1, with the fleet
+  // digest byte-identical for every (lanes, width) cell.
+  std::puts("\n-- E22: batched offload sweep (same fleet, lanes x batch "
+            "width,\n   window cost = op + 0.3/extra op) --");
+  struct BatchRow {
+    std::size_t lanes = 0;
+    std::size_t width = 0;
+    double hs_per_s = 0;
+    double mbps = 0;
+    double util = 0;
+    std::uint64_t batched_jobs = 0;
+    std::size_t max_fill = 0;
+  };
+  analysis::Table bat_tab({"lanes", "width", "full hs/s (sim)",
+                           "record Mbit/s", "modeled util", "batched jobs",
+                           "max fill", "wall ms", "fleet digest"});
+  std::vector<BatchRow> bat_rows;
+  std::string bat_digest0;
+  bool bat_digests_match = true;
+  for (std::size_t lanes : {1u, 2u}) {
+    for (std::size_t width : {1u, 2u, 4u, 8u}) {
+      // 400 clients at 0.5 ms mean arrivals: the lane-bound phase is long
+      // enough that the arrival ramp and the last session's record tail
+      // (both fixed costs) cannot dilute the window-pricing ratio below
+      // the 2x gate.
+      server::LoadConfig bat_load = load_config(400);
+      bat_load.channel = {};  // loss-free
+      bat_load.mean_interarrival_us = 500;
+      server::ClientConfig bat_client = client_config(pki);
+      bat_client.sessions = 1;
+      bat_client.payloads_per_session = 4;
+      bat_client.payload_bytes = 256;
+      server::ServerConfig bat_server = server_config(pki);
+      bat_server.offload_workers = lanes;
+      bat_server.offload_batch_width = width;
+      const Timed t = run(server::LoadGenerator(bat_load, bat_server,
+                                                bat_client, {}));
+      const std::string digest = hex_prefix(t.report.fleet_digest);
+      if (bat_digest0.empty()) bat_digest0 = digest;
+      bat_digests_match = bat_digests_match && digest == bat_digest0;
+      const platform::BatchedGapReport bg = platform::serving_gap_batched(
+          platform::WorkloadModel::paper_calibrated(),
+          platform::Processor::strongarm_sa1100(), served_load(t.report),
+          lanes, bat_server.offload_costs.rsa_decrypt_us / 1e6, width,
+          bat_server.offload_costs.batch_marginal);
+      BatchRow row;
+      row.lanes = lanes;
+      row.width = width;
+      row.hs_per_s = t.report.full_handshakes_per_s;
+      row.mbps = t.report.record_mbps;
+      row.util = bg.batched_utilisation;
+      row.batched_jobs = t.report.server.offload_batched_jobs;
+      row.max_fill = t.report.server.offload_max_batch_fill;
+      bat_rows.push_back(row);
+      bat_tab.add_row({std::to_string(lanes), std::to_string(width),
+                       analysis::fmt(row.hs_per_s, 1),
+                       analysis::fmt(row.mbps, 3), analysis::fmt(row.util, 2),
+                       std::to_string(row.batched_jobs),
+                       std::to_string(row.max_fill),
+                       analysis::fmt(t.wall_ms, 0), digest});
+    }
+  }
+  std::fputs(bat_tab.render().c_str(), stdout);
+  // Rows 0..3 are the 1-lane sweep: widths 1, 2, 4, 8.
+  const double batch_scaling =
+      bat_rows[0].hs_per_s > 0 ? bat_rows[2].hs_per_s / bat_rows[0].hs_per_s
+                               : 0.0;
+  const bool batched_ok = bat_digests_match && batch_scaling >= 2.0 &&
+                          bat_rows[2].mbps >= bat_rows[0].mbps &&
+                          bat_rows[2].batched_jobs > 0;
+  std::printf("digests %s across lanes x widths; 1-lane width 1->4 "
+              "handshake scaling %.2fx (gate >= 2x), record path "
+              "%.3f -> %.3f Mbit/s\n",
+              bat_digests_match ? "IDENTICAL" : "DIVERGED", batch_scaling,
+              bat_rows[0].mbps, bat_rows[2].mbps);
+
   // Scenario 4: handshake flood, undefended vs defended. The flood-free
   // baseline run prices the honest fleet's handshake energy; the two
   // flood runs differ only in the admission valve + degraded watermarks,
@@ -593,6 +674,20 @@ int main(int argc, char** argv) {
                  off_rows[i].lane_util,
                  i + 1 < off_rows.size() ? "," : "");
   }
+  std::fprintf(f,
+               "  },\n"
+               "  \"batched_offload_sweep\": {\n");
+  for (std::size_t i = 0; i < bat_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    \"lanes_%zu_width_%zu\": {\n"
+                 "      \"full_handshakes_per_s\": %.3f,\n"
+                 "      \"record_mbps\": %.3f,\n"
+                 "      \"batched_utilisation\": %.3f\n"
+                 "    }%s\n",
+                 bat_rows[i].lanes, bat_rows[i].width, bat_rows[i].hs_per_s,
+                 bat_rows[i].mbps, bat_rows[i].util,
+                 i + 1 < bat_rows.size() ? "," : "");
+  }
   // The ns/lookup figures are wall-clock (machine-dependent) and carry
   // no _per_s/_mbps suffix, so bench_compare.py ignores them by
   // construction.
@@ -600,6 +695,8 @@ int main(int argc, char** argv) {
                "  },\n"
                "  \"offload_digests_match\": %s,\n"
                "  \"offload_scaling_1_to_4\": %.2f,\n"
+               "  \"batched_digests_match\": %s,\n"
+               "  \"batched_scaling_width_1_to_4\": %.2f,\n"
                "  \"session_cache_hashed_ns_per_lookup\": %.1f,\n"
                "  \"session_cache_tree_ns_per_lookup\": %.1f,\n"
                "  \"bulk_record_mbps\": %.3f,\n"
@@ -607,10 +704,11 @@ int main(int argc, char** argv) {
                "  \"flood_defense_holds\": %s\n"
                "}\n",
                off_digests_match ? "true" : "false", off_scaling,
+               bat_digests_match ? "true" : "false", batch_scaling,
                cache_ns_hashed, cache_ns_tree, bulk_mbps,
                digests_match ? "true" : "false",
                defense_holds ? "true" : "false");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
-  return digests_match && defense_holds && offload_ok ? 0 : 1;
+  return digests_match && defense_holds && offload_ok && batched_ok ? 0 : 1;
 }

@@ -6,8 +6,10 @@ Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 0.20]
 Two input formats are understood:
 
   * google-benchmark reports (BENCH_crypto.json, BENCH_engine.json):
-    benchmarks matched by name, throughput taken from bytes_per_second
-    when present, otherwise inverse real_time.
+    benchmarks matched by name (batched variants like
+    BM_Rsa1024PrivateCrtBatched/4 are distinct names, so every batch
+    width is compared per-width), throughput taken from bytes_per_second
+    or items_per_second when present, otherwise inverse real_time.
   * mapsec scenario reports (BENCH_server.json, any doc with a top-level
     "scenarios" key): nested dicts of named scenarios holding mixed
     metric fields. Only throughput-like numeric leaves (keys ending in
@@ -59,6 +61,10 @@ def load_benchmarks(path):
         name = b["name"]
         if "bytes_per_second" in b:
             out[name] = ("bytes_per_second", float(b["bytes_per_second"]))
+        elif "items_per_second" in b:
+            # Batched benchmarks report per-item throughput (e.g. RSA ops/s
+            # across a batch width); compare that, not wall time per batch.
+            out[name] = ("items_per_second", float(b["items_per_second"]))
         elif float(b.get("real_time", 0)) > 0:
             # Throughput proxy: ops per unit real time.
             out[name] = ("1/real_time", 1.0 / float(b["real_time"]))

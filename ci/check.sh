@@ -35,6 +35,15 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 echo "== release tree, forced-scalar crypto (MAPSEC_FORCE_SCALAR=1) =="
 MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== forced-scalar batched differential sweep =="
+# The batched data plane (BatchModExp, multi-buffer SHA-256/CCM, batched
+# offload windows) must prove bit-identity with the scalar-interleaved
+# fallback too, not just with the ISA kernels; this names the sweep
+# explicitly so a filter change in the full run can never silently drop
+# it from the scalar tree.
+MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}" \
+  -R 'BatchModExp|RsaBatch|Sha256Many|CcmBatch|BatchWidth|BatchWindow|MidBatch|WholeWindow'
+
 echo "== thread-sanitizer tree (MAPSEC_SANITIZE=thread) =="
 # TSan covers the concurrency surface: the PacketPipeline's worker pool
 # and everything that drives it (server, chaos campaigns, wire fuzzing).

@@ -1,0 +1,43 @@
+// Batched Montgomery multi-exponentiation.
+//
+// Interleaves N independent left-to-right square-and-multiply
+// exponentiations so their CIOS multiplications run through the batched
+// dispatch kernel (4 independent carry chains fill the multiplier ports
+// a single chain leaves idle). Every lane executes EXACTLY the operation
+// sequence Montgomery::exp() would — the same key-dependent
+// square/multiply schedule, the same data-dependent extra reductions,
+// the same MontStats accounting — so results and the timing-attack-
+// visible statistics are bit-identical to the sequential path for any
+// batch width, on any dispatch backend.
+//
+// Lanes need not share a modulus: any set of lanes whose moduli have the
+// same internal limb width batches together (the p- and q-halves of
+// different RSA keys ride in one batch). Lanes whose exponents run dry
+// drop out and the batch raggedly narrows — correctness never depends on
+// lanes staying in step.
+#pragma once
+
+#include <vector>
+
+#include "mapsec/crypto/modexp.hpp"
+
+namespace mapsec::crypto {
+
+class BatchModExp {
+ public:
+  /// One exponentiation: base^exponent mod mont->modulus(). `mont` must
+  /// outlive the run() call; `stats`, when set, receives exactly the
+  /// counts mont->exp(base, exponent, stats) would add.
+  struct Request {
+    const Montgomery* mont = nullptr;
+    BigInt base;
+    BigInt exponent;
+    MontStats* stats = nullptr;
+  };
+
+  /// Run every request to completion, interleaved. results[i] ==
+  /// reqs[i].mont->exp(reqs[i].base, reqs[i].exponent) byte for byte.
+  static std::vector<BigInt> run(const std::vector<Request>& reqs);
+};
+
+}  // namespace mapsec::crypto

@@ -1,0 +1,192 @@
+#include "mapsec/crypto/batch_modexp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels.hpp"
+
+namespace mapsec::crypto {
+
+namespace {
+
+// One interleaved exponentiation, stepped through the same program
+// Montgomery::exp() runs:
+//
+//   init:    bm  = REDC(base_norm * RR)        (no stats)
+//            acc = bm
+//   per bit: acc = REDC(acc * acc)             (square: ++squares)
+//            if e.bit(i): acc = REDC(acc * bm) (multiply: ++mults)
+//   final:   out = REDC(acc * 1)               (no stats)
+//
+// Each step is one CIOS multiplication; the lane exposes its current
+// multiplication as a MontBatchOperand and advances when the caller
+// reports it complete.
+struct Lane {
+  enum class Phase { kInit, kSquare, kMultiply, kFinal, kDone };
+
+  const Montgomery* m = nullptr;
+  const BigInt* e = nullptr;
+  MontStats* stats = nullptr;
+  std::size_t slot = 0;  // index into the result vector
+  std::size_t kw = 0;
+  Phase phase = Phase::kInit;
+  std::size_t i = 0;  // current exponent bit (valid in kSquare/kMultiply)
+  std::vector<std::uint64_t> buf;  // bm | acc | tmp | t(kw + 2)
+  std::uint64_t* bm = nullptr;
+  std::uint64_t* acc = nullptr;
+  std::uint64_t* tmp = nullptr;
+  std::uint64_t* t = nullptr;
+};
+
+struct PendingOp {
+  Lane* lane;
+  dispatch::MontBatchOperand op;
+  std::uint64_t* dest;
+  MontStats* stats;  // null for the init/final conversions, as in exp()
+};
+
+}  // namespace
+
+std::vector<BigInt> BatchModExp::run(const std::vector<Request>& reqs) {
+  std::vector<BigInt> results(reqs.size());
+  std::vector<Lane> lanes;
+  lanes.reserve(reqs.size());
+
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const Request& req = reqs[r];
+    // The zero-exponent early-out and the radix-32 engine (odd-32-bit-
+    // limb moduli) take the sequential path verbatim — both are exactly
+    // mont->exp(), so batching them buys nothing and risks divergence.
+    if (req.exponent.is_zero()) {
+      results[r] = BigInt(1) % req.mont->modulus();
+      continue;
+    }
+    if (req.mont->radix32_) {
+      results[r] = req.mont->exp(req.base, req.exponent, req.stats);
+      continue;
+    }
+    Lane lane;
+    lane.m = req.mont;
+    lane.e = &req.exponent;
+    lane.stats = req.stats;
+    lane.slot = r;
+    lane.kw = req.mont->kw_;
+    lane.buf.assign(3 * lane.kw + lane.kw + 2, 0);
+    lane.bm = lane.buf.data();
+    lane.acc = lane.bm + lane.kw;
+    lane.tmp = lane.acc + lane.kw;
+    lane.t = lane.tmp + lane.kw;
+    // tmp holds the normalized base; the init multiplication sends it to
+    // Montgomery form.
+    req.mont->normalize_into(req.base % req.mont->n_, lane.tmp);
+    lanes.push_back(std::move(lane));
+  }
+
+  std::vector<PendingOp> ops;
+  std::vector<dispatch::MontBatchOperand> kernel_ops;
+  for (;;) {
+    // Gather each active lane's current multiplication.
+    ops.clear();
+    for (Lane& lane : lanes) {
+      const Montgomery& m = *lane.m;
+      PendingOp p{&lane,
+                  {nullptr, nullptr, m.n_limbs_.data(), m.n0inv_, lane.t},
+                  lane.tmp,
+                  nullptr};
+      switch (lane.phase) {
+        case Lane::Phase::kInit:
+          p.op.a = lane.tmp;
+          p.op.b = m.rr_limbs_.data();
+          p.dest = lane.bm;
+          break;
+        case Lane::Phase::kSquare:
+          p.op.a = lane.acc;
+          p.op.b = lane.acc;
+          p.stats = lane.stats;
+          break;
+        case Lane::Phase::kMultiply:
+          p.op.a = lane.acc;
+          p.op.b = lane.bm;
+          p.stats = lane.stats;
+          break;
+        case Lane::Phase::kFinal:
+          p.op.a = lane.acc;
+          p.op.b = m.one_limbs_.data();
+          break;
+        case Lane::Phase::kDone:
+          continue;
+      }
+      ops.push_back(p);
+    }
+    if (ops.empty()) break;
+
+    // Same-width lanes share a kernel call; the stable sort keeps lane
+    // order inside each width group deterministic.
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const PendingOp& a, const PendingOp& b) {
+                       return a.lane->kw < b.lane->kw;
+                     });
+    for (std::size_t lo = 0; lo < ops.size();) {
+      const std::size_t kw = ops[lo].lane->kw;
+      std::size_t hi = lo;
+      while (hi < ops.size() && ops[hi].lane->kw == kw) ++hi;
+      kernel_ops.clear();
+      for (std::size_t k = lo; k < hi; ++k) kernel_ops.push_back(ops[k].op);
+      dispatch::mont_cios_w64_batch()(kernel_ops.data(), hi - lo, kw);
+      lo = hi;
+    }
+
+    // Per-lane REDC finish (the data-dependent subtraction + MontStats,
+    // shared with the single-op path) and program-counter advance.
+    for (PendingOp& p : ops) {
+      Lane& lane = *p.lane;
+      Montgomery::redc_finish(p.op.t, lane.m->n_limbs_.data(), lane.kw,
+                              p.dest, p.stats);
+      switch (lane.phase) {
+        case Lane::Phase::kInit: {
+          std::memcpy(lane.acc, lane.bm, lane.kw * sizeof(std::uint64_t));
+          const std::size_t bits = lane.e->bit_length();
+          if (bits <= 1) {
+            lane.phase = Lane::Phase::kFinal;
+          } else {
+            lane.i = bits - 2;
+            lane.phase = Lane::Phase::kSquare;
+          }
+          break;
+        }
+        case Lane::Phase::kSquare:
+          std::swap(lane.acc, lane.tmp);
+          if (lane.stats) {
+            ++lane.stats->squares;
+            --lane.stats->mults;  // reclassify, exactly as exp() does
+          }
+          if (lane.e->bit(lane.i)) {
+            lane.phase = Lane::Phase::kMultiply;
+          } else if (lane.i == 0) {
+            lane.phase = Lane::Phase::kFinal;
+          } else {
+            --lane.i;
+          }
+          break;
+        case Lane::Phase::kMultiply:
+          std::swap(lane.acc, lane.tmp);
+          if (lane.i == 0) {
+            lane.phase = Lane::Phase::kFinal;
+          } else {
+            --lane.i;
+            lane.phase = Lane::Phase::kSquare;
+          }
+          break;
+        case Lane::Phase::kFinal:
+          results[lane.slot] = lane.m->from_raw(lane.tmp);
+          lane.phase = Lane::Phase::kDone;
+          break;
+        case Lane::Phase::kDone:
+          break;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace mapsec::crypto

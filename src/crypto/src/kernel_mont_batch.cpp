@@ -1,0 +1,250 @@
+// Batched Montgomery CIOS: four independent multiplications interleaved
+// at the inner-loop level. A single CIOS pass is bound by the latency of
+// one serial carry chain (each 64×64→128 multiply feeds the next add);
+// the multiplier itself is pipelined and mostly idle. Four INDEPENDENT
+// chains advanced in lockstep keep it fed — the classic multi-buffer
+// transform, applied to the modexp the offload lanes batch across
+// concurrent handshakes.
+//
+// The arithmetic per lane is limb-for-limb the scalar kernel's; only the
+// instruction schedule changes, so the pre-subtraction REDC values are
+// bit-identical by construction. This TU is built with
+// -mavx2 -mbmi2 -madx -funroll-loops on x86 so the compiler can emit
+// mulx/adcx/adox chains; the source itself is portable C++ (u128).
+#include "kernels.hpp"
+
+#include <cstring>
+
+namespace mapsec::crypto::dispatch {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+template <std::size_t KW>
+void cios_batch4_fixed(const MontBatchOperand* ops) {
+  const u64* a0 = ops[0].a;
+  const u64* a1 = ops[1].a;
+  const u64* a2 = ops[2].a;
+  const u64* a3 = ops[3].a;
+  const u64* b0 = ops[0].b;
+  const u64* b1 = ops[1].b;
+  const u64* b2 = ops[2].b;
+  const u64* b3 = ops[3].b;
+  const u64* n0 = ops[0].n;
+  const u64* n1 = ops[1].n;
+  const u64* n2 = ops[2].n;
+  const u64* n3 = ops[3].n;
+  u64* t0 = ops[0].t;
+  u64* t1 = ops[1].t;
+  u64* t2 = ops[2].t;
+  u64* t3 = ops[3].t;
+  std::memset(t0, 0, (KW + 2) * sizeof(u64));
+  std::memset(t1, 0, (KW + 2) * sizeof(u64));
+  std::memset(t2, 0, (KW + 2) * sizeof(u64));
+  std::memset(t3, 0, (KW + 2) * sizeof(u64));
+
+  for (std::size_t i = 0; i < KW; ++i) {
+    const u64 ai0 = a0[i];
+    const u64 ai1 = a1[i];
+    const u64 ai2 = a2[i];
+    const u64 ai3 = a3[i];
+
+    // t += ai * b, four independent carry chains per j step.
+    u64 c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    for (std::size_t j = 0; j < KW; ++j) {
+      const u128 x0 = u128{t0[j]} + u128{ai0} * b0[j] + c0;
+      const u128 x1 = u128{t1[j]} + u128{ai1} * b1[j] + c1;
+      const u128 x2 = u128{t2[j]} + u128{ai2} * b2[j] + c2;
+      const u128 x3 = u128{t3[j]} + u128{ai3} * b3[j] + c3;
+      t0[j] = static_cast<u64>(x0);
+      t1[j] = static_cast<u64>(x1);
+      t2[j] = static_cast<u64>(x2);
+      t3[j] = static_cast<u64>(x3);
+      c0 = static_cast<u64>(x0 >> 64);
+      c1 = static_cast<u64>(x1 >> 64);
+      c2 = static_cast<u64>(x2 >> 64);
+      c3 = static_cast<u64>(x3 >> 64);
+    }
+    u128 y0 = u128{t0[KW]} + c0;
+    u128 y1 = u128{t1[KW]} + c1;
+    u128 y2 = u128{t2[KW]} + c2;
+    u128 y3 = u128{t3[KW]} + c3;
+    t0[KW] = static_cast<u64>(y0);
+    t1[KW] = static_cast<u64>(y1);
+    t2[KW] = static_cast<u64>(y2);
+    t3[KW] = static_cast<u64>(y3);
+    t0[KW + 1] = static_cast<u64>(y0 >> 64);
+    t1[KW + 1] = static_cast<u64>(y1 >> 64);
+    t2[KW + 1] = static_cast<u64>(y2 >> 64);
+    t3[KW + 1] = static_cast<u64>(y3 >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64 — per lane, with
+    // each lane's own modulus (the CRT halves of different keys batch).
+    const u64 m0 = t0[0] * ops[0].n0inv;
+    const u64 m1 = t1[0] * ops[1].n0inv;
+    const u64 m2 = t2[0] * ops[2].n0inv;
+    const u64 m3 = t3[0] * ops[3].n0inv;
+    c0 = static_cast<u64>((u128{t0[0]} + u128{m0} * n0[0]) >> 64);
+    c1 = static_cast<u64>((u128{t1[0]} + u128{m1} * n1[0]) >> 64);
+    c2 = static_cast<u64>((u128{t2[0]} + u128{m2} * n2[0]) >> 64);
+    c3 = static_cast<u64>((u128{t3[0]} + u128{m3} * n3[0]) >> 64);
+    for (std::size_t j = 1; j < KW; ++j) {
+      const u128 x0 = u128{t0[j]} + u128{m0} * n0[j] + c0;
+      const u128 x1 = u128{t1[j]} + u128{m1} * n1[j] + c1;
+      const u128 x2 = u128{t2[j]} + u128{m2} * n2[j] + c2;
+      const u128 x3 = u128{t3[j]} + u128{m3} * n3[j] + c3;
+      t0[j - 1] = static_cast<u64>(x0);
+      t1[j - 1] = static_cast<u64>(x1);
+      t2[j - 1] = static_cast<u64>(x2);
+      t3[j - 1] = static_cast<u64>(x3);
+      c0 = static_cast<u64>(x0 >> 64);
+      c1 = static_cast<u64>(x1 >> 64);
+      c2 = static_cast<u64>(x2 >> 64);
+      c3 = static_cast<u64>(x3 >> 64);
+    }
+    y0 = u128{t0[KW]} + c0;
+    y1 = u128{t1[KW]} + c1;
+    y2 = u128{t2[KW]} + c2;
+    y3 = u128{t3[KW]} + c3;
+    t0[KW - 1] = static_cast<u64>(y0);
+    t1[KW - 1] = static_cast<u64>(y1);
+    t2[KW - 1] = static_cast<u64>(y2);
+    t3[KW - 1] = static_cast<u64>(y3);
+    y0 = u128{t0[KW + 1]} + static_cast<u64>(y0 >> 64);
+    y1 = u128{t1[KW + 1]} + static_cast<u64>(y1 >> 64);
+    y2 = u128{t2[KW + 1]} + static_cast<u64>(y2 >> 64);
+    y3 = u128{t3[KW + 1]} + static_cast<u64>(y3 >> 64);
+    t0[KW] = static_cast<u64>(y0);
+    t1[KW] = static_cast<u64>(y1);
+    t2[KW] = static_cast<u64>(y2);
+    t3[KW] = static_cast<u64>(y3);
+    t0[KW + 1] = 0;
+    t1[KW + 1] = 0;
+    t2[KW + 1] = 0;
+    t3[KW + 1] = 0;
+  }
+}
+
+void cios_batch4_var(const MontBatchOperand* ops, std::size_t kw) {
+  u64* t0 = ops[0].t;
+  u64* t1 = ops[1].t;
+  u64* t2 = ops[2].t;
+  u64* t3 = ops[3].t;
+  std::memset(t0, 0, (kw + 2) * sizeof(u64));
+  std::memset(t1, 0, (kw + 2) * sizeof(u64));
+  std::memset(t2, 0, (kw + 2) * sizeof(u64));
+  std::memset(t3, 0, (kw + 2) * sizeof(u64));
+
+  for (std::size_t i = 0; i < kw; ++i) {
+    const u64 ai0 = ops[0].a[i];
+    const u64 ai1 = ops[1].a[i];
+    const u64 ai2 = ops[2].a[i];
+    const u64 ai3 = ops[3].a[i];
+
+    u64 c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    for (std::size_t j = 0; j < kw; ++j) {
+      const u128 x0 = u128{t0[j]} + u128{ai0} * ops[0].b[j] + c0;
+      const u128 x1 = u128{t1[j]} + u128{ai1} * ops[1].b[j] + c1;
+      const u128 x2 = u128{t2[j]} + u128{ai2} * ops[2].b[j] + c2;
+      const u128 x3 = u128{t3[j]} + u128{ai3} * ops[3].b[j] + c3;
+      t0[j] = static_cast<u64>(x0);
+      t1[j] = static_cast<u64>(x1);
+      t2[j] = static_cast<u64>(x2);
+      t3[j] = static_cast<u64>(x3);
+      c0 = static_cast<u64>(x0 >> 64);
+      c1 = static_cast<u64>(x1 >> 64);
+      c2 = static_cast<u64>(x2 >> 64);
+      c3 = static_cast<u64>(x3 >> 64);
+    }
+    u128 y0 = u128{t0[kw]} + c0;
+    u128 y1 = u128{t1[kw]} + c1;
+    u128 y2 = u128{t2[kw]} + c2;
+    u128 y3 = u128{t3[kw]} + c3;
+    t0[kw] = static_cast<u64>(y0);
+    t1[kw] = static_cast<u64>(y1);
+    t2[kw] = static_cast<u64>(y2);
+    t3[kw] = static_cast<u64>(y3);
+    t0[kw + 1] = static_cast<u64>(y0 >> 64);
+    t1[kw + 1] = static_cast<u64>(y1 >> 64);
+    t2[kw + 1] = static_cast<u64>(y2 >> 64);
+    t3[kw + 1] = static_cast<u64>(y3 >> 64);
+
+    const u64 m0 = t0[0] * ops[0].n0inv;
+    const u64 m1 = t1[0] * ops[1].n0inv;
+    const u64 m2 = t2[0] * ops[2].n0inv;
+    const u64 m3 = t3[0] * ops[3].n0inv;
+    c0 = static_cast<u64>((u128{t0[0]} + u128{m0} * ops[0].n[0]) >> 64);
+    c1 = static_cast<u64>((u128{t1[0]} + u128{m1} * ops[1].n[0]) >> 64);
+    c2 = static_cast<u64>((u128{t2[0]} + u128{m2} * ops[2].n[0]) >> 64);
+    c3 = static_cast<u64>((u128{t3[0]} + u128{m3} * ops[3].n[0]) >> 64);
+    for (std::size_t j = 1; j < kw; ++j) {
+      const u128 x0 = u128{t0[j]} + u128{m0} * ops[0].n[j] + c0;
+      const u128 x1 = u128{t1[j]} + u128{m1} * ops[1].n[j] + c1;
+      const u128 x2 = u128{t2[j]} + u128{m2} * ops[2].n[j] + c2;
+      const u128 x3 = u128{t3[j]} + u128{m3} * ops[3].n[j] + c3;
+      t0[j - 1] = static_cast<u64>(x0);
+      t1[j - 1] = static_cast<u64>(x1);
+      t2[j - 1] = static_cast<u64>(x2);
+      t3[j - 1] = static_cast<u64>(x3);
+      c0 = static_cast<u64>(x0 >> 64);
+      c1 = static_cast<u64>(x1 >> 64);
+      c2 = static_cast<u64>(x2 >> 64);
+      c3 = static_cast<u64>(x3 >> 64);
+    }
+    y0 = u128{t0[kw]} + c0;
+    y1 = u128{t1[kw]} + c1;
+    y2 = u128{t2[kw]} + c2;
+    y3 = u128{t3[kw]} + c3;
+    t0[kw - 1] = static_cast<u64>(y0);
+    t1[kw - 1] = static_cast<u64>(y1);
+    t2[kw - 1] = static_cast<u64>(y2);
+    t3[kw - 1] = static_cast<u64>(y3);
+    y0 = u128{t0[kw + 1]} + static_cast<u64>(y0 >> 64);
+    y1 = u128{t1[kw + 1]} + static_cast<u64>(y1 >> 64);
+    y2 = u128{t2[kw + 1]} + static_cast<u64>(y2 >> 64);
+    y3 = u128{t3[kw + 1]} + static_cast<u64>(y3 >> 64);
+    t0[kw] = static_cast<u64>(y0);
+    t1[kw] = static_cast<u64>(y1);
+    t2[kw] = static_cast<u64>(y2);
+    t3[kw] = static_cast<u64>(y3);
+    t0[kw + 1] = 0;
+    t1[kw + 1] = 0;
+    t2[kw + 1] = 0;
+    t3[kw + 1] = 0;
+  }
+}
+
+void cios_batch4(const MontBatchOperand* ops, std::size_t kw) {
+  switch (kw) {
+    case 4: cios_batch4_fixed<4>(ops); break;    // 256-bit
+    case 8: cios_batch4_fixed<8>(ops); break;    // 512-bit (RSA-1024 CRT)
+    case 16: cios_batch4_fixed<16>(ops); break;  // 1024-bit
+    case 32: cios_batch4_fixed<32>(ops); break;  // 2048-bit
+    default: cios_batch4_var(ops, kw); break;
+  }
+}
+
+void cios_batch_ilp(const MontBatchOperand* ops, std::size_t count,
+                    std::size_t kw) {
+  std::size_t i = 0;
+  for (; count - i >= 4; i += 4) cios_batch4(ops + i, kw);
+  // Ragged tail (lanes drop out as their exponents run dry): the
+  // single-op unrolled kernel, one lane at a time.
+  for (; i < count; ++i)
+    kMontCiosUnrolled(ops[i].a, ops[i].b, ops[i].n, ops[i].n0inv, ops[i].t,
+                      kw);
+}
+
+}  // namespace
+
+const MontCiosBatchFn kMontCiosBatchIlp = cios_batch_ilp;
+const bool kHaveMontBatch = true;
+#if defined(__BMI2__) && defined(__ADX__)
+const bool kMontBatchNeedsBmi2 = true;
+#else
+const bool kMontBatchNeedsBmi2 = false;
+#endif
+
+}  // namespace mapsec::crypto::dispatch

@@ -1,0 +1,348 @@
+// Multi-buffer kernels: independent streams interleaved so each stream's
+// serial dependency chain overlaps the others'.
+//
+//  * SHA-256 ×8 (AVX2): eight lanes transposed into vector registers —
+//    each __m256i holds one working variable across all lanes — so one
+//    round's ands/xors/rotates/adds serve eight messages at once. The
+//    per-lane arithmetic is word-for-word the scalar compressor's.
+//  * AES ×4 (AES-NI): four CBC-MAC chains (inherently serial per lane) or
+//    four CTR keystreams advanced in lockstep rounds; aesenc has
+//    multi-cycle latency but single-cycle throughput, so independent
+//    lanes in flight are nearly free. Each lane keeps its own key
+//    schedule — records from different connections batch together.
+//
+// Compiled with -mavx2 -maes -mssse3 -msse4.1 on x86; elsewhere the
+// tables report kHave* = false and are never selected.
+#include "kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace mapsec::crypto::dispatch {
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m256i rotr(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n),
+                         _mm256_slli_epi32(x, 32 - n));
+}
+
+/// Gather one big-endian message word from each of 8 lanes into one
+/// vector (lane l in 32-bit element l).
+inline __m256i gather_be32(const std::uint8_t* const* blocks,
+                           std::size_t word) {
+  const __m256i idx = _mm256_setr_epi32(
+      static_cast<int>(load_be32(blocks[0] + 4 * word)),
+      static_cast<int>(load_be32(blocks[1] + 4 * word)),
+      static_cast<int>(load_be32(blocks[2] + 4 * word)),
+      static_cast<int>(load_be32(blocks[3] + 4 * word)),
+      static_cast<int>(load_be32(blocks[4] + 4 * word)),
+      static_cast<int>(load_be32(blocks[5] + 4 * word)),
+      static_cast<int>(load_be32(blocks[6] + 4 * word)),
+      static_cast<int>(load_be32(blocks[7] + 4 * word)));
+  return idx;
+}
+
+/// Eight full lanes, nblocks each, lockstep.
+void sha256_x8(std::uint32_t* const* states, const std::uint8_t* const* blocks,
+               std::size_t nblocks) {
+  const std::uint8_t* cur[8];
+  for (int l = 0; l < 8; ++l) cur[l] = blocks[l];
+
+  __m256i h[8];
+  for (int i = 0; i < 8; ++i)
+    h[i] = _mm256_setr_epi32(
+        static_cast<int>(states[0][i]), static_cast<int>(states[1][i]),
+        static_cast<int>(states[2][i]), static_cast<int>(states[3][i]),
+        static_cast<int>(states[4][i]), static_cast<int>(states[5][i]),
+        static_cast<int>(states[6][i]), static_cast<int>(states[7][i]));
+
+  while (nblocks--) {
+    __m256i w[64];
+    for (int i = 0; i < 16; ++i) w[i] = gather_be32(cur, i);
+    for (int i = 16; i < 64; ++i) {
+      const __m256i s0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr(w[i - 15], 7), rotr(w[i - 15], 18)),
+          _mm256_srli_epi32(w[i - 15], 3));
+      const __m256i s1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr(w[i - 2], 17), rotr(w[i - 2], 19)),
+          _mm256_srli_epi32(w[i - 2], 10));
+      w[i] = _mm256_add_epi32(_mm256_add_epi32(w[i - 16], s0),
+                              _mm256_add_epi32(w[i - 7], s1));
+    }
+
+    __m256i a = h[0], b = h[1], c = h[2], d = h[3];
+    __m256i e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const __m256i s1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr(e, 6), rotr(e, 11)), rotr(e, 25));
+      const __m256i ch = _mm256_xor_si256(
+          _mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+      const __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(hh, s1), ch),
+          _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(kK[i])), w[i]));
+      const __m256i s0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr(a, 2), rotr(a, 13)), rotr(a, 22));
+      const __m256i maj = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+          _mm256_and_si256(b, c));
+      const __m256i t2 = _mm256_add_epi32(s0, maj);
+      hh = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = _mm256_add_epi32(t1, t2);
+    }
+    h[0] = _mm256_add_epi32(h[0], a);
+    h[1] = _mm256_add_epi32(h[1], b);
+    h[2] = _mm256_add_epi32(h[2], c);
+    h[3] = _mm256_add_epi32(h[3], d);
+    h[4] = _mm256_add_epi32(h[4], e);
+    h[5] = _mm256_add_epi32(h[5], f);
+    h[6] = _mm256_add_epi32(h[6], g);
+    h[7] = _mm256_add_epi32(h[7], hh);
+    for (int l = 0; l < 8; ++l) cur[l] += 64;
+  }
+
+  alignas(32) std::uint32_t out[8];
+  for (int i = 0; i < 8; ++i) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out), h[i]);
+    for (int l = 0; l < 8; ++l) states[l][i] = out[l];
+  }
+}
+
+void sha256_mb_avx2(std::uint32_t* const* states,
+                    const std::uint8_t* const* blocks, std::size_t nlanes,
+                    std::size_t nblocks) {
+  std::size_t l = 0;
+  for (; nlanes - l >= 8; l += 8) sha256_x8(states + l, blocks + l, nblocks);
+  for (; l < nlanes; ++l) sha256_compress_scalar(states[l], blocks[l], nblocks);
+}
+
+}  // namespace
+
+const Sha256MbFn kSha256MbAvx2 = sha256_mb_avx2;
+const bool kHaveSha256Mb = true;
+
+}  // namespace mapsec::crypto::dispatch
+
+#else  // no AVX2 at compile time: stub, never selected.
+
+namespace mapsec::crypto::dispatch {
+const Sha256MbFn kSha256MbAvx2 = nullptr;
+const bool kHaveSha256Mb = false;
+}  // namespace mapsec::crypto::dispatch
+
+#endif
+
+// ---------------------------------------------------------------------------
+// AES multi-buffer (AES-NI)
+
+#if defined(__AES__) && defined(__SSSE3__) && defined(__SSE4_1__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace mapsec::crypto::dispatch {
+
+namespace {
+
+inline __m128i rk_mb(const AesSchedule& s, int round) {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(s.bytes + 16 * round));
+}
+
+inline __m128i encrypt_one_mb(const AesSchedule& s, __m128i b) {
+  b = _mm_xor_si128(b, rk_mb(s, 0));
+  for (int r = 1; r < s.rounds; ++r) b = _mm_aesenc_si128(b, rk_mb(s, r));
+  return _mm_aesenclast_si128(b, rk_mb(s, s.rounds));
+}
+
+inline void ctr_increment_mb(std::uint8_t counter[16]) {
+  for (int i = 16; i-- > 0;) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// Four CBC-MAC chains in lockstep rounds. All four schedules must share
+/// one round count (callers batch AES-128 records, rounds == 10).
+void cbc_mac_x4(const AesSchedule* s, std::uint8_t* const* states,
+                const std::uint8_t* const* data, std::size_t nblocks) {
+  __m128i st0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(states[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(states[1]));
+  __m128i st2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(states[2]));
+  __m128i st3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(states[3]));
+  const int rounds = s[0].rounds;
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    st0 = _mm_xor_si128(st0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 data[0] + 16 * i)));
+    st1 = _mm_xor_si128(st1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 data[1] + 16 * i)));
+    st2 = _mm_xor_si128(st2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 data[2] + 16 * i)));
+    st3 = _mm_xor_si128(st3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 data[3] + 16 * i)));
+    st0 = _mm_xor_si128(st0, rk_mb(s[0], 0));
+    st1 = _mm_xor_si128(st1, rk_mb(s[1], 0));
+    st2 = _mm_xor_si128(st2, rk_mb(s[2], 0));
+    st3 = _mm_xor_si128(st3, rk_mb(s[3], 0));
+    for (int r = 1; r < rounds; ++r) {
+      st0 = _mm_aesenc_si128(st0, rk_mb(s[0], r));
+      st1 = _mm_aesenc_si128(st1, rk_mb(s[1], r));
+      st2 = _mm_aesenc_si128(st2, rk_mb(s[2], r));
+      st3 = _mm_aesenc_si128(st3, rk_mb(s[3], r));
+    }
+    st0 = _mm_aesenclast_si128(st0, rk_mb(s[0], rounds));
+    st1 = _mm_aesenclast_si128(st1, rk_mb(s[1], rounds));
+    st2 = _mm_aesenclast_si128(st2, rk_mb(s[2], rounds));
+    st3 = _mm_aesenclast_si128(st3, rk_mb(s[3], rounds));
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(states[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(states[1]), st1);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(states[2]), st2);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(states[3]), st3);
+}
+
+void cbc_mac_one(const AesSchedule& s, std::uint8_t* state,
+                 const std::uint8_t* data, std::size_t nblocks) {
+  __m128i st = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    st = _mm_xor_si128(
+        st, _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i)));
+    st = encrypt_one_mb(s, st);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), st);
+}
+
+void aes_cbc_mac_mb(const AesSchedule* scheds, std::uint8_t* const* states,
+                    const std::uint8_t* const* data, std::size_t nlanes,
+                    std::size_t nblocks) {
+  std::size_t l = 0;
+  for (; nlanes - l >= 4; l += 4) {
+    if (scheds[l].rounds == scheds[l + 1].rounds &&
+        scheds[l].rounds == scheds[l + 2].rounds &&
+        scheds[l].rounds == scheds[l + 3].rounds) {
+      cbc_mac_x4(scheds + l, states + l, data + l, nblocks);
+    } else {
+      for (int k = 0; k < 4; ++k)
+        cbc_mac_one(scheds[l + k], states[l + k], data[l + k], nblocks);
+    }
+  }
+  for (; l < nlanes; ++l) cbc_mac_one(scheds[l], states[l], data[l], nblocks);
+}
+
+void ctr_xor_one(const AesSchedule& s, std::uint8_t counter[16],
+                 std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (len - off >= 16) {
+    const __m128i ks = encrypt_one_mb(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)));
+    ctr_increment_mb(counter);
+    __m128i* d = reinterpret_cast<__m128i*>(data + off);
+    _mm_storeu_si128(d, _mm_xor_si128(_mm_loadu_si128(d), ks));
+    off += 16;
+  }
+  if (off < len) {
+    std::uint8_t ks[16];
+    const __m128i k = encrypt_one_mb(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(ks), k);
+    ctr_increment_mb(counter);
+    for (std::size_t i = 0; off + i < len; ++i) data[off + i] ^= ks[i];
+  }
+}
+
+void aes_ctr_xor_mb(const AesSchedule* scheds, std::uint8_t* const* counters,
+                    std::uint8_t* const* data, const std::size_t* lens,
+                    std::size_t nlanes) {
+  std::size_t l = 0;
+  for (; nlanes - l >= 4; l += 4) {
+    const bool same_rounds = scheds[l].rounds == scheds[l + 1].rounds &&
+                             scheds[l].rounds == scheds[l + 2].rounds &&
+                             scheds[l].rounds == scheds[l + 3].rounds;
+    // Lockstep over the whole blocks every lane in the group shares, then
+    // finish each lane's remainder (and partial tail) single-stream.
+    std::size_t common = lens[l] / 16;
+    for (int k = 1; k < 4; ++k)
+      common = common < lens[l + k] / 16 ? common : lens[l + k] / 16;
+    if (!same_rounds) common = 0;
+    const int rounds = scheds[l].rounds;
+    for (std::size_t b = 0; b < common; ++b) {
+      __m128i k0 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(counters[l]));
+      __m128i k1 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(counters[l + 1]));
+      __m128i k2 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(counters[l + 2]));
+      __m128i k3 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(counters[l + 3]));
+      ctr_increment_mb(counters[l]);
+      ctr_increment_mb(counters[l + 1]);
+      ctr_increment_mb(counters[l + 2]);
+      ctr_increment_mb(counters[l + 3]);
+      k0 = _mm_xor_si128(k0, rk_mb(scheds[l], 0));
+      k1 = _mm_xor_si128(k1, rk_mb(scheds[l + 1], 0));
+      k2 = _mm_xor_si128(k2, rk_mb(scheds[l + 2], 0));
+      k3 = _mm_xor_si128(k3, rk_mb(scheds[l + 3], 0));
+      for (int r = 1; r < rounds; ++r) {
+        k0 = _mm_aesenc_si128(k0, rk_mb(scheds[l], r));
+        k1 = _mm_aesenc_si128(k1, rk_mb(scheds[l + 1], r));
+        k2 = _mm_aesenc_si128(k2, rk_mb(scheds[l + 2], r));
+        k3 = _mm_aesenc_si128(k3, rk_mb(scheds[l + 3], r));
+      }
+      k0 = _mm_aesenclast_si128(k0, rk_mb(scheds[l], rounds));
+      k1 = _mm_aesenclast_si128(k1, rk_mb(scheds[l + 1], rounds));
+      k2 = _mm_aesenclast_si128(k2, rk_mb(scheds[l + 2], rounds));
+      k3 = _mm_aesenclast_si128(k3, rk_mb(scheds[l + 3], rounds));
+      __m128i* d0 = reinterpret_cast<__m128i*>(data[l] + 16 * b);
+      __m128i* d1 = reinterpret_cast<__m128i*>(data[l + 1] + 16 * b);
+      __m128i* d2 = reinterpret_cast<__m128i*>(data[l + 2] + 16 * b);
+      __m128i* d3 = reinterpret_cast<__m128i*>(data[l + 3] + 16 * b);
+      _mm_storeu_si128(d0, _mm_xor_si128(_mm_loadu_si128(d0), k0));
+      _mm_storeu_si128(d1, _mm_xor_si128(_mm_loadu_si128(d1), k1));
+      _mm_storeu_si128(d2, _mm_xor_si128(_mm_loadu_si128(d2), k2));
+      _mm_storeu_si128(d3, _mm_xor_si128(_mm_loadu_si128(d3), k3));
+    }
+    for (int k = 0; k < 4; ++k)
+      ctr_xor_one(scheds[l + k], counters[l + k], data[l + k] + common * 16,
+                  lens[l + k] - common * 16);
+  }
+  for (; l < nlanes; ++l)
+    ctr_xor_one(scheds[l], counters[l], data[l], lens[l]);
+}
+
+}  // namespace
+
+const AesMbKernels kAesMbNi = {"aesni-mb", aes_cbc_mac_mb, aes_ctr_xor_mb};
+const bool kHaveAesMbNi = true;
+
+}  // namespace mapsec::crypto::dispatch
+
+#else  // ISA unavailable at compile time: stub table, never selected.
+
+namespace mapsec::crypto::dispatch {
+const AesMbKernels kAesMbNi = {"aesni-mb-unavailable", nullptr, nullptr};
+const bool kHaveAesMbNi = false;
+}  // namespace mapsec::crypto::dispatch
+
+#endif

@@ -105,6 +105,68 @@ using MontCiosFn = void (*)(const std::uint64_t* a, const std::uint64_t* b,
 MontCiosFn mont_cios_w64();
 
 // ---------------------------------------------------------------------------
+// Batched Montgomery CIOS: `count` independent multiplications over the
+// SAME limb width kw, each with its OWN modulus/n0inv (so the two CRT
+// halves of different RSA keys batch together). Every operand's t buffer
+// has kw+2 slots and receives the identical pre-conditional-subtraction
+// REDC value the single-op kernel would produce — the batch kernel is an
+// instruction-scheduling transform only (independent carry chains
+// interleaved to fill the multiplier ports), never an arithmetic one.
+// The caller performs each lane's final data-dependent subtraction and
+// MontStats accounting exactly as in the single-op path.
+
+struct MontBatchOperand {
+  const std::uint64_t* a;
+  const std::uint64_t* b;
+  const std::uint64_t* n;
+  std::uint64_t n0inv;
+  std::uint64_t* t;  // kw + 2 slots, zeroed by the kernel
+};
+
+using MontCiosBatchFn = void (*)(const MontBatchOperand* ops,
+                                 std::size_t count, std::size_t kw);
+
+MontCiosBatchFn mont_cios_w64_batch();
+
+// ---------------------------------------------------------------------------
+// Multi-buffer SHA-256: advance `nlanes` independent states lockstep by
+// `nblocks` whole blocks each (states[l] is an 8-word state, blocks[l]
+// points at lane l's 64*nblocks message bytes). Bit-identical to calling
+// the single-stream compressor per lane; the win is shared message-
+// schedule arithmetic across lanes.
+
+using Sha256MbFn = void (*)(std::uint32_t* const* states,
+                            const std::uint8_t* const* blocks,
+                            std::size_t nlanes, std::size_t nblocks);
+
+Sha256MbFn sha256_mb();
+
+// ---------------------------------------------------------------------------
+// Multi-buffer AES: interleave independent streams (one key schedule per
+// lane, all lanes the same round count) so each lane's serial dependency
+// (CBC-MAC chaining, CTR keystream latency) overlaps the others'. The
+// scalar table leaves the function pointers null and callers keep their
+// per-lane loops — forcing scalar exercises literally the single-stream
+// code.
+
+struct AesMbKernels {
+  const char* name;
+  /// Lockstep CBC-MAC: absorb `nblocks` whole blocks into each lane's
+  /// 16-byte state. All lanes must share one round count.
+  void (*cbc_mac_mb)(const AesSchedule* scheds, std::uint8_t* const* states,
+                     const std::uint8_t* const* data, std::size_t nlanes,
+                     std::size_t nblocks);
+  /// CTR keystream XOR over lens[l] bytes per lane (partial final block
+  /// allowed); counters advance in place one increment per block, exactly
+  /// as the single-stream ctr_xor.
+  void (*ctr_xor_mb)(const AesSchedule* scheds, std::uint8_t* const* counters,
+                     std::uint8_t* const* data, const std::size_t* lens,
+                     std::size_t nlanes);
+};
+
+const AesMbKernels& aes_mb_kernels();
+
+// ---------------------------------------------------------------------------
 // Scalar kernels (each defined in the TU owning the original code).
 
 void aes_encrypt_scalar(const AesSchedule& s, const std::uint8_t* in,
@@ -120,6 +182,14 @@ std::uint32_t crc32_raw(std::uint32_t raw, const std::uint8_t* data,
 void mont_cios_w64_scalar(const std::uint64_t* a, const std::uint64_t* b,
                           const std::uint64_t* n, std::uint64_t n0inv,
                           std::uint64_t* t, std::size_t kw);
+/// Sequential loop over mont_cios_w64_scalar — the interleaved-scalar
+/// reference the batched differential tests compare against.
+void mont_cios_w64_batch_scalar(const MontBatchOperand* ops,
+                                std::size_t count, std::size_t kw);
+/// Per-lane loop over sha256_compress_scalar.
+void sha256_mb_scalar(std::uint32_t* const* states,
+                      const std::uint8_t* const* blocks, std::size_t nlanes,
+                      std::size_t nblocks);
 
 // ---------------------------------------------------------------------------
 // ISA kernels. Always linked; kHave* says whether the TU was compiled
@@ -144,5 +214,16 @@ extern const bool kHavePclmul;
 extern const MontCiosFn kMontCiosUnrolled;
 extern const bool kHaveMontUnrolled;  // TU compiled at all
 extern const bool kMontNeedsBmi2;     // TU compiled with -mbmi2/-madx
+
+extern const MontCiosBatchFn kMontCiosBatchIlp;
+extern const bool kHaveMontBatch;      // TU compiled at all
+extern const bool kMontBatchNeedsBmi2;  // TU compiled with -mbmi2/-madx
+
+extern const Sha256MbFn kSha256MbAvx2;
+extern const bool kHaveSha256Mb;
+
+extern const AesMbKernels kAesMbScalar;  // null entries: per-lane loops
+extern const AesMbKernels kAesMbNi;
+extern const bool kHaveAesMbNi;
 
 }  // namespace mapsec::crypto::dispatch

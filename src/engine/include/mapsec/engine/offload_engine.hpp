@@ -30,6 +30,18 @@
 // Each worker thread owns a crypto::MontCache, so every lane pays the
 // per-key Montgomery setup (R^2 mod n, n') once and reuses it across
 // every handshake under the same server key.
+//
+// Batched data plane (batch_width > 1): when jobs queue up behind a busy
+// lane, the lane drains up to `batch_width` of them in one service
+// window and executes the window through protocol::run_pk_jobs — every
+// job's CRT exponentiations interleave in one crypto::BatchModExp. The
+// model prices the window at cost(first) + batch_marginal * cost(rest),
+// so batching only changes *when* completions fire, never what they
+// contain: an idle lane still dispatches a single job immediately (the
+// window only fills under queueing), per-job callbacks run in submission
+// order at the window's completion instant, and results are bit-identical
+// to width 1 — the honest-fleet transcript digest does not move for any
+// batch width.
 #pragma once
 
 #include <atomic>
@@ -56,6 +68,14 @@ struct OffloadCosts {
   std::uint64_t rsa_sign_us = 4'000;     // DHE ServerKeyExchange signature
   std::uint64_t rsa_verify_us = 400;     // CertificateVerify (public op)
 
+  /// Marginal service-time fraction of each job drained into a lane's
+  /// window after the first: a batch of k jobs costs
+  /// cost(j0) + batch_marginal * (cost(j1) + ... + cost(j{k-1})). The
+  /// sub-unit factor models the interleaved multi-exponentiation's ILP
+  /// win (crypto::BatchModExp): the lane's multiplier ports that a single
+  /// carry chain leaves idle absorb the extra streams almost for free.
+  double batch_marginal = 0.3;
+
   std::uint64_t cost_us(protocol::PkJob::Kind kind) const {
     switch (kind) {
       case protocol::PkJob::Kind::kRsaDecrypt: return rsa_decrypt_us;
@@ -74,6 +94,9 @@ struct OffloadStats {
   std::size_t peak_depth = 0;         // max jobs in flight simultaneously
   std::uint64_t queue_wait_us = 0;    // modeled wait for a free lane, total
   std::uint64_t lane_busy_us = 0;     // modeled lane service time, total
+  std::uint64_t batches = 0;          // lane service windows dispatched
+  std::uint64_t batched_jobs = 0;     // jobs that shared a window (fill >= 2)
+  std::size_t max_batch_fill = 0;     // largest window fill observed
 };
 
 class OffloadEngine {
@@ -82,9 +105,12 @@ class OffloadEngine {
 
   /// Spawns `num_workers` wall-clock worker threads modeling the same
   /// number of accelerator lanes. All submit()/event activity must come
-  /// from the single thread driving `queue`.
+  /// from the single thread driving `queue`. `batch_width` (clamped to
+  /// >= 1) caps how many queued jobs one lane drains per service window;
+  /// width 1 reproduces the unbatched engine event-for-event.
   OffloadEngine(net::EventQueue& queue, std::size_t num_workers,
-                OffloadCosts costs = {}, std::uint64_t steal_timeout_ms = 250);
+                OffloadCosts costs = {}, std::uint64_t steal_timeout_ms = 250,
+                std::size_t batch_width = 1);
   ~OffloadEngine();
 
   OffloadEngine(const OffloadEngine&) = delete;
@@ -95,6 +121,7 @@ class OffloadEngine {
   void submit(protocol::PkJob job, Completion done);
 
   std::size_t num_workers() const { return workers_.size(); }
+  std::size_t batch_width() const { return batch_width_; }
   std::size_t in_flight() const { return in_flight_; }
   const OffloadStats& stats() const { return stats_; }
 
@@ -106,21 +133,39 @@ class OffloadEngine {
   void inject_worker_stall(std::size_t index, std::uint64_t ns_per_job);
 
  private:
-  /// One submitted job's shared state between the event loop and the pool.
+  /// One dispatched lane window (1..batch_width jobs) — the unit of work
+  /// shared between the event loop and the pool. Workers execute the
+  /// whole window through protocol::run_pk_jobs, so the jobs' private
+  /// operations interleave through one multi-exponentiation.
   struct Pending {
-    protocol::PkJob job;
+    std::vector<protocol::PkJob> jobs;
     std::mutex mu;
     std::condition_variable cv;
-    bool ready = false;          // guarded by mu
-    protocol::PkResult result;   // guarded by mu
+    bool ready = false;                        // guarded by mu
+    std::vector<protocol::PkResult> results;   // guarded by mu
   };
 
+  /// A lane's open window: jobs that joined the queue while the lane is
+  /// busy, waiting either for the lane to free (the close event at
+  /// `start`) or for the window to fill to batch_width. Only exists
+  /// while the lane is busy — an idle lane dispatches immediately.
+  struct Forming {
+    net::SimTime start = 0;      // == lane_free_[lane] while forming
+    std::uint64_t seq = 0;       // guards the close event against reuse
+    std::vector<protocol::PkJob> jobs;
+    std::vector<Completion> dones;  // parallel to jobs, submission order
+  };
+
+  void close_batch(std::size_t lane);
   void worker_main(std::size_t index);
 
   net::EventQueue& queue_;
   OffloadCosts costs_;
   std::uint64_t steal_timeout_ms_;
+  std::size_t batch_width_;
   std::vector<net::SimTime> lane_free_;  // modeled lanes
+  std::vector<std::unique_ptr<Forming>> forming_;  // open window per lane
+  std::uint64_t forming_seq_ = 0;
   OffloadStats stats_;
   std::size_t in_flight_ = 0;
   crypto::MontCache steal_cache_;  // event-loop thread only

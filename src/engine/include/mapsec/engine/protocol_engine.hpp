@@ -132,6 +132,20 @@ class ProtocolEngine {
   Result run(const std::string& program_name, EngineSa& sa,
              crypto::ConstBytes packet, crypto::Rng& rng) const;
 
+  /// Run one program over many packets, batching the record transforms:
+  /// for the CCMP-shaped programs the AES-CCM seals/opens of all packets
+  /// interleave through the multi-buffer kernels (crypto::ccm_seal_batch /
+  /// ccm_open_batch); other programs fall back to a sequential loop.
+  /// results[i], cycle accounting, per-rng draw order, and SA replay-state
+  /// evolution are identical to calling
+  ///   run(program_name, *sas[i], packets[i], *rngs[i])
+  /// in index order — packets may share SAs and rngs. The thread-
+  /// confinement contract is the same as run()'s.
+  std::vector<Result> run_many(const std::string& program_name,
+                               const std::vector<EngineSa*>& sas,
+                               const std::vector<crypto::ConstBytes>& packets,
+                               const std::vector<crypto::Rng*>& rngs) const;
+
   /// Throughput estimate (Mbps) for a program processing `packet_bytes`
   /// packets back to back, from the cost model.
   double throughput_mbps(const std::string& program_name, EngineSa& sa,

@@ -3,16 +3,22 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 namespace mapsec::engine {
 
 OffloadEngine::OffloadEngine(net::EventQueue& queue, std::size_t num_workers,
                              OffloadCosts costs,
-                             std::uint64_t steal_timeout_ms)
-    : queue_(queue), costs_(costs), steal_timeout_ms_(steal_timeout_ms) {
+                             std::uint64_t steal_timeout_ms,
+                             std::size_t batch_width)
+    : queue_(queue),
+      costs_(costs),
+      steal_timeout_ms_(steal_timeout_ms),
+      batch_width_(std::max<std::size_t>(1, batch_width)) {
   if (num_workers == 0)
     throw std::invalid_argument("OffloadEngine: need at least one worker");
   lane_free_.assign(num_workers, 0);
+  forming_.resize(num_workers);
   stall_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) stall_ns_[i] = 0;
   workers_.reserve(num_workers);
@@ -34,23 +40,66 @@ void OffloadEngine::submit(protocol::PkJob job, Completion done) {
 
   // Lane assignment is part of the *model*: earliest-free lane, ties to
   // the lowest index — a pure function of the submission sequence, which
-  // is what keeps the completion-event schedule deterministic.
+  // is what keeps the completion-event schedule deterministic. A forming
+  // window leaves lane_free_ at its start instant, so the argmin keeps
+  // feeding the same window until it fills.
   std::size_t lane = 0;
   for (std::size_t i = 1; i < lane_free_.size(); ++i)
     if (lane_free_[i] < lane_free_[lane]) lane = i;
   const net::SimTime start = std::max(now, lane_free_[lane]);
-  const std::uint64_t cost = costs_.cost_us(job.kind);
-  const net::SimTime done_at = start + cost;
-  lane_free_[lane] = done_at;
 
   stats_.submitted += 1;
   stats_.queue_wait_us += start - now;
-  stats_.lane_busy_us += cost;
   in_flight_ += 1;
   stats_.peak_depth = std::max(stats_.peak_depth, in_flight_);
 
+  if (forming_[lane] == nullptr) {
+    auto f = std::make_unique<Forming>();
+    f->start = start;
+    f->seq = ++forming_seq_;
+    forming_[lane] = std::move(f);
+    if (start > now) {
+      // The lane is busy: hold the window open for late joiners until
+      // the lane frees. The close event is a no-op if the window already
+      // filled (seq mismatch after close_batch resets the slot).
+      const std::uint64_t seq = forming_[lane]->seq;
+      queue_.schedule_at(start, [this, lane, seq] {
+        if (forming_[lane] != nullptr && forming_[lane]->seq == seq)
+          close_batch(lane);
+      });
+    }
+  }
+  Forming& f = *forming_[lane];
+  f.jobs.push_back(std::move(job));
+  f.dones.push_back(std::move(done));
+  // An idle lane starts its window immediately — batching only
+  // materializes under queueing, so width 1 and an unloaded server both
+  // reproduce the unbatched engine event-for-event.
+  if (f.jobs.size() >= batch_width_ || f.start <= now) close_batch(lane);
+}
+
+void OffloadEngine::close_batch(std::size_t lane) {
+  std::unique_ptr<Forming> f = std::move(forming_[lane]);
+  const net::SimTime start = f->start;
+
+  // Window price: the first job at full service cost, every extra stream
+  // at the marginal fraction (the interleaved kernel's ILP win).
+  std::uint64_t cost = costs_.cost_us(f->jobs[0].kind);
+  for (std::size_t j = 1; j < f->jobs.size(); ++j)
+    cost += static_cast<std::uint64_t>(
+        static_cast<double>(costs_.cost_us(f->jobs[j].kind)) *
+            costs_.batch_marginal +
+        0.5);
+  const net::SimTime done_at = start + cost;
+  lane_free_[lane] = done_at;
+
+  stats_.lane_busy_us += cost;
+  stats_.batches += 1;
+  if (f->jobs.size() >= 2) stats_.batched_jobs += f->jobs.size();
+  stats_.max_batch_fill = std::max(stats_.max_batch_fill, f->jobs.size());
+
   auto pending = std::make_shared<Pending>();
-  pending->job = std::move(job);
+  pending->jobs = std::move(f->jobs);
   {
     std::lock_guard<std::mutex> lock(work_mu_);
     work_q_.push_back(pending);
@@ -58,30 +107,35 @@ void OffloadEngine::submit(protocol::PkJob job, Completion done) {
   work_cv_.notify_one();
 
   queue_.schedule_at(
-      done_at, [this, pending, done = std::move(done)]() {
+      done_at, [this, pending, dones = std::move(f->dones)]() {
         // The modeled accelerator is done; collect the wall-clock result.
         // A healthy worker finished long ago (or finishes within the
-        // grace period). If it is stalled, steal the job: PkResults are
-        // pure functions of the job, so recomputing inline is
+        // grace period). If it is stalled, steal the whole window: PkJobs
+        // are pure functions, so recomputing the batch inline is
         // bit-identical and only costs wall-clock time.
-        protocol::PkResult result;
+        std::vector<protocol::PkResult> results;
         bool have = false;
         {
           std::unique_lock<std::mutex> lock(pending->mu);
           if (pending->cv.wait_for(
                   lock, std::chrono::milliseconds(steal_timeout_ms_),
                   [&] { return pending->ready; })) {
-            result = pending->result;
+            results = pending->results;
             have = true;
           }
         }
         if (!have) {
-          result = protocol::run_pk_job(pending->job, &steal_cache_);
-          stats_.stolen += 1;
+          std::vector<const protocol::PkJob*> ptrs;
+          ptrs.reserve(pending->jobs.size());
+          for (const protocol::PkJob& j : pending->jobs) ptrs.push_back(&j);
+          results = protocol::run_pk_jobs(ptrs, &steal_cache_);
+          stats_.stolen += pending->jobs.size();
         }
-        stats_.completed += 1;
-        in_flight_ -= 1;
-        done(result);
+        stats_.completed += results.size();
+        in_flight_ -= results.size();
+        // Per-job callbacks fire in submission order at the window's
+        // single completion instant.
+        for (std::size_t i = 0; i < results.size(); ++i) dones[i](results[i]);
       });
 }
 
@@ -106,10 +160,14 @@ void OffloadEngine::worker_main(std::size_t index) {
         stall_ns_[index].load(std::memory_order_relaxed);
     if (stall != 0)
       std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
-    protocol::PkResult result = protocol::run_pk_job(pending->job, &cache);
+    std::vector<const protocol::PkJob*> ptrs;
+    ptrs.reserve(pending->jobs.size());
+    for (const protocol::PkJob& j : pending->jobs) ptrs.push_back(&j);
+    std::vector<protocol::PkResult> results =
+        protocol::run_pk_jobs(ptrs, &cache);
     {
       std::lock_guard<std::mutex> lock(pending->mu);
-      pending->result = std::move(result);
+      pending->results = std::move(results);
       pending->ready = true;
     }
     pending->cv.notify_all();

@@ -150,6 +150,31 @@ OffloadGapReport serving_gap_offloaded(
     double battery_kj = 26.0, Primitive pk = Primitive::kRsa1024Private,
     Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
 
+/// Batched-lane pricing — the batched data plane's model-level payoff.
+/// With windows of up to `batch_width` jobs per lane service slot, a full
+/// window costs lane_op_s * (1 + (batch_width - 1) * batch_marginal)
+/// seconds (engine::OffloadCosts::batch_marginal), so the effective
+/// per-op service time falls toward batch_marginal * lane_op_s and lane
+/// utilisation drops by the same factor at an unchanged offered rate.
+struct BatchedGapReport {
+  OffloadGapReport offload;     // width-1 pricing, same lanes (baseline)
+  double batch_width = 1;
+  double batch_marginal = 0;
+  double effective_op_s = 0;    // per-op lane seconds at full windows
+  double batched_utilisation = 0;  // pk_ops_per_s * effective_op_s / lanes
+  double throughput_gain = 1;   // lane_op_s / effective_op_s (>= 1)
+  double min_lanes = 0;         // smallest lane count feasible at this width
+};
+
+/// Price a served load on lanes that drain `batch_width`-deep windows.
+/// batch_width <= 1 collapses to serving_gap_offloaded exactly.
+BatchedGapReport serving_gap_batched(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t lanes, double lane_op_s, std::size_t batch_width,
+    double batch_marginal = 0.3, double accel_energy_efficiency = 10.0,
+    double battery_kj = 26.0, Primitive pk = Primitive::kRsa1024Private,
+    Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
+
 /// Projection of the gap over time — Section 3.2's closing argument:
 /// "the increase in data rates ... and the use of stronger cryptographic
 /// algorithms ... threaten to further widen the wireless security

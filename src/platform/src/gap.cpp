@@ -175,6 +175,35 @@ OffloadGapReport serving_gap_offloaded(
   return report;
 }
 
+BatchedGapReport serving_gap_batched(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t lanes, double lane_op_s, std::size_t batch_width,
+    double batch_marginal, double accel_energy_efficiency, double battery_kj,
+    Primitive pk, Primitive cipher, Primitive mac) {
+  BatchedGapReport report;
+  report.offload =
+      serving_gap_offloaded(model, proc, load, lanes, lane_op_s,
+                            accel_energy_efficiency, battery_kj, pk, cipher,
+                            mac);
+  const double width =
+      static_cast<double>(batch_width == 0 ? 1 : batch_width);
+  report.batch_width = width;
+  report.batch_marginal = batch_marginal;
+  // A full window of W jobs occupies the lane for
+  // lane_op_s * (1 + (W - 1) * m) seconds — W ops for barely more than
+  // one op's slot when m is small.
+  report.effective_op_s =
+      lane_op_s * (1.0 + (width - 1.0) * batch_marginal) / width;
+  const double demand_lane_s =
+      load.full_handshakes_per_s * report.effective_op_s;
+  report.batched_utilisation =
+      lanes > 0 ? demand_lane_s / static_cast<double>(lanes) : 0.0;
+  report.throughput_gain =
+      report.effective_op_s > 0 ? lane_op_s / report.effective_op_s : 1.0;
+  report.min_lanes = std::ceil(demand_lane_s);
+  return report;
+}
+
 double GapAnalysis::max_rate_mbps(const Processor& proc,
                                   double latency_s) const {
   const double handshake =

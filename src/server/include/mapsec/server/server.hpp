@@ -96,6 +96,11 @@ struct ServerConfig {
   /// Wall-clock grace before a completion event recomputes a stalled
   /// worker's job inline (graceful degradation, never deadlock).
   std::uint64_t offload_steal_timeout_ms = 250;
+  /// Max queued jobs one accelerator lane drains per service window
+  /// (engine::OffloadEngine batch_width). 1 = unbatched; wider windows
+  /// amortize the lane cost across interleaved exponentiations under
+  /// queueing. Results and the fleet digest are identical for any width.
+  std::size_t offload_batch_width = 1;
 
   net::LinkConfig link;
 };
@@ -147,6 +152,9 @@ struct ServerStats {
   std::uint64_t offload_peak_depth = 0;     // deferred handshakes at once
   std::uint64_t offload_queue_wait_us = 0;  // modeled wait for a free lane
   std::uint64_t offload_lane_busy_us = 0;   // modeled lane service time
+  std::uint64_t offload_batches = 0;        // lane service windows dispatched
+  std::uint64_t offload_batched_jobs = 0;   // jobs that shared a window
+  std::uint64_t offload_max_batch_fill = 0;  // largest window fill
 
   /// Completed-handshake latencies in simulated microseconds, in
   /// completion order (run through analysis::percentile for p50/p99).

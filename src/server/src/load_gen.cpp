@@ -89,7 +89,14 @@ LoadReport LoadGenerator::run() {
   report.cache = cache.stats();
   report.cache_hit_rate = cache.hit_rate();
 
-  crypto::Bytes digest_stream;
+  // Fleet digest: hash every client's chained transcript digest through
+  // the multi-buffer sweep (one lane per client, eight message schedules
+  // in flight on AVX2), then fold the lane digests. sha256_many is lane-
+  // for-lane identical to Sha256::hash, so the digest is a pure function
+  // of the transcripts — independent of backend, worker count, and
+  // offload batch width.
+  std::vector<crypto::ConstBytes> lanes;
+  lanes.reserve(clients.size());
   for (const auto& client : clients) {
     for (const SessionRecord& record : client->sessions()) {
       ++report.sessions_attempted;
@@ -98,10 +105,12 @@ LoadReport LoadGenerator::run() {
       if (record.failed) ++report.sessions_failed;
       if (!record.echo_ok) ++report.echo_mismatches;
     }
-    digest_stream.insert(digest_stream.end(),
-                         client->transcript_digest().begin(),
-                         client->transcript_digest().end());
+    lanes.push_back(client->transcript_digest());
   }
+  crypto::Bytes digest_stream;
+  for (const crypto::Bytes& lane_digest : crypto::sha256_many(lanes))
+    digest_stream.insert(digest_stream.end(), lane_digest.begin(),
+                         lane_digest.end());
   report.fleet_digest = crypto::Sha256::hash(digest_stream);
 
   report.sim_duration_s = static_cast<double>(queue.now()) / 1e6;

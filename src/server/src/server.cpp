@@ -19,7 +19,7 @@ SecureSessionServer::SecureSessionServer(net::EventQueue& queue,
   if (config_.offload_workers > 0)
     offload_ = std::make_unique<engine::OffloadEngine>(
         queue, config_.offload_workers, config_.offload_costs,
-        config_.offload_steal_timeout_ms);
+        config_.offload_steal_timeout_ms, config_.offload_batch_width);
 }
 
 std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
@@ -250,6 +250,9 @@ void SecureSessionServer::mirror_offload_stats() {
   stats_.offload_peak_depth = os.peak_depth;
   stats_.offload_queue_wait_us = os.queue_wait_us;
   stats_.offload_lane_busy_us = os.lane_busy_us;
+  stats_.offload_batches = os.batches;
+  stats_.offload_batched_jobs = os.batched_jobs;
+  stats_.offload_max_batch_fill = os.max_batch_fill;
 }
 
 void SecureSessionServer::complete_handshake(Connection& conn) {

@@ -431,5 +431,66 @@ TEST_F(ChaosTest, SameSeedIsBitIdenticalAcrossOffloadWorkerCounts) {
   EXPECT_TRUE(c.invariants_ok()) << c.invariant_failures;
 }
 
+// Batched lanes inside the chaos harness: same seed across batch widths
+// {1,2,4,8} on a single queueing lane — identical fleet digest, identical
+// serving outcome. Tight arrivals against the 4 ms lane service time
+// guarantee windows actually fill at widths >= 2.
+TEST_F(ChaosTest, SameSeedIsBitIdenticalAcrossOffloadBatchWidths) {
+  CampaignReport baseline;
+  for (const std::size_t width : {1u, 2u, 4u, 8u}) {
+    CampaignConfig cfg = base_config(0x0FF7);
+    cfg.mean_interarrival_us = 1'000;
+    cfg.server.offload_workers = 1;
+    cfg.server.offload_batch_width = width;
+    const CampaignReport r = CampaignRunner(cfg).run();
+    EXPECT_TRUE(r.invariants_ok()) << r.invariant_failures;
+    if (width == 1) {
+      EXPECT_EQ(r.server.offload_batched_jobs, 0u);
+      baseline = r;
+    } else {
+      EXPECT_GT(r.server.offload_batched_jobs, 0u) << "width " << width;
+      EXPECT_EQ(r.fleet_digest, baseline.fleet_digest) << "width " << width;
+      EXPECT_EQ(r.sessions_completed, baseline.sessions_completed);
+      EXPECT_EQ(r.server.bytes_opened, baseline.server.bytes_opened);
+      EXPECT_EQ(r.server.bytes_sealed, baseline.server.bytes_sealed);
+    }
+  }
+}
+
+// An OffloadStall landing on multi-job windows exercises the whole-window
+// steal: the event loop recomputes every job of the stalled window inline
+// through the same batched path, so the digest matches the unstalled
+// batched run AND the width-1 run — bit-identical twice over.
+TEST_F(ChaosTest, OffloadStallMidBatchIsStolenWholeWindow) {
+  CampaignConfig cfg = base_config(0x0FF8);
+  cfg.mean_interarrival_us = 1'000;
+  cfg.server.offload_workers = 1;
+  cfg.server.offload_batch_width = 4;
+  cfg.server.offload_steal_timeout_ms = 20;
+
+  CampaignConfig stalled = cfg;
+  stalled.faults.push_back(OffloadStall{.at_us = 0,
+                                        .duration_us = 0,
+                                        .worker = 0,
+                                        .all_workers = true,
+                                        .stall_ns = 300'000'000});
+  CampaignConfig unbatched = cfg;
+  unbatched.server.offload_batch_width = 1;
+
+  const CampaignReport clean = CampaignRunner(cfg).run();
+  const CampaignReport report = CampaignRunner(stalled).run();
+  const CampaignReport width1 = CampaignRunner(unbatched).run();
+
+  EXPECT_TRUE(report.invariants_ok()) << report.invariant_failures;
+  EXPECT_EQ(report.sessions_completed, report.sessions_attempted);
+  EXPECT_EQ(report.fleet_digest, clean.fleet_digest);
+  EXPECT_EQ(report.fleet_digest, width1.fleet_digest);
+  EXPECT_EQ(report.sim_duration_s, clean.sim_duration_s);
+  EXPECT_GT(report.server.offload_stolen, 0u);
+  EXPECT_GT(report.server.offload_batched_jobs, 0u);
+  EXPECT_EQ(report.server.offload_completed, report.server.offload_submitted);
+  EXPECT_EQ(clean.server.offload_stolen, 0u);
+}
+
 }  // namespace
 }  // namespace mapsec::chaos

@@ -173,6 +173,83 @@ TEST_F(ServerOffloadTest, StalledWorkersAreStolenNotDeadlocked) {
   EXPECT_GE(engine.stats().stolen, 1u);
 }
 
+// ----------------------------------------------------- batched windows
+
+// The batched lane model, priced by hand: one idle lane dispatches the
+// first job alone (batching only materialises under queueing), then the
+// four jobs that queued behind it drain as one window costing
+// cost + 3 * 0.3 * cost.
+TEST_F(ServerOffloadTest, BatchWindowDrainsQueuedJobs) {
+  engine::OffloadCosts costs;
+  costs.rsa_sign_us = 1'000;
+  costs.batch_marginal = 0.3;
+  net::EventQueue queue;
+  engine::OffloadEngine engine(queue, 1, costs, 250, /*batch_width=*/4);
+  EXPECT_EQ(engine.batch_width(), 4u);
+  const protocol::PkResult expected = protocol::run_pk_job(sign_job(6));
+
+  std::vector<net::SimTime> done_at;
+  for (int i = 0; i < 5; ++i) {
+    engine.submit(sign_job(6), [&, i](const protocol::PkResult& r) {
+      EXPECT_EQ(r.signature, expected.signature) << "job " << i;
+      done_at.push_back(queue.now());
+    });
+  }
+  queue.run_all();
+  // Job 0 alone at t=1000; jobs 1..4 share the window closing at
+  // 1000 + (1000 + 3 * 300) = 2900.
+  ASSERT_EQ(done_at.size(), 5u);
+  EXPECT_EQ(done_at[0], 1'000u);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(done_at[i], 2'900u) << "job " << i;
+  EXPECT_EQ(engine.stats().batches, 2u);
+  EXPECT_EQ(engine.stats().batched_jobs, 4u);
+  EXPECT_EQ(engine.stats().max_batch_fill, 4u);
+  EXPECT_EQ(engine.stats().lane_busy_us, 2'900u);
+  EXPECT_EQ(engine.stats().queue_wait_us, 4'000u);  // 4 jobs x 1 ms
+  EXPECT_EQ(engine.stats().completed, 5u);
+}
+
+// Width 1 must reproduce the unbatched engine's schedule exactly — same
+// completion instants, no windows with fill >= 2.
+TEST_F(ServerOffloadTest, WidthOneReproducesUnbatchedSchedule) {
+  engine::OffloadCosts costs;
+  costs.rsa_sign_us = 1'000;
+  net::EventQueue queue;
+  engine::OffloadEngine engine(queue, 1, costs, 250, /*batch_width=*/1);
+  for (int i = 0; i < 4; ++i)
+    engine.submit(sign_job(3), [](const protocol::PkResult&) {});
+  queue.run_all();
+  EXPECT_EQ(queue.now(), 4'000u);
+  EXPECT_EQ(engine.stats().queue_wait_us, 6'000u);
+  EXPECT_EQ(engine.stats().batches, 4u);
+  EXPECT_EQ(engine.stats().batched_jobs, 0u);
+  EXPECT_EQ(engine.stats().max_batch_fill, 1u);
+}
+
+// A stall that hits a multi-job window exercises the whole-window steal:
+// the event-loop thread recomputes every job of the window inline, and
+// all results stay bit-identical.
+TEST_F(ServerOffloadTest, StalledBatchIsStolenWholeWindow) {
+  net::EventQueue queue;
+  engine::OffloadEngine engine(queue, 1, {}, /*steal_timeout_ms=*/25,
+                               /*batch_width=*/4);
+  engine.inject_worker_stall(0, 400'000'000);  // 400 ms per window
+  const protocol::PkResult expected = protocol::run_pk_job(sign_job(5));
+
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    engine.submit(sign_job(5), [&](const protocol::PkResult& r) {
+      ++completions;
+      EXPECT_EQ(r.signature, expected.signature);
+    });
+  }
+  queue.run_all();
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(engine.stats().completed, 5u);
+  EXPECT_EQ(engine.stats().batched_jobs, 4u);  // jobs 1..4 shared a window
+  EXPECT_GE(engine.stats().stolen, 4u);  // at least the window was stolen
+}
+
 // --------------------------------------------- fleet-level determinism
 
 // The offload determinism contract: for any worker count — and for
@@ -201,6 +278,38 @@ TEST_F(ServerOffloadTest, FleetDigestIdenticalAcrossWorkerCounts) {
       EXPECT_GT(r.server.offload_lane_busy_us, 0u);
     } else {
       EXPECT_EQ(r.server.offload_submitted, 0u);
+    }
+  }
+}
+
+// The batched determinism contract: batching moves completion instants
+// (lane windows finish earlier in aggregate) but never the bytes — the
+// honest-fleet transcript digest is identical for every batch width.
+// One lane with ~1 ms arrivals against a 4 ms service time guarantees
+// queueing, so widths >= 2 genuinely form multi-job windows.
+TEST_F(ServerOffloadTest, FleetDigestIdenticalAcrossBatchWidths) {
+  Bytes digest;
+  for (std::size_t width : {1u, 2u, 4u, 8u}) {
+    ServerConfig server = server_config();
+    server.offload_workers = 1;
+    server.offload_batch_width = width;
+    LoadGenerator gen(load_config(30), server, client_config(), {});
+    const LoadReport r = gen.run();
+    EXPECT_EQ(r.sessions_completed, 30u) << "width " << width;
+    EXPECT_EQ(r.echo_mismatches, 0u) << "width " << width;
+    EXPECT_EQ(r.server.offload_completed, 30u) << "width " << width;
+    EXPECT_EQ(r.server.offload_stolen, 0u) << "width " << width;
+    if (width == 1) {
+      EXPECT_EQ(r.server.offload_batched_jobs, 0u);
+    } else {
+      EXPECT_GT(r.server.offload_batched_jobs, 0u) << "width " << width;
+      EXPECT_LE(r.server.offload_max_batch_fill, width) << "width " << width;
+      EXPECT_GE(r.server.offload_max_batch_fill, 2u) << "width " << width;
+    }
+    if (digest.empty()) {
+      digest = r.fleet_digest;
+    } else {
+      EXPECT_EQ(r.fleet_digest, digest) << "width " << width;
     }
   }
 }
