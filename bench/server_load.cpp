@@ -16,6 +16,12 @@
 // full-handshake rate scales with lanes; plus a session-cache index
 // micro-benchmark (hashed vs ordered tree at 10k entries).
 //
+// E23 rides along too: a cache-vs-stateless-ticket pairing — identical
+// fleets resuming through the bounded cache vs encrypted session tickets
+// with the cache disabled — gating that the ticket path serves the same
+// throughput (±10%) with a byte-identical fleet digest while server
+// resumption state drops from O(cached users) to O(key ring).
+//
 // Metric provenance: every per-second rate is reported INSIDE its
 // scenario block. Rates from different scenarios are not comparable —
 // each scenario has its own offered load and sim duration, so an earlier
@@ -28,6 +34,7 @@
 //   Writes BENCH_server.json (default: ./BENCH_server.json).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -606,6 +613,93 @@ int main(int argc, char** argv) {
                 found);
   }
 
+  // Scenario 7 (E23): cache vs stateless tickets. Two identical fleets —
+  // one resuming through the bounded cache, one through encrypted session
+  // tickets with the cache disabled outright (capacity 0) — must serve
+  // the same load at the same rate (droop gate ±10%) with a byte-
+  // identical fleet digest, while the server-side resumption state
+  // diverges: O(cached users) vs O(key ring). The 10k/100k/1M rows
+  // extrapolate the measured per-user cache footprint; the ticket column
+  // is the measured ring and does not move with the user count, so the
+  // ticket-tier sessions-per-charge figure is flat across scales by
+  // construction (the charge pays only the per-session CCM open/seal).
+  std::puts("\n-- E23: bounded cache vs stateless tickets "
+            "(150 clients x 4 sessions) --");
+  auto ticket_fleet = [&](bool tickets) {
+    server::ClientConfig c = client_config(pki);
+    c.sessions = 4;
+    c.use_session_tickets = tickets;
+    server::ServerConfig s = server_config(pki);
+    s.ticket.enabled = tickets;
+    server::BoundedSessionCache::Config cache_cfg{};
+    if (tickets) cache_cfg.capacity = 0;
+    return run(server::LoadGenerator(load_config(150), s, c, cache_cfg));
+  };
+  const Timed tk_cache = ticket_fleet(false);
+  const Timed tk_ticket = ticket_fleet(true);
+  const server::LoadReport& rc = tk_cache.report;
+  const server::LoadReport& rt = tk_ticket.report;
+  const double ticket_droop =
+      rc.sessions_per_s > 0
+          ? (rc.sessions_per_s - rt.sessions_per_s) / rc.sessions_per_s
+          : 0.0;
+  const double charge_drift =
+      rc.gap.sessions_per_charge > 0
+          ? std::abs(rt.ticket_gap.host.sessions_per_charge -
+                     rc.gap.sessions_per_charge) /
+                rc.gap.sessions_per_charge
+          : 0.0;
+  const double per_user_bytes =
+      static_cast<double>(rc.cache_state_bytes) / 150.0;
+  const bool ticket_digests_match = rc.fleet_digest == rt.fleet_digest;
+
+  analysis::Table tk_tab({"metric", "cache", "ticket"});
+  tk_tab.add_row({"sessions/s (sim)", analysis::fmt(rc.sessions_per_s, 1),
+                  analysis::fmt(rt.sessions_per_s, 1)});
+  tk_tab.add_row({"resumed handshakes",
+                  std::to_string(rc.server.resumed_handshakes),
+                  std::to_string(rt.server.resumed_handshakes) + " (" +
+                      std::to_string(rt.server.ticket_resumptions) +
+                      " via ticket)"});
+  tk_tab.add_row({"resumed handshake p50 (ms sim)",
+                  analysis::fmt(rc.resumed_handshake_p50_ms, 1),
+                  analysis::fmt(rt.resumed_handshake_p50_ms, 1)});
+  tk_tab.add_row(
+      {"sessions per 26 KJ charge",
+       analysis::fmt(rc.gap.sessions_per_charge, 0),
+       analysis::fmt(rt.ticket_gap.host.sessions_per_charge, 0)});
+  tk_tab.add_row({"resumption state (bytes, measured)",
+                  std::to_string(rc.cache_state_bytes),
+                  std::to_string(rt.ticket_state_bytes)});
+  tk_tab.add_row({"fleet digest", hex_prefix(rc.fleet_digest),
+                  hex_prefix(rt.fleet_digest)});
+  std::fputs(tk_tab.render().c_str(), stdout);
+
+  analysis::Table scale_tab({"users", "cache state (modeled)",
+                             "ticket state", "state ratio"});
+  for (const double users : {1e4, 1e5, 1e6}) {
+    const double cache_bytes = per_user_bytes * users;
+    scale_tab.add_row(
+        {analysis::fmt(users, 0), analysis::fmt(cache_bytes, 0),
+         std::to_string(rt.ticket_state_bytes),
+         analysis::fmt(
+             cache_bytes / static_cast<double>(rt.ticket_state_bytes), 0) +
+             "x"});
+  }
+  std::fputs(scale_tab.render().c_str(), stdout);
+  const bool ticket_ok = ticket_droop <= 0.10 && charge_drift <= 0.10 &&
+                         ticket_digests_match &&
+                         rt.server.ticket_resumptions > 0 &&
+                         rt.cache_state_bytes == 0 &&
+                         rt.ticket_state_bytes < 10'000;
+  std::printf("ticket path %s: throughput droop %.1f%% (gate <= 10%%), "
+              "charge drift %.1f%%, digests %s, state %.0f B/user -> "
+              "%zu B total\n",
+              ticket_ok ? "HOLDS" : "DROOPED", ticket_droop * 100,
+              charge_drift * 100,
+              ticket_digests_match ? "IDENTICAL" : "DIVERGED",
+              per_user_bytes, rt.ticket_state_bytes);
+
   // Machine-readable baseline.
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
@@ -688,11 +782,39 @@ int main(int argc, char** argv) {
                  bat_rows[i].mbps, bat_rows[i].util,
                  i + 1 < bat_rows.size() ? "," : "");
   }
+  // The ticket_scale block follows the report convention: the two
+  // comparable rates carry _per_s suffixes; droop, state-bytes and
+  // extrapolation fields carry none, so bench_compare.py skips them.
+  std::fprintf(
+      f,
+      "  },\n"
+      "  \"ticket_scale\": {\n"
+      "    \"cache_sessions_per_s\": %.3f,\n"
+      "    \"ticket_sessions_per_s\": %.3f,\n"
+      "    \"cache_record_mbps\": %.3f,\n"
+      "    \"ticket_record_mbps\": %.3f,\n"
+      "    \"throughput_droop\": %.4f,\n"
+      "    \"cache_sessions_per_charge\": %.1f,\n"
+      "    \"ticket_sessions_per_charge\": %.1f,\n"
+      "    \"cache_state_bytes_per_user\": %.1f,\n"
+      "    \"ticket_state_bytes\": %zu,\n"
+      "    \"cache_state_bytes_10k_users\": %.0f,\n"
+      "    \"cache_state_bytes_100k_users\": %.0f,\n"
+      "    \"cache_state_bytes_1m_users\": %.0f,\n"
+      "    \"ticket_resumptions\": %llu,\n"
+      "    \"digests_match\": %s\n"
+      "  },\n",
+      rc.sessions_per_s, rt.sessions_per_s, rc.record_mbps, rt.record_mbps,
+      ticket_droop, rc.gap.sessions_per_charge,
+      rt.ticket_gap.host.sessions_per_charge, per_user_bytes,
+      rt.ticket_state_bytes, per_user_bytes * 1e4, per_user_bytes * 1e5,
+      per_user_bytes * 1e6,
+      static_cast<unsigned long long>(rt.server.ticket_resumptions),
+      ticket_digests_match ? "true" : "false");
   // The ns/lookup figures are wall-clock (machine-dependent) and carry
   // no _per_s/_mbps suffix, so bench_compare.py ignores them by
   // construction.
   std::fprintf(f,
-               "  },\n"
                "  \"offload_digests_match\": %s,\n"
                "  \"offload_scaling_1_to_4\": %.2f,\n"
                "  \"batched_digests_match\": %s,\n"
@@ -710,5 +832,8 @@ int main(int argc, char** argv) {
                defense_holds ? "true" : "false");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
-  return digests_match && defense_holds && offload_ok && batched_ok ? 0 : 1;
+  return digests_match && defense_holds && offload_ok && batched_ok &&
+                 ticket_ok
+             ? 0
+             : 1;
 }

@@ -16,7 +16,12 @@ Two input formats are understood:
     "_per_s" or "_mbps") are compared; every other field — counters,
     energy figures, metrics added by future experiments — is ignored by
     construction, so extending a report never breaks comparison against
-    an older baseline.
+    an older baseline. The E23 "ticket_scale" block follows that
+    convention: its cache_/ticket_sessions_per_s and *_record_mbps pairs
+    are compared (the cache-vs-stateless-ticket throughput parity the
+    bench itself gates at ±10%), while throughput_droop, the
+    state-bytes-per-user figures and the 10k/100k/1M extrapolation rows
+    are descriptive and skipped.
 
 Exits non-zero if any benchmark regressed by more than the threshold.
 Improvements and new/removed benchmarks are reported but never fail the

@@ -44,13 +44,24 @@ echo "== forced-scalar batched differential sweep =="
 MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}" \
   -R 'BatchModExp|RsaBatch|Sha256Many|CcmBatch|BatchWidth|BatchWindow|MidBatch|WholeWindow'
 
+echo "== forced-scalar ticket + renegotiation sweep =="
+# Session tickets seal/open through AES-CCM and the renegotiation matrix
+# crosses cipher suites mid-session; both must be bit-identical on the
+# scalar kernels (a ticket minted by an accelerated server MUST open on a
+# scalar one — deterministic key ring plus portable CCM). Named here so a
+# filter change elsewhere can never silently drop them from this tree.
+MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}" \
+  -R 'Ticket|Renegotiat|ChaosTest|CampaignSoak'
+
 echo "== thread-sanitizer tree (MAPSEC_SANITIZE=thread) =="
 # TSan covers the concurrency surface: the PacketPipeline's worker pool
-# and everything that drives it (server, chaos campaigns, wire fuzzing).
+# and everything that drives it (server, chaos campaigns, wire fuzzing),
+# plus the ticket and renegotiation lifecycles whose record-path drains
+# ride the pipeline.
 cmake -B build-tsan -S . -DMAPSEC_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'Pipeline|pipeline|Server|server|Chaos|chaos|Campaign|WireFuzz|net_'
+  -R 'Pipeline|pipeline|Server|server|Chaos|chaos|Campaign|WireFuzz|net_|Ticket|Renegotiat'
 
 if [[ "${MAPSEC_BENCH_COMPARE:-1}" != "0" ]]; then
   echo "== benchmark baseline comparison =="

@@ -127,10 +127,23 @@ struct MalformedTraffic {
   net::SimTime message_gap_us = 2'000;
 };
 
+/// Forced ticket sealing-key rotations (operational key roll, or the
+/// panic response to suspected key compromise): `rotations` immediate
+/// rotations at `at_us`, then one per `period_us` (0 = all at once).
+/// Against a correctly windowed TicketKeyRing an honest client holding a
+/// recent ticket keeps resuming (or falls back to a full handshake and
+/// gets a fresh ticket) — the campaign's judge asserts zero honest-client
+/// failures under mid-flood rotation.
+struct TicketKeyRotation {
+  net::SimTime at_us = 0;
+  int rotations = 1;
+  net::SimTime period_us = 0;
+};
+
 using Fault =
     std::variant<Blackout, BearerFlap, BurstLoss, BandwidthCollapse,
                  DispatchFailure, RngExhaustion, WorkerStall, OffloadStall,
-                 HandshakeFlood, MalformedTraffic>;
+                 HandshakeFlood, MalformedTraffic, TicketKeyRotation>;
 
 using FaultPlan = std::vector<Fault>;
 

@@ -271,6 +271,12 @@ CampaignReport CampaignRunner::run() {
         queue.schedule_at(f->at_us, [p = vandal.get()] { p->start(); });
         vandals.push_back(std::move(vandal));
       }
+    } else if (const auto* f = std::get_if<TicketKeyRotation>(&fault)) {
+      for (int r = 0; r < f->rotations; ++r) {
+        const net::SimTime when =
+            f->at_us + static_cast<net::SimTime>(r) * f->period_us;
+        queue.schedule_at(when, [&] { server.rotate_ticket_key(); });
+      }
     }
   }
 

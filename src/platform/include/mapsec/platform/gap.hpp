@@ -175,6 +175,38 @@ BatchedGapReport serving_gap_batched(
     double battery_kj = 26.0, Primitive pk = Primitive::kRsa1024Private,
     Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
 
+/// Stateless-ticket-tier pricing — the memory half of the serving story.
+/// A session cache's resumption state grows O(cached users) (and its
+/// eviction thrash converts would-be resumptions back into full RSA
+/// handshakes); a ticket server pins only its key ring, O(ring depth),
+/// and pays per resumption one extra AES-CCM ticket open (two AES passes
+/// over the blob: CBC-MAC + CTR). This report prices that trade against
+/// a served load so the bench can assert the flat-line: MIPS demand and
+/// sessions-per-charge independent of the cached-user count.
+struct TicketGapReport {
+  /// Serving gap with the ticket-open cost added to the host plane.
+  ServingGapReport host;
+  double ticket_open_mips = 0;  ///< CCM opens for the resumed-handshake rate
+  double ticket_seal_mips = 0;  ///< NewSessionTicket seals (per completion)
+  double server_state_bytes = 0;  ///< key ring: O(depth)
+  double cache_state_bytes = 0;   ///< cache equivalent: O(cached users)
+  /// cache / ticket state; the ratio the 10k->1M sweep shows exploding.
+  double state_ratio = 0;
+};
+
+/// Price a served load on a ticket-mode server. `ring_state_bytes` /
+/// `cache_state_bytes` come from the run (TicketKeyRing::state_bytes(),
+/// BoundedSessionCache::resumption_state_bytes() or its projection at
+/// `cached_users`); `ticket_wire_bytes` is the sealed blob size. Resumed
+/// handshakes are priced at the ticket-open cost instead of free; full
+/// handshakes additionally seal a fresh ticket.
+TicketGapReport serving_gap_ticket(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    double ring_state_bytes, double cache_state_bytes,
+    double ticket_wire_bytes = 96.0, double battery_kj = 26.0,
+    Primitive pk = Primitive::kRsa1024Private,
+    Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
+
 /// Projection of the gap over time — Section 3.2's closing argument:
 /// "the increase in data rates ... and the use of stronger cryptographic
 /// algorithms ... threaten to further widen the wireless security

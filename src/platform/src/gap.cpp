@@ -204,6 +204,39 @@ BatchedGapReport serving_gap_batched(
   return report;
 }
 
+TicketGapReport serving_gap_ticket(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    double ring_state_bytes, double cache_state_bytes,
+    double ticket_wire_bytes, double battery_kj, Primitive pk,
+    Primitive cipher, Primitive mac) {
+  TicketGapReport report;
+  report.host = serving_gap(model, proc, load, battery_kj, pk, cipher, mac);
+
+  // CCM over the blob is two AES passes (CBC-MAC, then CTR); an open and
+  // a seal cost the same. Each resumed handshake opens the offered
+  // ticket; each full handshake seals a replacement NewSessionTicket
+  // (resumptions re-seal too, but that open+seal pair is what the
+  // resumed row already carries — price seals on the full rate and opens
+  // plus re-seals on the resumed rate).
+  const double ccm_instr =
+      2.0 * model.instr_per_byte(Primitive::kAes128) * ticket_wire_bytes;
+  report.ticket_open_mips =
+      load.resumed_handshakes_per_s * 2.0 * ccm_instr / 1e6;
+  report.ticket_seal_mips = load.full_handshakes_per_s * ccm_instr / 1e6;
+  report.host.required_mips +=
+      report.ticket_open_mips + report.ticket_seal_mips;
+  report.host.gap_ratio = proc.mips > 0
+                              ? report.host.required_mips / proc.mips
+                              : 0.0;
+
+  report.server_state_bytes = ring_state_bytes;
+  report.cache_state_bytes = cache_state_bytes;
+  report.state_ratio = ring_state_bytes > 0
+                           ? cache_state_bytes / ring_state_bytes
+                           : 0.0;
+  return report;
+}
+
 double GapAnalysis::max_rate_mbps(const Processor& proc,
                                   double latency_s) const {
   const double handshake =

@@ -33,6 +33,10 @@
 #include "mapsec/protocol/record.hpp"
 #include "mapsec/protocol/suites.hpp"
 
+namespace mapsec::ticket {
+class TicketCodec;
+}
+
 namespace mapsec::protocol {
 
 class HandshakeError : public std::runtime_error {
@@ -109,14 +113,16 @@ std::vector<PkResult> run_pk_jobs(const std::vector<const PkJob*>& jobs,
 struct HandshakeSummary {
   CipherSuite suite = CipherSuite::kRsa3DesEdeCbcSha;
   KeyExchange key_exchange = KeyExchange::kRsa;
-  bool resumed = false;
+  bool resumed = false;         // latest handshake was abbreviated
+  bool ticket_resumed = false;  // ... and the resumption came from a ticket
   bool client_authenticated = false;
   ProtocolVersion version = ProtocolVersion::kTls10;
   std::size_t bytes_sent = 0;      // wire bytes this endpoint transmitted
   std::size_t bytes_received = 0;  // wire bytes this endpoint consumed
-  int rsa_private_ops = 0;         // performed by this endpoint
+  int rsa_private_ops = 0;         // performed by this endpoint (cumulative)
   int rsa_public_ops = 0;
   int dh_ops = 0;                  // modexp agreements/keygens
+  int renegotiations = 0;          // completed mid-session renegotiations
   crypto::Bytes session_id;
 };
 
@@ -165,6 +171,44 @@ struct HandshakeConfig {
   // have produced. Transcripts and outputs are byte-identical to the
   // synchronous mode.
   bool async_pk = false;
+
+  // ---- stateless session tickets (mapsec::ticket) ----
+  // Server: when set, ticket-bearing ClientHellos resume statelessly
+  // (one AES-CCM open, zero cache bytes, no public-key op — the async_pk
+  // machinery is never engaged on this path) and completed handshakes
+  // that requested a ticket get a NewSessionTicket. Not owned; must
+  // outlive the endpoint.
+  mapsec::ticket::TicketCodec* ticket_codec = nullptr;
+  // Server: issue/expiry clock for tickets (sim µs — distinct from `now`,
+  // the certificate-validation wall clock).
+  std::uint64_t ticket_now_us = 0;
+  // Client: ask the server for a NewSessionTicket (also implied by
+  // offering one via set_resume_ticket()).
+  bool request_session_ticket = false;
+
+  // ---- mid-session rekey / renegotiation ----
+  // Both sides: allow a second handshake through the established record
+  // layer (client start_renegotiate(), server request_renegotiate() /
+  // HelloRequest). Off by default: an endpoint that does not expect
+  // renegotiation treats a post-handshake flight as an error, as before.
+  bool allow_renegotiation = false;
+  // Server: let a renegotiation resume (sid cache or ticket) — a pure
+  // rekey, same master + fresh key block. When false the server ignores
+  // resumption offers during renegotiation and forces a full handshake
+  // (fresh master), e.g. after suspected key compromise.
+  bool resume_on_renegotiate = true;
+};
+
+/// Parameters for TlsClient::start_renegotiate().
+struct RenegotiateOptions {
+  /// Offer the current session for resumption (ticket when one was
+  /// issued this session, session id otherwise): rekey without the
+  /// public-key op if the server accepts.
+  bool attempt_resume = true;
+  /// Replace the offered suite list for this renegotiation (empty =
+  /// keep the config's offer) — how a session transitions suites, e.g.
+  /// CBC+HMAC -> AEAD, mid-flight.
+  std::vector<CipherSuite> offered_suites;
 };
 
 /// Common interface of the two endpoints.
@@ -208,6 +252,31 @@ class TlsClient final : public HandshakeEndpoint {
   void set_resume_session(crypto::ConstBytes session_id,
                           crypto::ConstBytes master_secret, CipherSuite suite);
 
+  /// Request stateless resumption on the next handshake: offer an opaque
+  /// session ticket (from a previous session's session_ticket()) in the
+  /// ClientHello. The client keeps the master secret + suite the ticket
+  /// was issued under; the server recovers its copy from the blob alone.
+  void set_resume_ticket(crypto::ConstBytes ticket,
+                         crypto::ConstBytes master_secret, CipherSuite suite);
+
+  /// Opaque NewSessionTicket issued by the server during the latest
+  /// handshake (empty when none was issued).
+  const crypto::Bytes& session_ticket() const;
+  bool has_session_ticket() const;
+
+  /// Begin a mid-session renegotiation (requires an established session
+  /// and HandshakeConfig::allow_renegotiation): resets the handshake
+  /// state and returns a ClientHello sealed under the CURRENT write
+  /// cipher. While renegotiating, send_data() refuses (the initiator
+  /// quiesces its own sends) but recv_data() still opens in-flight
+  /// records sealed under the old keys — delivery is in order, so the
+  /// drain is deterministic. The server's HelloRequest triggers this
+  /// automatically inside process().
+  crypto::Bytes start_renegotiate(const RenegotiateOptions& options = {});
+
+  /// True between renegotiation start and its Finished exchange.
+  bool renegotiating() const;
+
   crypto::Bytes process(crypto::ConstBytes inbound) override;
   bool established() const override;
   const HandshakeSummary& summary() const override;
@@ -247,6 +316,16 @@ class TlsServer final : public HandshakeEndpoint {
   // the interrupted flight and returns the bytes to transmit. A flight
   // may suspend more than once (e.g. ClientKeyExchange decrypt then
   // CertificateVerify) — loop until pk_pending() is false.
+
+  /// Begin a server-initiated renegotiation: returns a HelloRequest
+  /// sealed under the current write cipher (not part of any transcript).
+  /// The actual handshake starts when the client's ClientHello arrives at
+  /// process(). Requires an established session and
+  /// HandshakeConfig::allow_renegotiation on both sides.
+  crypto::Bytes request_renegotiate();
+
+  /// True between renegotiation start and its Finished exchange.
+  bool renegotiating() const;
 
   bool pk_pending() const override;
   /// Throws HandshakeError when no operation is pending.

@@ -9,7 +9,9 @@
 // CBC with a per-record IV derived from the sequence number (IV_i =
 // MAC(iv_key, seq)[0..block), a deterministic, non-repeating choice that
 // avoids the chained-IV weakness of SSL 3.0). Stream suites keep RC4 state
-// across records, as SSL does.
+// across records, as SSL does. AEAD suites replace MAC-then-encrypt
+// entirely: body = CCM(plaintext) || tag, with the would-be MAC header as
+// the AAD and nonce = salt(5) || seq(8) from the derived IV seed.
 #pragma once
 
 #include <cstdint>
@@ -66,9 +68,12 @@ class RecordCodec {
   std::size_t overhead(std::size_t n) const;
 
  private:
+  static crypto::Bytes mac_header(std::uint64_t seq, RecordType type,
+                                  std::size_t plen);
   crypto::Bytes record_iv(std::uint64_t seq) const;
   crypto::Bytes compute_mac(std::uint64_t seq, RecordType type,
                             crypto::ConstBytes payload) const;
+  crypto::Bytes aead_nonce(std::uint64_t seq) const;
 
   bool active_ = false;
   const SuiteInfo* suite_ = nullptr;

@@ -28,9 +28,10 @@ enum class CipherSuite : std::uint16_t {
   kRsaAes128CbcSha = 0x002F,
   kDheRsaAes128CbcSha = 0x0033,
   kRsaRc2Cbc128Md5 = 0xFF01,  // private-range id for the RC2 suite
+  kRsaAes128Ccm8 = 0xFFC0,    // private-range id for the AEAD (CCM) suite
 };
 
-enum class BulkKind : std::uint8_t { kStream, kBlock };
+enum class BulkKind : std::uint8_t { kStream, kBlock, kAead };
 enum class BulkCipher : std::uint8_t { kRc4, kDes, kDes3, kAes128, kRc2 };
 enum class MacAlgo : std::uint8_t { kHmacMd5, kHmacSha1 };
 
@@ -50,13 +51,17 @@ struct SuiteInfo {
   std::size_t key_len;    // bulk key bytes
   std::size_t block_len;  // block/IV bytes (0 for stream)
   MacAlgo mac;
-  std::size_t mac_len;    // tag bytes
+  std::size_t mac_len;    // HMAC tag bytes; AEAD suites: CCM tag bytes
 };
 
 /// Look up a suite (throws std::invalid_argument for unknown ids).
 const SuiteInfo& suite_info(CipherSuite id);
 
-/// All suites, strongest-preference first (the library default offer).
+/// All classic suites, strongest-preference first (the library default
+/// offer). The AEAD suite is deliberately not in the default offer — CCM
+/// record protection is an opt-in capability (renegotiation can move a
+/// session aead<->non-aead), and keeping the default ClientHello stable
+/// keeps every seeded transcript in the suite bit-identical.
 std::vector<CipherSuite> all_suites();
 
 /// Compute an HMAC tag with the suite's MAC algorithm.

@@ -6,14 +6,17 @@
 #include "mapsec/crypto/mont_cache.hpp"
 #include "mapsec/crypto/sha1.hpp"
 #include "mapsec/protocol/prf.hpp"
+#include "mapsec/ticket/ticket.hpp"
 
 namespace mapsec::protocol {
 
 namespace {
 
 enum class MsgType : std::uint8_t {
+  kHelloRequest = 0,       // server -> client: please renegotiate
   kClientHello = 1,
   kServerHello = 2,
+  kNewSessionTicket = 4,   // server -> client: opaque stateless ticket
   kCertificate = 11,
   kServerKeyExchange = 12,
   kCertificateRequest = 13,
@@ -166,6 +169,7 @@ struct Common {
   KeyBlock keys;
   HandshakeSummary summary;
   bool done = false;
+  bool renegotiating = false;  // mid-session second handshake in progress
   bool pending_read_cipher = false;  // CCS received -> next records encrypted
 
   /// Wrap one handshake message into a record, tracking transcript and
@@ -255,8 +259,32 @@ struct Common {
     }
   }
 
+  /// Reset the per-handshake negotiation state for a renegotiation. The
+  /// active record codecs are untouched — the new handshake runs through
+  /// them until its ChangeCipherSpec swaps in the fresh key block.
+  void begin_renegotiation() {
+    renegotiating = true;
+    transcript.clear();
+    summary.resumed = false;
+    summary.ticket_resumed = false;
+    summary.client_authenticated = false;
+  }
+
+  /// Mark a handshake (first or renegotiated) complete.
+  void complete() {
+    done = true;
+    if (renegotiating) {
+      renegotiating = false;
+      ++summary.renegotiations;
+    }
+  }
+
   crypto::Bytes app_send(crypto::ConstBytes payload) {
     if (!done) throw HandshakeError("send_data: handshake not complete");
+    // The renegotiation initiator quiesces its sends; records already in
+    // flight under the old keys still drain through app_recv, in order.
+    if (renegotiating)
+      throw HandshakeError("send_data: renegotiation in progress");
     return write_codec.seal(RecordType::kApplicationData, config.version,
                             payload);
   }
@@ -421,6 +449,9 @@ struct TlsClient::Impl {
   crypto::Bytes resume_master;
   CipherSuite resume_suite = CipherSuite::kRsa3DesEdeCbcSha;
   bool resumption_requested = false;
+  crypto::Bytes offer_ticket;   // opaque blob offered in the ClientHello
+  bool ticket_offered = false;  // stateless resumption requested
+  crypto::Bytes fresh_ticket;   // NewSessionTicket from the latest handshake
   crypto::RsaPublicKey server_key;
   crypto::DhGroup server_group;      // from ServerKeyExchange (DHE)
   crypto::BigInt server_dh_public;
@@ -437,6 +468,12 @@ struct TlsClient::Impl {
     put_u16(body, static_cast<std::uint16_t>(c.config.offered_suites.size()));
     for (const CipherSuite s : c.config.offered_suites)
       put_u16(body, static_cast<std::uint16_t>(s));
+    // Optional trailing ticket extension: present when the client offers
+    // a ticket (stateless resumption) or merely wants one issued (empty
+    // blob). Servers without ticket support parse the suites and stop, so
+    // the extension is invisible to them.
+    if (ticket_offered || c.config.request_session_ticket)
+      put_blob16(body, offer_ticket);
     state = State::kWaitServerFlight;
     return c.send_handshake(MsgType::kClientHello, body);
   }
@@ -472,14 +509,31 @@ struct TlsClient::Impl {
     c.summary.suite = chosen;
     c.summary.key_exchange = c.suite->kx;
     c.summary.resumed = resumed;
+    c.summary.ticket_resumed = false;
     if (resumed) {
-      if (!resumption_requested || c.summary.session_id != resume_id)
-        throw HandshakeError("ServerHello: unsolicited resumption");
       if (chosen != resume_suite)
         throw HandshakeError("ServerHello: resumed suite changed");
+      if (resumption_requested && c.summary.session_id == resume_id) {
+        // Stateful resumption: the server found our id in its cache.
+      } else if (ticket_offered) {
+        // Stateless resumption: the server recovered the session from our
+        // ticket and minted a FRESH session id (it has no memory of the
+        // old one; the new id feeds the bulk-key derivation).
+        c.summary.ticket_resumed = true;
+      } else {
+        throw HandshakeError("ServerHello: unsolicited resumption");
+      }
       c.master = resume_master;
       c.derive_keys();
     }
+  }
+
+  void handle_new_session_ticket(const Message& m) {
+    std::size_t off = 0;
+    fresh_ticket = get_blob16(m.body, off);
+    if (off != m.body.size())
+      throw HandshakeError("NewSessionTicket: trailing bytes");
+    c.note_received(m);
   }
 
   void handle_certificate(const Message& m) {
@@ -604,6 +658,10 @@ struct TlsClient::Impl {
         return;
       }
       if (c.summary.resumed) {
+        if (m.type == MsgType::kNewSessionTicket && !seen_server_finished) {
+          handle_new_session_ticket(m);  // re-issued under the current key
+          return;
+        }
         if (m.type != MsgType::kFinished)
           throw HandshakeError("resumption: expected server Finished");
         c.check_finished(m, /*client_label=*/false);
@@ -643,7 +701,7 @@ struct TlsClient::Impl {
       const crypto::Bytes fin =
           c.send_handshake(MsgType::kFinished, c.make_finished(true));
       out.insert(out.end(), fin.begin(), fin.end());
-      c.done = true;
+      c.complete();
       state = State::kDone;
       return out;
     }
@@ -656,6 +714,10 @@ struct TlsClient::Impl {
   crypto::Bytes on_server_finale(crypto::ConstBytes inbound) {
     bool seen_finished = false;
     process_flight(c, inbound, /*is_client=*/true, [&](const Message& m) {
+      if (m.type == MsgType::kNewSessionTicket && !seen_finished) {
+        handle_new_session_ticket(m);
+        return;
+      }
       if (m.type != MsgType::kFinished || seen_finished)
         throw HandshakeError("expected server Finished");
       c.check_finished(m, /*client_label=*/false);
@@ -663,9 +725,60 @@ struct TlsClient::Impl {
       seen_finished = true;
     });
     if (!seen_finished) throw HandshakeError("expected server Finished");
-    c.done = true;
+    c.complete();
     state = State::kDone;
     return {};
+  }
+
+  crypto::Bytes start_renegotiate(const RenegotiateOptions& options) {
+    if (!c.done || state != State::kDone)
+      throw HandshakeError("renegotiate: no established session");
+    if (!c.config.allow_renegotiation)
+      throw HandshakeError("renegotiate: not allowed by configuration");
+    if (c.renegotiating)
+      throw HandshakeError("renegotiate: already in progress");
+    c.begin_renegotiation();
+    have_ske = false;
+    cert_requested = false;
+    if (!options.offered_suites.empty())
+      c.config.offered_suites = options.offered_suites;
+    // Resumption basis for the rekey: the ticket issued this session when
+    // we hold one (stateless), the current session id otherwise.
+    resumption_requested = false;
+    ticket_offered = false;
+    resume_id.clear();
+    offer_ticket.clear();
+    if (options.attempt_resume) {
+      resume_master = c.master;
+      resume_suite = c.summary.suite;
+      if (!fresh_ticket.empty()) {
+        offer_ticket = fresh_ticket;
+        ticket_offered = true;
+      } else {
+        resume_id = c.summary.session_id;
+        resumption_requested = true;
+      }
+    }
+    state = State::kStart;
+    return start();
+  }
+
+  /// Post-handshake flight while established: the only message a client
+  /// accepts is the server's HelloRequest, which (renegotiation being
+  /// allowed) triggers a client-initiated renegotiation offering the
+  /// current session for resumption. HelloRequest is never part of a
+  /// transcript.
+  crypto::Bytes on_post_handshake(crypto::ConstBytes inbound) {
+    if (!c.config.allow_renegotiation)
+      throw HandshakeError("client: handshake already complete");
+    bool hello_request = false;
+    process_flight(c, inbound, /*is_client=*/true, [&](const Message& m) {
+      if (m.type != MsgType::kHelloRequest || !m.body.empty())
+        throw HandshakeError("client: unexpected post-handshake message");
+      hello_request = true;
+    });
+    if (!hello_request) return {};
+    return start_renegotiate(RenegotiateOptions{});
   }
 };
 
@@ -683,6 +796,29 @@ void TlsClient::set_resume_session(crypto::ConstBytes session_id,
   impl_->resumption_requested = true;
 }
 
+void TlsClient::set_resume_ticket(crypto::ConstBytes ticket,
+                                  crypto::ConstBytes master_secret,
+                                  CipherSuite suite) {
+  impl_->offer_ticket.assign(ticket.begin(), ticket.end());
+  impl_->resume_master.assign(master_secret.begin(), master_secret.end());
+  impl_->resume_suite = suite;
+  impl_->ticket_offered = true;
+}
+
+const crypto::Bytes& TlsClient::session_ticket() const {
+  return impl_->fresh_ticket;
+}
+
+bool TlsClient::has_session_ticket() const {
+  return !impl_->fresh_ticket.empty();
+}
+
+crypto::Bytes TlsClient::start_renegotiate(const RenegotiateOptions& options) {
+  return impl_->start_renegotiate(options);
+}
+
+bool TlsClient::renegotiating() const { return impl_->c.renegotiating; }
+
 crypto::Bytes TlsClient::process(crypto::ConstBytes inbound) {
   switch (impl_->state) {
     case Impl::State::kStart:
@@ -694,7 +830,7 @@ crypto::Bytes TlsClient::process(crypto::ConstBytes inbound) {
     case Impl::State::kWaitServerFinale:
       return impl_->on_server_finale(inbound);
     case Impl::State::kDone:
-      throw HandshakeError("client: handshake already complete");
+      return impl_->on_post_handshake(inbound);
   }
   return {};
 }
@@ -764,6 +900,12 @@ struct TlsServer::Impl {
   std::deque<Message> pending_msgs;           // parsed, unhandled messages
   bool seen_cke = false;
   bool seen_finished = false;
+
+  // Ticket extension of the ClientHello being processed: the offered
+  // blob (may be empty = issuance request only) and whether the
+  // extension was present at all.
+  crypto::Bytes hello_ticket;
+  bool hello_wants_ticket = false;
 
   bool async_pk() const { return c.config.async_pk; }
 
@@ -853,10 +995,45 @@ struct TlsServer::Impl {
       offered.push_back(static_cast<CipherSuite>(get_u16(m.body, off)));
       off += 2;
     }
+    // Optional trailing ticket extension (empty blob = issuance request).
+    hello_ticket.clear();
+    hello_wants_ticket = false;
+    if (off < m.body.size()) {
+      std::size_t ext_off = off;
+      hello_ticket = get_blob16(m.body, ext_off);
+      if (ext_off != m.body.size())
+        throw HandshakeError("ClientHello: trailing bytes");
+      hello_wants_ticket = true;
+    }
     c.note_received(m);
 
-    // Resumption path.
-    if (cache != nullptr && !requested_sid.empty()) {
+    // A renegotiation may be pinned to a full handshake (fresh master) by
+    // policy — e.g. after suspected key compromise.
+    const bool resumption_allowed =
+        !c.renegotiating || c.config.resume_on_renegotiate;
+
+    // Stateless resumption: decrypt+MAC only — no cache bytes, no
+    // public-key op (the async_pk machinery is never engaged here). Tried
+    // before the cache and before the degraded-mode refusal, so ticket
+    // holders keep resuming while an overloaded server sheds full
+    // handshakes. Any open failure (stale key beyond the ring's window,
+    // bad MAC, expiry, garbage) falls through to a full handshake — a bad
+    // ticket must never kill the connection.
+    if (resumption_allowed && c.config.ticket_codec != nullptr &&
+        !hello_ticket.empty()) {
+      if (std::optional<ticket::SessionTicket> t =
+              c.config.ticket_codec->open(hello_ticket,
+                                          c.config.ticket_now_us)) {
+        const auto suite = static_cast<CipherSuite>(t->suite);
+        bool still_offered = false;
+        for (const CipherSuite s : offered)
+          if (s == suite) still_offered = true;
+        if (still_offered) return resume_ticket(*t, suite);
+      }
+    }
+
+    // Stateful resumption path.
+    if (resumption_allowed && cache != nullptr && !requested_sid.empty()) {
       if (const auto* entry = cache->lookup(requested_sid)) {
         bool still_offered = false;
         for (const CipherSuite s : offered)
@@ -924,16 +1101,29 @@ struct TlsServer::Impl {
     return out;
   }
 
-  crypto::Bytes resume(const crypto::Bytes& sid,
-                       const SessionCache::Entry& entry) {
-    c.suite = &suite_info(entry.suite);
-    c.summary.suite = entry.suite;
-    c.summary.resumed = true;
-    c.summary.session_id = sid;
-    c.master = entry.master_secret;
+  /// NewSessionTicket message when the client asked for one and we can
+  /// issue (empty otherwise). Always sealed under the ring's CURRENT key:
+  /// re-issuance on every handshake — including ticket resumptions — is
+  /// what keeps a rotating ring from ever stranding an honest client.
+  crypto::Bytes issue_ticket() {
+    if (c.config.ticket_codec == nullptr || !hello_wants_ticket) return {};
+    ticket::SessionTicket t;
+    t.master_secret = c.master;
+    t.suite = static_cast<std::uint16_t>(c.summary.suite);
+    t.issued_at_us = c.config.ticket_now_us;
+    t.client_binding = ticket::client_binding_for(c.master);
+    crypto::Bytes body;
+    put_blob16(body, c.config.ticket_codec->seal(t, *c.config.rng));
+    return c.send_handshake(MsgType::kNewSessionTicket, body);
+  }
 
-    crypto::Bytes out = server_hello(entry.suite, /*resumed=*/true);
+  /// Abbreviated-handshake server flight: ServerHello(resumed) + optional
+  /// NewSessionTicket + CCS + Finished. Caller has set suite/master/sid.
+  crypto::Bytes abbreviated_flight(CipherSuite suite) {
+    crypto::Bytes out = server_hello(suite, /*resumed=*/true);
     c.derive_keys();
+    const crypto::Bytes nst = issue_ticket();
+    out.insert(out.end(), nst.begin(), nst.end());
     const crypto::Bytes ccs = c.send_ccs_and_activate(/*is_client=*/false);
     out.insert(out.end(), ccs.begin(), ccs.end());
     const crypto::Bytes fin =
@@ -941,6 +1131,31 @@ struct TlsServer::Impl {
     out.insert(out.end(), fin.begin(), fin.end());
     state = State::kWaitClientFinale;
     return out;
+  }
+
+  crypto::Bytes resume(const crypto::Bytes& sid,
+                       const SessionCache::Entry& entry) {
+    c.suite = &suite_info(entry.suite);
+    c.summary.suite = entry.suite;
+    c.summary.resumed = true;
+    c.summary.ticket_resumed = false;
+    c.summary.session_id = sid;
+    c.master = entry.master_secret;
+    return abbreviated_flight(entry.suite);
+  }
+
+  crypto::Bytes resume_ticket(const ticket::SessionTicket& t,
+                              CipherSuite suite) {
+    c.suite = &suite_info(suite);
+    c.summary.suite = suite;
+    c.summary.resumed = true;
+    c.summary.ticket_resumed = true;
+    // The server kept no state, so the old session id means nothing; mint
+    // a fresh one (it salts the bulk-key derivation and is echoed in the
+    // ServerHello for the client to adopt).
+    c.summary.session_id = c.config.rng->bytes(kSessionIdLen);
+    c.master = t.master_secret;
+    return abbreviated_flight(suite);
   }
 
   void handle_client_certificate(const Message& m) {
@@ -1111,14 +1326,16 @@ struct TlsServer::Impl {
     if (!seen_cke || !seen_finished)
       throw HandshakeError("expected ClientKeyExchange + Finished");
 
-    crypto::Bytes out = c.send_ccs_and_activate(/*is_client=*/false);
+    crypto::Bytes out = issue_ticket();
+    const crypto::Bytes ccs = c.send_ccs_and_activate(/*is_client=*/false);
+    out.insert(out.end(), ccs.begin(), ccs.end());
     const crypto::Bytes fin =
         c.send_handshake(MsgType::kFinished, c.make_finished(false));
     out.insert(out.end(), fin.begin(), fin.end());
 
     if (cache != nullptr)
       cache->store(c.summary.session_id, {c.master, c.summary.suite});
-    c.done = true;
+    c.complete();
     state = State::kDone;
     return out;
   }
@@ -1182,9 +1399,44 @@ struct TlsServer::Impl {
       seen_finished = true;
     });
     if (!seen_finished) throw HandshakeError("expected client Finished");
-    c.done = true;
+    c.complete();
     state = State::kDone;
     return {};
+  }
+
+  /// Server-initiated renegotiation: a HelloRequest sealed under the
+  /// current write cipher. Deliberately NOT send_handshake — HelloRequest
+  /// belongs to no transcript. No state changes here; the renegotiation
+  /// proper begins when the client's ClientHello arrives.
+  crypto::Bytes request_renegotiate() {
+    if (!c.done || state != State::kDone)
+      throw HandshakeError("renegotiate: no established session");
+    if (!c.config.allow_renegotiation)
+      throw HandshakeError("renegotiate: not allowed by configuration");
+    const crypto::Bytes msg = frame_message(MsgType::kHelloRequest, {});
+    const crypto::Bytes wire =
+        c.write_codec.seal(RecordType::kHandshake, c.config.version, msg);
+    c.summary.bytes_sent += wire.size();
+    return wire;
+  }
+
+  /// A flight arriving on an established session: renegotiation entry
+  /// (when allowed) — reset the per-handshake state and treat the flight
+  /// as a fresh ClientHello through the live record layer.
+  crypto::Bytes on_post_handshake(crypto::ConstBytes inbound) {
+    if (!c.config.allow_renegotiation)
+      throw HandshakeError("server: handshake already complete");
+    c.begin_renegotiation();
+    client_chain.clear();
+    client_cert_seen = false;
+    client_verify_seen = false;
+    seen_cke = false;
+    seen_finished = false;
+    pending_records.clear();
+    pending_msgs.clear();
+    partial_out.clear();
+    state = State::kWaitClientHello;
+    return on_client_hello(inbound);
   }
 };
 
@@ -1204,10 +1456,16 @@ crypto::Bytes TlsServer::process(crypto::ConstBytes inbound) {
     case Impl::State::kWaitClientFinale:
       return impl_->on_client_finale(inbound);
     case Impl::State::kDone:
-      throw HandshakeError("server: handshake already complete");
+      return impl_->on_post_handshake(inbound);
   }
   return {};
 }
+
+crypto::Bytes TlsServer::request_renegotiate() {
+  return impl_->request_renegotiate();
+}
+
+bool TlsServer::renegotiating() const { return impl_->c.renegotiating; }
 
 bool TlsServer::established() const { return impl_->c.done; }
 

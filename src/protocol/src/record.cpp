@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mapsec/crypto/ccm.hpp"
 #include "mapsec/crypto/hmac.hpp"
 
 namespace mapsec::protocol {
@@ -12,12 +13,12 @@ void RecordCodec::activate(const SuiteInfo& suite, crypto::ConstBytes enc_key,
   suite_ = &suite;
   mac_key_.assign(mac_key.begin(), mac_key.end());
   iv_seed_.assign(iv_seed.begin(), iv_seed.end());
-  if (suite.kind == BulkKind::kBlock) {
-    block_ = make_suite_cipher(suite.cipher, enc_key);
-    stream_.reset();
-  } else {
+  if (suite.kind == BulkKind::kStream) {
     stream_.emplace(enc_key);
     block_.reset();
+  } else {  // kBlock and kAead both key a block cipher (AEAD: AES for CCM)
+    block_ = make_suite_cipher(suite.cipher, enc_key);
+    stream_.reset();
   }
   seq_ = 0;
   active_ = true;
@@ -33,14 +34,30 @@ crypto::Bytes RecordCodec::record_iv(std::uint64_t seq) const {
                                           suite_->block_len));
 }
 
-crypto::Bytes RecordCodec::compute_mac(std::uint64_t seq, RecordType type,
-                                       crypto::ConstBytes payload) const {
+crypto::Bytes RecordCodec::mac_header(std::uint64_t seq, RecordType type,
+                                      std::size_t plen) {
   crypto::Bytes header(11);
   crypto::store_be64(header.data(), seq);
   header[8] = static_cast<std::uint8_t>(type);
-  header[9] = static_cast<std::uint8_t>(payload.size() >> 8);
-  header[10] = static_cast<std::uint8_t>(payload.size());
-  return suite_mac(suite_->mac, mac_key_, crypto::cat(header, payload));
+  header[9] = static_cast<std::uint8_t>(plen >> 8);
+  header[10] = static_cast<std::uint8_t>(plen);
+  return header;
+}
+
+crypto::Bytes RecordCodec::compute_mac(std::uint64_t seq, RecordType type,
+                                       crypto::ConstBytes payload) const {
+  return suite_mac(suite_->mac, mac_key_,
+                   crypto::cat(mac_header(seq, type, payload.size()), payload));
+}
+
+crypto::Bytes RecordCodec::aead_nonce(std::uint64_t seq) const {
+  // 13-byte CCM nonce: 5 bytes of per-direction salt (from the derived IV
+  // seed) followed by the big-endian sequence number — deterministic and
+  // never repeating under one key block.
+  crypto::Bytes nonce(crypto::kCcmNonceLen);
+  std::copy(iv_seed_.begin(), iv_seed_.begin() + 5, nonce.begin());
+  crypto::store_be64(nonce.data() + 5, seq);
+  return nonce;
 }
 
 crypto::Bytes RecordCodec::seal(RecordType type, ProtocolVersion version,
@@ -48,6 +65,13 @@ crypto::Bytes RecordCodec::seal(RecordType type, ProtocolVersion version,
   crypto::Bytes body;
   if (!active_) {
     body.assign(payload.begin(), payload.end());
+  } else if (suite_->kind == BulkKind::kAead) {
+    // CCM seals and authenticates in one pass: the record header that a
+    // MAC suite would HMAC is the AAD, the tag replaces the HMAC.
+    body = crypto::ccm_seal(*block_, aead_nonce(seq_),
+                            mac_header(seq_, type, payload.size()), payload,
+                            suite_->mac_len);
+    ++seq_;
   } else {
     const crypto::Bytes mac = compute_mac(seq_, type, payload);
     const crypto::Bytes fragment = crypto::cat(payload, mac);
@@ -80,6 +104,19 @@ Record RecordCodec::open(crypto::ConstBytes wire) {
 
   if (!active_) return {type, crypto::Bytes(body.begin(), body.end())};
 
+  if (suite_->kind == BulkKind::kAead) {
+    if (body.size() < suite_->mac_len)
+      throw std::runtime_error("record: fragment shorter than AEAD tag");
+    const std::size_t plen = body.size() - suite_->mac_len;
+    std::optional<crypto::Bytes> payload = crypto::ccm_open(
+        *block_, aead_nonce(seq_), mac_header(seq_, type, plen), body,
+        suite_->mac_len);
+    if (!payload)
+      throw std::runtime_error("record: AEAD verification failed");
+    ++seq_;
+    return {type, std::move(*payload)};
+  }
+
   crypto::Bytes fragment;
   if (suite_->kind == BulkKind::kBlock) {
     fragment = crypto::cbc_decrypt(*block_, record_iv(seq_), body);
@@ -100,7 +137,8 @@ Record RecordCodec::open(crypto::ConstBytes wire) {
 
 std::size_t RecordCodec::overhead(std::size_t n) const {
   if (!active_) return 5;
-  if (suite_->kind == BulkKind::kStream) return 5 + suite_->mac_len;
+  if (suite_->kind == BulkKind::kStream || suite_->kind == BulkKind::kAead)
+    return 5 + suite_->mac_len;
   const std::size_t fragment = n + suite_->mac_len;
   const std::size_t padded =
       (fragment / suite_->block_len + 1) * suite_->block_len;

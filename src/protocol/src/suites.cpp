@@ -9,8 +9,8 @@ namespace mapsec::protocol {
 
 namespace {
 
-const std::array<SuiteInfo, 8>& table() {
-  static const std::array<SuiteInfo, 8> kTable = {{
+const std::array<SuiteInfo, 9>& table() {
+  static const std::array<SuiteInfo, 9> kTable = {{
       {CipherSuite::kRsa3DesEdeCbcSha, "RSA_WITH_3DES_EDE_CBC_SHA",
        KeyExchange::kRsa, BulkKind::kBlock, BulkCipher::kDes3, 24, 8,
        MacAlgo::kHmacSha1, 20},
@@ -32,6 +32,14 @@ const std::array<SuiteInfo, 8>& table() {
       {CipherSuite::kRsaRc2Cbc128Md5, "RSA_WITH_RC2_CBC_128_MD5",
        KeyExchange::kRsa, BulkKind::kBlock, BulkCipher::kRc2, 16, 8,
        MacAlgo::kHmacMd5, 16},
+      // AEAD suite: AES-CCM with an 8-byte tag (the 802.11i profile the
+      // engine's CCMP path already implements). block_len sizes the
+      // derived IV seed; the MAC algo/len price the CCM tag, and the
+      // record layer never runs a separate HMAC. Opt-in: excluded from
+      // all_suites() so the default offer stays stable.
+      {CipherSuite::kRsaAes128Ccm8, "RSA_WITH_AES_128_CCM_8",
+       KeyExchange::kRsa, BulkKind::kAead, BulkCipher::kAes128, 16, 16,
+       MacAlgo::kHmacSha1, 8},
   }};
   return kTable;
 }
@@ -47,7 +55,8 @@ const SuiteInfo& suite_info(CipherSuite id) {
 std::vector<CipherSuite> all_suites() {
   std::vector<CipherSuite> out;
   out.reserve(table().size());
-  for (const auto& s : table()) out.push_back(s.id);
+  for (const auto& s : table())
+    if (s.kind != BulkKind::kAead) out.push_back(s.id);
   return out;
 }
 

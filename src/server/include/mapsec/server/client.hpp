@@ -47,6 +47,12 @@ struct ClientConfig {
   /// resumption with the previous session's ticket.
   int sessions = 1;
 
+  /// Stateless resumption: request a NewSessionTicket on every handshake
+  /// and offer the latest opaque blob (instead of the session id) on
+  /// subsequent attempts. Against a server without ticket mode this
+  /// degrades transparently to session-id resumption.
+  bool use_session_tickets = false;
+
   /// Complete the handshake, then go silent without closing (exercises
   /// the server's idle timeout).
   bool linger = false;
@@ -57,6 +63,7 @@ struct SessionRecord {
   bool completed = false;
   bool failed = false;  // gave up after the retry budget
   bool resumed = false;
+  bool ticket_resumed = false;  // resumed statelessly (ticket, not sid)
   bool echo_ok = true;
   int attempts = 0;
   int refused_attempts = 0;  // attempts shed by server admission control
@@ -147,6 +154,7 @@ class SessionClient {
     crypto::Bytes session_id;
     crypto::Bytes master_secret;
     protocol::CipherSuite suite;
+    crypto::Bytes opaque;  // NewSessionTicket blob (empty: none issued)
   };
   std::optional<Ticket> ticket_;
 

@@ -47,6 +47,12 @@ struct LoadReport {
   BoundedSessionCache::Stats cache;
   double cache_hit_rate = 0;
 
+  /// Resumption-state footprint at end of run: what the cache pins
+  /// (O(cached users)) vs what ticket mode pins (O(key-ring depth);
+  /// 0 when ticket mode is off). The scaling argument in two numbers.
+  std::size_t cache_state_bytes = 0;
+  std::size_t ticket_state_bytes = 0;
+
   std::size_t sessions_attempted = 0;
   std::size_t sessions_completed = 0;
   std::size_t sessions_failed = 0;  // gave up after the retry budget
@@ -79,6 +85,9 @@ struct LoadReport {
   crypto::Bytes fleet_digest;
 
   platform::ServingGapReport gap;
+  /// Ticket-tier pricing of the same load (meaningful when the server
+  /// ran in ticket mode; state fields mirror the two lines above).
+  platform::TicketGapReport ticket_gap;
 };
 
 class LoadGenerator {

@@ -34,6 +34,7 @@
 #include "mapsec/net/link.hpp"
 #include "mapsec/protocol/handshake.hpp"
 #include "mapsec/server/wire.hpp"
+#include "mapsec/ticket/ticket.hpp"
 
 namespace mapsec::server {
 
@@ -102,6 +103,23 @@ struct ServerConfig {
   /// queueing. Results and the fleet digest are identical for any width.
   std::size_t offload_batch_width = 1;
 
+  // ---- stateless session tickets (mapsec::ticket) ---------------------
+  /// Ticket mode runs alongside (and is preferred over) the session
+  /// cache: resumption state becomes O(key-ring depth) instead of
+  /// O(cached users). The ring rotates lazily off the event queue's
+  /// SimTime at accept(); rotations never strand an honest client holding
+  /// a ticket sealed within the decrypt window, and any ticket failure
+  /// falls back to a full handshake.
+  struct TicketConfig {
+    bool enabled = false;
+    std::uint64_t key_seed = 0x71C7E7;  ///< deterministic sealing keys
+    std::size_t decrypt_window = 3;     ///< current key + predecessors
+    net::SimTime rotation_interval_us = 0;  ///< 0 = manual rotation only
+    net::SimTime lifetime_us = 0;           ///< ticket expiry; 0 = none
+    std::size_t max_wire_len = 512;  ///< oversize-blob refusal threshold
+  };
+  TicketConfig ticket;
+
   net::LinkConfig link;
 };
 
@@ -143,6 +161,12 @@ struct ServerStats {
   /// queued-echo and deferred-appdata backlog any connection reached.
   std::uint64_t peak_pending_echo_bytes = 0;
   std::uint64_t peak_deferred_bytes = 0;
+
+  // ---- stateless-ticket accounting (mirrors TicketCodec/KeyRing) ------
+  std::uint64_t tickets_issued = 0;        // NewSessionTickets sealed
+  std::uint64_t ticket_resumptions = 0;    // handshakes resumed via ticket
+  std::uint64_t ticket_open_failures = 0;  // bad/stale/expired blobs seen
+  std::uint64_t ticket_key_rotations = 0;  // interval + manual + chaos
 
   // ---- public-key offload accounting (mirrors OffloadEngine stats) ----
   std::uint64_t offload_submitted = 0;
@@ -195,6 +219,19 @@ class SecureSessionServer {
   /// nullptr when offload_workers == 0 (inline public-key mode).
   const engine::OffloadEngine* offload() const { return offload_.get(); }
   engine::OffloadEngine* offload_for_chaos() { return offload_.get(); }
+
+  /// nullptr unless ServerConfig::ticket.enabled.
+  const ticket::TicketCodec* ticket_codec() const {
+    return ticket_codec_.get();
+  }
+  /// Force a sealing-key rotation NOW (chaos TicketKeyRotation fault and
+  /// operational key-compromise response). No-op without ticket mode.
+  void rotate_ticket_key();
+  /// Server-side resumption state pinned by ticket mode: O(ring depth),
+  /// independent of user count. 0 without ticket mode.
+  std::size_t ticket_state_bytes() const {
+    return ticket_ring_ ? ticket_ring_->state_bytes() : 0;
+  }
   std::size_t open_connections() const;
   std::size_t handshakes_in_flight() const { return handshakes_in_flight_; }
 
@@ -238,6 +275,7 @@ class SecureSessionServer {
   void handle_handshake(Connection& conn, crypto::ConstBytes body);
   void submit_pk(Connection& conn);
   void mirror_offload_stats();
+  void mirror_ticket_stats();
   void handle_appdata(Connection& conn, crypto::ConstBytes body);
   void process_appdata(Connection& conn, crypto::ConstBytes records);
   void complete_handshake(Connection& conn);
@@ -257,6 +295,8 @@ class SecureSessionServer {
   protocol::SessionCache* cache_;
   engine::PacketPipeline pipeline_;
   std::unique_ptr<engine::OffloadEngine> offload_;
+  std::unique_ptr<ticket::TicketKeyRing> ticket_ring_;
+  std::unique_ptr<ticket::TicketCodec> ticket_codec_;
   std::vector<std::unique_ptr<Connection>> connections_;  // index == id
   bool flush_scheduled_ = false;
   std::size_t handshakes_in_flight_ = 0;  // connections in kHandshake

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "mapsec/crypto/bytes.hpp"  // crypto::BytesHash
 #include "mapsec/net/sim_clock.hpp"
@@ -41,6 +42,11 @@ class BoundedSessionCache final : public protocol::SessionCache {
     std::uint64_t misses = 0;
     std::uint64_t lru_evictions = 0;
     std::uint64_t ttl_evictions = 0;
+    /// Misses whose id WAS cached once but had been evicted (LRU or
+    /// TTL): the thrash signal — each one is a client that pays a full
+    /// RSA handshake because the cache threw its entry away, the
+    /// scaling wall stateless tickets remove.
+    std::uint64_t hit_after_evict_misses = 0;
   };
 
   /// `clock` provides the TTL time base (not owned, must outlive the
@@ -64,6 +70,11 @@ class BoundedSessionCache final : public protocol::SessionCache {
     return total == 0 ? 0.0 : static_cast<double>(stats_.hits) / total;
   }
 
+  /// Bytes of resumption state the live entries pin (id + master secret
+  /// + node bookkeeping per entry): O(cached users) — the quantity the
+  /// ticket key ring's O(depth) state_bytes() is compared against.
+  std::size_t resumption_state_bytes() const;
+
  private:
   struct Node {
     Entry entry;
@@ -78,6 +89,11 @@ class BoundedSessionCache final : public protocol::SessionCache {
   Config config_;
   std::unordered_map<crypto::Bytes, Node, crypto::BytesHash> entries_;
   std::list<crypto::Bytes> lru_;  // most recently used first
+  /// Hashes of evicted ids, kept to classify later misses as
+  /// hit-after-evict. Hashes, not ids: 8 bytes per evicted session
+  /// instead of a second copy of the id (a false positive needs an
+  /// FNV-1a collision against a random 16-byte id — noise, not signal).
+  std::unordered_set<std::uint64_t> evicted_ids_;
   Stats stats_;
 };
 

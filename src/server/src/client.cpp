@@ -46,10 +46,18 @@ void SessionClient::begin_attempt() {
 
   protocol::HandshakeConfig cfg = config_.handshake;
   cfg.rng = &rng_;
+  if (config_.use_session_tickets) cfg.request_session_ticket = true;
   tls_ = std::make_unique<protocol::TlsClient>(cfg);
-  if (ticket_)
-    tls_->set_resume_session(ticket_->session_id, ticket_->master_secret,
-                             ticket_->suite);
+  if (ticket_) {
+    // Prefer the stateless blob when the server issued one; otherwise
+    // (ticketless server, or ticket mode off) resume by session id.
+    if (config_.use_session_tickets && !ticket_->opaque.empty())
+      tls_->set_resume_ticket(ticket_->opaque, ticket_->master_secret,
+                              ticket_->suite);
+    else
+      tls_->set_resume_session(ticket_->session_id, ticket_->master_secret,
+                               ticket_->suite);
+  }
 
   const std::uint64_t epoch = epoch_;
   handshake_timer_ =
@@ -115,9 +123,10 @@ void SessionClient::on_established() {
   }
   SessionRecord& record = records_.back();
   record.resumed = tls_->summary().resumed;
+  record.ticket_resumed = tls_->summary().ticket_resumed;
   record.handshake_latency_us = queue_.now() - attempt_started_at_;
   ticket_ = Ticket{tls_->summary().session_id, tls_->master_secret(),
-                   tls_->summary().suite};
+                   tls_->summary().suite, tls_->session_ticket()};
 
   if (config_.linger) {
     // Handshake done, then silence: the server's idle timeout owns the

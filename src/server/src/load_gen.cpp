@@ -88,6 +88,8 @@ LoadReport LoadGenerator::run() {
   report.server = server.stats();
   report.cache = cache.stats();
   report.cache_hit_rate = cache.hit_rate();
+  report.cache_state_bytes = cache.resumption_state_bytes();
+  report.ticket_state_bytes = server.ticket_state_bytes();
 
   // Fleet digest: hash every client's chained transcript digest through
   // the multi-buffer sweep (one lane per client, eight message schedules
@@ -161,6 +163,11 @@ LoadReport LoadGenerator::run() {
       platform::serving_gap(platform::WorkloadModel::paper_calibrated(),
                             load_.appliance, served, load_.battery_kj,
                             load_.pk_primitive);
+  report.ticket_gap = platform::serving_gap_ticket(
+      platform::WorkloadModel::paper_calibrated(), load_.appliance, served,
+      static_cast<double>(report.ticket_state_bytes),
+      static_cast<double>(report.cache_state_bytes),
+      /*ticket_wire_bytes=*/96.0, load_.battery_kj, load_.pk_primitive);
   return report;
 }
 

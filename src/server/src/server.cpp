@@ -20,6 +20,30 @@ SecureSessionServer::SecureSessionServer(net::EventQueue& queue,
     offload_ = std::make_unique<engine::OffloadEngine>(
         queue, config_.offload_workers, config_.offload_costs,
         config_.offload_steal_timeout_ms, config_.offload_batch_width);
+  if (config_.ticket.enabled) {
+    ticket_ring_ = std::make_unique<ticket::TicketKeyRing>(
+        config_.ticket.key_seed,
+        ticket::TicketKeyRing::Config{config_.ticket.decrypt_window,
+                                      config_.ticket.rotation_interval_us},
+        queue.now());
+    ticket_codec_ = std::make_unique<ticket::TicketCodec>(
+        *ticket_ring_,
+        ticket::TicketCodec::Config{config_.ticket.lifetime_us,
+                                    config_.ticket.max_wire_len});
+  }
+}
+
+void SecureSessionServer::rotate_ticket_key() {
+  if (!ticket_ring_) return;
+  ticket_ring_->rotate(queue_.now());
+  ++stats_.ticket_key_rotations;
+}
+
+void SecureSessionServer::mirror_ticket_stats() {
+  if (!ticket_codec_) return;
+  const ticket::TicketCodec::Stats& ts = ticket_codec_->stats();
+  stats_.tickets_issued = ts.sealed;
+  stats_.ticket_open_failures = ts.open_failures();
 }
 
 std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
@@ -55,6 +79,14 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
   protocol::HandshakeConfig hs = config_.handshake;
   hs.resumption_only = degraded_;
   hs.async_pk = offload_ != nullptr;
+  if (ticket_codec_) {
+    // Lazy interval rotation: the ring advances when traffic samples the
+    // clock (no self-rescheduling event, so an idle queue still drains).
+    stats_.ticket_key_rotations +=
+        ticket_ring_->maybe_rotate(queue_.now());
+    hs.ticket_codec = ticket_codec_.get();
+    hs.ticket_now_us = queue_.now();
+  }
   conn->endpoint = std::make_unique<protocol::TlsServer>(hs, cache_);
   conn->handshake_timer =
       queue_.schedule_in(config_.handshake_timeout_us, [this, id] {
@@ -267,6 +299,8 @@ void SecureSessionServer::complete_handshake(Connection& conn) {
   ++stats_.handshakes_completed;
   const protocol::HandshakeSummary& summary = conn.endpoint->summary();
   summary.resumed ? ++stats_.resumed_handshakes : ++stats_.full_handshakes;
+  if (summary.ticket_resumed) ++stats_.ticket_resumptions;
+  mirror_ticket_stats();
   const double latency_us =
       static_cast<double>(queue_.now() - conn.accepted_at);
   stats_.handshake_latencies_us.push_back(latency_us);
@@ -434,6 +468,7 @@ void SecureSessionServer::fail_connection(Connection& conn,
   }
   conn.state = ConnState::kFailed;
   ++stats_.failed_connections;
+  mirror_ticket_stats();  // garbage tickets show up as open failures
   conn.link->shutdown();
 }
 

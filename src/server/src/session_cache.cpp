@@ -11,6 +11,7 @@ bool BoundedSessionCache::expired(const Node& node) const {
 
 void BoundedSessionCache::evict_lru() {
   const crypto::Bytes& victim = lru_.back();
+  evicted_ids_.insert(crypto::BytesHash{}(victim));
   entries_.erase(victim);
   lru_.pop_back();
   ++stats_.lru_evictions;
@@ -28,6 +29,9 @@ void BoundedSessionCache::store(const crypto::Bytes& session_id,
     return;
   }
   while (entries_.size() >= config_.capacity) evict_lru();
+  // A re-stored id is live again: a future miss on it would be a fresh
+  // eviction's fault, not this one's.
+  evicted_ids_.erase(crypto::BytesHash{}(session_id));
   lru_.push_front(session_id);
   Node node;
   node.entry = std::move(entry);
@@ -42,9 +46,12 @@ const BoundedSessionCache::Entry* BoundedSessionCache::lookup(
   const auto it = entries_.find(session_id);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (evicted_ids_.count(crypto::BytesHash{}(session_id)) != 0)
+      ++stats_.hit_after_evict_misses;
     return nullptr;
   }
   if (expired(it->second)) {
+    evicted_ids_.insert(crypto::BytesHash{}(session_id));
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
     ++stats_.ttl_evictions;
@@ -59,6 +66,14 @@ const BoundedSessionCache::Entry* BoundedSessionCache::lookup(
 void BoundedSessionCache::clear() {
   entries_.clear();
   lru_.clear();
+  evicted_ids_.clear();
+}
+
+std::size_t BoundedSessionCache::resumption_state_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, node] : entries_)
+    total += id.size() + node.entry.master_secret.size() + sizeof(Node);
+  return total;
 }
 
 }  // namespace mapsec::server

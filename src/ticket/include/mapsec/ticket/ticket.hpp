@@ -1,0 +1,189 @@
+// Stateless encrypted session tickets with rotating server keys.
+//
+// The paper's processing-gap argument makes full handshakes the thing a
+// mobile appliance cannot afford, so resumption dominates the serving
+// economics — but a server-side session cache stores master-secret state
+// per client, and at millions of users that memory is the scaling wall
+// (and LRU eviction thrash a DoS surface). A session ticket inverts the
+// trade: the server seals everything it needs to resume — master secret,
+// suite, issue time, client binding — into an opaque blob the *client*
+// stores, so resumption costs the server zero cache bytes: one AES-CCM
+// open and a key-block derivation, no public-key op, no lookup.
+//
+// Sealing keys live in a `TicketKeyRing` that rotates on `net::SimTime`:
+// the key id travels in the clear ahead of the ciphertext, and the ring
+// keeps an N-deep decrypt window of predecessor keys so a rotation never
+// strands an honest client holding a ticket sealed moments earlier.
+// Server resumption state is O(ring depth), independent of user count.
+//
+// This library depends only on mapsec::crypto — suites and clocks appear
+// as raw integers so the protocol and server layers can both build on it
+// without cycles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "mapsec/crypto/bytes.hpp"
+#include "mapsec/crypto/rng.hpp"
+
+namespace mapsec::ticket {
+
+/// Everything the server must recover to resume a session statelessly.
+struct SessionTicket {
+  crypto::Bytes master_secret;
+  std::uint16_t suite = 0;            ///< cipher-suite wire id
+  std::uint64_t issued_at_us = 0;     ///< sim time at issuance
+  crypto::Bytes client_binding;       ///< see client_binding_for()
+};
+
+constexpr std::size_t kKeyIdLen = 4;
+constexpr std::size_t kTicketKeyLen = 16;  ///< AES-128 sealing keys
+constexpr std::size_t kBindingLen = 8;
+constexpr std::size_t kTagLen = 8;         ///< CCM tag (802.11 profile)
+
+/// Binding value sealed into the ticket: a short digest of the master
+/// secret. An attacker who steals only the opaque blob cannot forge a
+/// matching Finished exchange (that proof lives in the handshake); the
+/// binding is the codec-level self-check that a decrypted ticket is
+/// internally consistent and not a splice of two valid tickets.
+crypto::Bytes client_binding_for(crypto::ConstBytes master_secret);
+
+/// Rotating set of ticket sealing keys. Keys are derived deterministically
+/// from a seed DRBG (the whole simulation is a pure function of its
+/// seeds); ids increase monotonically and travel in the clear, so lookup
+/// is O(depth) with no trial decryption.
+class TicketKeyRing {
+ public:
+  struct Config {
+    /// Keys kept decryptable: the sealing key plus (window-1)
+    /// predecessors. Tickets under older keys are refused as stale.
+    std::size_t decrypt_window = 3;
+    /// maybe_rotate() rotates when this much sim time has passed since
+    /// the last rotation. 0 disables interval rotation (manual only).
+    std::uint64_t rotation_interval_us = 0;
+  };
+
+  struct Key {
+    std::uint32_t id = 0;
+    crypto::Bytes key;
+    std::uint64_t created_at_us = 0;
+  };
+
+  struct Stats {
+    std::uint64_t rotations = 0;
+    std::uint64_t stale_key_lookups = 0;  ///< key id fell out of the window
+  };
+
+  TicketKeyRing(std::uint64_t seed, Config config, std::uint64_t now_us = 0);
+
+  /// Install a fresh sealing key, retiring the oldest key beyond the
+  /// decrypt window. Honest clients holding tickets under any windowed
+  /// predecessor keep resuming.
+  void rotate(std::uint64_t now_us);
+
+  /// Interval-driven rotation: rotates (possibly several times after a
+  /// long quiet gap — at most `decrypt_window` times, further catch-up
+  /// would only retire keys already gone) when `rotation_interval_us`
+  /// has elapsed. Returns the number of rotations performed.
+  std::size_t maybe_rotate(std::uint64_t now_us);
+
+  const Key& sealing_key() const { return keys_.front(); }
+
+  /// Key for a clear-text id, or nullptr (counted stale) when the id has
+  /// rotated out of the window or was never issued.
+  const Key* key_for(std::uint32_t id);
+
+  std::size_t depth() const { return keys_.size(); }
+
+  /// Bytes of server-side resumption state this ring pins: O(depth),
+  /// independent of how many clients hold tickets.
+  std::size_t state_bytes() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  crypto::Bytes derive_key();
+
+  crypto::HmacDrbg keygen_;
+  Config config_;
+  std::deque<Key> keys_;  ///< front = current sealing key
+  std::uint32_t next_id_ = 1;
+  std::uint64_t last_rotation_us_ = 0;
+  Stats stats_;
+};
+
+/// Why an open() failed — surfaced so the server can count DoS-shaped
+/// garbage (malformed/oversize) separately from honest staleness.
+enum class OpenFailure {
+  kNone,
+  kMalformed,   ///< too short to parse, or inner encoding inconsistent
+  kOversize,    ///< wire blob over max_wire_len; refused before decrypting
+  kStaleKey,    ///< key id outside the ring's decrypt window
+  kMacFailure,  ///< CCM tag verification failed
+  kBadBinding,  ///< decrypted binding != client_binding_for(master)
+  kExpired,     ///< older than lifetime_us at open time
+};
+
+const char* open_failure_name(OpenFailure f);
+
+/// Seals and opens tickets under a TicketKeyRing.
+///
+/// Wire format:  key_id(4, big-endian) | nonce(13) | ccm(body) | tag(8)
+/// Sealed body:  master_len u16 | master | suite u16 | issued_at u64 |
+///               binding_len u16 | binding
+/// The CCM AAD binds the format version string and the clear-text key id,
+/// so a blob re-labelled with a different key id fails authentication.
+class TicketCodec {
+ public:
+  struct Config {
+    /// Tickets older than this are refused at open(). 0 = no expiry.
+    std::uint64_t lifetime_us = 0;
+    /// Wire blobs longer than this are refused before any crypto — a
+    /// flood of oversize tickets must cost the server ~nothing.
+    std::size_t max_wire_len = 512;
+  };
+
+  struct Stats {
+    std::uint64_t sealed = 0;
+    std::uint64_t opened = 0;        ///< successful opens
+    std::uint64_t malformed = 0;
+    std::uint64_t oversize = 0;
+    std::uint64_t stale_key = 0;
+    std::uint64_t mac_failures = 0;
+    std::uint64_t bad_binding = 0;
+    std::uint64_t expired = 0;
+
+    std::uint64_t open_failures() const {
+      return malformed + oversize + stale_key + mac_failures + bad_binding +
+             expired;
+    }
+  };
+
+  explicit TicketCodec(TicketKeyRing& ring);
+  TicketCodec(TicketKeyRing& ring, Config config);
+
+  /// Seal under the ring's current sealing key. `rng` supplies the nonce.
+  crypto::Bytes seal(const SessionTicket& t, crypto::Rng& rng);
+
+  /// Decrypt, authenticate, and validate a wire blob. Returns nullopt on
+  /// any failure (category in `*why` and in stats()); the caller falls
+  /// back to a full handshake — a bad ticket must never kill the
+  /// connection.
+  std::optional<SessionTicket> open(crypto::ConstBytes wire,
+                                    std::uint64_t now_us,
+                                    OpenFailure* why = nullptr);
+
+  const Stats& stats() const { return stats_; }
+  TicketKeyRing& ring() { return ring_; }
+  const TicketKeyRing& ring() const { return ring_; }
+  const Config& config() const { return config_; }
+
+ private:
+  TicketKeyRing& ring_;
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace mapsec::ticket

@@ -1,0 +1,212 @@
+#include "mapsec/ticket/ticket.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "mapsec/crypto/aes.hpp"
+#include "mapsec/crypto/ccm.hpp"
+#include "mapsec/crypto/cipher.hpp"
+#include "mapsec/crypto/sha256.hpp"
+
+namespace mapsec::ticket {
+namespace {
+
+// Bound into the CCM AAD so a format change can never silently decrypt
+// an old-format blob into new-format fields.
+constexpr char kFormatLabel[] = "mapsec-ticket-v1";
+
+void put_u16(crypto::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u32(crypto::Bytes& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+}
+
+void put_u64(crypto::Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+}
+
+bool get_u16(crypto::ConstBytes in, std::size_t& off, std::uint16_t& v) {
+  if (off + 2 > in.size()) return false;
+  v = static_cast<std::uint16_t>((in[off] << 8) | in[off + 1]);
+  off += 2;
+  return true;
+}
+
+bool get_u64(crypto::ConstBytes in, std::size_t& off, std::uint64_t& v) {
+  if (off + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[off + i];
+  off += 8;
+  return true;
+}
+
+bool get_blob16(crypto::ConstBytes in, std::size_t& off, crypto::Bytes& out) {
+  std::uint16_t len = 0;
+  if (!get_u16(in, off, len)) return false;
+  if (off + len > in.size()) return false;
+  out.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
+             in.begin() + static_cast<std::ptrdiff_t>(off + len));
+  off += len;
+  return true;
+}
+
+crypto::Bytes aad_for(std::uint32_t key_id) {
+  crypto::Bytes aad(kFormatLabel, kFormatLabel + sizeof(kFormatLabel) - 1);
+  put_u32(aad, key_id);
+  return aad;
+}
+
+}  // namespace
+
+crypto::Bytes client_binding_for(crypto::ConstBytes master_secret) {
+  crypto::Bytes digest = crypto::Sha256::hash(master_secret);
+  digest.resize(kBindingLen);
+  return digest;
+}
+
+// ---- TicketKeyRing ---------------------------------------------------------
+
+TicketKeyRing::TicketKeyRing(std::uint64_t seed, Config config,
+                             std::uint64_t now_us)
+    : keygen_(seed), config_(config), last_rotation_us_(now_us) {
+  if (config_.decrypt_window == 0)
+    throw std::invalid_argument("ticket: decrypt window must be >= 1");
+  keys_.push_front(Key{next_id_++, derive_key(), now_us});
+}
+
+crypto::Bytes TicketKeyRing::derive_key() {
+  return keygen_.bytes(kTicketKeyLen);
+}
+
+void TicketKeyRing::rotate(std::uint64_t now_us) {
+  keys_.push_front(Key{next_id_++, derive_key(), now_us});
+  while (keys_.size() > config_.decrypt_window) keys_.pop_back();
+  last_rotation_us_ = now_us;
+  ++stats_.rotations;
+}
+
+std::size_t TicketKeyRing::maybe_rotate(std::uint64_t now_us) {
+  if (config_.rotation_interval_us == 0) return 0;
+  std::size_t rotated = 0;
+  while (now_us - last_rotation_us_ >= config_.rotation_interval_us &&
+         rotated < config_.decrypt_window) {
+    rotate(last_rotation_us_ + config_.rotation_interval_us);
+    ++rotated;
+  }
+  // After a quiet gap longer than window*interval every pre-gap key is
+  // retired anyway; snap the schedule forward instead of looping.
+  if (now_us - last_rotation_us_ >= config_.rotation_interval_us)
+    last_rotation_us_ = now_us;
+  return rotated;
+}
+
+const TicketKeyRing::Key* TicketKeyRing::key_for(std::uint32_t id) {
+  for (const Key& k : keys_)
+    if (k.id == id) return &k;
+  ++stats_.stale_key_lookups;
+  return nullptr;
+}
+
+std::size_t TicketKeyRing::state_bytes() const {
+  return keys_.size() * (sizeof(Key) + kTicketKeyLen);
+}
+
+// ---- TicketCodec -----------------------------------------------------------
+
+const char* open_failure_name(OpenFailure f) {
+  switch (f) {
+    case OpenFailure::kNone: return "none";
+    case OpenFailure::kMalformed: return "malformed";
+    case OpenFailure::kOversize: return "oversize";
+    case OpenFailure::kStaleKey: return "stale_key";
+    case OpenFailure::kMacFailure: return "mac_failure";
+    case OpenFailure::kBadBinding: return "bad_binding";
+    case OpenFailure::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+TicketCodec::TicketCodec(TicketKeyRing& ring) : TicketCodec(ring, Config()) {}
+
+TicketCodec::TicketCodec(TicketKeyRing& ring, Config config)
+    : ring_(ring), config_(config) {}
+
+crypto::Bytes TicketCodec::seal(const SessionTicket& t, crypto::Rng& rng) {
+  crypto::Bytes body;
+  body.reserve(t.master_secret.size() + t.client_binding.size() + 16);
+  put_u16(body, static_cast<std::uint16_t>(t.master_secret.size()));
+  body.insert(body.end(), t.master_secret.begin(), t.master_secret.end());
+  put_u16(body, t.suite);
+  put_u64(body, t.issued_at_us);
+  put_u16(body, static_cast<std::uint16_t>(t.client_binding.size()));
+  body.insert(body.end(), t.client_binding.begin(), t.client_binding.end());
+
+  const TicketKeyRing::Key& key = ring_.sealing_key();
+  const crypto::BlockCipherAdapter<crypto::Aes> cipher{crypto::Aes(key.key)};
+  const crypto::Bytes nonce = rng.bytes(crypto::kCcmNonceLen);
+
+  crypto::Bytes wire;
+  wire.reserve(kKeyIdLen + nonce.size() + body.size() + kTagLen);
+  put_u32(wire, key.id);
+  wire.insert(wire.end(), nonce.begin(), nonce.end());
+  const crypto::Bytes sealed =
+      crypto::ccm_seal(cipher, nonce, aad_for(key.id), body, kTagLen);
+  wire.insert(wire.end(), sealed.begin(), sealed.end());
+  ++stats_.sealed;
+  return wire;
+}
+
+std::optional<SessionTicket> TicketCodec::open(crypto::ConstBytes wire,
+                                               std::uint64_t now_us,
+                                               OpenFailure* why) {
+  const auto fail = [&](OpenFailure f,
+                        std::uint64_t Stats::*counter) -> std::optional<SessionTicket> {
+    ++(stats_.*counter);
+    if (why) *why = f;
+    return std::nullopt;
+  };
+  if (why) *why = OpenFailure::kNone;
+
+  if (wire.size() > config_.max_wire_len)
+    return fail(OpenFailure::kOversize, &Stats::oversize);
+  if (wire.size() < kKeyIdLen + crypto::kCcmNonceLen + kTagLen)
+    return fail(OpenFailure::kMalformed, &Stats::malformed);
+
+  std::uint32_t key_id = 0;
+  for (std::size_t i = 0; i < kKeyIdLen; ++i) key_id = (key_id << 8) | wire[i];
+  const TicketKeyRing::Key* key = ring_.key_for(key_id);
+  if (key == nullptr) return fail(OpenFailure::kStaleKey, &Stats::stale_key);
+
+  const crypto::ConstBytes nonce = wire.subspan(kKeyIdLen, crypto::kCcmNonceLen);
+  const crypto::ConstBytes sealed = wire.subspan(kKeyIdLen + crypto::kCcmNonceLen);
+  const crypto::BlockCipherAdapter<crypto::Aes> cipher{crypto::Aes(key->key)};
+  const std::optional<crypto::Bytes> body =
+      crypto::ccm_open(cipher, nonce, aad_for(key_id), sealed, kTagLen);
+  if (!body) return fail(OpenFailure::kMacFailure, &Stats::mac_failures);
+
+  SessionTicket t;
+  std::size_t off = 0;
+  std::uint16_t suite = 0;
+  if (!get_blob16(*body, off, t.master_secret) ||
+      !get_u16(*body, off, suite) || !get_u64(*body, off, t.issued_at_us) ||
+      !get_blob16(*body, off, t.client_binding) || off != body->size())
+    return fail(OpenFailure::kMalformed, &Stats::malformed);
+  t.suite = suite;
+
+  if (!crypto::ct_equal(t.client_binding,
+                        client_binding_for(t.master_secret)))
+    return fail(OpenFailure::kBadBinding, &Stats::bad_binding);
+  if (config_.lifetime_us != 0 && now_us >= t.issued_at_us &&
+      now_us - t.issued_at_us > config_.lifetime_us)
+    return fail(OpenFailure::kExpired, &Stats::expired);
+
+  ++stats_.opened;
+  return t;
+}
+
+}  // namespace mapsec::ticket

@@ -360,6 +360,46 @@ TEST_F(ChaosTest, HonestClientsCompleteByteExactDuringFlood) {
   EXPECT_GT(report.mj_per_attack_byte, 0.0);
 }
 
+// Ticket sealing-key rotations forced mid-flood (the panic key roll):
+// honest ticket-holding clients either keep resuming (rotation within the
+// decrypt window) or fall back to a full handshake and get a fresh
+// ticket — ZERO honest failures either way, with the server holding no
+// per-client resumption state at all (cache capacity 0).
+TEST_F(ChaosTest, TicketKeyRotationMidFloodStrandsNoHonestClient) {
+  CampaignConfig cfg = base_config(0x71C8);
+  cfg.honest_clients = 10;
+  cfg.client.sessions = 3;
+  cfg.client.use_session_tickets = true;
+  cfg.server.ticket.enabled = true;
+  cfg.server.ticket.decrypt_window = 2;
+  cfg.cache.capacity = 0;  // stateless: tickets are the only resumption
+  cfg.faults = {HandshakeFlood{.at_us = 15'000,
+                               .attackers = 3,
+                               .connections_each = 5,
+                               .interarrival_us = 8'000,
+                               .reach_key_exchange = true},
+                TicketKeyRotation{.at_us = 40'000,
+                                  .rotations = 5,
+                                  .period_us = 60'000}};
+
+  const CampaignReport report = CampaignRunner(cfg).run();
+
+  EXPECT_TRUE(report.invariants_ok()) << report.invariant_failures;
+  EXPECT_EQ(report.echo_mismatches, 0u);
+  EXPECT_EQ(report.sessions_completed, 30u)
+      << "a key roll must never strand an honest ticket holder";
+  EXPECT_EQ(report.sessions_failed, 0u);
+  EXPECT_EQ(report.server.ticket_key_rotations, 5u);
+  EXPECT_GT(report.server.ticket_resumptions, 0u);
+  EXPECT_GT(report.server.tickets_issued, 0u);
+
+  // The whole scenario — rotations included — replays bit-identically.
+  const CampaignReport replay = CampaignRunner(cfg).run();
+  EXPECT_EQ(report.fleet_digest, replay.fleet_digest);
+  EXPECT_EQ(report.server.ticket_resumptions,
+            replay.server.ticket_resumptions);
+}
+
 // RNG exhaustion must poison only the connections that drew from the dry
 // pool — never the event loop — and service must recover after refill.
 TEST_F(ChaosTest, RngExhaustionIsContainedAndRecovers)

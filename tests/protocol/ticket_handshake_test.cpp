@@ -1,0 +1,346 @@
+// End-to-end stateless-resumption tests: NewSessionTicket issuance,
+// ticket-based abbreviated handshakes with zero server cache bytes, key
+// rotation windows, expiry fallback, and degraded-mode interplay.
+#include <gtest/gtest.h>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/protocol/handshake.hpp"
+#include "mapsec/ticket/ticket.hpp"
+
+namespace mapsec::protocol {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+constexpr std::uint64_t kNow = 1'050'000'000;  // ~2003 (cert clock)
+
+class TicketHandshakeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::HmacDrbg rng(0x7157);
+    ca_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    server_key_ = new crypto::RsaKeyPair(crypto::rsa_generate(rng, 512));
+    ca_ = new CertificateAuthority("TestRoot", *ca_key_, 0, kNow * 2);
+    server_cert_ = new Certificate(
+        ca_->issue("server.test", server_key_->pub, 0, kNow * 2));
+  }
+  static void TearDownTestSuite() {
+    delete server_cert_;
+    delete ca_;
+    delete server_key_;
+    delete ca_key_;
+  }
+
+  HandshakeConfig client_config(crypto::Rng& rng) const {
+    HandshakeConfig cfg;
+    cfg.rng = &rng;
+    cfg.now = kNow;
+    cfg.trusted_roots = {ca_->root()};
+    cfg.request_session_ticket = true;
+    return cfg;
+  }
+
+  HandshakeConfig server_config(crypto::Rng& rng,
+                                ticket::TicketCodec* codec,
+                                std::uint64_t ticket_now_us = 0) const {
+    HandshakeConfig cfg;
+    cfg.rng = &rng;
+    cfg.now = kNow;
+    cfg.cert_chain = {*server_cert_};
+    cfg.private_key = &server_key_->priv;
+    cfg.ticket_codec = codec;
+    cfg.ticket_now_us = ticket_now_us;
+    return cfg;
+  }
+
+  static crypto::RsaKeyPair* ca_key_;
+  static crypto::RsaKeyPair* server_key_;
+  static CertificateAuthority* ca_;
+  static Certificate* server_cert_;
+};
+
+crypto::RsaKeyPair* TicketHandshakeTest::ca_key_ = nullptr;
+crypto::RsaKeyPair* TicketHandshakeTest::server_key_ = nullptr;
+CertificateAuthority* TicketHandshakeTest::ca_ = nullptr;
+Certificate* TicketHandshakeTest::server_cert_ = nullptr;
+
+TEST_F(TicketHandshakeTest, FullHandshakeIssuesTicket) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+  TlsClient client(client_config(crng));
+  TlsServer server(server_config(srng, &codec));
+
+  run_handshake(client, server);
+  ASSERT_TRUE(client.established());
+  EXPECT_TRUE(client.has_session_ticket());
+  EXPECT_FALSE(client.summary().resumed);
+  EXPECT_EQ(codec.stats().sealed, 1u);
+
+  // The blob round-trips through the codec: it carries the master secret.
+  const auto t = codec.open(client.session_ticket(), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->master_secret, client.master_secret());
+}
+
+TEST_F(TicketHandshakeTest, NoTicketWithoutRequest) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+  HandshakeConfig ccfg = client_config(crng);
+  ccfg.request_session_ticket = false;
+  TlsClient client(ccfg);
+  TlsServer server(server_config(srng, &codec));
+
+  run_handshake(client, server);
+  ASSERT_TRUE(client.established());
+  EXPECT_FALSE(client.has_session_ticket());
+  EXPECT_EQ(codec.stats().sealed, 0u);
+}
+
+TEST_F(TicketHandshakeTest, TicketResumesWithZeroCacheAndNoPkOp) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+  const Bytes blob = first.session_ticket();
+  const Bytes master = first.master_secret();
+  const CipherSuite suite = first.summary().suite;
+
+  // Second connection: no SessionCache at all — the server's only
+  // resumption state is the key ring.
+  TlsClient second(client_config(crng));
+  second.set_resume_ticket(blob, master, suite);
+  TlsServer server(server_config(srng, &codec), /*cache=*/nullptr);
+  run_handshake(second, server);
+
+  ASSERT_TRUE(second.established());
+  EXPECT_TRUE(second.summary().resumed);
+  EXPECT_TRUE(second.summary().ticket_resumed);
+  EXPECT_TRUE(server.summary().ticket_resumed);
+  EXPECT_EQ(server.summary().rsa_private_ops, 0);
+  EXPECT_EQ(second.summary().rsa_public_ops, 0);  // no cert chain verified
+  EXPECT_EQ(second.summary().suite, suite);
+  EXPECT_EQ(second.master_secret(), master);
+  EXPECT_EQ(server.master_secret(), master);
+  EXPECT_EQ(codec.stats().opened, 1u);
+
+  // Fresh key block still works end to end.
+  const Bytes wire = second.send_data(to_bytes("over ticket"));
+  const auto got = server.recv_data(wire);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], to_bytes("over ticket"));
+}
+
+TEST_F(TicketHandshakeTest, TicketReissuedOnTicketResumption) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+  const Bytes blob = first.session_ticket();
+
+  ring.rotate(100);  // fresh sealing key between the connections
+
+  TlsClient second(client_config(crng));
+  second.set_resume_ticket(blob, first.master_secret(),
+                           first.summary().suite);
+  TlsServer server(server_config(srng, &codec));
+  run_handshake(second, server);
+  ASSERT_TRUE(second.summary().ticket_resumed);
+  // Re-issued under the ring's CURRENT key: the new blob differs and
+  // outlives further rotations the old one would not.
+  ASSERT_TRUE(second.has_session_ticket());
+  EXPECT_NE(second.session_ticket(), blob);
+  EXPECT_EQ(codec.stats().sealed, 2u);
+}
+
+TEST_F(TicketHandshakeTest, RotationWithinWindowResumesBeyondFallsBack) {
+  ticket::TicketKeyRing ring(0x11, ticket::TicketKeyRing::Config{2, 0});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+  const Bytes blob = first.session_ticket();
+  const Bytes master = first.master_secret();
+  const CipherSuite suite = first.summary().suite;
+
+  // One rotation: the issuing key is still in the 2-deep window.
+  ring.rotate(100);
+  {
+    TlsClient c(client_config(crng));
+    c.set_resume_ticket(blob, master, suite);
+    TlsServer s(server_config(srng, &codec));
+    run_handshake(c, s);
+    EXPECT_TRUE(c.summary().ticket_resumed);
+  }
+
+  // Second rotation retires it: silent fallback to a full handshake.
+  ring.rotate(200);
+  {
+    TlsClient c(client_config(crng));
+    c.set_resume_ticket(blob, master, suite);
+    TlsServer s(server_config(srng, &codec));
+    run_handshake(c, s);
+    ASSERT_TRUE(c.established());
+    EXPECT_FALSE(c.summary().resumed);
+    EXPECT_FALSE(c.summary().ticket_resumed);
+    EXPECT_GT(s.summary().rsa_private_ops, 0);
+    // ... and the full handshake issued a NEW ticket under the new key.
+    EXPECT_TRUE(c.has_session_ticket());
+    EXPECT_NE(c.session_ticket(), blob);
+  }
+  EXPECT_EQ(codec.stats().stale_key, 1u);
+}
+
+TEST_F(TicketHandshakeTest, ExpiredTicketFallsBackToFullHandshake) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring, ticket::TicketCodec::Config{1'000, 512});
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec, /*ticket_now_us=*/0));
+  run_handshake(first, fs);
+
+  TlsClient c(client_config(crng));
+  c.set_resume_ticket(first.session_ticket(), first.master_secret(),
+                      first.summary().suite);
+  // 5000us later: past the 1000us lifetime.
+  TlsServer s(server_config(srng, &codec, /*ticket_now_us=*/5'000));
+  run_handshake(c, s);
+  ASSERT_TRUE(c.established());
+  EXPECT_FALSE(c.summary().resumed);
+  EXPECT_EQ(codec.stats().expired, 1u);
+}
+
+TEST_F(TicketHandshakeTest, TamperedTicketFallsBackToFullHandshake) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+
+  Bytes blob = first.session_ticket();
+  blob.back() ^= 0x80;  // break the CCM tag
+  TlsClient c(client_config(crng));
+  c.set_resume_ticket(blob, first.master_secret(), first.summary().suite);
+  TlsServer s(server_config(srng, &codec));
+  run_handshake(c, s);
+  ASSERT_TRUE(c.established());
+  EXPECT_FALSE(c.summary().resumed);
+  EXPECT_EQ(codec.stats().mac_failures, 1u);
+}
+
+TEST_F(TicketHandshakeTest, TicketResumptionSurvivesDegradedMode) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+
+  // Overloaded server: resumption_only sheds full handshakes...
+  HandshakeConfig scfg = server_config(srng, &codec);
+  scfg.resumption_only = true;
+  {
+    TlsClient fresh(client_config(crng));
+    TlsServer s(scfg);
+    EXPECT_THROW(run_handshake(fresh, s), HandshakeError);
+  }
+  // ...but a ticket holder still gets the cheap abbreviated handshake.
+  {
+    TlsClient c(client_config(crng));
+    c.set_resume_ticket(first.session_ticket(), first.master_secret(),
+                        first.summary().suite);
+    TlsServer s(scfg);
+    run_handshake(c, s);
+    EXPECT_TRUE(c.summary().ticket_resumed);
+  }
+}
+
+TEST_F(TicketHandshakeTest, AsyncPkServerNeverSuspendsOnTicketResume) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+
+  HandshakeConfig scfg = server_config(srng, &codec);
+  scfg.async_pk = true;
+  TlsClient c(client_config(crng));
+  c.set_resume_ticket(first.session_ticket(), first.master_secret(),
+                      first.summary().suite);
+  TlsServer s(scfg);
+
+  // Drive by hand so a suspension would be visible as pk_pending().
+  Bytes flight = c.process({});
+  while (!s.established()) {
+    ASSERT_FALSE(s.pk_pending());
+    flight = s.process(flight);
+    ASSERT_FALSE(s.pk_pending());
+    if (!c.established()) flight = c.process(flight);
+  }
+  EXPECT_TRUE(s.summary().ticket_resumed);
+  EXPECT_EQ(s.summary().rsa_private_ops, 0);
+}
+
+TEST_F(TicketHandshakeTest, TicketPreferredOverSessionCache) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  SessionCache cache;
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec), &cache);
+  run_handshake(first, fs);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Client offers BOTH the cached session id and the ticket; the server
+  // takes the stateless path (no cache lookup cost, same master).
+  TlsClient c(client_config(crng));
+  c.set_resume_session(first.summary().session_id, first.master_secret(),
+                       first.summary().suite);
+  c.set_resume_ticket(first.session_ticket(), first.master_secret(),
+                      first.summary().suite);
+  TlsServer s(server_config(srng, &codec), &cache);
+  run_handshake(c, s);
+  EXPECT_TRUE(s.summary().ticket_resumed);
+}
+
+TEST_F(TicketHandshakeTest, ServerWithoutCodecIgnoresTicketExtension) {
+  ticket::TicketKeyRing ring(0x11, {});
+  ticket::TicketCodec codec(ring);
+  crypto::HmacDrbg crng(1), srng(2);
+
+  TlsClient first(client_config(crng));
+  TlsServer fs(server_config(srng, &codec));
+  run_handshake(first, fs);
+
+  // A ticket-bearing ClientHello against a plain server: full handshake,
+  // no error, no ticket issued (backward compatibility).
+  TlsClient c(client_config(crng));
+  c.set_resume_ticket(first.session_ticket(), first.master_secret(),
+                      first.summary().suite);
+  HandshakeConfig scfg = server_config(srng, /*codec=*/nullptr);
+  TlsServer s(scfg);
+  run_handshake(c, s);
+  ASSERT_TRUE(c.established());
+  EXPECT_FALSE(c.summary().resumed);
+  EXPECT_FALSE(c.has_session_ticket());
+}
+
+}  // namespace
+}  // namespace mapsec::protocol

@@ -82,6 +82,55 @@ TEST(BoundedCacheTest, ZeroCapacityStoresNothing) {
   EXPECT_EQ(cache.lookup(Bytes{1}), nullptr);
 }
 
+TEST(BoundedCacheTest, HitAfterEvictMissesSeparateThrashFromStrangers) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 2, .ttl_us = 0});
+  cache.store(Bytes{1}, entry(1));
+  cache.store(Bytes{2}, entry(2));
+  cache.store(Bytes{3}, entry(3));  // evicts {1}
+
+  // {1} WAS cached: this miss is eviction thrash (a lost resumption).
+  EXPECT_EQ(cache.lookup(Bytes{1}), nullptr);
+  EXPECT_EQ(cache.stats().hit_after_evict_misses, 1u);
+  // {9} was never stored: an ordinary miss, not thrash.
+  EXPECT_EQ(cache.lookup(Bytes{9}), nullptr);
+  EXPECT_EQ(cache.stats().hit_after_evict_misses, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Re-storing {1} clears its evicted mark: a later miss (after a fresh
+  // eviction) is attributed to THAT eviction, counted once per loss.
+  cache.store(Bytes{1}, entry(1));  // evicts {2}
+  EXPECT_NE(cache.lookup(Bytes{1}), nullptr);
+  EXPECT_EQ(cache.lookup(Bytes{2}), nullptr);
+  EXPECT_EQ(cache.stats().hit_after_evict_misses, 2u);
+}
+
+TEST(BoundedCacheTest, TtlReapCountsAsThrashOnRetry) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 8, .ttl_us = 1'000});
+  cache.store(Bytes{1}, entry(1));
+  clock.run_until(2'000);
+  EXPECT_EQ(cache.lookup(Bytes{1}), nullptr);  // TTL reap (miss #1)
+  EXPECT_EQ(cache.stats().ttl_evictions, 1u);
+  // The client retries with the same id: now a hit-after-evict miss.
+  EXPECT_EQ(cache.lookup(Bytes{1}), nullptr);
+  EXPECT_EQ(cache.stats().hit_after_evict_misses, 1u);
+}
+
+TEST(BoundedCacheTest, ResumptionStateBytesGrowWithUsers) {
+  net::EventQueue clock;
+  BoundedSessionCache cache(clock, {.capacity = 1'000, .ttl_us = 0});
+  EXPECT_EQ(cache.resumption_state_bytes(), 0u);
+  for (std::uint8_t i = 1; i <= 100; ++i)
+    cache.store(Bytes{i}, entry(i));
+  const std::size_t at100 = cache.resumption_state_bytes();
+  EXPECT_GT(at100, 100u * 48u);  // at least the master secrets
+  for (std::uint8_t i = 101; i <= 200; ++i)
+    cache.store(Bytes{i}, entry(i));
+  // O(users): double the entries, double the pinned state.
+  EXPECT_EQ(cache.resumption_state_bytes(), 2 * at100);
+}
+
 // ------------------------------------------------------- serving fixture
 
 /// Shared PKI: one CA, one server identity (RSA-512 for speed).

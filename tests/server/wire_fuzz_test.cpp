@@ -190,5 +190,113 @@ TEST_F(WireFuzzTest, GarbageAfterHandshakeFailsOnlyThatConnection) {
             1u);
 }
 
+// Structure-aware ticket mutations: take a genuinely issued session
+// ticket and corrupt it the ways an attacker (or a flaky bearer) would —
+// truncation, a flipped MAC byte, a stale key-id, an oversize blob. Every
+// mutant must be refused cleanly by the codec and the handshake must FALL
+// BACK to a full exchange (the client is otherwise honest); the failed
+// opens are counted, no connection is poisoned, and a valid ticket still
+// resumes afterwards.
+TEST_F(WireFuzzTest, MutatedTicketsFallBackCleanAndNeverPoisonThePool) {
+  net::EventQueue queue;
+  // capacity 0: no cache to hide behind — resumption is tickets or
+  // nothing, so a fallback is visible as a full handshake.
+  BoundedSessionCache cache(queue, {.capacity = 0, .ttl_us = 0});
+  crypto::HmacDrbg server_rng(0x71CFE);
+  ServerConfig cfg = server_config();
+  cfg.handshake.rng = &server_rng;
+  cfg.ticket.enabled = true;
+  SecureSessionServer server(queue, cfg, &cache);
+
+  std::vector<std::unique_ptr<net::DuplexChannel>> channels;
+  std::vector<std::unique_ptr<net::ReliableLink>> links;
+  std::vector<std::unique_ptr<crypto::HmacDrbg>> rngs;
+  std::vector<std::unique_ptr<protocol::TlsClient>> tls_clients;
+  std::uint64_t nonce = 0;
+
+  // Drive one honest client handshake (optionally offering a ticket) and
+  // return the established endpoint.
+  auto connect = [&](const crypto::Bytes* ticket, const crypto::Bytes* master,
+                     protocol::CipherSuite suite) -> protocol::TlsClient& {
+    rngs.push_back(std::make_unique<crypto::HmacDrbg>(0x7E57 + nonce));
+    protocol::HandshakeConfig hs = client_handshake();
+    hs.rng = rngs.back().get();
+    hs.request_session_ticket = true;
+    tls_clients.push_back(std::make_unique<protocol::TlsClient>(hs));
+    protocol::TlsClient& tls = *tls_clients.back();
+    if (ticket) tls.set_resume_ticket(*ticket, *master, suite);
+
+    auto channel = std::make_unique<net::DuplexChannel>(
+        queue, net::ChannelConfig{}, net::ChannelConfig{},
+        0xF1E1D + nonce++);
+    server.accept(channel->b_to_a(), channel->a_to_b());
+    auto link = std::make_unique<net::ReliableLink>(
+        queue, channel->a_to_b(), channel->b_to_a(), net::LinkConfig{});
+    net::ReliableLink* raw = link.get();
+    raw->set_on_message([&tls, raw](crypto::ConstBytes msg) {
+      if (msg.empty() ||
+          static_cast<MsgKind>(msg[0]) != MsgKind::kHandshake ||
+          tls.established())
+        return;
+      const protocol::HandshakeStep step =
+          protocol::step_handshake(tls, msg.subspan(1));
+      if (!step.output.empty())
+        raw->send_message(make_msg(MsgKind::kHandshake, step.output));
+    });
+    const protocol::HandshakeStep hello = protocol::step_handshake(tls, {});
+    raw->send_message(make_msg(MsgKind::kHandshake, hello.output));
+    channels.push_back(std::move(channel));
+    links.push_back(std::move(link));
+    queue.run_until(queue.now() + 300'000);
+    return tls;
+  };
+
+  // 1. Honest full handshake mints the specimen ticket.
+  protocol::TlsClient& first = connect(nullptr, nullptr, {});
+  ASSERT_TRUE(first.established());
+  ASSERT_TRUE(first.has_session_ticket());
+  const crypto::Bytes specimen = first.session_ticket();
+  const crypto::Bytes master = first.master_secret();
+  const protocol::CipherSuite suite = first.summary().suite;
+
+  // 2. The mutation corpus.
+  crypto::Bytes truncated(specimen.begin(),
+                          specimen.begin() + specimen.size() / 2);
+  crypto::Bytes flipped_mac = specimen;
+  flipped_mac.back() ^= 0x01;  // last tag byte
+  crypto::Bytes stale_key = specimen;
+  for (int i = 0; i < 4; ++i) stale_key[static_cast<std::size_t>(i)] = 0xFF;
+  crypto::Bytes oversize = specimen;
+  oversize.resize(600, 0x00);  // past the codec's max_wire_len
+
+  const std::vector<std::pair<const char*, const crypto::Bytes*>> corpus = {
+      {"truncated", &truncated},
+      {"flipped_mac", &flipped_mac},
+      {"stale_key_id", &stale_key},
+      {"oversize", &oversize},
+  };
+  for (const auto& [name, mutant] : corpus) {
+    SCOPED_TRACE(name);
+    protocol::TlsClient& tls = connect(mutant, &master, suite);
+    // Refused ticket != refused client: the handshake completes in FULL.
+    EXPECT_TRUE(tls.established());
+    EXPECT_FALSE(tls.summary().resumed);
+    EXPECT_FALSE(tls.summary().ticket_resumed);
+  }
+  EXPECT_EQ(server.stats().ticket_open_failures, corpus.size());
+
+  // 3. The pool is not poisoned: the untouched specimen still resumes.
+  protocol::TlsClient& valid = connect(&specimen, &master, suite);
+  EXPECT_TRUE(valid.established());
+  EXPECT_TRUE(valid.summary().ticket_resumed);
+
+  queue.run_all(50'000'000);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_TRUE(server.stats_conserved());
+  EXPECT_EQ(server.stats().handshakes_completed, 6u);
+  EXPECT_EQ(server.stats().failed_connections, 0u);
+  EXPECT_EQ(server.stats().ticket_resumptions, 1u);
+}
+
 }  // namespace
 }  // namespace mapsec::server
