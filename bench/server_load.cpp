@@ -30,6 +30,14 @@
 // handshakes per second. The apples-to-apples cost comparison is the
 // full-vs-resumed handshake latency split within ONE run.
 //
+// E24 closes the file: a sharded serving-tier sweep re-runs a
+// core-bound fleet (the modeled host core prices session processing in
+// simulated microseconds) across 1/2/4/8 shards — independent event
+// loops on real threads joined by the epoch-barrier merge — gating a
+// >= 3x aggregate handshake-rate gain from 1 to 4 shards with a
+// byte-identical fleet digest at every count, plus a 10k-concurrent
+// lingering-session soak on 8 shards.
+//
 // Usage: bench_server_load [json-output-path]
 //   Writes BENCH_server.json (default: ./BENCH_server.json).
 #include <algorithm>
@@ -38,6 +46,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench_guard.hpp"
 #include "mapsec/analysis/csv.hpp"
@@ -47,6 +56,7 @@
 #include "mapsec/crypto/rsa.hpp"
 #include "mapsec/platform/processor.hpp"
 #include "mapsec/server/load_gen.hpp"
+#include "mapsec/server/sharded_server.hpp"
 
 using namespace mapsec;
 
@@ -700,6 +710,123 @@ int main(int argc, char** argv) {
               ticket_digests_match ? "IDENTICAL" : "DIVERGED",
               per_user_bytes, rt.ticket_state_bytes);
 
+  // Scenario 8 (E24): sharded serving tier. The modeled host core makes
+  // session processing cost simulated time (800 us per RSA op, 50 us per
+  // flight, 20 us per appdata KiB), so ONE event loop is core-bound under
+  // this fleet; sharding the tier across N loops (= N modeled cores,
+  // each driven by a real thread under the epoch-barrier merge) must
+  // scale the aggregate handshake rate >= 3x from 1 to 4 shards while
+  // the fleet transcript digest stays byte-identical for {1, 2, 4, 8}.
+  std::puts("\n-- E24: sharded serving tier (600 clients, core-bound: "
+            "800 us/pk op + 50 us/flight,\n   slice 1 ms; digest must be "
+            "byte-identical across shard counts) --");
+  struct ShardRow {
+    std::size_t shards = 0;
+    double hs_per_s = 0;
+    double mbps = 0;
+    double p99_ms = 0;
+    double hist_p99_ms = 0;
+    std::uint64_t epochs = 0;
+    bool conserved = false;
+  };
+  analysis::Table sh_tab({"shards", "agg full hs/s (sim)", "record Mbit/s",
+                          "hs p99 ms (sim)", "epochs", "wall ms",
+                          "fleet digest"});
+  std::vector<ShardRow> sh_rows;
+  std::string sh_digest0;
+  bool sh_digests_match = true;
+  bool sh_conserved = true;
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    server::ShardedLoadConfig sh_load;
+    sh_load.base = load_config(600);
+    sh_load.base.channel = {};  // loss-free: same sessions at any speed
+    sh_load.base.mean_interarrival_us = 200;
+    sh_load.base.poisson_arrivals = false;
+    sh_load.shards = shards;
+    sh_load.slice_us = 1'000;
+    server::ClientConfig sh_client = client_config(pki);
+    sh_client.sessions = 1;
+    sh_client.payloads_per_session = 2;
+    sh_client.payload_bytes = 256;
+    sh_client.think_time_us = 0;
+    server::ServerConfig sh_server = server_config(pki);
+    sh_server.core.us_per_pk_op = 800.0;
+    sh_server.core.us_per_flight = 50.0;
+    sh_server.core.us_per_appdata_kb = 20.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    server::ShardedLoadGenerator gen(sh_load, sh_server, sh_client,
+                                     {.capacity = 1'024});
+    const server::ShardedLoadReport r = gen.run();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    const std::string digest = hex_prefix(r.fleet.fleet_digest);
+    if (sh_digest0.empty()) sh_digest0 = digest;
+    sh_digests_match = sh_digests_match && digest == sh_digest0;
+    sh_conserved = sh_conserved && r.conserved;
+    ShardRow row;
+    row.shards = shards;
+    row.hs_per_s = r.fleet.full_handshakes_per_s;
+    row.mbps = r.fleet.record_mbps;
+    row.p99_ms = r.fleet.handshake_p99_ms;
+    row.hist_p99_ms = r.handshake_hist_p99_ms;
+    row.epochs = r.epochs;
+    row.conserved = r.conserved;
+    sh_rows.push_back(row);
+    sh_tab.add_row({std::to_string(shards), analysis::fmt(row.hs_per_s, 1),
+                    analysis::fmt(row.mbps, 3), analysis::fmt(row.p99_ms, 1),
+                    std::to_string(row.epochs), analysis::fmt(wall_ms, 0),
+                    digest});
+  }
+  std::fputs(sh_tab.render().c_str(), stdout);
+  // Rows are shards {1, 2, 4, 8}: the 1->4 aggregate-rate gate.
+  const double shard_scaling =
+      sh_rows[0].hs_per_s > 0 ? sh_rows[2].hs_per_s / sh_rows[0].hs_per_s
+                              : 0.0;
+  std::printf("digests %s across shard counts; 1->4 shard aggregate "
+              "handshake scaling %.2fx (gate >= 3x); merged-histogram "
+              "p99 %.1f ms vs sample p99 %.1f ms\n",
+              sh_digests_match ? "IDENTICAL" : "DIVERGED", shard_scaling,
+              sh_rows[2].hist_p99_ms, sh_rows[2].p99_ms);
+
+  // E24 soak: 10'000 concurrent sessions on 8 shards. Lingering clients
+  // (handshake, then silence) pile up until the server's idle reaper
+  // closes them, so the barrier-observed fleet peak must reach the full
+  // 10k while per-shard sums still conserve against the fleet totals.
+  std::puts("\n-- E24 soak: 10k concurrent lingering sessions on 8 shards "
+            "--");
+  server::ShardedLoadConfig soak_load;
+  soak_load.base = load_config(10'000);
+  soak_load.base.channel = {};
+  soak_load.base.mean_interarrival_us = 100;
+  soak_load.base.poisson_arrivals = false;
+  soak_load.shards = 8;
+  soak_load.slice_us = 1'000;
+  server::ClientConfig soak_client = client_config(pki);
+  soak_client.linger = true;
+  server::ShardedLoadGenerator soak_gen(soak_load, server_config(pki),
+                                        soak_client, {.capacity = 16'384});
+  const auto soak_t0 = std::chrono::steady_clock::now();
+  const server::ShardedLoadReport soak = soak_gen.run();
+  const double soak_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - soak_t0)
+          .count();
+  std::printf("peak open connections %zu (gate >= 10000), handshakes "
+              "completed %llu, idle closes %llu,\nper-shard sums %s fleet "
+              "totals, %llu epochs, wall %.0f ms\n",
+              soak.peak_open_connections,
+              static_cast<unsigned long long>(
+                  soak.fleet.server.handshakes_completed),
+              static_cast<unsigned long long>(soak.fleet.server.idle_closes),
+              soak.conserved ? "MATCH" : "DIVERGE",
+              static_cast<unsigned long long>(soak.epochs), soak_wall_ms);
+  const bool sharded_ok = sh_digests_match && sh_conserved &&
+                          shard_scaling >= 3.0 &&
+                          soak.peak_open_connections >= 10'000 &&
+                          soak.conserved &&
+                          soak.fleet.server.handshakes_completed >= 10'000;
+
   // Machine-readable baseline.
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
@@ -811,6 +938,29 @@ int main(int argc, char** argv) {
       per_user_bytes * 1e6,
       static_cast<unsigned long long>(rt.server.ticket_resumptions),
       ticket_digests_match ? "true" : "false");
+  // Shard sweep: the per-count aggregate rates carry comparable
+  // suffixes; scaling, digest and soak fields carry none.
+  std::fprintf(f, "  \"shard_sweep\": {\n");
+  for (std::size_t i = 0; i < sh_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    \"shards_%zu\": {\n"
+                 "      \"full_handshakes_per_s\": %.3f,\n"
+                 "      \"record_mbps\": %.3f,\n"
+                 "      \"handshake_p99_ms\": %.3f,\n"
+                 "      \"merge_epochs\": %llu\n"
+                 "    },\n",
+                 sh_rows[i].shards, sh_rows[i].hs_per_s, sh_rows[i].mbps,
+                 sh_rows[i].p99_ms,
+                 static_cast<unsigned long long>(sh_rows[i].epochs));
+  }
+  std::fprintf(f,
+               "    \"scaling_1_to_4\": %.2f,\n"
+               "    \"digests_match\": %s,\n"
+               "    \"soak_peak_open_connections\": %zu,\n"
+               "    \"soak_conserved\": %s\n"
+               "  },\n",
+               shard_scaling, sh_digests_match ? "true" : "false",
+               soak.peak_open_connections, soak.conserved ? "true" : "false");
   // The ns/lookup figures are wall-clock (machine-dependent) and carry
   // no _per_s/_mbps suffix, so bench_compare.py ignores them by
   // construction.
@@ -823,17 +973,19 @@ int main(int argc, char** argv) {
                "  \"session_cache_tree_ns_per_lookup\": %.1f,\n"
                "  \"bulk_record_mbps\": %.3f,\n"
                "  \"worker_sweep_digests_match\": %s,\n"
-               "  \"flood_defense_holds\": %s\n"
+               "  \"flood_defense_holds\": %s,\n"
+               "  \"sharded_ok\": %s\n"
                "}\n",
                off_digests_match ? "true" : "false", off_scaling,
                bat_digests_match ? "true" : "false", batch_scaling,
                cache_ns_hashed, cache_ns_tree, bulk_mbps,
                digests_match ? "true" : "false",
-               defense_holds ? "true" : "false");
+               defense_holds ? "true" : "false",
+               sharded_ok ? "true" : "false");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
   return digests_match && defense_holds && offload_ok && batched_ok &&
-                 ticket_ok
+                 ticket_ok && sharded_ok
              ? 0
              : 1;
 }

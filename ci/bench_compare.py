@@ -21,7 +21,11 @@ Two input formats are understood:
     are compared (the cache-vs-stateless-ticket throughput parity the
     bench itself gates at ±10%), while throughput_droop, the
     state-bytes-per-user figures and the 10k/100k/1M extrapolation rows
-    are descriptive and skipped.
+    are descriptive and skipped. The E24 "shard_sweep" block gets one
+    extra structural gate on the FRESH report: the sharded tier must
+    still scale the aggregate handshake rate >= 3x from 1 to 4 shards
+    with byte-identical fleet digests — a topology property, so it is
+    checked absolutely rather than against the baseline's value.
 
 Exits non-zero if any benchmark regressed by more than the threshold.
 Improvements and new/removed benchmarks are reported but never fail the
@@ -76,6 +80,39 @@ def load_benchmarks(path):
     return doc.get("context", {}), out
 
 
+def check_shard_sweep(path):
+    """Structural gate on the fresh report's E24 shard_sweep block.
+
+    Scaling across shard counts is a property of the sharded tier, not
+    of the host the baseline was recorded on, so it is gated absolutely:
+    aggregate full-handshake rate must grow >= 3x from 1 to 4 shards and
+    the fleet digests must have matched byte-for-byte. Reports without a
+    shard_sweep block (older baselines, other benches) pass vacuously.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    sweep = doc.get("shard_sweep")
+    if not isinstance(sweep, dict):
+        return True
+    failures = []
+    one = sweep.get("shards_1", {}).get("full_handshakes_per_s", 0)
+    four = sweep.get("shards_4", {}).get("full_handshakes_per_s", 0)
+    if one > 0 and four > 0:
+        scaling = four / one
+        if scaling < 3.0:
+            failures.append(
+                f"1->4 shard handshake scaling {scaling:.2f}x < 3x")
+    else:
+        failures.append("shards_1/shards_4 rates missing or non-positive")
+    if sweep.get("digests_match") is not True:
+        failures.append("fleet digests diverged across shard counts")
+    if sweep.get("soak_conserved") is False:
+        failures.append("soak per-shard sums diverged from fleet totals")
+    for msg in failures:
+        print(f"  [SHARD]   {msg}")
+    return not failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -111,6 +148,9 @@ def main():
     for name in sorted(set(fresh) - set(base)):
         print(f"  [new]     {name} (no baseline)")
 
+    if not check_shard_sweep(args.fresh):
+        print(f"shard_sweep structural gate failed in {args.fresh}")
+        return 1
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%} vs {args.baseline}")

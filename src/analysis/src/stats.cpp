@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace mapsec::analysis {
 
@@ -29,6 +30,74 @@ SampleSummary summarize(const std::vector<double>& values) {
   s.p90 = percentile(values, 0.90);
   s.p99 = percentile(values, 0.99);
   return s;
+}
+
+LatencyHistogram::LatencyHistogram(double bucket_width_us,
+                                   std::size_t buckets)
+    : width_(bucket_width_us > 0 ? bucket_width_us : 1.0),
+      counts_(buckets > 0 ? buckets + 1 : 2, 0) {}
+
+void LatencyHistogram::record(double value_us) {
+  if (value_us < 0) value_us = 0;
+  std::size_t bin = static_cast<std::size_t>(value_us / width_);
+  if (bin >= counts_.size() - 1) bin = counts_.size() - 1;  // overflow
+  ++counts_[bin];
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  sum_ += value_us;
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // The overflow bin has no upper edge to interpolate toward; the
+      // tracked max is the only honest answer there.
+      if (i == counts_.size() - 1) return max_;
+      const double frac =
+          (target - cum) / static_cast<double>(counts_[i]);
+      const double lower = static_cast<double>(i) * width_;
+      return std::clamp(lower + frac * width_, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+void merge(LatencyHistogram& dst, const LatencyHistogram& other) {
+  if (dst.width_ != other.width_ || dst.counts_.size() != other.counts_.size())
+    throw std::invalid_argument("LatencyHistogram merge: layout mismatch");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < dst.counts_.size(); ++i)
+    dst.counts_[i] += other.counts_[i];
+  if (dst.count_ == 0) {
+    dst.min_ = other.min_;
+    dst.max_ = other.max_;
+  } else {
+    dst.min_ = std::min(dst.min_, other.min_);
+    dst.max_ = std::max(dst.max_, other.max_);
+  }
+  dst.sum_ += other.sum_;
+  dst.count_ += other.count_;
+}
+
+double merged_percentile(const std::vector<LatencyHistogram>& shards,
+                         double q) {
+  if (shards.empty()) return 0;
+  LatencyHistogram all(shards.front().bucket_width(),
+                       shards.front().buckets() - 1);
+  for (const auto& h : shards) merge(all, h);
+  return all.percentile(q);
 }
 
 }  // namespace mapsec::analysis

@@ -34,6 +34,18 @@ namespace mapsec::chaos {
 struct CampaignConfig {
   std::uint64_t seed = 0xC405C0DE;
 
+  /// 0 = the classic single-event-loop world. >= 1 targets a sharded
+  /// serving tier (server::ShardedServer): honest clients and attackers
+  /// hash to shards by connection key, bearer weather is scheduled
+  /// identically on every shard's queue, and TicketKeyRotation goes
+  /// through the tier's epoch-barrier control channel. Faults that flip
+  /// process-global or wall-clock state (DispatchFailure, RngExhaustion,
+  /// WorkerStall, OffloadStall) are rejected with std::invalid_argument —
+  /// they cannot be delivered at a deterministic simulated instant across
+  /// concurrently-running shards.
+  std::size_t shards = 0;
+  net::SimTime slice_us = 1'000;
+
   // Honest fleet (same knobs as server::LoadGenerator).
   std::size_t honest_clients = 20;
   net::SimTime mean_interarrival_us = 2'000;
@@ -107,6 +119,8 @@ class CampaignRunner {
   CampaignReport run();
 
  private:
+  CampaignReport run_sharded();
+
   CampaignConfig config_;
 };
 

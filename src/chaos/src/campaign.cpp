@@ -1,7 +1,10 @@
 #include "mapsec/chaos/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -9,6 +12,7 @@
 #include "mapsec/chaos/exhaustible_rng.hpp"
 #include "mapsec/crypto/dispatch.hpp"
 #include "mapsec/crypto/sha256.hpp"
+#include "mapsec/server/sharded_server.hpp"
 
 namespace mapsec::chaos {
 
@@ -52,6 +56,8 @@ constexpr std::uint64_t kMemorySlop = 32 * 1024;
 }  // namespace
 
 CampaignReport CampaignRunner::run() {
+  if (config_.shards > 0) return run_sharded();
+
   DispatchGuard dispatch_guard;
 
   // Declaration order doubles as lifetime order (see LoadGenerator):
@@ -333,6 +339,302 @@ CampaignReport CampaignRunner::run() {
         static_cast<double>(report.attack_bytes);
 
   // ---- invariants -----------------------------------------------------
+  auto flag = [&](const char* what) {
+    if (!report.invariant_failures.empty())
+      report.invariant_failures += "; ";
+    report.invariant_failures += what;
+  };
+  if (!report.drained) flag("event budget exhausted (possible livelock)");
+  if (report.open_at_end != 0) flag("connections left open after drain");
+  if (!report.conserved) flag("connection accounting not conserved");
+  if (report.echo_mismatches != 0) flag("surviving session echo mismatch");
+  if (config_.server.max_pending_echo_bytes != 0 &&
+      report.server.peak_pending_echo_bytes >
+          config_.server.max_pending_echo_bytes + kMemorySlop)
+    flag("pending-echo memory exceeded its bound");
+  if (config_.server.max_deferred_appdata_bytes != 0 &&
+      report.server.peak_deferred_bytes >
+          config_.server.max_deferred_appdata_bytes + kMemorySlop)
+    flag("deferred-appdata memory exceeded its bound");
+
+  return report;
+}
+
+CampaignReport CampaignRunner::run_sharded() {
+  const std::size_t num_shards = config_.shards;
+
+  // Reject faults that cannot be delivered at a deterministic simulated
+  // instant across concurrently-running shards (process-global dispatch
+  // state, the single exhaustible rng, wall-clock worker stalls) BEFORE
+  // building any world.
+  for (const Fault& fault : config_.faults) {
+    if (std::get_if<DispatchFailure>(&fault) != nullptr ||
+        std::get_if<RngExhaustion>(&fault) != nullptr ||
+        std::get_if<WorkerStall>(&fault) != nullptr ||
+        std::get_if<OffloadStall>(&fault) != nullptr)
+      throw std::invalid_argument(
+          "chaos: process-global/wall-clock faults are not supported in "
+          "sharded campaigns");
+  }
+
+  // Per-shard worlds, declared before the tier (lifetime order: channels
+  // outlive servers). Each shard's thread only ever touches index s of
+  // these — the same disjoint-world contract ShardExecutor enforces for
+  // the queues.
+  std::vector<std::vector<std::unique_ptr<net::DuplexChannel>>> channels(
+      num_shards);
+  std::vector<Weather> weather(num_shards);
+  std::vector<std::vector<net::LossyChannel*>> live_channels(num_shards);
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> attempts(
+      num_shards);
+
+  server::ShardedServerConfig scfg;
+  scfg.shards = num_shards;
+  scfg.slice_us = config_.slice_us;
+  scfg.server = config_.server;
+  scfg.cache = config_.cache;
+  server::ShardedServer tier(scfg);
+
+  std::vector<std::unique_ptr<crypto::HmacDrbg>> engine_rngs;
+  std::vector<std::unique_ptr<engine::ProtocolEngine>> engines;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    engine_rngs.push_back(
+        std::make_unique<crypto::HmacDrbg>(mix(config_.seed, 0xE17 + s)));
+    engines.push_back(std::make_unique<engine::ProtocolEngine>(
+        config_.server.engine_profile, engine_rngs.back().get()));
+    engines.back()->load_program("ccmp-in", engine::ccmp_inbound_program());
+  }
+
+  auto apply_weather = [this](const Weather& w, net::LossyChannel& ch) {
+    net::ChannelConfig& cfg = ch.mutable_config();
+    const net::ChannelConfig& base = config_.channel;
+    cfg.loss_rate = w.blackout_depth > 0 ? 1.0 : base.loss_rate;
+    cfg.bytes_per_sec =
+        w.collapsed ? w.collapse_bytes_per_sec : base.bytes_per_sec;
+    cfg.ge_enabled = base.ge_enabled || w.burst;
+    if (w.burst) {
+      cfg.ge_p_good_to_bad = w.ge_p_good_to_bad;
+      cfg.ge_p_bad_to_good = w.ge_p_bad_to_good;
+      cfg.ge_loss_bad = w.ge_loss_bad;
+    } else {
+      cfg.ge_p_good_to_bad = base.ge_p_good_to_bad;
+      cfg.ge_p_bad_to_good = base.ge_p_bad_to_good;
+      cfg.ge_loss_bad = base.ge_loss_bad;
+    }
+  };
+  auto reapply_shard = [&](std::size_t s) {
+    for (net::LossyChannel* ch : live_channels[s])
+      apply_weather(weather[s], *ch);
+  };
+
+  // Shared connect path, parameterised by connection key: the channel,
+  // link, accept and bookkeeping all live on the key's shard. The wire
+  // identity is (key, per-key attempt ordinal) — independent of shard
+  // count, so every on-the-wire byte is too.
+  auto make_link = [&](std::uint32_t conn_key,
+                       const net::LinkConfig& link_cfg) {
+    const std::size_t s = tier.shard_of(conn_key);
+    net::EventQueue& queue = tier.queue(s);
+    const std::uint32_t wire_id =
+        server::make_wire_id(conn_key, attempts[s][conn_key]++);
+    auto channel = std::make_unique<net::DuplexChannel>(
+        queue, config_.channel, config_.channel,
+        mix(config_.seed, 0xC4A17 + wire_id));
+    apply_weather(weather[s], channel->a_to_b());
+    apply_weather(weather[s], channel->b_to_a());
+    server::SecureSessionServer::AcceptOptions opts;
+    opts.wire_id = wire_id;
+    opts.rng_seed = mix(mix(config_.seed, 0x5E4), wire_id);
+    tier.accept(conn_key, channel->b_to_a(), channel->a_to_b(), opts);
+    auto link = std::make_unique<net::ReliableLink>(
+        queue, channel->a_to_b(), channel->b_to_a(), link_cfg);
+    live_channels[s].push_back(&channel->a_to_b());
+    live_channels[s].push_back(&channel->b_to_a());
+    channels[s].push_back(std::move(channel));
+    return link;
+  };
+
+  // ---- honest fleet ---------------------------------------------------
+  std::vector<std::unique_ptr<server::SessionClient>> clients;
+  clients.reserve(config_.honest_clients);
+  crypto::HmacDrbg arrival_rng(mix(config_.seed, 0xA881));
+  net::SimTime arrival = 0;
+  for (std::size_t i = 0; i < config_.honest_clients; ++i) {
+    const auto key = static_cast<std::uint32_t>(i);
+    const std::size_t s = tier.shard_of(key);
+    auto client = std::make_unique<server::SessionClient>(
+        tier.queue(s), config_.client, key, *engines[s],
+        mix(config_.seed, 0xC11E57 + i));
+    client->set_connect(
+        [&make_link, key, link_cfg = config_.client.link](
+            server::SessionClient&) { return make_link(key, link_cfg); });
+    tier.queue(s).schedule_at(arrival, [c = client.get()] { c->start(); });
+    arrival +=
+        config_.poisson_arrivals
+            ? exponential_us(arrival_rng,
+                             static_cast<double>(config_.mean_interarrival_us))
+            : config_.mean_interarrival_us;
+    clients.push_back(std::move(client));
+  }
+
+  // ---- fault plan -----------------------------------------------------
+  // Bearer weather is shard-local state flipped by identical events
+  // scheduled on EVERY shard's queue at the same simulated times, so each
+  // shard's bearer degrades and recovers in lockstep without any
+  // cross-thread traffic.
+  std::vector<std::unique_ptr<FloodClient>> floods;
+  std::vector<std::unique_ptr<MalformedClient>> vandals;
+  std::uint64_t fault_index = 0;
+
+  auto weather_event = [&](net::SimTime at, auto&& fn) {
+    for (std::size_t s = 0; s < num_shards; ++s)
+      tier.queue(s).schedule_at(at, [&, s, fn] {
+        fn(weather[s]);
+        reapply_shard(s);
+      });
+  };
+
+  for (const Fault& fault : config_.faults) {
+    const std::uint64_t fseed = mix(config_.seed, 0xFA017 + fault_index);
+    ++fault_index;
+
+    if (const auto* f = std::get_if<Blackout>(&fault)) {
+      weather_event(f->at_us, [](Weather& w) { ++w.blackout_depth; });
+      weather_event(f->at_us + f->duration_us,
+                    [](Weather& w) { --w.blackout_depth; });
+    } else if (const auto* f = std::get_if<BearerFlap>(&fault)) {
+      for (int i = 0; i < f->flaps; ++i) {
+        const net::SimTime start =
+            f->at_us + static_cast<net::SimTime>(i) * f->period_us;
+        weather_event(start, [](Weather& w) { ++w.blackout_depth; });
+        weather_event(start + f->outage_us,
+                      [](Weather& w) { --w.blackout_depth; });
+      }
+    } else if (const auto* f = std::get_if<BurstLoss>(&fault)) {
+      weather_event(f->at_us, [p = *f](Weather& w) {
+        w.burst = true;
+        w.ge_p_good_to_bad = p.p_good_to_bad;
+        w.ge_p_bad_to_good = p.p_bad_to_good;
+        w.ge_loss_bad = p.loss_bad;
+      });
+      if (f->duration_us != 0)
+        weather_event(f->at_us + f->duration_us,
+                      [](Weather& w) { w.burst = false; });
+    } else if (const auto* f = std::get_if<BandwidthCollapse>(&fault)) {
+      weather_event(f->at_us, [bps = f->bytes_per_sec](Weather& w) {
+        w.collapsed = true;
+        w.collapse_bytes_per_sec = bps;
+      });
+      if (f->duration_us != 0)
+        weather_event(f->at_us + f->duration_us,
+                      [](Weather& w) { w.collapsed = false; });
+    } else if (const auto* f = std::get_if<HandshakeFlood>(&fault)) {
+      for (int a = 0; a < f->attackers; ++a) {
+        FloodConfig fc;
+        fc.handshake = config_.client.handshake;
+        fc.link = config_.client.link;
+        fc.connections = f->connections_each;
+        fc.interarrival_us = f->interarrival_us;
+        fc.reach_key_exchange = f->reach_key_exchange;
+        const auto key = static_cast<std::uint32_t>(0xF000 + floods.size());
+        auto attacker = std::make_unique<FloodClient>(
+            tier.queue(tier.shard_of(key)), std::move(fc), key,
+            mix(fseed, 0xDD05 + a));
+        attacker->set_connect(
+            [&make_link, key, link_cfg = config_.client.link](FloodClient&) {
+              return make_link(key, link_cfg);
+            });
+        tier.queue(tier.shard_of(key))
+            .schedule_at(f->at_us, [p = attacker.get()] { p->start(); });
+        floods.push_back(std::move(attacker));
+      }
+    } else if (const auto* f = std::get_if<MalformedTraffic>(&fault)) {
+      for (int c = 0; c < f->clients; ++c) {
+        MalformedConfig mc;
+        mc.link = config_.client.link;
+        mc.connections = f->connections_each;
+        mc.messages_per_connection = f->messages_per_connection;
+        mc.interarrival_us = f->interarrival_us;
+        mc.message_gap_us = f->message_gap_us;
+        const auto key = static_cast<std::uint32_t>(0xBAD0 + vandals.size());
+        auto vandal = std::make_unique<MalformedClient>(
+            tier.queue(tier.shard_of(key)), std::move(mc), key,
+            make_seeded_mutator(mix(fseed, 0x3AD + c),
+                                config_.client.handshake));
+        vandal->set_connect(
+            [&make_link, key,
+             link_cfg = config_.client.link](MalformedClient&) {
+              return make_link(key, link_cfg);
+            });
+        tier.queue(tier.shard_of(key))
+            .schedule_at(f->at_us, [p = vandal.get()] { p->start(); });
+        vandals.push_back(std::move(vandal));
+      }
+    } else if (const auto* f = std::get_if<TicketKeyRotation>(&fault)) {
+      // Through the epoch-barrier control channel: every shard rotates at
+      // the same barrier, in deterministic order against other control
+      // messages, so ticket epochs stay in lockstep fleet-wide.
+      for (int r = 0; r < f->rotations; ++r)
+        tier.rotate_ticket_keys(f->at_us +
+                                static_cast<net::SimTime>(r) * f->period_us);
+    }
+  }
+
+  // ---- run ------------------------------------------------------------
+  const server::ShardedServer::RunStats rs = tier.run(config_.max_events);
+
+  // ---- judge ----------------------------------------------------------
+  CampaignReport report;
+  report.server = tier.fleet_stats();
+  report.drained = rs.drained;
+  report.open_at_end = tier.open_connections();
+  report.conserved = tier.conserved();
+  report.degraded_time_us = rs.degraded_time_us;
+  report.degraded_transitions = rs.degraded_transitions;
+  net::SimTime end = 0;
+  for (std::size_t s = 0; s < num_shards; ++s)
+    end = std::max(end, tier.queue(s).now());
+  report.sim_duration_s = static_cast<double>(end) / 1e6;
+
+  crypto::Bytes digest_stream;
+  for (const auto& client : clients) {
+    for (const server::SessionRecord& record : client->sessions()) {
+      ++report.sessions_attempted;
+      if (record.completed) ++report.sessions_completed;
+      if (record.failed) ++report.sessions_failed;
+      if (!record.echo_ok) ++report.echo_mismatches;
+      report.honest_refused_attempts +=
+          static_cast<std::size_t>(record.refused_attempts);
+    }
+    digest_stream.insert(digest_stream.end(),
+                         client->transcript_digest().begin(),
+                         client->transcript_digest().end());
+  }
+  report.fleet_digest = crypto::Sha256::hash(digest_stream);
+
+  for (const auto& flood : floods) {
+    report.attack_connections += flood->stats().connections_opened;
+    report.attack_refused += flood->stats().refused;
+    report.attack_bytes += flood->stats().bytes_sent;
+  }
+  for (const auto& vandal : vandals) {
+    report.attack_connections += vandal->stats().connections_opened;
+    report.malformed_messages += vandal->stats().messages_sent;
+    report.attack_bytes += vandal->stats().bytes_sent;
+  }
+
+  report.handshake_energy_mj =
+      static_cast<double>(report.server.handshake_bytes_rx) / 1024.0 *
+          config_.energy.rx_mj_per_kb +
+      static_cast<double>(report.server.handshake_bytes_tx) / 1024.0 *
+          config_.energy.tx_mj_per_kb +
+      static_cast<double>(report.server.handshake_rsa_private_ops) *
+          config_.rsa_mj_per_op;
+  if (report.attack_bytes > 0)
+    report.mj_per_attack_byte =
+        report.handshake_energy_mj /
+        static_cast<double>(report.attack_bytes);
+
   auto flag = [&](const char* what) {
     if (!report.invariant_failures.empty())
       report.invariant_failures += "; ";

@@ -1,0 +1,67 @@
+// Slice-barrier executor for N independent event queues.
+//
+// The sharded serving tier gives every shard its own EventQueue — a whole
+// disjoint world of channels, links, sessions and timers — and drives all
+// of them in lockstep: each call to run_slice() releases one worker thread
+// per shard, each thread runs its own queue up to the shared deadline, and
+// the call returns only when every shard has reached it. Between slices
+// the shards are quiescent and the caller (the cross-shard merge) may read
+// and mutate any shard's world from its own thread; during a slice each
+// world is touched by exactly one thread. That ownership hand-off is the
+// entire concurrency contract — no shared mutable state, no locks inside
+// the simulation, and the per-shard event order (hence the fleet
+// transcript) is a pure function of the schedules, never of host thread
+// timing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mapsec/net/sim_clock.hpp"
+
+namespace mapsec::net {
+
+class ShardExecutor {
+ public:
+  /// Takes non-owning pointers to the per-shard queues; they must outlive
+  /// the executor. Spawns one persistent worker thread per queue.
+  explicit ShardExecutor(std::vector<EventQueue*> queues);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  /// Run every shard up to `deadline` (inclusive) and block until all have
+  /// reached it. After return each shard's clock reads exactly `deadline`
+  /// and the caller owns every world until the next call.
+  void run_slice(SimTime deadline);
+
+  /// Earliest pending event time across all shards, or EventQueue::kNoEvent
+  /// when every queue is drained. Only valid between slices.
+  SimTime next_event_time() const;
+
+  /// Total events executed across all shards so far.
+  std::size_t events_run() const { return events_run_; }
+
+  std::size_t shards() const { return queues_.size(); }
+
+ private:
+  void worker(std::size_t shard);
+
+  std::vector<EventQueue*> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  SimTime deadline_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per slice; workers wait on it
+  std::size_t running_ = 0;       // workers still inside the current slice
+  bool stop_ = false;
+  std::vector<std::size_t> slice_counts_;  // events run, per shard
+  std::size_t events_run_ = 0;
+};
+
+}  // namespace mapsec::net

@@ -57,6 +57,15 @@ class EventQueue {
   std::size_t pending() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
 
+  /// Time of the earliest pending event, or `kNoEvent` when the queue is
+  /// empty. Lets a slice scheduler (ShardExecutor) bound each slice by
+  /// the next instant anything can actually happen, instead of spinning
+  /// through empty slices.
+  static constexpr SimTime kNoEvent = ~SimTime{0};
+  SimTime next_time() const {
+    return events_.empty() ? kNoEvent : events_.begin()->first.when;
+  }
+
  private:
   struct Key {
     SimTime when;

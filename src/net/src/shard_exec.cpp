@@ -1,0 +1,63 @@
+#include "mapsec/net/shard_exec.hpp"
+
+namespace mapsec::net {
+
+ShardExecutor::ShardExecutor(std::vector<EventQueue*> queues)
+    : queues_(std::move(queues)), slice_counts_(queues_.size(), 0) {
+  threads_.reserve(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    threads_.emplace_back([this, i] { worker(i); });
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ShardExecutor::run_slice(SimTime deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  deadline_ = deadline;
+  running_ = queues_.size();
+  ++generation_;  // releases the workers; the mutex publishes the worlds
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return running_ == 0; });
+  // The same mutex acquisition that observed running_ == 0 also
+  // establishes happens-before with every worker's writes: the caller now
+  // owns all shard worlds until the next run_slice().
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    events_run_ += slice_counts_[i];
+}
+
+SimTime ShardExecutor::next_event_time() const {
+  SimTime next = EventQueue::kNoEvent;
+  for (const EventQueue* q : queues_)
+    if (q->next_time() < next) next = q->next_time();
+  return next;
+}
+
+void ShardExecutor::worker(std::size_t shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime deadline;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      deadline = deadline_;
+    }
+    // Exclusive ownership of this shard's world for the whole slice.
+    const std::size_t count = queues_[shard]->run_until(deadline);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slice_counts_[shard] = count;
+      if (--running_ == 0) cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mapsec::net

@@ -207,6 +207,37 @@ TicketGapReport serving_gap_ticket(
     Primitive pk = Primitive::kRsa1024Private,
     Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
 
+/// Sharded-tier pricing — the serving-side answer to the same gap: when
+/// one core cannot carry the fleet's session-layer demand, how many
+/// shard cores close it? The fleet demand is the ordinary serving gap;
+/// a uniform connection hash splits it across `shards` cores, and each
+/// core additionally pays the epoch-barrier merge (one snapshot exchange
+/// per slice, priced in instructions). min_shards inverts the model:
+/// the smallest shard count whose per-core demand fits the processor —
+/// the provisioning number E24 validates against the measured sweep.
+struct ShardedGapReport {
+  /// Fleet demand vs ONE core of `proc` (gap_ratio > 1 = one core short).
+  ServingGapReport fleet;
+  double shards = 1;
+  double merge_overhead_mips = 0;     ///< per-core barrier cost
+  double per_shard_required_mips = 0; ///< fleet/shards + merge overhead
+  double shard_utilisation = 0;       ///< per-shard demand / core MIPS
+  /// Smallest shard count with per-core demand <= one core's MIPS;
+  /// 0 when the merge overhead alone exceeds the core (no count closes
+  /// the gap).
+  double min_shards = 0;
+};
+
+/// Price a served load on `shards` cores behind a uniform connection
+/// hash with an epoch-barrier merge every `slice_us` simulated
+/// microseconds costing `merge_instr_per_slice` instructions per core
+/// per slice.
+ShardedGapReport serving_gap_sharded(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t shards, double slice_us, double merge_instr_per_slice = 2000.0,
+    double battery_kj = 26.0, Primitive pk = Primitive::kRsa1024Private,
+    Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
+
 /// Projection of the gap over time — Section 3.2's closing argument:
 /// "the increase in data rates ... and the use of stronger cryptographic
 /// algorithms ... threaten to further widen the wireless security

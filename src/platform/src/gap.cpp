@@ -237,6 +237,34 @@ TicketGapReport serving_gap_ticket(
   return report;
 }
 
+ShardedGapReport serving_gap_sharded(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t shards, double slice_us, double merge_instr_per_slice,
+    double battery_kj, Primitive pk, Primitive cipher, Primitive mac) {
+  ShardedGapReport report;
+  report.fleet =
+      serving_gap(model, proc, load, battery_kj, pk, cipher, mac);
+  report.shards = static_cast<double>(shards == 0 ? 1 : shards);
+
+  // Barrier tax: every core re-freezes the fleet snapshot once per slice
+  // regardless of how many shards share the tier.
+  const double slices_per_s = slice_us > 0 ? 1e6 / slice_us : 0.0;
+  report.merge_overhead_mips =
+      slices_per_s * merge_instr_per_slice / 1e6;
+
+  report.per_shard_required_mips =
+      report.fleet.required_mips / report.shards +
+      report.merge_overhead_mips;
+  report.shard_utilisation =
+      proc.mips > 0 ? report.per_shard_required_mips / proc.mips : 0.0;
+
+  const double headroom = proc.mips - report.merge_overhead_mips;
+  report.min_shards =
+      headroom > 0 ? std::ceil(report.fleet.required_mips / headroom) : 0.0;
+  if (report.min_shards < 1 && headroom > 0) report.min_shards = 1;
+  return report;
+}
+
 double GapAnalysis::max_rate_mbps(const Processor& proc,
                                   double latency_s) const {
   const double handshake =

@@ -27,6 +27,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mapsec/engine/offload_engine.hpp"
@@ -120,7 +121,41 @@ struct ServerConfig {
   };
   TicketConfig ticket;
 
+  // ---- modeled host core (all 0 = free processing, the pre-shard
+  // behaviour) ----------------------------------------------------------
+  /// The serving tier's own CPU budget, in simulated time. The event loop
+  /// so far processed every message in zero sim time, which makes the
+  /// session layer look free — exactly the assumption the paper's Figure 3
+  /// attacks. With a core model, each inbound handshake flight or appdata
+  /// record occupies this server's (= this shard's) one modeled core for a
+  /// deterministic service time; messages arriving while the core is busy
+  /// queue FIFO and drain in order. N shards = N cores, so aggregate
+  /// handshake rate scales with the shard count while the transcript
+  /// stays byte-identical.
+  struct CoreModel {
+    double us_per_pk_op = 0;      ///< one RSA private op, inline mode only
+    double us_per_flight = 0;     ///< fixed cost per handshake flight
+    double us_per_appdata_kb = 0; ///< record open + echo enqueue, per KiB
+    bool enabled() const {
+      return us_per_pk_op > 0 || us_per_flight > 0 || us_per_appdata_kb > 0;
+    }
+  };
+  CoreModel core;
+
   net::LinkConfig link;
+};
+
+/// Barrier-frozen fleet admission snapshot, recomputed by the sharded
+/// tier's cross-shard merge at every slice boundary. When installed via
+/// set_fleet_control(), admission and degraded-mode decisions read ONLY
+/// this snapshot — never the shard's live local counters — so every
+/// shard's decisions depend on slice-boundary state that is identical for
+/// any shard count, not on which shard a neighbouring connection landed
+/// on.
+struct FleetControl {
+  std::size_t open_connections = 0;
+  std::size_t handshakes_in_flight = 0;
+  bool degraded = false;
 };
 
 struct ServerStats {
@@ -161,6 +196,11 @@ struct ServerStats {
   /// queued-echo and deferred-appdata backlog any connection reached.
   std::uint64_t peak_pending_echo_bytes = 0;
   std::uint64_t peak_deferred_bytes = 0;
+
+  // ---- modeled-core accounting (ServerConfig::core) -------------------
+  double core_busy_us = 0;             // simulated service time consumed
+  std::uint64_t core_deferred_msgs = 0;  // messages that found the core busy
+  std::uint64_t core_peak_queue = 0;     // deepest core backlog
 
   // ---- stateless-ticket accounting (mirrors TicketCodec/KeyRing) ------
   std::uint64_t tickets_issued = 0;        // NewSessionTickets sealed
@@ -209,9 +249,32 @@ class SecureSessionServer {
   SecureSessionServer(const SecureSessionServer&) = delete;
   SecureSessionServer& operator=(const SecureSessionServer&) = delete;
 
+  /// Per-connection accept parameters for the sharded tier, where the
+  /// server-local dense connection id is NOT stable across shard counts
+  /// and must never reach the wire or a key derivation.
+  struct AcceptOptions {
+    /// On-the-wire identity: bulk-header SPI, pipeline SA id, bulk-key
+    /// derivation input. 0 = use the local connection id (the
+    /// single-server behaviour).
+    std::uint32_t wire_id = 0;
+    /// Seed for a per-connection handshake DRBG. 0 = use the shared
+    /// ServerConfig::handshake.rng; nonzero gives this connection its own
+    /// stream, so the draw order no longer depends on which connections
+    /// share a server.
+    std::uint64_t rng_seed = 0;
+  };
+
   /// Take the server side of a duplex link: `tx` carries frames to the
   /// client, `rx` delivers the client's. Returns the connection id.
   std::uint32_t accept(net::LossyChannel& tx, net::LossyChannel& rx);
+  std::uint32_t accept(net::LossyChannel& tx, net::LossyChannel& rx,
+                       const AcceptOptions& opts);
+
+  /// Install (or clear, with nullptr) the fleet admission snapshot; not
+  /// owned, must outlive the server or be cleared. See FleetControl.
+  void set_fleet_control(const FleetControl* control) {
+    fleet_control_ = control;
+  }
 
   const ServerStats& stats() const { return stats_; }
   const engine::PacketPipeline& pipeline() const { return pipeline_; }
@@ -234,10 +297,16 @@ class SecureSessionServer {
   }
   std::size_t open_connections() const;
   std::size_t handshakes_in_flight() const { return handshakes_in_flight_; }
+  /// Connections in kEstablished — open == in_flight + established; O(1),
+  /// for the sharded merge's per-barrier fleet snapshot.
+  std::size_t established_connections() const { return established_count_; }
 
   /// Degraded (resumption-only) mode: current state and cumulative
-  /// simulated time spent degraded, including the open stretch.
-  bool degraded() const { return degraded_; }
+  /// simulated time spent degraded, including the open stretch. Under a
+  /// FleetControl snapshot the fleet-level flag is what admission sees.
+  bool degraded() const {
+    return fleet_control_ ? fleet_control_->degraded : degraded_;
+  }
   double degraded_time_us() const;
 
   /// Conservation invariant the chaos campaigns assert after every run:
@@ -256,6 +325,8 @@ class SecureSessionServer {
 
   struct Connection {
     std::uint32_t id = 0;
+    std::uint32_t wire_id = 0;  // on-the-wire SPI; == id unless sharded
+    std::unique_ptr<crypto::HmacDrbg> rng;  // per-connection stream, opt.
     ConnState state = ConnState::kHandshake;
     std::unique_ptr<net::ReliableLink> link;
     std::unique_ptr<protocol::TlsServer> endpoint;
@@ -271,6 +342,10 @@ class SecureSessionServer {
   };
 
   void on_message(std::uint32_t id, crypto::ConstBytes msg);
+  void deliver_message(std::uint32_t id, crypto::ConstBytes msg);
+  void charge_core(Connection& conn, MsgKind kind, std::size_t body_bytes,
+                   double rsa_ops_before);
+  void drain_core();
   void on_link_error(std::uint32_t id, const std::string& reason);
   void handle_handshake(Connection& conn, crypto::ConstBytes body);
   void submit_pk(Connection& conn);
@@ -303,6 +378,13 @@ class SecureSessionServer {
   std::size_t established_count_ = 0;     // connections in kEstablished
   bool degraded_ = false;
   net::SimTime degraded_since_ = 0;
+  const FleetControl* fleet_control_ = nullptr;
+
+  // Modeled host core (ServerConfig::core): one server = one core.
+  net::SimTime core_busy_until_ = 0;
+  std::deque<std::pair<std::uint32_t, crypto::Bytes>> core_queue_;
+  bool core_drain_scheduled_ = false;
+
   ServerStats stats_;
 };
 

@@ -47,6 +47,18 @@ class BoundedSessionCache final : public protocol::SessionCache {
     /// RSA handshake because the cache threw its entry away, the
     /// scaling wall stateless tickets remove.
     std::uint64_t hit_after_evict_misses = 0;
+
+    /// Member-wise sum, for aggregating per-shard cache partitions into
+    /// one fleet view.
+    Stats& operator+=(const Stats& o) {
+      insertions += o.insertions;
+      hits += o.hits;
+      misses += o.misses;
+      lru_evictions += o.lru_evictions;
+      ttl_evictions += o.ttl_evictions;
+      hit_after_evict_misses += o.hit_after_evict_misses;
+      return *this;
+    }
   };
 
   /// `clock` provides the TTL time base (not owned, must outlive the
@@ -70,9 +82,12 @@ class BoundedSessionCache final : public protocol::SessionCache {
     return total == 0 ? 0.0 : static_cast<double>(stats_.hits) / total;
   }
 
-  /// Bytes of resumption state the live entries pin (id + master secret
-  /// + node bookkeeping per entry): O(cached users) — the quantity the
-  /// ticket key ring's O(depth) state_bytes() is compared against.
+  /// Bytes of resumption state the live entries pin (ids, master secret,
+  /// node + LRU + index bookkeeping per entry, evicted-id hashes):
+  /// O(cached users) — the quantity the ticket key ring's O(depth)
+  /// state_bytes() is compared against. Strictly per-entry, never
+  /// per-instance, so the sum over N shard partitions equals the single
+  /// global cache they replace and empty partitions report 0.
   std::size_t resumption_state_bytes() const;
 
  private:

@@ -1,0 +1,234 @@
+// Sharded multi-core serving tier: N independent event-loop shards with a
+// deterministic cross-shard merge.
+//
+// Every PR so far parallelized the crypto under ONE event loop
+// (PacketPipeline workers, OffloadEngine lanes, batch windows); the
+// serving tier itself — accepts, timers, the session state machine —
+// still ran on one core. This tier shards it: each shard owns its own
+// net::EventQueue, SecureSessionServer (with its own modeled core,
+// PacketPipeline workers and OffloadEngine lanes), BoundedSessionCache
+// partition and TicketKeyRing, and a real std::thread drives each shard's
+// queue (net::ShardExecutor) while SIMULATED time remains the clock.
+// Connections hash to shards by a stable FNV-1a over the client's
+// connection key at accept time — session affinity, the way an L4 hash on
+// the client address routes a handset's reconnects to the same front-end.
+//
+// Cross-shard effects go through an epoch-barrier merge: shards advance
+// in bounded time slices (slice_us), and at every slice boundary the
+// merge step — on the coordinating thread, with all shards quiescent —
+// (1) applies due control messages (ticket key rotations, chaos ops) to
+// the shards in deterministic (due, seq) order, and (2) recomputes the
+// barrier-frozen FleetControl snapshot from which EVERY admission and
+// degraded-mode decision is taken until the next barrier. Nothing
+// shard-count-dependent reaches the wire (AcceptOptions::wire_id), key
+// derivation, or a client-visible decision, so the fleet transcript
+// digest is byte-identical for shard counts {1, 2, 4, 8} — the same
+// invariant PR 5/PR 6 proved for offload lanes and batch widths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mapsec/analysis/stats.hpp"
+#include "mapsec/platform/gap.hpp"
+#include "mapsec/server/client.hpp"
+#include "mapsec/server/load_gen.hpp"
+#include "mapsec/server/server.hpp"
+#include "mapsec/server/session_cache.hpp"
+
+namespace mapsec::server {
+
+/// Stable shard routing: FNV-1a over the little-endian bytes of the
+/// 32-bit connection key, mod the shard count. Pure function of
+/// (key, shards) — never of accept order or load.
+std::size_t shard_for(std::uint32_t conn_key, std::size_t shards);
+
+/// Global wire identity for a connection attempt: the client's connection
+/// key and its per-client attempt ordinal, packed so the value is
+/// independent of which shard (and which dense local id) serves it.
+/// Nonzero for every (key, attempt), as AcceptOptions::wire_id requires.
+inline std::uint32_t make_wire_id(std::uint32_t conn_key,
+                                  std::uint32_t attempt) {
+  return ((conn_key + 1) << 16) | (attempt & 0xFFFF);
+}
+
+struct ShardedServerConfig {
+  std::size_t shards = 1;
+  /// Epoch-barrier granularity: shards never run more than this far
+  /// before the merge re-freezes the fleet admission snapshot.
+  net::SimTime slice_us = 1'000;
+
+  /// Per-shard server template. Admission and degraded watermarks are
+  /// interpreted as FLEET limits (the merge enforces them via
+  /// FleetControl), so one config means the same policy at any shard
+  /// count.
+  ServerConfig server;
+
+  /// FLEET cache capacity, split evenly across shard partitions
+  /// (ceil(capacity / shards) each; 0 stays 0 for ticket mode).
+  BoundedSessionCache::Config cache;
+
+  /// Per-shard handshake-latency histogram layout (analysis::merge
+  /// aggregates them exactly at reporting time).
+  double histogram_bucket_us = 250.0;
+  std::size_t histogram_buckets = 4096;
+};
+
+/// Per-shard slice of the fleet report (satellite of the conservation
+/// assert: the fleet totals must equal the sum of these).
+struct ShardBreakdown {
+  std::size_t shard = 0;
+  ServerStats server;
+  BoundedSessionCache::Stats cache;
+  std::size_t cache_state_bytes = 0;
+  std::size_t ticket_state_bytes = 0;
+  analysis::LatencyHistogram handshake_histogram;
+};
+
+class ShardedServer {
+ public:
+  explicit ShardedServer(ShardedServerConfig config);
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t shard_of(std::uint32_t conn_key) const {
+    return shard_for(conn_key, shards_.size());
+  }
+  net::EventQueue& queue(std::size_t shard) { return *shards_[shard]->queue; }
+  SecureSessionServer& server(std::size_t shard) {
+    return *shards_[shard]->server;
+  }
+  BoundedSessionCache& cache(std::size_t shard) {
+    return *shards_[shard]->cache;
+  }
+
+  /// Accept on the shard chosen by `conn_key`'s hash. The channels must
+  /// live on that shard's queue. Safe from the owning shard's thread
+  /// during a slice (it only touches that shard's world).
+  std::uint32_t accept(std::uint32_t conn_key, net::LossyChannel& tx,
+                       net::LossyChannel& rx,
+                       const SecureSessionServer::AcceptOptions& opts);
+
+  /// Enqueue a fleet-wide control operation, applied to every shard in
+  /// shard order at the first epoch barrier at or after `due` — ordered
+  /// against other control messages by (due, enqueue seq). Call only
+  /// between slices (or before run()).
+  void schedule_control(
+      net::SimTime due,
+      std::function<void(SecureSessionServer&, std::size_t)> op);
+
+  /// Rotate every shard's ticket-sealing key at the first barrier >= due
+  /// (all rings share a seed, so epochs stay in lockstep and a ticket
+  /// sealed by one shard count opens under any other).
+  void rotate_ticket_keys(net::SimTime due);
+
+  struct RunStats {
+    std::uint64_t epochs = 0;            // slice barriers crossed
+    std::uint64_t control_applied = 0;   // control ops delivered (x shards)
+    std::size_t events_run = 0;          // across all shards
+    bool drained = true;                 // finished within max_events
+    std::size_t peak_open_connections = 0;  // fleet high-water at barriers
+    std::uint64_t degraded_transitions = 0;  // fleet-level entries
+    double degraded_time_us = 0;             // fleet-level total
+  };
+
+  /// Drive all shards to quiescence through bounded slices and barrier
+  /// merges. Spawns one thread per shard for the duration of the call.
+  RunStats run(std::size_t max_events = 100'000'000);
+
+  const FleetControl& fleet_control() const { return control_; }
+  std::size_t open_connections() const;
+
+  /// Fleet totals: per-shard counters summed (peaks take the max; the
+  /// latency vectors concatenate in shard order), with the fleet-level
+  /// degraded accounting from the merge.
+  ServerStats fleet_stats() const;
+  std::vector<ShardBreakdown> breakdown() const;
+
+  /// The sharded conservation invariant: every shard's own accounting
+  /// conserves AND the fleet totals equal the per-shard sums.
+  bool conserved() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<net::EventQueue> queue;
+    std::unique_ptr<crypto::HmacDrbg> fallback_rng;
+    std::unique_ptr<BoundedSessionCache> cache;
+    std::unique_ptr<SecureSessionServer> server;
+  };
+
+  struct ControlMessage {
+    net::SimTime due = 0;
+    std::uint64_t seq = 0;
+    std::function<void(SecureSessionServer&, std::size_t)> op;
+  };
+
+  void refresh_control(net::SimTime now, RunStats& rs);
+  net::SimTime next_control_due() const;
+
+  ShardedServerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ControlMessage> control_queue_;  // kept sorted (due, seq)
+  std::uint64_t control_seq_ = 0;
+  FleetControl control_;
+  bool fleet_degraded_ = false;
+  net::SimTime fleet_degraded_since_ = 0;
+  std::uint64_t fleet_degraded_transitions_ = 0;
+  double fleet_degraded_time_us_ = 0;
+  net::SimTime barrier_time_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Sharded load generation: the LoadGenerator harness against the sharded
+// tier. Client i keeps the seed and arrival time it would have in the
+// single-loop harness; only the queue its world lives on changes with the
+// shard count, which is exactly what the digest-invariance tests pin.
+
+struct ShardedLoadConfig {
+  LoadConfig base;
+  std::size_t shards = 1;
+  net::SimTime slice_us = 1'000;
+};
+
+struct ShardedLoadReport {
+  /// Fleet view, same shape the single-loop harness reports (stats are
+  /// the per-shard sums; the digest spans all clients in client order).
+  LoadReport fleet;
+  std::vector<ShardBreakdown> shards;
+  std::uint64_t epochs = 0;
+  std::uint64_t control_applied = 0;
+  std::size_t peak_open_connections = 0;
+  /// Fleet p99 handshake latency off the MERGED per-shard histograms
+  /// (analysis::merge — exact aggregation, not a p99-of-p99s).
+  double handshake_hist_p99_ms = 0;
+  bool conserved = false;
+  platform::ShardedGapReport sharded_gap;
+};
+
+class ShardedLoadGenerator {
+ public:
+  ShardedLoadGenerator(ShardedLoadConfig load, ServerConfig server,
+                       ClientConfig client_template,
+                       BoundedSessionCache::Config cache)
+      : load_(std::move(load)),
+        server_(std::move(server)),
+        client_(std::move(client_template)),
+        cache_(cache) {}
+
+  /// Build the sharded world, run it to quiescence, aggregate. Each call
+  /// is an independent, fully-seeded run.
+  ShardedLoadReport run();
+
+ private:
+  ShardedLoadConfig load_;
+  ServerConfig server_;
+  ClientConfig client_;
+  BoundedSessionCache::Config cache_;
+};
+
+}  // namespace mapsec::server

@@ -48,10 +48,19 @@ void SecureSessionServer::mirror_ticket_stats() {
 
 std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
                                           net::LossyChannel& rx) {
+  return accept(tx, rx, AcceptOptions{});
+}
+
+std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
+                                          net::LossyChannel& rx,
+                                          const AcceptOptions& opts) {
   const std::uint32_t id =
       static_cast<std::uint32_t>(connections_.size());
   auto conn = std::make_unique<Connection>();
   conn->id = id;
+  conn->wire_id = opts.wire_id != 0 ? opts.wire_id : id;
+  if (opts.rng_seed != 0)
+    conn->rng = std::make_unique<crypto::HmacDrbg>(opts.rng_seed);
   conn->accepted_at = queue_.now();
   conn->last_activity = queue_.now();
   conn->link = std::make_unique<net::ReliableLink>(queue_, tx, rx,
@@ -77,8 +86,9 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
   // overloaded may only resume (the refusal happens at the ClientHello,
   // before certificates or RSA).
   protocol::HandshakeConfig hs = config_.handshake;
-  hs.resumption_only = degraded_;
+  hs.resumption_only = degraded();
   hs.async_pk = offload_ != nullptr;
+  if (conn->rng) hs.rng = conn->rng.get();
   if (ticket_codec_) {
     // Lazy interval rotation: the ring advances when traffic samples the
     // clock (no self-rescheduling event, so an idle queue still drains).
@@ -103,12 +113,21 @@ std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
 }
 
 bool SecureSessionServer::should_refuse() const {
-  const std::size_t open = handshakes_in_flight_ + established_count_;
+  // Sharded tier: admission reads the barrier-frozen fleet snapshot, so
+  // the decision for a given connection depends only on slice-boundary
+  // state — identical for any shard count — never on which shard its
+  // neighbours happened to hash to.
+  const std::size_t open = fleet_control_
+                               ? fleet_control_->open_connections
+                               : handshakes_in_flight_ + established_count_;
+  const std::size_t in_flight = fleet_control_
+                                    ? fleet_control_->handshakes_in_flight
+                                    : handshakes_in_flight_;
   if (config_.max_open_connections != 0 &&
       open >= config_.max_open_connections)
     return true;
   return config_.max_handshake_queue != 0 &&
-         handshakes_in_flight_ >= config_.max_handshake_queue;
+         in_flight >= config_.max_handshake_queue;
 }
 
 void SecureSessionServer::refuse_connection(Connection& conn) {
@@ -141,6 +160,9 @@ void SecureSessionServer::account_handshake_work(const Connection& conn) {
 }
 
 void SecureSessionServer::update_degraded() {
+  // Sharded tier: degraded transitions are a fleet-level decision taken
+  // by the merge step at epoch barriers; local watermark logic is off.
+  if (fleet_control_) return;
   if (config_.degraded_high_watermark == 0) return;
   const std::size_t low = config_.degraded_low_watermark != 0
                               ? config_.degraded_low_watermark
@@ -182,14 +204,40 @@ std::size_t SecureSessionServer::open_connections() const {
 
 void SecureSessionServer::on_message(std::uint32_t id,
                                      crypto::ConstBytes msg) {
+  if (msg.empty()) return;
+  const auto kind = static_cast<MsgKind>(msg[0]);
+  // Modeled core: a handshake flight or appdata record that arrives while
+  // this server's one core is still serving an earlier message queues
+  // behind it (FIFO) and is processed when the core frees up — in
+  // simulated time, which is what makes N shards genuinely N times the
+  // serving capacity. Control traffic (kClose) stays free.
+  if (config_.core.enabled() &&
+      (kind == MsgKind::kHandshake || kind == MsgKind::kAppData) &&
+      (core_busy_until_ > queue_.now() || !core_queue_.empty())) {
+    core_queue_.emplace_back(id, crypto::Bytes(msg.begin(), msg.end()));
+    ++stats_.core_deferred_msgs;
+    stats_.core_peak_queue =
+        std::max<std::uint64_t>(stats_.core_peak_queue, core_queue_.size());
+    if (!core_drain_scheduled_) {
+      core_drain_scheduled_ = true;
+      queue_.schedule_at(core_busy_until_, [this] { drain_core(); });
+    }
+    return;
+  }
+  deliver_message(id, msg);
+}
+
+void SecureSessionServer::deliver_message(std::uint32_t id,
+                                          crypto::ConstBytes msg) {
   Connection& conn = *connections_[id];
   if (conn.state == ConnState::kClosed ||
       conn.state == ConnState::kFailed || conn.state == ConnState::kShed)
     return;
-  if (msg.empty()) return;
   conn.last_activity = queue_.now();
   const auto kind = static_cast<MsgKind>(msg[0]);
   const crypto::ConstBytes body = msg.subspan(1);
+  const double rsa_before =
+      conn.endpoint ? conn.endpoint->summary().rsa_private_ops : 0;
   // Containment: whatever one connection's input does, only that
   // connection dies — the event loop and every other session survive.
   try {
@@ -212,6 +260,46 @@ void SecureSessionServer::on_message(std::uint32_t id,
   } catch (const std::exception& e) {
     ++stats_.poisoned_connections;
     fail_connection(conn, e.what());
+  }
+  if (config_.core.enabled())
+    charge_core(conn, kind, body.size(), rsa_before);
+}
+
+void SecureSessionServer::charge_core(Connection& conn, MsgKind kind,
+                                      std::size_t body_bytes,
+                                      double rsa_ops_before) {
+  double cost = 0;
+  if (kind == MsgKind::kHandshake) {
+    cost = config_.core.us_per_flight;
+    // Price the private-key work this flight actually triggered — a
+    // resumed handshake's flights stay cheap, which is the whole
+    // resumption story. With an OffloadEngine the op runs on the
+    // accelerator's lane clock instead, so the host core is not charged.
+    if (!offload_ && conn.endpoint) {
+      const double delta =
+          conn.endpoint->summary().rsa_private_ops - rsa_ops_before;
+      if (delta > 0) cost += delta * config_.core.us_per_pk_op;
+    }
+  } else if (kind == MsgKind::kAppData) {
+    cost = config_.core.us_per_appdata_kb *
+           (static_cast<double>(body_bytes) / 1024.0);
+  }
+  if (cost <= 0) return;
+  const auto cost_us = static_cast<net::SimTime>(cost + 0.5);
+  core_busy_until_ = queue_.now() + cost_us;
+  stats_.core_busy_us += static_cast<double>(cost_us);
+}
+
+void SecureSessionServer::drain_core() {
+  core_drain_scheduled_ = false;
+  while (!core_queue_.empty() && core_busy_until_ <= queue_.now()) {
+    const auto [id, raw] = std::move(core_queue_.front());
+    core_queue_.pop_front();
+    deliver_message(id, raw);
+  }
+  if (!core_queue_.empty()) {
+    core_drain_scheduled_ = true;
+    queue_.schedule_at(core_busy_until_, [this] { drain_core(); });
   }
 }
 
@@ -310,7 +398,10 @@ void SecureSessionServer::complete_handshake(Connection& conn) {
 
   const BulkKeys keys = derive_bulk_keys(conn.endpoint->master_secret(),
                                          summary.session_id);
-  pipeline_.add_sa(conn.id, make_bulk_sa(conn.id, keys));
+  // Keyed by the WIRE id, not the dense local id: under sharding the
+  // local id depends on the shard count, and nothing shard-count-
+  // dependent may reach the SPI, the SA or the nonce stream.
+  pipeline_.add_sa(conn.wire_id, make_bulk_sa(conn.wire_id, keys));
   arm_idle_timer(conn);
 }
 
@@ -383,9 +474,9 @@ void SecureSessionServer::flush_pipeline() {
       crypto::Bytes payload = std::move(conn.pending_echo.front());
       conn.pending_echo.pop_front();
       engine::PipelineJob job;
-      job.sa_id = conn.id;
+      job.sa_id = conn.wire_id;
       job.program = "ccmp-out";
-      job.packet = bulk_header(conn.id, conn.bulk_seq++);
+      job.packet = bulk_header(conn.wire_id, conn.bulk_seq++);
       job.packet.insert(job.packet.end(), payload.begin(), payload.end());
       meta.emplace_back(conn.id, payload.size());
       jobs.push_back(std::move(job));

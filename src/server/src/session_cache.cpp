@@ -70,9 +70,20 @@ void BoundedSessionCache::clear() {
 }
 
 std::size_t BoundedSessionCache::resumption_state_bytes() const {
+  // Per-entry accounting only — id + secret + node, the LRU list node
+  // (second id copy + two list pointers) and one index slot — plus the
+  // evicted-id hashes the thrash classifier pins. Nothing fixed per
+  // instance: an empty partition reports 0, so splitting one cache into
+  // N shard partitions reports exactly the same fleet total as the
+  // single cache it replaces (the partition sums are compared in the
+  // sharded soak), and a capacity-0 cache (ticket mode) stays at 0.
+  constexpr std::size_t kLruNodeOverhead = 2 * sizeof(void*);
+  constexpr std::size_t kIndexSlotOverhead = sizeof(void*);
   std::size_t total = 0;
   for (const auto& [id, node] : entries_)
-    total += id.size() + node.entry.master_secret.size() + sizeof(Node);
+    total += 2 * id.size() + node.entry.master_secret.size() +
+             sizeof(Node) + kLruNodeOverhead + kIndexSlotOverhead;
+  total += evicted_ids_.size() * sizeof(std::uint64_t);
   return total;
 }
 

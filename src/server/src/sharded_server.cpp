@@ -1,0 +1,490 @@
+#include "mapsec/server/sharded_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "mapsec/crypto/sha256.hpp"
+#include "mapsec/net/shard_exec.hpp"
+
+namespace mapsec::server {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t n) {
+  return seed ^ (n * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+}
+
+net::SimTime exponential_us(crypto::Rng& rng, double mean_us) {
+  const double u =
+      (static_cast<double>(rng.next_u32()) + 1.0) / 4294967297.0;
+  return static_cast<net::SimTime>(-mean_us * std::log(u));
+}
+
+/// Sum per-shard counters into a fleet view: counters add, peaks take the
+/// max, latency vectors concatenate (callers iterate shards in order, so
+/// the result is deterministic).
+void accumulate(ServerStats& fleet, const ServerStats& shard) {
+  fleet.connections_accepted += shard.connections_accepted;
+  fleet.handshakes_started += shard.handshakes_started;
+  fleet.handshakes_completed += shard.handshakes_completed;
+  fleet.handshakes_failed += shard.handshakes_failed;
+  fleet.full_handshakes += shard.full_handshakes;
+  fleet.resumed_handshakes += shard.resumed_handshakes;
+  fleet.app_messages += shard.app_messages;
+  fleet.bulk_messages += shard.bulk_messages;
+  fleet.bytes_opened += shard.bytes_opened;
+  fleet.bytes_sealed += shard.bytes_sealed;
+  fleet.backpressure_deferrals += shard.backpressure_deferrals;
+  fleet.idle_closes += shard.idle_closes;
+  fleet.graceful_closes += shard.graceful_closes;
+  fleet.link_failures += shard.link_failures;
+  fleet.engine_cycles += shard.engine_cycles;
+  fleet.failed_connections += shard.failed_connections;
+  fleet.refused_connections += shard.refused_connections;
+  fleet.degraded_refusals += shard.degraded_refusals;
+  fleet.poisoned_connections += shard.poisoned_connections;
+  fleet.deferred_overflow_closes += shard.deferred_overflow_closes;
+  fleet.degraded_transitions += shard.degraded_transitions;
+  fleet.degraded_time_us += shard.degraded_time_us;
+  fleet.handshake_rsa_private_ops += shard.handshake_rsa_private_ops;
+  fleet.handshake_bytes_rx += shard.handshake_bytes_rx;
+  fleet.handshake_bytes_tx += shard.handshake_bytes_tx;
+  fleet.peak_pending_echo_bytes = std::max(fleet.peak_pending_echo_bytes,
+                                           shard.peak_pending_echo_bytes);
+  fleet.peak_deferred_bytes =
+      std::max(fleet.peak_deferred_bytes, shard.peak_deferred_bytes);
+  fleet.core_busy_us += shard.core_busy_us;
+  fleet.core_deferred_msgs += shard.core_deferred_msgs;
+  fleet.core_peak_queue =
+      std::max(fleet.core_peak_queue, shard.core_peak_queue);
+  fleet.tickets_issued += shard.tickets_issued;
+  fleet.ticket_resumptions += shard.ticket_resumptions;
+  fleet.ticket_open_failures += shard.ticket_open_failures;
+  fleet.ticket_key_rotations += shard.ticket_key_rotations;
+  fleet.offload_submitted += shard.offload_submitted;
+  fleet.offload_completed += shard.offload_completed;
+  fleet.offload_stolen += shard.offload_stolen;
+  fleet.offload_dropped += shard.offload_dropped;
+  fleet.offload_peak_depth =
+      std::max(fleet.offload_peak_depth, shard.offload_peak_depth);
+  fleet.offload_queue_wait_us += shard.offload_queue_wait_us;
+  fleet.offload_lane_busy_us += shard.offload_lane_busy_us;
+  fleet.offload_batches += shard.offload_batches;
+  fleet.offload_batched_jobs += shard.offload_batched_jobs;
+  fleet.offload_max_batch_fill =
+      std::max(fleet.offload_max_batch_fill, shard.offload_max_batch_fill);
+  fleet.handshake_latencies_us.insert(fleet.handshake_latencies_us.end(),
+                                      shard.handshake_latencies_us.begin(),
+                                      shard.handshake_latencies_us.end());
+  fleet.full_handshake_latencies_us.insert(
+      fleet.full_handshake_latencies_us.end(),
+      shard.full_handshake_latencies_us.begin(),
+      shard.full_handshake_latencies_us.end());
+  fleet.resumed_handshake_latencies_us.insert(
+      fleet.resumed_handshake_latencies_us.end(),
+      shard.resumed_handshake_latencies_us.begin(),
+      shard.resumed_handshake_latencies_us.end());
+}
+
+}  // namespace
+
+std::size_t shard_for(std::uint32_t conn_key, std::size_t shards) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (int i = 0; i < 4; ++i) {
+    h ^= (conn_key >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return shards > 1 ? static_cast<std::size_t>(h % shards) : 0;
+}
+
+ShardedServer::ShardedServer(ShardedServerConfig config)
+    : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.slice_us == 0) config_.slice_us = 1'000;
+
+  BoundedSessionCache::Config part = config_.cache;
+  if (part.capacity > 0)
+    part.capacity =
+        (part.capacity + config_.shards - 1) / config_.shards;
+
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue = std::make_unique<net::EventQueue>();
+    shard->cache = std::make_unique<BoundedSessionCache>(*shard->queue, part);
+    ServerConfig cfg = config_.server;
+    // Per-shard fallback rng: connections normally get their own stream
+    // via AcceptOptions::rng_seed, but an accept without one must not
+    // share a DRBG across shard threads.
+    shard->fallback_rng = std::make_unique<crypto::HmacDrbg>(
+        mix(config_.server.ticket.key_seed, 0x5EED + s));
+    cfg.handshake.rng = shard->fallback_rng.get();
+    if (config_.server.handshake.rng != nullptr && config_.shards == 1)
+      cfg.handshake.rng = config_.server.handshake.rng;
+    shard->server = std::make_unique<SecureSessionServer>(
+        *shard->queue, std::move(cfg), shard->cache.get());
+    shard->server->set_fleet_control(&control_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedServer::~ShardedServer() {
+  // Detach the fleet snapshot before the servers die (it outlives them
+  // here, but keep the teardown order obviously safe).
+  for (auto& shard : shards_) shard->server->set_fleet_control(nullptr);
+}
+
+std::uint32_t ShardedServer::accept(
+    std::uint32_t conn_key, net::LossyChannel& tx, net::LossyChannel& rx,
+    const SecureSessionServer::AcceptOptions& opts) {
+  return shards_[shard_of(conn_key)]->server->accept(tx, rx, opts);
+}
+
+void ShardedServer::schedule_control(
+    net::SimTime due,
+    std::function<void(SecureSessionServer&, std::size_t)> op) {
+  ControlMessage msg;
+  msg.due = due;
+  msg.seq = control_seq_++;
+  msg.op = std::move(op);
+  control_queue_.push_back(std::move(msg));
+  std::sort(control_queue_.begin(), control_queue_.end(),
+            [](const ControlMessage& a, const ControlMessage& b) {
+              return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+            });
+}
+
+void ShardedServer::rotate_ticket_keys(net::SimTime due) {
+  schedule_control(due, [](SecureSessionServer& server, std::size_t) {
+    server.rotate_ticket_key();
+  });
+}
+
+net::SimTime ShardedServer::next_control_due() const {
+  return control_queue_.empty() ? net::EventQueue::kNoEvent
+                                : control_queue_.front().due;
+}
+
+std::size_t ShardedServer::open_connections() const {
+  std::size_t open = 0;
+  for (const auto& shard : shards_)
+    open += shard->server->handshakes_in_flight() +
+            shard->server->established_connections();
+  return open;
+}
+
+void ShardedServer::refresh_control(net::SimTime now, RunStats& rs) {
+  // 1. Deliver due control messages, ordered by (due, seq), each to every
+  //    shard in shard order — the "ordered control messages at slice
+  //    boundaries" half of the merge.
+  std::size_t applied = 0;
+  for (const ControlMessage& msg : control_queue_) {
+    if (msg.due > now) break;
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      msg.op(*shards_[s]->server, s);
+    rs.control_applied += shards_.size();
+    ++applied;
+  }
+  control_queue_.erase(control_queue_.begin(),
+                       control_queue_.begin() +
+                           static_cast<std::ptrdiff_t>(applied));
+
+  // 2. Re-freeze the fleet admission snapshot from the quiescent shards.
+  std::size_t in_flight = 0;
+  std::size_t open = 0;
+  for (const auto& shard : shards_) {
+    in_flight += shard->server->handshakes_in_flight();
+    open += shard->server->handshakes_in_flight() +
+            shard->server->established_connections();
+  }
+  control_.handshakes_in_flight = in_flight;
+  control_.open_connections = open;
+  rs.peak_open_connections = std::max(rs.peak_open_connections, open);
+
+  // 3. Fleet-level degraded transitions (the per-shard watermark logic is
+  //    disabled under FleetControl; watermarks are fleet limits here).
+  if (config_.server.degraded_high_watermark != 0) {
+    const std::size_t high = config_.server.degraded_high_watermark;
+    const std::size_t low = config_.server.degraded_low_watermark != 0
+                                ? config_.server.degraded_low_watermark
+                                : high / 2;
+    if (!fleet_degraded_ && in_flight >= high) {
+      fleet_degraded_ = true;
+      fleet_degraded_since_ = now;
+      ++fleet_degraded_transitions_;
+    } else if (fleet_degraded_ && in_flight <= low) {
+      fleet_degraded_time_us_ +=
+          static_cast<double>(now - fleet_degraded_since_);
+      fleet_degraded_ = false;
+    }
+  }
+  control_.degraded = fleet_degraded_;
+}
+
+ShardedServer::RunStats ShardedServer::run(std::size_t max_events) {
+  RunStats rs;
+  std::vector<net::EventQueue*> queues;
+  queues.reserve(shards_.size());
+  for (auto& shard : shards_) queues.push_back(shard->queue.get());
+  net::ShardExecutor exec(std::move(queues));
+
+  for (;;) {
+    refresh_control(barrier_time_, rs);
+    const net::SimTime next =
+        std::min(exec.next_event_time(), next_control_due());
+    if (next == net::EventQueue::kNoEvent) break;
+    // One bounded slice covering the next instant anything can happen:
+    // the smallest slice-aligned deadline strictly past `next`.
+    const net::SimTime deadline =
+        (next / config_.slice_us + 1) * config_.slice_us;
+    exec.run_slice(deadline);
+    barrier_time_ = deadline;
+    ++rs.epochs;
+    if (exec.events_run() > max_events) {
+      rs.drained = false;
+      break;
+    }
+  }
+  if (fleet_degraded_) {
+    fleet_degraded_time_us_ +=
+        static_cast<double>(barrier_time_ - fleet_degraded_since_);
+    fleet_degraded_since_ = barrier_time_;
+  }
+  rs.events_run = exec.events_run();
+  rs.degraded_transitions = fleet_degraded_transitions_;
+  rs.degraded_time_us = fleet_degraded_time_us_;
+  return rs;
+}
+
+ServerStats ShardedServer::fleet_stats() const {
+  ServerStats fleet;
+  for (const auto& shard : shards_) accumulate(fleet, shard->server->stats());
+  // Degraded accounting is fleet-level under the merge; per-shard values
+  // are zero by construction.
+  fleet.degraded_transitions += fleet_degraded_transitions_;
+  fleet.degraded_time_us += fleet_degraded_time_us_;
+  return fleet;
+}
+
+std::vector<ShardBreakdown> ShardedServer::breakdown() const {
+  std::vector<ShardBreakdown> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardBreakdown b;
+    b.shard = s;
+    b.server = shards_[s]->server->stats();
+    b.cache = shards_[s]->cache->stats();
+    b.cache_state_bytes = shards_[s]->cache->resumption_state_bytes();
+    b.ticket_state_bytes = shards_[s]->server->ticket_state_bytes();
+    b.handshake_histogram = analysis::LatencyHistogram(
+        config_.histogram_bucket_us, config_.histogram_buckets);
+    for (const double v : b.server.handshake_latencies_us)
+      b.handshake_histogram.record(v);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+bool ShardedServer::conserved() const {
+  std::uint64_t accepted = 0, closed = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->server->stats_conserved()) return false;
+    const ServerStats& s = shard->server->stats();
+    accepted += s.connections_accepted;
+    closed += s.graceful_closes + s.idle_closes + s.failed_connections +
+              s.refused_connections;
+  }
+  const ServerStats fleet = fleet_stats();
+  return fleet.connections_accepted == accepted &&
+         fleet.connections_accepted == closed + open_connections();
+}
+
+// ---------------------------------------------------------------------
+
+ShardedLoadReport ShardedLoadGenerator::run() {
+  const std::size_t num_shards = load_.shards == 0 ? 1 : load_.shards;
+  const std::uint64_t seed = load_.base.seed;
+
+  // Lifetime order (see LoadGenerator::run): channels are declared before
+  // the tier so the servers' links detach from still-live channels, and
+  // per-shard state is only ever touched by that shard's thread during a
+  // slice.
+  std::vector<std::vector<std::unique_ptr<net::DuplexChannel>>> channels(
+      num_shards);
+
+  ShardedServerConfig scfg;
+  scfg.shards = num_shards;
+  scfg.slice_us = load_.slice_us;
+  scfg.server = server_;
+  scfg.cache = cache_;
+  ShardedServer tier(scfg);
+
+  // Per-shard client-side engines (shared read-only by that shard's
+  // clients; one per shard so no object crosses a shard boundary).
+  std::vector<std::unique_ptr<crypto::HmacDrbg>> engine_rngs;
+  std::vector<std::unique_ptr<engine::ProtocolEngine>> engines;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    engine_rngs.push_back(
+        std::make_unique<crypto::HmacDrbg>(mix(seed, 0xE17 + s)));
+    engines.push_back(std::make_unique<engine::ProtocolEngine>(
+        server_.engine_profile, engine_rngs.back().get()));
+    engines.back()->load_program("ccmp-in", engine::ccmp_inbound_program());
+  }
+
+  // Clients: seed and arrival time are functions of the client index
+  // alone — identical for any shard count. Only the queue the client's
+  // world lives on follows the shard hash.
+  std::vector<std::unique_ptr<SessionClient>> clients;
+  std::vector<std::uint32_t> attempts(load_.base.num_clients, 0);
+  clients.reserve(load_.base.num_clients);
+  crypto::HmacDrbg arrival_rng(mix(seed, 0xA881));
+  net::SimTime arrival = 0;
+  for (std::size_t i = 0; i < load_.base.num_clients; ++i) {
+    const auto key = static_cast<std::uint32_t>(i);
+    const std::size_t s = tier.shard_of(key);
+    net::EventQueue& queue = tier.queue(s);
+    auto client = std::make_unique<SessionClient>(
+        queue, client_, key, *engines[s], mix(seed, 0xC11E57 + i));
+    client->set_connect([this, &tier, &channels, &attempts, seed, s, key,
+                         i](SessionClient&) {
+      net::EventQueue& queue = tier.queue(s);
+      // Global wire identity: (client, attempt) — never the shard-local
+      // connection id — names the channel seed, the server-side DRBG and
+      // the on-the-wire SPI, so every byte is shard-count-invariant.
+      const std::uint32_t wire_id = make_wire_id(key, attempts[i]++);
+      auto channel = std::make_unique<net::DuplexChannel>(
+          queue, load_.base.channel, load_.base.channel,
+          mix(seed, 0xC4A17 + wire_id));
+      SecureSessionServer::AcceptOptions opts;
+      opts.wire_id = wire_id;
+      opts.rng_seed = mix(mix(seed, 0x5E4), wire_id);
+      tier.accept(key, channel->b_to_a(), channel->a_to_b(), opts);
+      auto link = std::make_unique<net::ReliableLink>(
+          queue, channel->a_to_b(), channel->b_to_a(), client_.link);
+      channels[s].push_back(std::move(channel));
+      return link;
+    });
+    queue.schedule_at(arrival, [c = client.get()] { c->start(); });
+    arrival += load_.base.poisson_arrivals
+                   ? exponential_us(
+                         arrival_rng,
+                         static_cast<double>(load_.base.mean_interarrival_us))
+                   : load_.base.mean_interarrival_us;
+    clients.push_back(std::move(client));
+  }
+
+  const ShardedServer::RunStats rs = tier.run(load_.base.max_events);
+
+  // ---- aggregate ------------------------------------------------------
+  ShardedLoadReport report;
+  report.epochs = rs.epochs;
+  report.control_applied = rs.control_applied;
+  report.peak_open_connections = rs.peak_open_connections;
+  report.shards = tier.breakdown();
+  report.conserved = tier.conserved();
+
+  LoadReport& fleet = report.fleet;
+  fleet.server = tier.fleet_stats();
+  for (const ShardBreakdown& b : report.shards) {
+    fleet.cache += b.cache;
+    fleet.cache_state_bytes += b.cache_state_bytes;
+    fleet.ticket_state_bytes += b.ticket_state_bytes;
+  }
+  {
+    const auto total = fleet.cache.hits + fleet.cache.misses;
+    fleet.cache_hit_rate =
+        total == 0 ? 0.0
+                   : static_cast<double>(fleet.cache.hits) /
+                         static_cast<double>(total);
+  }
+
+  // Fleet digest: identical construction to LoadGenerator — every
+  // client's transcript digest in client order, swept through
+  // sha256_many and folded.
+  std::vector<crypto::ConstBytes> lanes;
+  lanes.reserve(clients.size());
+  for (const auto& client : clients) {
+    for (const SessionRecord& record : client->sessions()) {
+      ++fleet.sessions_attempted;
+      fleet.connection_attempts += static_cast<std::size_t>(record.attempts);
+      if (record.completed) ++fleet.sessions_completed;
+      if (record.failed) ++fleet.sessions_failed;
+      if (!record.echo_ok) ++fleet.echo_mismatches;
+    }
+    lanes.push_back(client->transcript_digest());
+  }
+  crypto::Bytes digest_stream;
+  for (const crypto::Bytes& lane_digest : crypto::sha256_many(lanes))
+    digest_stream.insert(digest_stream.end(), lane_digest.begin(),
+                         lane_digest.end());
+  fleet.fleet_digest = crypto::Sha256::hash(digest_stream);
+
+  net::SimTime end = 0;
+  for (std::size_t s = 0; s < num_shards; ++s)
+    end = std::max(end, tier.queue(s).now());
+  fleet.sim_duration_s = static_cast<double>(end) / 1e6;
+  const double dur = fleet.sim_duration_s > 0 ? fleet.sim_duration_s : 1;
+  fleet.full_handshakes_per_s =
+      static_cast<double>(fleet.server.full_handshakes) / dur;
+  fleet.resumed_handshakes_per_s =
+      static_cast<double>(fleet.server.resumed_handshakes) / dur;
+  fleet.sessions_per_s =
+      static_cast<double>(fleet.sessions_completed) / dur;
+  const double protected_bytes = static_cast<double>(
+      fleet.server.bytes_opened + fleet.server.bytes_sealed);
+  fleet.record_mbps = protected_bytes * 8 / 1e6 / dur;
+  fleet.handshake_p50_ms =
+      analysis::percentile(fleet.server.handshake_latencies_us, 0.50) / 1e3;
+  fleet.handshake_p99_ms =
+      analysis::percentile(fleet.server.handshake_latencies_us, 0.99) / 1e3;
+  fleet.full_handshake_p50_ms =
+      analysis::percentile(fleet.server.full_handshake_latencies_us, 0.50) /
+      1e3;
+  fleet.full_handshake_p99_ms =
+      analysis::percentile(fleet.server.full_handshake_latencies_us, 0.99) /
+      1e3;
+  fleet.resumed_handshake_p50_ms =
+      analysis::percentile(fleet.server.resumed_handshake_latencies_us, 0.50) /
+      1e3;
+  fleet.resumed_handshake_p99_ms =
+      analysis::percentile(fleet.server.resumed_handshake_latencies_us, 0.99) /
+      1e3;
+  fleet.crypto_backend = engine::PacketPipeline::crypto_backend();
+
+  // Fleet percentile off the merged per-shard histograms: the exact
+  // aggregation the per-shard summaries cannot give (satellite check:
+  // within a bucket width of the sorted-sample percentile above).
+  {
+    std::vector<analysis::LatencyHistogram> hists;
+    hists.reserve(report.shards.size());
+    for (const ShardBreakdown& b : report.shards)
+      hists.push_back(b.handshake_histogram);
+    report.handshake_hist_p99_ms =
+        analysis::merged_percentile(hists, 0.99) / 1e3;
+  }
+
+  platform::ServedLoad served;
+  served.full_handshakes_per_s = fleet.full_handshakes_per_s;
+  served.resumed_handshakes_per_s = fleet.resumed_handshakes_per_s;
+  served.bulk_mbps = fleet.record_mbps;
+  served.sessions_per_s = fleet.sessions_per_s;
+  served.avg_session_kb =
+      fleet.sessions_completed > 0
+          ? protected_bytes / 1024.0 /
+                static_cast<double>(fleet.sessions_completed)
+          : 0;
+  fleet.gap =
+      platform::serving_gap(platform::WorkloadModel::paper_calibrated(),
+                            load_.base.appliance, served,
+                            load_.base.battery_kj, load_.base.pk_primitive);
+  report.sharded_gap = platform::serving_gap_sharded(
+      platform::WorkloadModel::paper_calibrated(), load_.base.appliance,
+      served, num_shards, static_cast<double>(load_.slice_us),
+      /*merge_instr_per_slice=*/2000.0, load_.base.battery_kj,
+      load_.base.pk_primitive);
+  return report;
+}
+
+}  // namespace mapsec::server

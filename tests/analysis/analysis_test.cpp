@@ -1,8 +1,12 @@
 // Table rendering and the figure-report generators.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "mapsec/analysis/csv.hpp"
 #include "mapsec/analysis/report.hpp"
+#include "mapsec/analysis/stats.hpp"
 #include "mapsec/analysis/table.hpp"
 
 namespace mapsec::analysis {
@@ -117,6 +121,80 @@ TEST(CsvTest, GapTrendExport) {
   EXPECT_NE(csv.find("2003,"), std::string::npos);
   EXPECT_NE(csv.find("2005,"), std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+// --------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, PercentileMatchesHandComputation) {
+  // Bucket width 10, samples one per bucket: {5, 15, 25, 35}.
+  // target = q*count cumulative-walked with in-bucket interpolation:
+  //   q=0.50 -> target 2.0 -> bucket [10,20) fully consumed -> 20
+  //   q=0.25 -> target 1.0 -> bucket [0,10) fully consumed -> 10
+  //   q=1.00 -> clamped to max = 35
+  //   q=0.00 -> clamped to min = 5
+  LatencyHistogram h(10.0, 64);
+  for (double v : {5.0, 15.0, 25.0, 35.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 20.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.00), 35.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.00), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 35.0);
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesClampToTrackedMax) {
+  LatencyHistogram h(10.0, 4);  // covers [0, 40) + overflow
+  h.record(5.0);
+  h.record(1'000.0);  // overflow bin
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1'000.0);  // exact max, not a bucket edge
+}
+
+TEST(LatencyHistogramTest, MergeIsExactAggregation) {
+  // Shard A holds {5,15}, shard B holds {25,35}: the merged histogram
+  // must answer exactly as one histogram that saw all four — which a
+  // p99-of-p99s style summary of the shards cannot.
+  LatencyHistogram a(10.0, 64), b(10.0, 64), all(10.0, 64);
+  a.record(5.0);
+  a.record(15.0);
+  b.record(25.0);
+  b.record(35.0);
+  for (double v : {5.0, 15.0, 25.0, 35.0}) all.record(v);
+
+  merge(a, b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), all.percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), all.percentile(1.0));
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 35.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+}
+
+TEST(LatencyHistogramTest, MergedPercentileLeavesInputsAlone) {
+  std::vector<LatencyHistogram> shards(3, LatencyHistogram(10.0, 64));
+  shards[0].record(5.0);
+  shards[1].record(15.0);
+  shards[2].record(25.0);
+  EXPECT_DOUBLE_EQ(merged_percentile(shards, 1.0), 25.0);
+  for (const auto& s : shards) EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(LatencyHistogramTest, MergeRejectsMismatchedLayouts) {
+  LatencyHistogram a(10.0, 64);
+  LatencyHistogram narrower(5.0, 64);
+  LatencyHistogram shorter(10.0, 32);
+  EXPECT_THROW(merge(a, narrower), std::invalid_argument);
+  EXPECT_THROW(merge(a, shorter), std::invalid_argument);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
 }  // namespace

@@ -427,5 +427,43 @@ TEST(AccelTest, AcceleratedServingGapNarrowsAndSavesEnergy) {
   EXPECT_NEAR(same.session_mj, base.session_mj, 1e-12);
 }
 
+TEST(AccelTest, ShardedServingGapSplitsLoadAndChargesBarrierTax) {
+  const auto model = WorkloadModel::paper_calibrated();
+  const Processor proc = Processor::strongarm_sa1100();
+  ServedLoad load;
+  load.full_handshakes_per_s = 20.0;
+  load.bulk_mbps = 8.0;
+  load.sessions_per_s = 24.0;
+  load.avg_session_kb = 64.0;
+
+  // 1000 merges/s at 2000 instr each = 2 MIPS of barrier tax per shard.
+  const ShardedGapReport four =
+      serving_gap_sharded(model, proc, load, 4, /*slice_us=*/1'000);
+  EXPECT_NEAR(four.merge_overhead_mips, 2.0, 1e-9);
+  EXPECT_NEAR(four.per_shard_required_mips,
+              four.fleet.required_mips / 4.0 + 2.0, 1e-9);
+  EXPECT_NEAR(four.shard_utilisation,
+              four.per_shard_required_mips / proc.mips, 1e-12);
+
+  // One shard pays the same tax but carries the whole fleet.
+  const ShardedGapReport one =
+      serving_gap_sharded(model, proc, load, 1, 1'000);
+  EXPECT_NEAR(one.per_shard_required_mips,
+              one.fleet.required_mips + 2.0, 1e-9);
+  EXPECT_GT(one.shard_utilisation, four.shard_utilisation);
+
+  // min_shards: ceil(required / (mips - tax)), at least 1.
+  const double headroom = proc.mips - 2.0;
+  EXPECT_NEAR(four.min_shards,
+              std::ceil(four.fleet.required_mips / headroom), 1e-9);
+  EXPECT_GE(four.min_shards, 1.0);
+
+  // Coarser slices shrink the tax.
+  const ShardedGapReport coarse =
+      serving_gap_sharded(model, proc, load, 4, 10'000);
+  EXPECT_NEAR(coarse.merge_overhead_mips, 0.2, 1e-9);
+  EXPECT_LT(coarse.per_shard_required_mips, four.per_shard_required_mips);
+}
+
 }  // namespace
 }  // namespace mapsec::platform
