@@ -30,13 +30,25 @@
 // handshakes per second. The apples-to-apples cost comparison is the
 // full-vs-resumed handshake latency split within ONE run.
 //
-// E24 closes the file: a sharded serving-tier sweep re-runs a
+// E24 rides along as well: a sharded serving-tier sweep re-runs a
 // core-bound fleet (the modeled host core prices session processing in
 // simulated microseconds) across 1/2/4/8 shards — independent event
 // loops on real threads joined by the epoch-barrier merge — gating a
 // >= 3x aggregate handshake-rate gain from 1 to 4 shards with a
 // byte-identical fleet digest at every count, plus a 10k-concurrent
 // lingering-session soak on 8 shards.
+//
+// E25 closes the file: availability SLOs for supervised shard failure.
+// A 150-client x 4-session ticket-mode fleet on 4 shards loses one shard
+// to a hard crash mid-flood; the supervisor kills the world, remaps the
+// victims by rendezvous hashing and rejoins the shard warm. Gates: ZERO
+// honest sessions lost, every failover reconnect resumes by ticket (no
+// pk op for the survivor), p99 client blackout under budget, and the
+// crashed run's fleet digest byte-identical to both a rerun AND the
+// undisturbed run. The crash's energy bill is priced two ways through
+// platform::serving_gap_failover — as ticket resumptions vs the
+// full-RSA counterfactual — which is the battery argument for stateless
+// failover at appliance scale.
 //
 // Usage: bench_server_load [json-output-path]
 //   Writes BENCH_server.json (default: ./BENCH_server.json).
@@ -827,6 +839,126 @@ int main(int argc, char** argv) {
                           soak.conserved &&
                           soak.fleet.server.handshakes_completed >= 10'000;
 
+  // Scenario 9 (E25): supervised shard failure at fleet scale. The crash
+  // lands after every client's first session has completed (arrivals span
+  // ~300 ms of sim time), so each victim holds a session ticket — the
+  // zero-state failover path: reconnect to the rendezvous survivor,
+  // resume by ticket, zero server cache bytes and zero pk ops.
+  std::puts("\n-- E25: supervised failover (150 clients x 4 sessions on 4 "
+            "shards, tickets on;\n   shard 1 hard-crashed mid-flood, warm "
+            "rejoin after 500 ms) --");
+  constexpr double kBlackoutBudgetMs = 250.0;
+  auto failover_campaign = [&](bool crash) {
+    chaos::CampaignConfig cfg;
+    cfg.seed = 0xE25;
+    cfg.shards = 4;
+    cfg.honest_clients = 150;
+    cfg.mean_interarrival_us = 2'000;
+    cfg.server = server_config(pki);
+    cfg.server.ticket.enabled = true;
+    cfg.client = client_config(pki);
+    cfg.client.sessions = 4;
+    cfg.client.use_session_tickets = true;
+    cfg.client.retry_budget = 6;
+    cfg.cache.capacity = 0;  // stateless: nothing for the crash to lose
+    if (crash)
+      cfg.faults.push_back(chaos::ShardCrash{
+          .at_us = 400'000, .shard = 1, .repair_us = 500'000});
+    return cfg;
+  };
+  const auto fo_t0 = std::chrono::steady_clock::now();
+  const chaos::CampaignReport fo_calm =
+      chaos::CampaignRunner(failover_campaign(false)).run();
+  const chaos::CampaignReport fo =
+      chaos::CampaignRunner(failover_campaign(true)).run();
+  const chaos::CampaignReport fo_rerun =
+      chaos::CampaignRunner(failover_campaign(true)).run();
+  const double fo_wall_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - fo_t0)
+                                .count();
+  const bool fo_digest_rerun = fo.fleet_digest == fo_rerun.fleet_digest;
+  const bool fo_digest_calm = fo.fleet_digest == fo_calm.fleet_digest;
+
+  // Price the outage against the calm run's served rates on the
+  // appliance-class core.
+  platform::ServedLoad fo_load;
+  if (fo_calm.sim_duration_s > 0) {
+    const double dur = fo_calm.sim_duration_s;
+    const auto& ss = fo_calm.server;
+    fo_load.full_handshakes_per_s =
+        static_cast<double>(ss.full_handshakes) / dur;
+    fo_load.resumed_handshakes_per_s =
+        static_cast<double>(ss.resumed_handshakes) / dur;
+    fo_load.bulk_mbps = static_cast<double>(ss.bytes_opened +
+                                            ss.bytes_sealed) *
+                        8.0 / dur / 1e6;
+    fo_load.sessions_per_s =
+        static_cast<double>(fo_calm.sessions_completed) / dur;
+    fo_load.avg_session_kb =
+        fo_calm.sessions_completed > 0
+            ? static_cast<double>(ss.bytes_opened + ss.bytes_sealed) /
+                  1024.0 / static_cast<double>(fo_calm.sessions_completed)
+            : 0;
+  }
+  const platform::FailoverGapReport fo_gap = platform::serving_gap_failover(
+      platform::WorkloadModel::paper_calibrated(),
+      platform::Processor::strongarm_sa1100(), fo_load, /*shards=*/4,
+      /*slice_us=*/1'000.0,
+      static_cast<double>(fo.client_reconnects),
+      std::max(fo.blackout_p99_ms, 1.0) / 1000.0);
+
+  analysis::Table fo_tab({"metric", "value"});
+  fo_tab.add_row({"honest sessions lost (gate == 0)",
+                  std::to_string(fo.sessions_failed)});
+  fo_tab.add_row(
+      {"sessions completed / attempted",
+       std::to_string(fo.sessions_completed) + " / " +
+           std::to_string(fo.sessions_attempted)});
+  fo_tab.add_row({"connections killed by the crash",
+                  std::to_string(fo.connections_killed)});
+  fo_tab.add_row({"clients migrated / reconnects / ticket resumes",
+                  std::to_string(fo.clients_migrated) + " / " +
+                      std::to_string(fo.client_reconnects) + " / " +
+                      std::to_string(fo.failover_resumes)});
+  fo_tab.add_row({"client blackout p50 / p99 ms (budget " +
+                      analysis::fmt(kBlackoutBudgetMs, 0) + ")",
+                  analysis::fmt(fo.blackout_p50_ms, 1) + " / " +
+                      analysis::fmt(fo.blackout_p99_ms, 1)});
+  fo_tab.add_row({"digest vs rerun / vs undisturbed",
+                  std::string(fo_digest_rerun ? "IDENTICAL" : "DIVERGED") +
+                      " / " +
+                      (fo_digest_calm ? "IDENTICAL" : "DIVERGED")});
+  fo_tab.add_row({"degraded survivor demand (MIPS)",
+                  analysis::fmt(fo_gap.degraded_required_mips, 1) +
+                      " (steady per-shard " +
+                      analysis::fmt(fo_gap.steady.per_shard_required_mips,
+                                    1) +
+                      ")"});
+  fo_tab.add_row({"crash energy, tickets vs full RSA (mJ)",
+                  analysis::fmt(fo_gap.crash_energy_mj, 2) + " vs " +
+                      analysis::fmt(fo_gap.crash_energy_full_mj, 2)});
+  fo_tab.add_row({"ticket failover saving",
+                  analysis::fmt(fo_gap.ticket_saving_ratio, 1) + "x"});
+  fo_tab.add_row({"wall clock, 3 campaigns (ms)",
+                  analysis::fmt(fo_wall_ms, 0)});
+  std::fputs(fo_tab.render().c_str(), stdout);
+
+  const bool failover_ok =
+      fo.invariants_ok() && fo_calm.invariants_ok() &&
+      fo.sessions_failed == 0 &&
+      fo.sessions_completed == fo.sessions_attempted &&
+      fo.shard_crashes == 1 && fo.shard_rejoins == 1 &&
+      fo.client_reconnects > 0 &&
+      fo.failover_resumes == fo.client_reconnects &&
+      fo.blackout_p99_ms <= kBlackoutBudgetMs && fo_digest_rerun &&
+      fo_digest_calm && fo_gap.ticket_saving_ratio > 1.0;
+  std::printf("failover SLO %s: %zu reconnects all resumed by ticket, "
+              "0 sessions lost, digests %s\n",
+              failover_ok ? "HOLDS" : "BROKEN", fo.client_reconnects,
+              fo_digest_rerun && fo_digest_calm ? "pinned" : "DIVERGED");
+  if (!fo.invariants_ok())
+    std::printf("campaign invariants: %s\n", fo.invariant_failures.c_str());
+
   // Machine-readable baseline.
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
@@ -961,6 +1093,43 @@ int main(int argc, char** argv) {
                "  },\n",
                shard_scaling, sh_digests_match ? "true" : "false",
                soak.peak_open_connections, soak.conserved ? "true" : "false");
+  // Failover SLOs are structural gates (absolute, not baseline-compared):
+  // no field carries a _per_s/_mbps suffix, so bench_compare.py's rate
+  // comparison skips the block and check_failover_slo enforces it.
+  std::fprintf(
+      f,
+      "  \"failover_slo\": {\n"
+      "    \"shards\": 4,\n"
+      "    \"fleet_clients\": 150,\n"
+      "    \"sessions_each\": 4,\n"
+      "    \"sessions_lost\": %zu,\n"
+      "    \"sessions_completed\": %zu,\n"
+      "    \"sessions_attempted\": %zu,\n"
+      "    \"connections_killed\": %llu,\n"
+      "    \"clients_migrated\": %llu,\n"
+      "    \"client_reconnects\": %zu,\n"
+      "    \"failover_resumes\": %zu,\n"
+      "    \"blackout_p50_ms\": %.3f,\n"
+      "    \"blackout_p99_ms\": %.3f,\n"
+      "    \"blackout_budget_ms\": %.1f,\n"
+      "    \"digest_match_rerun\": %s,\n"
+      "    \"digest_match_undisturbed\": %s,\n"
+      "    \"missed_heartbeats\": %llu,\n"
+      "    \"degraded_required_mips\": %.2f,\n"
+      "    \"crash_energy_mj\": %.3f,\n"
+      "    \"crash_energy_full_mj\": %.3f,\n"
+      "    \"ticket_saving_ratio\": %.2f\n"
+      "  },\n",
+      fo.sessions_failed, fo.sessions_completed, fo.sessions_attempted,
+      static_cast<unsigned long long>(fo.connections_killed),
+      static_cast<unsigned long long>(fo.clients_migrated),
+      fo.client_reconnects, fo.failover_resumes, fo.blackout_p50_ms,
+      fo.blackout_p99_ms, kBlackoutBudgetMs,
+      fo_digest_rerun ? "true" : "false",
+      fo_digest_calm ? "true" : "false",
+      static_cast<unsigned long long>(fo.missed_heartbeats),
+      fo_gap.degraded_required_mips, fo_gap.crash_energy_mj,
+      fo_gap.crash_energy_full_mj, fo_gap.ticket_saving_ratio);
   // The ns/lookup figures are wall-clock (machine-dependent) and carry
   // no _per_s/_mbps suffix, so bench_compare.py ignores them by
   // construction.
@@ -974,18 +1143,20 @@ int main(int argc, char** argv) {
                "  \"bulk_record_mbps\": %.3f,\n"
                "  \"worker_sweep_digests_match\": %s,\n"
                "  \"flood_defense_holds\": %s,\n"
-               "  \"sharded_ok\": %s\n"
+               "  \"sharded_ok\": %s,\n"
+               "  \"failover_ok\": %s\n"
                "}\n",
                off_digests_match ? "true" : "false", off_scaling,
                bat_digests_match ? "true" : "false", batch_scaling,
                cache_ns_hashed, cache_ns_tree, bulk_mbps,
                digests_match ? "true" : "false",
                defense_holds ? "true" : "false",
-               sharded_ok ? "true" : "false");
+               sharded_ok ? "true" : "false",
+               failover_ok ? "true" : "false");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
   return digests_match && defense_holds && offload_ok && batched_ok &&
-                 ticket_ok && sharded_ok
+                 ticket_ok && sharded_ok && failover_ok
              ? 0
              : 1;
 }

@@ -25,7 +25,12 @@ Two input formats are understood:
     extra structural gate on the FRESH report: the sharded tier must
     still scale the aggregate handshake rate >= 3x from 1 to 4 shards
     with byte-identical fleet digests — a topology property, so it is
-    checked absolutely rather than against the baseline's value.
+    checked absolutely rather than against the baseline's value. The
+    E25 "failover_slo" block gets the same treatment: a shard crash may
+    lose zero honest sessions, every failover reconnect must resume by
+    ticket, the blackout p99 must stay under the report's own budget,
+    and the recovery transcript must be byte-identical across reruns
+    and against the undisturbed run.
 
 Exits non-zero if any benchmark regressed by more than the threshold.
 Improvements and new/removed benchmarks are reported but never fail the
@@ -113,6 +118,55 @@ def check_shard_sweep(path):
     return not failures
 
 
+def check_failover_slo(path):
+    """Structural gate on the fresh report's E25 failover_slo block.
+
+    Availability SLOs are absolute properties of the supervised tier —
+    a crash may lose ZERO honest sessions, every failover reconnect must
+    resume by ticket (no public-key op for the survivor), the client
+    blackout p99 must stay under the report's own budget, and the
+    crash/recovery transcript must be byte-identical to both a rerun and
+    the undisturbed run. None of this depends on the baseline host, so
+    the gate never compares against the baseline. Reports without a
+    failover_slo block (older baselines, other benches) pass vacuously.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    slo = doc.get("failover_slo")
+    if not isinstance(slo, dict):
+        return True
+    failures = []
+    if slo.get("sessions_lost", 0) != 0:
+        failures.append(
+            f"{slo.get('sessions_lost')} honest session(s) lost to the crash")
+    if slo.get("sessions_completed") != slo.get("sessions_attempted"):
+        failures.append("not every attempted session completed")
+    reconnects = slo.get("client_reconnects", 0)
+    if reconnects <= 0:
+        failures.append("crash produced no failover reconnects "
+                        "(the fault did not land mid-flood)")
+    if slo.get("failover_resumes") != reconnects:
+        failures.append(
+            f"{slo.get('failover_resumes')}/{reconnects} failover "
+            "reconnects resumed by ticket (the rest paid a full handshake)")
+    budget = slo.get("blackout_budget_ms", 0)
+    p99 = slo.get("blackout_p99_ms", 0)
+    if budget > 0 and p99 > budget:
+        failures.append(
+            f"blackout p99 {p99:.1f} ms over the {budget:.0f} ms budget")
+    if slo.get("digest_match_rerun") is not True:
+        failures.append("crash/recovery transcript diverged across reruns")
+    if slo.get("digest_match_undisturbed") is not True:
+        failures.append(
+            "crashed run's fleet digest differs from the undisturbed run")
+    if slo.get("missed_heartbeats", 0) != 0:
+        failures.append(
+            f"{slo.get('missed_heartbeats')} live-shard heartbeat(s) missed")
+    for msg in failures:
+        print(f"  [FAILOVER] {msg}")
+    return not failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -150,6 +204,9 @@ def main():
 
     if not check_shard_sweep(args.fresh):
         print(f"shard_sweep structural gate failed in {args.fresh}")
+        return 1
+    if not check_failover_slo(args.fresh):
+        print(f"failover_slo structural gate failed in {args.fresh}")
         return 1
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed more than "

@@ -44,17 +44,21 @@ echo "== forced-scalar batched differential sweep =="
 MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}" \
   -R 'BatchModExp|RsaBatch|Sha256Many|CcmBatch|BatchWidth|BatchWindow|MidBatch|WholeWindow'
 
-echo "== forced-scalar ticket + renegotiation + sharded sweep =="
+echo "== forced-scalar ticket + renegotiation + sharded + failover sweep =="
 # Session tickets seal/open through AES-CCM and the renegotiation matrix
 # crosses cipher suites mid-session; both must be bit-identical on the
 # scalar kernels (a ticket minted by an accelerated server MUST open on a
 # scalar one — deterministic key ring plus portable CCM). The sharded
 # tier's digest-invariance matrix rides here too: the fleet transcript
 # must stay byte-identical across shard counts on the scalar kernels as
-# well. Named here so a filter change elsewhere can never silently drop
-# them from this tree.
+# well. The failover determinism matrix joins them: the crash ->
+# reconnect -> ticket-resume -> rejoin cycle must replay byte-identically
+# (and match the undisturbed run) on the scalar kernels, since the
+# tickets a victim resumes with cross the accelerated/scalar boundary.
+# Named here so a filter change elsewhere can never silently drop them
+# from this tree.
 MAPSEC_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "${JOBS}" \
-  -R 'Ticket|Renegotiat|ChaosTest|CampaignSoak|Shard'
+  -R 'Ticket|Renegotiat|ChaosTest|CampaignSoak|Shard|Failover|HangLatch'
 
 echo "== thread-sanitizer tree (MAPSEC_SANITIZE=thread) =="
 # TSan covers the concurrency surface: the PacketPipeline's worker pool
@@ -62,10 +66,14 @@ echo "== thread-sanitizer tree (MAPSEC_SANITIZE=thread) =="
 # plus the ticket and renegotiation lifecycles whose record-path drains
 # ride the pipeline, and the sharded serving tier whose shard threads
 # hand the world back and forth with the coordinator at epoch barriers.
+# The failover suite is the sharpest of these: hang latches park shard
+# threads mid-slice, the wall-clock watchdog releases them from another
+# thread, and supervised kills tear worlds down between slices — exactly
+# the handoffs TSan exists to vet.
 cmake -B build-tsan -S . -DMAPSEC_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'Pipeline|pipeline|Server|server|Chaos|chaos|Campaign|WireFuzz|net_|Ticket|Renegotiat|Shard'
+  -R 'Pipeline|pipeline|Server|server|Chaos|chaos|Campaign|WireFuzz|net_|Ticket|Renegotiat|Shard|Failover|HangLatch'
 
 if [[ "${MAPSEC_BENCH_COMPARE:-1}" != "0" ]]; then
   echo "== benchmark baseline comparison =="

@@ -34,17 +34,22 @@ namespace mapsec::chaos {
 struct CampaignConfig {
   std::uint64_t seed = 0xC405C0DE;
 
-  /// 0 = the classic single-event-loop world. >= 1 targets a sharded
-  /// serving tier (server::ShardedServer): honest clients and attackers
-  /// hash to shards by connection key, bearer weather is scheduled
-  /// identically on every shard's queue, and TicketKeyRotation goes
-  /// through the tier's epoch-barrier control channel. Faults that flip
-  /// process-global or wall-clock state (DispatchFailure, RngExhaustion,
-  /// WorkerStall, OffloadStall) are rejected with std::invalid_argument —
-  /// they cannot be delivered at a deterministic simulated instant across
-  /// concurrently-running shards.
+  /// 0 = the classic single-event-loop world. >= 1 targets a supervised
+  /// sharded serving tier (server::ShardSupervisor): honest clients bind
+  /// for failover-aware routing (attackers keep the stable hash home — a
+  /// dead shard just doesn't answer their dial), bearer weather is
+  /// scheduled identically on every shard's queue (and rebuilt when a
+  /// crashed shard rejoins), TicketKeyRotation goes through the tier's
+  /// epoch-barrier control channel, and the Shard* lifecycle faults
+  /// (ShardCrash/ShardHang/ShardWorkerStall/ShardOffloadStall) become
+  /// available. Faults that flip process-global state (DispatchFailure,
+  /// RngExhaustion) or stall by bare worker index across every shard
+  /// (WorkerStall, OffloadStall) are rejected with std::invalid_argument.
   std::size_t shards = 0;
   net::SimTime slice_us = 1'000;
+  /// Wall-clock budget per slice before the hang watchdog fires (only
+  /// consulted when the plan contains a ShardHang).
+  std::uint64_t watchdog_wall_ms = 250;
 
   // Honest fleet (same knobs as server::LoadGenerator).
   std::size_t honest_clients = 20;
@@ -87,6 +92,21 @@ struct CampaignReport {
   /// SHA-256 over honest clients' transcript digests, in client order —
   /// bit-identical across pipeline worker counts for the same seed.
   crypto::Bytes fleet_digest;
+
+  // Failover outcome (all zero when the plan has no Shard* lifecycle
+  // faults). Blackout percentiles are over per-reconnect samples: shard
+  // death -> the victim's session re-established on a survivor.
+  std::uint64_t shard_crashes = 0;
+  std::uint64_t shard_hangs_detected = 0;
+  std::uint64_t shard_drains = 0;
+  std::uint64_t shard_rejoins = 0;
+  std::uint64_t clients_migrated = 0;
+  std::uint64_t connections_killed = 0;
+  std::uint64_t missed_heartbeats = 0;
+  std::size_t client_reconnects = 0;
+  std::size_t failover_resumes = 0;  // reconnects that resumed (no full hs)
+  double blackout_p50_ms = 0;
+  double blackout_p99_ms = 0;
 
   // Attack-side accounting (zero when the plan has no traffic faults).
   std::uint64_t attack_connections = 0;

@@ -127,6 +127,58 @@ struct MalformedTraffic {
   net::SimTime message_gap_us = 2'000;
 };
 
+/// One serving shard dies (sharded campaigns only). `graceful` drains the
+/// shard first — unroute, let open connections finish, hard-kill whatever
+/// remains at the drain deadline; otherwise it is a hard crash at the
+/// first epoch barrier >= at_us: every open connection on the victim
+/// fails, its world's schedule dies, and bound honest clients remap to
+/// survivors (rendezvous hashing: only the victim's keys move) where they
+/// resume with their session ticket. After `repair_us` the shard rejoins
+/// warm (replica ticket ring, replayed control history, rebuilt bearer
+/// weather). 0 = never rejoins.
+struct ShardCrash {
+  net::SimTime at_us = 0;
+  std::size_t shard = 0;
+  net::SimTime repair_us = 2'000'000;
+  bool graceful = false;
+  net::SimTime drain_deadline_us = 1'000'000;
+};
+
+/// One serving shard's thread wedges mid-slice (sharded campaigns only):
+/// a net::HangLatch parks it at `at_us`; the executor's wall-clock
+/// watchdog releases and reports it, and the supervisor escalates to a
+/// hard-kill with the same failover/rejoin semantics as ShardCrash.
+struct ShardHang {
+  net::SimTime at_us = 0;
+  std::size_t shard = 0;
+  net::SimTime repair_us = 2'000'000;
+};
+
+/// WorkerStall scoped to ONE shard's pipeline (sharded campaigns): the
+/// stall event rides the shard's own queue, so it lands at a
+/// deterministic simulated instant without touching any other shard's
+/// world. Dies with the shard if it crashes first; a rejoined shard's
+/// fresh pipeline starts unstalled.
+struct ShardWorkerStall {
+  net::SimTime at_us = 0;
+  net::SimTime duration_us = 0;  // 0 = rest of the run
+  std::size_t shard = 0;
+  std::size_t worker = 0;
+  std::uint64_t stall_ns = 200'000;
+};
+
+/// OffloadStall scoped to ONE shard's OffloadEngine (sharded campaigns),
+/// same delivery contract as ShardWorkerStall. A no-op when the server
+/// runs public-key operations inline.
+struct ShardOffloadStall {
+  net::SimTime at_us = 0;
+  net::SimTime duration_us = 0;  // 0 = rest of the run
+  std::size_t shard = 0;
+  std::size_t worker = 0;
+  bool all_workers = false;
+  std::uint64_t stall_ns = 400'000'000;
+};
+
 /// Forced ticket sealing-key rotations (operational key roll, or the
 /// panic response to suspected key compromise): `rotations` immediate
 /// rotations at `at_us`, then one per `period_us` (0 = all at once).
@@ -143,6 +195,7 @@ struct TicketKeyRotation {
 using Fault =
     std::variant<Blackout, BearerFlap, BurstLoss, BandwidthCollapse,
                  DispatchFailure, RngExhaustion, WorkerStall, OffloadStall,
+                 ShardCrash, ShardHang, ShardWorkerStall, ShardOffloadStall,
                  HandshakeFlood, MalformedTraffic, TicketKeyRotation>;
 
 using FaultPlan = std::vector<Fault>;

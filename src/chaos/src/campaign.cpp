@@ -13,6 +13,7 @@
 #include "mapsec/crypto/dispatch.hpp"
 #include "mapsec/crypto/sha256.hpp"
 #include "mapsec/server/sharded_server.hpp"
+#include "mapsec/server/supervisor.hpp"
 
 namespace mapsec::chaos {
 
@@ -57,6 +58,16 @@ constexpr std::uint64_t kMemorySlop = 32 * 1024;
 
 CampaignReport CampaignRunner::run() {
   if (config_.shards > 0) return run_sharded();
+
+  for (const Fault& fault : config_.faults) {
+    if (std::get_if<ShardCrash>(&fault) != nullptr ||
+        std::get_if<ShardHang>(&fault) != nullptr ||
+        std::get_if<ShardWorkerStall>(&fault) != nullptr ||
+        std::get_if<ShardOffloadStall>(&fault) != nullptr)
+      throw std::invalid_argument(
+          "chaos: Shard* lifecycle faults need a sharded campaign "
+          "(CampaignConfig::shards >= 1)");
+  }
 
   DispatchGuard dispatch_guard;
 
@@ -363,37 +374,62 @@ CampaignReport CampaignRunner::run() {
 CampaignReport CampaignRunner::run_sharded() {
   const std::size_t num_shards = config_.shards;
 
-  // Reject faults that cannot be delivered at a deterministic simulated
-  // instant across concurrently-running shards (process-global dispatch
-  // state, the single exhaustible rng, wall-clock worker stalls) BEFORE
-  // building any world.
+  // Reject faults that cannot be delivered correctly across
+  // concurrently-running shards BEFORE building any world. Stalls have
+  // shard-scoped replacements; the process-global pair has none.
   for (const Fault& fault : config_.faults) {
     if (std::get_if<DispatchFailure>(&fault) != nullptr ||
-        std::get_if<RngExhaustion>(&fault) != nullptr ||
-        std::get_if<WorkerStall>(&fault) != nullptr ||
+        std::get_if<RngExhaustion>(&fault) != nullptr)
+      throw std::invalid_argument(
+          "chaos: DispatchFailure/RngExhaustion flip process-global state "
+          "(crypto dispatch, the one exhaustible rng) and cannot be "
+          "delivered at a deterministic simulated instant across "
+          "concurrently-running shards");
+    if (std::get_if<WorkerStall>(&fault) != nullptr ||
         std::get_if<OffloadStall>(&fault) != nullptr)
       throw std::invalid_argument(
-          "chaos: process-global/wall-clock faults are not supported in "
-          "sharded campaigns");
+          "chaos: WorkerStall/OffloadStall address a worker index with no "
+          "owning shard; use ShardWorkerStall/ShardOffloadStall, which "
+          "ride one shard's own queue");
+    if (const auto* f = std::get_if<ShardCrash>(&fault)) {
+      if (f->shard >= num_shards)
+        throw std::invalid_argument("chaos: ShardCrash.shard out of range");
+    } else if (const auto* f = std::get_if<ShardHang>(&fault)) {
+      if (f->shard >= num_shards)
+        throw std::invalid_argument("chaos: ShardHang.shard out of range");
+    } else if (const auto* f = std::get_if<ShardWorkerStall>(&fault)) {
+      if (f->shard >= num_shards)
+        throw std::invalid_argument(
+            "chaos: ShardWorkerStall.shard out of range");
+    } else if (const auto* f = std::get_if<ShardOffloadStall>(&fault)) {
+      if (f->shard >= num_shards)
+        throw std::invalid_argument(
+            "chaos: ShardOffloadStall.shard out of range");
+    }
   }
 
   // Per-shard worlds, declared before the tier (lifetime order: channels
   // outlive servers). Each shard's thread only ever touches index s of
   // these — the same disjoint-world contract ShardExecutor enforces for
-  // the queues.
+  // the queues. Honest attempt ordinals live in a per-key vector (each
+  // element touched only by the thread currently running that client's
+  // world) so a failover migration continues the count instead of
+  // restarting it; attack keys never migrate, so per-shard maps suffice.
   std::vector<std::vector<std::unique_ptr<net::DuplexChannel>>> channels(
       num_shards);
   std::vector<Weather> weather(num_shards);
   std::vector<std::vector<net::LossyChannel*>> live_channels(num_shards);
   std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> attempts(
       num_shards);
+  std::vector<std::uint32_t> honest_attempts(config_.honest_clients, 0);
 
   server::ShardedServerConfig scfg;
   scfg.shards = num_shards;
   scfg.slice_us = config_.slice_us;
   scfg.server = config_.server;
   scfg.cache = config_.cache;
-  server::ShardedServer tier(scfg);
+  server::ShardSupervisor tier(scfg);
+  tier.set_watchdog_wall_ms(config_.watchdog_wall_ms);
 
   std::vector<std::unique_ptr<crypto::HmacDrbg>> engine_rngs;
   std::vector<std::unique_ptr<engine::ProtocolEngine>> engines;
@@ -430,22 +466,30 @@ CampaignReport CampaignRunner::run_sharded() {
   // Shared connect path, parameterised by connection key: the channel,
   // link, accept and bookkeeping all live on the key's shard. The wire
   // identity is (key, per-key attempt ordinal) — independent of shard
-  // count, so every on-the-wire byte is too.
+  // count AND of placement, so every on-the-wire byte is too (which is
+  // why a failed-over client's transcript matches an undisturbed run's).
+  // A dead shard simply never answers: the dial still burns the attempt
+  // (bound clients are always routed to a live shard, so only attack
+  // keys whose stable home is down ever hit this).
   auto make_link = [&](std::uint32_t conn_key,
                        const net::LinkConfig& link_cfg) {
     const std::size_t s = tier.shard_of(conn_key);
     net::EventQueue& queue = tier.queue(s);
-    const std::uint32_t wire_id =
-        server::make_wire_id(conn_key, attempts[s][conn_key]++);
+    const std::uint32_t attempt =
+        conn_key < honest_attempts.size() ? honest_attempts[conn_key]++
+                                          : attempts[s][conn_key]++;
+    const std::uint32_t wire_id = server::make_wire_id(conn_key, attempt);
     auto channel = std::make_unique<net::DuplexChannel>(
         queue, config_.channel, config_.channel,
         mix(config_.seed, 0xC4A17 + wire_id));
     apply_weather(weather[s], channel->a_to_b());
     apply_weather(weather[s], channel->b_to_a());
-    server::SecureSessionServer::AcceptOptions opts;
-    opts.wire_id = wire_id;
-    opts.rng_seed = mix(mix(config_.seed, 0x5E4), wire_id);
-    tier.accept(conn_key, channel->b_to_a(), channel->a_to_b(), opts);
+    if (tier.shard_alive(s)) {
+      server::SecureSessionServer::AcceptOptions opts;
+      opts.wire_id = wire_id;
+      opts.rng_seed = mix(mix(config_.seed, 0x5E4), wire_id);
+      tier.accept(conn_key, channel->b_to_a(), channel->a_to_b(), opts);
+    }
     auto link = std::make_unique<net::ReliableLink>(
         queue, channel->a_to_b(), channel->b_to_a(), link_cfg);
     live_channels[s].push_back(&channel->a_to_b());
@@ -455,20 +499,26 @@ CampaignReport CampaignRunner::run_sharded() {
   };
 
   // ---- honest fleet ---------------------------------------------------
+  // Honest clients BIND: the supervisor routes them by rendezvous over
+  // the live shards and migrates them (with their queue rebinding and
+  // ticket-first reconnect) when their shard dies. Client seeds and
+  // arrival times are placement-independent, so the fleet digest is too.
   std::vector<std::unique_ptr<server::SessionClient>> clients;
   clients.reserve(config_.honest_clients);
   crypto::HmacDrbg arrival_rng(mix(config_.seed, 0xA881));
   net::SimTime arrival = 0;
   for (std::size_t i = 0; i < config_.honest_clients; ++i) {
     const auto key = static_cast<std::uint32_t>(i);
-    const std::size_t s = tier.shard_of(key);
+    const std::size_t s =
+        server::shard_for_live(key, num_shards, tier.routable());
     auto client = std::make_unique<server::SessionClient>(
         tier.queue(s), config_.client, key, *engines[s],
         mix(config_.seed, 0xC11E57 + i));
     client->set_connect(
         [&make_link, key, link_cfg = config_.client.link](
             server::SessionClient&) { return make_link(key, link_cfg); });
-    tier.queue(s).schedule_at(arrival, [c = client.get()] { c->start(); });
+    tier.bind_client(key, client.get());
+    client->schedule_start(arrival);
     arrival +=
         config_.poisson_arrivals
             ? exponential_us(arrival_rng,
@@ -481,17 +531,25 @@ CampaignReport CampaignRunner::run_sharded() {
   // Bearer weather is shard-local state flipped by identical events
   // scheduled on EVERY shard's queue at the same simulated times, so each
   // shard's bearer degrades and recovers in lockstep without any
-  // cross-thread traffic.
+  // cross-thread traffic. The flips are kept as a PLAN (not just queue
+  // events): a hard-killed shard loses its scheduled flips with the rest
+  // of its world, so the rejoin hook below replays the past ones into a
+  // fresh Weather and re-schedules the future ones.
   std::vector<std::unique_ptr<FloodClient>> floods;
   std::vector<std::unique_ptr<MalformedClient>> vandals;
   std::uint64_t fault_index = 0;
+  std::uint64_t planned_crashes = 0;
+  std::uint64_t planned_drains = 0;
+  std::uint64_t planned_hangs = 0;
+  std::uint64_t planned_rejoins = 0;
 
-  auto weather_event = [&](net::SimTime at, auto&& fn) {
-    for (std::size_t s = 0; s < num_shards; ++s)
-      tier.queue(s).schedule_at(at, [&, s, fn] {
-        fn(weather[s]);
-        reapply_shard(s);
-      });
+  struct WeatherFlip {
+    net::SimTime at = 0;
+    std::function<void(Weather&)> fn;
+  };
+  std::vector<WeatherFlip> weather_plan;
+  auto weather_event = [&](net::SimTime at, std::function<void(Weather&)> fn) {
+    weather_plan.push_back({at, std::move(fn)});
   };
 
   for (const Fault& fault : config_.faults) {
@@ -528,6 +586,58 @@ CampaignReport CampaignRunner::run_sharded() {
       if (f->duration_us != 0)
         weather_event(f->at_us + f->duration_us,
                       [](Weather& w) { w.collapsed = false; });
+    } else if (const auto* f = std::get_if<ShardCrash>(&fault)) {
+      const net::SimTime repair =
+          f->repair_us == 0 ? server::ShardSupervisor::kNoRepair
+                            : f->repair_us;
+      if (f->graceful) {
+        ++planned_drains;
+        tier.schedule_drain(f->at_us, f->shard, f->drain_deadline_us, repair);
+      } else {
+        ++planned_crashes;
+        tier.schedule_crash(f->at_us, f->shard, repair);
+      }
+      if (f->repair_us != 0) ++planned_rejoins;
+    } else if (const auto* f = std::get_if<ShardHang>(&fault)) {
+      const net::SimTime repair =
+          f->repair_us == 0 ? server::ShardSupervisor::kNoRepair
+                            : f->repair_us;
+      ++planned_hangs;
+      tier.schedule_hang(f->at_us, f->shard, repair);
+      if (f->repair_us != 0) ++planned_rejoins;
+    } else if (const auto* f = std::get_if<ShardWorkerStall>(&fault)) {
+      // Rides the target shard's own queue: lands at a deterministic
+      // simulated instant and is executed by the one thread that owns
+      // that pipeline. Dies with the shard if it crashes first; a
+      // rejoined shard's fresh pipeline starts unstalled.
+      tier.queue(f->shard).schedule_at(f->at_us, [&tier, w = *f] {
+        tier.server(w.shard).pipeline_for_chaos().inject_worker_stall(
+            w.worker, w.stall_ns);
+      });
+      if (f->duration_us != 0)
+        tier.queue(f->shard).schedule_at(
+            f->at_us + f->duration_us, [&tier, w = *f] {
+              tier.server(w.shard).pipeline_for_chaos().inject_worker_stall(
+                  w.worker, 0);
+            });
+    } else if (const auto* f = std::get_if<ShardOffloadStall>(&fault)) {
+      const auto stall_set = [&tier](const ShardOffloadStall& w,
+                                     std::uint64_t ns) {
+        engine::OffloadEngine* off = tier.server(w.shard).offload_for_chaos();
+        if (off == nullptr) return;  // inline pk mode: nothing to stall
+        if (w.all_workers) {
+          for (std::size_t i = 0; i < off->num_workers(); ++i)
+            off->inject_worker_stall(i, ns);
+        } else {
+          off->inject_worker_stall(w.worker, ns);
+        }
+      };
+      tier.queue(f->shard).schedule_at(
+          f->at_us, [stall_set, w = *f] { stall_set(w, w.stall_ns); });
+      if (f->duration_us != 0)
+        tier.queue(f->shard).schedule_at(
+            f->at_us + f->duration_us,
+            [stall_set, w = *f] { stall_set(w, 0); });
     } else if (const auto* f = std::get_if<HandshakeFlood>(&fault)) {
       for (int a = 0; a < f->attackers; ++a) {
         FloodConfig fc;
@@ -573,12 +683,43 @@ CampaignReport CampaignRunner::run_sharded() {
     } else if (const auto* f = std::get_if<TicketKeyRotation>(&fault)) {
       // Through the epoch-barrier control channel: every shard rotates at
       // the same barrier, in deterministic order against other control
-      // messages, so ticket epochs stay in lockstep fleet-wide.
+      // messages, so ticket epochs stay in lockstep fleet-wide. A shard
+      // that was dead for a rotation replays it from the recorded control
+      // history at rejoin, keeping every ring in epoch lockstep.
       for (int r = 0; r < f->rotations; ++r)
         tier.rotate_ticket_keys(f->at_us +
                                 static_cast<net::SimTime>(r) * f->period_us);
     }
   }
+
+  // Schedule the weather plan in time order on every shard (stable, so
+  // same-instant flips keep plan order), and arm the rejoin hook that
+  // rebuilds a returning shard's weather world: past flips replayed into
+  // a fresh Weather, future flips re-scheduled on the (cleared) queue.
+  std::stable_sort(
+      weather_plan.begin(), weather_plan.end(),
+      [](const WeatherFlip& a, const WeatherFlip& b) { return a.at < b.at; });
+  for (std::size_t s = 0; s < num_shards; ++s)
+    for (const WeatherFlip& flip : weather_plan)
+      tier.queue(s).schedule_at(flip.at, [&, s, fn = flip.fn] {
+        fn(weather[s]);
+        reapply_shard(s);
+      });
+  tier.set_on_rejoin([&](std::size_t s) {
+    const net::SimTime now = tier.queue(s).now();
+    weather[s] = Weather{};
+    for (const WeatherFlip& flip : weather_plan) {
+      if (flip.at <= now) {
+        flip.fn(weather[s]);
+      } else {
+        tier.queue(s).schedule_at(flip.at, [&, s, fn = flip.fn] {
+          fn(weather[s]);
+          reapply_shard(s);
+        });
+      }
+    }
+    reapply_shard(s);
+  });
 
   // ---- run ------------------------------------------------------------
   const server::ShardedServer::RunStats rs = tier.run(config_.max_events);
@@ -597,6 +738,7 @@ CampaignReport CampaignRunner::run_sharded() {
   report.sim_duration_s = static_cast<double>(end) / 1e6;
 
   crypto::Bytes digest_stream;
+  std::vector<net::SimTime> blackouts;
   for (const auto& client : clients) {
     for (const server::SessionRecord& record : client->sessions()) {
       ++report.sessions_attempted;
@@ -606,11 +748,35 @@ CampaignReport CampaignRunner::run_sharded() {
       report.honest_refused_attempts +=
           static_cast<std::size_t>(record.refused_attempts);
     }
+    report.client_reconnects += static_cast<std::size_t>(client->reconnects());
+    report.failover_resumes +=
+        static_cast<std::size_t>(client->failover_resumes());
+    blackouts.insert(blackouts.end(), client->failover_blackouts_us().begin(),
+                     client->failover_blackouts_us().end());
     digest_stream.insert(digest_stream.end(),
                          client->transcript_digest().begin(),
                          client->transcript_digest().end());
   }
   report.fleet_digest = crypto::Sha256::hash(digest_stream);
+
+  const server::ShardSupervisor::FailoverStats& fs = tier.failover_stats();
+  report.shard_crashes = fs.crashes;
+  report.shard_hangs_detected = fs.hangs_detected;
+  report.shard_drains = fs.drains;
+  report.shard_rejoins = fs.rejoins;
+  report.clients_migrated = fs.clients_migrated;
+  report.connections_killed = fs.connections_killed;
+  report.missed_heartbeats = fs.missed_heartbeats;
+  if (!blackouts.empty()) {
+    std::sort(blackouts.begin(), blackouts.end());
+    const auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(blackouts.size() - 1) + 0.5);
+      return static_cast<double>(blackouts[idx]) / 1000.0;
+    };
+    report.blackout_p50_ms = pct(0.50);
+    report.blackout_p99_ms = pct(0.99);
+  }
 
   for (const auto& flood : floods) {
     report.attack_connections += flood->stats().connections_opened;
@@ -652,6 +818,16 @@ CampaignReport CampaignRunner::run_sharded() {
       report.server.peak_deferred_bytes >
           config_.server.max_deferred_appdata_bytes + kMemorySlop)
     flag("deferred-appdata memory exceeded its bound");
+  if (report.shard_hangs_detected < planned_hangs)
+    flag("injected shard hang was not detected");
+  if (report.shard_crashes < planned_crashes)
+    flag("scheduled shard crash did not execute");
+  if (report.shard_drains < planned_drains)
+    flag("scheduled shard drain did not execute");
+  if (report.shard_rejoins < planned_rejoins)
+    flag("killed shard failed to rejoin");
+  if (report.missed_heartbeats != 0)
+    flag("live shard missed a barrier heartbeat");
 
   return report;
 }

@@ -14,8 +14,10 @@
 // timing.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,6 +25,53 @@
 #include "mapsec/net/sim_clock.hpp"
 
 namespace mapsec::net {
+
+/// A rendezvous point a fault can park a shard thread on, mid-event. The
+/// hang-injection protocol: a chaos fault schedules an event that calls
+/// wait() — the shard thread blocks *inside* its slice, so the barrier in
+/// run_slice() cannot complete until someone calls release(). That someone
+/// is the executor's watchdog (see set_watchdog), which fires on wall
+/// clock, releases engaged latches, and reports which shards were stuck so
+/// the supervisor can hard-kill them with deterministic accounting.
+///
+/// release(false) only opens a latch a thread has actually engaged —
+/// a latch whose event has not run yet stays armed, so a slow-but-healthy
+/// shard can never be mistaken for a hung one. release(true) opens the
+/// latch unconditionally (shutdown path: a latch whose event never runs
+/// must not wedge a worker that reaches it later).
+class HangLatch {
+ public:
+  /// Blocks the calling (shard) thread until release(). Call from inside
+  /// a scheduled event only.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    engaged_ = true;
+    cv_.wait(lock, [this] { return released_; });
+  }
+
+  /// Returns true when THIS call opened a latch a thread had engaged
+  /// (transition-only, so a repeated watchdog firing never double-reports
+  /// a shard). `force` opens the latch even if nothing is blocked on it.
+  bool release(bool force) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (released_) return false;
+    if (!engaged_ && !force) return false;
+    released_ = true;
+    cv_.notify_all();
+    return engaged_;
+  }
+
+  bool engaged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engaged_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool engaged_ = false;
+  bool released_ = false;
+};
 
 class ShardExecutor {
  public:
@@ -38,6 +87,25 @@ class ShardExecutor {
   /// reached it. After return each shard's clock reads exactly `deadline`
   /// and the caller owns every world until the next call.
   void run_slice(SimTime deadline);
+
+  /// Arm a wall-clock watchdog over run_slice. When a slice has not
+  /// completed after `wall` of real time, `unstick(false)` is invoked
+  /// (off-lock) and must release whatever is blocking shard threads
+  /// (HangLatch::release), returning the shard indexes that were actually
+  /// stuck. The slice then completes normally and the stuck set is
+  /// reported via last_stragglers(). The stuck set is a property of the
+  /// simulated schedule (which latches a fault engaged), never of host
+  /// timing, so detection stays deterministic; the wall clock only bounds
+  /// how long the coordinator waits. Destruction calls `unstick(true)`
+  /// before joining so a latched thread can never deadlock shutdown.
+  void set_watchdog(std::chrono::milliseconds wall,
+                    std::function<std::vector<std::size_t>(bool force)> unstick);
+
+  /// Shards the watchdog found hung during the most recent run_slice()
+  /// (empty when the slice completed without intervention).
+  const std::vector<std::size_t>& last_stragglers() const {
+    return stragglers_;
+  }
 
   /// Earliest pending event time across all shards, or EventQueue::kNoEvent
   /// when every queue is drained. Only valid between slices.
@@ -62,6 +130,10 @@ class ShardExecutor {
   bool stop_ = false;
   std::vector<std::size_t> slice_counts_;  // events run, per shard
   std::size_t events_run_ = 0;
+
+  std::chrono::milliseconds watchdog_wall_{0};  // 0 = watchdog disarmed
+  std::function<std::vector<std::size_t>(bool)> unstick_;
+  std::vector<std::size_t> stragglers_;
 };
 
 }  // namespace mapsec::net

@@ -57,6 +57,12 @@ class EventQueue {
   std::size_t pending() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
 
+  /// Drop every pending event without running it. The clock is untouched.
+  /// Used when a shard's world is hard-killed: its timers, retransmits and
+  /// in-flight deliveries die with it, and a later warm rejoin starts from
+  /// an empty schedule at the fleet's current barrier time.
+  void clear();
+
   /// Time of the earliest pending event, or `kNoEvent` when the queue is
   /// empty. Lets a slice scheduler (ShardExecutor) bound each slice by
   /// the next instant anything can actually happen, instead of spinning

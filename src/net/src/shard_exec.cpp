@@ -15,16 +15,45 @@ ShardExecutor::~ShardExecutor() {
     stop_ = true;
   }
   cv_.notify_all();
+  // A shard thread parked on a HangLatch mid-slice would never observe
+  // stop_; open every latch unconditionally so join() is bounded by real
+  // work, not by a fault that was injected and never repaired.
+  if (unstick_) unstick_(/*force=*/true);
   for (auto& t : threads_) t.join();
+}
+
+void ShardExecutor::set_watchdog(
+    std::chrono::milliseconds wall,
+    std::function<std::vector<std::size_t>(bool force)> unstick) {
+  watchdog_wall_ = wall;
+  unstick_ = std::move(unstick);
 }
 
 void ShardExecutor::run_slice(SimTime deadline) {
   std::unique_lock<std::mutex> lock(mu_);
+  stragglers_.clear();
   deadline_ = deadline;
   running_ = queues_.size();
   ++generation_;  // releases the workers; the mutex publishes the worlds
   cv_.notify_all();
-  cv_.wait(lock, [this] { return running_ == 0; });
+  const auto done = [this] { return running_ == 0; };
+  if (watchdog_wall_.count() > 0 && unstick_) {
+    // Wall-clock bounded wait: when the barrier stalls past the budget,
+    // ask the unstick hook to open any engaged hang latches. Only latches
+    // a thread actually reached are opened (release(false)), so which
+    // shards land in stragglers_ is decided by the simulated schedule —
+    // a slow healthy shard just earns another wait round. The loop keeps
+    // waiting until the barrier completes; liveness is restored by the
+    // unstick call, determinism by the latch engagement rule.
+    while (!cv_.wait_for(lock, watchdog_wall_, done)) {
+      lock.unlock();
+      std::vector<std::size_t> stuck = unstick_(/*force=*/false);
+      lock.lock();
+      for (std::size_t s : stuck) stragglers_.push_back(s);
+    }
+  } else {
+    cv_.wait(lock, done);
+  }
   // The same mutex acquisition that observed running_ == 0 also
   // establishes happens-before with every worker's writes: the caller now
   // owns all shard worlds until the next run_slice().

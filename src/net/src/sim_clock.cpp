@@ -48,6 +48,11 @@ std::size_t EventQueue::run_until(SimTime deadline) {
   return count;
 }
 
+void EventQueue::clear() {
+  events_.clear();
+  index_.clear();
+}
+
 std::size_t EventQueue::run_all(std::size_t max_events) {
   std::size_t count = 0;
   while (run_one()) {

@@ -238,6 +238,44 @@ ShardedGapReport serving_gap_sharded(
     double battery_kj = 26.0, Primitive pk = Primitive::kRsa1024Private,
     Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
 
+/// Failover pricing — what one shard's death costs the fleet, in the
+/// paper's own currencies (MIPS and millijoules). During the repair
+/// window the victim's 1/N of the fleet demand lands on the N-1
+/// survivors, plus a resumption burst: every in-flight session of the
+/// dead shard re-establishes on a survivor. With stateless tickets each
+/// re-establishment is one AES-CCM ticket open (symmetric only); the
+/// report also prices the counterfactual burst of FULL handshakes — the
+/// ratio is the battery argument for ticket-based failover at appliance
+/// scale.
+struct FailoverGapReport {
+  /// Steady-state sharded pricing (all shards serving).
+  ShardedGapReport steady;
+  double surviving_shards = 0;
+  /// Per-survivor demand during the outage: fleet/(N-1) + merge tax +
+  /// its share of the resumption burst.
+  double degraded_required_mips = 0;
+  double degraded_utilisation = 0;  ///< vs one core's MIPS
+  double blackout_s = 0;            ///< client-observed re-establish window
+  double reconnect_sessions = 0;    ///< victim sessions that must move
+  double burst_mips = 0;            ///< whole resumption burst over blackout_s
+  double crash_energy_mj = 0;       ///< burst as ticket resumptions
+  double crash_energy_full_mj = 0;  ///< counterfactual: full RSA handshakes
+  double ticket_saving_ratio = 0;   ///< full / ticket energy (>= 1)
+};
+
+/// Price a one-shard outage against a measured load. `reconnect_sessions`
+/// and `blackout_s` come from the run (CampaignReport::client_reconnects,
+/// blackout percentiles); `ticket_open_instr` is the symmetric cost of
+/// one stateless resumption (two AES passes over the ticket blob plus the
+/// abbreviated flight — calibrate from the measured kernels if desired).
+FailoverGapReport serving_gap_failover(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t shards, double slice_us, double reconnect_sessions,
+    double blackout_s, double ticket_open_instr = 6'000.0,
+    double merge_instr_per_slice = 2000.0, double battery_kj = 26.0,
+    Primitive pk = Primitive::kRsa1024Private,
+    Primitive cipher = Primitive::kDes3, Primitive mac = Primitive::kSha1);
+
 /// Projection of the gap over time — Section 3.2's closing argument:
 /// "the increase in data rates ... and the use of stronger cryptographic
 /// algorithms ... threaten to further widen the wireless security

@@ -265,6 +265,49 @@ ShardedGapReport serving_gap_sharded(
   return report;
 }
 
+FailoverGapReport serving_gap_failover(
+    const WorkloadModel& model, const Processor& proc, const ServedLoad& load,
+    std::size_t shards, double slice_us, double reconnect_sessions,
+    double blackout_s, double ticket_open_instr,
+    double merge_instr_per_slice, double battery_kj, Primitive pk,
+    Primitive cipher, Primitive mac) {
+  FailoverGapReport report;
+  report.steady =
+      serving_gap_sharded(model, proc, load, shards, slice_us,
+                          merge_instr_per_slice, battery_kj, pk, cipher, mac);
+  report.surviving_shards =
+      shards > 1 ? static_cast<double>(shards - 1) : 1.0;
+  report.blackout_s = blackout_s;
+  report.reconnect_sessions = reconnect_sessions;
+
+  // The whole resumption burst, expressed as sustained MIPS over the
+  // blackout window it lands in.
+  const double burst_instr = reconnect_sessions * ticket_open_instr;
+  report.burst_mips =
+      blackout_s > 0 ? burst_instr / blackout_s / 1e6 : 0.0;
+
+  report.degraded_required_mips =
+      report.steady.fleet.required_mips / report.surviving_shards +
+      report.steady.merge_overhead_mips +
+      report.burst_mips / report.surviving_shards;
+  report.degraded_utilisation =
+      proc.mips > 0 ? report.degraded_required_mips / proc.mips : 0.0;
+
+  // Energy bill of the crash itself: every victim session re-establishes
+  // once. Tickets make each re-establishment symmetric-only; the
+  // counterfactual (no resumption state survives the crash) pays the
+  // full private-key operation per session — the paper's 42 mJ/KB worst
+  // case, at fleet scale.
+  report.crash_energy_mj = proc.millijoules_for(burst_instr);
+  report.crash_energy_full_mj = proc.millijoules_for(
+      reconnect_sessions * model.instr_per_op(pk));
+  report.ticket_saving_ratio =
+      report.crash_energy_mj > 0
+          ? report.crash_energy_full_mj / report.crash_energy_mj
+          : 0.0;
+  return report;
+}
+
 double GapAnalysis::max_rate_mbps(const Processor& proc,
                                   double latency_s) const {
   const double handshake =

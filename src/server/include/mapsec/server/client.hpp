@@ -53,6 +53,12 @@ struct ClientConfig {
   /// degrades transparently to session-id resumption.
   bool use_session_tickets = false;
 
+  /// Wait before the first reconnect attempt after the supervisor reports
+  /// the client's shard dead (models failure detection plus rerouting to
+  /// the failover shard). Subsequent failures of the reconnect itself pay
+  /// the normal capped exponential backoff.
+  net::SimTime failover_reconnect_delay_us = 50'000;
+
   /// Complete the handshake, then go silent without closing (exercises
   /// the server's idle timeout).
   bool linger = false;
@@ -97,15 +103,52 @@ class SessionClient {
   /// Begin the first session at the current simulated time.
   void start();
 
+  /// Schedule start() at absolute simulated time `at` on the client's
+  /// queue. Prefer this over scheduling start() by hand: a client whose
+  /// shard dies before its arrival keeps the arrival — on_shard_failover
+  /// re-arms it on the failover shard's queue.
+  void schedule_start(net::SimTime at);
+
+  /// Fleet-supervisor notification, between slices: this client's shard
+  /// died (its queue may have been cleared) and the connect function now
+  /// routes to a survivor. Rebinds the client to `new_queue`, tears down
+  /// the dead transport, and — when a session was in flight — schedules a
+  /// ticket-first reconnect after failover_reconnect_delay_us. The
+  /// blackout window is measured from `outage_started_at` (the simulated
+  /// instant the shard stopped serving) to re-establishment.
+  void on_shard_failover(net::EventQueue& new_queue,
+                         net::SimTime outage_started_at);
+
   std::uint32_t id() const { return id_; }
   bool finished() const { return finished_; }
+  /// No connection in flight: not yet started, waiting out the gap before
+  /// the next session, or done. A graceful drain migrates idle clients
+  /// immediately and lets busy ones finish where they are.
+  bool idle() const {
+    return finished_ || !started_ || awaiting_next_session_;
+  }
   const std::vector<SessionRecord>& sessions() const { return records_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_echoed() const { return bytes_echoed_; }
+  net::EventQueue& queue() const { return *queue_; }
 
-  /// Running SHA-256 over every verified echoed payload, in arrival
-  /// order — the soak tests compare this across PacketPipeline worker
-  /// counts.
+  /// Failover telemetry: connections torn down by a shard death, sessions
+  /// re-established via resumption after such a reconnect, and one
+  /// blackout sample (outage start -> session re-established) per
+  /// reconnect that made it back.
+  int reconnects() const { return reconnects_; }
+  int failover_resumes() const { return failover_resumes_; }
+  const std::vector<net::SimTime>& failover_blackouts_us() const {
+    return blackouts_us_;
+  }
+
+  /// Running SHA-256 over the first verified echo of every payload index,
+  /// in index order per session — the soak tests compare this across
+  /// PacketPipeline worker counts and shard topologies. Payload bytes are
+  /// a pure function of (client seed, session, index) and each index is
+  /// folded in at most once, so a session interrupted by a shard crash
+  /// and resumed elsewhere contributes exactly the bytes an undisturbed
+  /// run would have.
   const crypto::Bytes& transcript_digest() const { return digest_; }
 
  private:
@@ -119,18 +162,20 @@ class SessionClient {
   void maybe_close();
   void attempt_failed(const std::string& reason);
   void session_done();
+  void schedule_next_session(net::SimTime at);
   void finish_client();
   void cancel_timers();
+  crypto::Bytes make_payload(int session, int index) const;
 
-  net::EventQueue& queue_;
+  net::EventQueue* queue_;  // rebindable: failover moves the client
   ClientConfig config_;
   std::uint32_t id_;
   const engine::ProtocolEngine& engine_;
 
-  crypto::HmacDrbg rng_;          // handshake endpoint randomness
-  crypto::HmacDrbg payload_rng_;  // application payload contents
-  crypto::HmacDrbg engine_rng_;   // engine run() nonce source (unused by
-                                  // the inbound program, required by API)
+  crypto::HmacDrbg rng_;        // handshake endpoint randomness
+  std::uint64_t payload_seed_;  // application payloads, derived per index
+  crypto::HmacDrbg engine_rng_;  // engine run() nonce source (unused by
+                                 // the inbound program, required by API)
 
   ConnectFn connect_;
   std::function<void(SessionClient&)> on_finished_;
@@ -145,10 +190,26 @@ class SessionClient {
   net::EventId attempt_timer_ = 0;
   std::vector<crypto::Bytes> sent_payloads_;
   int echoes_received_ = 0;
+  int digested_through_ = 0;  // payload indexes already folded into digest_
   bool all_sent_ = false;
   bool close_sent_ = false;
   engine::EngineSa bulk_sa_;
   bool bulk_active_ = false;
+
+  // Arrival / inter-session state the failover path must re-arm when the
+  // events carrying it die with a cleared shard queue.
+  bool started_ = false;
+  bool has_scheduled_start_ = false;
+  net::SimTime start_at_ = 0;
+  bool awaiting_next_session_ = false;
+  net::SimTime next_session_at_ = 0;
+
+  // Failover telemetry.
+  bool in_failover_ = false;
+  net::SimTime blackout_started_at_ = 0;
+  int reconnects_ = 0;
+  int failover_resumes_ = 0;
+  std::vector<net::SimTime> blackouts_us_;
 
   struct Ticket {
     crypto::Bytes session_id;

@@ -118,6 +118,14 @@ struct ServerConfig {
     net::SimTime rotation_interval_us = 0;  ///< 0 = manual rotation only
     net::SimTime lifetime_us = 0;           ///< ticket expiry; 0 = none
     std::size_t max_wire_len = 512;  ///< oversize-blob refusal threshold
+    /// Birth time of the key ring (kRingBirthNow = the queue's now() at
+    /// construction, the normal case). A supervised shard that rejoins
+    /// after a crash is rebuilt mid-run, and its ring must be a replica of
+    /// the one that died: same seed, same birth, then the supervisor
+    /// replays the recorded rotation history — so tickets sealed before
+    /// the crash open on the rejoined shard.
+    static constexpr std::uint64_t kRingBirthNow = ~std::uint64_t{0};
+    std::uint64_t ring_birth_us = kRingBirthNow;
   };
   TicketConfig ticket;
 
@@ -313,6 +321,13 @@ class SecureSessionServer {
   /// every accepted connection is accounted for exactly once.
   ///   accepted == graceful + idle + failed + refused + open
   bool stats_conserved() const;
+
+  /// Hard-kill accounting: fail every connection still open (handshaking
+  /// or established) with `reason`, leaving the stats conserved — the
+  /// supervisor calls this before destroying a crashed shard's server so
+  /// the victim's partial counters merge into the fleet totals exactly.
+  /// Returns the number of connections failed.
+  std::size_t fail_all_connections(const std::string& reason);
 
  private:
   enum class ConnState {

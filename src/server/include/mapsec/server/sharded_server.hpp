@@ -38,12 +38,33 @@
 #include "mapsec/server/server.hpp"
 #include "mapsec/server/session_cache.hpp"
 
+namespace mapsec::net {
+class ShardExecutor;
+}  // namespace mapsec::net
+
 namespace mapsec::server {
 
 /// Stable shard routing: FNV-1a over the little-endian bytes of the
 /// 32-bit connection key, mod the shard count. Pure function of
 /// (key, shards) — never of accept order or load.
 std::size_t shard_for(std::uint32_t conn_key, std::size_t shards);
+
+/// Failover-aware routing: highest-random-weight (rendezvous) hashing
+/// over the shards marked routable. Every (key, shard) pair has a fixed
+/// weight, and a key lands on its highest-weighted routable shard — so
+/// when one shard dies, ONLY its keys move (each to its next-highest
+/// survivor); every other key's argmax is untouched. With all shards
+/// routable this is the stable rendezvous placement (distinct from
+/// shard_for's modulo hash, which the non-supervised tier keeps for
+/// byte-compatibility). Falls back to shard_for when nothing is routable.
+std::size_t shard_for_live(std::uint32_t conn_key, std::size_t shards,
+                           const std::vector<bool>& routable);
+
+/// Sum per-shard ServerStats into a fleet view: counters add, peaks take
+/// the max, latency vectors concatenate. Public so the supervisor can
+/// fold a dead shard's retired counters into the same totals the live
+/// merge uses.
+void accumulate_stats(ServerStats& fleet, const ServerStats& shard);
 
 /// Global wire identity for a connection attempt: the client's connection
 /// key and its per-client attempt ordinal, packed so the value is
@@ -90,13 +111,15 @@ struct ShardBreakdown {
 class ShardedServer {
  public:
   explicit ShardedServer(ShardedServerConfig config);
-  ~ShardedServer();
+  virtual ~ShardedServer();
 
   ShardedServer(const ShardedServer&) = delete;
   ShardedServer& operator=(const ShardedServer&) = delete;
 
   std::size_t shards() const { return shards_.size(); }
-  std::size_t shard_of(std::uint32_t conn_key) const {
+  /// Routing. The base tier hashes over all shards; the supervisor
+  /// overrides this with liveness- and binding-aware routing.
+  virtual std::size_t shard_of(std::uint32_t conn_key) const {
     return shard_for(conn_key, shards_.size());
   }
   net::EventQueue& queue(std::size_t shard) { return *shards_[shard]->queue; }
@@ -151,15 +174,25 @@ class ShardedServer {
   std::vector<ShardBreakdown> breakdown() const;
 
   /// The sharded conservation invariant: every shard's own accounting
-  /// conserves AND the fleet totals equal the per-shard sums.
+  /// conserves AND the fleet totals equal the per-shard sums. Retired
+  /// (pre-crash) worlds are folded in: a shard death may never lose a
+  /// connection from the books.
   bool conserved() const;
 
- private:
+ protected:
   struct Shard {
     std::unique_ptr<net::EventQueue> queue;
     std::unique_ptr<crypto::HmacDrbg> fallback_rng;
     std::unique_ptr<BoundedSessionCache> cache;
     std::unique_ptr<SecureSessionServer> server;
+    /// Supervision state. A dead shard keeps its (crashed) server object
+    /// for accounting until the warm rejoin replaces it; `retired`
+    /// accumulates the counters of every world this slot has already
+    /// buried, so fleet totals survive the replacement.
+    bool alive = true;
+    std::uint64_t heartbeats = 0;  // barrier heartbeat ticks (shard thread)
+    ServerStats retired;
+    BoundedSessionCache::Stats retired_cache;
   };
 
   struct ControlMessage {
@@ -168,12 +201,33 @@ class ShardedServer {
     std::function<void(SecureSessionServer&, std::size_t)> op;
   };
 
+  /// Hooks the supervisor layers onto the run loop. `at_barrier` runs on
+  /// the coordinator with all shards quiescent, BEFORE the control merge
+  /// of the same barrier (a shard killed here is excluded from the fleet
+  /// snapshot that follows). `next_lifecycle_due` keeps the loop alive
+  /// for pending lifecycle work (e.g. a rejoin) even when every queue has
+  /// drained. `configure_executor` runs once per run() before the first
+  /// slice (watchdog installation).
+  virtual void at_barrier(net::SimTime now, RunStats& rs,
+                          net::ShardExecutor& exec) {
+    (void)now, (void)rs, (void)exec;
+  }
+  virtual net::SimTime next_lifecycle_due() const {
+    return net::EventQueue::kNoEvent;
+  }
+  virtual void configure_executor(net::ShardExecutor& exec) { (void)exec; }
+
   void refresh_control(net::SimTime now, RunStats& rs);
   net::SimTime next_control_due() const;
 
   ShardedServerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ControlMessage> control_queue_;  // kept sorted (due, seq)
+  /// Every control op already applied, in application order — recorded
+  /// when record_control_history_ is set (supervisor mode), replayed into
+  /// a rejoining shard so its ticket ring / weather state re-syncs.
+  std::vector<ControlMessage> control_history_;
+  bool record_control_history_ = false;
   std::uint64_t control_seq_ = 0;
   FleetControl control_;
   bool fleet_degraded_ = false;

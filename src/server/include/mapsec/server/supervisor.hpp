@@ -1,0 +1,165 @@
+// Fleet supervisor: shard failure detection, zero-state failover, warm
+// rejoin — the availability layer the paper's appliance argument needs.
+//
+// The sharded tier (PR 8) gave the serving fleet N independent worlds
+// joined by an epoch-barrier merge; this layer makes a shard's DEATH one
+// more deterministic event in that merge. The supervisor owns three
+// lifecycle verbs, all of which execute on the coordinator thread at a
+// slice barrier with every world quiescent:
+//
+//   * crash  — hard-kill: every open connection on the victim is failed
+//     (conservation: the partial counters retire into the slot's books),
+//     its event queue is cleared (timers, retransmits and in-flight
+//     deliveries die with the world), and its clients are remapped to
+//     survivors by rendezvous hashing (shard_for_live: only the victim's
+//     keys move). Victims reconnect with their session ticket — the
+//     stateless-resumption design from PR 7 is what makes failover cost
+//     the survivor zero cache bytes and zero pk ops.
+//   * hang   — a fault parks the shard's thread on a net::HangLatch
+//     mid-slice; the executor's wall-clock watchdog releases it, reports
+//     the shard, and the supervisor escalates to a hard-kill at that
+//     (deterministic, simulated-time) barrier.
+//   * drain  — graceful: the shard is unrouted, idle clients migrate at
+//     once, busy ones finish in place; when the last connection closes
+//     (or the drain deadline forces a hard-kill) the world retires.
+//
+// A killed shard rejoins warm after its repair window: a fresh server on
+// the same queue, ticket key ring rebuilt as a replica (same seed, same
+// birth time, recorded control history replayed in (due, seq) order —
+// tickets sealed before the crash open after the rejoin), fleet admission
+// snapshot re-installed, and the chaos layer's on_rejoin hook re-arms the
+// weather. Every decision above is a function of simulated time and the
+// seed; the wall-clock watchdog only bounds how long the coordinator
+// waits, never what it decides. The whole crash -> reconnect -> resume ->
+// rejoin cycle therefore replays byte-identically, which is what the
+// failover campaign's digest gates pin.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mapsec/net/shard_exec.hpp"
+#include "mapsec/server/sharded_server.hpp"
+
+namespace mapsec::server {
+
+class ShardSupervisor : public ShardedServer {
+ public:
+  /// Sentinel repair window: the shard stays down for the rest of the run.
+  static constexpr net::SimTime kNoRepair = net::EventQueue::kNoEvent;
+
+  explicit ShardSupervisor(ShardedServerConfig config);
+
+  /// Register a client for supervised routing and failover. The client's
+  /// world must live on `queue(shard_of(key))` — bind BEFORE scheduling
+  /// its arrival, and use SessionClient::schedule_start so a pre-arrival
+  /// shard death re-arms the arrival on the failover shard. Bound keys
+  /// route by rendezvous over the live shards; unbound keys (attackers,
+  /// ad-hoc connections) keep the stable shard_for home — dialing a dead
+  /// shard is their problem, as it would be on a real network.
+  void bind_client(std::uint32_t conn_key, SessionClient* client);
+
+  std::size_t shard_of(std::uint32_t conn_key) const override;
+
+  /// Lifecycle scheduling (call before run() or between slices). Each op
+  /// executes at the first epoch barrier at or after `at`, in (at, call
+  /// order). `repair_us` is the dead window between the kill (or drain
+  /// completion) and the warm rejoin; kNoRepair means no rejoin.
+  void schedule_crash(net::SimTime at, std::size_t shard,
+                      net::SimTime repair_us);
+  /// Parks the shard's thread on a HangLatch at simulated time `at`; the
+  /// executor watchdog (set_watchdog_wall_ms) detects and the supervisor
+  /// hard-kills the shard at the barrier that observes the hang.
+  void schedule_hang(net::SimTime at, std::size_t shard,
+                     net::SimTime repair_us);
+  /// Graceful drain: unroute at `at`, migrate idle clients, let open
+  /// connections finish; hard-kill whatever remains at `at + deadline_us`.
+  void schedule_drain(net::SimTime at, std::size_t shard,
+                      net::SimTime deadline_us, net::SimTime repair_us);
+
+  /// Invoked on the coordinator right after shard `s` rejoins (fresh
+  /// server installed, control history replayed) — the chaos layer uses
+  /// it to rebuild the shard's weather world.
+  void set_on_rejoin(std::function<void(std::size_t shard)> fn) {
+    on_rejoin_ = std::move(fn);
+  }
+
+  /// Wall-clock budget per slice before the hang watchdog fires.
+  void set_watchdog_wall_ms(std::uint64_t ms) { watchdog_wall_ms_ = ms; }
+
+  bool shard_alive(std::size_t shard) const { return shards_[shard]->alive; }
+  std::size_t live_shards() const;
+  const std::vector<bool>& routable() const { return routable_; }
+
+  struct FailoverStats {
+    std::uint64_t crashes = 0;
+    std::uint64_t hangs_detected = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t drain_hard_kills = 0;  // drains that hit the deadline
+    std::uint64_t rejoins = 0;
+    std::uint64_t clients_migrated = 0;
+    std::uint64_t connections_killed = 0;  // failed by hard-kills
+    std::uint64_t control_replayed = 0;    // history ops replayed at rejoin
+    std::uint64_t heartbeats_seen = 0;     // barrier heartbeat ticks
+    std::uint64_t missed_heartbeats = 0;   // live shard failed to tick
+    net::SimTime first_outage_at_us = net::EventQueue::kNoEvent;
+    net::SimTime last_rejoin_at_us = 0;
+  };
+  const FailoverStats& failover_stats() const { return fstats_; }
+
+ protected:
+  void at_barrier(net::SimTime now, RunStats& rs,
+                  net::ShardExecutor& exec) override;
+  net::SimTime next_lifecycle_due() const override;
+  void configure_executor(net::ShardExecutor& exec) override;
+
+ private:
+  struct LifecycleOp {
+    enum class Kind { kCrash, kDrain, kDrainDeadline, kRejoin };
+    net::SimTime due = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kCrash;
+    std::size_t shard = 0;
+    net::SimTime repair_us = kNoRepair;
+    net::SimTime deadline_us = 0;
+  };
+  struct Binding {
+    SessionClient* client = nullptr;
+    std::size_t shard = 0;
+  };
+  struct Hang {
+    std::size_t shard = 0;
+    net::SimTime repair_us = kNoRepair;
+    std::shared_ptr<net::HangLatch> latch;
+    bool handled = false;
+  };
+  struct DrainState {
+    bool active = false;
+    net::SimTime repair_us = kNoRepair;
+  };
+
+  void push_op(LifecycleOp op);
+  void kill_shard(std::size_t shard, net::SimTime now, const char* reason);
+  void retire_world(std::size_t shard);
+  void rejoin_shard(std::size_t shard, net::SimTime now);
+  void migrate_clients(std::size_t shard, net::SimTime now, bool only_idle);
+  void schedule_rejoin(std::size_t shard, net::SimTime now,
+                       net::SimTime repair_us);
+  void beat_hearts(net::SimTime now);
+
+  std::vector<LifecycleOp> lifecycle_;  // sorted (due, seq)
+  std::uint64_t lifecycle_seq_ = 0;
+  std::map<std::uint32_t, Binding> bindings_;  // ordered: deterministic scan
+  std::vector<Hang> hangs_;
+  std::vector<DrainState> draining_;
+  std::vector<bool> routable_;
+  std::vector<std::uint64_t> heartbeats_expected_;
+  std::uint64_t watchdog_wall_ms_ = 250;
+  std::function<void(std::size_t)> on_rejoin_;
+  FailoverStats fstats_;
+};
+
+}  // namespace mapsec::server

@@ -11,18 +11,69 @@ SessionClient::SessionClient(net::EventQueue& queue, ClientConfig config,
                              std::uint32_t id,
                              const engine::ProtocolEngine& engine,
                              std::uint64_t seed)
-    : queue_(queue),
+    : queue_(&queue),
       config_(std::move(config)),
       id_(id),
       engine_(engine),
       rng_(seed),
-      payload_rng_(seed ^ 0x9E3779B97F4A7C15ull),
+      payload_seed_(seed ^ 0x9E3779B97F4A7C15ull),
       engine_rng_(seed ^ 0xC6A4A7935BD1E995ull),
       digest_(crypto::Sha256::kDigestSize, 0) {}
 
-void SessionClient::start() { start_session(); }
+void SessionClient::start() {
+  started_ = true;
+  start_session();
+}
+
+void SessionClient::schedule_start(net::SimTime at) {
+  start_at_ = at;
+  has_scheduled_start_ = true;
+  const std::uint64_t epoch = epoch_;
+  queue_->schedule_at(at, [this, epoch] {
+    if (epoch == epoch_ && !finished_ && !started_) start();
+  });
+}
+
+void SessionClient::on_shard_failover(net::EventQueue& new_queue,
+                                      net::SimTime outage_started_at) {
+  // Runs on the coordinator between slices; it owns every shard world, so
+  // tearing down a link built on the dead queue is safe here. Cancel
+  // against the old queue first (a no-op when the dead queue was cleared),
+  // then strand any event that still references the old epoch.
+  cancel_timers();
+  ++epoch_;
+  link_.reset();
+  tls_.reset();
+  bulk_active_ = false;
+  queue_ = &new_queue;
+  if (finished_) return;
+  if (!started_) {
+    // The arrival event died with the shard; re-arm it where we now live.
+    if (has_scheduled_start_)
+      schedule_start(std::max(start_at_, queue_->now()));
+    return;
+  }
+  if (awaiting_next_session_) {
+    // Between sessions: nothing was in flight, no blackout to report —
+    // the next session simply dials the failover shard.
+    schedule_next_session(std::max(next_session_at_, queue_->now()));
+    return;
+  }
+  // A session was in flight on the dead shard. Reconnect after the
+  // detection delay; begin_attempt() offers the ticket first, so the
+  // resumed session costs the survivor zero cache bytes and zero pk ops.
+  ++reconnects_;
+  in_failover_ = true;
+  blackout_started_at_ = outage_started_at;
+  const std::uint64_t epoch = epoch_;
+  queue_->schedule_in(config_.failover_reconnect_delay_us, [this, epoch] {
+    if (epoch == epoch_ && !finished_) begin_attempt();
+  });
+}
 
 void SessionClient::start_session() {
+  awaiting_next_session_ = false;
+  digested_through_ = 0;
   records_.emplace_back();
   begin_attempt();
 }
@@ -30,7 +81,7 @@ void SessionClient::start_session() {
 void SessionClient::begin_attempt() {
   ++epoch_;
   ++records_.back().attempts;
-  attempt_started_at_ = queue_.now();
+  attempt_started_at_ = queue_->now();
   echoes_received_ = 0;
   all_sent_ = false;
   close_sent_ = false;
@@ -61,13 +112,13 @@ void SessionClient::begin_attempt() {
 
   const std::uint64_t epoch = epoch_;
   handshake_timer_ =
-      queue_.schedule_in(config_.handshake_timeout_us, [this, epoch] {
+      queue_->schedule_in(config_.handshake_timeout_us, [this, epoch] {
         if (epoch != epoch_ || finished_) return;
         handshake_timer_ = 0;
         attempt_failed("handshake timeout");
       });
   attempt_timer_ =
-      queue_.schedule_in(config_.attempt_timeout_us, [this, epoch] {
+      queue_->schedule_in(config_.attempt_timeout_us, [this, epoch] {
         if (epoch != epoch_ || finished_) return;
         attempt_timer_ = 0;
         attempt_failed("session timeout");
@@ -118,15 +169,23 @@ void SessionClient::handle_handshake(crypto::ConstBytes body) {
 
 void SessionClient::on_established() {
   if (handshake_timer_) {
-    queue_.cancel(handshake_timer_);
+    queue_->cancel(handshake_timer_);
     handshake_timer_ = 0;
   }
   SessionRecord& record = records_.back();
   record.resumed = tls_->summary().resumed;
   record.ticket_resumed = tls_->summary().ticket_resumed;
-  record.handshake_latency_us = queue_.now() - attempt_started_at_;
+  record.handshake_latency_us = queue_->now() - attempt_started_at_;
   ticket_ = Ticket{tls_->summary().session_id, tls_->master_secret(),
                    tls_->summary().suite, tls_->session_ticket()};
+
+  if (in_failover_) {
+    // Back in service after a shard death: close the blackout window and
+    // count the resume if the handshake actually rode the ticket/cache.
+    in_failover_ = false;
+    blackouts_us_.push_back(queue_->now() - blackout_started_at_);
+    if (record.resumed || record.ticket_resumed) ++failover_resumes_;
+  }
 
   if (config_.linger) {
     // Handshake done, then silence: the server's idle timeout owns the
@@ -142,13 +201,25 @@ void SessionClient::on_established() {
     return;
   }
   const std::uint64_t epoch = epoch_;
-  queue_.schedule_in(config_.think_time_us, [this, epoch] {
+  queue_->schedule_in(config_.think_time_us, [this, epoch] {
     if (epoch == epoch_ && !finished_) send_next_payload();
   });
 }
 
+crypto::Bytes SessionClient::make_payload(int session, int index) const {
+  // Pure function of (client seed, session, index): a session replayed on
+  // a failover shard re-sends byte-identical payloads, which is what lets
+  // the digest-once rule make crashed and undisturbed runs hash equal.
+  const std::uint64_t n = static_cast<std::uint64_t>(session) * 0x10001ull +
+                          static_cast<std::uint64_t>(index);
+  crypto::HmacDrbg rng(payload_seed_ ^
+                       (n * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull));
+  return rng.bytes(config_.payload_bytes);
+}
+
 void SessionClient::send_next_payload() {
-  crypto::Bytes payload = payload_rng_.bytes(config_.payload_bytes);
+  crypto::Bytes payload = make_payload(
+      session_index_, static_cast<int>(sent_payloads_.size()));
   const crypto::Bytes wire = tls_->send_data(payload);
   bytes_sent_ += payload.size();
   sent_payloads_.push_back(std::move(payload));
@@ -161,7 +232,7 @@ void SessionClient::send_next_payload() {
     return;
   }
   const std::uint64_t epoch = epoch_;
-  queue_.schedule_in(config_.think_time_us, [this, epoch] {
+  queue_->schedule_in(config_.think_time_us, [this, epoch] {
     if (epoch == epoch_ && !finished_) send_next_payload();
   });
 }
@@ -185,9 +256,13 @@ void SessionClient::handle_bulk(crypto::ConstBytes body) {
   if (index >= static_cast<int>(sent_payloads_.size()) ||
       result.payload != sent_payloads_[index]) {
     record.echo_ok = false;
-  } else {
+  } else if (index >= digested_through_) {
+    // Digest-once: a payload index re-echoed by a retry (payloads are
+    // pure per index, so the bytes are identical) is verified again but
+    // folded into the transcript only the first time.
     bytes_echoed_ += result.payload.size();
     digest_ = crypto::Sha256::hash(crypto::cat(digest_, result.payload));
+    digested_through_ = index + 1;
   }
   maybe_close();
 }
@@ -220,7 +295,7 @@ void SessionClient::attempt_failed(const std::string& reason) {
   if (config_.max_retry_backoff_us != 0)
     backoff = std::min(backoff, config_.max_retry_backoff_us);
   const std::uint64_t epoch = epoch_;
-  queue_.schedule_in(backoff, [this, epoch] {
+  queue_->schedule_in(backoff, [this, epoch] {
     if (epoch == epoch_ && !finished_) begin_attempt();
   });
 }
@@ -231,13 +306,19 @@ void SessionClient::session_done() {
   records_.back().completed = true;
   ++session_index_;
   if (session_index_ < config_.sessions) {
-    const std::uint64_t epoch = epoch_;
-    queue_.schedule_in(config_.think_time_us, [this, epoch] {
-      if (epoch == epoch_ && !finished_) start_session();
-    });
+    schedule_next_session(queue_->now() + config_.think_time_us);
     return;
   }
   finish_client();
+}
+
+void SessionClient::schedule_next_session(net::SimTime at) {
+  awaiting_next_session_ = true;
+  next_session_at_ = at;
+  const std::uint64_t epoch = epoch_;
+  queue_->schedule_at(at, [this, epoch] {
+    if (epoch == epoch_ && !finished_) start_session();
+  });
 }
 
 void SessionClient::finish_client() {
@@ -248,8 +329,8 @@ void SessionClient::finish_client() {
 }
 
 void SessionClient::cancel_timers() {
-  if (handshake_timer_) queue_.cancel(handshake_timer_);
-  if (attempt_timer_) queue_.cancel(attempt_timer_);
+  if (handshake_timer_) queue_->cancel(handshake_timer_);
+  if (attempt_timer_) queue_->cancel(attempt_timer_);
   handshake_timer_ = attempt_timer_ = 0;
 }
 

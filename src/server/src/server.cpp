@@ -21,11 +21,15 @@ SecureSessionServer::SecureSessionServer(net::EventQueue& queue,
         queue, config_.offload_workers, config_.offload_costs,
         config_.offload_steal_timeout_ms, config_.offload_batch_width);
   if (config_.ticket.enabled) {
+    const std::uint64_t birth =
+        config_.ticket.ring_birth_us == ServerConfig::TicketConfig::kRingBirthNow
+            ? queue.now()
+            : config_.ticket.ring_birth_us;
     ticket_ring_ = std::make_unique<ticket::TicketKeyRing>(
         config_.ticket.key_seed,
         ticket::TicketKeyRing::Config{config_.ticket.decrypt_window,
                                       config_.ticket.rotation_interval_us},
-        queue.now());
+        birth);
     ticket_codec_ = std::make_unique<ticket::TicketCodec>(
         *ticket_ring_,
         ticket::TicketCodec::Config{config_.ticket.lifetime_us,
@@ -200,6 +204,19 @@ std::size_t SecureSessionServer::open_connections() const {
         conn->state == ConnState::kEstablished)
       ++open;
   return open;
+}
+
+std::size_t SecureSessionServer::fail_all_connections(
+    const std::string& reason) {
+  std::size_t failed = 0;
+  for (const auto& conn : connections_) {
+    if (conn->state != ConnState::kHandshake &&
+        conn->state != ConnState::kEstablished)
+      continue;
+    fail_connection(*conn, reason);
+    ++failed;
+  }
+  return failed;
 }
 
 void SecureSessionServer::on_message(std::uint32_t id,

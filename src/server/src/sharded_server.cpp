@@ -22,10 +22,9 @@ net::SimTime exponential_us(crypto::Rng& rng, double mean_us) {
   return static_cast<net::SimTime>(-mean_us * std::log(u));
 }
 
-/// Sum per-shard counters into a fleet view: counters add, peaks take the
-/// max, latency vectors concatenate (callers iterate shards in order, so
-/// the result is deterministic).
-void accumulate(ServerStats& fleet, const ServerStats& shard) {
+}  // namespace
+
+void accumulate_stats(ServerStats& fleet, const ServerStats& shard) {
   fleet.connections_accepted += shard.connections_accepted;
   fleet.handshakes_started += shard.handshakes_started;
   fleet.handshakes_completed += shard.handshakes_completed;
@@ -88,8 +87,6 @@ void accumulate(ServerStats& fleet, const ServerStats& shard) {
       shard.resumed_handshake_latencies_us.end());
 }
 
-}  // namespace
-
 std::size_t shard_for(std::uint32_t conn_key, std::size_t shards) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
   for (int i = 0; i < 4; ++i) {
@@ -97,6 +94,28 @@ std::size_t shard_for(std::uint32_t conn_key, std::size_t shards) {
     h *= 1099511628211ull;  // FNV prime
   }
   return shards > 1 ? static_cast<std::size_t>(h % shards) : 0;
+}
+
+std::size_t shard_for_live(std::uint32_t conn_key, std::size_t shards,
+                           const std::vector<bool>& routable) {
+  // Highest-random-weight: weight(key, shard) is a fixed mix of the two,
+  // so removing one shard never perturbs another key's argmax.
+  std::size_t best = shards;  // sentinel: nothing routable yet
+  std::uint64_t best_w = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (s < routable.size() && !routable[s]) continue;
+    std::uint64_t w = (static_cast<std::uint64_t>(conn_key) << 32) |
+                      (static_cast<std::uint64_t>(s) + 1);
+    w *= 0x9E3779B97F4A7C15ull;
+    w ^= w >> 29;
+    w *= 0xBF58476D1CE4E5B9ull;
+    w ^= w >> 32;
+    if (best == shards || w > best_w) {
+      best = s;
+      best_w = w;
+    }
+  }
+  return best == shards ? shard_for(conn_key, shards) : best;
 }
 
 ShardedServer::ShardedServer(ShardedServerConfig config)
@@ -180,11 +199,17 @@ void ShardedServer::refresh_control(net::SimTime now, RunStats& rs) {
   //    shard in shard order — the "ordered control messages at slice
   //    boundaries" half of the merge.
   std::size_t applied = 0;
-  for (const ControlMessage& msg : control_queue_) {
+  for (ControlMessage& msg : control_queue_) {
     if (msg.due > now) break;
-    for (std::size_t s = 0; s < shards_.size(); ++s)
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      // A dead shard misses control traffic, exactly like a crashed
+      // front-end misses a key-rotation push; the supervisor replays the
+      // recorded history into the rejoined world to re-sync it.
+      if (!shards_[s]->alive) continue;
       msg.op(*shards_[s]->server, s);
-    rs.control_applied += shards_.size();
+      ++rs.control_applied;
+    }
+    if (record_control_history_) control_history_.push_back(msg);
     ++applied;
   }
   control_queue_.erase(control_queue_.begin(),
@@ -229,11 +254,16 @@ ShardedServer::RunStats ShardedServer::run(std::size_t max_events) {
   queues.reserve(shards_.size());
   for (auto& shard : shards_) queues.push_back(shard->queue.get());
   net::ShardExecutor exec(std::move(queues));
+  configure_executor(exec);
 
   for (;;) {
+    // Supervisor lifecycle first: a shard killed at this barrier must be
+    // out of the fleet snapshot refresh_control freezes next.
+    at_barrier(barrier_time_, rs, exec);
     refresh_control(barrier_time_, rs);
     const net::SimTime next =
-        std::min(exec.next_event_time(), next_control_due());
+        std::min({exec.next_event_time(), next_control_due(),
+                  next_lifecycle_due()});
     if (next == net::EventQueue::kNoEvent) break;
     // One bounded slice covering the next instant anything can happen:
     // the smallest slice-aligned deadline strictly past `next`.
@@ -260,7 +290,10 @@ ShardedServer::RunStats ShardedServer::run(std::size_t max_events) {
 
 ServerStats ShardedServer::fleet_stats() const {
   ServerStats fleet;
-  for (const auto& shard : shards_) accumulate(fleet, shard->server->stats());
+  for (const auto& shard : shards_) {
+    accumulate_stats(fleet, shard->retired);
+    accumulate_stats(fleet, shard->server->stats());
+  }
   // Degraded accounting is fleet-level under the merge; per-shard values
   // are zero by construction.
   fleet.degraded_transitions += fleet_degraded_transitions_;
@@ -274,8 +307,13 @@ std::vector<ShardBreakdown> ShardedServer::breakdown() const {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     ShardBreakdown b;
     b.shard = s;
-    b.server = shards_[s]->server->stats();
-    b.cache = shards_[s]->cache->stats();
+    // Retired (pre-crash) worlds plus the current one: the slot's whole
+    // history, so per-shard sums still reconcile with the fleet totals
+    // after a death and rejoin.
+    b.server = shards_[s]->retired;
+    accumulate_stats(b.server, shards_[s]->server->stats());
+    b.cache = shards_[s]->retired_cache;
+    b.cache += shards_[s]->cache->stats();
     b.cache_state_bytes = shards_[s]->cache->resumption_state_bytes();
     b.ticket_state_bytes = shards_[s]->server->ticket_state_bytes();
     b.handshake_histogram = analysis::LatencyHistogram(
@@ -291,8 +329,17 @@ bool ShardedServer::conserved() const {
   std::uint64_t accepted = 0, closed = 0;
   for (const auto& shard : shards_) {
     if (!shard->server->stats_conserved()) return false;
+    // A retired world was buried with zero open connections (the kill
+    // fails every survivor first), so its books must balance exactly.
+    const ServerStats& r = shard->retired;
+    if (r.connections_accepted !=
+        r.graceful_closes + r.idle_closes + r.failed_connections +
+            r.refused_connections)
+      return false;
     const ServerStats& s = shard->server->stats();
-    accepted += s.connections_accepted;
+    accepted += r.connections_accepted + s.connections_accepted;
+    closed += r.graceful_closes + r.idle_closes + r.failed_connections +
+              r.refused_connections;
     closed += s.graceful_closes + s.idle_closes + s.failed_connections +
               s.refused_connections;
   }

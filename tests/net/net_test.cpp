@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "mapsec/crypto/rng.hpp"
 #include "mapsec/net/channel.hpp"
 #include "mapsec/net/link.hpp"
+#include "mapsec/net/shard_exec.hpp"
 #include "mapsec/net/sim_clock.hpp"
 
 namespace mapsec::net {
@@ -440,6 +444,110 @@ TEST(LinkTest, ShutdownSilencesTheLink) {
   w.a.send_message(Bytes{2});
   w.queue.run_all();          // frames land on a detached receiver
   EXPECT_EQ(delivered, 1);    // nothing more delivered
+}
+
+// --------------------------------------------------------------------
+// Shard-death primitives: EventQueue::clear (a killed shard's timers and
+// in-flight deliveries die with the world, the clock does not), HangLatch
+// (transition-only release, so a watchdog that fires repeatedly never
+// double-reports), and the ShardExecutor watchdog (a latched shard thread
+// is released, reported once, and can never wedge destruction).
+
+TEST(SimClockTest, ClearDropsPendingEventsButKeepsTheClock) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(10, [&] { ++ran; });
+  q.schedule_at(20, [&] { ++ran; });
+  q.run_until(10);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.now(), 10u);
+
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run_all(), 0u);
+  EXPECT_EQ(ran, 1);           // the 20us event died with the world
+  EXPECT_EQ(q.now(), 10u);     // time is not rolled back by a kill
+
+  // The cleared queue accepts a fresh world (the rejoin path).
+  q.schedule_at(30, [&] { ++ran; });
+  q.run_all();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(HangLatchTest, ReleaseReportsAnEngagedLatchExactlyOnce) {
+  HangLatch latch;
+  EXPECT_FALSE(latch.engaged());
+  // Not engaged: a non-forced release is a no-op (a slow-but-healthy
+  // shard whose latch event has not run must not be reported hung).
+  EXPECT_FALSE(latch.release(false));
+
+  std::thread t([&] { latch.wait(); });
+  while (!latch.engaged()) std::this_thread::yield();
+  EXPECT_TRUE(latch.release(false));   // THIS call opened it: report
+  EXPECT_FALSE(latch.release(false));  // transition-only: never twice
+  EXPECT_FALSE(latch.release(true));
+  t.join();
+}
+
+TEST(HangLatchTest, ForcedReleaseOpensAnUnengagedLatch) {
+  HangLatch latch;
+  EXPECT_FALSE(latch.release(true));  // nothing was stuck: not reported
+  // A thread reaching the latch after the forced release sails through —
+  // the shutdown path can never wedge a late worker.
+  std::thread t([&] { latch.wait(); });
+  t.join();
+}
+
+TEST(ShardExecutorTest, WatchdogReleasesAndReportsAHungShard) {
+  EventQueue q0, q1;
+  auto latch = std::make_shared<HangLatch>();
+  int after = 0;
+  q0.schedule_at(5, [latch] { latch->wait(); });  // parks shard 0's thread
+  q0.schedule_at(7, [&] { ++after; });
+  q1.schedule_at(5, [&] { ++after; });
+
+  ShardExecutor exec({&q0, &q1});
+  exec.set_watchdog(std::chrono::milliseconds(20),
+                    [latch](bool force) -> std::vector<std::size_t> {
+                      if (latch->release(force)) return {0};
+                      return {};
+                    });
+  exec.run_slice(10);
+  ASSERT_EQ(exec.last_stragglers().size(), 1u);
+  EXPECT_EQ(exec.last_stragglers()[0], 0u);
+  // The slice still completed: both worlds reached the deadline and the
+  // post-hang event ran (the supervisor, not the executor, decides what
+  // the hang means).
+  EXPECT_EQ(q0.now(), 10u);
+  EXPECT_EQ(q1.now(), 10u);
+  EXPECT_EQ(after, 2);
+
+  // A healthy follow-up slice reports nothing.
+  q0.schedule_at(15, [&] { ++after; });
+  exec.run_slice(20);
+  EXPECT_TRUE(exec.last_stragglers().empty());
+  EXPECT_EQ(after, 3);
+}
+
+TEST(ShardExecutorTest, DestructorForcesOpenAnUnreachedLatch) {
+  // The latch's event never runs (it is scheduled beyond every slice), so
+  // only the destructor's unstick(true) stands between a armed latch and
+  // a deadlocked join. The test passes by terminating.
+  EventQueue q;
+  auto latch = std::make_shared<HangLatch>();
+  q.schedule_at(100, [latch] { latch->wait(); });
+  {
+    ShardExecutor exec({&q});
+    exec.set_watchdog(std::chrono::milliseconds(20),
+                      [latch](bool force) -> std::vector<std::size_t> {
+                        if (latch->release(force)) return {0};
+                        return {};
+                      });
+    exec.run_slice(10);  // latch event still pending at 100us
+    EXPECT_TRUE(exec.last_stragglers().empty());
+  }
+  SUCCEED();
 }
 
 }  // namespace
