@@ -30,7 +30,12 @@ Two input formats are understood:
     lose zero honest sessions, every failover reconnect must resume by
     ticket, the blackout p99 must stay under the report's own budget,
     and the recovery transcript must be byte-identical across reruns
-    and against the undisturbed run.
+    and against the undisturbed run. The E26 "socket_wallclock" block
+    inverts the split: its rates are real wall-clock figures, named
+    with _wall suffixes precisely so they are NEVER baseline-compared
+    (loopback throughput is a property of the host, not the code),
+    while the outcome-equality/conservation/zero-allocation booleans
+    are gated absolutely.
 
 Exits non-zero if any benchmark regressed by more than the threshold.
 Improvements and new/removed benchmarks are reported but never fail the
@@ -167,6 +172,45 @@ def check_failover_slo(path):
     return not failures
 
 
+def check_socket_wallclock(path):
+    """Structural gate on the fresh report's E26 socket_wallclock block.
+
+    Wall-clock socket rates are host-dependent by nature, and the bench
+    deliberately names them with _wall suffixes so the throughput walk
+    above never compares them against a baseline. What IS absolute is
+    correctness: the loopback socket-fleet run must have reproduced the
+    sim run's session outcomes exactly (handshake mix, byte-exact
+    echoes via the refolded fleet digest), kept the conservation books
+    balanced, and never allocated past the arena pre-reserve on the
+    record path. Reports without the block, or runs that skipped it
+    because the sandbox has no loopback sockets, pass vacuously — the
+    skip is already visible in the bench output.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    sw = doc.get("socket_wallclock")
+    if not isinstance(sw, dict) or sw.get("skipped") is True:
+        return True
+    failures = []
+    if sw.get("outcome_equal") is not True:
+        failures.append("socket-fleet session outcomes diverged from the "
+                        "sim run for the same seed")
+    if sw.get("digest_match") is not True:
+        failures.append("refolded socket fleet digest differs from the "
+                        "sim fleet digest")
+    if sw.get("conserved") is not True:
+        failures.append("conservation books did not balance across the "
+                        "socket fleet")
+    if sw.get("zero_steady_state_alloc") is not True:
+        failures.append("record path allocated past the arena pre-reserve")
+    if sw.get("echo_mismatches", 0) != 0:
+        failures.append(f"{sw.get('echo_mismatches')} echo mismatch(es) "
+                        "over the socket bearer")
+    for msg in failures:
+        print(f"  [SOCKET]  {msg}")
+    return not failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -207,6 +251,9 @@ def main():
         return 1
     if not check_failover_slo(args.fresh):
         print(f"failover_slo structural gate failed in {args.fresh}")
+        return 1
+    if not check_socket_wallclock(args.fresh):
+        print(f"socket_wallclock structural gate failed in {args.fresh}")
         return 1
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed more than "

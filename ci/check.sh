@@ -27,6 +27,19 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== socket smoke (real loopback TCP) =="
+# The sim suite above exercises the socket bearer's logic; this stage
+# re-proves the flagship sim-vs-socket outcome-equality test on real
+# sockets as its own named stage, so a sandbox without loopback TCP
+# skips VISIBLY instead of the coverage quietly evaporating into
+# GTEST_SKIP lines.
+if ./build/bench/bench_socket_load_gen --probe; then
+  ctest --test-dir build --output-on-failure -j "${JOBS}" \
+    -R 'SocketFleetTest|SocketBearer'
+else
+  echo "SKIP: loopback sockets unavailable in this sandbox"
+fi
+
 echo "== sanitizer tree (MAPSEC_SANITIZE=ON) =="
 cmake -B build-asan -S . -DMAPSEC_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"

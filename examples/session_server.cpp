@@ -1,22 +1,105 @@
-// A secure-session server, end to end, on a simulated lossy bearer.
+// A secure-session server, end to end, on either bearer.
 //
-// Walks the whole mapsec::server story in one run: a fleet of appliance
-// clients arrives over a 5%-loss, reordering channel; each one completes
-// a TLS handshake (resuming when it can), echoes application data
-// through the AES-CCM bulk path, and closes gracefully — or gives up
-// cleanly after its retry budget. The run ends by pricing the measured
-// serving load against the paper's StrongARM SA-1100 appliance
-// processor: Figure 3's gap, measured instead of asserted.
+// Default mode walks the whole mapsec::server story on the simulated
+// lossy bearer: a fleet of appliance clients arrives over a 5%-loss,
+// reordering channel; each one completes a TLS handshake (resuming when
+// it can), echoes application data through the AES-CCM bulk path, and
+// closes gracefully — or gives up cleanly after its retry budget. The
+// run ends by pricing the measured serving load against the paper's
+// StrongARM SA-1100 appliance processor: Figure 3's gap, measured
+// instead of asserted.
+//
+// `--listen [--shards N] [--seconds S]` instead serves the same stack
+// over real loopback TCP (net::SocketBearer): it prints the listener
+// ports and waits, so an external load generator can hammer it at
+// wall-clock speed, e.g.
+//
+//   ./build/examples/session_server --listen --shards 2 &
+//   ./build/bench/bench_socket_load_gen --ports=P1,P2 --clients=50
+//
+// (the example uses the shared bench PKI, so the load generator's
+// clients trust its certificate chain by construction).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "mapsec/crypto/rng.hpp"
 #include "mapsec/crypto/rsa.hpp"
 #include "mapsec/platform/processor.hpp"
 #include "mapsec/server/load_gen.hpp"
+#include "mapsec/server/socket_fleet.hpp"
+#include "server_pki.hpp"
 
 using namespace mapsec;
 
-int main() {
+namespace {
+
+int run_listen(std::size_t shards, unsigned seconds) {
+  if (!net::sockets_available()) {
+    std::fprintf(stderr, "loopback TCP unavailable in this sandbox\n");
+    return 2;
+  }
+  const bench::Pki pki = bench::Pki::make();
+  server::SocketFleetConfig cfg;
+  cfg.shards = shards;
+  cfg.reserve_slabs_per_shard = 256;
+  server::SocketServerFleet fleet(cfg, bench::pki_server_config(pki),
+                                  {.capacity = 256, .ttl_us = 0});
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "could not bind loopback listeners\n");
+    return 1;
+  }
+  std::string csv;
+  for (std::uint16_t port : fleet.ports()) {
+    if (!csv.empty()) csv += ',';
+    csv += std::to_string(port);
+  }
+  fleet.start();
+  std::printf("listening on 127.0.0.1 ports %s (%zu shard%s, %u s)\n",
+              csv.c_str(), shards, shards == 1 ? "" : "s", seconds);
+  std::printf("drive it with: bench_socket_load_gen --ports=%s "
+              "--clients=50\n", csv.c_str());
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  const server::SocketServerFleet::Report r = fleet.stop();
+  std::printf("served %llu connections: %llu full + %llu resumed "
+              "handshakes, %llu bulk echoes\n",
+              static_cast<unsigned long long>(r.accepted),
+              static_cast<unsigned long long>(r.server.full_handshakes),
+              static_cast<unsigned long long>(r.server.resumed_handshakes),
+              static_cast<unsigned long long>(r.server.bulk_messages));
+  std::printf("books %s, arena %llu allocations for %zu reserved slabs "
+              "(peak %zu in use)\n",
+              r.conserved ? "conserved" : "NOT CONSERVED",
+              static_cast<unsigned long long>(r.arena.allocations),
+              r.arena.reserved, r.arena.peak_in_use);
+  return r.conserved ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool listen = false;
+  std::size_t shards = 2;
+  unsigned seconds = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0) {
+      listen = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: session_server [--listen [--shards N] "
+                   "[--seconds S]]\n");
+      return 1;
+    }
+  }
+  if (listen) return run_listen(shards == 0 ? 1 : shards, seconds);
+
   constexpr std::uint64_t kNow = 1'050'000'000;  // ~2003
 
   // A tiny PKI: one root, one server identity (RSA-512 for demo speed).

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "mapsec/crypto/bytes.hpp"
 #include "mapsec/crypto/rng.hpp"
@@ -53,12 +54,39 @@ struct ChannelStats {
   std::uint64_t bytes_delivered = 0;
 };
 
+/// Abstract unidirectional frame bearer — the seam between the session
+/// stack and its transport. ReliableLink and SecureSessionServer speak
+/// only this interface, so the same protocol code runs over a simulated
+/// LossyChannel or a real TCP connection (SocketEndpoint's half-channel
+/// facades) without knowing which.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Install the receiver for inbound frames. Replacing it detaches the
+  /// previous one; nullptr detaches.
+  virtual void set_receiver(std::function<void(crypto::ConstBytes)> on_frame) = 0;
+
+  /// Offer a frame to the channel. Delivery is asynchronous and, for
+  /// lossy bearers, not guaranteed.
+  virtual void send(crypto::ConstBytes frame) = 0;
+
+  /// Bearer death notification (peer reset, syscall failure). The
+  /// simulated bearer never errors, hence the empty default; the socket
+  /// bearer reports through this so a ReliableLink fails immediately
+  /// instead of waiting out its retry budget against a dead socket.
+  virtual void set_on_channel_error(
+      std::function<void(const std::string&)> on_error) {
+    (void)on_error;
+  }
+};
+
 /// One direction of a link. Frames pushed with send() arrive (or not) at
 /// the receiver callback after the configured impairments. The queue and
 /// rng must outlive the channel, and the channel must outlive any frames
 /// still in flight (in practice: keep channels alive until the event
 /// queue drains).
-class LossyChannel {
+class LossyChannel final : public Channel {
  public:
   LossyChannel(EventQueue& queue, ChannelConfig config, crypto::Rng& rng)
       : queue_(queue), config_(config), rng_(rng) {}
@@ -69,14 +97,14 @@ class LossyChannel {
   /// Install the receiver. Replacing it detaches the previous one; frames
   /// already in flight deliver to whichever receiver is installed when
   /// they land.
-  void set_receiver(std::function<void(crypto::ConstBytes)> on_frame) {
+  void set_receiver(std::function<void(crypto::ConstBytes)> on_frame) override {
     on_frame_ = std::move(on_frame);
   }
 
   /// Offer a frame to the channel. Loss/duplication/reordering and delay
   /// are decided immediately (one rng draw sequence per send), delivery
   /// happens via the event queue.
-  void send(crypto::ConstBytes frame);
+  void send(crypto::ConstBytes frame) override;
 
   const ChannelStats& stats() const { return stats_; }
   const ChannelConfig& config() const { return config_; }

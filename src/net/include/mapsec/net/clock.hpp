@@ -1,0 +1,52 @@
+// Time sources for the two bearers.
+//
+// Every timeout in mapsec::net and mapsec::server is SimTime microseconds
+// on an EventQueue. On the simulated bearer the queue advances itself; on
+// the real-socket bearer something must tell it what time it is. Clock is
+// that something: an injected monotonic microsecond source the Reactor
+// samples each iteration to run due timers (EventQueue::run_until) and to
+// bound its epoll_wait by the next deadline. SimClockView adapts a queue
+// back to the interface so timeout machinery written against Clock drives
+// either world; MonotonicClock is CLOCK_MONOTONIC rebased to a caller-
+// chosen origin — tests set origins near kTimeCeiling to prove the
+// timeout arithmetic saturates instead of wrapping.
+#pragma once
+
+#include <cstdint>
+
+#include "mapsec/net/sim_clock.hpp"
+
+namespace mapsec::net {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic microseconds. Never decreases; never exceeds kTimeCeiling.
+  virtual SimTime now_us() const = 0;
+};
+
+/// The simulated bearer's time: whatever the event queue says.
+class SimClockView final : public Clock {
+ public:
+  explicit SimClockView(const EventQueue& queue) : queue_(queue) {}
+  SimTime now_us() const override { return queue_.now(); }
+
+ private:
+  const EventQueue& queue_;
+};
+
+/// CLOCK_MONOTONIC in microseconds, rebased so that construction time
+/// reads as `origin_us`. The default origin 0 gives a run-relative clock
+/// (an EventQueue driven by it starts near 0, like a sim run); a large
+/// origin exercises the far-offset arithmetic paths.
+class MonotonicClock final : public Clock {
+ public:
+  explicit MonotonicClock(SimTime origin_us = 0);
+  SimTime now_us() const override;
+
+ private:
+  std::uint64_t base_raw_us_;  // raw monotonic reading at construction
+  SimTime origin_us_;
+};
+
+}  // namespace mapsec::net

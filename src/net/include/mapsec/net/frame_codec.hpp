@@ -1,0 +1,54 @@
+// Length-prefixed record framing, shared by both bearers.
+//
+// One message = a 4-byte big-endian payload length followed by the
+// payload. ReliableLink uses it to cut messages out of its reassembled
+// segment stream (the sim bearer), SocketEndpoint to cut frames out of a
+// TCP byte stream (the real bearer) — same codec, so a transcript is
+// framed identically on either transport. The format carries no sync
+// marker on purpose: both carriers are reliable ordered byte streams, so
+// a bad length prefix means the stream itself is corrupt (or hostile) and
+// the only safe recovery is to kill the connection. inspect() therefore
+// classifies, it never resynchronizes: an announced length above the
+// caller's bound is kOversize — a terminal verdict the caller turns into
+// a clean link/connection failure with bounded memory, never an
+// allocation sized by the attacker's prefix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mapsec/crypto/bytes.hpp"
+
+namespace mapsec::net {
+
+class FrameCodec {
+ public:
+  static constexpr std::size_t kHeaderBytes = 4;
+
+  enum class Status {
+    kNeedMore,  // header or payload still incomplete — keep reading
+    kFrame,     // a complete frame is at the head of the stream
+    kOversize,  // announced length exceeds the bound — kill the stream
+  };
+
+  struct Head {
+    Status status = Status::kNeedMore;
+    /// Announced payload length; valid once >= kHeaderBytes were seen
+    /// (i.e. for kFrame, kOversize, and payload-incomplete kNeedMore).
+    std::uint32_t payload_len = 0;
+  };
+
+  /// Classify the head of a byte stream. `max_payload` bounds the
+  /// announced length (0 = unbounded). Pure: consuming the frame's
+  /// kHeaderBytes + payload_len bytes is the caller's move.
+  static Head inspect(const std::uint8_t* data, std::size_t size,
+                      std::size_t max_payload);
+
+  /// Write the 4-byte header for a payload of `len` bytes.
+  static void encode_header(std::uint32_t len, std::uint8_t out[kHeaderBytes]);
+
+  /// Append header + payload to `out`.
+  static void append_frame(crypto::Bytes& out, crypto::ConstBytes payload);
+};
+
+}  // namespace mapsec::net

@@ -57,10 +57,13 @@ struct LinkStats {
 class ReliableLink {
  public:
   /// `tx` carries this side's DATA and ACK frames; `rx` delivers the
-  /// peer's. Installs itself as `rx`'s receiver. All referenced objects
-  /// must outlive the link; call shutdown() before destroying a link
-  /// that may still have frames in flight on `rx`.
-  ReliableLink(EventQueue& queue, LossyChannel& tx, LossyChannel& rx,
+  /// peer's. Installs itself as `rx`'s receiver and error subscriber (a
+  /// bearer-reported death — socket reset, peer EOF — fails the link
+  /// immediately instead of burning the retry budget against a dead
+  /// transport). All referenced objects must outlive the link; call
+  /// shutdown() before destroying a link that may still have frames in
+  /// flight on `rx`.
+  ReliableLink(EventQueue& queue, Channel& tx, Channel& rx,
                LinkConfig config);
   ~ReliableLink();
 
@@ -110,8 +113,8 @@ class ReliableLink {
   void fail(const std::string& reason);
 
   EventQueue& queue_;
-  LossyChannel& tx_;
-  LossyChannel& rx_;
+  Channel& tx_;
+  Channel& rx_;
   LinkConfig config_;
 
   // Send side.

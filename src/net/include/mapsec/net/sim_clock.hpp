@@ -23,6 +23,20 @@ using SimTime = std::uint64_t;
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
 
+/// Largest schedulable instant. One below EventQueue::kNoEvent so a
+/// saturated deadline can never collide with the empty-queue sentinel.
+inline constexpr SimTime kTimeCeiling = ~SimTime{0} - 1;
+
+/// `at + delay` clamped to kTimeCeiling. Timeout arithmetic must go
+/// through this (or through EventQueue::schedule_in, which uses it): a
+/// wall-clock Clock can sit at an arbitrarily large monotonic offset, and
+/// a plain add would wrap a far-future deadline into the past — an idle
+/// timer that fires instantly instead of never.
+constexpr SimTime sat_add_time(SimTime at, SimTime delay) {
+  if (at >= kTimeCeiling) return kTimeCeiling;
+  return delay >= kTimeCeiling - at ? kTimeCeiling : at + delay;
+}
+
 /// Discrete-event queue with a monotonic simulated clock. Events at the
 /// same instant run in scheduling order (FIFO), so execution is a pure
 /// function of the schedule calls — no tie-breaking on addresses or
@@ -32,10 +46,10 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `when` (clamped to `now()` if in the
-  /// past). Returns an id usable with cancel().
+  /// past and to kTimeCeiling above). Returns an id usable with cancel().
   EventId schedule_at(SimTime when, std::function<void()> fn);
 
-  /// Schedule `fn` at now() + delay.
+  /// Schedule `fn` at now() + delay, saturating at kTimeCeiling.
   EventId schedule_in(SimTime delay, std::function<void()> fn);
 
   /// Remove a pending event. Returns false if it already ran or was

@@ -1,0 +1,179 @@
+#include "mapsec/net/buffer_arena.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace mapsec::net {
+
+BufferArena::BufferArena(std::size_t slab_bytes)
+    : slab_bytes_(slab_bytes == 0 ? 1 : slab_bytes) {}
+
+std::uint8_t* BufferArena::acquire() {
+  std::uint8_t* slab;
+  if (free_.empty()) {
+    owned_.push_back(std::make_unique<std::uint8_t[]>(slab_bytes_));
+    slab = owned_.back().get();
+    ++stats_.allocations;
+  } else {
+    slab = free_.back();
+    free_.pop_back();
+  }
+  ++stats_.acquires;
+  ++stats_.in_use;
+  if (stats_.in_use > stats_.peak_in_use) stats_.peak_in_use = stats_.in_use;
+  return slab;
+}
+
+void BufferArena::recycle(std::uint8_t* slab) {
+  if (slab == nullptr) return;
+  assert(stats_.in_use > 0);
+  free_.push_back(slab);
+  ++stats_.recycles;
+  --stats_.in_use;
+}
+
+void BufferArena::reserve(std::size_t slabs) {
+  while (free_.size() < slabs) {
+    owned_.push_back(std::make_unique<std::uint8_t[]>(slab_bytes_));
+    free_.push_back(owned_.back().get());
+    ++stats_.allocations;
+  }
+}
+
+void SlabQueue::append(crypto::ConstBytes data) {
+  const std::uint8_t* src = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    if (slabs_.empty() || tail_ == slab_bytes_) {
+      // Promote the staged spare rather than hitting the arena when one
+      // is on hand (keeps writable()/append interleaving allocation-flat).
+      if (spare_ != nullptr) {
+        slabs_.push_back(spare_);
+        spare_ = nullptr;
+      } else {
+        slabs_.push_back(arena_.acquire());
+      }
+      tail_ = 0;
+    }
+    std::size_t n = slab_bytes_ - tail_;
+    if (n > remaining) n = remaining;
+    std::memcpy(slabs_.back() + tail_, src, n);
+    tail_ += n;
+    size_ += n;
+    src += n;
+    remaining -= n;
+  }
+}
+
+std::size_t SlabQueue::writable(IoSlice out[2]) {
+  if (slabs_.empty() || tail_ == slab_bytes_) {
+    // No partial tail: stage one fresh slab and expose it whole.
+    if (spare_ == nullptr) spare_ = arena_.acquire();
+    out[0] = {spare_, slab_bytes_};
+    return 1;
+  }
+  out[0] = {slabs_.back() + tail_, slab_bytes_ - tail_};
+  if (spare_ == nullptr) spare_ = arena_.acquire();
+  out[1] = {spare_, slab_bytes_};
+  return 2;
+}
+
+void SlabQueue::commit(std::size_t n) {
+  if (n == 0) return;
+  std::size_t tail_room =
+      (slabs_.empty() || tail_ == slab_bytes_) ? 0 : slab_bytes_ - tail_;
+  if (tail_room > n) tail_room = n;
+  tail_ += tail_room;
+  size_ += tail_room;
+  n -= tail_room;
+  if (n > 0) {
+    // Overflow landed in the spare; it becomes the new back slab.
+    assert(spare_ != nullptr && n <= slab_bytes_);
+    slabs_.push_back(spare_);
+    spare_ = nullptr;
+    tail_ = n;
+    size_ += n;
+  }
+}
+
+std::size_t SlabQueue::peek(std::uint8_t* dst, std::size_t n) const {
+  if (n > size_) n = size_;
+  std::size_t copied = 0;
+  std::size_t slab_idx = 0;
+  std::size_t offset = head_;
+  while (copied < n) {
+    std::size_t end = slab_idx + 1 == slabs_.size() ? tail_ : slab_bytes_;
+    std::size_t take = end - offset;
+    if (take > n - copied) take = n - copied;
+    std::memcpy(dst + copied, slabs_[slab_idx] + offset, take);
+    copied += take;
+    ++slab_idx;
+    offset = 0;
+  }
+  return copied;
+}
+
+const std::uint8_t* SlabQueue::view(std::size_t offset, std::size_t n,
+                                    std::uint8_t* scratch) const {
+  assert(offset + n <= size_);
+  if (n == 0) return scratch;
+  std::size_t abs = head_ + offset;
+  std::size_t slab_idx = abs / slab_bytes_;
+  std::size_t in_slab = abs % slab_bytes_;
+  if (in_slab + n <= slab_bytes_) return slabs_[slab_idx] + in_slab;
+  // Crosses a slab boundary: assemble in the caller's scratch.
+  std::size_t copied = 0;
+  while (copied < n) {
+    std::size_t take = slab_bytes_ - in_slab;
+    if (take > n - copied) take = n - copied;
+    std::memcpy(scratch + copied, slabs_[slab_idx] + in_slab, take);
+    copied += take;
+    ++slab_idx;
+    in_slab = 0;
+  }
+  return scratch;
+}
+
+void SlabQueue::consume(std::size_t n) {
+  assert(n <= size_);
+  size_ -= n;
+  while (n > 0) {
+    std::size_t avail = front_end() - head_;
+    if (n < avail) {
+      head_ += n;
+      return;
+    }
+    n -= avail;
+    arena_.recycle(slabs_.front());
+    slabs_.erase(slabs_.begin());
+    head_ = 0;
+    if (slabs_.empty()) tail_ = 0;
+  }
+  // Fully drained a slab with nothing left over: if the queue emptied,
+  // the loop above already recycled everything.
+}
+
+std::size_t SlabQueue::gather(IoSlice* out, std::size_t max) const {
+  std::size_t count = 0;
+  std::size_t offset = head_;
+  for (std::size_t i = 0; i < slabs_.size() && count < max; ++i) {
+    std::size_t end = i + 1 == slabs_.size() ? tail_ : slab_bytes_;
+    if (end > offset) {
+      out[count++] = {slabs_[i] + offset, end - offset};
+    }
+    offset = 0;
+  }
+  return count;
+}
+
+void SlabQueue::release() {
+  for (std::uint8_t* slab : slabs_) arena_.recycle(slab);
+  slabs_.clear();
+  if (spare_ != nullptr) {
+    arena_.recycle(spare_);
+    spare_ = nullptr;
+  }
+  head_ = tail_ = size_ = 0;
+}
+
+}  // namespace mapsec::net

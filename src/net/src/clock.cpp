@@ -1,0 +1,24 @@
+#include "mapsec/net/clock.hpp"
+
+#include <ctime>
+
+namespace mapsec::net {
+
+namespace {
+std::uint64_t raw_monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000ull;
+}
+}  // namespace
+
+MonotonicClock::MonotonicClock(SimTime origin_us)
+    : base_raw_us_(raw_monotonic_us()),
+      origin_us_(origin_us > kTimeCeiling ? kTimeCeiling : origin_us) {}
+
+SimTime MonotonicClock::now_us() const {
+  return sat_add_time(origin_us_, raw_monotonic_us() - base_raw_us_);
+}
+
+}  // namespace mapsec::net

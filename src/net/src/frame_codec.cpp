@@ -1,0 +1,32 @@
+#include "mapsec/net/frame_codec.hpp"
+
+namespace mapsec::net {
+
+FrameCodec::Head FrameCodec::inspect(const std::uint8_t* data,
+                                     std::size_t size,
+                                     std::size_t max_payload) {
+  Head head;
+  if (size < kHeaderBytes) return head;  // kNeedMore, length unknown
+  head.payload_len = crypto::load_be32(data);
+  if (max_payload != 0 && head.payload_len > max_payload) {
+    head.status = Status::kOversize;
+    return head;
+  }
+  head.status = size - kHeaderBytes >= head.payload_len ? Status::kFrame
+                                                        : Status::kNeedMore;
+  return head;
+}
+
+void FrameCodec::encode_header(std::uint32_t len,
+                               std::uint8_t out[kHeaderBytes]) {
+  crypto::store_be32(out, len);
+}
+
+void FrameCodec::append_frame(crypto::Bytes& out, crypto::ConstBytes payload) {
+  std::uint8_t header[kHeaderBytes];
+  crypto::store_be32(header, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), header, header + kHeaderBytes);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace mapsec::net

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "mapsec/net/frame_codec.hpp"
+
 namespace mapsec::net {
 
 namespace {
@@ -11,10 +13,12 @@ constexpr std::uint8_t kAck = 0x02;
 constexpr std::size_t kDataHeader = 5;  // kind(1) | seq(4)
 }  // namespace
 
-ReliableLink::ReliableLink(EventQueue& queue, LossyChannel& tx,
-                           LossyChannel& rx, LinkConfig config)
+ReliableLink::ReliableLink(EventQueue& queue, Channel& tx, Channel& rx,
+                           LinkConfig config)
     : queue_(queue), tx_(tx), rx_(rx), config_(config) {
   rx_.set_receiver([this](crypto::ConstBytes frame) { on_frame(frame); });
+  rx_.set_on_channel_error(
+      [this](const std::string& reason) { fail("bearer: " + reason); });
 }
 
 ReliableLink::~ReliableLink() { shutdown(); }
@@ -25,7 +29,10 @@ void ReliableLink::shutdown() {
   inflight_.clear();
   unsent_.clear();
   out_of_order_.clear();
-  if (!dead_) rx_.set_receiver(nullptr);
+  if (!dead_) {
+    rx_.set_receiver(nullptr);
+    rx_.set_on_channel_error(nullptr);
+  }
   dead_ = true;
 }
 
@@ -33,10 +40,9 @@ bool ReliableLink::send_message(crypto::ConstBytes message) {
   if (dead_) return false;
   ++stats_.messages_sent;
   // Length-prefix the message into the segment stream.
-  crypto::Bytes framed(4 + message.size());
-  crypto::store_be32(framed.data(),
-                     static_cast<std::uint32_t>(message.size()));
-  std::copy(message.begin(), message.end(), framed.begin() + 4);
+  crypto::Bytes framed;
+  framed.reserve(FrameCodec::kHeaderBytes + message.size());
+  FrameCodec::append_frame(framed, message);
 
   // Pack into segments, topping up the last pending segment so small
   // messages (acks of the application protocol, close frames) coalesce.
@@ -154,17 +160,20 @@ void ReliableLink::on_data(std::uint32_t seq, crypto::ConstBytes payload) {
 }
 
 void ReliableLink::deliver_ready() {
-  while (rx_stream_.size() >= 4) {
-    const std::size_t len = crypto::load_be32(rx_stream_.data());
-    if (config_.max_message_size != 0 && len > config_.max_message_size) {
-      fail("inbound message length " + std::to_string(len) +
+  for (;;) {
+    const FrameCodec::Head head = FrameCodec::inspect(
+        rx_stream_.data(), rx_stream_.size(), config_.max_message_size);
+    if (head.status == FrameCodec::Status::kOversize) {
+      fail("inbound message length " + std::to_string(head.payload_len) +
            " exceeds bound");
       return;
     }
-    if (rx_stream_.size() < 4 + len) return;
-    crypto::Bytes message(rx_stream_.begin() + 4,
-                          rx_stream_.begin() + 4 + len);
-    rx_stream_.erase(rx_stream_.begin(), rx_stream_.begin() + 4 + len);
+    if (head.status != FrameCodec::Status::kFrame) return;
+    const std::size_t len = head.payload_len;
+    crypto::Bytes message(rx_stream_.begin() + FrameCodec::kHeaderBytes,
+                          rx_stream_.begin() + FrameCodec::kHeaderBytes + len);
+    rx_stream_.erase(rx_stream_.begin(),
+                     rx_stream_.begin() + FrameCodec::kHeaderBytes + len);
     ++stats_.messages_delivered;
     if (on_message_) on_message_(message);
     if (dead_) return;  // handler may have shut us down

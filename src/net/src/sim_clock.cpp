@@ -7,6 +7,7 @@ namespace mapsec::net {
 
 EventId EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
+  if (when > kTimeCeiling) when = kTimeCeiling;  // keep kNoEvent unreachable
   const EventId id = next_id_++;
   events_.emplace(Key{when, id}, std::move(fn));
   index_.emplace(id, when);
@@ -14,7 +15,7 @@ EventId EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
 }
 
 EventId EventQueue::schedule_in(SimTime delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(sat_add_time(now_, delay), std::move(fn));
 }
 
 bool EventQueue::cancel(EventId id) {

@@ -10,6 +10,7 @@
 // LoadGenerator's workload.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -183,7 +184,14 @@ class SessionClient {
   // Current-session state.
   std::unique_ptr<net::ReliableLink> link_;
   std::unique_ptr<protocol::TlsClient> tls_;
-  std::uint64_t epoch_ = 0;  // invalidates timers of torn-down attempts
+  // Invalidates timers of torn-down attempts. Atomic because after a
+  // failover migration a cancelled timer's lambda can still fire on the
+  // OLD shard's thread while the new shard runs the client; the stale
+  // lambda reads only this field (its epoch mismatches, so the && chain
+  // short-circuits before any other member) and no-ops. Every lambda
+  // whose epoch CAN match lives on the client's currently-bound queue,
+  // so all other state stays single-threaded.
+  std::atomic<std::uint64_t> epoch_{0};
   int session_index_ = 0;
   net::SimTime attempt_started_at_ = 0;
   net::EventId handshake_timer_ = 0;

@@ -24,6 +24,50 @@
 
 namespace mapsec::server {
 
+/// Deterministic sub-seed derivation shared by the sim LoadGenerator and
+/// the socket fleets. Both bearers must draw identical seed streams —
+/// server rng, client engine rng, arrival process, per-client seeds,
+/// per-connection channel weather — for their session outcomes to be
+/// comparable run-for-run.
+std::uint64_t load_sub_seed(std::uint64_t seed, std::uint64_t n);
+inline std::uint64_t fleet_server_seed(std::uint64_t seed) {
+  return load_sub_seed(seed, 0x5E4);
+}
+inline std::uint64_t fleet_engine_seed(std::uint64_t seed) {
+  return load_sub_seed(seed, 0xE17);
+}
+inline std::uint64_t fleet_arrival_seed(std::uint64_t seed) {
+  return load_sub_seed(seed, 0xA881);
+}
+inline std::uint64_t fleet_client_seed(std::uint64_t seed, std::size_t i) {
+  return load_sub_seed(seed, 0xC11E57 + i);
+}
+inline std::uint64_t fleet_channel_seed(std::uint64_t seed,
+                                        std::uint64_t connect_counter) {
+  return load_sub_seed(seed, 0xC4A17 + connect_counter);
+}
+
+/// Exponential inter-arrival draw (Poisson process) from a uniform
+/// 32-bit sample; +1 keeps ln() off zero.
+net::SimTime load_exponential_us(crypto::Rng& rng, double mean_us);
+
+/// SHA-256 over the concatenation of per-client transcript digests, in
+/// client order — the determinism witness compared across worker counts
+/// and, with the socket bearer, across transports.
+crypto::Bytes fold_fleet_digest(const std::vector<crypto::ConstBytes>& lanes);
+
+/// Buffer-arena accounting carried in load reports. For socket-bearer
+/// runs, `allocations == reserved` is the zero-steady-state-allocation
+/// witness: the record path never grew the pool beyond its pre-reserved
+/// working set. Sim-bearer runs leave it zeroed.
+struct ArenaUsage {
+  std::uint64_t allocations = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t recycles = 0;
+  std::size_t peak_in_use = 0;
+  std::size_t reserved = 0;
+};
+
 struct LoadConfig {
   std::size_t num_clients = 100;
   net::SimTime mean_interarrival_us = 1'000;
@@ -83,6 +127,9 @@ struct LoadReport {
   /// SHA-256 over every client's transcript digest in client order —
   /// the determinism witness compared across worker counts.
   crypto::Bytes fleet_digest;
+
+  /// Record-path buffer-pool accounting (socket-bearer runs only).
+  ArenaUsage arena;
 
   platform::ServingGapReport gap;
   /// Ticket-tier pricing of the same load (meaningful when the server

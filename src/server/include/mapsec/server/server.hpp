@@ -274,8 +274,8 @@ class SecureSessionServer {
 
   /// Take the server side of a duplex link: `tx` carries frames to the
   /// client, `rx` delivers the client's. Returns the connection id.
-  std::uint32_t accept(net::LossyChannel& tx, net::LossyChannel& rx);
-  std::uint32_t accept(net::LossyChannel& tx, net::LossyChannel& rx,
+  std::uint32_t accept(net::Channel& tx, net::Channel& rx);
+  std::uint32_t accept(net::Channel& tx, net::Channel& rx,
                        const AcceptOptions& opts);
 
   /// Install (or clear, with nullptr) the fleet admission snapshot; not

@@ -133,8 +133,8 @@ class ShardedServer {
   /// Accept on the shard chosen by `conn_key`'s hash. The channels must
   /// live on that shard's queue. Safe from the owning shard's thread
   /// during a slice (it only touches that shard's world).
-  std::uint32_t accept(std::uint32_t conn_key, net::LossyChannel& tx,
-                       net::LossyChannel& rx,
+  std::uint32_t accept(std::uint32_t conn_key, net::Channel& tx,
+                       net::Channel& rx,
                        const SecureSessionServer::AcceptOptions& opts);
 
   /// Enqueue a fleet-wide control operation, applied to every shard in

@@ -306,7 +306,8 @@ void SessionClient::session_done() {
   records_.back().completed = true;
   ++session_index_;
   if (session_index_ < config_.sessions) {
-    schedule_next_session(queue_->now() + config_.think_time_us);
+    schedule_next_session(
+        net::sat_add_time(queue_->now(), config_.think_time_us));
     return;
   }
   finish_client();

@@ -9,21 +9,26 @@
 
 namespace mapsec::server {
 
-namespace {
-
-/// Exponential inter-arrival draw (Poisson process) from a uniform
-/// 32-bit sample; +1 keeps ln() off zero.
-net::SimTime exponential_us(crypto::Rng& rng, double mean_us) {
+net::SimTime load_exponential_us(crypto::Rng& rng, double mean_us) {
   const double u =
       (static_cast<double>(rng.next_u32()) + 1.0) / 4294967297.0;
   return static_cast<net::SimTime>(-mean_us * std::log(u));
 }
 
-std::uint64_t mix(std::uint64_t seed, std::uint64_t n) {
+std::uint64_t load_sub_seed(std::uint64_t seed, std::uint64_t n) {
   return seed ^ (n * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
 }
 
-}  // namespace
+crypto::Bytes fold_fleet_digest(
+    const std::vector<crypto::ConstBytes>& lanes) {
+  // Hash every lane through the multi-buffer sweep (lane-for-lane
+  // identical to Sha256::hash), then fold the lane digests.
+  crypto::Bytes digest_stream;
+  for (const crypto::Bytes& lane_digest : crypto::sha256_many(lanes))
+    digest_stream.insert(digest_stream.end(), lane_digest.begin(),
+                         lane_digest.end());
+  return crypto::Sha256::hash(digest_stream);
+}
 
 LoadReport LoadGenerator::run() {
   // Declaration order doubles as lifetime order: channels must outlive
@@ -35,13 +40,13 @@ LoadReport LoadGenerator::run() {
 
   // Each run() seeds its own server rng so repeated runs (and runs that
   // differ only in worker count) are bit-identical.
-  crypto::HmacDrbg server_rng(mix(load_.seed, 0x5E4));
+  crypto::HmacDrbg server_rng(fleet_server_seed(load_.seed));
   ServerConfig server_config = server_;
   server_config.handshake.rng = &server_rng;
   SecureSessionServer server(queue, server_config, &cache);
 
   // Client-side engine for opening the server's CCM bulk records.
-  crypto::HmacDrbg client_engine_rng(mix(load_.seed, 0xE17));
+  crypto::HmacDrbg client_engine_rng(fleet_engine_seed(load_.seed));
   engine::ProtocolEngine client_engine(server_.engine_profile,
                                        &client_engine_rng);
   client_engine.load_program("ccmp-in", engine::ccmp_inbound_program());
@@ -50,19 +55,19 @@ LoadReport LoadGenerator::run() {
   clients.reserve(load_.num_clients);
   std::uint64_t connect_counter = 0;
 
-  crypto::HmacDrbg arrival_rng(mix(load_.seed, 0xA881));
+  crypto::HmacDrbg arrival_rng(fleet_arrival_seed(load_.seed));
   net::SimTime arrival = 0;
   for (std::size_t i = 0; i < load_.num_clients; ++i) {
     auto client = std::make_unique<SessionClient>(
         queue, client_, static_cast<std::uint32_t>(i), client_engine,
-        mix(load_.seed, 0xC11E57 + i));
+        fleet_client_seed(load_.seed, i));
     client->set_connect([this, &queue, &channels, &server,
                          &connect_counter](SessionClient&) {
       // Fresh channel per attempt: stale frames of an abandoned attempt
       // can never reach the new connection's link.
       auto channel = std::make_unique<net::DuplexChannel>(
           queue, load_.channel, load_.channel,
-          mix(load_.seed, 0xC4A17 + connect_counter));
+          fleet_channel_seed(load_.seed, connect_counter));
       ++connect_counter;
       // Client is the "a" side.
       server.accept(channel->b_to_a(), channel->a_to_b());
@@ -74,7 +79,7 @@ LoadReport LoadGenerator::run() {
     queue.schedule_at(arrival,
                       [c = client.get()] { c->start(); });
     arrival += load_.poisson_arrivals
-                   ? exponential_us(
+                   ? load_exponential_us(
                          arrival_rng,
                          static_cast<double>(load_.mean_interarrival_us))
                    : load_.mean_interarrival_us;
@@ -91,12 +96,10 @@ LoadReport LoadGenerator::run() {
   report.cache_state_bytes = cache.resumption_state_bytes();
   report.ticket_state_bytes = server.ticket_state_bytes();
 
-  // Fleet digest: hash every client's chained transcript digest through
-  // the multi-buffer sweep (one lane per client, eight message schedules
-  // in flight on AVX2), then fold the lane digests. sha256_many is lane-
-  // for-lane identical to Sha256::hash, so the digest is a pure function
-  // of the transcripts — independent of backend, worker count, and
-  // offload batch width.
+  // Fleet digest: fold every client's chained transcript digest in
+  // client order. The digest is a pure function of the transcripts —
+  // independent of backend, worker count, offload batch width, and
+  // bearer (sim or socket).
   std::vector<crypto::ConstBytes> lanes;
   lanes.reserve(clients.size());
   for (const auto& client : clients) {
@@ -109,11 +112,7 @@ LoadReport LoadGenerator::run() {
     }
     lanes.push_back(client->transcript_digest());
   }
-  crypto::Bytes digest_stream;
-  for (const crypto::Bytes& lane_digest : crypto::sha256_many(lanes))
-    digest_stream.insert(digest_stream.end(), lane_digest.begin(),
-                         lane_digest.end());
-  report.fleet_digest = crypto::Sha256::hash(digest_stream);
+  report.fleet_digest = fold_fleet_digest(lanes);
 
   report.sim_duration_s = static_cast<double>(queue.now()) / 1e6;
   const double dur = report.sim_duration_s > 0 ? report.sim_duration_s : 1;

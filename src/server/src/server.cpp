@@ -50,13 +50,13 @@ void SecureSessionServer::mirror_ticket_stats() {
   stats_.ticket_open_failures = ts.open_failures();
 }
 
-std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
-                                          net::LossyChannel& rx) {
+std::uint32_t SecureSessionServer::accept(net::Channel& tx,
+                                          net::Channel& rx) {
   return accept(tx, rx, AcceptOptions{});
 }
 
-std::uint32_t SecureSessionServer::accept(net::LossyChannel& tx,
-                                          net::LossyChannel& rx,
+std::uint32_t SecureSessionServer::accept(net::Channel& tx,
+                                          net::Channel& rx,
                                           const AcceptOptions& opts) {
   const std::uint32_t id =
       static_cast<std::uint32_t>(connections_.size());
@@ -303,7 +303,7 @@ void SecureSessionServer::charge_core(Connection& conn, MsgKind kind,
   }
   if (cost <= 0) return;
   const auto cost_us = static_cast<net::SimTime>(cost + 0.5);
-  core_busy_until_ = queue_.now() + cost_us;
+  core_busy_until_ = net::sat_add_time(queue_.now(), cost_us);
   stats_.core_busy_us += static_cast<double>(cost_us);
 }
 
@@ -534,11 +534,13 @@ void SecureSessionServer::flush_pipeline() {
 void SecureSessionServer::arm_idle_timer(Connection& conn) {
   const std::uint32_t id = conn.id;
   conn.idle_timer = queue_.schedule_at(
-      conn.last_activity + config_.idle_timeout_us, [this, id] {
+      net::sat_add_time(conn.last_activity, config_.idle_timeout_us),
+      [this, id] {
         Connection& c = *connections_[id];
         c.idle_timer = 0;
         if (c.state != ConnState::kEstablished) return;
-        if (queue_.now() >= c.last_activity + config_.idle_timeout_us) {
+        if (queue_.now() >=
+            net::sat_add_time(c.last_activity, config_.idle_timeout_us)) {
           close_connection(c, &ServerStats::idle_closes);
           c.link->shutdown();  // stop acking a peer we gave up on
         } else {

@@ -6,7 +6,7 @@ namespace mapsec::server {
 
 bool BoundedSessionCache::expired(const Node& node) const {
   return config_.ttl_us > 0 &&
-         clock_.now() >= node.stored_at + config_.ttl_us;
+         clock_.now() >= net::sat_add_time(node.stored_at, config_.ttl_us);
 }
 
 void BoundedSessionCache::evict_lru() {

@@ -156,7 +156,7 @@ ShardedServer::~ShardedServer() {
 }
 
 std::uint32_t ShardedServer::accept(
-    std::uint32_t conn_key, net::LossyChannel& tx, net::LossyChannel& rx,
+    std::uint32_t conn_key, net::Channel& tx, net::Channel& rx,
     const SecureSessionServer::AcceptOptions& opts) {
   return shards_[shard_of(conn_key)]->server->accept(tx, rx, opts);
 }

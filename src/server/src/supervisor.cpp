@@ -92,7 +92,7 @@ void ShardSupervisor::schedule_rejoin(std::size_t shard, net::SimTime now,
                                       net::SimTime repair_us) {
   if (repair_us == kNoRepair) return;
   LifecycleOp op;
-  op.due = now + repair_us;
+  op.due = net::sat_add_time(now, repair_us);
   op.kind = LifecycleOp::Kind::kRejoin;
   op.shard = shard;
   push_op(op);
@@ -256,7 +256,7 @@ void ShardSupervisor::at_barrier(net::SimTime now, RunStats& rs,
         routable_[op.shard] = false;
         migrate_clients(op.shard, now, /*only_idle=*/true);
         LifecycleOp deadline;
-        deadline.due = now + op.deadline_us;
+        deadline.due = net::sat_add_time(now, op.deadline_us);
         deadline.kind = LifecycleOp::Kind::kDrainDeadline;
         deadline.shard = op.shard;
         deadline.repair_us = op.repair_us;

@@ -1,0 +1,336 @@
+// FrameCodec framing fuzz, Clock saturation, and buffer-arena units —
+// the shared substrate both bearers stand on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mapsec/crypto/rng.hpp"
+#include "mapsec/net/buffer_arena.hpp"
+#include "mapsec/net/clock.hpp"
+#include "mapsec/net/frame_codec.hpp"
+#include "mapsec/net/link.hpp"
+#include "mapsec/net/sim_clock.hpp"
+
+namespace {
+
+using mapsec::crypto::Bytes;
+using mapsec::crypto::ConstBytes;
+using mapsec::net::BufferArena;
+using mapsec::net::EventQueue;
+using mapsec::net::FrameCodec;
+using mapsec::net::IoSlice;
+using mapsec::net::MonotonicClock;
+using mapsec::net::SimClockView;
+using mapsec::net::SimTime;
+using mapsec::net::SlabQueue;
+using mapsec::net::kTimeCeiling;
+using mapsec::net::sat_add_time;
+
+// ---- FrameCodec -----------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsHeaderAndFrame) {
+  Bytes out;
+  Bytes payload{1, 2, 3, 4, 5};
+  FrameCodec::append_frame(out, payload);
+  ASSERT_EQ(out.size(), FrameCodec::kHeaderBytes + payload.size());
+  FrameCodec::Head head = FrameCodec::inspect(out.data(), out.size(), 0);
+  EXPECT_EQ(head.status, FrameCodec::Status::kFrame);
+  EXPECT_EQ(head.payload_len, payload.size());
+  EXPECT_EQ(0, std::memcmp(out.data() + FrameCodec::kHeaderBytes,
+                           payload.data(), payload.size()));
+}
+
+TEST(FrameCodec, EmptyPayloadIsAValidFrame) {
+  Bytes out;
+  FrameCodec::append_frame(out, {});
+  FrameCodec::Head head = FrameCodec::inspect(out.data(), out.size(), 16);
+  EXPECT_EQ(head.status, FrameCodec::Status::kFrame);
+  EXPECT_EQ(head.payload_len, 0u);
+}
+
+// Torn reads: present the stream truncated at EVERY byte boundary; the
+// codec must answer kNeedMore for every proper prefix and kFrame only at
+// (and beyond) the full length. This is exactly the sequence of states a
+// TCP receiver walks through as bytes trickle in.
+TEST(FrameCodec, TornReadAtEveryByteBoundary) {
+  Bytes stream;
+  Bytes payload(37);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  FrameCodec::append_frame(stream, payload);
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    FrameCodec::Head head = FrameCodec::inspect(stream.data(), cut, 1 << 10);
+    EXPECT_EQ(head.status, FrameCodec::Status::kNeedMore)
+        << "cut at " << cut;
+    if (cut >= FrameCodec::kHeaderBytes) {
+      EXPECT_EQ(head.payload_len, payload.size()) << "cut at " << cut;
+    }
+  }
+  FrameCodec::Head full =
+      FrameCodec::inspect(stream.data(), stream.size(), 1 << 10);
+  EXPECT_EQ(full.status, FrameCodec::Status::kFrame);
+}
+
+TEST(FrameCodec, OversizeLengthIsTerminalNotAnAllocation) {
+  std::uint8_t header[FrameCodec::kHeaderBytes];
+  FrameCodec::encode_header(0xFFFFFFFFu, header);
+  FrameCodec::Head head =
+      FrameCodec::inspect(header, sizeof(header), 1 << 20);
+  EXPECT_EQ(head.status, FrameCodec::Status::kOversize);
+  EXPECT_EQ(head.payload_len, 0xFFFFFFFFu);
+  // One past the bound is already out.
+  FrameCodec::encode_header((1u << 20) + 1, header);
+  EXPECT_EQ(FrameCodec::inspect(header, sizeof(header), 1 << 20).status,
+            FrameCodec::Status::kOversize);
+  // At the bound is in.
+  FrameCodec::encode_header(1u << 20, header);
+  EXPECT_EQ(FrameCodec::inspect(header, sizeof(header), 1 << 20).status,
+            FrameCodec::Status::kNeedMore);
+}
+
+TEST(FrameCodec, ZeroMaxMeansUnbounded) {
+  std::uint8_t header[FrameCodec::kHeaderBytes];
+  FrameCodec::encode_header(0xFFFFFFFFu, header);
+  EXPECT_EQ(FrameCodec::inspect(header, sizeof(header), 0).status,
+            FrameCodec::Status::kNeedMore);
+}
+
+// Garbage prefixes drawn from a seeded rng: every verdict must be one of
+// the three states, oversize must fire exactly when the announced length
+// exceeds the bound, and no verdict may claim a frame longer than the
+// bytes on hand. (Recovery from garbage is connection death by design —
+// the codec's job is to classify it safely, never to resync.)
+TEST(FrameCodec, GarbagePrefixFuzz) {
+  mapsec::crypto::HmacDrbg rng(0xF4A2);
+  constexpr std::size_t kMax = 4096;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::uint8_t buf[64];
+    const std::size_t size = rng.next_u32() % sizeof(buf);
+    for (std::size_t i = 0; i < size; ++i)
+      buf[i] = static_cast<std::uint8_t>(rng.next_u32());
+    FrameCodec::Head head = FrameCodec::inspect(buf, size, kMax);
+    if (size < FrameCodec::kHeaderBytes) {
+      EXPECT_EQ(head.status, FrameCodec::Status::kNeedMore);
+      continue;
+    }
+    const std::uint32_t announced = (std::uint32_t(buf[0]) << 24) |
+                                    (std::uint32_t(buf[1]) << 16) |
+                                    (std::uint32_t(buf[2]) << 8) |
+                                    std::uint32_t(buf[3]);
+    if (announced > kMax) {
+      EXPECT_EQ(head.status, FrameCodec::Status::kOversize);
+    } else if (size - FrameCodec::kHeaderBytes >= announced) {
+      EXPECT_EQ(head.status, FrameCodec::Status::kFrame);
+    } else {
+      EXPECT_EQ(head.status, FrameCodec::Status::kNeedMore);
+    }
+  }
+}
+
+// The link adopted the codec: its wire format must be unchanged — a
+// 4-byte big-endian length prefix, exactly what the manual framing wrote
+// before. Oversize via the link still kills it cleanly.
+TEST(FrameCodec, LinkFramingUnchangedAndOversizeKillsLink) {
+  Bytes framed;
+  Bytes msg{0xAA, 0xBB};
+  FrameCodec::append_frame(framed, msg);
+  const std::uint8_t expect[] = {0, 0, 0, 2, 0xAA, 0xBB};
+  ASSERT_EQ(framed.size(), sizeof(expect));
+  EXPECT_EQ(0, std::memcmp(framed.data(), expect, sizeof(expect)));
+}
+
+// ---- saturating time arithmetic ------------------------------------------
+
+TEST(ClockSaturation, SatAddClampsAtCeiling) {
+  EXPECT_EQ(sat_add_time(10, 32), 42u);
+  EXPECT_EQ(sat_add_time(kTimeCeiling, 1), kTimeCeiling);
+  EXPECT_EQ(sat_add_time(kTimeCeiling - 1, 1), kTimeCeiling);
+  EXPECT_EQ(sat_add_time(kTimeCeiling - 1, kTimeCeiling), kTimeCeiling);
+  EXPECT_EQ(sat_add_time(1, kTimeCeiling), kTimeCeiling);
+  // The sentinel above the ceiling is unreachable by addition.
+  EXPECT_LT(sat_add_time(kTimeCeiling, kTimeCeiling),
+            EventQueue::kNoEvent);
+}
+
+TEST(ClockSaturation, ScheduleInNearCeilingDoesNotWrap) {
+  EventQueue queue;
+  queue.run_until(kTimeCeiling - 5);
+  int fired = 0;
+  // Would wrap to a small time without saturation and either fire at the
+  // wrong instant or corrupt the sentinel; saturated it lands on the
+  // ceiling.
+  queue.schedule_in(1'000'000, [&fired] { ++fired; });
+  EXPECT_EQ(queue.next_time(), kTimeCeiling);
+  queue.run_until(kTimeCeiling);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ClockSaturation, MonotonicClockHugeOriginSaturates) {
+  MonotonicClock clock(kTimeCeiling);
+  EXPECT_EQ(clock.now_us(), kTimeCeiling);
+  // Above-ceiling origins clamp instead of wrapping into the sentinel.
+  MonotonicClock wild(~SimTime{0});
+  EXPECT_EQ(wild.now_us(), kTimeCeiling);
+}
+
+TEST(ClockSaturation, MonotonicClockAdvancesWithRealTime) {
+  MonotonicClock clock(1'000);
+  const SimTime a = clock.now_us();
+  EXPECT_GE(a, 1'000u);
+  SimTime b = a;
+  // CLOCK_MONOTONIC must tick within a bounded spin.
+  for (int i = 0; i < 1'000'000 && b <= a; ++i) b = clock.now_us();
+  EXPECT_GT(b, a);
+}
+
+TEST(ClockSaturation, SimClockViewTracksQueue) {
+  EventQueue queue;
+  SimClockView view(queue);
+  EXPECT_EQ(view.now_us(), 0u);
+  queue.run_until(777);
+  EXPECT_EQ(view.now_us(), 777u);
+}
+
+// ReliableLink timeout machinery at the far end of the timeline: a link
+// whose queue sits near the ceiling must fail its retry budget cleanly
+// (saturated timers still fire) instead of wrapping a timer into the
+// past or past the sentinel.
+TEST(ClockSaturation, LinkRetryBudgetNearTimeCeiling) {
+  EventQueue queue;
+  queue.run_until(kTimeCeiling - 10);  // deep end of the timeline
+  mapsec::crypto::HmacDrbg rng(1);
+  mapsec::net::ChannelConfig drop_all;
+  drop_all.loss_rate = 1.0;  // bearer eats every frame: RTOs must fire
+  mapsec::net::LossyChannel tx(queue, drop_all, rng);
+  mapsec::net::LossyChannel rx(queue, {}, rng);
+  mapsec::net::LinkConfig cfg;
+  cfg.max_retries = 3;
+  mapsec::net::ReliableLink link(queue, tx, rx, cfg);
+  std::string error;
+  link.set_on_error([&error](const std::string& reason) { error = reason; });
+  Bytes msg{1, 2, 3};
+  ASSERT_TRUE(link.send_message(msg));
+  queue.run_all(1'000'000);
+  EXPECT_TRUE(link.dead());
+  EXPECT_NE(error.find("retry budget"), std::string::npos) << error;
+  EXPECT_LE(queue.now(), kTimeCeiling);
+}
+
+// ---- BufferArena / SlabQueue ---------------------------------------------
+
+TEST(BufferArena, RecyclesInsteadOfGrowing) {
+  BufferArena arena(64);
+  std::uint8_t* a = arena.acquire();
+  arena.recycle(a);
+  std::uint8_t* b = arena.acquire();
+  EXPECT_EQ(a, b);  // free list served it
+  arena.recycle(b);
+  EXPECT_EQ(arena.stats().allocations, 1u);
+  EXPECT_EQ(arena.stats().acquires, 2u);
+  EXPECT_EQ(arena.stats().recycles, 2u);
+  EXPECT_EQ(arena.stats().in_use, 0u);
+  EXPECT_EQ(arena.stats().peak_in_use, 1u);
+}
+
+TEST(BufferArena, ReserveThenSteadyStateAllocatesNothing) {
+  BufferArena arena(32);
+  arena.reserve(8);
+  EXPECT_EQ(arena.stats().allocations, 8u);
+  SlabQueue q(arena);
+  Bytes chunk(100, 0x5A);
+  for (int round = 0; round < 50; ++round) {
+    q.append(chunk);
+    std::uint8_t sink[100];
+    EXPECT_EQ(q.peek(sink, sizeof(sink)), sizeof(sink));
+    q.consume(chunk.size());
+  }
+  q.release();
+  // The pool never grew past the reserve: the witness the socket fleet's
+  // zero-steady-state-allocation gate is built on.
+  EXPECT_EQ(arena.stats().allocations, 8u);
+  EXPECT_EQ(arena.stats().in_use, 0u);
+}
+
+TEST(SlabQueue, FifoAcrossSlabBoundaries) {
+  BufferArena arena(16);  // tiny slabs force boundary crossings
+  SlabQueue q(arena);
+  Bytes data(100);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  q.append(data);
+  EXPECT_EQ(q.size(), data.size());
+  // view() must reassemble ranges that straddle slabs.
+  std::uint8_t scratch[100];
+  const std::uint8_t* p = q.view(10, 40, scratch);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(p[i], 10 + i);
+  // Consume in awkward amounts; remaining head must track.
+  q.consume(7);
+  std::uint8_t head;
+  ASSERT_EQ(q.peek(&head, 1), 1u);
+  EXPECT_EQ(head, 7);
+  q.consume(50);
+  ASSERT_EQ(q.peek(&head, 1), 1u);
+  EXPECT_EQ(head, 57);
+  q.consume(q.size());
+  EXPECT_TRUE(q.empty());
+  q.release();
+  EXPECT_EQ(arena.stats().in_use, 0u);
+}
+
+TEST(SlabQueue, WritableCommitMirrorsScatterRead) {
+  BufferArena arena(16);
+  SlabQueue q(arena);
+  // Partially fill the tail so writable() exposes two regions.
+  Bytes pre(10, 0x11);
+  q.append(pre);
+  IoSlice regions[2];
+  std::size_t count = q.writable(regions);
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(regions[0].len, 6u);   // tail free space
+  EXPECT_EQ(regions[1].len, 16u);  // staged spare
+  // Simulate a readv landing 14 bytes across both regions.
+  for (std::size_t i = 0; i < 6; ++i) regions[0].data[i] = 0x22;
+  for (std::size_t i = 0; i < 8; ++i) regions[1].data[i] = 0x33;
+  q.commit(14);
+  EXPECT_EQ(q.size(), 24u);
+  std::uint8_t out[24];
+  ASSERT_EQ(q.peek(out, sizeof(out)), sizeof(out));
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], 0x11);
+  for (std::size_t i = 10; i < 16; ++i) EXPECT_EQ(out[i], 0x22);
+  for (std::size_t i = 16; i < 24; ++i) EXPECT_EQ(out[i], 0x33);
+}
+
+TEST(SlabQueue, GatherExposesAllRegionsInOrder) {
+  BufferArena arena(8);
+  SlabQueue q(arena);
+  Bytes data(20);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i + 1);
+  q.append(data);
+  q.consume(3);  // partial head
+  IoSlice slices[8];
+  std::size_t count = q.gather(slices, 8);
+  ASSERT_EQ(count, 3u);
+  Bytes reassembled;
+  for (std::size_t i = 0; i < count; ++i)
+    reassembled.insert(reassembled.end(), slices[i].data,
+                       slices[i].data + slices[i].len);
+  ASSERT_EQ(reassembled.size(), 17u);
+  for (std::size_t i = 0; i < reassembled.size(); ++i)
+    EXPECT_EQ(reassembled[i], i + 4);
+}
+
+TEST(SlabQueue, ReleaseReturnsEverySlab) {
+  BufferArena arena(16);
+  {
+    SlabQueue q(arena);
+    q.append(Bytes(100, 1));
+    IoSlice regions[2];
+    q.writable(regions);  // stages a spare too
+    EXPECT_GT(arena.stats().in_use, 0u);
+  }  // destructor releases
+  EXPECT_EQ(arena.stats().in_use, 0u);
+  EXPECT_EQ(arena.stats().acquires, arena.stats().recycles);
+}
+
+}  // namespace
